@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures: populated registries over long horizons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import (
+    CalendarRegistry,
+    install_standard_calendars,
+    install_us_holidays,
+)
+from repro.core import CalendarSystem
+from repro.db import Database
+
+
+def build_registry(horizon_years: int = 30) -> CalendarRegistry:
+    registry = CalendarRegistry(CalendarSystem.starting("Jan 1 1987"),
+                                default_horizon_years=horizon_years)
+    install_standard_calendars(registry)
+    install_us_holidays(registry, 1987, 1987 + horizon_years - 1)
+    return registry
+
+
+@pytest.fixture(scope="module")
+def registry() -> CalendarRegistry:
+    return build_registry()
+
+
+@pytest.fixture(scope="module")
+def bench_db(registry) -> Database:
+    return Database(calendars=registry)

@@ -1,0 +1,144 @@
+"""B4 / E1: core algebra costs and a dateutil.rrule baseline.
+
+Covers foreach scaling with calendar size (the SortedView fast path),
+selection, caloperate and set operations, plus a comparison of "every
+Tuesday of 1993" computed by this library vs python-dateutil's rrule
+(the modern recurrence baseline for the same natural-language class).
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+
+import pytest
+from dateutil import rrule
+
+from repro.core import (
+    Calendar,
+    CalendarSystem,
+    SelectionPredicate,
+    caloperate,
+    foreach,
+    select,
+)
+
+SYSTEM = CalendarSystem.starting("Jan 1 1987")
+
+
+def days_calendar(n):
+    return Calendar.from_intervals([(d, d) for d in range(1, n + 1)])
+
+
+def weeks_calendar(n_days):
+    weeks = [(lo, lo + 6) for lo in range(1, n_days - 5, 7)]
+    return Calendar.from_intervals(weeks)
+
+
+@pytest.mark.parametrize("size", [1_000, 5_000, 20_000])
+class TestForeachScaling:
+    def test_foreach_during_grouping(self, benchmark, size):
+        days = days_calendar(size)
+        weeks = weeks_calendar(size)
+        result = benchmark(lambda: foreach("during", days, weeks))
+        assert result.order == 2
+
+    def test_foreach_overlaps_interval(self, benchmark, size):
+        from repro.core import Interval
+        days = days_calendar(size)
+        ref = Interval(size // 4, size // 2)
+        result = benchmark(lambda: foreach("overlaps", days, ref))
+        assert len(result) > 0
+
+
+class TestOperatorCosts:
+    DAYS = days_calendar(10_000)
+    WEEKS = weeks_calendar(10_000)
+
+    def test_selection_singleton(self, benchmark):
+        grouped = foreach("during", self.DAYS, self.WEEKS)
+        result = benchmark(
+            lambda: select(grouped, SelectionPredicate.of(2)))
+        assert result.order == 1
+
+    def test_selection_multi(self, benchmark):
+        grouped = foreach("during", self.DAYS, self.WEEKS)
+        benchmark(lambda: select(grouped,
+                                 SelectionPredicate.of(1, 3, 5)))
+
+    def test_caloperate_weeks(self, benchmark):
+        result = benchmark(lambda: caloperate(self.DAYS, (7,)))
+        assert len(result) == len(self.DAYS) // 7 + 1
+
+    def test_union(self, benchmark):
+        odd = Calendar.from_intervals(
+            [(d, d) for d in range(1, 8_000, 2)])
+        even = Calendar.from_intervals(
+            [(d, d) for d in range(2, 8_000, 2)])
+        result = benchmark(lambda: odd + even)
+        assert len(result) == 7_999
+
+    def test_difference(self, benchmark):
+        all_days = days_calendar(8_000)
+        holidays = Calendar.from_intervals(
+            [(d, d) for d in range(100, 8_000, 97)])
+        result = benchmark(lambda: all_days - holidays)
+        assert len(result) == 8_000 - len(holidays)
+
+    def test_generate_days_30_years(self, benchmark):
+        benchmark(lambda: SYSTEM.generate(
+            "DAYS", "DAYS", ("Jan 1 1987", "Dec 31 2016")))
+
+    def test_generate_weeks_30_years(self, benchmark):
+        benchmark(lambda: SYSTEM.generate(
+            "WEEKS", "DAYS", ("Jan 1 1987", "Dec 31 2016"),
+            mode="cover"))
+
+
+class TestRruleBaseline:
+    """Our calendar pipeline vs dateutil.rrule for weekly recurrences."""
+
+    def _ours(self, registry):
+        # Tuesdays (2nd day of each week) restricted to 1993 — pointwise
+        # intersection, matching rrule's within-the-year semantics.
+        cal = registry.eval_expression(
+            "([2]/DAYS:during:WEEKS) & 1993/YEARS")
+        return [registry.system.date_of(iv.lo) for iv in cal.elements]
+
+    @staticmethod
+    def _rrule():
+        return list(rrule.rrule(
+            rrule.WEEKLY, byweekday=rrule.TU,
+            dtstart=datetime.datetime(1993, 1, 1),
+            until=datetime.datetime(1993, 12, 31)))
+
+    def test_ours_tuesdays_1993(self, benchmark, registry):
+        dates = benchmark(lambda: self._ours(registry))
+        assert len(dates) == 52
+
+    def test_rrule_tuesdays_1993(self, benchmark):
+        dates = benchmark(self._rrule)
+        assert len(dates) == 52
+
+    def test_results_agree_with_rrule(self, registry):
+        ours = [(d.year, d.month, d.day) for d in self._ours(registry)]
+        oracle = [(d.year, d.month, d.day) for d in self._rrule()]
+        assert ours == oracle
+
+
+def test_report_foreach_scaling():
+    """The B4 table: foreach cost vs calendar size (fast path is loglinear)."""
+    print("\n=== B4: foreach('during', DAYS, WEEKS) scaling")
+    print(f"{'days':>8} | {'ms':>8}")
+    timings = []
+    for size in (1_000, 4_000, 16_000, 64_000):
+        days = days_calendar(size)
+        weeks = weeks_calendar(size)
+        t0 = time.perf_counter()
+        foreach("during", days, weeks)
+        elapsed = (time.perf_counter() - t0) * 1e3
+        timings.append(elapsed)
+        print(f"{size:>8} | {elapsed:>8.2f}")
+    # 64x more input should cost far less than 64^2/16^2 = 16x the 16k run
+    # if the fast path is near-linear; allow generous noise.
+    assert timings[-1] < timings[-2] * 20

@@ -1,0 +1,166 @@
+"""B5: the Postquel substrate — scans, index probes, temporal predicates,
+event-rule overhead.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.db import Database
+from repro.rules import RuleManager
+
+N_ROWS = 5_000
+
+
+@pytest.fixture(scope="module")
+def loaded_db(registry):
+    db = Database(calendars=registry)
+    db.create_table("trades",
+                    [("id", "int4"), ("symbol", "text"),
+                     ("day", "abstime"), ("qty", "int4")],
+                    valid_time_column="day")
+    base = db.system.day_of("Jan 1 1993")
+    relation = db.relation("trades")
+    for i in range(N_ROWS):
+        relation.insert({"id": i, "symbol": f"S{i % 50}",
+                         "day": base + (i % 365), "qty": i % 97},
+                        fire_hooks=False)
+    return db
+
+
+class TestQueryCosts:
+    def test_full_scan_filter(self, benchmark, loaded_db):
+        result = benchmark(lambda: loaded_db.execute(
+            "retrieve (t.id) from t in trades where t.qty > 90"))
+        assert len(result) > 0
+
+    def test_equality_without_index(self, benchmark, loaded_db):
+        result = benchmark(lambda: loaded_db.execute(
+            'retrieve (t.id) from t in trades where t.symbol = "S7"'))
+        assert len(result) == N_ROWS // 50
+
+    def test_equality_with_index(self, benchmark, loaded_db):
+        if "symbol" not in loaded_db.relation("trades").indexes:
+            loaded_db.create_index("trades", "symbol")
+        result = benchmark(lambda: loaded_db.execute(
+            'retrieve (t.id) from t in trades where t.symbol = "S7"'))
+        assert len(result) == N_ROWS // 50
+
+    def test_aggregate(self, benchmark, loaded_db):
+        result = benchmark(lambda: loaded_db.execute(
+            "retrieve (count(), sum(t.qty) as total) from t in trades"))
+        assert result.rows[0]["count()"] == N_ROWS
+
+    def test_within_calendar_predicate(self, benchmark, loaded_db):
+        result = benchmark(lambda: loaded_db.execute(
+            'retrieve (count()) from t in trades '
+            'where t.day within "Mondays"'))
+        assert result.rows[0]["count()"] > 0
+
+    def test_on_calendar_clause(self, benchmark, loaded_db):
+        result = benchmark(lambda: loaded_db.execute(
+            "retrieve (count()) from t in trades on Mondays"))
+        assert result.rows[0]["count()"] > 0
+
+
+class TestRuleOverhead:
+    def _insert_many(self, db, n=500):
+        relation = db.relation("events_t")
+        for i in range(n):
+            relation.insert({"x": i})
+
+    def test_append_without_rules(self, benchmark, registry):
+        db = Database(calendars=registry)
+        db.create_table("events_t", [("x", "int4")])
+
+        def run():
+            db.relation("events_t").truncate()
+            self._insert_many(db)
+
+        benchmark(run)
+
+    def test_append_with_matching_rule(self, benchmark, registry):
+        db = Database(calendars=registry)
+        manager = RuleManager(db)
+        db.create_table("events_t", [("x", "int4")])
+        counter = []
+        manager.define_event_rule("count_all", "append", "events_t",
+                                  callback=lambda d, e: counter.append(1))
+
+        def run():
+            db.relation("events_t").truncate()
+            self._insert_many(db)
+
+        benchmark(run)
+        assert counter
+
+    def test_append_with_nonmatching_condition(self, benchmark, registry):
+        db = Database(calendars=registry)
+        manager = RuleManager(db)
+        db.create_table("events_t", [("x", "int4")])
+        manager.define_event_rule("never", "append", "events_t",
+                                  condition="new.x < 0",
+                                  callback=lambda d, e: None)
+
+        def run():
+            db.relation("events_t").truncate()
+            self._insert_many(db)
+
+        benchmark(run)
+
+
+def test_report_index_crossover(loaded_db):
+    """B5 table: scan vs index probe on the 5k-row trades relation."""
+    relation = loaded_db.relation("trades")
+    relation.indexes.pop("symbol", None)
+    t0 = time.perf_counter()
+    for _ in range(5):
+        loaded_db.execute(
+            'retrieve (t.id) from t in trades where t.symbol = "S7"')
+    scan = (time.perf_counter() - t0) / 5 * 1e3
+    loaded_db.create_index("trades", "symbol")
+    t0 = time.perf_counter()
+    for _ in range(5):
+        loaded_db.execute(
+            'retrieve (t.id) from t in trades where t.symbol = "S7"')
+    probe = (time.perf_counter() - t0) / 5 * 1e3
+    print("\n=== B5: equality retrieve on 5000 rows")
+    print(f"   sequential scan: {scan:8.2f} ms")
+    print(f"   index probe:     {probe:8.2f} ms  "
+          f"({scan / max(probe, 1e-9):.1f}x faster)")
+    assert probe < scan
+
+
+def test_report_predicate_pushdown(registry):
+    """B5 addendum: join cost with and without selective conjuncts.
+
+    The pushdown evaluates per-variable conjuncts before deeper join
+    levels; a selective predicate on the outer variable prunes the inner
+    scan entirely.
+    """
+    db = Database(calendars=registry)
+    db.create_table("outer_r", [("k", "int4")])
+    db.create_table("inner_r", [("k", "int4")])
+    for i in range(400):
+        db.relation("outer_r").insert({"k": i}, fire_hooks=False)
+        db.relation("inner_r").insert({"k": i}, fire_hooks=False)
+    t0 = time.perf_counter()
+    selective = db.execute(
+        "retrieve (count()) from a in outer_r, b in inner_r "
+        "where a.k = 0 and a.k = b.k")
+    t_selective = (time.perf_counter() - t0) * 1e3
+    t0 = time.perf_counter()
+    full = db.execute(
+        "retrieve (count()) from a in outer_r, b in inner_r "
+        "where a.k = b.k")
+    t_full = (time.perf_counter() - t0) * 1e3
+    print("\n=== B5 addendum: predicate pushdown on a 400x400 join")
+    print(f"   selective outer conjunct: {t_selective:8.2f} ms "
+          f"(1 result row)")
+    print(f"   full equi-join:           {t_full:8.2f} ms "
+          f"(400 result rows)")
+    assert selective.rows[0]["count()"] == 1
+    assert full.rows[0]["count()"] == 400
+    assert t_selective < t_full

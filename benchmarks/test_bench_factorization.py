@@ -1,0 +1,124 @@
+"""B1 / E4 / E5: factorization effect on the Figure 2 and 3 expressions.
+
+The paper claims the parser's factorization removes redundant parts of
+calendar expressions.  Each figure expression is evaluated four ways —
+{unfactorized, factorized} x {interpreter, compiled plan} — and the
+factorized compiled plan must generate strictly fewer intervals.
+
+Regenerates (printed by ``test_report_figures_2_and_3``):
+  * the initial and factorized parse trees (Figures 2 and 3),
+  * node counts and applied rewrites,
+  * intervals-generated and wall-time per strategy.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.granularity import Granularity
+from repro.lang import (
+    EvalContext,
+    Interpreter,
+    PlanVM,
+    compile_expression,
+    count_nodes,
+    expand,
+    factorize,
+    parse_expression,
+    parse_script,
+    render_tree,
+)
+from repro.lang.defs import DerivedDef, basic_resolver, chain_resolvers
+
+DERIVED = {
+    "mondays": DerivedDef(
+        parse_script("{return([1]/DAYS:during:WEEKS);}"),
+        Granularity.DAYS),
+    "januarys": DerivedDef(
+        parse_script("{return([1]/MONTHS:during:YEARS);}"),
+        Granularity.MONTHS),
+    "third_weeks": DerivedDef(
+        parse_script("{return([3]/WEEKS:overlaps:MONTHS);}"),
+        Granularity.WEEKS),
+}
+RESOLVER = chain_resolvers(lambda n: DERIVED.get(n.lower()),
+                           basic_resolver)
+
+FIGURE_2 = "Mondays:during:Januarys:during:1993/Years"
+FIGURE_3 = "Third_Weeks:during:Januarys:during:1993/Years"
+
+
+def window_of(registry):
+    lo, _ = registry.system.epoch.days_of_year(1987)
+    _, hi = registry.system.epoch.days_of_year(2016)
+    return lo, hi
+
+
+def run_interpreter(registry, expr, window):
+    ctx = EvalContext(system=registry.system, resolver=RESOLVER,
+                      window=window)
+    return Interpreter(ctx).evaluate(expr), ctx.stats
+
+
+def run_plan(registry, expr, window):
+    plan = compile_expression(expr, registry.system, RESOLVER,
+                              context_window=window)
+    ctx = EvalContext(system=registry.system, resolver=RESOLVER,
+                      window=window)
+    return PlanVM(ctx).run(plan), ctx.stats
+
+
+@pytest.mark.parametrize("label,text", [("figure2", FIGURE_2),
+                                        ("figure3", FIGURE_3)])
+class TestFactorizationBenchmarks:
+    def test_unfactorized_interpreter(self, benchmark, registry, label,
+                                      text):
+        window = window_of(registry)
+        expr = expand(parse_expression(text), RESOLVER)
+        benchmark(lambda: run_interpreter(registry, expr, window))
+
+    def test_factorized_plan(self, benchmark, registry, label, text):
+        window = window_of(registry)
+        expr = factorize(parse_expression(text), RESOLVER).expression
+        benchmark(lambda: run_plan(registry, expr, window))
+
+
+def test_report_figures_2_and_3(registry, capsys):
+    """Regenerate the Figure 2/3 artifacts and the quantitative rows."""
+    window = window_of(registry)
+    rows = []
+    for title, text in [("Figure 2 (Mondays during January 1993)",
+                         FIGURE_2),
+                        ("Figure 3 (Third week in January 1993)",
+                         FIGURE_3)]:
+        initial = expand(parse_expression(text), RESOLVER)
+        result = factorize(parse_expression(text), RESOLVER)
+        factored = result.expression
+        print(f"\n=== {title}")
+        print("--- INITIAL parse tree "
+              f"({count_nodes(initial)} nodes)")
+        print(render_tree(initial))
+        print(f"--- FACTORIZED parse tree "
+              f"({count_nodes(factored)} nodes, "
+              f"{result.applied} rewrites)")
+        print(render_tree(factored))
+
+        t0 = time.perf_counter()
+        ref, ref_stats = run_interpreter(registry, initial, window)
+        t_ref = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fast, fast_stats = run_plan(registry, factored, window)
+        t_fast = time.perf_counter() - t0
+        assert fast.to_pairs() == ref.to_pairs()
+        assert fast_stats["intervals_generated"] < \
+            ref_stats["intervals_generated"]
+        print(f"intervals generated: initial/interpreter "
+              f"{ref_stats['intervals_generated']}, "
+              f"factorized/plan {fast_stats['intervals_generated']} "
+              f"({ref_stats['intervals_generated'] / max(1, fast_stats['intervals_generated']):.1f}x fewer)")
+        print(f"wall time: {t_ref * 1e3:.2f} ms -> {t_fast * 1e3:.2f} ms")
+        rows.append((title, count_nodes(initial), count_nodes(factored)))
+    assert rows[0][1] > rows[0][2]
+    assert rows[1][1] > rows[1][2]

@@ -1,0 +1,110 @@
+"""Language-pipeline throughput: lexer, parser, factorizer, compiler.
+
+Not a paper table — operational numbers a downstream user cares about:
+how fast the front half of the pipeline is, and what the per-evaluation
+caches buy (expression cache, basic-calendar cache, stored plans).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.lang import factorize, parse_expression, parse_script, tokenize
+from repro.lang.defs import basic_resolver
+from repro.lang.planner import compile_expression
+
+EXPRESSION = ("[3]/WEEKS:overlaps:[1]/MONTHS:during:1993/YEARS + "
+              "[n]/DAYS:during:MONTHS - HOLIDAYS")
+
+SCRIPT = """
+{LDOM_l = [n]/DAYS:during:MONTHS;
+ LDOM_HOL = LDOM_l:intersects:HOLIDAYS;
+ LAST_BUS = [n]/AM_BUS_DAYS:<:LDOM_HOL;
+ if (LDOM_HOL) return (LDOM_l - LDOM_HOL + LAST_BUS);
+ else return (LDOM_l);}
+"""
+
+
+class TestFrontEndThroughput:
+    def test_tokenize(self, benchmark):
+        tokens = benchmark(lambda: tokenize(SCRIPT))
+        assert len(tokens) > 30
+
+    def test_parse_expression(self, benchmark):
+        expr = benchmark(lambda: parse_expression(EXPRESSION))
+        assert expr is not None
+
+    def test_parse_script(self, benchmark):
+        script = benchmark(lambda: parse_script(SCRIPT))
+        assert len(script.body) == 4
+
+    def test_factorize(self, benchmark):
+        expr = parse_expression(EXPRESSION)
+        result = benchmark(lambda: factorize(expr, basic_resolver))
+        assert result.expression is not None
+
+    def test_compile(self, benchmark, registry):
+        expr = factorize(parse_expression(
+            "[3]/WEEKS:overlaps:[1]/MONTHS:during:1993/YEARS"),
+            basic_resolver).expression
+        plan = benchmark(lambda: compile_expression(
+            expr, registry.system, basic_resolver,
+            context_window=registry.default_window))
+        assert len(plan) > 0
+
+
+class TestCacheEffects:
+    WINDOW = ("Jan 1 1993", "Dec 31 1993")
+
+    def test_cold_expression_evaluation(self, benchmark, registry):
+        counter = [0]
+
+        def run():
+            # A fresh text defeats the expression cache each round.
+            counter[0] += 1
+            return registry.eval_expression(
+                f"[{1 + counter[0] % 5}]/DAYS:during:WEEKS:during:"
+                "[1]/MONTHS:during:1993/YEARS", window=self.WINDOW)
+
+        result = benchmark(run)
+        assert len(result) >= 4
+
+    def test_warm_expression_evaluation(self, benchmark, registry):
+        text = ("[2]/DAYS:during:WEEKS:during:[1]/MONTHS:during:"
+                "1993/YEARS")
+        registry.eval_expression(text, window=self.WINDOW)  # warm up
+        result = benchmark(lambda: registry.eval_expression(
+            text, window=self.WINDOW))
+        assert len(result) >= 4
+
+    def test_stored_calendar_with_plan(self, benchmark, registry):
+        if "BENCH_LANG_CAL" not in registry:
+            registry.define(
+                "BENCH_LANG_CAL",
+                script="{return([2]/DAYS:during:WEEKS);}",
+                granularity="DAYS")
+        result = benchmark(lambda: registry.evaluate(
+            "BENCH_LANG_CAL", window=self.WINDOW, use_plan=True))
+        assert len(result) == 52
+
+
+def test_report_pipeline_throughput(registry):
+    """Statements/second through each pipeline stage."""
+    print("\n=== Language pipeline throughput (per second)")
+    stages = {
+        "tokenize script": lambda: tokenize(SCRIPT),
+        "parse script": lambda: parse_script(SCRIPT),
+        "parse expression": lambda: parse_expression(EXPRESSION),
+        "factorize expression": lambda: factorize(
+            parse_expression(EXPRESSION), basic_resolver),
+    }
+    for label, fn in stages.items():
+        n = 200
+        t0 = time.perf_counter()
+        for _ in range(n):
+            fn()
+        rate = n / (time.perf_counter() - t0)
+        print(f"   {label:24s} {rate:10,.0f}/s")
+    assert True

@@ -1,0 +1,83 @@
+"""E2 / E6 / E7 / E8: the paper's worked scripts as benchmarks.
+
+Regenerates the generate() list of section 3.2 and times the three
+section 3.3 scripts through the full pipeline (parse -> factorize ->
+evaluate against the real HOLIDAYS/AM_BUS_DAYS catalog).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Calendar
+from repro.finance import expiration_date, last_trading_day
+
+EMP_DAYS = """
+{LDOM_b = [n]/DAYS:during:MONTHS;
+ LDOM_HOL = LDOM_b:intersects:HOLIDAYS;
+ LAST_BUS = [n]/AM_BUS_DAYS:<:LDOM_HOL;
+ return (LDOM_b - LDOM_HOL + LAST_BUS);}
+"""
+
+
+class TestGenerateExample:
+    def test_e2_generate_years_days(self, benchmark, registry):
+        result = benchmark(lambda: registry.system.generate(
+            "YEARS", "DAYS", ("Jan 1 1987", "Jan 3 1992")))
+        assert result.to_pairs() == (
+            (1, 365), (366, 731), (732, 1096),
+            (1097, 1461), (1462, 1826), (1827, 1829))
+
+
+class TestScriptBenchmarks:
+    def test_e6_emp_days_one_year(self, benchmark, registry):
+        result = benchmark(lambda: registry.eval_script(
+            EMP_DAYS, window=("Jan 1 1993", "Dec 31 1993")))
+        assert len(result) == 12
+
+    def test_e6_emp_days_ten_years(self, benchmark, registry):
+        result = benchmark(lambda: registry.eval_script(
+            EMP_DAYS, window=("Jan 1 1990", "Dec 31 1999")))
+        assert len(result) == 120
+
+    def test_e7_expiration_all_months(self, benchmark, registry):
+        dates = benchmark(lambda: [expiration_date(registry, 1993, m)
+                                   for m in range(1, 13)])
+        assert len(dates) == 12
+
+    def test_e8_last_trading_day(self, benchmark, registry):
+        day = benchmark(lambda: last_trading_day(registry, 1993, 11))
+        assert day is not None
+
+    def test_defined_calendar_plan_vs_interpreter(self, benchmark,
+                                                  registry):
+        if "BENCH_TUESDAYS" not in registry:
+            registry.define("BENCH_TUESDAYS",
+                            script="{return([2]/DAYS:during:WEEKS);}",
+                            granularity="DAYS")
+        window = ("Jan 1 1993", "Dec 31 1994")
+        via_plan = benchmark(lambda: registry.evaluate(
+            "BENCH_TUESDAYS", window=window, use_plan=True))
+        via_interp = registry.evaluate("BENCH_TUESDAYS", window=window,
+                                       use_plan=False)
+        assert via_plan.to_pairs() == via_interp.to_pairs()
+
+
+class TestNextOccurrence:
+    """DBCRON's scheduling primitive (growing-window evaluation)."""
+
+    def test_near_occurrence(self, benchmark, registry):
+        t0 = registry.system.day_of("Jan 1 1993")
+        result = benchmark(lambda: registry.next_occurrence(
+            "[2]/DAYS:during:WEEKS", t0))
+        assert result == t0 + 4
+
+    def test_sparse_occurrence(self, benchmark, registry):
+        if "SPARSE_BENCH" not in registry:
+            far = registry.system.day_of("Jun 1 1995")
+            registry.define("SPARSE_BENCH", values=[(far, far)],
+                            granularity="DAYS")
+        t0 = registry.system.day_of("Jan 1 1993")
+        result = benchmark(lambda: registry.next_occurrence(
+            "SPARSE_BENCH", t0))
+        assert result == registry.system.day_of("Jun 1 1995")

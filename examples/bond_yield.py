@@ -1,0 +1,69 @@
+"""User-defined date arithmetic: the 30/360 bond calendar (section 1).
+
+"The yield calculation on financial bonds uses a calendar that has 30 days
+in every month for date arithmetic, but 365 days in the year for the actual
+yield calculation.  If date functions supplied by commercial databases are
+used, results will be incorrect."
+
+This example computes the same instrument's accrued interest and yields
+under the paper's convention and under civil-calendar arithmetic, showing
+the discrepancy that motivates convention-parameterised date functions.
+
+Run with::
+
+    python examples/bond_yield.py
+"""
+
+from repro.core import CivilDate
+from repro.core.arithmetic import GregorianScheme, Thirty360Scheme
+from repro.finance import (
+    Actual365Fixed,
+    Bond,
+    PAPER_BOND_CONVENTION,
+    Thirty360,
+    discount_yield,
+)
+
+
+def main() -> None:
+    settle = CivilDate(1993, 1, 15)
+    maturity = CivilDate(1993, 7, 15)
+
+    print("Date arithmetic under two calendars:")
+    g, t = GregorianScheme(), Thirty360Scheme()
+    print(f"   civil days   {settle} -> {maturity}: "
+          f"{g.days_between(settle, maturity)}")
+    print(f"   30/360 days  {settle} -> {maturity}: "
+          f"{t.days_between(settle, maturity)}")
+    print(f"   30/360 'Jan 15 + 90 days' lands on: "
+          f"{t.add_days(settle, 90)} (vs civil {g.add_days(settle, 90)})")
+    print()
+
+    print("A $100 bill bought at $98, maturing in six months:")
+    for name, convention in [
+            ("30/360 months, 365-day year (the paper's)",
+             PAPER_BOND_CONVENTION),
+            ("30/360 months, 360-day year", Thirty360(year_basis=360)),
+            ("actual/365 (what a Gregorian-only DBMS gives)",
+             Actual365Fixed())]:
+        y = discount_yield(100, 98, settle, maturity, convention)
+        print(f"   {name:48s} -> {y * 100:.4f}%")
+    print()
+
+    bond = Bond(face=100.0, coupon_rate=0.08,
+                maturity=CivilDate(1998, 11, 15), frequency=2)
+    s = CivilDate(1993, 7, 1)
+    print("8% semiannual bond maturing Nov 15 1998, settling Jul 1 1993:")
+    ai30 = bond.accrued_interest(s, Thirty360())
+    aiact = bond.accrued_interest(s, Actual365Fixed())
+    print(f"   accrued interest 30/360:     {ai30:.6f}")
+    print(f"   accrued interest actual/365: {aiact:.6f}")
+    for target in (0.06, 0.08, 0.10):
+        price = bond.price(s, target)
+        solved = bond.yield_to_maturity(s, price)
+        print(f"   price at {target * 100:.0f}% yield: {price:8.4f}  "
+              f"(solver round-trips to {solved * 100:.4f}%)")
+
+
+if __name__ == "__main__":
+    main()

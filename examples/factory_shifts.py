@@ -1,0 +1,84 @@
+"""Manufacturing / process control: sub-day calendars (HOURS granularity).
+
+The paper's opening sentence lists "manufacturing and process control"
+among the motivating applications.  This example models a plant's shift
+schedule at HOURS granularity — the same algebra, one level finer — and a
+maintenance rule that must run in the first hour of the Monday day shift.
+
+Run with::
+
+    python examples/factory_shifts.py
+"""
+
+from repro import CalendarRegistry, CalendarSystem
+from repro.catalog import install_standard_calendars
+from repro.core import Granularity
+from repro.lang import EvalContext, Interpreter, parse_expression
+
+
+def hour_tick(system, day: int, hour: int) -> int:
+    """Hour tick h (1-24) of axis day d (positive days)."""
+    return (day - 1) * 24 + hour
+
+
+def main() -> None:
+    registry = CalendarRegistry(CalendarSystem.starting("Jan 1 1993"),
+                                default_horizon_years=5)
+    install_standard_calendars(registry)
+    system = registry.system
+
+    # Evaluate over one production week, in hour ticks.
+    monday = system.day_of("Jan 4 1993")
+    sunday = system.day_of("Jan 10 1993")
+    window = (hour_tick(system, monday, 1), hour_tick(system, sunday, 24))
+    ctx = EvalContext(system=system, resolver=registry.resolver,
+                      window=window, unit=Granularity.HOURS)
+    interp = Interpreter(ctx)
+
+    def evaluate(text):
+        return interp.evaluate(parse_expression(text))
+
+    def show_hours(title, cal):
+        print(f"{title}:")
+        for iv in list(cal.iter_intervals())[:4]:
+            day = (iv.lo - 1) // 24 + 1
+            h_lo = iv.lo - (day - 1) * 24
+            day_hi = (iv.hi - 1) // 24 + 1
+            h_hi = iv.hi - (day_hi - 1) * 24
+            print(f"   {system.date_of(day)} {h_lo - 1:02d}:00 .. "
+                  f"{system.date_of(day_hi)} {h_hi:02d}:00")
+        total = cal.leaf_count()
+        if total > 4:
+            print(f"   ... ({total} blocks total)")
+        print()
+
+    # Three 8-hour shifts: day (06-14), swing (14-22), night (22-06).
+    day_shift = evaluate("caloperate(flatten([7-14]/HOURS:during:DAYS),"
+                         " *; 8)")
+    show_hours("Day shift blocks (06:00-14:00)", day_shift)
+
+    swing_shift = evaluate(
+        "caloperate(flatten([15-22]/HOURS:during:DAYS), *; 8)")
+    show_hours("Swing shift blocks (14:00-22:00)", swing_shift)
+
+    # Weekday day-shift only: intersect with the Weekdays calendar,
+    # expressed in hours by nesting the day-level selection.
+    weekday_day_shift = evaluate(
+        "caloperate(flatten([7-14]/HOURS:during:"
+        "flatten([1-5]/DAYS:during:WEEKS)), *; 8)")
+    show_hours("Weekday day-shift blocks", weekday_day_shift)
+
+    # Maintenance hour: the FIRST hour of the Monday day shift.
+    maintenance = evaluate(
+        "[7]/HOURS:during:[1]/DAYS:during:WEEKS")
+    show_hours("Maintenance hour (Monday 06:00-07:00)", maintenance)
+
+    # The same instants as day numbers for the rule scheduler:
+    first = next(maintenance.iter_intervals())
+    day = (first.lo - 1) // 24 + 1
+    print(f"First maintenance instant: {system.date_of(day)}, "
+          f"hour tick {first.lo}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Options desk scenario: expirations, last trading days, DBCRON alerts.
+
+The paper's running example (sections 1, 3.3, 4): option expiration dates
+("3rd Friday of the month if a business day, else the preceding business
+day"), last trading days (7th business day preceding month end), and a
+temporal rule that raises the LAST TRADING DAY alert via DBCRON.
+
+Run with::
+
+    python examples/financial_options.py
+"""
+
+from repro import (
+    CalendarRegistry,
+    CalendarSystem,
+    Database,
+    DBCron,
+    RuleManager,
+    SimulatedClock,
+)
+from repro.catalog import install_standard_calendars, install_us_holidays
+from repro.finance import (
+    OptionContract,
+    expiration_calendar,
+    expiration_date,
+    last_trading_day,
+)
+
+
+def build_registry() -> CalendarRegistry:
+    registry = CalendarRegistry(CalendarSystem.starting("Jan 1 1987"),
+                                default_horizon_years=20)
+    install_standard_calendars(registry)
+    install_us_holidays(registry, 1987, 2006)
+    return registry
+
+
+def main() -> None:
+    registry = build_registry()
+    system = registry.system
+
+    # --- expiration schedule for 1993 -----------------------------------
+    print("1993 option expirations (3rd-Friday rule with holiday roll):")
+    for month in range(1, 13):
+        exp = expiration_date(registry, 1993, month)
+        ltd = last_trading_day(registry, 1993, month)
+        print(f"   {month:2d}: expires {system.date_of(exp)}, "
+              f"last trading day {system.date_of(ltd)}")
+    print()
+
+    # --- a stock price table queried "on expiration-date" ----------------
+    db = Database(calendars=registry)
+    db.create_table("stock", [("symbol", "text"), ("day", "abstime"),
+                              ("price", "float8")],
+                    valid_time_column="day")
+    base = system.day_of("Nov 15 1993")
+    for offset, price in enumerate([461.2, 462.9, 461.0, 463.7, 464.9]):
+        db.insert("stock", symbol="SPX", day=base + offset, price=price)
+    registry.define("EXPIRATIONS_93",
+                    values=expiration_calendar(registry, 1993),
+                    granularity="DAYS")
+    result = db.execute(
+        "retrieve (s.symbol, s.price) from s in stock on EXPIRATIONS_93")
+    print("Retrieve (stock.price) on expiration-date:")
+    print(result.to_table())
+    print()
+
+    # --- the LAST TRADING DAY alert as a DBCRON temporal rule -----------
+    manager = RuleManager(db)
+    clock = SimulatedClock(now=system.day_of("Nov 1 1993"))
+    cron = DBCron(manager, clock, period=1)
+    db.create_table("alerts", [("day", "abstime"), ("message", "text")])
+
+    ltd_nov = last_trading_day(registry, 1993, 11)
+    registry.define("LTD_NOV_93", values=[(ltd_nov, ltd_nov)],
+                    granularity="DAYS")
+    manager.define_temporal_rule(
+        "last_trading_day_alert", "LTD_NOV_93",
+        actions=['append alerts (day = now.t, '
+                 'message = "LAST TRADING DAY " || now.text)'],
+        after=clock.now)
+
+    cron.run_until(system.day_of("Dec 1 1993"))
+    print("Alerts raised while the clock ran through November 1993:")
+    print(db.execute("retrieve (a.message) from a in alerts").to_table())
+    print()
+
+    # --- contract objects -------------------------------------------------
+    contract = OptionContract("SPX", 1993, 12, strike=465.0)
+    print(f"SPX Dec-93 465 call: expires "
+          f"{system.date_of(contract.expiration(registry))}, "
+          f"last trading day "
+          f"{system.date_of(contract.last_trading_day(registry))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Regular time series: valid-time maintenance without storing time points.
+
+The paper (section 1): "it would be unnecessary to store the time points
+associated with time-series observations, since they could be generated on
+request" — e.g. the quarterly GNP series.  This example stores values only,
+regenerates the time points from the QUARTERS calendar, and runs the
+future-work pattern query ("two successive increases") of section 6a.
+
+Run with::
+
+    python examples/gnp_timeseries.py
+"""
+
+from repro import CalendarRegistry, CalendarSystem, Database
+from repro.catalog import install_standard_calendars
+from repro.core import caloperate
+from repro.timeseries import RegularTimeSeries, increases, match_pattern
+
+
+def main() -> None:
+    registry = CalendarRegistry(CalendarSystem.starting("Jan 1 1987"),
+                                default_horizon_years=20)
+    install_standard_calendars(registry)
+    system = registry.system
+
+    # The QUARTERS calendar generates every observation instant.
+    months = system.months("Jan 1 1991", "Dec 31 1994")
+    quarters = caloperate(months, (3,))
+
+    gnp_values = [5880.2, 5962.0, 6033.7, 6092.5,      # 1991
+                  6190.4, 6295.2, 6389.7, 6493.6,      # 1992
+                  6544.5, 6622.7, 6688.3, 6813.8,      # 1993
+                  6916.3]                              # 1994 Q1
+    gnp = RegularTimeSeries(quarters, gnp_values, name="GNP")
+
+    print("GNP observations (time points regenerated, never stored):")
+    for t, value in gnp.items():
+        print(f"   {system.date_of(t)}: {value:,.1f}")
+    print()
+
+    # Store into the database: only (seq, value) — no time column.
+    db = Database(calendars=registry)
+    gnp.to_relation(db, "gnp")
+    print("Stored relation schema:",
+          db.relation("gnp").schema)
+    print("Row count:", len(db.relation("gnp")), "(values only)")
+    loaded = RegularTimeSeries.from_relation(db, "gnp", quarters)
+    assert loaded.timepoints() == gnp.timepoints()
+    print("Reload regenerates identical valid time points:",
+          loaded.timepoints() == gnp.timepoints())
+    print()
+
+    # Pattern selection (paper future work, section 6a).
+    ups = increases(gnp)
+    print("Quarters where GNP increased into the next quarter "
+          "(S_t < Next(S_t)):")
+    print("  ", ", ".join(str(system.date_of(t)) for t in ups))
+    jumps = match_pattern(gnp, "s(t+1) - s(t) > 100")
+    print("Quarters followed by a jump of more than $100bn:")
+    print("  ", ", ".join(str(system.date_of(t)) for t in jumps))
+    print()
+
+    # Resampling: quarterly -> yearly averages.
+    years = system.years("Jan 1 1991", "Dec 31 1994")
+    yearly = gnp.resample(years, aggregate=lambda vs: sum(vs) / len(vs))
+    print("Yearly average GNP (resampled onto the YEARS calendar):")
+    for t, value in yearly.items():
+        print(f"   {system.date_of(t).year}: {value:,.1f}")
+
+
+if __name__ == "__main__":
+    main()

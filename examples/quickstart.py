@@ -1,0 +1,65 @@
+"""Quickstart: the calendar algebra, language and catalog in five minutes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import CalendarRegistry, CalendarSystem
+from repro.catalog import install_standard_calendars, install_us_holidays
+
+
+def main() -> None:
+    # 1. A calendar system anchored at the paper's start date.
+    system = CalendarSystem.starting("Jan 1 1987")
+    registry = CalendarRegistry(system, default_horizon_years=20)
+    install_standard_calendars(registry)
+    install_us_holidays(registry, 1987, 2006)
+
+    def show(title, cal):
+        dates = [str(system.date_of(iv.lo)) + (
+            "" if iv.is_instant() else f" .. {system.date_of(iv.hi)}")
+            for iv in cal.iter_intervals()]
+        print(f"{title}:")
+        for d in dates[:6]:
+            print(f"   {d}")
+        if len(dates) > 6:
+            print(f"   ... ({len(dates)} total)")
+        print()
+
+    # 2. The paper's generate() example, verbatim.
+    years = system.generate("YEARS", "DAYS", ("Jan 1 1987", "Jan 3 1992"))
+    print("generate(YEARS, DAYS, [Jan 1 1987, Jan 3 1992]) =")
+    print("  ", years, "\n")
+
+    # 3. Calendar expressions: the third week in January 1993 (Figure 3).
+    third_week = registry.eval_expression(
+        "[3]/WEEKS:overlaps:[1]/MONTHS:during:1993/YEARS")
+    show("Third week in January 1993", third_week)
+
+    # 4. Natural-language definitions stored in the CALENDARS catalog.
+    registry.define(
+        "PAYDAYS",
+        script="{return([n]/AM_BUS_DAYS:during:MONTHS);}",
+        granularity="DAYS")
+    paydays = registry.evaluate("PAYDAYS",
+                                window=("Jan 1 1993", "Jun 30 1993"))
+    show("Paydays (last business day of each month)", paydays)
+
+    # 5. The Figure 1 catalog row.
+    print("CALENDARS catalog row for Tuesdays:")
+    print(registry.render("Tuesdays"))
+    print()
+
+    # 6. Set operations and scripts: the EMP-DAYS example of section 3.3.
+    emp_days = registry.eval_script("""
+        {LDOM_x = [n]/DAYS:during:MONTHS;
+         LDOM_HOL = LDOM_x:intersects:HOLIDAYS;
+         LAST_BUS = [n]/AM_BUS_DAYS:<:LDOM_HOL;
+         return (LDOM_x - LDOM_HOL + LAST_BUS);}
+    """, window=("Jan 1 1993", "Dec 31 1993"))
+    show("Employment-figures days 1993 (EMP-DAYS script)", emp_days)
+
+
+if __name__ == "__main__":
+    main()

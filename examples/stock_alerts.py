@@ -1,0 +1,82 @@
+"""Data-triggered temporal rules: section 6(a) meets section 4.
+
+The paper closes with "Retrieve the time points at which the end-of-day
+closing prices for two successive days showed an increase" and asks for
+the calendar language to support such selection predicates.  Here the
+``pattern`` function makes series predicates first-class calendar
+expressions — and therefore valid ``On Calendar-Expression do Action``
+triggers for DBCRON.
+
+Run with::
+
+    python examples/stock_alerts.py
+"""
+
+from repro import (
+    CalendarRegistry,
+    CalendarSystem,
+    Database,
+    DBCron,
+    RuleManager,
+    SimulatedClock,
+)
+from repro.catalog import install_standard_calendars, install_us_holidays
+from repro.core import Calendar
+from repro.timeseries import RegularTimeSeries, register_series
+
+
+def main() -> None:
+    registry = CalendarRegistry(CalendarSystem.starting("Jan 1 1993"),
+                                default_horizon_years=5)
+    install_standard_calendars(registry)
+    install_us_holidays(registry, 1993, 1997)
+    db = Database(calendars=registry)
+    system = db.system
+
+    # Two weeks of end-of-day closes for one stock.
+    start = system.day_of("Jan 4 1993")
+    closes = [461.2, 462.9, 461.0, 463.7, 464.9,      # week 1 (Mon-Fri)
+              465.3, 463.0, 462.1, 466.4, 468.2]      # week 2
+    trading_days = [start + offset for offset in
+                    (0, 1, 2, 3, 4, 7, 8, 9, 10, 11)]
+    series = RegularTimeSeries(
+        Calendar.from_intervals([(d, d) for d in trading_days]),
+        closes, name="spx")
+    register_series(registry, series)
+
+    # Pure retrieval, the paper's closing query:
+    ups = registry.eval_expression('pattern("spx", "s(t) < s(t+1)")')
+    print("Days whose close increased into the next session:")
+    for iv in ups.elements:
+        print(f"   {system.date_of(iv.lo)}")
+    print()
+
+    # Momentum: two consecutive increases, as one expression.
+    runs = registry.eval_expression(
+        'pattern("spx", "s(t) < s(t+1) and s(t+1) < s(t+2)")')
+    print("Momentum anchors (two consecutive increases):",
+          ", ".join(str(system.date_of(iv.lo)) for iv in runs.elements))
+    print()
+
+    # The same predicates as DBCRON alerts.
+    manager = RuleManager(db)
+    clock = SimulatedClock(now=start - 1)
+    cron = DBCron(manager, clock, period=1)
+    db.create_table("alerts", [("day", "abstime"), ("kind", "text")])
+    manager.define_temporal_rule(
+        "uptick", 'pattern("spx", "s(t) < s(t+1)")',
+        actions=['append alerts (day = now.t, kind = "uptick")'])
+    manager.define_temporal_rule(
+        "momentum", 'pattern("spx", "s(t) < s(t+1) and s(t+1) < s(t+2)")',
+        actions=['append alerts (day = now.t, kind = "momentum")'])
+    cron.run_until(start + 14)
+
+    print("Alert log produced by DBCRON while the clock replayed the "
+          "fortnight:")
+    for row in db.execute("retrieve (a.day, a.kind) from a in alerts "
+                          "order by day"):
+        print(f"   {system.date_of(row['day'])}: {row['kind']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""University administration scenario (the section 1 motivating query).
+
+"Retrieve the names of all foreign students who worked more than 20 hours
+in any week during the semester" — the semester is an application-specific
+calendar that changes every year, so it lives in the CALENDARS catalog,
+not in the query.
+
+Also demonstrates an event rule that audits over-limit work records as
+they are appended.
+
+Run with::
+
+    python examples/university.py
+"""
+
+from repro import CalendarRegistry, CalendarSystem, Database, RuleManager
+from repro.catalog import install_standard_calendars, install_us_holidays
+
+
+def main() -> None:
+    registry = CalendarRegistry(CalendarSystem.starting("Jan 1 1987"),
+                                default_horizon_years=20)
+    install_standard_calendars(registry)
+    install_us_holidays(registry, 1987, 2006)
+    db = Database(calendars=registry)
+    system = db.system
+
+    # Application-specific calendars: the university's semesters.
+    registry.define("SPRING_93", values=[
+        (system.day_of("Jan 19 1993"), system.day_of("May 14 1993"))],
+        granularity="DAYS")
+    registry.define("FALL_93", values=[
+        (system.day_of("Aug 30 1993"), system.day_of("Dec 17 1993"))],
+        granularity="DAYS")
+
+    db.create_table(
+        "work_weeks",
+        [("student", "text"), ("citizen", "text"),
+         ("week_start", "abstime"), ("hours", "int4")],
+        valid_time_column="week_start")
+
+    # An event rule audits any >20h week for a foreign student on append.
+    manager = RuleManager(db)
+    db.create_table("audit", [("msg", "text")])
+    manager.define_event_rule(
+        "hours_audit", "append", "work_weeks",
+        condition='new.hours > 20 and new.citizen != "US"',
+        actions=['append audit (msg = new.student || " logged " '
+                 '|| new.hours || "h")'])
+
+    records = [
+        ("ana", "MX", "Feb 1 1993", 24),
+        ("ana", "MX", "Jun 7 1993", 30),
+        ("bo", "CN", "Mar 8 1993", 19),
+        ("chad", "US", "Feb 8 1993", 35),
+        ("dee", "IN", "Apr 12 1993", 21),
+        ("eli", "FR", "Sep 6 1993", 26),
+    ]
+    for student, citizen, week, hours in records:
+        db.insert("work_weeks", student=student, citizen=citizen,
+                  week_start=system.day_of(week), hours=hours)
+
+    print("Foreign students working > 20h in any Spring-93 week:")
+    print(db.execute(
+        'retrieve (w.student, w.hours) from w in work_weeks '
+        'where w.hours > 20 and w.citizen != "US" '
+        'on SPRING_93').to_table())
+    print()
+
+    print("Same question for the Fall semester "
+          "(only the calendar changes):")
+    print(db.execute(
+        'retrieve (w.student, w.hours) from w in work_weeks '
+        'where w.hours > 20 and w.citizen != "US" '
+        'on FALL_93').to_table())
+    print()
+
+    print("Audit log filled by the event rule:")
+    print(db.execute("retrieve (a.msg) from a in audit").to_table())
+    print()
+
+    print("Weekly workloads starting on a Monday "
+          "(calendar predicate in Postquel):")
+    print(db.execute(
+        'retrieve (w.student, w.week_start) from w in work_weeks '
+        'where w.week_start within "Mondays"').to_table())
+
+
+if __name__ == "__main__":
+    main()

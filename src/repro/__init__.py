@@ -1,0 +1,53 @@
+"""repro — Calendars and Temporal Rules in Next Generation Databases.
+
+A full reproduction of Chandra, Segev & Stonebraker (ICDE 1994):
+
+* :mod:`repro.core` — the zero-skipping time axis, Allen-style interval
+  relations, order-n calendars, the foreach/selection algebra, basic
+  calendars with ``generate``/``caloperate``, chronology and
+  calendar-parameterised date arithmetic;
+* :mod:`repro.lang` — the calendar expression language (lexer, parser,
+  factorizer, planner with window narrowing, plan VM, script interpreter);
+* :mod:`repro.catalog` — the CALENDARS catalog and standard definitions;
+* :mod:`repro.db` — an in-memory extensible relational substrate
+  (mini-POSTGRES): ADTs, operators, Postquel-like queries, indexes;
+* :mod:`repro.rules` — event rules and temporal rules with RULE-INFO /
+  RULE-TIME and the DBCRON daemon;
+* :mod:`repro.timeseries` — regular time series over calendars and
+  pattern selection;
+* :mod:`repro.finance` — day-count conventions, business days, option
+  expirations, bonds.
+
+Quickstart::
+
+    from repro import CalendarSystem, CalendarRegistry
+    from repro.catalog import install_standard_calendars
+
+    registry = CalendarRegistry(CalendarSystem.starting("Jan 1 1987"))
+    install_standard_calendars(registry)
+    cal = registry.eval_expression(
+        "[3]/WEEKS:overlaps:[1]/MONTHS:during:1993/YEARS")
+    # -> the third week in January 1993
+"""
+
+from repro.catalog import CalendarRegistry, install_standard_calendars
+from repro.core import (
+    Calendar,
+    CalendarSystem,
+    CivilDate,
+    Granularity,
+    Interval,
+)
+from repro.db import Database
+from repro.rules import DBCron, RuleManager, SimulatedClock
+from repro.timeseries import RegularTimeSeries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Interval", "Calendar", "CalendarSystem", "Granularity", "CivilDate",
+    "CalendarRegistry", "install_standard_calendars",
+    "Database", "RuleManager", "SimulatedClock", "DBCron",
+    "RegularTimeSeries",
+    "__version__",
+]

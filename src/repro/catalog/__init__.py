@@ -1,0 +1,25 @@
+"""The CALENDARS catalog: records, registry and builtin definitions."""
+
+from repro.catalog.builtins import (
+    WEEKDAY_NAMES,
+    install_standard_calendars,
+    install_us_holidays,
+    install_weekday_calendars,
+    last_weekday_of_month,
+    nth_weekday_of_month,
+    us_federal_holidays,
+)
+from repro.catalog.registry import CalendarRegistry
+from repro.catalog.table import (
+    UNBOUNDED_LIFESPAN,
+    CalendarRecord,
+    CalendarsTable,
+)
+
+__all__ = [
+    "CalendarRegistry", "CalendarRecord", "CalendarsTable",
+    "UNBOUNDED_LIFESPAN", "WEEKDAY_NAMES",
+    "install_standard_calendars", "install_weekday_calendars",
+    "install_us_holidays", "us_federal_holidays",
+    "nth_weekday_of_month", "last_weekday_of_month",
+]

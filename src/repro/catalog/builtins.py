@@ -1,0 +1,150 @@
+"""Standard calendar definitions installed into a registry.
+
+These are the calendars the paper's examples assume to exist: the weekday
+calendars (``Tuesdays`` — Figure 1's worked catalog row — and friends),
+``Weekdays``/``Weekends``, ``Quarters``, ``LDOM`` (last day of month), a
+US-market ``HOLIDAYS`` calendar with explicitly stored values (the
+``values`` catalog column), and the business-day calendar ``AM_BUS_DAYS``
+derived from them.
+
+The US federal holiday rules are computed from first principles (nth/last
+weekday arithmetic on the chronology), including the Saturday→Friday and
+Sunday→Monday observed shifts used by the markets.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.registry import CalendarRegistry
+from repro.core.calendar import Calendar
+from repro.core.chrono import CivilDate, days_in_month, weekday
+from repro.core.granularity import Granularity
+
+__all__ = [
+    "WEEKDAY_NAMES",
+    "install_weekday_calendars",
+    "install_standard_calendars",
+    "us_federal_holidays",
+    "install_us_holidays",
+    "nth_weekday_of_month",
+    "last_weekday_of_month",
+]
+
+#: Paper convention: Monday is day 1 of the week … Sunday is day 7.
+WEEKDAY_NAMES = ("Mondays", "Tuesdays", "Wednesdays", "Thursdays",
+                 "Fridays", "Saturdays", "Sundays")
+
+
+def install_weekday_calendars(registry: CalendarRegistry,
+                              replace: bool = False) -> None:
+    """Define Mondays..Sundays as ``[k]/DAYS:during:WEEKS`` (Figure 1)."""
+    for k, name in enumerate(WEEKDAY_NAMES, start=1):
+        registry.define(name,
+                        script=f"{{return([{k}]/DAYS:during:WEEKS);}}",
+                        granularity="DAYS", replace=replace)
+
+
+def install_standard_calendars(registry: CalendarRegistry,
+                               replace: bool = False) -> None:
+    """Install the weekday calendars plus Weekdays/Weekends/Quarters/LDOM."""
+    install_weekday_calendars(registry, replace=replace)
+    registry.define("Weekdays",
+                    script="{return(flatten([1-5]/DAYS:during:WEEKS));}",
+                    granularity="DAYS", replace=replace)
+    registry.define("Weekends",
+                    script="{return(flatten([6-7]/DAYS:during:WEEKS));}",
+                    granularity="DAYS", replace=replace)
+    registry.define("Quarters",
+                    script="{return(caloperate(MONTHS, *; 3));}",
+                    granularity="MONTHS", replace=replace)
+    registry.define("LDOM",
+                    script="{return([n]/DAYS:during:MONTHS);}",
+                    granularity="DAYS", replace=replace)
+
+
+# ---------------------------------------------------------------------------
+# US federal holidays
+# ---------------------------------------------------------------------------
+
+def nth_weekday_of_month(year: int, month: int, wday: int,
+                         n: int) -> CivilDate:
+    """The n-th (1-based) ``wday`` (Mon=1..Sun=7) of a civil month."""
+    first = CivilDate(year, month, 1)
+    offset = (wday - weekday(first)) % 7
+    day = 1 + offset + (n - 1) * 7
+    return CivilDate(year, month, day)
+
+
+def last_weekday_of_month(year: int, month: int, wday: int) -> CivilDate:
+    """The last ``wday`` of a civil month."""
+    last = CivilDate(year, month, days_in_month(year, month))
+    offset = (weekday(last) - wday) % 7
+    return CivilDate(year, month, last.day - offset)
+
+
+def _observed(date: CivilDate) -> CivilDate | None:
+    """Market-observed date: Sat -> preceding Fri, Sun -> following Mon."""
+    wd = weekday(date)
+    if wd == 6:
+        if date.day > 1:
+            return date.replace(day=date.day - 1)
+        return None  # Sat Jan 1 observed Dec 31 of prior year; skip
+    if wd == 7:
+        if date.day < days_in_month(date.year, date.month):
+            return date.replace(day=date.day + 1)
+        return None
+    return date
+
+
+def us_federal_holidays(year: int, observed: bool = True) -> list[CivilDate]:
+    """US federal holidays of ``year`` (the 1990s ten-holiday schedule)."""
+    fixed = [
+        CivilDate(year, 1, 1),    # New Year's Day
+        CivilDate(year, 7, 4),    # Independence Day
+        CivilDate(year, 11, 11),  # Veterans Day
+        CivilDate(year, 12, 25),  # Christmas Day
+    ]
+    floating = [
+        nth_weekday_of_month(year, 1, 1, 3),    # MLK Day: 3rd Mon Jan
+        nth_weekday_of_month(year, 2, 1, 3),    # Presidents Day: 3rd Mon Feb
+        last_weekday_of_month(year, 5, 1),      # Memorial Day: last Mon May
+        nth_weekday_of_month(year, 9, 1, 1),    # Labor Day: 1st Mon Sep
+        nth_weekday_of_month(year, 10, 1, 2),   # Columbus Day: 2nd Mon Oct
+        nth_weekday_of_month(year, 11, 4, 4),   # Thanksgiving: 4th Thu Nov
+    ]
+    dates: list[CivilDate] = list(floating)
+    for date in fixed:
+        if observed:
+            shifted = _observed(date)
+            if shifted is not None:
+                dates.append(shifted)
+        else:
+            dates.append(date)
+    return sorted(set(dates))
+
+
+def install_us_holidays(registry: CalendarRegistry, start_year: int,
+                        end_year: int, name: str = "HOLIDAYS",
+                        observed: bool = True,
+                        replace: bool = False) -> Calendar:
+    """Store a HOLIDAYS calendar with explicit values, plus AM_BUS_DAYS.
+
+    ``AM_BUS_DAYS`` (the paper's American business days) is defined as the
+    weekdays minus the holidays.
+    """
+    epoch = registry.system.epoch
+    days = sorted(epoch.day_number(d)
+                  for year in range(start_year, end_year + 1)
+                  for d in us_federal_holidays(year, observed=observed))
+    holidays = Calendar.from_intervals([(d, d) for d in days],
+                                       Granularity.DAYS)
+    registry.define(name, values=holidays, granularity="DAYS",
+                    lifespan=(float(start_year), float(end_year)),
+                    replace=replace)
+    registry.define(
+        "AM_BUS_DAYS",
+        script=("{return(flatten([1-5]/DAYS:during:WEEKS) - "
+                f"{name});}}"),
+        granularity="DAYS",
+        lifespan=(float(start_year), float(end_year)),
+        replace=replace)
+    return holidays

@@ -1,0 +1,413 @@
+"""The calendar registry: define, store, optimise and evaluate calendars.
+
+This is the user-facing façade tying sections 3.2-3.4 together: a
+:class:`CalendarRegistry` owns the CALENDARS table, parses derivation
+scripts, infers granularities, pre-compiles evaluation plans (factorized,
+window-narrowed) for single-expression derivations, and evaluates calendar
+names or ad-hoc expressions over a generation window.
+
+It also provides :meth:`next_occurrence`, the primitive DBCRON uses to
+find the next time point at which a temporal rule must trigger: the
+calendar is evaluated over growing look-ahead windows until a point after
+"now" is found.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.arithmetic import next_point
+from repro.core.basis import CalendarSystem
+from repro.core.calendar import Calendar
+from repro.core.chrono import CivilDate
+from repro.core.errors import CalendarError, LifespanError
+from repro.core.granularity import Granularity
+from repro.lang import ast
+from repro.lang.defs import (
+    BasicDef,
+    Definition,
+    DerivedDef,
+    ExplicitDef,
+    basic_resolver,
+)
+from repro.lang.errors import EvaluationError, PlanError
+from repro.lang.factorizer import factorize, granularity_of
+from repro.lang.interpreter import EvalContext, Interpreter
+from repro.lang.parser import parse_expression, parse_script
+from repro.lang.plan import Plan, PlanVM
+from repro.lang.planner import compile_expression
+from repro.catalog.table import (
+    UNBOUNDED_LIFESPAN,
+    CalendarRecord,
+    CalendarsTable,
+)
+
+__all__ = ["CalendarRegistry"]
+
+
+class CalendarRegistry:
+    """Named calendars over one :class:`CalendarSystem`.
+
+    ``default_horizon_years`` bounds the default generation window: from
+    the epoch year to epoch year + horizon.  Individual evaluations may
+    pass an explicit window (day ticks or ``(date, date)``).
+    """
+
+    def __init__(self, system: CalendarSystem | None = None,
+                 default_horizon_years: int = 40) -> None:
+        self.system = system or CalendarSystem()
+        self.table = CalendarsTable()
+        epoch_year = self.system.epoch.date.year
+        lo, _ = self.system.epoch.days_of_year(epoch_year)
+        _, hi = self.system.epoch.days_of_year(
+            epoch_year + default_horizon_years - 1)
+        self.default_window: tuple[int, int] = (lo, hi)
+        #: Extension functions exposed to scripts (name -> f(ctx, args)).
+        self.functions: dict = {}
+        #: Parameterised calendar procedures (name -> (params, Script)).
+        self._procedures: dict[str, tuple] = {}
+        #: Bumped on every define/drop; lets callers cache evaluations.
+        self.version = 0
+        #: (text, version) -> factorized AST, so repeated ad-hoc
+        #: evaluations (DBCRON rescheduling probes the same expression
+        #: after every fire) skip the parse/factorize pipeline.
+        self._expression_cache: dict = {}
+
+    # -- definition --------------------------------------------------------------
+
+    def define(self, name: str, script: str | None = None,
+               values: "Calendar | list | None" = None,
+               granularity: "Granularity | str | None" = None,
+               lifespan: tuple[float, float] | None = None,
+               replace: bool = False, compile_plan: bool = True
+               ) -> CalendarRecord:
+        """Define a calendar from a derivation script or explicit values.
+
+        Exactly one of ``script`` / ``values`` must be given.  Granularity
+        is inferred from the script when omitted (section 3.2).  For
+        single-expression scripts an optimised evaluation plan is compiled
+        and stored in the record (the Figure 1 ``eval-plan`` column).
+        """
+        if (script is None) == (values is None):
+            raise CalendarError(
+                "define() needs exactly one of script= or values=")
+        gran = Granularity.parse(granularity) if granularity else None
+        cal: Calendar | None = None
+        if values is not None:
+            cal = values if isinstance(values, Calendar) \
+                else Calendar.from_intervals(values, gran)
+            if gran is not None:
+                cal = cal.with_granularity(gran)
+        record = CalendarRecord(
+            name=name,
+            derivation_script=script,
+            lifespan=lifespan or UNBOUNDED_LIFESPAN,
+            granularity=gran,
+            values=cal,
+        )
+        if values is None:
+            parsed = parse_script(script)
+            record.parsed_script = parsed
+            if record.granularity is None:
+                record.granularity = self._infer_granularity(parsed)
+            if compile_plan and parsed.is_single_expression():
+                record.eval_plan = self._compile_record_plan(parsed)
+        self.table.insert(record, replace=replace)
+        self.version += 1
+        return record
+
+    def drop(self, name: str) -> None:
+        """Remove a calendar from the catalog."""
+        self.table.drop(name)
+        self.version += 1
+
+    def record(self, name: str) -> CalendarRecord:
+        """The catalog record of a defined calendar (raises if unknown)."""
+        record = self.table.get(name)
+        if record is None:
+            raise CalendarError(f"unknown calendar {name!r}")
+        return record
+
+    def names(self) -> list[str]:
+        """Sorted names of all defined calendars."""
+        return self.table.names()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.table
+
+    def _infer_granularity(self, parsed: ast.Script) -> Granularity | None:
+        temporaries = self._script_temporaries(parsed)
+        for stmt in self._iter_returns(parsed.body):
+            gran = granularity_of(
+                factorize(stmt.expr, self.resolver,
+                          temporaries=temporaries).expression,
+                self.resolver)
+            if gran is not None:
+                return gran
+        return None
+
+    @staticmethod
+    def _script_temporaries(parsed: ast.Script) -> dict[str, ast.Expr]:
+        temporaries: dict[str, ast.Expr] = {}
+        for stmt in parsed.body:
+            if isinstance(stmt, ast.Assign):
+                temporaries[stmt.name.lower()] = stmt.expr
+        return temporaries
+
+    @classmethod
+    def _iter_returns(cls, body):
+        for stmt in body:
+            if isinstance(stmt, ast.Return):
+                yield stmt
+            elif isinstance(stmt, ast.If):
+                yield from cls._iter_returns(stmt.then_body)
+                yield from cls._iter_returns(stmt.else_body)
+            elif isinstance(stmt, ast.While):
+                yield from cls._iter_returns(stmt.body)
+
+    def _compile_record_plan(self, parsed: ast.Script) -> Plan | None:
+        expr = parsed.single_expression()
+        factored = factorize(expr, self.resolver).expression
+        try:
+            return compile_expression(factored, self.system, self.resolver,
+                                      context_window=self.default_window)
+        except PlanError:
+            return None
+
+    # -- procedures ----------------------------------------------------------------
+
+    def define_procedure(self, name: str, params: "list[str]",
+                         script: str, replace: bool = False) -> None:
+        """Define a parameterised calendar procedure.
+
+        A procedure is a calendar script whose free names ``params`` are
+        bound to evaluated argument calendars at call time, e.g.::
+
+            registry.define_procedure(
+                "expiration", ["Expiration-Month"], EXPIRATION_SCRIPT)
+            registry.eval_expression(
+                "expiration([11]/MONTHS:during:1993/YEARS)")
+
+        This turns the paper's section 3.3 scripts — which reference a
+        "predefined calendar" Expiration-Month — into reusable functions.
+        """
+        key = name.lower()
+        if key in self._procedures and not replace:
+            raise CalendarError(f"procedure {name!r} is already defined")
+        if key in self.table or key in ("generate", "caloperate", "point",
+                                        "date", "flatten", "interval",
+                                        "pattern"):
+            raise CalendarError(
+                f"procedure name {name!r} collides with an existing "
+                "calendar or builtin function")
+        parsed = parse_script(script)
+        parameters = tuple(p.lower() for p in params)
+        self._procedures[key] = (parameters, parsed)
+        self.functions[key] = self._make_procedure(name, parameters,
+                                                   parsed)
+        self.version += 1
+
+    def procedures(self) -> list[str]:
+        """Sorted names of all defined procedures."""
+        return sorted(self._procedures)
+
+    def drop_procedure(self, name: str) -> None:
+        """Remove a procedure (raises if unknown)."""
+        key = name.lower()
+        if key not in self._procedures:
+            raise CalendarError(f"unknown procedure {name!r}")
+        del self._procedures[key]
+        del self.functions[key]
+        self.version += 1
+
+    def _make_procedure(self, name: str, params: tuple, parsed):
+        def call(context, args):
+            if len(args) != len(params):
+                raise EvaluationError(
+                    f"procedure {name!r} takes {len(params)} argument(s), "
+                    f"got {len(args)}")
+            child = context.spawn_env()
+            for param, value in zip(params, args):
+                if not isinstance(value, Calendar):
+                    raise EvaluationError(
+                        f"procedure {name!r} arguments must be calendars")
+                child.env[param] = value
+            result = Interpreter(child).execute_raw(parsed)
+            if not isinstance(result, Calendar):
+                raise EvaluationError(
+                    f"procedure {name!r} did not return a calendar")
+            return result
+        return call
+
+    # -- resolution ----------------------------------------------------------------
+
+    def resolver(self, name: str) -> Definition | None:
+        """Resolve a name: catalog first, then the basic calendars."""
+        record = self.table.get(name)
+        if record is not None:
+            lifespan = record.lifespan
+            if record.is_explicit:
+                return ExplicitDef(record.values, record.granularity,
+                                   lifespan)
+            return DerivedDef(record.parsed_script, record.granularity,
+                              lifespan)
+        return basic_resolver(name)
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def context(self, window=None, today: int | None = None,
+                unit: Granularity = Granularity.DAYS) -> EvalContext:
+        """Build an evaluation context (window in unit ticks or dates)."""
+        win = self._coerce_window(window)
+        return EvalContext(system=self.system, resolver=self.resolver,
+                           window=win, unit=unit, today=today,
+                           functions=dict(self.functions))
+
+    def _coerce_window(self, window) -> tuple[int, int]:
+        if window is None:
+            return self.default_window
+        lo, hi = window
+        return self.system.day_window(lo, hi)
+
+    def evaluate(self, name: str, window=None, today: int | None = None,
+                 use_plan: bool = True):
+        """Evaluate a defined calendar over a window.
+
+        Uses the stored evaluation plan when available (and ``use_plan``);
+        multi-statement scripts run through the interpreter.  The result is
+        clipped to the calendar's lifespan when one was declared.
+        """
+        record = self.record(name)
+        ctx = self.context(window, today)
+        if record.is_explicit:
+            result: "Calendar | str" = record.values
+        elif use_plan and record.eval_plan is not None:
+            result = PlanVM(ctx).run(record.eval_plan)
+        else:
+            result = Interpreter(ctx).execute(record.parsed_script)
+        if isinstance(result, Calendar):
+            result = self._clip_lifespan(result, record)
+            if record.granularity is not None:
+                result = result.with_granularity(record.granularity)
+        return result
+
+    def eval_expression(self, text: str, window=None,
+                        today: int | None = None,
+                        optimize: bool = True):
+        """Parse, (optionally) factorize+plan, and evaluate an expression."""
+        ctx = self.context(window, today)
+        if optimize:
+            key = (text, self.version)
+            factored = self._expression_cache.get(key)
+            if factored is None:
+                factored = factorize(parse_expression(text),
+                                     self.resolver).expression
+                self._expression_cache[key] = factored
+            try:
+                plan = compile_expression(factored, self.system,
+                                          self.resolver,
+                                          context_window=ctx.window)
+                return PlanVM(ctx).run(plan)
+            except PlanError:
+                return Interpreter(ctx).evaluate(factored)
+        return Interpreter(ctx).evaluate(parse_expression(text))
+
+    def eval_script(self, text: str, window=None, today: int | None = None,
+                    env: dict | None = None, while_hook=None):
+        """Parse and run a full calendar script; returns its result."""
+        parsed = parse_script(text)
+        ctx = self.context(window, today)
+        if env:
+            ctx.env.update({k.lower(): v for k, v in env.items()})
+        ctx.while_hook = while_hook
+        return Interpreter(ctx).execute(parsed)
+
+    def _clip_lifespan(self, cal: Calendar, record: CalendarRecord
+                       ) -> Calendar:
+        lo, hi = record.lifespan
+        if (lo, hi) == UNBOUNDED_LIFESPAN or cal.order != 1:
+            return cal
+        window = self._lifespan_day_window(record)
+        if window is None:
+            return cal
+        return cal.intersection(
+            Calendar.interval(window[0], window[1], cal.granularity))
+
+    def _lifespan_day_window(self, record: CalendarRecord
+                             ) -> tuple[int, int] | None:
+        lo, hi = record.lifespan
+        epoch = self.system.epoch
+        day_lo = (self.default_window[0] if lo == -math.inf
+                  else epoch.day_number(CivilDate(int(lo), 1, 1)))
+        day_hi = (self.default_window[1] if hi == math.inf
+                  else epoch.day_number(CivilDate(int(hi), 12, 31)))
+        if day_lo > day_hi:
+            raise LifespanError(
+                f"calendar {record.name!r} lifespan is empty on the day axis")
+        return day_lo, day_hi
+
+    # -- rule support ------------------------------------------------------------------
+
+    #: Window quantum for scheduling evaluations: windows are rounded out
+    #: to multiples of this many day ticks so that successive
+    #: ``next_occurrence`` calls (DBCRON reschedules after every fire)
+    #: share cached evaluations instead of re-evaluating a slid window.
+    _SCHED_BLOCK = 512
+
+    def _quantize(self, lo: int, hi: int) -> tuple[int, int]:
+        block = self._SCHED_BLOCK
+        q_lo = (lo // block) * block
+        q_hi = ((hi + block - 1) // block) * block
+        return (q_lo if q_lo != 0 else -1, q_hi if q_hi != 0 else 1)
+
+    def _scheduling_result(self, name_or_expr: str,
+                           window: tuple[int, int]):
+        """Evaluate for the scheduler, memoised on the quantized window."""
+        key = ("sched", name_or_expr, window, self.version)
+        cached = self._expression_cache.get(key)
+        if cached is not None:
+            return cached
+        if name_or_expr in self.table:
+            result = self.evaluate(name_or_expr, window=window)
+        else:
+            result = self.eval_expression(name_or_expr, window=window)
+        if isinstance(result, Calendar):
+            result = result.flatten()
+        self._expression_cache[key] = result
+        return result
+
+    def next_occurrence(self, name_or_expr: str, after: int,
+                        horizon_days: int = 3700,
+                        _trust_margin: int = 35) -> int | None:
+        """Smallest calendar point strictly after day tick ``after``.
+
+        Evaluates over geometrically growing (quantized) windows; a
+        candidate point is only trusted when it lies ``_trust_margin``
+        days clear of the window's end (boundary units may be truncated).
+        Returns ``None`` when no occurrence exists within
+        ``horizon_days``.
+        """
+        horizon = 64
+        while True:
+            horizon = min(horizon, horizon_days)
+            lo = after - 366 if after - 366 != 0 else -1
+            hi = after + horizon if after + horizon != 0 else 1
+            window = self._quantize(lo, hi)
+            result = self._scheduling_result(name_or_expr, window)
+            if isinstance(result, Calendar):
+                candidate = next_point(result, after)
+                if candidate is not None and (
+                        candidate <= window[1] - _trust_margin
+                        or horizon >= horizon_days):
+                    return candidate if candidate <= after + horizon_days \
+                        else None
+            if horizon >= horizon_days:
+                return None
+            horizon *= 4
+
+    # -- presentation --------------------------------------------------------------
+
+    def render(self, name: str) -> str:
+        """Figure 1-style rendering of a catalog record."""
+        return self.record(name).render()

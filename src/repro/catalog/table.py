@@ -1,0 +1,118 @@
+"""The CALENDARS catalog table (section 3.2, Figure 1).
+
+.. code-block:: text
+
+   CALENDARS( name : text,
+     derivation-script: text, eval-plan: function,
+     lifespan: float[2], granularity: text,
+     values: interval[] )
+
+:class:`CalendarRecord` is one tuple of that table and
+:class:`CalendarsTable` the table itself.  ``render`` reproduces the
+Figure 1 box for any stored calendar.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.calendar import Calendar
+from repro.core.errors import CalendarError
+from repro.core.granularity import Granularity
+
+__all__ = ["CalendarRecord", "CalendarsTable", "UNBOUNDED_LIFESPAN"]
+
+#: The paper's ``(1985, infinity)`` style lifespan default.
+UNBOUNDED_LIFESPAN = (-math.inf, math.inf)
+
+
+@dataclass
+class CalendarRecord:
+    """One tuple of the CALENDARS table."""
+
+    name: str
+    derivation_script: str | None = None
+    eval_plan: object | None = None          # a repro.lang.plan.Plan
+    lifespan: tuple[float, float] = UNBOUNDED_LIFESPAN
+    granularity: Granularity | None = None
+    values: Calendar | None = None
+    #: Parsed derivation script (kept alongside the text, like POSTGRES
+    #: caching a parsed rule body).
+    parsed_script: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.derivation_script is None and self.values is None:
+            raise CalendarError(
+                f"calendar {self.name!r} needs a derivation script or "
+                "explicit values")
+        lo, hi = self.lifespan
+        if lo > hi:
+            raise CalendarError(
+                f"calendar {self.name!r} lifespan is inverted: {self.lifespan}")
+
+    @property
+    def is_explicit(self) -> bool:
+        return self.values is not None and self.derivation_script is None
+
+    def render(self) -> str:
+        """Reproduce the paper's Figure 1 tabular presentation."""
+        def fmt_lifespan() -> str:
+            lo, hi = self.lifespan
+            lo_s = "-inf" if lo == -math.inf else f"{lo:g}"
+            hi_s = "inf" if hi == math.inf else f"{hi:g}"
+            return f"({lo_s},{hi_s})"
+
+        plan = ("set of procedural statements"
+                if self.eval_plan is not None else "")
+        rows = [
+            ("Name", self.name),
+            ("Derivation-Script", self.derivation_script or ""),
+            ("Eval-Plan", plan),
+            ("Lifespan", fmt_lifespan()),
+            ("Granularity", self.granularity.name if self.granularity
+             else ""),
+            ("Values", str(self.values) if self.values is not None else ""),
+        ]
+        width = max(len(label) for label, _ in rows)
+        return "\n".join(f"{label.ljust(width)} | {value}"
+                         for label, value in rows)
+
+
+class CalendarsTable:
+    """The CALENDARS system table: named calendar definitions."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, CalendarRecord] = {}
+
+    def insert(self, record: CalendarRecord, replace: bool = False) -> None:
+        """Add a record; raises on duplicates unless ``replace``."""
+        key = record.name.lower()
+        if key in self._records and not replace:
+            raise CalendarError(
+                f"calendar {record.name!r} is already defined")
+        self._records[key] = record
+
+    def get(self, name: str) -> CalendarRecord | None:
+        """The record under (case-insensitive) ``name``, or None."""
+        return self._records.get(name.lower())
+
+    def drop(self, name: str) -> None:
+        """Delete a record; raises if unknown."""
+        try:
+            del self._records[name.lower()]
+        except KeyError:
+            raise CalendarError(f"unknown calendar {name!r}") from None
+
+    def names(self) -> list[str]:
+        """Sorted stored calendar names (original spelling)."""
+        return sorted(record.name for record in self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._records
+
+    def __iter__(self):
+        return iter(self._records.values())

@@ -1,0 +1,227 @@
+r"""An interactive shell for calendars, queries and rules.
+
+Run with ``python -m repro``.  Three kinds of input:
+
+* **Postquel statements** (``retrieve …``, ``append …``, ``create table``,
+  ``define rule`` …) execute against the session database;
+* **calendar expressions** (anything else without a leading backslash,
+  e.g. ``[3]/WEEKS:overlaps:[1]/MONTHS:during:1993/YEARS``) evaluate over
+  the session window and print civil dates;
+* **backslash commands** control the session::
+
+      \help                     this text
+      \calendars                list the CALENDARS catalog
+      \show NAME                Figure-1 style catalog record
+      \define NAME { script }   define a calendar
+      \window START .. END      set the evaluation window
+      \clock                    show the simulated clock
+      \advance N                advance the clock N days (DBCRON fires)
+      \rules                    list event and temporal rules
+      \tables                   list relations
+      \explain retrieve ...     show a query's execution strategy
+      \save FILE / \load FILE   persist / restore the session database
+      \quit                     leave
+
+The session database starts with the standard calendars, US holidays, a
+rule manager and a DBCRON daemon on a simulated clock.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.catalog import (
+    CalendarRegistry,
+    install_standard_calendars,
+    install_us_holidays,
+)
+from repro.core import Calendar, CalendarSystem
+from repro.core.errors import CalendarError
+from repro.db import Database, DatabaseError
+from repro.db.executor import Result
+from repro.rules import DBCron, RuleManager, SimulatedClock
+
+__all__ = ["Session", "main"]
+
+_QL_KEYWORDS = ("retrieve", "append", "replace", "delete", "create",
+                "drop", "define rule", "define calendar")
+
+
+class Session:
+    """One interactive session: database, clock, window, dispatch."""
+
+    def __init__(self, epoch: str = "Jan 1 1987",
+                 holiday_years: tuple[int, int] = (1987, 2016)) -> None:
+        registry = CalendarRegistry(CalendarSystem.starting(epoch),
+                                    default_horizon_years=30)
+        install_standard_calendars(registry)
+        install_us_holidays(registry, *holiday_years)
+        self.db = Database(calendars=registry)
+        self.registry = registry
+        self.system = registry.system
+        self.manager = RuleManager(self.db)
+        self.clock = SimulatedClock(now=1)
+        self.cron = DBCron(self.manager, self.clock, period=7)
+        self.window: tuple | None = None
+
+    # -- dispatch -----------------------------------------------------------
+
+    def run_line(self, line: str) -> str:
+        """Execute one input line; returns the printable response."""
+        text = line.strip()
+        if not text:
+            return ""
+        try:
+            if text.startswith("\\"):
+                return self._command(text[1:])
+            lowered = text.lower()
+            if any(lowered.startswith(k) for k in _QL_KEYWORDS):
+                return self._render(self.db.execute(text))
+            value = self.registry.eval_expression(text,
+                                                  window=self.window)
+            return self._render(value)
+        except (CalendarError, DatabaseError) as exc:
+            return f"error: {exc}"
+
+    # -- rendering ------------------------------------------------------------
+
+    def _render(self, value) -> str:
+        if isinstance(value, Result):
+            return value.to_table()
+        if isinstance(value, Calendar):
+            return self._render_calendar(value)
+        return str(value)
+
+    def _render_calendar(self, cal: Calendar) -> str:
+        if cal.order != 1:
+            lines = [f"order-{cal.order} calendar, "
+                     f"{len(cal)} groups:"]
+            for sub in cal.elements:
+                lines.append("  " + self._one_line(sub.flatten()))
+            return "\n".join(lines)
+        return self._one_line(cal)
+
+    def _one_line(self, cal: Calendar) -> str:
+        parts = []
+        for iv in cal.elements[:10]:
+            if iv.is_instant():
+                parts.append(str(self.system.date_of(iv.lo)))
+            else:
+                parts.append(f"{self.system.date_of(iv.lo)} .. "
+                             f"{self.system.date_of(iv.hi)}")
+        suffix = f"  (+{len(cal) - 10} more)" if len(cal) > 10 else ""
+        return "; ".join(parts) + suffix if parts else "(empty)"
+
+    # -- commands --------------------------------------------------------------
+
+    def _command(self, text: str) -> str:
+        parts = text.split(None, 1)
+        command = parts[0].lower()
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if command in ("help", "h", "?"):
+            return __doc__
+        if command in ("quit", "q", "exit"):
+            raise EOFError
+        if command == "calendars":
+            return "\n".join(self.registry.names())
+        if command == "show":
+            return self.registry.render(argument)
+        if command == "define":
+            name, _, script = argument.partition(" ")
+            if not script.strip():
+                return "usage: \\define NAME { script }"
+            self.registry.define(name, script=script.strip(),
+                                 replace=True)
+            return f"defined calendar {name}"
+        if command == "window":
+            start, _, end = argument.partition("..")
+            if not end:
+                return "usage: \\window Jan 1 1993 .. Dec 31 1993"
+            self.window = (start.strip(), end.strip())
+            return f"window set to {self.window[0]} .. {self.window[1]}"
+        if command == "clock":
+            return (f"clock at {self.system.date_of(self.clock.now)} "
+                    f"(tick {self.clock.now})")
+        if command == "advance":
+            try:
+                days = int(argument)
+            except ValueError:
+                return "usage: \\advance N"
+            before = self.cron.stats.fires
+            self.cron.run_until(self.clock.now + days)
+            fired = self.cron.stats.fires - before
+            return (f"clock at {self.system.date_of(self.clock.now)}; "
+                    f"{fired} temporal rule firing(s)")
+        if command == "rules":
+            lines = [f"event    {name}: on {rule.event} to "
+                     f"{rule.relation}"
+                     for name, rule in self.manager.event_rules.items()]
+            lines += [f"temporal {name}: {rule.expression_text}"
+                      for name, rule in
+                      self.manager.temporal_rules.items()]
+            return "\n".join(lines) if lines else "(no rules)"
+        if command == "tables":
+            return "\n".join(self.db.relation_names())
+        if command == "explain":
+            if not argument:
+                return "usage: \\explain retrieve (...) from ..."
+            return self.db.explain(argument)
+        if command == "save":
+            from repro.db.persist import save_database
+            report = save_database(self.db, argument)
+            return (f"saved {report.relations} relations, "
+                    f"{report.calendars} calendars, "
+                    f"{report.event_rules + report.temporal_rules} rules")
+        if command == "load":
+            from repro.db.persist import load_database
+            self.db = load_database(argument)
+            self.registry = self.db.calendars
+            self.system = self.registry.system
+            self.manager = self.db.rule_manager or RuleManager(self.db)
+            self.clock = SimulatedClock(now=1)
+            self.cron = DBCron(self.manager, self.clock, period=7)
+            return f"loaded {argument}"
+        return f"unknown command \\{command} (try \\help)"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    epoch = "Jan 1 1987"
+    commands: list[str] = []
+    while argv:
+        arg = argv.pop(0)
+        if arg in ("-e", "--epoch") and argv:
+            epoch = argv.pop(0)
+        elif arg in ("-c", "--command") and argv:
+            commands.append(argv.pop(0))
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            print(f"unknown argument {arg!r}", file=sys.stderr)
+            return 2
+    session = Session(epoch=epoch)
+    if commands:
+        for command in commands:
+            output = session.run_line(command)
+            if output:
+                print(output)
+        return 0
+    print(f"repro calendar shell — epoch {epoch}; \\help for help")
+    while True:
+        try:
+            line = input("cal> ")
+        except EOFError:
+            print()
+            return 0
+        try:
+            output = session.run_line(line)
+        except EOFError:
+            return 0
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Core calendar model: intervals, calendars, algebra, chronology.
+
+This package implements section 3.1-3.2 of the paper: the zero-skipping
+time axis, Allen-style interval relations, order-n calendars, the
+foreach/selection algebra, the basic calendars with ``generate`` and
+``caloperate``, and calendar-parameterised date arithmetic.
+"""
+
+from repro.core.algebra import (
+    LAST,
+    SelectionPredicate,
+    caloperate,
+    foreach,
+    label_select,
+    select,
+)
+from repro.core.arithmetic import (
+    GregorianScheme,
+    Thirty360Scheme,
+    count_points_between,
+    next_point,
+    point_index,
+    prev_point,
+    shift_point,
+)
+from repro.core.basis import BASIC_CALENDARS, CalendarSystem
+from repro.core.calendar import EMPTY, Calendar
+from repro.core.chrono import CivilDate, Epoch, parse_date, weekday
+from repro.core.errors import (
+    AxisError,
+    CalendarError,
+    ChronologyError,
+    GranularityError,
+    InvalidIntervalError,
+    LifespanError,
+    OperatorError,
+    SelectionError,
+)
+from repro.core.granularity import Granularity
+from repro.core.interval import (
+    LISTOPS,
+    Interval,
+    Listop,
+    axis_add,
+    axis_diff,
+    axis_distance,
+    axis_next,
+    axis_points,
+    axis_prev,
+    get_listop,
+    register_listop,
+)
+
+__all__ = [
+    "Interval", "Calendar", "EMPTY", "CalendarSystem", "BASIC_CALENDARS",
+    "Granularity", "CivilDate", "Epoch", "parse_date", "weekday",
+    "foreach", "select", "label_select", "caloperate",
+    "SelectionPredicate", "LAST",
+    "next_point", "prev_point", "shift_point", "point_index",
+    "count_points_between", "GregorianScheme", "Thirty360Scheme",
+    "axis_add", "axis_diff", "axis_distance", "axis_next", "axis_prev",
+    "axis_points", "register_listop", "get_listop", "Listop", "LISTOPS",
+    "CalendarError", "InvalidIntervalError", "AxisError", "GranularityError",
+    "ChronologyError", "SelectionError", "OperatorError", "LifespanError",
+]

@@ -1,0 +1,378 @@
+"""The calendar algebra: ``foreach`` (dicing), selection (slicing), caloperate.
+
+This module implements the operator set of section 3.1:
+
+* :func:`foreach` — the strict (``:Op:``) and relaxed (``.Op.``) *foreach*
+  operator.  With an interval as right operand the result is order-1; with a
+  calendar as right operand the result is order-2 (one sub-calendar per
+  right-hand element) for *grouping* listops, or stays order-1 for
+  *filtering* listops such as ``intersects`` (see
+  :class:`repro.core.interval.Listop`).
+* :func:`select` — positional selection ``[x]/C`` with integers, ``n``
+  (last), negatives (from the end), lists and ranges.  On calendars of order
+  greater than one a *singleton* predicate reduces the order by one, exactly
+  as in the paper's ``[3]/WEEKS:overlaps:Year-1993`` example.
+* :func:`label_select` — the bare selection ``1993/YEARS`` by element label.
+* :func:`caloperate` — derives a calendar by circularly grouping consecutive
+  intervals of an existing calendar (``caloperate(YEARS, *; 7) = WEEKS``).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.calendar import Calendar, Label
+from repro.core.errors import CalendarError, OperatorError, SelectionError
+from repro.core.interval import Interval, Listop, get_listop
+
+__all__ = [
+    "foreach",
+    "select",
+    "label_select",
+    "caloperate",
+    "SelectionPredicate",
+    "LAST",
+]
+
+
+# ---------------------------------------------------------------------------
+# foreach
+# ---------------------------------------------------------------------------
+
+class _SortedView:
+    """Candidate-range index over an order-1 calendar's elements.
+
+    When the elements are sorted by ``lo`` (and, usually, by ``hi`` too —
+    true for every generated calendar), the elements that can satisfy a
+    known listop against a reference interval form a contiguous slice that
+    binary search finds in O(log n).  Unsorted calendars and custom
+    listops fall back to a full scan.
+    """
+
+    def __init__(self, cal: Calendar) -> None:
+        self.elements = cal.elements
+        self.los = [iv.lo for iv in cal.elements]
+        self.his = [iv.hi for iv in cal.elements]
+        self.lo_sorted = all(self.los[i] <= self.los[i + 1]
+                             for i in range(len(self.los) - 1))
+        self.hi_sorted = self.lo_sorted and all(
+            self.his[i] <= self.his[i + 1]
+            for i in range(len(self.his) - 1))
+
+    def candidate_range(self, op_name: str, ref: Interval
+                        ) -> tuple[int, int]:
+        n = len(self.elements)
+        if not self.lo_sorted:
+            return 0, n
+        if op_name == "during":
+            return (bisect.bisect_left(self.los, ref.lo),
+                    bisect.bisect_right(self.los, ref.hi))
+        if op_name in ("overlaps", "intersects"):
+            start = (bisect.bisect_left(self.his, ref.lo)
+                     if self.hi_sorted else 0)
+            return start, bisect.bisect_right(self.los, ref.hi)
+        if op_name == "meets":
+            if self.hi_sorted:
+                return (bisect.bisect_left(self.his, ref.lo),
+                        bisect.bisect_right(self.his, ref.lo))
+            return 0, n
+        if op_name == "<":
+            if self.hi_sorted:
+                return 0, bisect.bisect_right(self.his, ref.lo)
+            return 0, n
+        if op_name in ("<=", "contains", "starts"):
+            return 0, bisect.bisect_right(self.los, ref.lo)
+        if op_name in ("finishes", "equals"):
+            if self.hi_sorted:
+                return (bisect.bisect_left(self.his, ref.hi),
+                        bisect.bisect_right(self.his, ref.hi))
+            return 0, n
+        return 0, n
+
+
+def _apply_over(view: _SortedView, op: Listop, ref: Interval,
+                strict: bool, out: list[Interval]) -> None:
+    start, end = view.candidate_range(op.name, ref)
+    for i in range(start, end):
+        iv = view.elements[i]
+        if not op(iv, ref):
+            continue
+        if strict and op.clips:
+            clipped = iv.intersect(ref)
+            # The paper excludes the empty interval (its epsilon) from
+            # strict results; operators relating disjoint intervals
+            # (e.g. "<") declare clips=False and keep the element whole.
+            if clipped is None:
+                continue
+            out.append(clipped)
+        else:
+            out.append(iv)
+
+
+def _foreach_interval(op: Listop, cal: Calendar, ref: Interval,
+                      strict: bool,
+                      view: "_SortedView | None" = None) -> Calendar:
+    """Apply ``op`` between every element of order-1 ``cal`` and ``ref``."""
+    view = view or _SortedView(cal)
+    result: list[Interval] = []
+    _apply_over(view, op, ref, strict, result)
+    return Calendar.from_intervals(result, cal.granularity)
+
+
+def _foreach_filtering(op: Listop, cal: Calendar, ref: Calendar,
+                       strict: bool) -> Calendar:
+    """Filtering listops treat ``ref`` as a set; the result stays order-1."""
+    result: list[Interval] = []
+    ref_view = _SortedView(ref)
+    inverse = {"during": "contains", "contains": "during",
+               "overlaps": "overlaps", "intersects": "intersects",
+               "equals": "equals"}.get(op.name)
+    for iv in cal.elements:
+        if inverse is not None:
+            start, end = ref_view.candidate_range(inverse, iv)
+            candidates = ref_view.elements[start:end]
+        else:
+            candidates = ref.elements
+        matches = [r for r in candidates if op(iv, r)]
+        if not matches:
+            continue
+        if strict and op.clips:
+            for r in matches:
+                clipped = iv.intersect(r)
+                if clipped is not None:
+                    result.append(clipped)
+        else:
+            result.append(iv)
+    return Calendar.from_intervals(result, cal.granularity)
+
+
+def foreach(op: "Listop | str", cal: Calendar,
+            ref: "Calendar | Interval", strict: bool = True) -> Calendar:
+    """The paper's *foreach* operator ``{C :Op: I}`` / ``{C .Op. I}``.
+
+    ``cal`` must be order-1 (apply :meth:`Calendar.flatten` first if
+    needed).  ``ref`` may be an :class:`Interval`, an order-1 calendar or a
+    deeper calendar (handled by recursing on the right operand, adding one
+    level of structure per order).
+    """
+    if isinstance(op, str):
+        op = get_listop(op)
+    if cal.order != 1:
+        raise OperatorError(
+            f"foreach expects an order-1 left operand, got order {cal.order}")
+    if isinstance(ref, Interval):
+        return _foreach_interval(op, cal, ref, strict)
+    if not isinstance(ref, Calendar):
+        raise OperatorError(f"foreach right operand must be a calendar or "
+                            f"interval, got {ref!r}")
+    if ref.order == 1:
+        if op.shape == "filtering":
+            return _foreach_filtering(op, cal, ref, strict)
+        subs: list[Calendar] = []
+        labels: list[Label] = []
+        view = _SortedView(cal)
+        for i, r in enumerate(ref.elements):
+            sub = _foreach_interval(op, cal, r, strict, view)
+            if sub.is_empty():
+                continue
+            subs.append(sub)
+            labels.append(ref.label_of(i))
+        out = Calendar.from_calendars(subs, cal.granularity)
+        if ref.labels is not None:
+            out = out.with_labels(labels)
+        return out
+    # Deeper right operand: recurse per sub-calendar.
+    subs = [foreach(op, cal, sub, strict) for sub in ref.elements]
+    subs = [s for s in subs if not s.is_empty()]
+    return Calendar.from_calendars(subs, cal.granularity)
+
+
+# ---------------------------------------------------------------------------
+# Selection
+# ---------------------------------------------------------------------------
+
+class _Last:
+    """Sentinel for the paper's ``n`` (select the last interval)."""
+
+    def __repr__(self) -> str:
+        return "n"
+
+
+LAST = _Last()
+
+
+@dataclass(frozen=True)
+class SelectionPredicate:
+    """The bracketed part of ``[x]/C``.
+
+    ``items`` holds integers (1-based; negatives select from the end), the
+    :data:`LAST` sentinel, and ``(start, end)`` range tuples (inclusive,
+    1-based, e.g. ``[2-4]``).
+    """
+
+    items: tuple
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise SelectionError("empty selection predicate")
+        for item in self.items:
+            if item is LAST:
+                continue
+            if isinstance(item, tuple):
+                start, end = item
+                if start == 0 or end == 0 or start > end:
+                    raise SelectionError(f"bad selection range {item!r}")
+                continue
+            if isinstance(item, int) and not isinstance(item, bool):
+                if item == 0:
+                    raise SelectionError("selection index 0 is not allowed "
+                                         "(indices are 1-based)")
+                continue
+            raise SelectionError(f"bad selection item {item!r}")
+
+    @classmethod
+    def of(cls, *items) -> "SelectionPredicate":
+        return cls(tuple(items))
+
+    def is_singleton(self) -> bool:
+        """True when the predicate picks at most one element."""
+        return len(self.items) == 1 and not isinstance(self.items[0], tuple)
+
+    def positions(self, length: int) -> list[int]:
+        """Resolve to 0-based positions within a list of ``length`` elements.
+
+        Out-of-range indices are skipped (a month with only two full weeks
+        contributes nothing to "the third week of every month").
+        """
+        chosen: list[int] = []
+        for item in self.items:
+            if item is LAST:
+                if length:
+                    chosen.append(length - 1)
+            elif isinstance(item, tuple):
+                start, end = item
+                for k in range(start, end + 1):
+                    pos = self._resolve(k, length)
+                    if pos is not None:
+                        chosen.append(pos)
+            else:
+                pos = self._resolve(item, length)
+                if pos is not None:
+                    chosen.append(pos)
+        # keep calendar order, drop duplicates
+        return sorted(set(chosen))
+
+    @staticmethod
+    def _resolve(index: int, length: int) -> int | None:
+        if index > 0:
+            pos = index - 1
+        else:
+            pos = length + index
+        if 0 <= pos < length:
+            return pos
+        return None
+
+    def __str__(self) -> str:
+        parts = []
+        for item in self.items:
+            if item is LAST:
+                parts.append("n")
+            elif isinstance(item, tuple):
+                parts.append(f"{item[0]}-{item[1]}")
+            else:
+                parts.append(str(item))
+        return "[" + ";".join(parts) + "]"
+
+
+def _select_order1(cal: Calendar, pred: SelectionPredicate) -> Calendar:
+    positions = pred.positions(len(cal.elements))
+    els = [cal.elements[p] for p in positions]
+    labels = None
+    if cal.labels is not None:
+        labels = [cal.labels[p] for p in positions]
+    return Calendar.from_intervals(els, cal.granularity, labels)
+
+
+def select(cal: Calendar, pred: SelectionPredicate) -> Calendar:
+    """Positional selection ``[x]/C``.
+
+    On an order-1 calendar the predicate selects elements positionally.  On
+    an order-k calendar the predicate is applied to every order-(k-1)
+    component; a singleton predicate reduces the order by one (the paper's
+    "third week of every month" example yields a flat calendar), while a
+    multi-element predicate preserves the nesting.
+    """
+    if cal.order == 1:
+        return _select_order1(cal, pred)
+    picked = [select(sub, pred) for sub in cal.elements]
+    if pred.is_singleton():
+        if cal.order == 2:
+            intervals = [p.elements[0] for p in picked if p.elements]
+            return Calendar.from_intervals(intervals, cal.granularity)
+        subs = [p for p in picked if not p.is_empty()]
+        return Calendar.from_calendars(subs, cal.granularity)
+    subs = [p for p in picked if not p.is_empty()]
+    return Calendar.from_calendars(subs, cal.granularity)
+
+
+def label_select(cal: Calendar, label: Label) -> Calendar:
+    """Bare selection by label, e.g. ``1993/YEARS``.
+
+    The result is an order-1 calendar holding the labelled interval (empty
+    when the label is absent).
+    """
+    if cal.order != 1:
+        raise SelectionError("label selection is defined on order-1 calendars")
+    if cal.labels is None:
+        raise SelectionError(
+            "calendar carries no labels; use a bracketed positional selection")
+    idx = cal.find_label(label)
+    if idx is None:
+        return Calendar.from_intervals([], cal.granularity)
+    return Calendar.from_intervals([cal.elements[idx]], cal.granularity,
+                                   [label])
+
+
+# ---------------------------------------------------------------------------
+# caloperate
+# ---------------------------------------------------------------------------
+
+def caloperate(cal: Calendar, counts: Sequence[int],
+               end: int | None = None) -> Calendar:
+    """Derive a calendar by grouping consecutive intervals of ``cal``.
+
+    ``caloperate(C, (x1, …, xn))`` unions the first ``x1`` intervals of
+    ``C`` into the first result interval, the next ``x2`` into the second,
+    and so on, treating the count list as circular (section 3.2).  ``end``
+    bounds the result (``*`` in the paper's syntax means "no bound"); a
+    trailing partial group is kept, clipped to ``end`` when given.
+    """
+    if cal.order != 1:
+        raise CalendarError("caloperate is defined on order-1 calendars")
+    if not counts:
+        raise CalendarError("caloperate needs at least one group size")
+    for c in counts:
+        if not isinstance(c, int) or isinstance(c, bool) or c <= 0:
+            raise CalendarError(f"group sizes must be positive ints, got {c!r}")
+    result: list[Interval] = []
+    i = 0
+    group = 0
+    n = len(cal.elements)
+    while i < n:
+        size = counts[group % len(counts)]
+        chunk = cal.elements[i:i + size]
+        hull = Interval(min(iv.lo for iv in chunk),
+                        max(iv.hi for iv in chunk))
+        if end is not None:
+            if hull.lo > end:
+                break
+            if hull.hi > end:
+                result.append(Interval(hull.lo, end))
+                break
+        result.append(hull)
+        i += size
+        group += 1
+    return Calendar.from_intervals(result, cal.granularity)

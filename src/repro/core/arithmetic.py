@@ -1,0 +1,226 @@
+"""Date arithmetic over calendars.
+
+Section 1 of the paper motivates *user-defined semantics for date
+manipulation*: commercial date functions hard-wire the Gregorian calendar,
+but e.g. bond-yield conventions use a 360-day year of twelve 30-day months.
+This module provides
+
+* point navigation within an arbitrary order-1 calendar
+  (:func:`next_point`, :func:`prev_point`, :func:`shift_point`,
+  :func:`count_points_between`) — "add 5 business days" is
+  ``shift_point(AM_BUS_DAYS, t, 5)``;
+* :class:`DateScheme` — pluggable civil-date arithmetic, with the
+  :class:`GregorianScheme` and the bond-market :class:`Thirty360Scheme`
+  (each month counted as 30 days) as concrete instances.  Day-count
+  *fractions* for yield formulas live in :mod:`repro.finance.conventions`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.calendar import Calendar
+from repro.core.chrono import CivilDate, Epoch, days_in_month
+from repro.core.interval import Interval, axis_diff
+
+__all__ = [
+    "next_point",
+    "prev_point",
+    "shift_point",
+    "count_points_between",
+    "point_index",
+    "DateScheme",
+    "GregorianScheme",
+    "Thirty360Scheme",
+]
+
+
+# ---------------------------------------------------------------------------
+# Point navigation within a calendar
+# ---------------------------------------------------------------------------
+
+def _sorted_leaves(cal: Calendar) -> list[Interval]:
+    leaves = sorted(cal.iter_intervals(), key=lambda iv: (iv.lo, iv.hi))
+    return leaves
+
+
+def next_point(cal: Calendar, t: int, inclusive: bool = False) -> int | None:
+    """Smallest axis point of ``cal`` strictly after ``t``.
+
+    With ``inclusive=True``, ``t`` itself qualifies when it is in the
+    calendar.  Returns ``None`` when the calendar has no such point.
+    """
+    leaves = _sorted_leaves(cal)
+    if not leaves:
+        return None
+    threshold = t if inclusive else t + (1 if t != -1 else 2)
+    if threshold == 0:
+        threshold = 1
+    los = [iv.lo for iv in leaves]
+    idx = bisect.bisect_right(los, threshold) - 1
+    if idx >= 0 and leaves[idx].hi >= threshold:
+        return threshold
+    idx += 1
+    if idx < len(leaves):
+        return leaves[idx].lo
+    return None
+
+
+def prev_point(cal: Calendar, t: int, inclusive: bool = False) -> int | None:
+    """Largest axis point of ``cal`` strictly before ``t`` (or at it)."""
+    leaves = _sorted_leaves(cal)
+    if not leaves:
+        return None
+    threshold = t if inclusive else t - (1 if t != 1 else 2)
+    if threshold == 0:
+        threshold = -1
+    los = [iv.lo for iv in leaves]
+    idx = bisect.bisect_right(los, threshold) - 1
+    if idx < 0:
+        return None
+    if leaves[idx].hi >= threshold:
+        return threshold
+    return leaves[idx].hi
+
+
+def point_index(cal: Calendar, t: int) -> int | None:
+    """0-based ordinal of ``t`` among the calendar's points, or ``None``."""
+    count = 0
+    for iv in _sorted_leaves(cal):
+        if t > iv.hi:
+            count += len(iv)
+        elif t >= iv.lo:
+            return count + axis_diff(t, iv.lo)
+        else:
+            return None
+    return None
+
+
+def shift_point(cal: Calendar, t: int, n: int) -> int | None:
+    """Move ``n`` calendar points from ``t`` within ``cal``.
+
+    ``t`` need not itself be a calendar point: for positive ``n`` counting
+    starts at the next calendar point at-or-after ``t`` (so
+    ``shift_point(BUS_DAYS, saturday, 1)`` is the *second* business day
+    after the weekend would start counting from Monday); symmetrically for
+    negative ``n``.  ``n == 0`` snaps to the nearest point at-or-after
+    ``t``.  Returns ``None`` when the calendar runs out.
+    """
+    if n >= 0:
+        current = next_point(cal, t, inclusive=True)
+        for _ in range(n):
+            if current is None:
+                return None
+            current = next_point(cal, current)
+        return current
+    current = prev_point(cal, t, inclusive=True)
+    for _ in range(-n - 1):
+        if current is None:
+            return None
+        current = prev_point(cal, current)
+    return current
+
+
+def count_points_between(cal: Calendar, a: int, b: int) -> int:
+    """Number of calendar points in the inclusive span ``[a, b]``."""
+    if a > b:
+        a, b = b, a
+    total = 0
+    for iv in cal.iter_intervals():
+        lo = max(iv.lo, a)
+        hi = min(iv.hi, b)
+        if lo <= hi:
+            total += axis_diff(hi, lo) + 1
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Pluggable civil-date arithmetic
+# ---------------------------------------------------------------------------
+
+class DateScheme:
+    """Abstract civil-date arithmetic scheme.
+
+    Concrete schemes define how many days separate two dates and how to add
+    days to a date.  They are the "user-defined calendars" that the paper
+    wants date functions to take as arguments.
+    """
+
+    name = "abstract"
+
+    def days_between(self, a: CivilDate, b: CivilDate) -> int:
+        """Days from ``a`` to ``b`` under this scheme's counting rule."""
+        raise NotImplementedError
+
+    def add_days(self, date: CivilDate, n: int) -> CivilDate:
+        """The date ``n`` scheme-days after ``date``."""
+        raise NotImplementedError
+
+    def days_in_year(self) -> int:
+        """Nominal year length used by this scheme's conventions."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GregorianScheme(DateScheme):
+    """Actual civil-calendar day arithmetic."""
+
+    name = "gregorian"
+    _epoch = Epoch.of(CivilDate(1970, 1, 1))
+
+    def days_between(self, a: CivilDate, b: CivilDate) -> int:
+        return self._epoch.diff_days(self._epoch.day_number(b),
+                                     self._epoch.day_number(a))
+
+    def add_days(self, date: CivilDate, n: int) -> CivilDate:
+        return self._epoch.date_of(
+            self._epoch.add_days(self._epoch.day_number(date), n))
+
+    def days_in_year(self) -> int:
+        return 365
+
+
+@dataclass(frozen=True)
+class Thirty360Scheme(DateScheme):
+    """US bond-market 30/360 arithmetic: every month has 30 days.
+
+    ``days_between`` follows the 30U/360 rule (days capped at 30, with the
+    standard end-of-month adjustment); ``add_days`` works on the scheme's
+    own 360-day year grid.  Per the paper, the *yield* formula nevertheless
+    divides by a 365-day year — that constant is what
+    :meth:`days_in_year` reports when ``yield_basis`` is 365.
+    """
+
+    name = "30/360"
+    yield_basis: int = 365
+
+    def days_between(self, a: CivilDate, b: CivilDate) -> int:
+        # NASD 30U/360: a 31st counts as the 30th; the last day of
+        # February counts as the 30th on the start side; and an end-side
+        # 31st counts as the 30th only when the start was (adjusted to)
+        # the 30th.
+        d1, d2 = a.day, b.day
+        if a.month == 2 and d1 == days_in_month(a.year, 2):
+            d1 = 30
+        if d1 == 31:
+            d1 = 30
+        if d2 == 31 and d1 == 30:
+            d2 = 30
+        return ((b.year - a.year) * 360 + (b.month - a.month) * 30
+                + (d2 - d1))
+
+    def add_days(self, date: CivilDate, n: int) -> CivilDate:
+        serial = (date.year * 360 + (date.month - 1) * 30
+                  + (min(date.day, 30) - 1) + n)
+        year, rem = divmod(serial, 360)
+        month, day = divmod(rem, 30)
+        day += 1
+        month += 1
+        # Snap back onto the civil grid (e.g. Feb 30 -> Feb 28/29).
+        day = min(day, days_in_month(year, month))
+        return CivilDate(year, month, day)
+
+    def days_in_year(self) -> int:
+        return self.yield_basis
+

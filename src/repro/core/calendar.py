@@ -1,0 +1,284 @@
+"""Calendars: structured (order-n) collections of intervals.
+
+Section 3.1 of the paper defines a *calendar* as a structured collection of
+intervals whose *order* is the depth of the nesting:
+``{(l1,u1), …, (ln,un)}`` is a calendar of order 1 and
+``{S1, …, Sm}`` with each ``Si`` an order-1 calendar is a calendar of
+order 2.
+
+:class:`Calendar` is immutable.  Elements of an order-1 calendar are
+:class:`~repro.core.interval.Interval` values kept in the order they were
+supplied (calendars are *lists*, not sets — selection is positional);
+elements of an order-k calendar (k > 1) are order-(k-1) calendars.
+
+Optionally each element may carry a *label* (e.g. the YEARS calendar labels
+its intervals with Gregorian year numbers) enabling the language's bare
+label selection ``1993/YEARS``.
+
+The set operations ``+`` (union), ``-`` (difference) and ``&``
+(intersection) are defined on order-1 calendars with pointwise semantics;
+``+`` keeps element boundaries where operands do not overlap (so that
+positional selection remains meaningful), merging only genuinely
+overlapping intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.errors import CalendarError, InvalidIntervalError
+from repro.core.granularity import Granularity
+from repro.core.interval import Interval
+
+__all__ = ["Calendar", "EMPTY"]
+
+Label = int | str | None
+
+
+def _coerce_interval(value: "Interval | tuple[int, int]") -> Interval:
+    if isinstance(value, Interval):
+        return value
+    if isinstance(value, tuple) and len(value) == 2:
+        return Interval(value[0], value[1])
+    raise InvalidIntervalError(f"cannot interpret {value!r} as an interval")
+
+
+@dataclass(frozen=True)
+class Calendar:
+    """An immutable structured collection of intervals.
+
+    Construct order-1 calendars with :meth:`from_intervals` and deeper
+    calendars with :meth:`from_calendars`; the raw constructor is mainly
+    for internal use.
+    """
+
+    elements: tuple = ()
+    order: int = 1
+    granularity: Granularity | None = None
+    labels: tuple | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise CalendarError(f"calendar order must be >= 1, got {self.order}")
+        if self.order == 1:
+            for el in self.elements:
+                if not isinstance(el, Interval):
+                    raise CalendarError(
+                        f"order-1 calendar elements must be intervals, got {el!r}")
+        else:
+            for el in self.elements:
+                if not isinstance(el, Calendar) or el.order != self.order - 1:
+                    raise CalendarError(
+                        f"order-{self.order} calendar elements must be "
+                        f"order-{self.order - 1} calendars, got {el!r}")
+        if self.labels is not None and len(self.labels) != len(self.elements):
+            raise CalendarError("labels must parallel elements")
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_intervals(cls, intervals: Sequence["Interval | tuple[int, int]"],
+                       granularity: Granularity | None = None,
+                       labels: Sequence[Label] | None = None) -> "Calendar":
+        """Build an order-1 calendar from intervals or ``(lo, hi)`` pairs."""
+        els = tuple(_coerce_interval(i) for i in intervals)
+        return cls(els, 1, granularity,
+                   tuple(labels) if labels is not None else None)
+
+    @classmethod
+    def from_calendars(cls, calendars: Sequence["Calendar"],
+                       granularity: Granularity | None = None,
+                       labels: Sequence[Label] | None = None) -> "Calendar":
+        """Build an order-(k+1) calendar from order-k calendars."""
+        cals = tuple(calendars)
+        if not cals:
+            return cls((), 2, granularity)
+        sub_order = cals[0].order
+        return cls(cals, sub_order + 1, granularity,
+                   tuple(labels) if labels is not None else None)
+
+    @classmethod
+    def point(cls, t: int, granularity: Granularity | None = None) -> "Calendar":
+        """An order-1 calendar holding the single instant ``t``."""
+        return cls.from_intervals([Interval(t, t)], granularity)
+
+    @classmethod
+    def interval(cls, lo: int, hi: int,
+                 granularity: Granularity | None = None) -> "Calendar":
+        """An order-1 calendar holding the single interval ``(lo, hi)``."""
+        return cls.from_intervals([Interval(lo, hi)], granularity)
+
+    # -- basic inspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __bool__(self) -> bool:
+        """Paper semantics: a calendar is *false* when it is empty (null)."""
+        return bool(self.elements)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.elements)
+
+    def __getitem__(self, index: int):
+        return self.elements[index]
+
+    def is_empty(self) -> bool:
+        """True when the calendar has no elements (the paper's null)."""
+        return not self.elements
+
+    def with_granularity(self, granularity: Granularity) -> "Calendar":
+        """A copy carrying the given granularity."""
+        return Calendar(self.elements, self.order, granularity, self.labels)
+
+    def with_labels(self, labels: Sequence[Label]) -> "Calendar":
+        """A copy with per-element labels (for bare label selection)."""
+        return Calendar(self.elements, self.order, self.granularity,
+                        tuple(labels))
+
+    def label_of(self, index: int) -> Label:
+        """The label of element ``index``, or None when unlabelled."""
+        if self.labels is None:
+            return None
+        return self.labels[index]
+
+    def find_label(self, label: Label) -> int | None:
+        """Index of the element carrying ``label``, or ``None``."""
+        if self.labels is None:
+            return None
+        try:
+            return self.labels.index(label)
+        except ValueError:
+            return None
+
+    # -- geometry -------------------------------------------------------------
+
+    def iter_intervals(self) -> Iterator[Interval]:
+        """Depth-first iteration over all leaf intervals."""
+        for el in self.elements:
+            if isinstance(el, Interval):
+                yield el
+            else:
+                yield from el.iter_intervals()
+
+    def flatten(self) -> "Calendar":
+        """Collapse to order 1, preserving depth-first leaf order."""
+        if self.order == 1:
+            return self
+        return Calendar.from_intervals(tuple(self.iter_intervals()),
+                                       self.granularity)
+
+    def span(self) -> Interval | None:
+        """Smallest interval covering the whole calendar, or ``None``."""
+        lo = hi = None
+        for iv in self.iter_intervals():
+            lo = iv.lo if lo is None else min(lo, iv.lo)
+            hi = iv.hi if hi is None else max(hi, iv.hi)
+        if lo is None or hi is None:
+            return None
+        return Interval(lo, hi)
+
+    def contains_point(self, t: int) -> bool:
+        """True when some leaf interval contains the axis point ``t``."""
+        return any(t in iv for iv in self.iter_intervals())
+
+    def leaf_count(self) -> int:
+        """Total number of leaf intervals at any depth."""
+        return sum(1 for _ in self.iter_intervals())
+
+    def drop_empty(self) -> "Calendar":
+        """Recursively remove empty sub-calendars (the paper's ε exclusion)."""
+        if self.order == 1:
+            return self
+        kept: list[Calendar] = []
+        kept_labels: list[Label] = []
+        for i, el in enumerate(self.elements):
+            sub = el.drop_empty()
+            if sub.is_empty():
+                continue
+            kept.append(sub)
+            kept_labels.append(self.label_of(i))
+        labels = tuple(kept_labels) if self.labels is not None else None
+        return Calendar(tuple(kept), self.order, self.granularity, labels)
+
+    # -- pointwise set operations (order 1) ------------------------------------
+
+    def _require_order1(self, op: str, other: "Calendar | None" = None) -> None:
+        if self.order != 1 or (other is not None and other.order != 1):
+            raise CalendarError(f"{op} is defined on order-1 calendars only")
+
+    @staticmethod
+    def _merge_overlapping(intervals: "list[Interval]") -> "list[Interval]":
+        """Sort and merge overlapping intervals (adjacency is preserved)."""
+        merged: list[Interval] = []
+        for iv in sorted(intervals, key=lambda i: (i.lo, i.hi)):
+            if merged and merged[-1].overlaps(iv):
+                merged[-1] = merged[-1].union_hull(iv)
+            else:
+                merged.append(iv)
+        return merged
+
+    def union(self, other: "Calendar") -> "Calendar":
+        """Pointwise union; merges only genuinely overlapping intervals."""
+        self._require_order1("union", other)
+        merged = self._merge_overlapping([*self.elements, *other.elements])
+        return Calendar.from_intervals(merged, self.granularity)
+
+    def difference(self, other: "Calendar") -> "Calendar":
+        """Pointwise difference, splitting partially covered intervals."""
+        self._require_order1("difference", other)
+        result: list[Interval] = []
+        for iv in self.elements:
+            pieces = [iv]
+            for cut in other.elements:
+                pieces = [p for piece in pieces for p in piece.subtract(cut)]
+                if not pieces:
+                    break
+            result.extend(pieces)
+        return Calendar.from_intervals(self._merge_overlapping(result),
+                                       self.granularity)
+
+    def intersection(self, other: "Calendar") -> "Calendar":
+        """Pointwise intersection."""
+        self._require_order1("intersection", other)
+        result: list[Interval] = []
+        for iv in self.elements:
+            for ov in other.elements:
+                common = iv.intersect(ov)
+                if common is not None:
+                    result.append(common)
+        return Calendar.from_intervals(self._merge_overlapping(result),
+                                       self.granularity)
+
+    def __add__(self, other: "Calendar") -> "Calendar":
+        return self.union(other)
+
+    def __sub__(self, other: "Calendar") -> "Calendar":
+        return self.difference(other)
+
+    def __and__(self, other: "Calendar") -> "Calendar":
+        return self.intersection(other)
+
+    # -- presentation -----------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.order == 1:
+            inner = ",".join(str(iv) for iv in self.elements)
+        else:
+            inner = ",".join(str(el) for el in self.elements)
+        return "{" + inner + "}"
+
+    def __repr__(self) -> str:
+        gran = f", granularity={self.granularity}" if self.granularity else ""
+        return f"Calendar(order={self.order}, {self}{gran})"
+
+    def to_pairs(self):
+        """Plain nested tuples mirroring the paper's notation (for tests)."""
+        if self.order == 1:
+            return tuple((iv.lo, iv.hi) for iv in self.elements)
+        return tuple(el.to_pairs() for el in self.elements)
+
+
+#: The empty order-1 calendar.
+EMPTY = Calendar()

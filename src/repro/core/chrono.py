@@ -1,0 +1,228 @@
+"""Proleptic-Gregorian chronology on the zero-skipping day axis.
+
+The paper anchors all basic calendars at a configurable *system start date*
+(its section 3.2 example uses January 1, 1987): day ``1`` is the epoch date,
+day ``366`` is January 1, 1988, and the day before the epoch is day ``-1``
+(there is no day 0).
+
+This module implements the civil (Gregorian) calendar from first principles
+— leap-year rule, month lengths, date <-> serial-number conversion using
+Howard Hinnant's ``days_from_civil`` algorithm — so that the library does
+not depend on :mod:`datetime` for its core arithmetic.  The test-suite
+cross-checks every conversion against :class:`datetime.date` as an oracle.
+
+Weekdays follow the paper's convention: Monday is 1 and Sunday is 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import ChronologyError
+from repro.core.interval import axis_add, axis_diff
+
+__all__ = [
+    "CivilDate",
+    "is_leap_year",
+    "days_in_month",
+    "days_in_year",
+    "rata_die",
+    "civil_from_rata_die",
+    "weekday",
+    "parse_date",
+    "MONTH_NAMES",
+    "MONTH_ABBREVS",
+    "Epoch",
+]
+
+MONTH_NAMES = (
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+)
+MONTH_ABBREVS = tuple(name[:3] for name in MONTH_NAMES)
+
+_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def is_leap_year(year: int) -> bool:
+    """Gregorian leap-year rule."""
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def days_in_month(year: int, month: int) -> int:
+    """Length of ``month`` (1-12) in ``year``."""
+    if not 1 <= month <= 12:
+        raise ChronologyError(f"month out of range: {month}")
+    if month == 2 and is_leap_year(year):
+        return 29
+    return _DAYS_IN_MONTH[month - 1]
+
+
+def days_in_year(year: int) -> int:
+    """Length of a civil year (365 or 366)."""
+    return 366 if is_leap_year(year) else 365
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class CivilDate:
+    """A proleptic-Gregorian calendar date."""
+
+    year: int
+    month: int
+    day: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.month <= 12:
+            raise ChronologyError(f"month out of range: {self.month}")
+        if not 1 <= self.day <= days_in_month(self.year, self.month):
+            raise ChronologyError(
+                f"day out of range for {self.year}-{self.month:02d}: {self.day}")
+
+    def __str__(self) -> str:
+        return f"{MONTH_ABBREVS[self.month - 1]} {self.day} {self.year}"
+
+    def replace(self, *, year: int | None = None, month: int | None = None,
+                day: int | None = None) -> "CivilDate":
+        """A copy with the given fields substituted."""
+        return CivilDate(year if year is not None else self.year,
+                         month if month is not None else self.month,
+                         day if day is not None else self.day)
+
+
+def rata_die(date: CivilDate) -> int:
+    """Serial day number of ``date``; day 0 is 1970-01-01 (Hinnant).
+
+    This is an ordinary integer (it *does* use 0) — only the public axis
+    numbers skip zero.
+    """
+    y = date.year - (date.month <= 2)
+    era = (y if y >= 0 else y - 399) // 400
+    yoe = y - era * 400
+    m = date.month
+    doy = (153 * (m + (-3 if m > 2 else 9)) + 2) // 5 + date.day - 1
+    doe = yoe * 365 + yoe // 4 - yoe // 100 + doy
+    return era * 146097 + doe - 719468
+
+
+def civil_from_rata_die(serial: int) -> CivilDate:
+    """Inverse of :func:`rata_die`."""
+    z = serial + 719468
+    era = (z if z >= 0 else z - 146096) // 146097
+    doe = z - era * 146097
+    yoe = (doe - doe // 1460 + doe // 36524 - doe // 146096) // 365
+    y = yoe + era * 400
+    doy = doe - (365 * yoe + yoe // 4 - yoe // 100)
+    mp = (5 * doy + 2) // 153
+    d = doy - (153 * mp + 2) // 5 + 1
+    m = mp + (3 if mp < 10 else -9)
+    return CivilDate(y + (m <= 2), m, d)
+
+
+def weekday(date: CivilDate) -> int:
+    """ISO weekday of ``date``: Monday = 1 … Sunday = 7 (paper convention)."""
+    return (rata_die(date) + 3) % 7 + 1
+
+
+def parse_date(text: str) -> CivilDate:
+    """Parse the paper's date spelling, e.g. ``"Jan 1 1987"``.
+
+    Accepted forms: ``"Jan 1 1987"``, ``"January 1, 1987"``,
+    ``"1987-01-01"``.
+    """
+    text = text.strip()
+    if "-" in text and text.replace("-", "").isdigit():
+        parts = text.split("-")
+        if len(parts) != 3:
+            raise ChronologyError(f"cannot parse date {text!r}")
+        return CivilDate(int(parts[0]), int(parts[1]), int(parts[2]))
+    tokens = text.replace(",", " ").split()
+    if len(tokens) != 3:
+        raise ChronologyError(f"cannot parse date {text!r}")
+    month_token = tokens[0].capitalize()
+    month = None
+    for i, (abbrev, name) in enumerate(zip(MONTH_ABBREVS, MONTH_NAMES), start=1):
+        if month_token in (abbrev, name):
+            month = i
+            break
+    if month is None:
+        raise ChronologyError(f"unknown month in date {text!r}")
+    try:
+        day, year = int(tokens[1]), int(tokens[2])
+    except ValueError:
+        raise ChronologyError(f"cannot parse date {text!r}") from None
+    return CivilDate(year, month, day)
+
+
+def _as_date(value: "CivilDate | str") -> CivilDate:
+    if isinstance(value, CivilDate):
+        return value
+    if isinstance(value, str):
+        return parse_date(value)
+    raise ChronologyError(f"expected a date or date string, got {value!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Epoch:
+    """The system start date anchoring the day axis.
+
+    ``day_number(epoch.date) == 1``; the day before the epoch is ``-1``.
+    """
+
+    date: CivilDate
+
+    @classmethod
+    def of(cls, value: "CivilDate | str") -> "Epoch":
+        return cls(_as_date(value))
+
+    @property
+    def serial(self) -> int:
+        return rata_die(self.date)
+
+    # -- day-number conversions --------------------------------------------
+
+    def day_number(self, date: "CivilDate | str") -> int:
+        """Axis day number of ``date`` (1-based from the epoch, skipping 0)."""
+        diff = rata_die(_as_date(date)) - self.serial
+        return diff + 1 if diff >= 0 else diff
+
+    def date_of(self, day: int) -> CivilDate:
+        """Civil date of axis day number ``day``."""
+        if day == 0:
+            raise ChronologyError("day 0 does not exist on the axis")
+        diff = day - 1 if day > 0 else day
+        return civil_from_rata_die(self.serial + diff)
+
+    def weekday_of(self, day: int) -> int:
+        """Weekday (Mon=1 … Sun=7) of axis day ``day``."""
+        return weekday(self.date_of(day))
+
+    # -- structured iteration ------------------------------------------------
+
+    def days_of_year(self, year: int) -> tuple[int, int]:
+        """Axis day numbers of the first and last day of ``year``."""
+        first = self.day_number(CivilDate(year, 1, 1))
+        last = self.day_number(CivilDate(year, 12, 31))
+        return first, last
+
+    def days_of_month(self, year: int, month: int) -> tuple[int, int]:
+        """Axis day numbers of the first and last day of ``year-month``."""
+        first = self.day_number(CivilDate(year, month, 1))
+        last = self.day_number(CivilDate(year, month, days_in_month(year, month)))
+        return first, last
+
+    def iter_days(self, start: int, end: int) -> Iterator[int]:
+        """Axis day numbers from ``start`` to ``end`` inclusive, skipping 0."""
+        t = start
+        while t <= end:
+            if t != 0:
+                yield t
+            t += 1
+
+    def add_days(self, day: int, delta: int) -> int:
+        """Move ``delta`` civil days from axis day ``day``."""
+        return axis_add(day, delta)
+
+    def diff_days(self, a: int, b: int) -> int:
+        """Civil days from axis day ``b`` to axis day ``a``."""
+        return axis_diff(a, b)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the core calendar system.
+
+Every error raised by :mod:`repro.core` derives from :class:`CalendarError`
+so that applications can catch calendar-system problems with a single
+``except`` clause while still being able to discriminate the cause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CalendarError",
+    "InvalidIntervalError",
+    "AxisError",
+    "GranularityError",
+    "ChronologyError",
+    "SelectionError",
+    "OperatorError",
+    "LifespanError",
+]
+
+
+class CalendarError(Exception):
+    """Base class of all calendar-system errors."""
+
+
+class InvalidIntervalError(CalendarError, ValueError):
+    """An interval violates the axis conventions (lo > hi, or a 0 endpoint)."""
+
+
+class AxisError(CalendarError, ValueError):
+    """Invalid arithmetic on the zero-skipping time axis (e.g. point 0)."""
+
+
+class GranularityError(CalendarError, ValueError):
+    """Unknown granularity name, or an unsupported granularity conversion."""
+
+
+class ChronologyError(CalendarError, ValueError):
+    """A civil date is malformed or falls outside the supported range."""
+
+
+class SelectionError(CalendarError, ValueError):
+    """A selection predicate is malformed (e.g. index 0, empty predicate)."""
+
+
+class OperatorError(CalendarError, ValueError):
+    """Unknown listop name or an operator applied to incompatible operands."""
+
+
+class LifespanError(CalendarError, ValueError):
+    """A request falls outside a calendar's declared lifespan."""

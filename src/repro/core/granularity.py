@@ -1,0 +1,124 @@
+"""The granularity lattice of the basic calendars.
+
+Section 3.2 of the paper fixes the set of basic calendars —
+``SECONDS, MINUTES, HOURS, DAYS, WEEKS, MONTHS, YEARS, DECADES, CENTURY`` —
+and requires every user-defined calendar to carry one of these as its
+*granularity*.  The parser uses granularities to factorize expressions and
+the planner uses them to pick the smallest common unit in which all
+calendars of an expression can be generated.
+
+Granularities are totally ordered by coarseness.  Conversion factors are
+exact only along the *regular* chains (``SECONDS→MINUTES→HOURS→DAYS`` and
+``YEARS→DECADES→CENTURY``); ``WEEKS``/``MONTHS``/``YEARS`` relative to days
+are irregular and handled by the chronology instead.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.errors import GranularityError
+
+__all__ = ["Granularity", "finest", "coarsest", "seconds_per", "exact_ratio"]
+
+
+class Granularity(enum.IntEnum):
+    """Basic granularities ordered from finest to coarsest."""
+
+    SECONDS = 1
+    MINUTES = 2
+    HOURS = 3
+    DAYS = 4
+    WEEKS = 5
+    MONTHS = 6
+    YEARS = 7
+    DECADES = 8
+    CENTURY = 9
+
+    def __str__(self) -> str:  # noqa: D105 - obvious
+        return self.name
+
+    @classmethod
+    def parse(cls, name: "str | Granularity") -> "Granularity":
+        """Look up a granularity by (case-insensitive) name."""
+        if isinstance(name, Granularity):
+            return name
+        try:
+            return cls[name.upper()]
+        except (KeyError, AttributeError):
+            raise GranularityError(f"unknown granularity {name!r}") from None
+
+    def finer_than(self, other: "Granularity") -> bool:
+        """Strictly finer (shorter unit) than ``other``."""
+        return self < other
+
+    def coarser_than(self, other: "Granularity") -> bool:
+        """Strictly coarser (longer unit) than ``other``."""
+        return self > other
+
+
+#: Nominal length of one unit of each granularity in seconds.  Exact for the
+#: sub-day units; nominal (non-leap, 30/365-day style) for the rest — used
+#: only for ordering heuristics and DBCRON horizon estimates, never for
+#: civil-calendar arithmetic.
+_NOMINAL_SECONDS = {
+    Granularity.SECONDS: 1,
+    Granularity.MINUTES: 60,
+    Granularity.HOURS: 3600,
+    Granularity.DAYS: 86400,
+    Granularity.WEEKS: 7 * 86400,
+    Granularity.MONTHS: 30 * 86400,
+    Granularity.YEARS: 365 * 86400,
+    Granularity.DECADES: 10 * 365 * 86400,
+    Granularity.CENTURY: 100 * 365 * 86400,
+}
+
+#: Pairs with an exact integral conversion factor (coarse unit = k fine units).
+_EXACT_FACTORS = {
+    (Granularity.SECONDS, Granularity.MINUTES): 60,
+    (Granularity.SECONDS, Granularity.HOURS): 3600,
+    (Granularity.SECONDS, Granularity.DAYS): 86400,
+    (Granularity.MINUTES, Granularity.HOURS): 60,
+    (Granularity.MINUTES, Granularity.DAYS): 1440,
+    (Granularity.HOURS, Granularity.DAYS): 24,
+    (Granularity.DAYS, Granularity.WEEKS): 7,
+    (Granularity.MONTHS, Granularity.YEARS): 12,
+    (Granularity.YEARS, Granularity.DECADES): 10,
+    (Granularity.YEARS, Granularity.CENTURY): 100,
+    (Granularity.DECADES, Granularity.CENTURY): 10,
+    (Granularity.MONTHS, Granularity.DECADES): 120,
+    (Granularity.MONTHS, Granularity.CENTURY): 1200,
+}
+
+
+def finest(*grans: Granularity) -> Granularity:
+    """The finest of the given granularities."""
+    if not grans:
+        raise GranularityError("finest() requires at least one granularity")
+    return min(grans)
+
+
+def coarsest(*grans: Granularity) -> Granularity:
+    """The coarsest of the given granularities."""
+    if not grans:
+        raise GranularityError("coarsest() requires at least one granularity")
+    return max(grans)
+
+
+def seconds_per(gran: Granularity) -> int:
+    """Nominal seconds per unit (see module notes on exactness)."""
+    return _NOMINAL_SECONDS[gran]
+
+
+def exact_ratio(fine: Granularity, coarse: Granularity) -> int | None:
+    """Exact number of ``fine`` units per ``coarse`` unit, or ``None``.
+
+    Returns 1 when the two are equal.  ``None`` signals an irregular pair
+    (e.g. DAYS per MONTH) that must be resolved by the chronology.
+    """
+    if fine == coarse:
+        return 1
+    if fine > coarse:
+        raise GranularityError(
+            f"{fine} is coarser than {coarse}; ratio undefined")
+    return _EXACT_FACTORS.get((fine, coarse))

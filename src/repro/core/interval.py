@@ -1,0 +1,317 @@
+"""Intervals on the paper's zero-skipping integer time axis.
+
+The paper (section 3.1) adopts the convention that the time axis is the set
+of non-zero integers: *"an interval will never contain 0"*.  Day ``1`` is the
+first day of the system epoch and day ``-1`` is the day immediately before
+it; ``0`` simply does not exist.  The helpers :func:`axis_add`,
+:func:`axis_diff` and :func:`axis_distance` implement arithmetic on that
+axis, and :class:`Interval` is the primitive temporal entity from Allen's
+algebra with inclusive integer endpoints.
+
+Interval relations follow the paper's definitions verbatim:
+
+* ``overlaps(a, b)``   — the intersection of *a* and *b* is non-empty,
+* ``during(a, b)``     — ``a.lo >= b.lo and b.hi >= a.hi``,
+* ``meets(a, b)``      — ``a.hi == b.lo``,
+* ``before(a, b)``     — (the paper's ``<``) ``a.hi <= b.lo``,
+* ``starts_before(a, b)`` — (the paper's ``<=``) ``a.lo <= b.lo and b.hi >= a.hi``.
+
+The remaining Allen relations (``equals``, ``starts``, ``finishes``,
+``strictly_before`` …) are provided for completeness; the *listop registry*
+at the bottom of the module maps the surface names used by the calendar
+expression language (``overlaps``, ``during``, ``meets``, ``<``, ``<=``,
+``intersects``, …) to predicate functions together with the *shape* of the
+``foreach`` result they induce (see :mod:`repro.core.algebra`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.core.errors import AxisError, InvalidIntervalError, OperatorError
+
+__all__ = [
+    "Interval",
+    "axis_add",
+    "axis_diff",
+    "axis_distance",
+    "axis_next",
+    "axis_prev",
+    "axis_points",
+    "Listop",
+    "LISTOPS",
+    "get_listop",
+    "register_listop",
+]
+
+
+# ---------------------------------------------------------------------------
+# Zero-skipping axis arithmetic
+# ---------------------------------------------------------------------------
+
+def _check_point(t: int) -> int:
+    if not isinstance(t, int) or isinstance(t, bool):
+        raise AxisError(f"axis points must be ints, got {t!r}")
+    if t == 0:
+        raise AxisError("0 is not a point on the time axis")
+    return t
+
+
+def axis_add(t: int, delta: int) -> int:
+    """Move ``delta`` ticks from point ``t``, skipping 0.
+
+    ``axis_add(-1, 1) == 1`` and ``axis_add(1, -1) == -1``.
+    """
+    _check_point(t)
+    result = t + delta
+    # Crossing (or landing on) zero loses one slot in each direction.
+    if t > 0 and result <= 0:
+        result -= 1
+    elif t < 0 and result >= 0:
+        result += 1
+    return result
+
+
+def axis_diff(a: int, b: int) -> int:
+    """Signed number of ticks from ``b`` to ``a`` (inverse of :func:`axis_add`).
+
+    ``axis_add(b, axis_diff(a, b)) == a``.
+    """
+    _check_point(a)
+    _check_point(b)
+    d = a - b
+    if a > 0 > b:
+        d -= 1
+    elif a < 0 < b:
+        d += 1
+    return d
+
+
+def axis_distance(a: int, b: int) -> int:
+    """Number of points in the inclusive span between ``a`` and ``b``."""
+    return abs(axis_diff(a, b)) + 1
+
+
+def axis_next(t: int) -> int:
+    """The successor of ``t`` on the axis."""
+    return axis_add(t, 1)
+
+
+def axis_prev(t: int) -> int:
+    """The predecessor of ``t`` on the axis."""
+    return axis_add(t, -1)
+
+
+def axis_points(lo: int, hi: int) -> Iterator[int]:
+    """Iterate the axis points of the inclusive span ``[lo, hi]``, skipping 0."""
+    _check_point(lo)
+    _check_point(hi)
+    if lo > hi:
+        return
+    t = lo
+    while t <= hi:
+        if t != 0:
+            yield t
+        t += 1
+
+
+# ---------------------------------------------------------------------------
+# Interval
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed interval ``(lo, hi)`` of axis points with ``lo <= hi``.
+
+    Endpoints are non-zero integers.  The interval may *span* zero (the
+    paper's ``(-4, 3)`` example) — enumeration simply skips the
+    non-existent point 0.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lo, int) or not isinstance(self.hi, int) or \
+                isinstance(self.lo, bool) or isinstance(self.hi, bool):
+            raise InvalidIntervalError(
+                f"interval endpoints must be ints, got ({self.lo!r}, {self.hi!r})")
+        if self.lo == 0 or self.hi == 0:
+            raise InvalidIntervalError(
+                f"interval endpoints may not be 0: ({self.lo}, {self.hi})")
+        if self.lo > self.hi:
+            raise InvalidIntervalError(
+                f"interval lower bound exceeds upper bound: ({self.lo}, {self.hi})")
+
+    # -- basic geometry ----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of axis points contained in the interval."""
+        return axis_distance(self.lo, self.hi)
+
+    def __contains__(self, t: int) -> bool:
+        return t != 0 and self.lo <= t <= self.hi
+
+    def __iter__(self) -> Iterator[int]:
+        return axis_points(self.lo, self.hi)
+
+    def __str__(self) -> str:
+        return f"({self.lo},{self.hi})"
+
+    def is_instant(self) -> bool:
+        """True when the interval contains exactly one axis point."""
+        return len(self) == 1
+
+    # -- set-like operations ------------------------------------------------
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """The intersection interval, or ``None`` when disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def union_hull(self, other: "Interval") -> "Interval":
+        """The smallest interval covering both operands."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def subtract(self, other: "Interval") -> "list[Interval]":
+        """Pointwise difference ``self - other`` (0, 1 or 2 intervals)."""
+        if other.hi < self.lo or other.lo > self.hi:
+            return [self]
+        pieces: list[Interval] = []
+        if other.lo > self.lo:
+            pieces.append(Interval(self.lo, axis_prev(other.lo)))
+        if other.hi < self.hi:
+            pieces.append(Interval(axis_next(other.hi), self.hi))
+        return pieces
+
+    def shift(self, delta: int) -> "Interval":
+        """Translate both endpoints by ``delta`` ticks on the axis."""
+        return Interval(axis_add(self.lo, delta), axis_add(self.hi, delta))
+
+    # -- Allen / paper relations ---------------------------------------------
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Paper ``overlaps``: the intersection is non-empty."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def during(self, other: "Interval") -> bool:
+        """Paper ``during``: ``self`` is contained in ``other``."""
+        return self.lo >= other.lo and other.hi >= self.hi
+
+    def contains(self, other: "Interval") -> bool:
+        """Inverse of :meth:`during`."""
+        return other.during(self)
+
+    def meets(self, other: "Interval") -> bool:
+        """Paper ``meets``: ``self.hi == other.lo``."""
+        return self.hi == other.lo
+
+    def before(self, other: "Interval") -> bool:
+        """Paper ``<``: ``self.hi <= other.lo``."""
+        return self.hi <= other.lo
+
+    def starts_before(self, other: "Interval") -> bool:
+        """Paper ``<=``: ``self.lo <= other.lo`` and ``other.hi >= self.hi``."""
+        return self.lo <= other.lo and other.hi >= self.hi
+
+    def strictly_before(self, other: "Interval") -> bool:
+        """Allen ``before`` proper: ends strictly before the other starts."""
+        return self.hi < other.lo
+
+    def starts(self, other: "Interval") -> bool:
+        """Allen ``starts``: same lower bound, ends within."""
+        return self.lo == other.lo and self.hi <= other.hi
+
+    def finishes(self, other: "Interval") -> bool:
+        """Allen ``finishes``: same upper bound, starts within."""
+        return self.hi == other.hi and self.lo >= other.lo
+
+    def equals(self, other: "Interval") -> bool:
+        """Allen ``equals``: identical endpoints."""
+        return self.lo == other.lo and self.hi == other.hi
+
+
+# ---------------------------------------------------------------------------
+# Listop registry
+# ---------------------------------------------------------------------------
+
+#: A listop predicate takes the candidate interval (from the left calendar)
+#: and the reference interval (from the right operand) and returns a bool.
+ListopPredicate = Callable[[Interval, Interval], bool]
+
+
+@dataclass(frozen=True, slots=True)
+class Listop:
+    """A named binary interval predicate usable inside a ``foreach``.
+
+    ``shape`` controls how :func:`repro.core.algebra.foreach` structures its
+    result when the right operand is a calendar:
+
+    * ``"grouping"`` — one sub-calendar per right-hand element (order-2
+      result), the paper's default reading for ``during``/``overlaps``/
+      ``meets``/``<``/``<=``.
+    * ``"filtering"`` — the right operand is treated as a *set*; elements of
+      the left calendar that relate to **any** right element are kept and the
+      result stays order-1.  This is how the paper's scripts use
+      ``intersects`` (section 3.3, EMP-DAYS walk-through).
+
+    ``clips`` marks operators for which the strict ``foreach`` replaces a
+    kept element by its intersection with the reference interval.  For
+    non-overlapping operators (``<``, ``meets``) the intersection would be
+    empty, so clipping is disabled: the paper's own
+    ``[n]/AM_BUS_DAYS:<:LDOM_HOL`` example keeps the unclipped business
+    days even though it is written with the strict separator.
+    """
+
+    name: str
+    predicate: ListopPredicate
+    shape: str = "grouping"
+    clips: bool = True
+
+    def __call__(self, a: Interval, b: Interval) -> bool:
+        return self.predicate(a, b)
+
+
+LISTOPS: dict[str, Listop] = {}
+
+
+def register_listop(name: str, predicate: ListopPredicate, *,
+                    shape: str = "grouping", clips: bool = True,
+                    replace: bool = False) -> Listop:
+    """Register a listop under ``name`` and return it.
+
+    This is the extensibility hook the paper gets from POSTGRES operator
+    declaration: applications may add their own interval predicates and
+    immediately use them in calendar expressions.
+    """
+    if shape not in ("grouping", "filtering"):
+        raise OperatorError(f"unknown listop shape {shape!r}")
+    if name in LISTOPS and not replace:
+        raise OperatorError(f"listop {name!r} is already registered")
+    op = Listop(name, predicate, shape, clips)
+    LISTOPS[name] = op
+    return op
+
+
+def get_listop(name: str) -> Listop:
+    """Look up a listop by surface name; raises :class:`OperatorError`."""
+    try:
+        return LISTOPS[name]
+    except KeyError:
+        raise OperatorError(f"unknown listop {name!r}") from None
+
+
+register_listop("overlaps", Interval.overlaps)
+register_listop("during", Interval.during)
+register_listop("contains", Interval.contains)
+register_listop("meets", Interval.meets, clips=False)
+register_listop("<", Interval.before, clips=False)
+register_listop("<=", Interval.starts_before)
+register_listop("intersects", Interval.overlaps, shape="filtering")
+register_listop("starts", Interval.starts)
+register_listop("finishes", Interval.finishes)
+register_listop("equals", Interval.equals)

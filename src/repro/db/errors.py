@@ -1,0 +1,49 @@
+"""Exception hierarchy for the mini-POSTGRES substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "DatabaseError",
+    "SchemaError",
+    "DataTypeError",
+    "QueryError",
+    "ExecutionError",
+    "IntegrityError",
+    "RuleError",
+]
+
+
+class DatabaseError(Exception):
+    """Base class of all database-substrate errors."""
+
+
+class SchemaError(DatabaseError):
+    """Bad DDL: duplicate relation, unknown column, bad schema."""
+
+
+class DataTypeError(DatabaseError):
+    """A value does not conform to its declared column type."""
+
+
+class QueryError(DatabaseError):
+    """The query text does not parse."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ExecutionError(DatabaseError):
+    """A well-formed query failed during execution."""
+
+
+class IntegrityError(DatabaseError):
+    """A constraint (e.g. key uniqueness) was violated."""
+
+
+class RuleError(DatabaseError):
+    """Bad rule definition or a rule action failure."""

@@ -1,0 +1,653 @@
+"""Query execution for the Postquel-like language.
+
+A deliberately simple engine: nested-loop joins over the from-clause range
+variables, with two optimisations that matter for the paper's workloads:
+
+* equality predicates ``var.col = <const>`` probe an
+  :class:`~repro.db.index.OrderedIndex` when one exists on the column;
+* the ``on <calendar>`` clause and the ``within`` operator evaluate the
+  calendar once per statement and probe an
+  :class:`~repro.db.index.IntervalIndex` per tuple.
+
+Operator dispatch goes through the extensible
+:class:`~repro.db.types.OperatorRegistry` first (so user-declared ADT
+operators — the POSTGRES extensibility story — take precedence), falling
+back to built-in arithmetic/comparison semantics.
+
+``retrieve`` fires a *retrieve* event for every tuple that contributes to
+the result, which is what lets event rules monitor reads (section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.calendar import Calendar
+from repro.core.chrono import CivilDate
+from repro.db.errors import ExecutionError, SchemaError
+from repro.db.index import IntervalIndex, OrderedIndex
+from repro.db.ql.ast import (
+    Append,
+    BinOp,
+    ColumnRef,
+    Const,
+    CreateIndex,
+    CreateTable,
+    DefineCalendar,
+    DefineRule,
+    Delete,
+    DropRule,
+    DropTable,
+    FuncCall,
+    QlExpr,
+    Replace,
+    Retrieve,
+    Statement,
+    Target,
+    UnOp,
+)
+
+__all__ = ["Result", "Executor", "AGGREGATES"]
+
+AGGREGATES = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass
+class Result:
+    """A retrieve result: ordered column names and rows of dicts."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[dict] = field(default_factory=list)
+    #: Number of tuples touched by a mutation statement.
+    affected: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.rows)
+
+    def column(self, name: str) -> list:
+        """All values of one result column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def first(self) -> dict | None:
+        """The first result row, or None."""
+        return self.rows[0] if self.rows else None
+
+    def to_table(self) -> str:
+        """Render as a fixed-width text table."""
+        if not self.columns:
+            return f"({self.affected} tuples affected)"
+        widths = {c: len(c) for c in self.columns}
+        rendered = []
+        for row in self.rows:
+            cells = {c: str(row.get(c)) for c in self.columns}
+            for c in self.columns:
+                widths[c] = max(widths[c], len(cells[c]))
+            rendered.append(cells)
+        header = " | ".join(c.ljust(widths[c]) for c in self.columns)
+        sep = "-+-".join("-" * widths[c] for c in self.columns)
+        lines = [header, sep]
+        for cells in rendered:
+            lines.append(" | ".join(cells[c].ljust(widths[c])
+                                    for c in self.columns))
+        return "\n".join(lines)
+
+
+def _type_name(value: object) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int4"
+    if isinstance(value, float):
+        return "float8"
+    if isinstance(value, str):
+        return "text"
+    if isinstance(value, CivilDate):
+        return "date"
+    if isinstance(value, Calendar):
+        return "calendar"
+    return "any"
+
+
+class Executor:
+    """Executes statements against a :class:`repro.db.database.Database`."""
+
+    def __init__(self, database) -> None:
+        self.db = database
+
+    # -- public ------------------------------------------------------------------
+
+    def execute(self, statement: Statement,
+                bindings: dict | None = None) -> Result:
+        """Run one parsed statement with optional variable bindings."""
+        bindings = dict(bindings or {})
+        if isinstance(statement, Retrieve):
+            return self._retrieve(statement, bindings)
+        if isinstance(statement, Append):
+            return self._append(statement, bindings)
+        if isinstance(statement, Replace):
+            return self._replace(statement, bindings)
+        if isinstance(statement, Delete):
+            return self._delete(statement, bindings)
+        if isinstance(statement, CreateTable):
+            self.db.create_table(statement.name, statement.columns,
+                                 key=statement.key,
+                                 valid_time_column=statement
+                                 .valid_time_column)
+            return Result(affected=0)
+        if isinstance(statement, CreateIndex):
+            self.db.create_index(statement.relation, statement.column)
+            return Result(affected=0)
+        if isinstance(statement, DropTable):
+            self.db.drop_table(statement.name)
+            return Result(affected=0)
+        if isinstance(statement, DefineCalendar):
+            self.db.calendars.define(
+                statement.name, script=statement.script,
+                values=(list(statement.values)
+                        if statement.values is not None else None),
+                granularity=statement.granularity)
+            return Result(affected=0)
+        if isinstance(statement, DefineRule):
+            return self._define_rule(statement)
+        if isinstance(statement, DropRule):
+            self._rule_manager().drop_rule(statement.name)
+            return Result(affected=0)
+        raise ExecutionError(f"cannot execute {statement!r}")
+
+    def _rule_manager(self):
+        manager = self.db.rule_manager
+        if manager is None:
+            raise ExecutionError(
+                "no rule manager is attached to this database "
+                "(create a repro.rules.RuleManager first)")
+        return manager
+
+    def _define_rule(self, stmt: DefineRule) -> Result:
+        manager = self._rule_manager()
+        if stmt.calendar_expression is not None:
+            manager.define_temporal_rule(
+                stmt.name, stmt.calendar_expression,
+                actions=stmt.actions)
+        else:
+            rule = manager.define_event_rule(
+                stmt.name, stmt.event, stmt.relation,
+                condition=None, actions=stmt.actions)
+            rule.condition = stmt.condition
+        return Result(affected=0)
+
+    # -- explain -----------------------------------------------------------------
+
+    def explain(self, statement: Statement) -> str:
+        """Describe how a retrieve would execute (no tuples touched).
+
+        Reports, per range variable: scan strategy (sequential, index
+        probe, or historical ``as of`` scan) and the predicate conjuncts
+        evaluated at that join level (the pushdown placement), plus any
+        ``on <calendar>`` restriction and post-processing steps.
+        """
+        if not isinstance(statement, Retrieve):
+            raise ExecutionError("explain supports retrieve statements")
+        lines: list[str] = []
+        conjuncts = []
+        for term in self._conjuncts(statement.where):
+            refs: set = set()
+            self._referenced_vars(term, refs)
+            level = 0
+            remaining = set(refs)
+            for i, rv in enumerate(statement.range_vars):
+                remaining.discard(rv.var)
+                if not remaining:
+                    level = i
+                    break
+            else:
+                level = max(0, len(statement.range_vars) - 1)
+            conjuncts.append((level, term))
+        for i, rv in enumerate(statement.range_vars):
+            relation = self.db.relation(rv.relation)
+            if rv.as_of is not None:
+                strategy = f"historical scan (as of {rv.as_of})"
+            else:
+                strategy = "sequential scan"
+                for column, _ in self._equality_terms(
+                        statement.where, rv.var, {})                         if statement.where is not None else ():
+                    if isinstance(relation.indexes.get(column),
+                                  OrderedIndex):
+                        strategy = f"index probe on {rv.relation}.{column}"
+                        break
+            lines.append(f"{'  ' * i}-> {rv.var} in {rv.relation}: "
+                         f"{strategy}")
+            terms = [str(t) for lvl, t in conjuncts if lvl == i]
+            if terms:
+                lines.append(f"{'  ' * i}   filter: "
+                             + " and ".join(terms))
+        if statement.on_calendar:
+            lines.append(f"valid-time restriction: on "
+                         f"{statement.on_calendar!r} (interval index)")
+        if statement.unique:
+            lines.append("post: unique")
+        if statement.order_by:
+            keys = ", ".join(str(e) for e, _ in statement.order_by)
+            lines.append(f"post: order by {keys}")
+        if statement.into:
+            lines.append(f"post: materialise into {statement.into}")
+        if not lines:
+            return "-> constant result"
+        return "\n".join(lines)
+
+    # -- retrieve ----------------------------------------------------------------
+
+    def _retrieve(self, stmt: Retrieve, bindings: dict) -> Result:
+        where = stmt.where
+        calendar_index = self._on_calendar_index(stmt)
+        aggregate_mode = stmt.targets and all(
+            isinstance(t.expr, FuncCall) and t.expr.name in AGGREGATES
+            for t in stmt.targets)
+        columns = [t.name for t in stmt.targets]
+        rows: list[dict] = []
+        acc: dict[int, list] = {i: [] for i in range(len(stmt.targets))}
+        for combo in self._bindings(stmt.range_vars, where, bindings):
+            if calendar_index is not None and not self._valid_time_ok(
+                    stmt, combo, calendar_index):
+                continue
+            if where is not None and not self._truthy(
+                    self._eval(where, combo)):
+                continue
+            self._fire_retrieve(stmt.range_vars, combo)
+            if aggregate_mode:
+                for i, target in enumerate(stmt.targets):
+                    call = target.expr
+                    if call.args:
+                        acc[i].append(self._eval(call.args[0], combo))
+                    else:
+                        acc[i].append(1)
+            else:
+                rows.append({t.name: self._eval(t.expr, combo)
+                             for t in stmt.targets})
+        if aggregate_mode:
+            row = {}
+            for i, target in enumerate(stmt.targets):
+                row[target.name] = self._aggregate(target.expr.name, acc[i])
+            rows = [row]
+        if stmt.unique:
+            seen: set = set()
+            deduped = []
+            for row in rows:
+                key = tuple(sorted((k, repr(v)) for k, v in row.items()))
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+            rows = deduped
+        if stmt.order_by:
+            # Stable multi-key sort: apply keys right-to-left.
+            for expr, ascending in reversed(stmt.order_by):
+                rows.sort(key=lambda row, e=expr: self._order_key(e, row),
+                          reverse=not ascending)
+        result = Result(columns=columns, rows=rows)
+        if stmt.into is not None:
+            self._materialise_into(stmt.into, result)
+        return result
+
+    def _order_key(self, expr: QlExpr, row: dict):
+        # Order-by expressions are evaluated against the projected row:
+        # a bare column name (parsed as ColumnRef(name, "")) refers to a
+        # result column; var.column re-evaluation is not available after
+        # projection, so qualified refs must also appear in the targets.
+        if isinstance(expr, ColumnRef):
+            name = expr.column or expr.var
+            if name in row:
+                return row[name]
+        raise ExecutionError(
+            f"order by key {expr} must name a result column")
+
+    def _materialise_into(self, relation_name: str, result: Result) -> None:
+        if relation_name not in self.db:
+            columns = []
+            sample = result.rows[0] if result.rows else {}
+            for name in result.columns:
+                value = sample.get(name)
+                columns.append((name, _type_name(value)
+                                if value is not None else "text"))
+            self.db.create_table(relation_name, columns)
+        relation = self.db.relation(relation_name)
+        for row in result.rows:
+            relation.insert(dict(row), fire_hooks=False)
+
+    @staticmethod
+    def _aggregate(name: str, values: list):
+        if name == "count":
+            return len(values)
+        values = [v for v in values if v is not None]
+        if not values:
+            return None
+        if name == "sum":
+            return sum(values)
+        if name == "avg":
+            return sum(values) / len(values)
+        if name == "min":
+            return min(values)
+        if name == "max":
+            return max(values)
+        raise ExecutionError(f"unknown aggregate {name!r}")
+
+    def _on_calendar_index(self, stmt: Retrieve) -> IntervalIndex | None:
+        if stmt.on_calendar is None:
+            return None
+        if not stmt.range_vars:
+            raise ExecutionError("'on <calendar>' requires a from clause")
+        calendar = self.db.resolve_calendar(stmt.on_calendar)
+        return IntervalIndex(calendar.flatten()
+                             if calendar.order != 1 else calendar)
+
+    def _valid_time_ok(self, stmt: Retrieve, combo: dict,
+                       index: IntervalIndex) -> bool:
+        var = stmt.range_vars[0].var
+        relation = self.db.relation(stmt.range_vars[0].relation)
+        column = relation.schema.valid_time_column
+        if column is None:
+            raise ExecutionError(
+                f"relation {relation.name!r} has no valid-time column for "
+                "'on <calendar>'")
+        value = combo[var].get(column)
+        return value is not None and index.contains(value)
+
+    def _fire_retrieve(self, range_vars, combo: dict) -> None:
+        for rv in range_vars:
+            relation = self.db.relation(rv.relation)
+            relation.notify_retrieve(combo[rv.var])
+
+    # -- binding enumeration -------------------------------------------------------
+
+    @classmethod
+    def _conjuncts(cls, expr: QlExpr | None) -> list:
+        """Top-level AND-ed terms of a predicate."""
+        if expr is None:
+            return []
+        if isinstance(expr, BinOp) and expr.op == "and":
+            return cls._conjuncts(expr.left) + cls._conjuncts(expr.right)
+        return [expr]
+
+    @classmethod
+    def _referenced_vars(cls, expr: QlExpr, out: set) -> None:
+        if isinstance(expr, ColumnRef):
+            out.add(expr.var)
+        elif isinstance(expr, BinOp):
+            cls._referenced_vars(expr.left, out)
+            cls._referenced_vars(expr.right, out)
+        elif isinstance(expr, UnOp):
+            cls._referenced_vars(expr.operand, out)
+        elif isinstance(expr, FuncCall):
+            for arg in expr.args:
+                cls._referenced_vars(arg, out)
+
+    def _bindings(self, range_vars, where: QlExpr | None,
+                  extra: dict) -> Iterator[dict]:
+        if not range_vars:
+            yield dict(extra)
+            return
+        # Predicate pushdown: a conjunct is evaluated as soon as every
+        # variable it references is bound, pruning the join early.
+        conjuncts = []
+        for term in self._conjuncts(where):
+            refs: set = set()
+            self._referenced_vars(term, refs)
+            refs -= set(extra)
+            level = 0
+            remaining = set(refs)
+            for i, rv in enumerate(range_vars):
+                remaining.discard(rv.var)
+                if not remaining:
+                    level = i
+                    break
+            else:
+                level = len(range_vars) - 1
+            conjuncts.append((level, term))
+        by_level: dict[int, list] = {}
+        for level, term in conjuncts:
+            by_level.setdefault(level, []).append(term)
+
+        def recurse(index: int, current: dict) -> Iterator[dict]:
+            if index == len(range_vars):
+                yield dict(current)
+                return
+            rv = range_vars[index]
+            relation = self.db.relation(rv.relation)
+            as_of = None
+            if rv.as_of is not None:
+                as_of = self._eval(rv.as_of, current)
+                if not isinstance(as_of, int):
+                    raise ExecutionError(
+                        "'as of' must evaluate to a transaction id")
+            level_terms = by_level.get(index, ())
+            for row in self._candidate_rows(relation, rv.var, where,
+                                            current, as_of):
+                current[rv.var] = row
+                if all(self._truthy(self._eval(term, current))
+                       for term in level_terms):
+                    yield from recurse(index + 1, current)
+            current.pop(rv.var, None)
+
+        yield from recurse(0, dict(extra))
+
+    def _candidate_rows(self, relation, var: str, where: QlExpr | None,
+                        bound: dict, as_of: int | None = None):
+        """Rows of ``relation``, restricted via an index when possible.
+
+        Historical (``as of``) scans bypass indexes — they cover live
+        tuples only.
+        """
+        if as_of is not None:
+            yield from relation.scan(as_of=as_of)
+            return
+        probe = self._index_probe(relation, var, where, bound)
+        if probe is not None:
+            for tid in probe:
+                row = relation.get(tid)
+                if row is not None:
+                    yield row
+            return
+        yield from relation.scan()
+
+    def _index_probe(self, relation, var: str, where: QlExpr | None,
+                     bound: dict):
+        """tids for an equality predicate ``var.col = <evaluable>``."""
+        if where is None:
+            return None
+        for column, value in self._equality_terms(where, var, bound):
+            index = relation.indexes.get(column)
+            if isinstance(index, OrderedIndex):
+                return index.lookup_eq(value)
+        return None
+
+    def _equality_terms(self, expr: QlExpr, var: str, bound: dict):
+        """Yield (column, value) for top-level AND-ed equality terms."""
+        if isinstance(expr, BinOp):
+            if expr.op == "and":
+                yield from self._equality_terms(expr.left, var, bound)
+                yield from self._equality_terms(expr.right, var, bound)
+                return
+            if expr.op == "=":
+                for colref, other in ((expr.left, expr.right),
+                                      (expr.right, expr.left)):
+                    if isinstance(colref, ColumnRef) and \
+                            colref.var == var and colref.column:
+                        try:
+                            yield colref.column, self._eval(other, bound)
+                        except ExecutionError:
+                            pass
+
+    # -- mutation -----------------------------------------------------------------
+
+    def _append(self, stmt: Append, bindings: dict) -> Result:
+        self.db.begin_xact()
+        relation = self.db.relation(stmt.relation)
+        values = {column: self._eval(expr, bindings)
+                  for column, expr in stmt.assignments}
+        relation.insert(values)
+        return Result(affected=1)
+
+    def _mutation_targets(self, var: str, range_vars, where,
+                          bindings: dict) -> tuple[list[dict], list]:
+        range_vars = list(range_vars)
+        if not any(rv.var == var for rv in range_vars):
+            # Implicit range over the relation named by the variable.
+            from repro.db.ql.ast import RangeVar
+            range_vars.append(RangeVar(var, var))
+        combos = []
+        for combo in self._bindings(tuple(range_vars), where, bindings):
+            if where is None or self._truthy(self._eval(where, combo)):
+                combos.append(combo)
+        return combos, range_vars
+
+    def _replace(self, stmt: Replace, bindings: dict) -> Result:
+        self.db.begin_xact()
+        combos, range_vars = self._mutation_targets(
+            stmt.var, stmt.range_vars, stmt.where, bindings)
+        relation_name = next(rv.relation for rv in range_vars
+                             if rv.var == stmt.var)
+        relation = self.db.relation(relation_name)
+        affected = 0
+        seen: set[int] = set()
+        for combo in combos:
+            row = combo[stmt.var]
+            if row["_tid"] in seen:
+                continue
+            seen.add(row["_tid"])
+            changes = {column: self._eval(expr, combo)
+                       for column, expr in stmt.assignments}
+            relation.update(row["_tid"], changes)
+            affected += 1
+        return Result(affected=affected)
+
+    def _delete(self, stmt: Delete, bindings: dict) -> Result:
+        self.db.begin_xact()
+        combos, range_vars = self._mutation_targets(
+            stmt.var, stmt.range_vars, stmt.where, bindings)
+        relation_name = next(rv.relation for rv in range_vars
+                             if rv.var == stmt.var)
+        relation = self.db.relation(relation_name)
+        affected = 0
+        seen: set[int] = set()
+        for combo in combos:
+            row = combo[stmt.var]
+            if row["_tid"] in seen:
+                continue
+            seen.add(row["_tid"])
+            relation.delete(row["_tid"])
+            affected += 1
+        return Result(affected=affected)
+
+    # -- expression evaluation ---------------------------------------------------------
+
+    def _eval(self, expr: QlExpr, bindings: dict):
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, ColumnRef):
+            return self._eval_column_ref(expr, bindings)
+        if isinstance(expr, UnOp):
+            value = self._eval(expr.operand, bindings)
+            if expr.op == "not":
+                return not self._truthy(value)
+            if expr.op == "-":
+                return -value
+            raise ExecutionError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr, bindings)
+        if isinstance(expr, FuncCall):
+            return self._eval_funcall(expr, bindings)
+        raise ExecutionError(f"cannot evaluate {expr!r}")
+
+    def _eval_column_ref(self, expr: ColumnRef, bindings: dict):
+        key = expr.var
+        row = bindings.get(key)
+        if row is None and key.lower() in ("new", "current"):
+            row = bindings.get(key.lower())
+        if row is None:
+            if not expr.column and key in bindings:
+                return bindings[key]
+            if not expr.column:
+                raise ExecutionError(f"unbound variable {key!r}")
+            raise ExecutionError(f"unbound tuple variable {key!r}")
+        if not expr.column:
+            return row
+        if isinstance(row, dict):
+            if expr.column not in row:
+                raise ExecutionError(
+                    f"tuple variable {key!r} has no column {expr.column!r}")
+            return row[expr.column]
+        raise ExecutionError(f"{key!r} is not a tuple variable")
+
+    def _eval_binop(self, expr: BinOp, bindings: dict):
+        if expr.op == "and":
+            return (self._truthy(self._eval(expr.left, bindings))
+                    and self._truthy(self._eval(expr.right, bindings)))
+        if expr.op == "or":
+            return (self._truthy(self._eval(expr.left, bindings))
+                    or self._truthy(self._eval(expr.right, bindings)))
+        left = self._eval(expr.left, bindings)
+        right = self._eval(expr.right, bindings)
+        custom = self.db.operators.resolve(expr.op, _type_name(left),
+                                           _type_name(right))
+        if custom is not None:
+            return custom(left, right)
+        return self._builtin_binop(expr.op, left, right)
+
+    def _builtin_binop(self, op: str, left, right):
+        if op == "within":
+            calendar = self.db.resolve_calendar(right)
+            if not isinstance(left, int):
+                raise ExecutionError(
+                    "within expects an abstime tick on the left")
+            return calendar.contains_point(left)
+        try:
+            if op == "=":
+                return left == right
+            if op == "!=":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return left / right
+            if op == "%":
+                return left % right
+            if op == "||":
+                return str(left) + str(right)
+        except TypeError as exc:
+            raise ExecutionError(
+                f"operator {op!r} not applicable to "
+                f"{_type_name(left)}/{_type_name(right)}: {exc}") from exc
+        raise ExecutionError(f"unknown operator {op!r}")
+
+    def _eval_funcall(self, expr: FuncCall, bindings: dict):
+        if expr.name in AGGREGATES:
+            raise ExecutionError(
+                f"aggregate {expr.name!r} is only allowed as a whole "
+                "retrieve target list")
+        func = self.db.functions.resolve(expr.name)
+        if func is None:
+            raise ExecutionError(f"unknown function {expr.name!r}")
+        args = [self._eval(a, bindings) for a in expr.args]
+        return func(*args)
+
+    @staticmethod
+    def _truthy(value) -> bool:
+        if value is None:
+            return False
+        if isinstance(value, Calendar):
+            return not value.is_empty()
+        return bool(value)

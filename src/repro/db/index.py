@@ -1,0 +1,136 @@
+"""Secondary indexes: ordered column indexes and interval indexes.
+
+The paper lists "creation of indexes to optimize the performance of these
+operators" among the extensible-DBMS features it uses.  Two index kinds
+are provided:
+
+* :class:`OrderedIndex` — a sorted (value, tid) list over one column,
+  answering equality and range probes in O(log n); maintained
+  incrementally by :class:`~repro.db.storage.Relation`.
+* :class:`IntervalIndex` — a static sorted-interval index over an order-1
+  calendar answering point-membership and next-point queries; used by the
+  ``within`` operator and by DBCRON.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from repro.core.calendar import Calendar
+from repro.core.interval import Interval
+from repro.db.errors import SchemaError
+
+__all__ = ["OrderedIndex", "IntervalIndex"]
+
+
+class OrderedIndex:
+    """A sorted index over one column of a relation."""
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._keys: list = []
+        self._tids: list[int] = []
+
+    def insert(self, row: dict) -> None:
+        """Index one tuple (None values are not indexed)."""
+        value = row.get(self.column)
+        if value is None:
+            return
+        pos = bisect.bisect_right(self._keys, value)
+        self._keys.insert(pos, value)
+        self._tids.insert(pos, row["_tid"])
+
+    def remove(self, row: dict) -> None:
+        """Drop one tuple's entry (matched by value and tid)."""
+        value = row.get(self.column)
+        if value is None:
+            return
+        pos = bisect.bisect_left(self._keys, value)
+        while pos < len(self._keys) and self._keys[pos] == value:
+            if self._tids[pos] == row["_tid"]:
+                del self._keys[pos]
+                del self._tids[pos]
+                return
+            pos += 1
+
+    def rebuild(self, rows: Iterable[dict]) -> None:
+        """Rebuild from scratch over the given tuples."""
+        pairs = sorted((row[self.column], row["_tid"]) for row in rows
+                       if row.get(self.column) is not None)
+        self._keys = [p[0] for p in pairs]
+        self._tids = [p[1] for p in pairs]
+
+    def lookup_eq(self, value) -> list[int]:
+        """tids of tuples whose column equals ``value``."""
+        lo = bisect.bisect_left(self._keys, value)
+        hi = bisect.bisect_right(self._keys, value)
+        return self._tids[lo:hi]
+
+    def lookup_range(self, lo=None, hi=None,
+                     lo_inclusive: bool = True,
+                     hi_inclusive: bool = True) -> list[int]:
+        """tids of tuples within the (half-)open value range."""
+        start = 0
+        end = len(self._keys)
+        if lo is not None:
+            start = (bisect.bisect_left(self._keys, lo) if lo_inclusive
+                     else bisect.bisect_right(self._keys, lo))
+        if hi is not None:
+            end = (bisect.bisect_right(self._keys, hi) if hi_inclusive
+                   else bisect.bisect_left(self._keys, hi))
+        return self._tids[start:end]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+class IntervalIndex:
+    """A static point-membership index over an order-1 calendar.
+
+    Intervals are flattened, sorted and (overlap-)merged at construction;
+    probes are O(log n).
+    """
+
+    def __init__(self, calendar: Calendar) -> None:
+        intervals = sorted(calendar.iter_intervals(),
+                           key=lambda iv: (iv.lo, iv.hi))
+        merged: list[Interval] = []
+        for iv in intervals:
+            if merged and merged[-1].overlaps(iv):
+                merged[-1] = merged[-1].union_hull(iv)
+            else:
+                merged.append(iv)
+        self._los = [iv.lo for iv in merged]
+        self._his = [iv.hi for iv in merged]
+
+    def __len__(self) -> int:
+        return len(self._los)
+
+    def contains(self, t: int) -> bool:
+        """True when axis point ``t`` is covered by the calendar."""
+        if t == 0:
+            return False
+        pos = bisect.bisect_right(self._los, t) - 1
+        return pos >= 0 and self._his[pos] >= t
+
+    def next_at_or_after(self, t: int) -> int | None:
+        """Smallest covered point >= ``t``, or None."""
+        if t == 0:
+            t = 1
+        pos = bisect.bisect_right(self._los, t) - 1
+        if pos >= 0 and self._his[pos] >= t:
+            return t
+        pos += 1
+        if pos < len(self._los):
+            return self._los[pos]
+        return None
+
+    def iter_points(self) -> Iterator[int]:
+        """All covered axis points in ascending order."""
+        for lo, hi in zip(self._los, self._his):
+            t = lo
+            while t <= hi:
+                if t != 0:
+                    yield t
+                t += 1

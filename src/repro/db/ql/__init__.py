@@ -1,0 +1,1 @@
+"""The Postquel-like query language: lexer, AST, parser, printer."""

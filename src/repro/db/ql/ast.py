@@ -1,0 +1,206 @@
+"""AST for the Postquel-like query language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "QlExpr", "Const", "ColumnRef", "VarRef", "BinOp", "UnOp", "FuncCall",
+    "Target", "RangeVar", "Retrieve", "Append", "Replace", "Delete",
+    "CreateTable", "CreateIndex", "DropTable", "DefineCalendar",
+    "DefineRule", "DropRule", "Statement",
+]
+
+
+class QlExpr:
+    """Base class of query-language expressions."""
+
+
+@dataclass(frozen=True)
+class Const(QlExpr):
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(QlExpr):
+    """``var.column``; var may be NEW or CURRENT inside rule bodies."""
+
+    var: str
+    column: str
+
+    def __str__(self) -> str:
+        if not self.column:
+            return self.var
+        return f"{self.var}.{self.column}"
+
+
+@dataclass(frozen=True)
+class VarRef(QlExpr):
+    """A bare parameter reference (bound via query parameters)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class BinOp(QlExpr):
+    op: str
+    left: QlExpr
+    right: QlExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp(QlExpr):
+    op: str
+    operand: QlExpr
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class FuncCall(QlExpr):
+    name: str
+    args: tuple
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Target:
+    """One element of a retrieve target list, optionally aliased."""
+
+    expr: QlExpr
+    alias: str | None = None
+
+    @property
+    def name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.column
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class RangeVar:
+    """``var in relation [as of <expr>]`` of a from-clause.
+
+    ``as_of`` selects the historical (transaction-time) state of the
+    relation as seen by transaction id ``as_of``.
+    """
+
+    var: str
+    relation: str
+    as_of: QlExpr | None = None
+
+
+class Statement:
+    """Base class of query-language statements."""
+
+
+@dataclass(frozen=True)
+class Retrieve(Statement):
+    targets: tuple
+    range_vars: tuple = ()
+    where: QlExpr | None = None
+    #: The ``on <calendar>`` clause: restricts the first range variable's
+    #: valid-time column to the named calendar/expression (section 1's
+    #: ``Retrieve (stock.price) on expiration-date``).
+    on_calendar: str | None = None
+    #: Drop duplicate result rows (``retrieve unique``).
+    unique: bool = False
+    #: ``order by`` keys: (expr, ascending) pairs.
+    order_by: tuple = ()
+    #: ``retrieve into <relation>``: materialise the result.
+    into: str | None = None
+
+
+@dataclass(frozen=True)
+class Append(Statement):
+    relation: str
+    assignments: tuple  # of (column, QlExpr)
+
+
+@dataclass(frozen=True)
+class Replace(Statement):
+    var: str
+    assignments: tuple
+    range_vars: tuple = ()
+    where: QlExpr | None = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    var: str
+    range_vars: tuple = ()
+    where: QlExpr | None = None
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    """``create table name (col type, ...) [key (cols)] [valid time col]``."""
+
+    name: str
+    columns: tuple          # of (name, type_name)
+    key: tuple = ()
+    valid_time_column: str | None = None
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    """``create index on relation (column)``."""
+
+    relation: str
+    column: str
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class DefineCalendar(Statement):
+    """``define calendar NAME as "<script>" [granularity g]`` or
+    ``define calendar NAME values ((lo,hi), ...) [granularity g]``."""
+
+    name: str
+    script: str | None
+    granularity: str | None = None
+    values: tuple | None = None
+
+
+@dataclass(frozen=True)
+class DefineRule(Statement):
+    """The paper's two rule forms, as statements.
+
+    Event rule:    ``define rule r on append to students
+                     [where <cond>] do ( stmt [; stmt]* )``
+    Temporal rule: ``define rule r on calendar "<expr>"
+                     do ( stmt [; stmt]* )``
+    """
+
+    name: str
+    event: str | None            # append/delete/replace/retrieve, or None
+    relation: str | None
+    calendar_expression: str | None
+    condition: QlExpr | None
+    actions: tuple               # of Statement
+
+
+@dataclass(frozen=True)
+class DropRule(Statement):
+    name: str

@@ -1,0 +1,150 @@
+"""Tokenizer for the Postquel-like query language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.db.errors import QueryError
+
+__all__ = ["QlTokenType", "QlToken", "ql_tokenize"]
+
+
+class QlTokenType(enum.Enum):
+    """Token kinds of the query language."""
+
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OP = "OP"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    EOF = "EOF"
+
+
+#: Reserved words (case-insensitive); they lex as IDENT and the parser
+#: inspects the lowered text.
+KEYWORDS = frozenset({
+    "retrieve", "append", "replace", "delete", "from", "in", "where",
+    "and", "or", "not", "on", "within", "as", "true", "false", "new",
+    "current",
+})
+
+_TWO_CHAR_OPS = ("<=", ">=", "!=", "||")
+_ONE_CHAR_OPS = "=<>+-*/%"
+
+
+@dataclass(frozen=True, slots=True)
+class QlToken:
+    type: QlTokenType
+    text: str
+    line: int
+    column: int
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+
+def ql_tokenize(source: str) -> list[QlToken]:
+    """Tokenize query text; the list always ends with an EOF token."""
+    tokens: list[QlToken] = []
+    i, line, col = 0, 1, 1
+    n = len(source)
+
+    def advance(count: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance()
+            continue
+        if ch == "-" and i + 1 < n and source[i + 1] == "-":
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        start_line, start_col = line, col
+        if ch == '"' or ch == "'":
+            quote = ch
+            advance()
+            chars: list[str] = []
+            while i < n and source[i] != quote:
+                if source[i] == "\\" and i + 1 < n:
+                    advance()
+                chars.append(source[i])
+                advance()
+            if i >= n:
+                raise QueryError("unterminated string", start_line,
+                                 start_col)
+            advance()
+            tokens.append(QlToken(QlTokenType.STRING, "".join(chars),
+                                  start_line, start_col))
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == "." and j + 1 < n and \
+                    source[j + 1].isdigit():
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(QlToken(QlTokenType.NUMBER, text, start_line,
+                                  start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(QlToken(QlTokenType.IDENT, text, start_line,
+                                  start_col))
+            continue
+        two = source[i:i + 2]
+        if two in _TWO_CHAR_OPS:
+            advance(2)
+            tokens.append(QlToken(QlTokenType.OP, two, start_line,
+                                  start_col))
+            continue
+        if ch == "(":
+            advance()
+            tokens.append(QlToken(QlTokenType.LPAREN, ch, start_line,
+                                  start_col))
+            continue
+        if ch == ")":
+            advance()
+            tokens.append(QlToken(QlTokenType.RPAREN, ch, start_line,
+                                  start_col))
+            continue
+        if ch == ",":
+            advance()
+            tokens.append(QlToken(QlTokenType.COMMA, ch, start_line,
+                                  start_col))
+            continue
+        if ch == ".":
+            advance()
+            tokens.append(QlToken(QlTokenType.DOT, ch, start_line,
+                                  start_col))
+            continue
+        if ch in _ONE_CHAR_OPS:
+            advance()
+            tokens.append(QlToken(QlTokenType.OP, ch, start_line,
+                                  start_col))
+            continue
+        raise QueryError(f"unexpected character {ch!r}", start_line,
+                         start_col)
+    tokens.append(QlToken(QlTokenType.EOF, "", line, col))
+    return tokens

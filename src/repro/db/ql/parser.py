@@ -1,0 +1,541 @@
+"""Parser for the Postquel-like query language.
+
+Grammar (informal):
+
+.. code-block:: text
+
+   statement := retrieve | append | replace | delete
+   retrieve  := 'retrieve' '(' target (',' target)* ')'
+                ['from' rangevar (',' rangevar)*]
+                ['where' expr]
+                ['on' (IDENT | STRING)]
+   append    := 'append' IDENT '(' IDENT '=' expr (',' IDENT '=' expr)* ')'
+   replace   := 'replace' IDENT '(' assignments ')'
+                ['from' rangevars] ['where' expr]
+   delete    := 'delete' IDENT ['from' rangevars] ['where' expr]
+   target    := expr ['as' IDENT]
+   rangevar  := IDENT 'in' IDENT
+   expr      := disjunction of conjunctions of (not)? comparisons;
+                comparison ops: = != < <= > >= within
+                additive ops: + - ||   multiplicative: * / %
+   primary   := NUMBER | STRING | true | false | IDENT '.' IDENT
+              | IDENT '(' args ')' | IDENT | '(' expr ')'
+
+``x within y`` is the calendar-membership operator: ``x`` is an abstime
+tick and ``y`` a calendar value, a calendar name (string) or an expression
+producing one.
+"""
+
+from __future__ import annotations
+
+from repro.db.errors import QueryError
+from repro.db.ql.ast import (
+    Append,
+    BinOp,
+    ColumnRef,
+    Const,
+    CreateIndex,
+    CreateTable,
+    DefineCalendar,
+    DefineRule,
+    Delete,
+    DropRule,
+    DropTable,
+    FuncCall,
+    QlExpr,
+    RangeVar,
+    Replace,
+    Retrieve,
+    Statement,
+    Target,
+    UnOp,
+)
+from repro.db.ql.lexer import QlToken, QlTokenType, ql_tokenize
+
+__all__ = ["QlParser", "parse_statement", "parse_ql_expression"]
+
+_T = QlTokenType
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class QlParser:
+    """A single-use recursive-descent parser over one statement."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = ql_tokenize(source)
+        self._pos = 0
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> QlToken:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _advance(self) -> QlToken:
+        token = self._tokens[self._pos]
+        if token.type is not _T.EOF:
+            self._pos += 1
+        return token
+
+    def _at_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return token.type is _T.IDENT and token.lowered in words
+
+    def _expect_keyword(self, word: str) -> QlToken:
+        token = self._peek()
+        if not self._at_keyword(word):
+            raise QueryError(f"expected {word!r}, found {token.text!r}",
+                             token.line, token.column)
+        return self._advance()
+
+    def _expect(self, token_type: QlTokenType, what: str) -> QlToken:
+        token = self._peek()
+        if token.type is not token_type:
+            raise QueryError(f"expected {what}, found "
+                             f"{token.text or 'end of input'!r}",
+                             token.line, token.column)
+        return self._advance()
+
+    def _expect_op(self, op: str) -> QlToken:
+        token = self._peek()
+        if token.type is not _T.OP or token.text != op:
+            raise QueryError(f"expected {op!r}, found {token.text!r}",
+                             token.line, token.column)
+        return self._advance()
+
+    def _ident(self, what: str) -> str:
+        return self._expect(_T.IDENT, what).text
+
+    # -- statements ----------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        """Parse exactly one statement (rejects trailing input)."""
+        token = self._peek()
+        if token.type is not _T.IDENT:
+            raise QueryError("expected a statement", token.line,
+                             token.column)
+        keyword = token.lowered
+        if keyword == "retrieve":
+            stmt = self._retrieve()
+        elif keyword == "append":
+            stmt = self._append()
+        elif keyword == "replace":
+            stmt = self._replace()
+        elif keyword == "delete":
+            stmt = self._delete()
+        elif keyword == "create":
+            stmt = self._create()
+        elif keyword == "drop":
+            stmt = self._drop()
+        elif keyword == "define":
+            stmt = self._define()
+        else:
+            raise QueryError(f"unknown statement {token.text!r}",
+                             token.line, token.column)
+        trailing = self._peek()
+        if trailing.type is not _T.EOF:
+            raise QueryError(f"unexpected trailing input {trailing.text!r}",
+                             trailing.line, trailing.column)
+        return stmt
+
+    def _retrieve(self) -> Retrieve:
+        self._expect_keyword("retrieve")
+        unique = False
+        if self._at_keyword("unique"):
+            self._advance()
+            unique = True
+        into = None
+        if self._at_keyword("into"):
+            self._advance()
+            into = self._ident("target relation")
+        self._expect(_T.LPAREN, "'('")
+        targets = [self._target()]
+        while self._peek().type is _T.COMMA:
+            self._advance()
+            targets.append(self._target())
+        self._expect(_T.RPAREN, "')'")
+        range_vars = self._from_clause()
+        where = self._where_clause()
+        on_calendar = None
+        if self._at_keyword("on"):
+            self._advance()
+            token = self._peek()
+            if token.type in (_T.IDENT, _T.STRING):
+                self._advance()
+                on_calendar = token.text
+            else:
+                raise QueryError("expected a calendar name after 'on'",
+                                 token.line, token.column)
+        order_by = self._order_by_clause()
+        return Retrieve(tuple(targets), tuple(range_vars), where,
+                        on_calendar, unique=unique, order_by=order_by,
+                        into=into)
+
+    def _order_by_clause(self) -> tuple:
+        if not self._at_keyword("order"):
+            return ()
+        self._advance()
+        self._expect_keyword("by")
+        keys = []
+        while True:
+            expr = self._expression()
+            ascending = True
+            if self._at_keyword("asc"):
+                self._advance()
+            elif self._at_keyword("desc"):
+                self._advance()
+                ascending = False
+            keys.append((expr, ascending))
+            if self._peek().type is _T.COMMA:
+                self._advance()
+                continue
+            return tuple(keys)
+
+    def _target(self) -> Target:
+        expr = self._expression()
+        alias = None
+        if self._at_keyword("as"):
+            self._advance()
+            alias = self._ident("target alias")
+        return Target(expr, alias)
+
+    def _from_clause(self) -> list[RangeVar]:
+        range_vars: list[RangeVar] = []
+        if self._at_keyword("from"):
+            self._advance()
+            range_vars.append(self._range_var())
+            while self._peek().type is _T.COMMA:
+                self._advance()
+                range_vars.append(self._range_var())
+        return range_vars
+
+    def _range_var(self) -> RangeVar:
+        var = self._ident("range variable")
+        self._expect_keyword("in")
+        relation = self._ident("relation name")
+        as_of = None
+        if self._at_keyword("as") and self._peek(1).lowered == "of":
+            self._advance()
+            self._advance()
+            as_of = self._primary()
+        return RangeVar(var, relation, as_of)
+
+    def _where_clause(self) -> QlExpr | None:
+        if self._at_keyword("where"):
+            self._advance()
+            return self._expression()
+        return None
+
+    def _append(self) -> Append:
+        self._expect_keyword("append")
+        relation = self._ident("relation name")
+        assignments = self._assignment_list()
+        return Append(relation, assignments)
+
+    def _replace(self) -> Replace:
+        self._expect_keyword("replace")
+        var = self._ident("tuple variable")
+        assignments = self._assignment_list()
+        range_vars = self._from_clause()
+        where = self._where_clause()
+        return Replace(var, assignments, tuple(range_vars), where)
+
+    def _delete(self) -> Delete:
+        self._expect_keyword("delete")
+        var = self._ident("tuple variable")
+        range_vars = self._from_clause()
+        where = self._where_clause()
+        return Delete(var, tuple(range_vars), where)
+
+    def _assignment_list(self) -> tuple:
+        self._expect(_T.LPAREN, "'('")
+        assignments = [self._assignment()]
+        while self._peek().type is _T.COMMA:
+            self._advance()
+            assignments.append(self._assignment())
+        self._expect(_T.RPAREN, "')'")
+        return tuple(assignments)
+
+    def _assignment(self) -> tuple:
+        column = self._ident("column name")
+        self._expect_op("=")
+        return (column, self._expression())
+
+    def _create(self) -> Statement:
+        self._expect_keyword("create")
+        if self._at_keyword("table"):
+            self._advance()
+            name = self._ident("relation name")
+            self._expect(_T.LPAREN, "'('")
+            columns = [self._column_def()]
+            while self._peek().type is _T.COMMA:
+                self._advance()
+                columns.append(self._column_def())
+            self._expect(_T.RPAREN, "')'")
+            key: tuple = ()
+            valid_time = None
+            while True:
+                if self._at_keyword("key"):
+                    self._advance()
+                    self._expect(_T.LPAREN, "'('")
+                    cols = [self._ident("key column")]
+                    while self._peek().type is _T.COMMA:
+                        self._advance()
+                        cols.append(self._ident("key column"))
+                    self._expect(_T.RPAREN, "')'")
+                    key = tuple(cols)
+                elif self._at_keyword("valid"):
+                    self._advance()
+                    self._expect_keyword("time")
+                    valid_time = self._ident("valid-time column")
+                else:
+                    break
+            return CreateTable(name, tuple(columns), key, valid_time)
+        if self._at_keyword("index"):
+            self._advance()
+            self._expect_keyword("on")
+            relation = self._ident("relation name")
+            self._expect(_T.LPAREN, "'('")
+            column = self._ident("column name")
+            self._expect(_T.RPAREN, "')'")
+            return CreateIndex(relation, column)
+        token = self._peek()
+        raise QueryError(f"expected 'table' or 'index' after create, "
+                         f"found {token.text!r}", token.line, token.column)
+
+    def _column_def(self) -> tuple:
+        name = self._ident("column name")
+        type_name = self._ident("type name")
+        return (name, type_name)
+
+    def _drop(self) -> Statement:
+        self._expect_keyword("drop")
+        if self._at_keyword("table"):
+            self._advance()
+            return DropTable(self._ident("relation name"))
+        if self._at_keyword("rule"):
+            self._advance()
+            return DropRule(self._ident("rule name"))
+        token = self._peek()
+        raise QueryError(f"expected 'table' or 'rule' after drop, "
+                         f"found {token.text!r}", token.line, token.column)
+
+    def _define(self) -> Statement:
+        self._expect_keyword("define")
+        if self._at_keyword("calendar"):
+            self._advance()
+            name = self._ident("calendar name")
+            script = None
+            values = None
+            if self._at_keyword("as"):
+                self._advance()
+                script = self._expect(_T.STRING, "derivation script").text
+            elif self._at_keyword("values"):
+                self._advance()
+                values = self._value_pairs()
+            else:
+                token = self._peek()
+                raise QueryError(
+                    "expected 'as \"<script>\"' or 'values ((lo,hi),...)'",
+                    token.line, token.column)
+            granularity = None
+            if self._at_keyword("granularity"):
+                self._advance()
+                granularity = self._ident("granularity name")
+            return DefineCalendar(name, script, granularity, values)
+        if self._at_keyword("rule"):
+            self._advance()
+            return self._define_rule()
+        token = self._peek()
+        raise QueryError(f"expected 'calendar' or 'rule' after define, "
+                         f"found {token.text!r}", token.line, token.column)
+
+    def _value_pairs(self) -> tuple:
+        self._expect(_T.LPAREN, "'(' before value list")
+        pairs = [self._value_pair()]
+        while self._peek().type is _T.COMMA:
+            self._advance()
+            pairs.append(self._value_pair())
+        self._expect(_T.RPAREN, "')' after value list")
+        return tuple(pairs)
+
+    def _value_pair(self) -> tuple:
+        self._expect(_T.LPAREN, "'(' before interval pair")
+        lo = self._signed_int()
+        self._expect(_T.COMMA, "',' between interval endpoints")
+        hi = self._signed_int()
+        self._expect(_T.RPAREN, "')' after interval pair")
+        return (lo, hi)
+
+    def _signed_int(self) -> int:
+        negative = False
+        token = self._peek()
+        if token.type is _T.OP and token.text == "-":
+            self._advance()
+            negative = True
+        number = self._expect(_T.NUMBER, "integer")
+        value = int(number.text)
+        return -value if negative else value
+
+    def _define_rule(self) -> DefineRule:
+        name = self._ident("rule name")
+        self._expect_keyword("on")
+        event = relation = calendar = None
+        condition = None
+        if self._at_keyword("calendar"):
+            self._advance()
+            calendar = self._expect(_T.STRING,
+                                    "calendar expression string").text
+        else:
+            token = self._expect(_T.IDENT, "event kind")
+            event = token.lowered
+            self._expect_keyword("to")
+            relation = self._ident("relation name")
+            if self._at_keyword("where"):
+                self._advance()
+                condition = self._expression()
+        self._expect_keyword("do")
+        self._expect(_T.LPAREN, "'(' before rule actions")
+        actions = [self.parse_substatement()]
+        while self._at_keyword("retrieve", "append", "replace", "delete"):
+            actions.append(self.parse_substatement())
+        self._expect(_T.RPAREN, "')' after rule actions")
+        return DefineRule(name, event, relation, calendar, condition,
+                          tuple(actions))
+
+    def parse_substatement(self) -> Statement:
+        """Parse one nested statement (rule action), no EOF check."""
+        token = self._peek()
+        keyword = token.lowered if token.type is _T.IDENT else ""
+        if keyword == "retrieve":
+            return self._retrieve()
+        if keyword == "append":
+            return self._append()
+        if keyword == "replace":
+            return self._replace()
+        if keyword == "delete":
+            return self._delete()
+        raise QueryError(f"expected a rule action statement, found "
+                         f"{token.text!r}", token.line, token.column)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _expression(self) -> QlExpr:
+        return self._or_expr()
+
+    def _or_expr(self) -> QlExpr:
+        left = self._and_expr()
+        while self._at_keyword("or"):
+            self._advance()
+            left = BinOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> QlExpr:
+        left = self._not_expr()
+        while self._at_keyword("and"):
+            self._advance()
+            left = BinOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> QlExpr:
+        if self._at_keyword("not"):
+            self._advance()
+            return UnOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> QlExpr:
+        left = self._additive()
+        token = self._peek()
+        if token.type is _T.OP and token.text in _COMPARISON_OPS:
+            self._advance()
+            return BinOp(token.text, left, self._additive())
+        if self._at_keyword("within"):
+            self._advance()
+            return BinOp("within", left, self._additive())
+        return left
+
+    def _additive(self) -> QlExpr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is _T.OP and token.text in ("+", "-", "||"):
+                self._advance()
+                left = BinOp(token.text, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> QlExpr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.type is _T.OP and token.text in ("*", "/", "%"):
+                self._advance()
+                left = BinOp(token.text, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> QlExpr:
+        token = self._peek()
+        if token.type is _T.OP and token.text == "-":
+            self._advance()
+            return UnOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> QlExpr:
+        token = self._peek()
+        if token.type is _T.NUMBER:
+            self._advance()
+            text = token.text
+            return Const(float(text) if "." in text else int(text))
+        if token.type is _T.STRING:
+            self._advance()
+            return Const(token.text)
+        if token.type is _T.LPAREN:
+            self._advance()
+            expr = self._expression()
+            self._expect(_T.RPAREN, "')'")
+            return expr
+        if token.type is _T.IDENT:
+            if token.lowered == "true":
+                self._advance()
+                return Const(True)
+            if token.lowered == "false":
+                self._advance()
+                return Const(False)
+            self._advance()
+            name = token.text
+            if self._peek().type is _T.DOT:
+                self._advance()
+                column = self._ident("column name")
+                return ColumnRef(name, column)
+            if self._peek().type is _T.LPAREN:
+                self._advance()
+                args: list[QlExpr] = []
+                if self._peek().type is not _T.RPAREN:
+                    args.append(self._expression())
+                    while self._peek().type is _T.COMMA:
+                        self._advance()
+                        args.append(self._expression())
+                self._expect(_T.RPAREN, "')'")
+                return FuncCall(name.lower(), tuple(args))
+            return ColumnRef(name, "")  # bare variable, resolved later
+        raise QueryError(f"expected an expression, found "
+                         f"{token.text or 'end of input'!r}",
+                         token.line, token.column)
+
+
+def parse_statement(source: str) -> Statement:
+    """Parse one Postquel statement from text."""
+    return QlParser(source).parse_statement()
+
+
+def parse_ql_expression(source: str) -> QlExpr:
+    """Parse a standalone query-language expression."""
+    parser = QlParser(source)
+    expr = parser._expression()
+    trailing = parser._peek()
+    if trailing.type is not _T.EOF:
+        raise QueryError(f"unexpected trailing input {trailing.text!r}",
+                         trailing.line, trailing.column)
+    return expr

@@ -1,0 +1,91 @@
+"""Rendering Postquel statements back to parseable text.
+
+Used by the persistence layer (rules are stored as statement text) and by
+diagnostics.  ``parse_statement(render_statement(s)) == s`` for every DML
+statement — pinned by tests.
+"""
+
+from __future__ import annotations
+
+from repro.db.errors import QueryError
+from repro.db.ql.ast import (
+    Append,
+    Delete,
+    QlExpr,
+    Replace,
+    Retrieve,
+    Statement,
+    Target,
+)
+
+__all__ = ["render_statement", "render_expression"]
+
+
+def render_expression(expr: QlExpr) -> str:
+    """Parseable text of a query-language expression."""
+    return str(expr)
+
+
+def _render_target(target: Target) -> str:
+    text = str(target.expr)
+    if target.alias:
+        text += f" as {target.alias}"
+    return text
+
+
+def _render_range_var(rv) -> str:
+    text = f"{rv.var} in {rv.relation}"
+    if rv.as_of is not None:
+        text += f" as of {rv.as_of}"
+    return text
+
+
+def _render_from(range_vars) -> str:
+    if not range_vars:
+        return ""
+    return " from " + ", ".join(_render_range_var(rv)
+                                for rv in range_vars)
+
+
+def _render_where(where) -> str:
+    return f" where {where}" if where is not None else ""
+
+
+def _render_assignments(assignments) -> str:
+    return "(" + ", ".join(f"{col} = {expr}"
+                           for col, expr in assignments) + ")"
+
+
+def render_statement(statement: Statement) -> str:
+    """Render a DML statement as parseable Postquel text."""
+    if isinstance(statement, Retrieve):
+        text = "retrieve"
+        if statement.unique:
+            text += " unique"
+        if statement.into:
+            text += f" into {statement.into}"
+        text += " (" + ", ".join(_render_target(t)
+                                 for t in statement.targets) + ")"
+        text += _render_from(statement.range_vars)
+        text += _render_where(statement.where)
+        if statement.on_calendar:
+            text += f' on "{statement.on_calendar}"'
+        if statement.order_by:
+            keys = ", ".join(
+                f"{expr}" + ("" if ascending else " desc")
+                for expr, ascending in statement.order_by)
+            text += f" order by {keys}"
+        return text
+    if isinstance(statement, Append):
+        return (f"append {statement.relation} "
+                f"{_render_assignments(statement.assignments)}")
+    if isinstance(statement, Replace):
+        return (f"replace {statement.var} "
+                f"{_render_assignments(statement.assignments)}"
+                f"{_render_from(statement.range_vars)}"
+                f"{_render_where(statement.where)}")
+    if isinstance(statement, Delete):
+        return (f"delete {statement.var}"
+                f"{_render_from(statement.range_vars)}"
+                f"{_render_where(statement.where)}")
+    raise QueryError(f"cannot render statement {statement!r}")

@@ -1,0 +1,257 @@
+"""Heap storage: schemas, relations, and the database object.
+
+Relations are in-memory heaps of dict-shaped tuples with a hidden ``_tid``.
+Every mutating operation routes through event hooks so the rule system can
+observe ``append`` / ``delete`` / ``replace`` / ``retrieve`` events exactly
+like the POSTGRES rule system does (section 4).
+
+A relation may declare a *valid-time column* (type ``abstime``); the query
+language's ``on <calendar>`` clause and ``within`` operator use it for
+temporal restriction, and regular time series use it to avoid storing time
+points at all.
+
+Storage is **no-overwrite** in the POSTGRES tradition: deleted and
+superseded tuple versions are retained with hidden transaction stamps
+``_tmin`` / ``_tmax`` (the transaction ids that created/invalidated the
+version), so queries can inspect the historical state of a relation
+("as of" transaction t) — the paper's section 4 notes rule conditions may
+check "the current or historical (with respect to transaction time)
+state of database objects".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.db.errors import IntegrityError, SchemaError
+from repro.db.types import TypeRegistry
+
+__all__ = ["Column", "Schema", "Relation", "EVENT_KINDS"]
+
+EVENT_KINDS = ("append", "delete", "replace", "retrieve")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    type_name: str
+
+    def __str__(self) -> str:
+        return f"{self.name} : {self.type_name}"
+
+
+class Schema:
+    """An ordered set of columns with optional key and valid-time column."""
+
+    def __init__(self, columns: Sequence[Column | tuple[str, str]],
+                 key: Sequence[str] = (),
+                 valid_time_column: str | None = None) -> None:
+        self.columns: list[Column] = [
+            c if isinstance(c, Column) else Column(*c) for c in columns]
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self._by_name = {c.name: c for c in self.columns}
+        for k in key:
+            if k not in self._by_name:
+                raise SchemaError(f"key column {k!r} is not in the schema")
+        self.key = tuple(key)
+        if valid_time_column is not None and \
+                valid_time_column not in self._by_name:
+            raise SchemaError(
+                f"valid-time column {valid_time_column!r} is not in the "
+                "schema")
+        self.valid_time_column = valid_time_column
+
+    def column(self, name: str) -> Column:
+        """The column named ``name`` (raises SchemaError if absent)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}") from None
+
+    def column_names(self) -> list[str]:
+        """Column names in declaration order."""
+        return [c.name for c in self.columns]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(c) for c in self.columns) + ")"
+
+
+class Relation:
+    """An in-memory heap relation with event hooks and secondary indexes.
+
+    ``xact_source`` supplies the current transaction id for version
+    stamping (the database wires its transaction counter in); standalone
+    relations default to a constant id 1.
+    """
+
+    def __init__(self, name: str, schema: Schema,
+                 types: TypeRegistry,
+                 xact_source: "Callable[[], int] | None" = None) -> None:
+        self.name = name
+        self.schema = schema
+        self._types = types
+        self._rows: dict[int, dict] = {}
+        #: Dead tuple versions (no-overwrite storage), in burial order.
+        self._history: list[dict] = []
+        self._tid_counter = itertools.count(1)
+        self._xact_source = xact_source or (lambda: 1)
+        #: kind -> list of callables(event) — wired up by the rule manager.
+        self.hooks: dict[str, list[Callable]] = {k: [] for k in EVENT_KINDS}
+        #: column name -> index object (see repro.db.index).
+        self.indexes: dict[str, object] = {}
+
+    # -- basic properties ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def version_count(self) -> int:
+        """Total stored tuple versions, live and dead."""
+        return len(self._rows) + len(self._history)
+
+    def scan(self, as_of: int | None = None) -> Iterator[dict]:
+        """Iterate over tuples (dicts including ``_tid``).
+
+        With ``as_of``, yields the versions visible to transaction
+        ``as_of``: created at or before it and not invalidated by it.
+        """
+        if as_of is None:
+            yield from list(self._rows.values())
+            return
+        for row in self._history:
+            if row["_tmin"] <= as_of and row["_tmax"] > as_of:
+                yield row
+        for row in self._rows.values():
+            if row["_tmin"] <= as_of:
+                yield row
+
+    def get(self, tid: int) -> dict | None:
+        """The live tuple with id ``tid``, or None."""
+        return self._rows.get(tid)
+
+    # -- validation ---------------------------------------------------------------
+
+    def _validate(self, values: dict) -> dict:
+        row: dict = {}
+        for column in self.schema.columns:
+            value = values.get(column.name)
+            row[column.name] = self._types.get(column.type_name).validate(
+                value)
+        unknown = set(values) - {c.name for c in self.schema.columns} - {
+            "_tid", "_tmin", "_tmax"}
+        if unknown:
+            raise SchemaError(
+                f"unknown columns for {self.name}: {sorted(unknown)}")
+        return row
+
+    def _check_key(self, row: dict, ignore_tid: int | None = None) -> None:
+        if not self.schema.key:
+            return
+        key_value = tuple(row[k] for k in self.schema.key)
+        for other in self._rows.values():
+            if ignore_tid is not None and other["_tid"] == ignore_tid:
+                continue
+            if tuple(other[k] for k in self.schema.key) == key_value:
+                raise IntegrityError(
+                    f"duplicate key {key_value!r} in {self.name}")
+
+    # -- mutation -----------------------------------------------------------------
+
+    def insert(self, values: dict, fire_hooks: bool = True) -> dict:
+        """Append a tuple (validated, key-checked, version-stamped)."""
+        row = self._validate(values)
+        self._check_key(row)
+        row["_tid"] = next(self._tid_counter)
+        row["_tmin"] = self._xact_source()
+        self._rows[row["_tid"]] = row
+        for index in self.indexes.values():
+            index.insert(row)
+        if fire_hooks:
+            self._fire("append", new=row)
+        return row
+
+    def delete(self, tid: int, fire_hooks: bool = True) -> dict:
+        """Remove a live tuple; its version moves to history."""
+        try:
+            row = self._rows.pop(tid)
+        except KeyError:
+            raise IntegrityError(
+                f"no tuple with tid {tid} in {self.name}") from None
+        dead = dict(row)
+        dead["_tmax"] = self._xact_source()
+        self._history.append(dead)
+        for index in self.indexes.values():
+            index.remove(row)
+        if fire_hooks:
+            self._fire("delete", current=row)
+        return row
+
+    def update(self, tid: int, changes: dict,
+               fire_hooks: bool = True) -> dict:
+        """Replace columns of a tuple; the old version moves to history."""
+        old = self._rows.get(tid)
+        if old is None:
+            raise IntegrityError(f"no tuple with tid {tid} in {self.name}")
+        merged = {k: v for k, v in old.items()
+                  if k not in ("_tid", "_tmin", "_tmax")}
+        merged.update(changes)
+        row = self._validate(merged)
+        self._check_key(row, ignore_tid=tid)
+        row["_tid"] = tid
+        row["_tmin"] = self._xact_source()
+        dead = dict(old)
+        dead["_tmax"] = self._xact_source()
+        self._history.append(dead)
+        for index in self.indexes.values():
+            index.remove(old)
+        self._rows[tid] = row
+        for index in self.indexes.values():
+            index.insert(row)
+        if fire_hooks:
+            self._fire("replace", current=old, new=row)
+        return row
+
+    def notify_retrieve(self, row: dict) -> None:
+        """Fire retrieve-event hooks for a tuple touched by a query."""
+        self._fire("retrieve", current=row)
+
+    def truncate(self) -> None:
+        """Discard all tuples, live and historical."""
+        self._rows.clear()
+        self._history.clear()
+        for index in self.indexes.values():
+            index.rebuild(self.scan())
+
+    def vacuum(self, before_xact: int | None = None) -> int:
+        """Discard dead versions (all, or those invalidated before a
+        transaction id); returns how many were reclaimed."""
+        if before_xact is None:
+            reclaimed = len(self._history)
+            self._history.clear()
+            return reclaimed
+        kept = [row for row in self._history
+                if row["_tmax"] >= before_xact]
+        reclaimed = len(self._history) - len(kept)
+        self._history = kept
+        return reclaimed
+
+    # -- events ------------------------------------------------------------------
+
+    def _fire(self, kind: str, current: dict | None = None,
+              new: dict | None = None) -> None:
+        if not self.hooks[kind]:
+            return
+        from repro.rules.events import Event  # local import, no cycle at load
+        event = Event(kind=kind, relation=self.name, current=current,
+                      new=new)
+        for hook in self.hooks[kind]:
+            hook(event)

@@ -1,0 +1,27 @@
+"""Financial application layer: conventions, business days, options, bonds."""
+
+from repro.finance.bonds import Bond, discount_yield, simple_yield
+from repro.finance.business import BusinessCalendar
+from repro.finance.conventions import (
+    PAPER_BOND_CONVENTION,
+    Actual365Fixed,
+    ActualActual,
+    DayCountConvention,
+    Thirty360,
+)
+from repro.finance.options import (
+    EXPIRATION_SCRIPT,
+    LAST_TRADING_DAY_SCRIPT,
+    OptionContract,
+    expiration_calendar,
+    expiration_date,
+    last_trading_day,
+)
+
+__all__ = [
+    "DayCountConvention", "Thirty360", "Actual365Fixed", "ActualActual",
+    "PAPER_BOND_CONVENTION", "BusinessCalendar",
+    "OptionContract", "expiration_date", "last_trading_day",
+    "expiration_calendar", "EXPIRATION_SCRIPT", "LAST_TRADING_DAY_SCRIPT",
+    "Bond", "discount_yield", "simple_yield",
+]

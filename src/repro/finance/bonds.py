@@ -1,0 +1,144 @@
+"""Bond arithmetic under user-defined date conventions.
+
+Demonstrates the paper's point about date semantics: the same bond gives
+different accrued interest and yields depending on the day-count calendar,
+so date functions must take the convention as an argument rather than
+assuming the civil calendar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chrono import CivilDate, days_in_month
+from repro.core.errors import CalendarError
+from repro.finance.conventions import DayCountConvention, Thirty360
+
+__all__ = ["Bond", "discount_yield", "simple_yield"]
+
+
+def _add_months(date: CivilDate, months: int) -> CivilDate:
+    total = date.year * 12 + (date.month - 1) + months
+    year, month0 = divmod(total, 12)
+    month = month0 + 1
+    day = min(date.day, days_in_month(year, month))
+    return CivilDate(year, month, day)
+
+
+@dataclass(frozen=True)
+class Bond:
+    """A fixed-coupon bullet bond."""
+
+    face: float
+    coupon_rate: float          # annual, e.g. 0.08
+    maturity: CivilDate
+    frequency: int = 2          # coupons per year
+
+    def __post_init__(self) -> None:
+        if self.frequency not in (1, 2, 4, 12):
+            raise CalendarError(
+                f"unsupported coupon frequency {self.frequency}")
+
+    # -- schedule -----------------------------------------------------------------
+
+    def coupon_dates(self, settlement: CivilDate) -> list[CivilDate]:
+        """Coupon dates strictly after ``settlement``, ending at maturity."""
+        step = 12 // self.frequency
+        dates: list[CivilDate] = []
+        current = self.maturity
+        while current > settlement:
+            dates.append(current)
+            current = _add_months(current, -step)
+        dates.reverse()
+        return dates
+
+    def previous_coupon_date(self, settlement: CivilDate) -> CivilDate:
+        """The coupon date at or before ``settlement``."""
+        step = 12 // self.frequency
+        current = self.maturity
+        while current > settlement:
+            current = _add_months(current, -step)
+        return current
+
+    def coupon_amount(self) -> float:
+        """Cash paid per coupon (face * rate / frequency)."""
+        return self.face * self.coupon_rate / self.frequency
+
+    # -- valuation -----------------------------------------------------------------
+
+    def accrued_interest(self, settlement: CivilDate,
+                         convention: DayCountConvention | None = None
+                         ) -> float:
+        """Accrued coupon since the previous coupon date.
+
+        The convention controls the day counting — the paper's 30/360
+        months vs. actual days give different answers.
+        """
+        convention = convention or Thirty360()
+        prev = self.previous_coupon_date(settlement)
+        nxt = _add_months(prev, 12 // self.frequency)
+        accrual_days = convention.days(prev, settlement)
+        period_days = convention.days(prev, nxt)
+        if period_days <= 0:
+            return 0.0
+        return self.coupon_amount() * accrual_days / period_days
+
+    def price(self, settlement: CivilDate, annual_yield: float,
+              convention: DayCountConvention | None = None) -> float:
+        """Dirty price at a given annual yield (compounded per coupon)."""
+        convention = convention or Thirty360()
+        period_rate = annual_yield / self.frequency
+        price = 0.0
+        for date in self.coupon_dates(settlement):
+            periods = (convention.year_fraction(settlement, date)
+                       * self.frequency)
+            discount = (1.0 + period_rate) ** periods
+            price += self.coupon_amount() / discount
+            if date == self.maturity:
+                price += self.face / discount
+        return price
+
+    def yield_to_maturity(self, settlement: CivilDate, dirty_price: float,
+                          convention: DayCountConvention | None = None,
+                          tolerance: float = 1e-10,
+                          max_iterations: int = 200) -> float:
+        """Solve price(yield) = dirty_price by bisection."""
+        convention = convention or Thirty360()
+        lo, hi = -0.5, 5.0
+        price_lo = self.price(settlement, lo, convention)
+        price_hi = self.price(settlement, hi, convention)
+        if not (price_hi <= dirty_price <= price_lo):
+            raise CalendarError(
+                f"price {dirty_price} outside solvable yield range")
+        for _ in range(max_iterations):
+            mid = (lo + hi) / 2.0
+            price_mid = self.price(settlement, mid, convention)
+            if abs(price_mid - dirty_price) < tolerance:
+                return mid
+            if price_mid > dirty_price:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+
+def discount_yield(face: float, price: float, settlement: CivilDate,
+                   maturity: CivilDate,
+                   convention: DayCountConvention | None = None) -> float:
+    """Bank-discount yield of a zero (e.g. a T-bill) under a convention."""
+    convention = convention or Thirty360()
+    fraction = convention.year_fraction(settlement, maturity)
+    if fraction <= 0:
+        raise CalendarError("maturity must follow settlement")
+    return (face - price) / face / fraction
+
+
+def simple_yield(face: float, price: float, settlement: CivilDate,
+                 maturity: CivilDate,
+                 convention: DayCountConvention | None = None) -> float:
+    """Simple money-market yield (on price) under a convention."""
+    convention = convention or Thirty360()
+    fraction = convention.year_fraction(settlement, maturity)
+    if fraction <= 0:
+        raise CalendarError("maturity must follow settlement")
+    return (face - price) / price / fraction

@@ -1,0 +1,106 @@
+"""Business-day logic over catalog calendars.
+
+A :class:`BusinessCalendar` wraps a registry's business-day calendar
+(by default ``AM_BUS_DAYS``, weekdays minus holidays, installed by
+:func:`repro.catalog.builtins.install_us_holidays`) and provides the roll
+conventions and business-day arithmetic that financial applications need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.registry import CalendarRegistry
+from repro.core.arithmetic import (
+    count_points_between,
+    next_point,
+    prev_point,
+    shift_point,
+)
+from repro.core.calendar import Calendar
+from repro.core.errors import CalendarError
+
+__all__ = ["BusinessCalendar"]
+
+
+@dataclass
+class BusinessCalendar:
+    """Business-day queries against a named calendar."""
+
+    registry: CalendarRegistry
+    calendar_name: str = "AM_BUS_DAYS"
+    #: Evaluation window (day ticks); defaults to the registry default.
+    window: tuple[int, int] | None = None
+    _cache: Calendar | None = field(default=None, init=False, repr=False)
+
+    def _calendar(self) -> Calendar:
+        if self._cache is None:
+            value = self.registry.evaluate(self.calendar_name,
+                                           window=self.window)
+            if not isinstance(value, Calendar):
+                raise CalendarError(
+                    f"{self.calendar_name!r} did not evaluate to a calendar")
+            self._cache = value.flatten() if value.order != 1 else value
+        return self._cache
+
+    def invalidate(self) -> None:
+        """Drop the cached calendar (after redefinitions)."""
+        self._cache = None
+
+    # -- queries --------------------------------------------------------------
+
+    def is_business_day(self, t: int) -> bool:
+        """True when axis day ``t`` is a business day."""
+        return self._calendar().contains_point(t)
+
+    def next_business_day(self, t: int, inclusive: bool = False) -> int:
+        """First business day after (or at, if inclusive) ``t``."""
+        value = next_point(self._calendar(), t, inclusive=inclusive)
+        if value is None:
+            raise CalendarError("no business day within the window after "
+                                f"tick {t}")
+        return value
+
+    def previous_business_day(self, t: int,
+                              inclusive: bool = False) -> int:
+        """Last business day before (or at, if inclusive) ``t``."""
+        value = prev_point(self._calendar(), t, inclusive=inclusive)
+        if value is None:
+            raise CalendarError("no business day within the window before "
+                                f"tick {t}")
+        return value
+
+    def add_business_days(self, t: int, n: int) -> int:
+        """Move ``n`` business days from ``t`` (negative moves back)."""
+        value = shift_point(self._calendar(), t, n)
+        if value is None:
+            raise CalendarError(
+                f"cannot move {n} business days from tick {t} inside the "
+                "window")
+        return value
+
+    def business_days_between(self, a: int, b: int) -> int:
+        """Business days in the inclusive span ``[a, b]``."""
+        return count_points_between(self._calendar(), a, b)
+
+    # -- roll conventions ----------------------------------------------------------
+
+    def adjust(self, t: int, convention: str = "following") -> int:
+        """Roll a date onto a business day.
+
+        ``following`` / ``preceding`` / ``modified_following`` (roll
+        forward unless that crosses a month boundary, then roll back).
+        """
+        if self.is_business_day(t):
+            return t
+        if convention == "following":
+            return self.next_business_day(t)
+        if convention == "preceding":
+            return self.previous_business_day(t)
+        if convention == "modified_following":
+            candidate = self.next_business_day(t)
+            if self.registry.system.date_of(candidate).month != \
+                    self.registry.system.date_of(t).month:
+                return self.previous_business_day(t)
+            return candidate
+        raise CalendarError(f"unknown roll convention {convention!r}")

@@ -1,0 +1,108 @@
+"""Day-count conventions: user-defined semantics for date arithmetic.
+
+Section 1 of the paper (citing Stonebraker) motivates calendars whose date
+arithmetic differs from the civil calendar: *"the yield calculation on
+financial bonds uses a calendar that has 30 days in every month for date
+arithmetic, but 365 days in the year for the actual yield calculation."*
+
+Each convention pairs a day-counting rule with a year basis and yields the
+``year_fraction`` used in interest formulas.  The 30/360 convention
+reproduces the paper's example exactly (30-day months, 365-day year for
+the yield divisor when constructed per the paper; the market-standard
+360 basis is also available).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.arithmetic import GregorianScheme, Thirty360Scheme
+from repro.core.chrono import CivilDate, days_in_year
+
+__all__ = [
+    "DayCountConvention",
+    "Thirty360",
+    "Actual365Fixed",
+    "ActualActual",
+    "PAPER_BOND_CONVENTION",
+]
+
+
+class DayCountConvention:
+    """Abstract day-count convention."""
+
+    name = "abstract"
+
+    def days(self, start: CivilDate, end: CivilDate) -> int:
+        """Days from ``start`` to ``end`` under this convention."""
+        raise NotImplementedError
+
+    def year_fraction(self, start: CivilDate, end: CivilDate) -> float:
+        """Fraction of a year from ``start`` to ``end``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Thirty360(DayCountConvention):
+    """30/360: every month counts 30 days.
+
+    ``year_basis`` is the denominator of the year fraction; the paper's
+    bond example divides by 365 even though months count 30 days, which is
+    the default here.  Pass 360 for the market-standard 30U/360.
+    """
+
+    year_basis: int = 365
+    name = "30/360"
+
+    def days(self, start: CivilDate, end: CivilDate) -> int:
+        return Thirty360Scheme().days_between(start, end)
+
+    def year_fraction(self, start: CivilDate, end: CivilDate) -> float:
+        return self.days(start, end) / self.year_basis
+
+
+@dataclass(frozen=True)
+class Actual365Fixed(DayCountConvention):
+    """Actual/365F: civil days divided by a fixed 365."""
+
+    name = "actual/365F"
+
+    def days(self, start: CivilDate, end: CivilDate) -> int:
+        return GregorianScheme().days_between(start, end)
+
+    def year_fraction(self, start: CivilDate, end: CivilDate) -> float:
+        return self.days(start, end) / 365.0
+
+
+@dataclass(frozen=True)
+class ActualActual(DayCountConvention):
+    """Actual/Actual (ISDA-style): per-year day counts over true year
+    lengths."""
+
+    name = "actual/actual"
+
+    def days(self, start: CivilDate, end: CivilDate) -> int:
+        return GregorianScheme().days_between(start, end)
+
+    def year_fraction(self, start: CivilDate, end: CivilDate) -> float:
+        if end < start:
+            return -self.year_fraction(end, start)
+        if start.year == end.year:
+            return self.days(start, end) / days_in_year(start.year)
+        scheme = GregorianScheme()
+        fraction = 0.0
+        # Remainder of the start year.
+        end_of_start = CivilDate(start.year, 12, 31)
+        fraction += (scheme.days_between(start, end_of_start) + 1) \
+            / days_in_year(start.year)
+        # Whole years in between.
+        fraction += max(0, end.year - start.year - 1)
+        # Beginning of the end year.
+        start_of_end = CivilDate(end.year, 1, 1)
+        fraction += scheme.days_between(start_of_end, end) \
+            / days_in_year(end.year)
+        return fraction
+
+
+#: The convention the paper describes: 30-day months, 365-day year.
+PAPER_BOND_CONVENTION = Thirty360(year_basis=365)

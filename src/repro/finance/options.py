@@ -1,0 +1,114 @@
+"""Option expiration machinery — the paper's running example.
+
+Section 1 motivates the whole system with: *"The expiration date of an
+option is the 3rd Friday of November if it is a business day, else it is
+the business day preceding the above mentioned Friday"*, and section 3.3
+gives the calendar scripts for the expiration date (``if``) and the last
+trading day (``while``: the seventh business day preceding the last day of
+the expiration month).
+
+This module runs exactly those scripts through the catalog, with the
+expiration month supplied as the predefined calendar the scripts
+reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.registry import CalendarRegistry
+from repro.core.calendar import Calendar
+from repro.core.errors import CalendarError
+
+__all__ = [
+    "EXPIRATION_SCRIPT",
+    "LAST_TRADING_DAY_SCRIPT",
+    "expiration_date",
+    "last_trading_day",
+    "expiration_calendar",
+    "OptionContract",
+]
+
+#: The section 3.3 ``if`` script, verbatim semantics: third Friday of the
+#: expiration month if a business day, else the preceding business day.
+EXPIRATION_SCRIPT = """
+{Fri_days = [5]/DAYS:during:WEEKS;
+ temp1 = [3]/Fri_days:overlaps:Expiration-Month;
+ if (temp1:intersects:HOLIDAYS)
+     return([n]/AM_BUS_DAYS:<:temp1);
+ else
+     return(temp1);}
+"""
+
+#: The section 3.3 ``while`` script's target computation: the seventh
+#: business day preceding the last business day of the expiration month.
+LAST_TRADING_DAY_SCRIPT = """
+{temp1 = [n]/AM_BUS_DAYS:during:Expiration-Month;
+ temp2 = [-7]/AM_BUS_DAYS:<:temp1;
+ return(temp2);}
+"""
+
+
+def _expiration_month_calendar(registry: CalendarRegistry, year: int,
+                               month: int) -> Calendar:
+    lo, hi = registry.system.epoch.days_of_month(year, month)
+    return Calendar.interval(lo, hi, None)
+
+
+def _run_with_month(registry: CalendarRegistry, script: str, year: int,
+                    month: int) -> Calendar:
+    month_cal = _expiration_month_calendar(registry, year, month)
+    lo, hi = registry.system.epoch.days_of_year(year)
+    # Look-back room for "<" selections reaching before the month.
+    back = lo - 366
+    window = (back if back != 0 else -1, hi)
+    result = registry.eval_script(script, window=window,
+                                  env={"Expiration-Month": month_cal})
+    if not isinstance(result, Calendar) or result.is_empty():
+        raise CalendarError(
+            f"expiration script produced no result for {year}-{month:02d}")
+    return result
+
+
+def expiration_date(registry: CalendarRegistry, year: int,
+                    month: int) -> int:
+    """Axis day of the option expiration for ``year-month``."""
+    result = _run_with_month(registry, EXPIRATION_SCRIPT, year, month)
+    return result.elements[-1].hi
+
+
+def last_trading_day(registry: CalendarRegistry, year: int,
+                     month: int) -> int:
+    """Axis day of the last trading day for ``year-month``."""
+    result = _run_with_month(registry, LAST_TRADING_DAY_SCRIPT, year, month)
+    return result.elements[-1].hi
+
+
+def expiration_calendar(registry: CalendarRegistry, year: int,
+                        months: "tuple[int, ...] | None" = None) -> Calendar:
+    """Order-1 calendar of expiration instants for the given months.
+
+    ``months`` defaults to all twelve (monthly expiration cycle); pass
+    e.g. ``(3, 6, 9, 12)`` for a quarterly cycle.
+    """
+    months = months or tuple(range(1, 13))
+    days = sorted(expiration_date(registry, year, m) for m in months)
+    return Calendar.from_intervals([(d, d) for d in days])
+
+
+@dataclass(frozen=True)
+class OptionContract:
+    """A listed option identified by its expiration year/month."""
+
+    underlying: str
+    year: int
+    month: int
+    strike: float
+
+    def expiration(self, registry: CalendarRegistry) -> int:
+        """Axis day the contract expires."""
+        return expiration_date(registry, self.year, self.month)
+
+    def last_trading_day(self, registry: CalendarRegistry) -> int:
+        """Axis day of the contract's last trading day."""
+        return last_trading_day(registry, self.year, self.month)

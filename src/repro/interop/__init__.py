@@ -1,0 +1,11 @@
+"""Interoperability bridges (iCalendar RRULE <-> calendar expressions)."""
+
+from repro.interop.rrule_bridge import (
+    UnsupportedExpression,
+    calendar_to_dates,
+    expression_to_rrule,
+    rrule_to_calendar,
+)
+
+__all__ = ["expression_to_rrule", "rrule_to_calendar",
+           "calendar_to_dates", "UnsupportedExpression"]

@@ -1,0 +1,295 @@
+"""Bridging calendar expressions and iCalendar (RFC 5545) RRULEs.
+
+The modern descendants of the paper's recurrence machinery are iCalendar
+``RRULE`` strings.  This module converts in both directions:
+
+* :func:`expression_to_rrule` recognises the common calendar-expression
+  shapes and emits the equivalent RRULE —
+  ``[2]/DAYS:during:WEEKS``            → ``FREQ=WEEKLY;BYDAY=TU``
+  ``[15]/DAYS:during:MONTHS``          → ``FREQ=MONTHLY;BYMONTHDAY=15``
+  ``[n]/DAYS:during:MONTHS``           → ``FREQ=MONTHLY;BYMONTHDAY=-1``
+  ``[3]/([5]/DAYS:during:WEEKS):overlaps:MONTHS``
+                                       → ``FREQ=MONTHLY;BYDAY=3FR``
+  ``[40]/DAYS:during:YEARS``           → ``FREQ=YEARLY;BYYEARDAY=40``
+  Expressions outside these shapes raise :class:`UnsupportedExpression`
+  (the calendar algebra is strictly more expressive than RRULE).
+
+* :func:`rrule_to_calendar` evaluates an RRULE string (DAILY / WEEKLY /
+  MONTHLY / YEARLY with INTERVAL, BYDAY incl. ordinal prefixes,
+  BYMONTHDAY, BYMONTH) over a day window, producing an explicit order-1
+  calendar on the system's axis — cross-checked against
+  ``dateutil.rrule`` in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.basis import CalendarSystem
+from repro.core.calendar import Calendar
+from repro.core.chrono import CivilDate, days_in_month, weekday
+from repro.core.errors import CalendarError
+from repro.core.granularity import Granularity
+from repro.lang import ast
+from repro.lang.parser import parse_expression
+
+__all__ = [
+    "UnsupportedExpression",
+    "expression_to_rrule",
+    "rrule_to_calendar",
+    "calendar_to_dates",
+]
+
+#: iCalendar weekday codes indexed by ISO weekday (Mon=1..Sun=7).
+_BYDAY_CODES = (None, "MO", "TU", "WE", "TH", "FR", "SA", "SU")
+_CODE_TO_ISO = {code: i for i, code in enumerate(_BYDAY_CODES) if code}
+
+
+class UnsupportedExpression(CalendarError):
+    """The expression has no RRULE equivalent."""
+
+
+# ---------------------------------------------------------------------------
+# expression -> RRULE
+# ---------------------------------------------------------------------------
+
+def _single_index(predicate) -> int | None:
+    """The predicate's single integer index (n => -1), else None."""
+    from repro.core.algebra import LAST
+    if len(predicate.items) != 1:
+        return None
+    item = predicate.items[0]
+    if item is LAST:
+        return -1
+    if isinstance(item, int):
+        return item
+    return None
+
+
+def _is_basic(node, name: str) -> bool:
+    return isinstance(node, ast.Name) and node.ident.upper() == name
+
+
+def expression_to_rrule(expression: "str | ast.Expr") -> str:
+    """Translate a recognised calendar expression to an RRULE string."""
+    expr = (parse_expression(expression)
+            if isinstance(expression, str) else expression)
+    if not isinstance(expr, ast.Select):
+        raise UnsupportedExpression(
+            f"no RRULE equivalent for {expr} (expected a selection)")
+    index = _single_index(expr.predicate)
+    if index is None:
+        raise UnsupportedExpression(
+            "RRULE export needs a single selection index")
+    child = expr.child
+    if not isinstance(child, ast.ForEach):
+        raise UnsupportedExpression(f"no RRULE equivalent for {expr}")
+
+    # [k]/DAYS:during:WEEKS  ->  weekly on weekday k
+    if _is_basic(child.left, "DAYS") and _is_basic(child.right, "WEEKS"):
+        if not 1 <= index <= 7:
+            raise UnsupportedExpression(
+                f"weekday index {index} out of range")
+        return f"FREQ=WEEKLY;BYDAY={_BYDAY_CODES[index]}"
+
+    # [k]/DAYS:during:MONTHS  ->  monthly on month day k (negative ok)
+    if _is_basic(child.left, "DAYS") and _is_basic(child.right, "MONTHS"):
+        if index == 0 or abs(index) > 31:
+            raise UnsupportedExpression(
+                f"month-day index {index} out of range")
+        return f"FREQ=MONTHLY;BYMONTHDAY={index}"
+
+    # [k]/DAYS:during:YEARS  ->  yearly on year day k
+    if _is_basic(child.left, "DAYS") and _is_basic(child.right, "YEARS"):
+        if index == 0 or abs(index) > 366:
+            raise UnsupportedExpression(
+                f"year-day index {index} out of range")
+        return f"FREQ=YEARLY;BYYEARDAY={index}"
+
+    # [j]/(weekday calendar):overlaps|during:MONTHS -> monthly ordinal BYDAY
+    if child.op in ("overlaps", "during") and \
+            _is_basic(child.right, "MONTHS") and \
+            isinstance(child.left, ast.Select):
+        weekday_index = _weekday_calendar_index(child.left)
+        if weekday_index is not None:
+            if index == 0 or abs(index) > 5:
+                raise UnsupportedExpression(
+                    f"ordinal {index} out of range for monthly BYDAY")
+            return (f"FREQ=MONTHLY;BYDAY={index}"
+                    f"{_BYDAY_CODES[weekday_index]}")
+    raise UnsupportedExpression(f"no RRULE equivalent for {expr}")
+
+
+def _weekday_calendar_index(node: ast.Select) -> int | None:
+    """k when ``node`` is ``[k]/DAYS:during:WEEKS`` with 1 <= k <= 7."""
+    index = _single_index(node.predicate)
+    child = node.child
+    if index is not None and 1 <= index <= 7 and \
+            isinstance(child, ast.ForEach) and child.op == "during" and \
+            _is_basic(child.left, "DAYS") and _is_basic(child.right,
+                                                        "WEEKS"):
+        return index
+    return None
+
+
+# ---------------------------------------------------------------------------
+# RRULE -> calendar
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Rule:
+    freq: str
+    interval: int = 1
+    by_day: tuple = ()          # of (ordinal | None, iso_weekday)
+    by_month_day: tuple = ()    # of ints (negative = from end)
+    by_month: tuple = ()        # of ints 1..12
+    by_year_day: tuple = ()     # of ints
+
+
+def _parse_rrule(text: str) -> _Rule:
+    body = text.strip()
+    if body.upper().startswith("RRULE:"):
+        body = body[6:]
+    parts: dict[str, str] = {}
+    for chunk in body.split(";"):
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise CalendarError(f"malformed RRULE component {chunk!r}")
+        key, value = chunk.split("=", 1)
+        parts[key.strip().upper()] = value.strip()
+    freq = parts.get("FREQ", "").upper()
+    if freq not in ("DAILY", "WEEKLY", "MONTHLY", "YEARLY"):
+        raise CalendarError(f"unsupported RRULE FREQ {freq!r}")
+    by_day = []
+    for token in filter(None, parts.get("BYDAY", "").split(",")):
+        token = token.strip().upper()
+        code = token[-2:]
+        if code not in _CODE_TO_ISO:
+            raise CalendarError(f"bad BYDAY token {token!r}")
+        prefix = token[:-2]
+        ordinal = int(prefix) if prefix else None
+        by_day.append((ordinal, _CODE_TO_ISO[code]))
+    def int_list(key):
+        return tuple(int(v) for v in
+                     filter(None, parts.get(key, "").split(",")))
+    return _Rule(
+        freq=freq,
+        interval=int(parts.get("INTERVAL", "1")),
+        by_day=tuple(by_day),
+        by_month_day=int_list("BYMONTHDAY"),
+        by_month=int_list("BYMONTH"),
+        by_year_day=int_list("BYYEARDAY"),
+    )
+
+
+def _nth_weekday(year: int, month: int, iso_weekday: int,
+                 ordinal: int) -> CivilDate | None:
+    if ordinal > 0:
+        first = CivilDate(year, month, 1)
+        day = 1 + (iso_weekday - weekday(first)) % 7 + (ordinal - 1) * 7
+    else:
+        last_day = days_in_month(year, month)
+        last = CivilDate(year, month, last_day)
+        day = last_day - (weekday(last) - iso_weekday) % 7 + \
+            (ordinal + 1) * 7
+    if 1 <= day <= days_in_month(year, month):
+        return CivilDate(year, month, day)
+    return None
+
+
+def rrule_to_calendar(system: CalendarSystem, text: str,
+                      start, end) -> Calendar:
+    """Materialise an RRULE over ``[start, end]`` as an explicit calendar.
+
+    ``start``/``end`` are civil dates, date strings or axis day ticks.
+    The recurrence anchor (DTSTART equivalent) is ``start``; INTERVAL
+    counts days/weeks/months/years from it.
+    """
+    rule = _parse_rrule(text)
+    lo, hi = system.day_window(start, end)
+    start_date = system.date_of(lo)
+    days: list[int] = []
+    for day in system.epoch.iter_days(lo, hi):
+        date = system.date_of(day)
+        if _matches(rule, date, start_date, system, day, lo):
+            days.append(day)
+    return Calendar.from_intervals([(d, d) for d in days],
+                                   Granularity.DAYS)
+
+
+def _matches(rule: _Rule, date: CivilDate, anchor: CivilDate,
+             system: CalendarSystem, day: int, anchor_day: int) -> bool:
+    if rule.by_month and date.month not in rule.by_month:
+        return False
+    if rule.freq == "DAILY":
+        if rule.by_day and (None, weekday(date)) not in rule.by_day and \
+                not any(wd == weekday(date) for _, wd in rule.by_day):
+            return False
+        return system.epoch.diff_days(day, anchor_day) % rule.interval == 0
+    if rule.freq == "WEEKLY":
+        if rule.by_day:
+            if not any(wd == weekday(date) for _, wd in rule.by_day):
+                return False
+        elif weekday(date) != weekday(anchor):
+            return False
+        if rule.interval > 1:
+            # Weeks counted from the anchor's week (Monday-aligned).
+            anchor_week_start = anchor_day - (
+                system.epoch.weekday_of(anchor_day) - 1)
+            delta_days = system.epoch.diff_days(day, anchor_day) + (
+                system.epoch.weekday_of(anchor_day) - 1)
+            if (delta_days // 7) % rule.interval != 0:
+                return False
+        return True
+    if rule.freq == "MONTHLY":
+        months_from_anchor = ((date.year - anchor.year) * 12
+                              + (date.month - anchor.month))
+        if months_from_anchor % rule.interval != 0:
+            return False
+        if rule.by_month_day:
+            n = days_in_month(date.year, date.month)
+            allowed = {d if d > 0 else n + 1 + d
+                       for d in rule.by_month_day}
+            return date.day in allowed
+        if rule.by_day:
+            for ordinal, iso in rule.by_day:
+                if ordinal is None:
+                    if weekday(date) == iso:
+                        return True
+                else:
+                    hit = _nth_weekday(date.year, date.month, iso, ordinal)
+                    if hit == date:
+                        return True
+            return False
+        return date.day == min(anchor.day,
+                               days_in_month(date.year, date.month))
+    # YEARLY
+    if (date.year - anchor.year) % rule.interval != 0:
+        return False
+    if rule.by_year_day:
+        jan1 = CivilDate(date.year, 1, 1)
+        doy = (system.epoch.day_number(date)
+               - system.epoch.day_number(jan1)) + 1
+        year_len = 366 if days_in_month(date.year, 2) == 29 else 365
+        allowed = {d if d > 0 else year_len + 1 + d
+                   for d in rule.by_year_day}
+        return doy in allowed
+    if rule.by_month_day or rule.by_month:
+        months = rule.by_month or (anchor.month,)
+        month_days = rule.by_month_day or (anchor.day,)
+        if date.month not in months:
+            return False
+        n = days_in_month(date.year, date.month)
+        allowed = {d if d > 0 else n + 1 + d for d in month_days}
+        return date.day in allowed
+    return date.month == anchor.month and date.day == anchor.day
+
+
+def calendar_to_dates(system: CalendarSystem, cal: Calendar) -> list:
+    """Civil dates of an order-1 instant calendar (export helper)."""
+    dates = []
+    for iv in cal.iter_intervals():
+        for day in iv:
+            dates.append(system.date_of(day))
+    return dates

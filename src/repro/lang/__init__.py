@@ -1,0 +1,54 @@
+"""The calendar expression language: lexer, parser, factorizer, planner.
+
+Pipeline (section 3.3-3.4 of the paper)::
+
+    source text --tokenize--> tokens --parse--> AST
+        --expand/factorize--> optimized AST
+        --compile--> evaluation Plan --PlanVM--> Calendar
+
+plus the direct :class:`~repro.lang.interpreter.Interpreter`, which is the
+reference semantics for scripts (assignments, if, while, return).
+"""
+
+from repro.lang import ast
+from repro.lang.ast import count_nodes, expression_text, render_tree
+from repro.lang.defs import (
+    BasicDef,
+    DerivedDef,
+    ExplicitDef,
+    basic_resolver,
+    chain_resolvers,
+)
+from repro.lang.errors import (
+    EvaluationError,
+    LanguageError,
+    LexError,
+    LoopLimitError,
+    NameResolutionError,
+    ParseError,
+    PlanError,
+)
+from repro.lang.factorizer import (
+    FactorizationResult,
+    base_calendar_of,
+    expand,
+    factorize,
+    granularity_of,
+)
+from repro.lang.interpreter import EvalContext, Interpreter, infer_unit
+from repro.lang.lexer import tokenize
+from repro.lang.parser import Parser, parse_expression, parse_script
+from repro.lang.plan import Plan, PlanVM
+from repro.lang.planner import Planner, compile_expression
+
+__all__ = [
+    "ast", "tokenize", "Parser", "parse_expression", "parse_script",
+    "factorize", "expand", "granularity_of", "base_calendar_of",
+    "FactorizationResult", "render_tree", "count_nodes", "expression_text",
+    "EvalContext", "Interpreter", "infer_unit",
+    "Plan", "PlanVM", "Planner", "compile_expression",
+    "BasicDef", "DerivedDef", "ExplicitDef", "basic_resolver",
+    "chain_resolvers",
+    "LanguageError", "LexError", "ParseError", "NameResolutionError",
+    "EvaluationError", "PlanError", "LoopLimitError",
+]

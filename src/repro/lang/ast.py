@@ -1,0 +1,327 @@
+"""AST node types for the calendar expression language.
+
+Expression nodes mirror the algebra of section 3.1 (``foreach``,
+selection, label selection, set operators, function calls); statement
+nodes cover the script constructs of section 3.3 (assignment, ``if``,
+``while``, ``return``).
+
+:func:`render_tree` pretty-prints an expression as an ASCII parse tree in
+the style of the paper's Figures 2 and 3, and :func:`count_nodes` /
+:func:`expression_text` support the factorization experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.algebra import SelectionPredicate
+
+__all__ = [
+    "Node", "Expr", "Stmt",
+    "Name", "Today", "IntervalLit", "StringLit", "NumberLit",
+    "ForEach", "Select", "LabelSelect", "SetOp", "FunCall",
+    "Assign", "If", "While", "Return", "ExprStmt", "Script",
+    "render_tree", "count_nodes", "expression_text", "walk",
+]
+
+
+class Node:
+    """Common base for AST nodes."""
+
+    def children(self) -> Sequence["Node"]:
+        """Direct child nodes, in source order."""
+        return ()
+
+
+class Expr(Node):
+    """Base class of expression nodes."""
+
+
+class Stmt(Node):
+    """Base class of statement nodes."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A calendar name (basic, derived, or a script temporary)."""
+
+    ident: str
+
+    def __str__(self) -> str:
+        return self.ident
+
+
+@dataclass(frozen=True)
+class Today(Expr):
+    """The distinguished ``today`` instant supplied by the environment."""
+
+    def __str__(self) -> str:
+        return "today"
+
+
+@dataclass(frozen=True)
+class IntervalLit(Expr):
+    """A literal interval, written ``interval(lo, hi)`` in scripts."""
+
+    lo: int
+    hi: int
+
+    def __str__(self) -> str:
+        return f"interval({self.lo},{self.hi})"
+
+
+@dataclass(frozen=True)
+class StringLit(Expr):
+    """A string literal (used by ``return`` alerts and function args)."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class NumberLit(Expr):
+    """An integer literal inside a function argument list."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ForEach(Expr):
+    """``left :op: right`` (strict) or ``left .op. right`` (relaxed)."""
+
+    left: Expr
+    op: str
+    right: Expr
+    strict: bool = True
+
+    def children(self) -> Sequence[Node]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        sep = ":" if self.strict else "."
+        return f"{self.left}{sep}{self.op}{sep}{self.right}"
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Positional selection ``[pred]/child``."""
+
+    predicate: SelectionPredicate
+    child: Expr
+
+    def children(self) -> Sequence[Node]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"{self.predicate}/{self.child}"
+
+
+@dataclass(frozen=True)
+class LabelSelect(Expr):
+    """Bare label selection ``label/child`` (e.g. ``1993/YEARS``)."""
+
+    label: int | str
+    child: Expr
+
+    def children(self) -> Sequence[Node]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"{self.label}/{self.child}"
+
+
+@dataclass(frozen=True)
+class SetOp(Expr):
+    """Calendar union ``+``, difference ``-`` or intersection ``&``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> Sequence[Node]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class FunCall(Expr):
+    """A call to a registered function (``generate``, ``caloperate`` …).
+
+    ``Star`` arguments (the paper's ``*`` end marker) appear as the string
+    ``"*"`` in ``args``.
+    """
+
+    name: str
+    args: tuple = ()
+
+    def children(self) -> Sequence[Node]:
+        return tuple(a for a in self.args if isinstance(a, Node))
+
+    def __str__(self) -> str:
+        rendered = ", ".join(
+            str(a) if not isinstance(a, str) or a == "*" else a
+            for a in self.args)
+        return f"{self.name}({rendered})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``name = expr;`` — script temporaries need no declaration."""
+
+    name: str
+    expr: Expr
+
+    def children(self) -> Sequence[Node]:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.expr};"
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    condition: Expr
+    then_body: tuple
+    else_body: tuple = ()
+
+    def children(self) -> Sequence[Node]:
+        return (self.condition, *self.then_body, *self.else_body)
+
+    def __str__(self) -> str:
+        text = f"if ({self.condition}) {{ … }}"
+        if self.else_body:
+            text += " else { … }"
+        return text
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    condition: Expr
+    body: tuple = ()
+
+    def children(self) -> Sequence[Node]:
+        return (self.condition, *self.body)
+
+    def __str__(self) -> str:
+        return f"while ({self.condition}) {{ … }}"
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    expr: Expr
+
+    def children(self) -> Sequence[Node]:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"return ({self.expr});"
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """A bare expression statement (evaluated for effect/empty check)."""
+
+    expr: Expr
+
+    def children(self) -> Sequence[Node]:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"{self.expr};"
+
+
+@dataclass(frozen=True)
+class Script(Node):
+    """A full calendar script: the unit of parsing and storage."""
+
+    body: tuple = field(default=())
+
+    def children(self) -> Sequence[Node]:
+        return self.body
+
+    def is_single_expression(self) -> bool:
+        """True when the script is one expression/return (expandable inline)."""
+        return (len(self.body) == 1
+                and isinstance(self.body[0], (Return, ExprStmt)))
+
+    def single_expression(self) -> Expr:
+        """The sole expression of a single-expression script."""
+        stmt = self.body[0]
+        assert isinstance(stmt, (Return, ExprStmt))
+        return stmt.expr
+
+    def __str__(self) -> str:
+        return "{" + " ".join(str(s) for s in self.body) + "}"
+
+
+# ---------------------------------------------------------------------------
+# Tree utilities
+# ---------------------------------------------------------------------------
+
+def walk(node: Node) -> Iterator[Node]:
+    """Pre-order traversal of the AST rooted at ``node``."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+def count_nodes(node: Node) -> int:
+    """Number of AST nodes (used to compare initial vs factorized trees)."""
+    return sum(1 for _ in walk(node))
+
+
+def expression_text(node: Node) -> str:
+    """Round-trippable textual rendering of an expression."""
+    return str(node)
+
+
+def _node_label(node: Node) -> str:
+    if isinstance(node, ForEach):
+        return f"foreach {node.op}" + ("" if node.strict else " (relaxed)")
+    if isinstance(node, Select):
+        return f"select {node.predicate}"
+    if isinstance(node, LabelSelect):
+        return f"select-label {node.label}"
+    if isinstance(node, SetOp):
+        return f"setop {node.op}"
+    if isinstance(node, FunCall):
+        return f"call {node.name}"
+    if isinstance(node, (Name, Today, IntervalLit, NumberLit, StringLit)):
+        return str(node)
+    return type(node).__name__
+
+
+def render_tree(node: Node, indent: str = "") -> str:
+    """Render an expression as an ASCII parse tree (paper Figures 2 and 3)."""
+    lines: list[str] = []
+
+    def visit(current: Node, prefix: str, tail: bool, root: bool) -> None:
+        if root:
+            lines.append(_node_label(current))
+            child_prefix = ""
+        else:
+            connector = "`-- " if tail else "|-- "
+            lines.append(prefix + connector + _node_label(current))
+            child_prefix = prefix + ("    " if tail else "|   ")
+        kids = list(current.children())
+        for i, kid in enumerate(kids):
+            visit(kid, child_prefix, i == len(kids) - 1, False)
+
+    visit(node, indent, True, True)
+    return "\n".join(lines)

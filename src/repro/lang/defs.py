@@ -1,0 +1,80 @@
+"""Calendar name definitions shared by the interpreter, factorizer, planner.
+
+A *resolver* maps calendar names to one of three definition kinds,
+mirroring the CALENDARS catalog of section 3.2:
+
+* :class:`BasicDef` — one of the nine basic calendars, materialised on
+  demand by ``generate``;
+* :class:`DerivedDef` — a calendar defined by a derivation script in the
+  calendar expression language;
+* :class:`ExplicitDef` — a calendar whose values are stored outright
+  (the paper's HOLIDAYS example, the ``values`` column).
+
+Name lookup is case-insensitive (the paper freely mixes ``HOLIDAYS`` and
+``holidays``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.core.calendar import Calendar
+from repro.core.granularity import Granularity
+
+__all__ = ["BasicDef", "DerivedDef", "ExplicitDef", "Definition",
+           "Resolver", "basic_resolver", "chain_resolvers"]
+
+
+@dataclass(frozen=True)
+class BasicDef:
+    """A basic calendar (SECONDS … CENTURY)."""
+
+    granularity: Granularity
+
+
+@dataclass(frozen=True)
+class DerivedDef:
+    """A calendar derived by a script (stored pre-parsed).
+
+    ``script`` is a :class:`repro.lang.ast.Script`; ``granularity`` may be
+    ``None`` when it should be inferred from the derivation script.
+    """
+
+    script: object
+    granularity: Granularity | None = None
+    lifespan: tuple | None = None
+
+
+@dataclass(frozen=True)
+class ExplicitDef:
+    """A calendar with explicitly stored interval values."""
+
+    values: Calendar
+    granularity: Granularity | None = None
+    lifespan: tuple | None = None
+
+
+Definition = Union[BasicDef, DerivedDef, ExplicitDef]
+Resolver = Callable[[str], Optional[Definition]]
+
+
+def basic_resolver(name: str) -> Definition | None:
+    """Resolve only the nine basic calendar names."""
+    try:
+        return BasicDef(Granularity.parse(name))
+    except Exception:
+        return None
+
+
+def chain_resolvers(*resolvers: Resolver) -> Resolver:
+    """Try each resolver in turn; first non-None answer wins."""
+
+    def resolve(name: str) -> Definition | None:
+        for resolver in resolvers:
+            definition = resolver(name)
+            if definition is not None:
+                return definition
+        return None
+
+    return resolve

@@ -1,0 +1,51 @@
+"""Errors raised by the calendar expression language pipeline."""
+
+from __future__ import annotations
+
+from repro.core.errors import CalendarError
+
+__all__ = [
+    "LanguageError",
+    "LexError",
+    "ParseError",
+    "NameResolutionError",
+    "EvaluationError",
+    "PlanError",
+    "LoopLimitError",
+]
+
+
+class LanguageError(CalendarError):
+    """Base class for calendar-expression-language errors."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class LexError(LanguageError):
+    """The script contains a character sequence that is not a token."""
+
+
+class ParseError(LanguageError):
+    """The token stream does not form a valid script."""
+
+
+class NameResolutionError(LanguageError):
+    """A calendar name is not defined in the environment or catalog."""
+
+
+class EvaluationError(LanguageError):
+    """A well-formed expression failed during evaluation."""
+
+
+class PlanError(LanguageError):
+    """The planner could not produce an evaluation plan."""
+
+
+class LoopLimitError(EvaluationError):
+    """A ``while`` loop exceeded the interpreter's iteration budget."""

@@ -1,0 +1,256 @@
+"""Expression expansion and factorization (the parser steps of section 3.4).
+
+The paper's parsing algorithm processes every calendar expression right to
+left and
+
+1. **expands** derived calendar names into their derivation scripts (and
+   script temporaries into their defining expressions), then
+2. **factorizes** the result: an expression ``{(X :Op1: Y) :Op2: Z}`` with
+   ``granularity(Y) == granularity(Z)`` and ``Z ⊆ Y`` reduces to
+   ``{X :Op1: Z}`` — except when both operators are ``<=``, in which case
+   it reduces to ``{X :Op2: Z}``.
+
+Containment ``Z ⊆ Y`` is established *structurally*: ``Y`` must resolve to
+a full basic calendar (YEARS, MONTHS, …) and the base calendar of ``Z`` —
+found by descending through selections and the left arms of foreach nodes —
+must be that same basic calendar.  Any restriction (selection, label
+selection, foreach filtering) of a basic calendar is a subset of it, so the
+check is sound; it exactly covers the paper's two worked examples.
+
+:func:`factorize` rewrites to a fixpoint and reports the applied rewrites
+so experiments can count them (Figures 2 and 3 compare the initial and
+factorized parse trees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.granularity import Granularity
+from repro.lang import ast
+from repro.lang.defs import BasicDef, DerivedDef, ExplicitDef, Resolver
+
+__all__ = ["expand", "factorize", "granularity_of", "base_calendar_of",
+           "FactorizationResult"]
+
+
+# ---------------------------------------------------------------------------
+# Expansion
+# ---------------------------------------------------------------------------
+
+def expand(node: ast.Expr, resolver: Resolver,
+           temporaries: dict[str, ast.Expr] | None = None,
+           _depth: int = 0) -> ast.Expr:
+    """Inline derived calendar names and script temporaries.
+
+    Only single-expression derivation scripts are inlined; calendars defined
+    by multi-statement scripts (with ``if``/``while``) keep their name and
+    are evaluated through the catalog at run time.
+    """
+    if _depth > 32:
+        raise RecursionError("calendar definition expansion too deep "
+                             "(circular derivation?)")
+    temporaries = temporaries or {}
+    if isinstance(node, ast.Name):
+        key = node.ident.lower()
+        if key in temporaries:
+            return expand(temporaries[key], resolver, temporaries, _depth + 1)
+        definition = resolver(node.ident)
+        if isinstance(definition, DerivedDef):
+            script = definition.script
+            if isinstance(script, ast.Script) and script.is_single_expression():
+                return expand(script.single_expression(), resolver,
+                              temporaries, _depth + 1)
+        return node
+    if isinstance(node, ast.ForEach):
+        return ast.ForEach(expand(node.left, resolver, temporaries, _depth),
+                           node.op,
+                           expand(node.right, resolver, temporaries, _depth),
+                           node.strict)
+    if isinstance(node, ast.Select):
+        return ast.Select(node.predicate,
+                          expand(node.child, resolver, temporaries, _depth))
+    if isinstance(node, ast.LabelSelect):
+        return ast.LabelSelect(node.label,
+                               expand(node.child, resolver, temporaries,
+                                      _depth))
+    if isinstance(node, ast.SetOp):
+        return ast.SetOp(node.op,
+                         expand(node.left, resolver, temporaries, _depth),
+                         expand(node.right, resolver, temporaries, _depth))
+    if isinstance(node, ast.FunCall):
+        args = tuple(expand(a, resolver, temporaries, _depth)
+                     if isinstance(a, ast.Expr) and not isinstance(
+                         a, (ast.StringLit, ast.NumberLit))
+                     else a
+                     for a in node.args)
+        return ast.FunCall(node.name, args)
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Granularity and base-calendar inference
+# ---------------------------------------------------------------------------
+
+def granularity_of(node: ast.Expr, resolver: Resolver) -> Granularity | None:
+    """Granularity of the calendar an expression denotes, if inferable."""
+    if isinstance(node, ast.Name):
+        definition = resolver(node.ident)
+        if isinstance(definition, BasicDef):
+            return definition.granularity
+        if isinstance(definition, (DerivedDef, ExplicitDef)):
+            if definition.granularity is not None:
+                return definition.granularity
+            if isinstance(definition, DerivedDef) and \
+                    isinstance(definition.script, ast.Script) and \
+                    definition.script.is_single_expression():
+                return granularity_of(definition.script.single_expression(),
+                                      resolver)
+        return None
+    if isinstance(node, ast.ForEach):
+        return granularity_of(node.left, resolver)
+    if isinstance(node, (ast.Select, ast.LabelSelect)):
+        return granularity_of(node.child, resolver)
+    if isinstance(node, ast.SetOp):
+        return (granularity_of(node.left, resolver)
+                or granularity_of(node.right, resolver))
+    if isinstance(node, ast.FunCall) and node.name == "generate" and \
+            node.args and isinstance(node.args[0], ast.Name):
+        try:
+            return Granularity.parse(node.args[0].ident)
+        except Exception:
+            return None
+    return None
+
+
+def base_calendar_of(node: ast.Expr, resolver: Resolver) -> str | None:
+    """The basic calendar an expression is carved out of, if any.
+
+    Descends through selections and the *left* arm of foreach nodes; a plain
+    basic-calendar name is its own base.  Used for the structural
+    ``Z ⊆ Y`` containment check.
+    """
+    if isinstance(node, ast.Name):
+        definition = resolver(node.ident)
+        if isinstance(definition, BasicDef):
+            return definition.granularity.name
+        return None
+    if isinstance(node, (ast.Select, ast.LabelSelect)):
+        return base_calendar_of(node.child, resolver)
+    if isinstance(node, ast.ForEach):
+        return base_calendar_of(node.left, resolver)
+    return None
+
+
+def _is_full_basic(node: ast.Expr, resolver: Resolver) -> str | None:
+    """Name of the basic calendar when ``node`` denotes it *unrestricted*."""
+    if isinstance(node, ast.Name):
+        definition = resolver(node.ident)
+        if isinstance(definition, BasicDef):
+            return definition.granularity.name
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Factorization
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FactorizationResult:
+    """Outcome of :func:`factorize`."""
+
+    expression: ast.Expr
+    rewrites: list[str] = field(default_factory=list)
+
+    @property
+    def applied(self) -> int:
+        return len(self.rewrites)
+
+
+def _peel_selections(node: ast.Expr) -> tuple[list, ast.Expr]:
+    """Strip Select/LabelSelect wrappers, outermost first."""
+    wrappers: list = []
+    while isinstance(node, (ast.Select, ast.LabelSelect)):
+        wrappers.append(node)
+        node = node.child
+    return wrappers, node
+
+
+def _rewrap(wrappers: list, core: ast.Expr) -> ast.Expr:
+    for wrapper in reversed(wrappers):
+        if isinstance(wrapper, ast.Select):
+            core = ast.Select(wrapper.predicate, core)
+        else:
+            core = ast.LabelSelect(wrapper.label, core)
+    return core
+
+
+def _try_rule(node: ast.ForEach, resolver: Resolver) -> ast.Expr | None:
+    """Apply the paper's rewrite once at ``node`` if its shape matches.
+
+    The left operand may carry selection wrappers (the paper's Example 1
+    factors ``([1]/MONTHS:during:YEARS):during:Z`` with X = [1]/MONTHS):
+    selections commute with replacing the grouping reference Y by its
+    subset Z, so they are peeled off, the core foreach rewritten, and the
+    wrappers reapplied.
+    """
+    wrappers, inner = _peel_selections(node.left)
+    if not isinstance(inner, ast.ForEach):
+        return None
+    x, op1, y = inner.left, inner.op, inner.right
+    op2, z = node.op, node.right
+    basic_y = _is_full_basic(y, resolver)
+    if basic_y is None:
+        return None
+    gran_y = granularity_of(y, resolver)
+    gran_z = granularity_of(z, resolver)
+    if gran_y is None or gran_y != gran_z:
+        return None
+    if base_calendar_of(z, resolver) != basic_y:
+        return None
+    if op1 == "<=" and op2 == "<=":
+        core: ast.Expr = ast.ForEach(x, op2, z, node.strict)
+    else:
+        core = ast.ForEach(x, op1, z, inner.strict)
+    return _rewrap(wrappers, core)
+
+
+def _factorize_once(node: ast.Expr, resolver: Resolver,
+                    rewrites: list[str]) -> ast.Expr:
+    """One bottom-up pass; records textual descriptions of rewrites."""
+    if isinstance(node, ast.ForEach):
+        left = _factorize_once(node.left, resolver, rewrites)
+        right = _factorize_once(node.right, resolver, rewrites)
+        node = ast.ForEach(left, node.op, right, node.strict)
+        rewritten = _try_rule(node, resolver)
+        if rewritten is not None:
+            rewrites.append(f"{node}  =>  {rewritten}")
+            return rewritten
+        return node
+    if isinstance(node, ast.Select):
+        return ast.Select(node.predicate,
+                          _factorize_once(node.child, resolver, rewrites))
+    if isinstance(node, ast.LabelSelect):
+        return ast.LabelSelect(node.label,
+                               _factorize_once(node.child, resolver,
+                                               rewrites))
+    if isinstance(node, ast.SetOp):
+        return ast.SetOp(node.op,
+                         _factorize_once(node.left, resolver, rewrites),
+                         _factorize_once(node.right, resolver, rewrites))
+    return node
+
+
+def factorize(node: ast.Expr, resolver: Resolver,
+              expand_names: bool = True,
+              temporaries: dict[str, ast.Expr] | None = None,
+              max_passes: int = 16) -> FactorizationResult:
+    """Expand (optionally) and factorize ``node`` to a fixpoint."""
+    expr = expand(node, resolver, temporaries) if expand_names else node
+    rewrites: list[str] = []
+    for _ in range(max_passes):
+        before = expr
+        expr = _factorize_once(expr, resolver, rewrites)
+        if expr == before:
+            break
+    return FactorizationResult(expr, rewrites)

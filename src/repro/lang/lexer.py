@@ -1,0 +1,155 @@
+"""Lexer for the calendar expression language.
+
+One notable deviation from a conventional tokenizer: the paper spells
+calendar names with embedded hyphens (``Jan-1993``, ``Expiration-Month``,
+``Year-1993``) while also using ``-`` as the calendar difference operator
+(``LDOM - LDOM_HOL``).  The lexer resolves the ambiguity by *gluing*: a
+hyphen directly attached to an identifier on both sides (no whitespace)
+extends the identifier; a hyphen with surrounding whitespace is the
+subtraction operator.  The single identifier ``n`` (the "last element"
+selector) never glues, so ``[n-2]``-style predicates still lex as three
+tokens.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["tokenize"]
+
+_SIMPLE = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ":": TokenType.COLON,
+    ".": TokenType.DOT,
+    "/": TokenType.SLASH,
+    ";": TokenType.SEMI,
+    ",": TokenType.COMMA,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "=": TokenType.ASSIGN,
+    "*": TokenType.STAR,
+    "&": TokenType.AMP,
+}
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``, returning a list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    preceded_by_space = True
+
+    def advance(count: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            preceded_by_space = True
+            advance()
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not (source[i] == "*" and i + 1 < n
+                                 and source[i + 1] == "/"):
+                advance()
+            if i >= n:
+                raise LexError("unterminated comment", start_line, start_col)
+            advance(2)
+            preceded_by_space = True
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                advance()
+            preceded_by_space = True
+            continue
+        glued = not preceded_by_space
+        preceded_by_space = False
+        start_line, start_col = line, col
+        if ch == '"':
+            advance()
+            chars: list[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\\" and i + 1 < n:
+                    advance()
+                    chars.append(source[i])
+                else:
+                    chars.append(source[i])
+                advance()
+            if i >= n:
+                raise LexError("unterminated string", start_line, start_col)
+            advance()
+            tokens.append(Token(TokenType.STRING, "".join(chars),
+                                start_line, start_col, glued))
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token(TokenType.NUMBER, text,
+                                start_line, start_col, glued))
+            continue
+        if _is_ident_start(ch):
+            j = i
+            while j < n:
+                if _is_ident_part(source[j]):
+                    j += 1
+                    continue
+                # Glue an attached hyphen into the name (Jan-1993), except
+                # after the bare selector "n".
+                if (source[j] == "-" and j + 1 < n
+                        and _is_ident_part(source[j + 1])
+                        and source[i:j] != "n"):
+                    j += 2
+                    continue
+                break
+            text = source[i:j]
+            advance(j - i)
+            token_type = KEYWORDS.get(text, TokenType.IDENT)
+            tokens.append(Token(token_type, text, start_line, start_col,
+                                glued))
+            continue
+        if ch == "<":
+            if i + 1 < n and source[i + 1] == "=":
+                advance(2)
+                tokens.append(Token(TokenType.LE, "<=", start_line,
+                                    start_col, glued))
+            else:
+                advance()
+                tokens.append(Token(TokenType.LT, "<", start_line,
+                                    start_col, glued))
+            continue
+        if ch in _SIMPLE:
+            advance()
+            tokens.append(Token(_SIMPLE[ch], ch, start_line, start_col,
+                                glued))
+            continue
+        raise LexError(f"unexpected character {ch!r}", start_line, start_col)
+    tokens.append(Token(TokenType.EOF, "", line, col, False))
+    return tokens

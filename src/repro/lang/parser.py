@@ -1,0 +1,334 @@
+"""Recursive-descent parser for the calendar expression language.
+
+Grammar (informal; tokens per :mod:`repro.lang.lexer`):
+
+.. code-block:: text
+
+   script    := '{' stmt* '}' | stmt*
+   stmt      := 'if' '(' expr ')' block ('else' block)?
+              | 'while' '(' expr ')' block
+              | 'return' '(' expr ')' ';'?
+              | IDENT '=' expr ';'
+              | expr ';'
+              | ';'                          (empty statement)
+   block     := '{' stmt* '}' | stmt
+   expr      := selchain (('+' | '-' | '&') selchain)*
+   selchain  := ('[' pred ']' '/')* chain
+   chain     := atom ((':' op ':' | '.' op '.') chain)?     (right assoc)
+   op        := IDENT | '<' | '<='
+   atom      := NUMBER '/' atom                              (label select)
+              | IDENT '(' args ')' | IDENT | 'today'
+              | '(' expr ')' | STRING | NUMBER
+   pred      := item ((';' | ',') item)*
+   item      := 'n' | '-'? NUMBER ('-' NUMBER)?              (index / range)
+   args      := (expr | '*') ((',' | ';') (expr | '*'))*
+
+Selection binds *looser* than foreach chains (``[3]/WEEKS:overlaps:Jan-1993``
+selects from the chain's result, per the paper's worked example) and
+tighter than ``+``/``-``.  Foreach chains associate to the right — the
+paper's parsing algorithm explicitly reads expressions right to left.
+"""
+
+from __future__ import annotations
+
+from repro.core.algebra import LAST, SelectionPredicate
+from repro.lang.ast import (
+    Assign,
+    Expr,
+    ExprStmt,
+    ForEach,
+    FunCall,
+    If,
+    IntervalLit,
+    LabelSelect,
+    Name,
+    NumberLit,
+    Return,
+    Script,
+    Select,
+    SetOp,
+    Stmt,
+    StringLit,
+    Today,
+    While,
+)
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenType
+
+__all__ = ["Parser", "parse_script", "parse_expression"]
+
+_T = TokenType
+
+
+class Parser:
+    """A single-use recursive-descent parser over a token list."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not _T.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, *types: TokenType) -> bool:
+        return self._peek().type in types
+
+    def _match(self, *types: TokenType) -> Token | None:
+        if self._check(*types):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, what: str) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise ParseError(
+                f"expected {what}, found {token.text or 'end of input'!r}",
+                token.line, token.column)
+        return self._advance()
+
+    # -- entry points -----------------------------------------------------------
+
+    def parse_script(self) -> Script:
+        """Parse a (possibly braced) statement list."""
+        braced = self._match(_T.LBRACE) is not None
+        body: list[Stmt] = []
+        while not self._check(_T.EOF):
+            if braced and self._check(_T.RBRACE):
+                break
+            stmt = self._statement()
+            if stmt is not None:
+                body.append(stmt)
+        if braced:
+            self._expect(_T.RBRACE, "'}'")
+        token = self._peek()
+        if token.type is not _T.EOF:
+            raise ParseError(f"unexpected trailing input {token.text!r}",
+                             token.line, token.column)
+        return Script(tuple(body))
+
+    def parse_expression(self) -> Expr:
+        """Parse a single calendar expression (rejects trailing input)."""
+        expr = self._expression()
+        token = self._peek()
+        if token.type is not _T.EOF:
+            raise ParseError(f"unexpected trailing input {token.text!r}",
+                             token.line, token.column)
+        return expr
+
+    # -- statements ---------------------------------------------------------------
+
+    def _statement(self) -> Stmt | None:
+        if self._match(_T.SEMI):
+            return None
+        if self._match(_T.IF):
+            return self._if_statement()
+        if self._match(_T.WHILE):
+            return self._while_statement()
+        if self._match(_T.RETURN):
+            return self._return_statement()
+        if (self._check(_T.IDENT) and self._peek(1).type is _T.ASSIGN):
+            name = self._advance().text
+            self._advance()  # '='
+            expr = self._expression()
+            self._expect(_T.SEMI, "';' after assignment")
+            return Assign(name, expr)
+        expr = self._expression()
+        self._expect(_T.SEMI, "';' after expression statement")
+        return ExprStmt(expr)
+
+    def _block(self) -> tuple:
+        if self._match(_T.LBRACE):
+            body: list[Stmt] = []
+            while not self._check(_T.RBRACE, _T.EOF):
+                stmt = self._statement()
+                if stmt is not None:
+                    body.append(stmt)
+            self._expect(_T.RBRACE, "'}'")
+            return tuple(body)
+        stmt = self._statement()
+        return (stmt,) if stmt is not None else ()
+
+    def _if_statement(self) -> If:
+        self._expect(_T.LPAREN, "'(' after if")
+        condition = self._expression()
+        self._expect(_T.RPAREN, "')' after if condition")
+        then_body = self._block()
+        else_body: tuple = ()
+        if self._match(_T.ELSE):
+            else_body = self._block()
+        return If(condition, then_body, else_body)
+
+    def _while_statement(self) -> While:
+        self._expect(_T.LPAREN, "'(' after while")
+        condition = self._expression()
+        self._expect(_T.RPAREN, "')' after while condition")
+        body = self._block()
+        return While(condition, body)
+
+    def _return_statement(self) -> Return:
+        self._expect(_T.LPAREN, "'(' after return")
+        expr = self._expression()
+        self._expect(_T.RPAREN, "')' after return expression")
+        self._match(_T.SEMI)
+        return Return(expr)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expression(self) -> Expr:
+        left = self._selchain()
+        while True:
+            op_token = self._match(_T.PLUS, _T.MINUS, _T.AMP)
+            if op_token is None:
+                return left
+            right = self._selchain()
+            left = SetOp(op_token.text, left, right)
+
+    def _selchain(self) -> Expr:
+        prefixes: list[SelectionPredicate] = []
+        while (self._check(_T.LBRACKET)):
+            self._advance()
+            prefixes.append(self._selection_predicate())
+            self._expect(_T.RBRACKET, "']' after selection predicate")
+            self._expect(_T.SLASH, "'/' after selection predicate")
+        expr = self._chain()
+        for pred in reversed(prefixes):
+            expr = Select(pred, expr)
+        return expr
+
+    def _selection_predicate(self) -> SelectionPredicate:
+        items: list = [self._selection_item()]
+        while self._match(_T.SEMI, _T.COMMA):
+            items.append(self._selection_item())
+        token = self._peek()
+        try:
+            return SelectionPredicate(tuple(items))
+        except Exception as exc:  # re-raise with position info
+            raise ParseError(str(exc), token.line, token.column) from exc
+
+    def _selection_item(self):
+        if self._check(_T.IDENT) and self._peek().text == "n":
+            self._advance()
+            return LAST
+        negative = self._match(_T.MINUS) is not None
+        number = self._expect(_T.NUMBER, "selection index")
+        value = int(number.text)
+        if negative:
+            return -value
+        if self._match(_T.MINUS):
+            end = self._expect(_T.NUMBER, "range end")
+            return (value, int(end.text))
+        return value
+
+    def _chain(self) -> Expr:
+        left = self._atom()
+        if self._check(_T.COLON):
+            self._advance()
+            op = self._opname()
+            self._expect(_T.COLON, "':' after listop name")
+            # The right operand of a foreach may itself carry selection
+            # prefixes (the paper's factorized Example 2:
+            # [3]/WEEKS:overlaps:[1]/MONTHS:during:1993/YEARS).
+            right = self._selchain()
+            return ForEach(left, op, right, strict=True)
+        if self._check(_T.DOT):
+            self._advance()
+            op = self._opname()
+            self._expect(_T.DOT, "'.' after listop name")
+            right = self._selchain()
+            return ForEach(left, op, right, strict=False)
+        return left
+
+    def _opname(self) -> str:
+        token = self._peek()
+        if token.type is _T.IDENT:
+            self._advance()
+            return token.text.lower()
+        if token.type in (_T.LT, _T.LE):
+            self._advance()
+            return token.text
+        raise ParseError(f"expected a listop name, found {token.text!r}",
+                         token.line, token.column)
+
+    def _atom(self) -> Expr:
+        token = self._peek()
+        if token.type is _T.NUMBER:
+            self._advance()
+            if self._match(_T.SLASH):
+                child = self._atom()
+                return LabelSelect(int(token.text), child)
+            return NumberLit(int(token.text))
+        if token.type is _T.STRING:
+            self._advance()
+            return StringLit(token.text)
+        if token.type is _T.IDENT:
+            self._advance()
+            if token.text.lower() == "today":
+                return Today()
+            if self._check(_T.LPAREN):
+                return self._funcall(token.text)
+            return Name(token.text)
+        if token.type is _T.LPAREN:
+            self._advance()
+            expr = self._expression()
+            self._expect(_T.RPAREN, "')'")
+            return expr
+        raise ParseError(f"expected an expression, found "
+                         f"{token.text or 'end of input'!r}",
+                         token.line, token.column)
+
+    def _funcall(self, name: str) -> Expr:
+        self._expect(_T.LPAREN, "'('")
+        args: list = []
+        if not self._check(_T.RPAREN):
+            args.append(self._funarg())
+            while self._match(_T.COMMA, _T.SEMI):
+                args.append(self._funarg())
+        self._expect(_T.RPAREN, "')' after arguments")
+        lowered = name.lower()
+        if lowered == "interval":
+            return self._interval_literal(name, args)
+        return FunCall(lowered, tuple(args))
+
+    def _funarg(self):
+        if self._match(_T.STAR):
+            return "*"
+        negative = (self._check(_T.MINUS)
+                    and self._peek(1).type is _T.NUMBER)
+        if negative:
+            self._advance()
+            number = self._advance()
+            return NumberLit(-int(number.text))
+        return self._expression()
+
+    @staticmethod
+    def _interval_literal(name: str, args: list) -> IntervalLit:
+        values: list[int] = []
+        for arg in args:
+            if isinstance(arg, NumberLit):
+                values.append(arg.value)
+            else:
+                raise ParseError(
+                    f"{name}() requires two integer endpoints, got {arg}")
+        if len(values) != 2:
+            raise ParseError(f"{name}() requires exactly two endpoints")
+        return IntervalLit(values[0], values[1])
+
+
+def parse_script(source: str) -> Script:
+    """Parse a calendar script (the CALENDARS ``derivation-script`` field)."""
+    return Parser(source).parse_script()
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a single calendar expression."""
+    return Parser(source).parse_expression()

@@ -1,0 +1,355 @@
+"""Evaluation plans: the "set of procedural statements" of section 3.2.
+
+A plan is a linear sequence of register-targeted steps (generate a basic
+calendar over a window, apply a foreach/selection/set operation, …)
+produced by :mod:`repro.lang.planner` from a factorized expression and
+executed by :class:`PlanVM` against an
+:class:`~repro.lang.interpreter.EvalContext`.
+
+Plans are what the CALENDARS catalog stores in its ``eval-plan`` column
+(Figure 1) — :meth:`Plan.text` renders them in a readable procedural form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.algebra import SelectionPredicate, caloperate, foreach, \
+    label_select, select
+from repro.core.calendar import Calendar
+from repro.core.granularity import Granularity
+from repro.lang.defs import BasicDef, DerivedDef, ExplicitDef
+from repro.lang.errors import EvaluationError, PlanError
+
+__all__ = [
+    "WindowSpec", "PlanStep", "GenerateStep", "LoadStep", "ForEachStep",
+    "SelectStep", "LabelSelectStep", "SetOpStep", "CalOperateStep",
+    "FlattenStep", "ShiftStep", "InstantsStep", "HullStep",
+    "IntervalStep", "PointStep", "TodayStep", "GenerateCallStep",
+    "Plan", "PlanVM",
+]
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A generation window: either the context window or a fixed tick range."""
+
+    fixed: tuple[int, int] | None = None
+
+    def resolve(self, context) -> tuple[int, int]:
+        """The concrete tick window for an evaluation context."""
+        if self.fixed is not None:
+            return self.fixed
+        return context.window
+
+    def __str__(self) -> str:
+        if self.fixed is None:
+            return "<context-window>"
+        return f"[{self.fixed[0]}, {self.fixed[1]}]"
+
+
+CONTEXT_WINDOW = WindowSpec(None)
+
+
+class PlanStep:
+    """Base class of plan steps; every step writes one register."""
+
+    target: str
+
+    def describe(self) -> str:
+        """One-line procedural rendering of this step."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GenerateStep(PlanStep):
+    """Materialise a basic calendar over a window (cover mode)."""
+
+    target: str
+    calendar: Granularity
+    window: WindowSpec
+
+    def describe(self) -> str:
+        return (f"{self.target} := generate({self.calendar.name}, "
+                f"<unit>, {self.window})")
+
+
+@dataclass(frozen=True)
+class LoadStep(PlanStep):
+    """Load a named calendar via the resolver (explicit values or a
+    multi-statement derivation that cannot be compiled inline)."""
+
+    target: str
+    name: str
+
+    def describe(self) -> str:
+        return f"{self.target} := load({self.name!r})"
+
+
+@dataclass(frozen=True)
+class ForEachStep(PlanStep):
+    target: str
+    op: str
+    strict: bool
+    left: str
+    right: str
+
+    def describe(self) -> str:
+        sep = ":" if self.strict else "."
+        return (f"{self.target} := for each c in {self.left}: "
+                f"keep c {sep}{self.op}{sep} {self.right}")
+
+
+@dataclass(frozen=True)
+class SelectStep(PlanStep):
+    target: str
+    predicate: SelectionPredicate
+    source: str
+
+    def describe(self) -> str:
+        return f"{self.target} := select {self.predicate} from {self.source}"
+
+
+@dataclass(frozen=True)
+class LabelSelectStep(PlanStep):
+    target: str
+    label: int | str
+    source: str
+
+    def describe(self) -> str:
+        return f"{self.target} := select label {self.label} from {self.source}"
+
+
+@dataclass(frozen=True)
+class SetOpStep(PlanStep):
+    target: str
+    op: str
+    left: str
+    right: str
+
+    def describe(self) -> str:
+        return f"{self.target} := {self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class CalOperateStep(PlanStep):
+    target: str
+    source: str
+    counts: tuple[int, ...]
+    end: int | None
+
+    def describe(self) -> str:
+        end = "*" if self.end is None else str(self.end)
+        counts = "; ".join(str(c) for c in self.counts)
+        return (f"{self.target} := caloperate({self.source}, {end}; "
+                f"({counts}))")
+
+
+@dataclass(frozen=True)
+class IntervalStep(PlanStep):
+    target: str
+    lo: int
+    hi: int
+
+    def describe(self) -> str:
+        return f"{self.target} := interval({self.lo}, {self.hi})"
+
+
+@dataclass(frozen=True)
+class PointStep(PlanStep):
+    target: str
+    date_text: str
+
+    def describe(self) -> str:
+        return f"{self.target} := point({self.date_text!r})"
+
+
+@dataclass(frozen=True)
+class TodayStep(PlanStep):
+    target: str
+
+    def describe(self) -> str:
+        return f"{self.target} := today"
+
+
+@dataclass(frozen=True)
+class FlattenStep(PlanStep):
+    """Collapse an order-n calendar to order 1."""
+
+    target: str
+    source: str
+
+    def describe(self) -> str:
+        return f"{self.target} := flatten({self.source})"
+
+
+@dataclass(frozen=True)
+class ShiftStep(PlanStep):
+    """Translate every interval of a calendar by a tick delta."""
+
+    target: str
+    source: str
+    delta: int
+
+    def describe(self) -> str:
+        return f"{self.target} := shift({self.source}, {self.delta})"
+
+
+@dataclass(frozen=True)
+class InstantsStep(PlanStep):
+    """Explode a calendar into one instant per covered point."""
+
+    target: str
+    source: str
+
+    def describe(self) -> str:
+        return f"{self.target} := instants({self.source})"
+
+
+@dataclass(frozen=True)
+class HullStep(PlanStep):
+    """Collapse a calendar to its single spanning interval."""
+
+    target: str
+    source: str
+
+    def describe(self) -> str:
+        return f"{self.target} := hull({self.source})"
+
+
+@dataclass(frozen=True)
+class GenerateCallStep(PlanStep):
+    """An explicit ``generate(cal, unit, start, end[, mode])`` call."""
+
+    target: str
+    calendar: str
+    unit: str
+    start: object
+    end: object
+    mode: str = "clip"
+
+    def describe(self) -> str:
+        return (f"{self.target} := generate({self.calendar}, {self.unit}, "
+                f"[{self.start!r}, {self.end!r}], {self.mode})")
+
+
+@dataclass
+class Plan:
+    """An ordered list of steps plus the register holding the result."""
+
+    steps: list[PlanStep] = field(default_factory=list)
+    result: str = ""
+
+    def text(self) -> str:
+        """Readable procedural rendering (the eval-plan catalog column)."""
+        lines = [step.describe() for step in self.steps]
+        lines.append(f"return {self.result}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def generate_steps(self) -> "list[GenerateStep]":
+        """All basic-calendar generation steps of the plan."""
+        return [s for s in self.steps if isinstance(s, GenerateStep)]
+
+
+class PlanVM:
+    """Executes a :class:`Plan` against an EvalContext."""
+
+    def __init__(self, context) -> None:
+        self.context = context
+
+    def run(self, plan: Plan) -> Calendar:
+        """Execute the steps in order; the (window-clipped) result."""
+        registers: dict[str, object] = {}
+        for step in plan.steps:
+            registers[step.target] = self._run_step(step, registers)
+        try:
+            result = registers[plan.result]
+        except KeyError:
+            raise PlanError(
+                f"plan result register {plan.result!r} was never written")
+        if not isinstance(result, Calendar):
+            raise PlanError("plan did not produce a calendar")
+        from repro.lang.interpreter import clip_to_window
+        return clip_to_window(result, self.context.window)
+
+    def _run_step(self, step: PlanStep, registers: dict):
+        ctx = self.context
+        if isinstance(step, GenerateStep):
+            return ctx.materialise_basic(step.calendar,
+                                         step.window.resolve(ctx),
+                                         mode="cover")
+        if isinstance(step, LoadStep):
+            definition = ctx.resolver(step.name)
+            if definition is None:
+                raise PlanError(f"unknown calendar {step.name!r}")
+            # Defer to the interpreter for scripted/explicit definitions.
+            from repro.lang.interpreter import Interpreter
+            return Interpreter(ctx)._eval_definition(step.name, definition)
+        if isinstance(step, ForEachStep):
+            left = registers[step.left]
+            right = registers[step.right]
+            if left.order != 1:
+                left = left.flatten()
+            reference = (right.elements[0]
+                         if right.order == 1 and len(right) == 1 else right)
+            return foreach(step.op, left, reference, strict=step.strict)
+        if isinstance(step, SelectStep):
+            return select(registers[step.source], step.predicate)
+        if isinstance(step, LabelSelectStep):
+            return label_select(registers[step.source], step.label)
+        if isinstance(step, SetOpStep):
+            left, right = registers[step.left], registers[step.right]
+            if step.op == "+":
+                return left.union(right)
+            if step.op == "-":
+                return left.difference(right)
+            if step.op == "&":
+                return left.intersection(right)
+            raise PlanError(f"unknown set op {step.op!r}")
+        if isinstance(step, CalOperateStep):
+            source = registers[step.source]
+            if source.order != 1:
+                source = source.flatten()
+            return caloperate(source, step.counts, step.end)
+        if isinstance(step, IntervalStep):
+            return Calendar.interval(step.lo, step.hi, ctx.unit)
+        if isinstance(step, PointStep):
+            if ctx.unit != Granularity.DAYS:
+                raise EvaluationError(
+                    "point() literals require a DAYS evaluation unit")
+            return Calendar.point(ctx.system.day_of(step.date_text),
+                                  Granularity.DAYS)
+        if isinstance(step, FlattenStep):
+            return registers[step.source].flatten()
+        if isinstance(step, ShiftStep):
+            source = registers[step.source]
+            if source.order != 1:
+                source = source.flatten()
+            return Calendar.from_intervals(
+                [iv.shift(step.delta) for iv in source.elements],
+                source.granularity)
+        if isinstance(step, InstantsStep):
+            source = registers[step.source]
+            points = sorted({t for iv in source.iter_intervals()
+                             for t in iv})
+            return Calendar.from_intervals([(t, t) for t in points],
+                                           source.granularity)
+        if isinstance(step, HullStep):
+            source = registers[step.source]
+            span = source.span()
+            if span is None:
+                return Calendar.from_intervals([], source.granularity)
+            return Calendar.from_intervals([span], source.granularity)
+        if isinstance(step, TodayStep):
+            if ctx.today is None:
+                raise EvaluationError("'today' is not bound in this context")
+            return Calendar.point(ctx.today, ctx.unit)
+        if isinstance(step, GenerateCallStep):
+            return ctx.system.generate(step.calendar, step.unit,
+                                       (step.start, step.end),
+                                       mode=step.mode)
+        raise PlanError(f"unknown plan step {step!r}")

@@ -1,0 +1,64 @@
+"""Token definitions for the calendar expression language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TokenType", "Token", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    """Token kinds of the calendar expression language."""
+
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COLON = ":"
+    DOT = "."
+    SLASH = "/"
+    SEMI = ";"
+    COMMA = ","
+    PLUS = "+"
+    MINUS = "-"
+    ASSIGN = "="
+    LT = "<"
+    LE = "<="
+    STAR = "*"
+    AMP = "&"
+    IF = "if"
+    ELSE = "else"
+    WHILE = "while"
+    RETURN = "return"
+    EOF = "EOF"
+
+
+KEYWORDS = {
+    "if": TokenType.IF,
+    "else": TokenType.ELSE,
+    "while": TokenType.WHILE,
+    "return": TokenType.RETURN,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A lexical token with its source position (1-based line/column)."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+    #: True when whitespace (or a comment) immediately precedes this token;
+    #: used to distinguish hyphenated names (``Jan-1993``) from subtraction
+    #: (``LDOM - LDOM_HOL``).
+    glued: bool = False
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.text!r}@{self.line}:{self.column})"

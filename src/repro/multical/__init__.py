@@ -1,0 +1,32 @@
+"""A miniature MultiCal (Soo & Snodgrass) — the paper's section 5 comparator.
+
+Implements MultiCal's temporal types (event / interval / span), calendars
+as systems of divisions with per-calendar input/output, and the bridge to
+this library's nested-interval calendars.
+"""
+
+from repro.multical.bridge import (
+    calendar_to_mc_intervals,
+    event_to_tick,
+    interval_to_mc,
+    mc_interval_to_interval,
+    render_calendar,
+    tick_to_event,
+    variable_span_equals_months_step,
+)
+from repro.multical.calsystem import (
+    CalendricSystem,
+    FiscalMCCalendar,
+    GregorianMCCalendar,
+    MCCalendar,
+)
+from repro.multical.types import MCEvent, MCInterval, MCSpan
+
+__all__ = [
+    "MCEvent", "MCInterval", "MCSpan",
+    "MCCalendar", "GregorianMCCalendar", "FiscalMCCalendar",
+    "CalendricSystem",
+    "event_to_tick", "tick_to_event", "mc_interval_to_interval",
+    "interval_to_mc", "calendar_to_mc_intervals", "render_calendar",
+    "variable_span_equals_months_step",
+]

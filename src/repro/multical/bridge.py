@@ -1,0 +1,106 @@
+"""Bridging MultiCal types and this library's calendars (section 5).
+
+The paper argues the two proposals are *orthogonal*: MultiCal does
+multi-calendar input/output of temporal constants but "doesn't support an
+object type such as a nested interval list, and thus operations like
+selection and foreach are not possible"; this library has the algebra but
+one display convention.  The bridge composes them:
+
+* MultiCal events/intervals convert to axis ticks /
+  :class:`~repro.core.interval.Interval` values (the chronon axes are
+  shared), so a MultiCal-parsed constant can feed a calendar expression;
+* an order-1 calendar renders through any registered MultiCal calendar
+  (``FY1994 M02 D15`` and ``Nov 19 1993`` for the same instant);
+* MultiCal's "variable span Month" corresponds to a ``MONTHS``-calendar
+  step — :func:`variable_span_equals_months_step` demonstrates the one
+  point of overlap the paper identifies.
+"""
+
+from __future__ import annotations
+
+from repro.core.arithmetic import shift_point
+from repro.core.calendar import Calendar
+from repro.core.errors import CalendarError
+from repro.core.interval import Interval
+from repro.multical.calsystem import CalendricSystem
+from repro.multical.types import MCEvent, MCInterval, MCSpan
+
+__all__ = [
+    "event_to_tick",
+    "tick_to_event",
+    "mc_interval_to_interval",
+    "interval_to_mc",
+    "calendar_to_mc_intervals",
+    "render_calendar",
+    "variable_span_equals_months_step",
+]
+
+
+def event_to_tick(event: MCEvent) -> int:
+    """MultiCal events live on the same zero-skipping day axis."""
+    return event.chronon
+
+
+def tick_to_event(tick: int, calendar: str = "gregorian") -> MCEvent:
+    """Wrap an axis tick as a MultiCal event."""
+    return MCEvent(tick, calendar)
+
+
+def mc_interval_to_interval(interval: MCInterval) -> Interval:
+    """Convert a MultiCal interval to a core interval (shared axis)."""
+    return Interval(interval.start, interval.end)
+
+
+def interval_to_mc(interval: Interval) -> MCInterval:
+    """Convert a core interval to a MultiCal interval."""
+    return MCInterval(interval.lo, interval.hi)
+
+
+def calendar_to_mc_intervals(cal: Calendar) -> list[MCInterval]:
+    """Flatten an order-n calendar into MultiCal intervals.
+
+    This is lossy by design: MultiCal has no nested-list type, so the
+    order-2 structure (the thing selection/foreach need) cannot survive
+    the trip — exactly the limitation the paper points out.
+    """
+    return [interval_to_mc(iv) for iv in cal.iter_intervals()]
+
+
+def render_calendar(system: CalendricSystem, cal: Calendar,
+                    calendar_name: str = "gregorian") -> list[str]:
+    """Render an order-1 calendar through a MultiCal calendar's format."""
+    if cal.order != 1:
+        raise CalendarError("render_calendar expects an order-1 calendar")
+    mc_cal = system.calendar(calendar_name)
+    out = []
+    for iv in cal.elements:
+        if iv.is_instant():
+            out.append(mc_cal.format(iv.lo))
+        else:
+            out.append(f"{mc_cal.format(iv.lo)} .. {mc_cal.format(iv.hi)}")
+    return out
+
+
+def variable_span_equals_months_step(system: CalendricSystem,
+                                     months_calendar: Calendar,
+                                     event: MCEvent,
+                                     months: int) -> bool:
+    """The section 5 overlap: MultiCal's variable span *Month* agrees with
+    stepping through this library's MONTHS calendar.
+
+    ``event + Span(months=k)`` must land in the interval reached by
+    moving ``k`` elements forward from the event's month in
+    ``months_calendar`` (an order-1 MONTHS calendar covering both).
+    """
+    target = system.add(event, MCSpan(months=months))
+    start_index = None
+    for i, iv in enumerate(months_calendar.elements):
+        if event.chronon in iv:
+            start_index = i
+            break
+    if start_index is None:
+        raise CalendarError("event is outside the MONTHS calendar")
+    target_index = start_index + months
+    if not 0 <= target_index < len(months_calendar.elements):
+        raise CalendarError("span lands outside the MONTHS calendar")
+    return target.chronon in months_calendar.elements[target_index]

@@ -1,0 +1,235 @@
+"""MultiCal calendars and calendric systems (section 5).
+
+MultiCal views a *calendar* as "a system of divisions of the time line"
+— the Webster definition the paper quotes — rather than an extracted
+list of intervals.  A :class:`MCCalendar` converts between chronons and
+field representations (year/month/day …) and performs variable-span
+arithmetic; a :class:`CalendricSystem` groups several calendars over one
+epoch and handles input/output of temporal constants in per-calendar
+formats, which is MultiCal's main concern.
+
+Two concrete calendars are provided:
+
+* :class:`GregorianMCCalendar` — the civil calendar;
+* :class:`FiscalMCCalendar` — a fiscal year starting in an arbitrary
+  month (the US federal fiscal year starts Oct 1), demonstrating that
+  the *same chronon* renders differently per calendar ("FY1994 M1 D15"
+  vs "Oct 15 1993").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chrono import (
+    CivilDate,
+    Epoch,
+    MONTH_ABBREVS,
+    days_in_month,
+    parse_date,
+)
+from repro.core.errors import CalendarError
+from repro.multical.types import MCEvent, MCInterval, MCSpan
+
+__all__ = ["MCCalendar", "GregorianMCCalendar", "FiscalMCCalendar",
+           "CalendricSystem"]
+
+
+class MCCalendar:
+    """Abstract MultiCal calendar: chronon <-> field conversion."""
+
+    name = "abstract"
+
+    def __init__(self, epoch: Epoch) -> None:
+        self.epoch = epoch
+
+    # -- conversion ---------------------------------------------------------
+
+    def to_fields(self, chronon: int) -> dict:
+        """Field representation (year/month/day) of a chronon."""
+        raise NotImplementedError
+
+    def from_fields(self, fields: dict) -> int:
+        """Chronon of a field representation."""
+        raise NotImplementedError
+
+    def format(self, chronon: int) -> str:
+        """Output format of a chronon in this calendar."""
+        raise NotImplementedError
+
+    def parse(self, text: str) -> int:
+        """Input: parse this calendar's spelling into a chronon."""
+        raise NotImplementedError
+
+    # -- variable-span arithmetic --------------------------------------------
+
+    def add_span(self, chronon: int, span: MCSpan) -> int:
+        """Anchor a (possibly variable) span at a chronon."""
+        result = chronon
+        if span.months:
+            result = self._add_months(result, span.months)
+        if span.days:
+            result = self.epoch.add_days(result, span.days)
+        return result
+
+    def _add_months(self, chronon: int, months: int) -> int:
+        raise NotImplementedError
+
+
+class GregorianMCCalendar(MCCalendar):
+    """The civil calendar as a MultiCal calendar."""
+
+    name = "gregorian"
+
+    def to_fields(self, chronon: int) -> dict:
+        date = self.epoch.date_of(chronon)
+        return {"year": date.year, "month": date.month, "day": date.day}
+
+    def from_fields(self, fields: dict) -> int:
+        return self.epoch.day_number(
+            CivilDate(fields["year"], fields["month"], fields["day"]))
+
+    def format(self, chronon: int) -> str:
+        return str(self.epoch.date_of(chronon))
+
+    def parse(self, text: str) -> int:
+        return self.epoch.day_number(parse_date(text))
+
+    def _add_months(self, chronon: int, months: int) -> int:
+        date = self.epoch.date_of(chronon)
+        total = date.year * 12 + (date.month - 1) + months
+        year, month0 = divmod(total, 12)
+        month = month0 + 1
+        day = min(date.day, days_in_month(year, month))
+        return self.epoch.day_number(CivilDate(year, month, day))
+
+
+class FiscalMCCalendar(MCCalendar):
+    """A fiscal calendar: the year starts in ``start_month``.
+
+    Fiscal year N covers ``start_month`` of civil year N-1 through the
+    month before ``start_month`` of civil year N (the US convention:
+    FY1994 = Oct 1 1993 .. Sep 30 1994).
+    """
+
+    name = "fiscal"
+
+    def __init__(self, epoch: Epoch, start_month: int = 10) -> None:
+        super().__init__(epoch)
+        if not 2 <= start_month <= 12:
+            raise CalendarError(
+                "fiscal start month must be 2..12 (1 would be Gregorian)")
+        self.start_month = start_month
+
+    def _civil_to_fiscal(self, date: CivilDate) -> tuple[int, int, int]:
+        if date.month >= self.start_month:
+            fy = date.year + 1
+            fm = date.month - self.start_month + 1
+        else:
+            fy = date.year
+            fm = date.month + 12 - self.start_month + 1
+        return fy, fm, date.day
+
+    def _fiscal_to_civil(self, fy: int, fm: int, day: int) -> CivilDate:
+        if not 1 <= fm <= 12:
+            raise CalendarError(f"fiscal month out of range: {fm}")
+        month = self.start_month + fm - 1
+        year = fy - 1
+        if month > 12:
+            month -= 12
+            year += 1
+        return CivilDate(year, month, day)
+
+    def to_fields(self, chronon: int) -> dict:
+        fy, fm, day = self._civil_to_fiscal(self.epoch.date_of(chronon))
+        return {"year": fy, "month": fm, "day": day}
+
+    def from_fields(self, fields: dict) -> int:
+        return self.epoch.day_number(self._fiscal_to_civil(
+            fields["year"], fields["month"], fields["day"]))
+
+    def format(self, chronon: int) -> str:
+        fields = self.to_fields(chronon)
+        return (f"FY{fields['year']} "
+                f"M{fields['month']:02d} D{fields['day']:02d}")
+
+    def parse(self, text: str) -> int:
+        tokens = text.strip().split()
+        try:
+            fy = int(tokens[0].upper().removeprefix("FY"))
+            fm = int(tokens[1].upper().removeprefix("M"))
+            day = int(tokens[2].upper().removeprefix("D"))
+        except (IndexError, ValueError):
+            raise CalendarError(
+                f"cannot parse fiscal date {text!r} "
+                "(expected 'FY1994 M01 D15')") from None
+        return self.from_fields({"year": fy, "month": fm, "day": day})
+
+    def _add_months(self, chronon: int, months: int) -> int:
+        fields = self.to_fields(chronon)
+        total = fields["year"] * 12 + (fields["month"] - 1) + months
+        fy, fm0 = divmod(total, 12)
+        civil = self._fiscal_to_civil(fy, fm0 + 1, 1)
+        day = min(fields["day"], days_in_month(civil.year, civil.month))
+        return self.epoch.day_number(civil.replace(day=day))
+
+
+@dataclass
+class CalendricSystem:
+    """A set of named calendars over one epoch (MultiCal's core object)."""
+
+    epoch: Epoch
+
+    def __post_init__(self) -> None:
+        self._calendars: dict[str, MCCalendar] = {}
+        self.register(GregorianMCCalendar(self.epoch))
+
+    def register(self, calendar: MCCalendar, name: str | None = None
+                 ) -> None:
+        """Add a calendar to the system (under its name by default)."""
+        self._calendars[(name or calendar.name).lower()] = calendar
+
+    def calendar(self, name: str) -> MCCalendar:
+        """The calendar registered under ``name`` (raises if unknown)."""
+        try:
+            return self._calendars[name.lower()]
+        except KeyError:
+            raise CalendarError(f"unknown MultiCal calendar {name!r}") \
+                from None
+
+    def names(self) -> list[str]:
+        """Sorted registered calendar names."""
+        return sorted(self._calendars)
+
+    # -- temporal-constant I/O (MultiCal's main feature) -----------------------
+
+    def input_event(self, text: str, calendar: str = "gregorian"
+                    ) -> MCEvent:
+        """Parse a temporal constant in the given calendar's format."""
+        return MCEvent(self.calendar(calendar).parse(text), calendar)
+
+    def output_event(self, event: MCEvent,
+                     calendar: str | None = None) -> str:
+        """Render an event (in its own or another calendar's format)."""
+        return self.calendar(calendar or event.calendar).format(
+            event.chronon)
+
+    def input_interval(self, start_text: str, end_text: str,
+                       calendar: str = "gregorian") -> MCInterval:
+        """Parse an interval constant from two date spellings."""
+        cal = self.calendar(calendar)
+        return MCInterval(cal.parse(start_text), cal.parse(end_text))
+
+    def output_interval(self, interval: MCInterval,
+                        calendar: str = "gregorian") -> str:
+        """Render an interval in a calendar's format."""
+        cal = self.calendar(calendar)
+        return f"[{cal.format(interval.start)} .. {cal.format(interval.end)}]"
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def add(self, event: MCEvent, span: MCSpan) -> MCEvent:
+        """``event + span`` under the event's own calendar semantics."""
+        calendar = self.calendar(event.calendar)
+        return MCEvent(calendar.add_span(event.chronon, span),
+                       event.calendar)

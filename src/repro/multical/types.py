@@ -1,0 +1,122 @@
+"""MultiCal's temporal data types: event, interval, span (section 5).
+
+The paper compares its nested-interval-list calendars against Soo &
+Snodgrass's *MultiCal* proposal, which models time with three types:
+
+* an **event** — an isolated instant (here: a chronon number, one chronon
+  per day on the shared axis, plus the calendar it is displayed in);
+* an **interval** — a set of contiguous chronons ``[start, end]``;
+* a **span** — an unanchored duration, either *fixed* (a number of days)
+  or *variable* (months/years, whose length depends on where it is
+  anchored — MultiCal's "variable span Month" is the counterpart of this
+  library's MONTHS calendar).
+
+Arithmetic follows MultiCal's semantics: ``event + span`` anchors the
+span at the event (variable parts resolved by the event's calendar),
+``event - event`` yields a fixed span, intervals support the usual
+overlap/containment predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import CalendarError
+
+__all__ = ["MCEvent", "MCSpan", "MCInterval"]
+
+
+@dataclass(frozen=True, slots=True)
+class MCSpan:
+    """An unanchored duration: ``months`` are variable, ``days`` fixed."""
+
+    months: int = 0
+    days: int = 0
+
+    @property
+    def is_fixed(self) -> bool:
+        """Fixed spans have a context-independent length in chronons."""
+        return self.months == 0
+
+    def __add__(self, other: "MCSpan") -> "MCSpan":
+        return MCSpan(self.months + other.months, self.days + other.days)
+
+    def __neg__(self) -> "MCSpan":
+        return MCSpan(-self.months, -self.days)
+
+    def __sub__(self, other: "MCSpan") -> "MCSpan":
+        return self + (-other)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.months:
+            parts.append(f"{self.months} months")
+        if self.days or not parts:
+            parts.append(f"{self.days} days")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class MCEvent:
+    """An isolated instant: a chronon number on the shared day axis.
+
+    ``calendar`` names the calendar used for display/arithmetic (a key in
+    a :class:`~repro.multical.calsystem.CalendricSystem`).
+    """
+
+    chronon: int
+    calendar: str = "gregorian"
+
+    def __post_init__(self) -> None:
+        if self.chronon == 0:
+            raise CalendarError("chronon 0 does not exist on the axis")
+
+    def __lt__(self, other: "MCEvent") -> bool:
+        return self.chronon < other.chronon
+
+    def __le__(self, other: "MCEvent") -> bool:
+        return self.chronon <= other.chronon
+
+    def fixed_span_to(self, other: "MCEvent") -> MCSpan:
+        """``other - self`` as a fixed span (chronons are days)."""
+        diff = other.chronon - self.chronon
+        # Account for the missing chronon 0.
+        if self.chronon < 0 < other.chronon:
+            diff -= 1
+        elif other.chronon < 0 < self.chronon:
+            diff += 1
+        return MCSpan(days=diff)
+
+
+@dataclass(frozen=True, slots=True)
+class MCInterval:
+    """A set of contiguous chronons with start <= end (both inclusive)."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start == 0 or self.end == 0:
+            raise CalendarError("chronon 0 does not exist on the axis")
+        if self.start > self.end:
+            raise CalendarError(
+                f"interval start {self.start} after end {self.end}")
+
+    def overlaps(self, other: "MCInterval") -> bool:
+        """True when the chronon sets intersect."""
+        return self.start <= other.end and other.start <= self.end
+
+    def contains(self, other: "MCInterval") -> bool:
+        """True when ``other`` lies entirely within this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def contains_event(self, event: MCEvent) -> bool:
+        """True when the event's chronon is inside the interval."""
+        return self.start <= event.chronon <= self.end
+
+    def duration(self) -> MCSpan:
+        """The interval's length as a fixed span (chronon 0 skipped)."""
+        length = self.end - self.start + 1
+        if self.start < 0 < self.end:
+            length -= 1
+        return MCSpan(days=length)

@@ -1,0 +1,116 @@
+"""Clocks driving DBCRON.
+
+The paper's DBCRON daemon is modelled on UNIX cron: a process that wakes
+every T time units.  For deterministic tests and benchmarks we replace
+wall-clock time with :class:`SimulatedClock`, whose "now" is an axis day
+tick advanced explicitly.  The probe/fire logic is unchanged — only the
+source of time differs (documented substitution in DESIGN.md).
+
+:class:`WallClock` is the production adapter: its "now" is derived from
+real time (an injectable ``time_source`` keeps it testable); callers
+``poll()`` it — from a scheduler loop, a thread, or an external cron —
+and listeners fire whenever the axis tick has moved.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable
+
+from repro.core.basis import CalendarSystem
+from repro.core.chrono import CivilDate
+from repro.core.errors import AxisError
+from repro.core.interval import axis_add
+
+__all__ = ["SimulatedClock", "WallClock"]
+
+
+class SimulatedClock:
+    """An axis-tick clock with subscribable advancement."""
+
+    def __init__(self, now: int = 1) -> None:
+        if now == 0:
+            raise AxisError("the clock cannot start at tick 0")
+        self._now = now
+        self._listeners: list[Callable[[int], None]] = []
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def subscribe(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked after every advancement."""
+        self._listeners.append(listener)
+
+    def advance(self, ticks: int = 1) -> int:
+        """Move forward ``ticks`` axis points (skipping 0)."""
+        if ticks < 0:
+            raise AxisError("the clock cannot move backwards")
+        if ticks:
+            self._now = axis_add(self._now, ticks)
+            for listener in self._listeners:
+                listener(self._now)
+        return self._now
+
+    def advance_to(self, tick: int) -> int:
+        """Advance to an absolute tick (must not be in the past)."""
+        if tick == 0:
+            raise AxisError("tick 0 does not exist")
+        if tick < self._now:
+            raise AxisError(
+                f"cannot move the clock backwards ({self._now} -> {tick})")
+        if tick != self._now:
+            self._now = tick
+            for listener in self._listeners:
+                listener(self._now)
+        return self._now
+
+
+class WallClock:
+    """An axis-tick clock derived from real (epoch-seconds) time.
+
+    ``time_source`` returns seconds since the UNIX epoch (defaults to
+    :func:`time.time`); the current axis day is computed through the
+    calendar system's chronology.  Call :meth:`poll` periodically — when
+    the computed tick has advanced past the last observed one, listeners
+    are notified exactly as with :class:`SimulatedClock`.
+    """
+
+    def __init__(self, system: CalendarSystem,
+                 time_source: Callable[[], float] = _time.time) -> None:
+        self._system = system
+        self._time_source = time_source
+        self._listeners: list[Callable[[int], None]] = []
+        self._now = self._compute_now()
+
+    def _compute_now(self) -> int:
+        seconds = self._time_source()
+        days_since_unix_epoch = int(seconds // 86_400)
+        unix_day = self._system.epoch.day_number(CivilDate(1970, 1, 1))
+        return self._system.epoch.add_days(unix_day,
+                                           days_since_unix_epoch)
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def subscribe(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked when the day tick advances."""
+        self._listeners.append(listener)
+
+    def poll(self) -> bool:
+        """Re-read real time; notify listeners if the day tick moved."""
+        current = self._compute_now()
+        if current < self._now:
+            raise AxisError("wall time moved backwards")
+        if current == self._now:
+            return False
+        self._now = current
+        for listener in self._listeners:
+            listener(current)
+        return True
+
+    def advance(self, ticks: int = 1) -> int:
+        """Wall clocks cannot be advanced manually."""
+        raise AxisError("a WallClock advances only with real time; "
+                        "call poll()")

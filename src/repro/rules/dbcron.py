@@ -1,0 +1,132 @@
+"""DBCRON: the daemon that triggers temporal rules (section 4, Figure 4).
+
+Modelled on the UNIX ``cron`` utility: every ``period`` time units DBCRON
+*probes* the RULE_TIME table for rules that trigger within the next period
+and loads them into a main-memory schedule (a binary heap).  As the clock
+advances, due entries are popped and fired; each fired rule computes its
+next trigger point (via the calendar pipeline), RULE_TIME is updated, and
+— when the next point falls inside the current probe horizon — the entry
+re-enters the heap immediately.
+
+Driven by a :class:`~repro.rules.clock.SimulatedClock` for determinism;
+``run_until`` steps the clock probe-by-probe the way the real daemon
+sleeps between wake-ups.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.core.errors import AxisError
+from repro.core.interval import axis_add
+from repro.db.database import Database
+from repro.rules.clock import SimulatedClock
+from repro.rules.manager import RuleManager
+
+__all__ = ["DBCron"]
+
+
+@dataclass
+class _Stats:
+    probes: int = 0
+    fires: int = 0
+    reschedules: int = 0
+    max_heap_size: int = 0
+
+
+class DBCron:
+    """The temporal-rule daemon."""
+
+    def __init__(self, manager: RuleManager, clock: SimulatedClock,
+                 period: int = 7) -> None:
+        if period < 1:
+            raise AxisError("the probe period must be at least 1 tick")
+        self.manager = manager
+        self.db: Database = manager.db
+        self.clock = clock
+        self.period = period
+        #: Main-memory schedule: (fire_tick, sequence, rulename).
+        self._heap: list[tuple[int, int, str]] = []
+        self._scheduled: dict[str, int] = {}
+        self._sequence = 0
+        self._horizon = clock.now  # end of the currently probed window
+        self.stats = _Stats()
+        manager.clock = clock
+        manager.subscribe_schedule(self._on_schedule_change)
+        clock.subscribe(self._on_clock)
+
+    # -- probing -----------------------------------------------------------------
+
+    def probe(self) -> int:
+        """Load rules due within the next period into the schedule.
+
+        Returns the number of heap entries loaded.  This is the periodic
+        RULE_TIME scan of Figure 4.
+        """
+        now = self.clock.now
+        self._horizon = axis_add(now, self.period)
+        self.stats.probes += 1
+        loaded = 0
+        for fire_tick, name in self.manager.tables.due_within(
+                now, self.period):
+            if self._scheduled.get(name) == fire_tick:
+                continue
+            self._push(fire_tick, name)
+            loaded += 1
+        self.stats.max_heap_size = max(self.stats.max_heap_size,
+                                       len(self._heap))
+        return loaded
+
+    def _push(self, fire_tick: int, name: str) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (fire_tick, self._sequence, name))
+        self._scheduled[name] = fire_tick
+
+    def _on_schedule_change(self, name: str, next_fire: int | None) -> None:
+        """A rule was declared/dropped/rescheduled while we are awake."""
+        if next_fire is None:
+            self._scheduled.pop(name, None)
+            return
+        if next_fire <= self._horizon and \
+                self._scheduled.get(name) != next_fire:
+            self._push(next_fire, name)
+
+    # -- firing ------------------------------------------------------------------
+
+    def _on_clock(self, now: int) -> None:
+        self.fire_due()
+
+    def fire_due(self) -> int:
+        """Fire every scheduled entry whose time has come; count fired."""
+        now = self.clock.now
+        fired = 0
+        while self._heap and self._heap[0][0] <= now:
+            fire_tick, _, name = heapq.heappop(self._heap)
+            if self._scheduled.get(name) != fire_tick:
+                continue  # stale entry (rule dropped or rescheduled)
+            del self._scheduled[name]
+            next_fire = self.manager.fire_temporal(name, fire_tick)
+            fired += 1
+            self.stats.fires += 1
+            if next_fire is not None:
+                self.stats.reschedules += 1
+                # _on_schedule_change pushed it back if inside the horizon.
+        return fired
+
+    # -- driving ------------------------------------------------------------------
+
+    def run_until(self, tick: int) -> int:
+        """Advance the clock to ``tick`` probe-by-probe; count fires.
+
+        Mirrors the daemon loop: probe, sleep one period (advancing the
+        clock fires due rules), repeat.
+        """
+        before = self.stats.fires
+        self.probe()
+        while self.clock.now < tick:
+            step = min(self.period, tick - self.clock.now)
+            self.clock.advance(step)
+            self.probe()
+        self.fire_due()
+        return self.stats.fires - before

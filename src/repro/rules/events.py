@@ -1,0 +1,23 @@
+"""Database events observed by the rule system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Event"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One storage-level event.
+
+    ``kind`` is one of ``append`` / ``delete`` / ``replace`` / ``retrieve``.
+    ``current`` is the tuple accessed (retrieve/replace/delete) and ``new``
+    the tuple being appended or the post-image of a replace — matching the
+    POSTGRES rule system's CURRENT and NEW tuple variables (section 4).
+    """
+
+    kind: str
+    relation: str
+    current: dict | None = None
+    new: dict | None = None

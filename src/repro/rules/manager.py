@@ -1,0 +1,162 @@
+"""The rule manager: declaration, storage and firing of rules.
+
+Wires :class:`~repro.rules.rule.EventRule` objects into the storage-layer
+event hooks and :class:`~repro.rules.temporal.TemporalRule` objects into
+the RULE-INFO/RULE-TIME tables probed by DBCRON.  A cascade-depth guard
+stops runaway rule chains (a rule whose action triggers itself).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.db.database import Database
+from repro.db.errors import RuleError
+from repro.rules.events import Event
+from repro.rules.rule import EventRule
+from repro.rules.tables import RuleTables
+from repro.rules.temporal import TemporalRule
+
+__all__ = ["RuleManager"]
+
+
+class RuleManager:
+    """Owns all rules of one database."""
+
+    def __init__(self, database: Database,
+                 max_cascade_depth: int = 16) -> None:
+        self.db = database
+        self.tables = RuleTables(database)
+        self.event_rules: dict[str, EventRule] = {}
+        self.temporal_rules: dict[str, TemporalRule] = {}
+        self.max_cascade_depth = max_cascade_depth
+        self._depth = 0
+        #: Set by DBCron; used as the default schedule start for rules
+        #: declared without an explicit ``after``.
+        self.clock = None
+        #: Callbacks notified when a temporal rule is (re)scheduled.
+        self._schedule_listeners: list[Callable[[str, int | None], None]] = []
+        database.rule_manager = self
+
+    # -- event rules --------------------------------------------------------------
+
+    def define_event_rule(self, name: str, event: str, relation: str,
+                          condition: "str | Callable | None" = None,
+                          actions: "Sequence[str] | None" = None,
+                          callback: Callable | None = None,
+                          valid_between: tuple | None = None) -> EventRule:
+        """``On Event [to relation] where Condition do Action``."""
+        if name in self.event_rules or name in self.temporal_rules:
+            raise RuleError(f"rule {name!r} is already defined")
+        rule = EventRule.define(name, event, relation, condition, actions,
+                                callback)
+        rule.valid_between = valid_between
+        self.db.relation(relation)  # validate it exists
+        self.event_rules[name] = rule
+        hook = self._make_hook(rule)
+        self.db.relation(relation).hooks[rule.event].append(hook)
+        rule._hook = hook  # for removal
+        return rule
+
+    def _make_hook(self, rule: EventRule) -> Callable[[Event], None]:
+        def hook(event: Event) -> None:
+            if not rule.enabled:
+                return
+            if self._depth >= self.max_cascade_depth:
+                raise RuleError(
+                    f"rule cascade exceeded depth {self.max_cascade_depth} "
+                    f"(at rule {rule.name!r})")
+            now = self.clock.now if self.clock is not None else None
+            if rule.matches(self.db._executor, event, now=now):
+                self._depth += 1
+                try:
+                    rule.fire(self.db, event)
+                finally:
+                    self._depth -= 1
+        return hook
+
+    # -- temporal rules -------------------------------------------------------------
+
+    def define_temporal_rule(self, name: str, calendar_expression: str,
+                             actions: "Sequence[str] | None" = None,
+                             callback: Callable | None = None,
+                             after: int | None = None,
+                             valid_between: tuple | None = None,
+                             catchup: str = "all") -> TemporalRule:
+        """``On Calendar-Expression do Action`` (section 4).
+
+        The expression is parsed, factorized and compiled; the next trigger
+        point after ``after`` (default: day 1) is computed and stored in
+        RULE_TIME for DBCRON to probe.
+        """
+        if name in self.event_rules or name in self.temporal_rules:
+            raise RuleError(f"rule {name!r} is already defined")
+        rule = TemporalRule.define(name, calendar_expression,
+                                   self.db.calendars,
+                                   actions=actions, callback=callback,
+                                   valid_between=valid_between,
+                                   catchup=catchup)
+        if after is not None:
+            start = after
+        elif self.clock is not None:
+            start = self.clock.now
+        else:
+            start = 1
+        next_fire = rule.next_trigger(self.db.calendars, start)
+        self.temporal_rules[name] = rule
+        self.tables.register(rule, next_fire)
+        self._notify_schedule(name, next_fire)
+        return rule
+
+    def drop_rule(self, name: str) -> None:
+        """Remove an event or temporal rule (and its catalog rows)."""
+        if name in self.event_rules:
+            rule = self.event_rules.pop(name)
+            hooks = self.db.relation(rule.relation).hooks[rule.event]
+            if getattr(rule, "_hook", None) in hooks:
+                hooks.remove(rule._hook)
+            return
+        if name in self.temporal_rules:
+            del self.temporal_rules[name]
+            self.tables.unregister(name)
+            self._notify_schedule(name, None)
+            return
+        raise RuleError(f"unknown rule {name!r}")
+
+    # -- DBCRON interface --------------------------------------------------------------
+
+    def subscribe_schedule(self,
+                           listener: Callable[[str, int | None], None]
+                           ) -> None:
+        """Register a callback for (re)schedules: (rule, next_fire)."""
+        self._schedule_listeners.append(listener)
+
+    def _notify_schedule(self, name: str, next_fire: int | None) -> None:
+        for listener in self._schedule_listeners:
+            listener(name, next_fire)
+
+    def fire_temporal(self, name: str, at_tick: int) -> int | None:
+        """Fire a temporal rule and reschedule it; new next-fire or None."""
+        rule = self.temporal_rules.get(name)
+        if rule is None or not rule.enabled:
+            return None
+        if rule.catchup == "latest" and self.clock is not None:
+            # Skip forward to the most recent missed trigger point.
+            now = self.clock.now
+            candidate = rule.next_trigger(self.db.calendars, at_tick)
+            while candidate is not None and candidate <= now:
+                at_tick = candidate
+                candidate = rule.next_trigger(self.db.calendars, at_tick)
+        if self._depth >= self.max_cascade_depth:
+            raise RuleError(
+                f"rule cascade exceeded depth {self.max_cascade_depth} "
+                f"(at rule {name!r})")
+        self._depth += 1
+        try:
+            rule.fire(self.db, at_tick)
+        finally:
+            self._depth -= 1
+        next_fire = rule.next_trigger(self.db.calendars, at_tick)
+        self.tables.set_next_fire(name, next_fire)
+        self._notify_schedule(name, next_fire)
+        return next_fire

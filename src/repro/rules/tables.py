@@ -1,0 +1,105 @@
+"""The RULE-INFO and RULE-TIME database tables (section 4, Figure 4).
+
+``RULE_INFO`` stores, per temporal rule, the calendar expression text, the
+factorized expression, and the rendered evaluation plan.  ``RULE_TIME``
+stores the *next* time point at which each rule must trigger; DBCRON
+probes it every T time units.  Both are ordinary relations of the host
+database, so they are themselves queryable with Postquel.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.db.errors import RuleError
+
+__all__ = ["RuleTables"]
+
+RULE_INFO = "rule_info"
+RULE_TIME = "rule_time"
+
+
+class RuleTables:
+    """Creates and maintains RULE_INFO / RULE_TIME in a database."""
+
+    def __init__(self, database: Database) -> None:
+        self.db = database
+        if RULE_INFO not in database:
+            database.create_table(RULE_INFO, [
+                ("rulename", "text"),
+                ("expression", "text"),
+                ("factorized", "text"),
+                ("eval_plan", "text"),
+            ], key=("rulename",))
+        if RULE_TIME not in database:
+            database.create_table(RULE_TIME, [
+                ("rulename", "text"),
+                ("next_fire", "abstime"),
+            ], key=("rulename",))
+            database.create_index(RULE_TIME, "next_fire")
+
+    # -- maintenance ------------------------------------------------------------
+
+    def register(self, rule, next_fire: int | None) -> None:
+        """Insert catalog rows for a newly declared temporal rule."""
+        info = self.db.relation(RULE_INFO)
+        info.insert({
+            "rulename": rule.name,
+            "expression": rule.expression_text,
+            "factorized": str(rule.expression),
+            "eval_plan": rule.plan.text() if rule.plan is not None else "",
+        }, fire_hooks=False)
+        if next_fire is not None:
+            self.db.relation(RULE_TIME).insert(
+                {"rulename": rule.name, "next_fire": next_fire},
+                fire_hooks=False)
+
+    def unregister(self, name: str) -> None:
+        """Delete a rule's RULE_INFO / RULE_TIME rows."""
+        for relname in (RULE_INFO, RULE_TIME):
+            relation = self.db.relation(relname)
+            for row in list(relation.scan()):
+                if row["rulename"] == name:
+                    relation.delete(row["_tid"], fire_hooks=False)
+
+    def set_next_fire(self, name: str, next_fire: int | None) -> None:
+        """Upsert (or clear, with None) a rule's next trigger point."""
+        relation = self.db.relation(RULE_TIME)
+        for row in list(relation.scan()):
+            if row["rulename"] == name:
+                if next_fire is None:
+                    relation.delete(row["_tid"], fire_hooks=False)
+                else:
+                    relation.update(row["_tid"], {"next_fire": next_fire},
+                                    fire_hooks=False)
+                return
+        if next_fire is not None:
+            relation.insert({"rulename": name, "next_fire": next_fire},
+                            fire_hooks=False)
+
+    def next_fire_of(self, name: str) -> int | None:
+        """The stored next trigger point of a rule, or None."""
+        for row in self.db.relation(RULE_TIME).scan():
+            if row["rulename"] == name:
+                return row["next_fire"]
+        return None
+
+    def due_within(self, now: int, horizon: int) -> list[tuple[int, str]]:
+        """(next_fire, rulename) pairs with next_fire <= now + horizon.
+
+        Uses the ordered index on ``next_fire`` — this is DBCRON's probe.
+        """
+        relation = self.db.relation(RULE_TIME)
+        index = relation.indexes.get("next_fire")
+        bound = now + horizon
+        pairs: list[tuple[int, str]] = []
+        if index is not None:
+            for tid in index.lookup_range(hi=bound):
+                row = relation.get(tid)
+                if row is not None:
+                    pairs.append((row["next_fire"], row["rulename"]))
+        else:
+            for row in relation.scan():
+                if row["next_fire"] <= bound:
+                    pairs.append((row["next_fire"], row["rulename"]))
+        pairs.sort()
+        return pairs

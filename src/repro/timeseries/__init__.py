@@ -1,0 +1,23 @@
+"""Regular time series bound to calendars, plus pattern selection."""
+
+from repro.timeseries.patterns import (
+    Pattern,
+    decreases,
+    increases,
+    local_maxima,
+    local_minima,
+    match_pattern,
+    runs_of,
+)
+from repro.timeseries.integration import (
+    drop_series,
+    register_series,
+    registered_series,
+)
+from repro.timeseries.series import RegularTimeSeries
+
+__all__ = [
+    "RegularTimeSeries", "Pattern", "match_pattern",
+    "increases", "decreases", "local_maxima", "local_minima", "runs_of",
+    "register_series", "registered_series", "drop_series",
+]

@@ -1,0 +1,86 @@
+"""Series-aware calendar expressions (section 6a, fully integrated).
+
+The paper's future work asks to "modify the calendar language to allow
+selection predicates on the time-series associated with calendars".  This
+module does exactly that: registered series become queryable from inside
+calendar expressions through the ``pattern`` function::
+
+    registry.register_series? -- see register_series() below
+
+    pattern("GNP", "s(t) < s(t+1)")     -- instants of successive increase
+    pattern("close", "s(t) > s(t-1) and s(t) > s(t+1)")   -- local maxima
+
+The function returns an order-1 calendar of matching instants, so the
+result composes with the whole algebra — and, crucially, with temporal
+rules: ``On pattern("close", "s(t) < s(t+1)") do Alert`` triggers on a
+*data* condition, the paper's closing example ("the time points at which
+the end-of-day closing prices for two successive days showed an
+increase").
+"""
+
+from __future__ import annotations
+
+from repro.catalog.registry import CalendarRegistry
+from repro.core.calendar import Calendar
+from repro.core.errors import CalendarError
+from repro.core.granularity import Granularity
+from repro.timeseries.patterns import Pattern, match_pattern
+from repro.timeseries.series import RegularTimeSeries
+
+__all__ = ["register_series", "registered_series", "drop_series"]
+
+_ATTR = "_registered_series"
+
+
+def _store(registry: CalendarRegistry) -> dict:
+    store = getattr(registry, _ATTR, None)
+    if store is None:
+        store = {}
+        setattr(registry, _ATTR, store)
+        registry.functions["pattern"] = _make_pattern_function(registry)
+    return store
+
+
+def _make_pattern_function(registry: CalendarRegistry):
+    def pattern_function(context, args):
+        if len(args) != 2 or not all(isinstance(a, str) for a in args):
+            raise CalendarError(
+                'pattern("series", "predicate") takes two strings')
+        series_name, predicate = args
+        store = getattr(registry, _ATTR, {})
+        series = store.get(series_name.lower())
+        if series is None:
+            raise CalendarError(
+                f"unknown time series {series_name!r} "
+                f"(registered: {sorted(store)})")
+        instants = match_pattern(series, Pattern.parse(predicate))
+        return Calendar.from_intervals([(t, t) for t in instants],
+                                       Granularity.DAYS)
+    return pattern_function
+
+
+def register_series(registry: CalendarRegistry,
+                    series: RegularTimeSeries,
+                    name: str | None = None) -> None:
+    """Make a series available to ``pattern(...)`` calendar expressions.
+
+    Registration bumps the registry version, so cached expression results
+    involving patterns are invalidated when the series is replaced.
+    """
+    _store(registry)[(name or series.name).lower()] = series
+    registry.version += 1
+
+
+def registered_series(registry: CalendarRegistry) -> list[str]:
+    """Sorted names of series available to ``pattern(...)``."""
+    return sorted(getattr(registry, _ATTR, {}))
+
+
+def drop_series(registry: CalendarRegistry, name: str) -> None:
+    """Unregister a series (raises if unknown)."""
+    store = getattr(registry, _ATTR, {})
+    try:
+        del store[name.lower()]
+    except KeyError:
+        raise CalendarError(f"unknown time series {name!r}") from None
+    registry.version += 1

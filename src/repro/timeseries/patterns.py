@@ -1,0 +1,172 @@
+"""Pattern selection over time series (the paper's future work, section 6a).
+
+The paper sketches selection predicates of the form ``{S_t < Next(S_t)}``
+— "the time points at which the end-of-day closing prices for two
+successive days showed an increase".  This module implements that
+extension: a small pattern language over a sliding window of series
+values.
+
+Pattern text is a boolean expression over terms ``s(t)``, ``s(t+1)``,
+``s(t-2)`` … (reusing the Postquel expression grammar), e.g.::
+
+    s(t) < s(t+1)                        -- an increase
+    s(t) > s(t-1) and s(t) > s(t+1)      -- a local maximum
+    s(t+1) - s(t) > 5                    -- a jump by more than 5
+
+:func:`match_pattern` returns the matching anchor instants; combinators
+(:func:`increases`, :func:`decreases`, :func:`local_maxima`,
+:func:`runs_of`) cover the common cases without writing text.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.db.errors import ExecutionError
+from repro.db.ql.ast import BinOp, ColumnRef, Const, FuncCall, QlExpr, UnOp
+from repro.db.ql.parser import parse_ql_expression
+from repro.timeseries.series import RegularTimeSeries
+
+__all__ = [
+    "Pattern", "match_pattern", "increases", "decreases",
+    "local_maxima", "local_minima", "runs_of",
+]
+
+
+class Pattern:
+    """A compiled sliding-window predicate over one series."""
+
+    def __init__(self, expr: QlExpr, offsets: tuple[int, ...]) -> None:
+        self.expr = expr
+        self.offsets = offsets
+        self.min_offset = min(offsets) if offsets else 0
+        self.max_offset = max(offsets) if offsets else 0
+
+    @classmethod
+    def parse(cls, text: str) -> "Pattern":
+        expr = parse_ql_expression(text)
+        offsets: set[int] = set()
+        cls._collect_offsets(expr, offsets)
+        return cls(expr, tuple(sorted(offsets)) or (0,))
+
+    @classmethod
+    def _collect_offsets(cls, expr: QlExpr, offsets: set[int]) -> None:
+        if isinstance(expr, FuncCall):
+            if expr.name == "s":
+                offsets.add(cls._offset_of(expr))
+            for arg in expr.args:
+                cls._collect_offsets(arg, offsets)
+        elif isinstance(expr, BinOp):
+            cls._collect_offsets(expr.left, offsets)
+            cls._collect_offsets(expr.right, offsets)
+        elif isinstance(expr, UnOp):
+            cls._collect_offsets(expr.operand, offsets)
+
+    @staticmethod
+    def _offset_of(call: FuncCall) -> int:
+        if len(call.args) != 1:
+            raise ExecutionError("s() takes exactly one index argument")
+        arg = call.args[0]
+        if isinstance(arg, ColumnRef) and arg.var == "t" and not arg.column:
+            return 0
+        if isinstance(arg, BinOp) and isinstance(arg.left, ColumnRef) \
+                and arg.left.var == "t" and isinstance(arg.right, Const):
+            if arg.op == "+":
+                return int(arg.right.value)
+            if arg.op == "-":
+                return -int(arg.right.value)
+        raise ExecutionError(
+            f"series index must be t, t+k or t-k, got {arg}")
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def matches_at(self, series: RegularTimeSeries, i: int) -> bool:
+        """Evaluate the pattern anchored at observation index ``i``."""
+        if i + self.min_offset < 0 or i + self.max_offset >= len(series):
+            return False
+        return bool(self._eval(self.expr, series, i))
+
+    def _eval(self, expr: QlExpr, series: RegularTimeSeries, i: int):
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, ColumnRef):
+            if expr.var == "t" and not expr.column:
+                return series.timepoint(i)
+            raise ExecutionError(f"unknown pattern variable {expr}")
+        if isinstance(expr, UnOp):
+            value = self._eval(expr.operand, series, i)
+            if expr.op == "not":
+                return not value
+            if expr.op == "-":
+                return -value
+            raise ExecutionError(f"unknown unary op {expr.op!r}")
+        if isinstance(expr, BinOp):
+            if expr.op == "and":
+                return (self._eval(expr.left, series, i)
+                        and self._eval(expr.right, series, i))
+            if expr.op == "or":
+                return (self._eval(expr.left, series, i)
+                        or self._eval(expr.right, series, i))
+            left = self._eval(expr.left, series, i)
+            right = self._eval(expr.right, series, i)
+            ops: dict[str, Callable] = {
+                "=": lambda a, b: a == b, "!=": lambda a, b: a != b,
+                "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+                ">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+                "+": lambda a, b: a + b, "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b, "/": lambda a, b: a / b,
+                "%": lambda a, b: a % b,
+            }
+            if expr.op not in ops:
+                raise ExecutionError(f"unknown pattern op {expr.op!r}")
+            return ops[expr.op](left, right)
+        if isinstance(expr, FuncCall):
+            if expr.name == "s":
+                offset = self._offset_of(expr)
+                return series.values[i + offset]
+            if expr.name == "abs":
+                return abs(self._eval(expr.args[0], series, i))
+            raise ExecutionError(f"unknown pattern function {expr.name!r}")
+        raise ExecutionError(f"cannot evaluate pattern node {expr!r}")
+
+
+def match_pattern(series: RegularTimeSeries,
+                  pattern: "Pattern | str") -> list[int]:
+    """Instants of observations where the pattern holds (anchored at t)."""
+    if isinstance(pattern, str):
+        pattern = Pattern.parse(pattern)
+    return [series.timepoint(i) for i in range(len(series))
+            if pattern.matches_at(series, i)]
+
+
+def increases(series: RegularTimeSeries) -> list[int]:
+    """The paper's example: points where ``S_t < Next(S_t)``."""
+    return match_pattern(series, "s(t) < s(t+1)")
+
+
+def decreases(series: RegularTimeSeries) -> list[int]:
+    """Instants where the next observation is lower."""
+    return match_pattern(series, "s(t) > s(t+1)")
+
+
+def local_maxima(series: RegularTimeSeries) -> list[int]:
+    """Instants strictly above both neighbours."""
+    return match_pattern(series, "s(t) > s(t-1) and s(t) > s(t+1)")
+
+
+def local_minima(series: RegularTimeSeries) -> list[int]:
+    """Instants strictly below both neighbours."""
+    return match_pattern(series, "s(t) < s(t-1) and s(t) < s(t+1)")
+
+
+def runs_of(series: RegularTimeSeries, pattern: "Pattern | str",
+            length: int) -> list[int]:
+    """Anchors where the pattern holds ``length`` consecutive times."""
+    if isinstance(pattern, str):
+        pattern = Pattern.parse(pattern)
+    hits = [pattern.matches_at(series, i) for i in range(len(series))]
+    anchors: list[int] = []
+    for i in range(len(series)):
+        if i + length <= len(series) and all(hits[i:i + length]):
+            anchors.append(series.timepoint(i))
+    return anchors

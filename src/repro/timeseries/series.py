@@ -1,0 +1,185 @@
+"""Regular time series bound to calendars (section 1).
+
+Many financial/economic series are *regular*: their observation instants
+are exactly the points of a calendar ("the last day of every quarter").
+The paper's point is that storing those time points is redundant — the
+calendar regenerates them on demand, which is how valid time is maintained
+in the database.
+
+:class:`RegularTimeSeries` stores **values only**; time points come from a
+calendar (a :class:`~repro.core.calendar.Calendar` or a registry name
+evaluated over a window).  ``to_relation``/``from_relation`` demonstrate
+the storage story: the relation holds ``(seq, value)`` and the valid time
+is reconstructed by position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.core.arithmetic import point_index
+from repro.core.calendar import Calendar
+from repro.core.errors import CalendarError
+
+__all__ = ["RegularTimeSeries"]
+
+
+class RegularTimeSeries:
+    """A sequence of values whose instants come from a calendar.
+
+    ``calendar`` must be order-1; observation ``i`` (0-based) is anchored
+    at the **last point** of the calendar's ``i``-th interval (the
+    convention for "the GNP of a quarter is recorded at quarter end").
+    Pass ``anchor="start"`` to anchor at interval starts instead.
+    """
+
+    def __init__(self, calendar: Calendar, values: Sequence,
+                 name: str = "series", anchor: str = "end") -> None:
+        if calendar.order != 1:
+            raise CalendarError(
+                "a regular time series needs an order-1 calendar")
+        if len(values) > len(calendar):
+            raise CalendarError(
+                f"{len(values)} values but only {len(calendar)} calendar "
+                "intervals")
+        if anchor not in ("start", "end"):
+            raise CalendarError(f"unknown anchor {anchor!r}")
+        self.calendar = calendar
+        self.values = list(values)
+        self.name = name
+        self.anchor = anchor
+
+    # -- time points -------------------------------------------------------------
+
+    def timepoint(self, i: int) -> int:
+        """The axis instant of observation ``i``."""
+        interval = self.calendar.elements[i]
+        return interval.hi if self.anchor == "end" else interval.lo
+
+    def timepoints(self) -> list[int]:
+        """All observation instants — regenerated, never stored."""
+        return [self.timepoint(i) for i in range(len(self.values))]
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        """Yield (instant, value) pairs in observation order."""
+        for i, value in enumerate(self.values):
+            yield self.timepoint(i), value
+
+    # -- access ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, i: int):
+        return self.values[i]
+
+    def at(self, t: int):
+        """Value observed exactly at instant ``t`` (None if no observation)."""
+        for i in range(len(self.values)):
+            if self.timepoint(i) == t:
+                return self.values[i]
+        return None
+
+    def at_or_before(self, t: int):
+        """Most recent observation at or before ``t`` (None if none)."""
+        best = None
+        for i in range(len(self.values)):
+            if self.timepoint(i) <= t:
+                best = self.values[i]
+            else:
+                break
+        return best
+
+    def index_of_instant(self, t: int) -> int | None:
+        """Observation index anchored exactly at ``t``, or None."""
+        for i in range(len(self.values)):
+            if self.timepoint(i) == t:
+                return i
+        return None
+
+    def append(self, value) -> int:
+        """Record the next observation; returns its instant.
+
+        The instant is *implied* by the calendar — the caller supplies only
+        the value, which is the whole point of regular series.
+        """
+        if len(self.values) >= len(self.calendar):
+            raise CalendarError(
+                f"series {self.name!r} has exhausted its calendar")
+        self.values.append(value)
+        return self.timepoint(len(self.values) - 1)
+
+    # -- transformation ------------------------------------------------------------
+
+    def map(self, func: Callable) -> "RegularTimeSeries":
+        """A new series with ``func`` applied to every value."""
+        return RegularTimeSeries(self.calendar,
+                                 [func(v) for v in self.values],
+                                 name=self.name, anchor=self.anchor)
+
+    def binop(self, other: "RegularTimeSeries",
+              func: Callable) -> "RegularTimeSeries":
+        """Pointwise combination; both series must share a calendar."""
+        if other.calendar.to_pairs() != self.calendar.to_pairs():
+            raise CalendarError(
+                "binop requires series on the same calendar")
+        n = min(len(self.values), len(other.values))
+        return RegularTimeSeries(
+            self.calendar,
+            [func(self.values[i], other.values[i]) for i in range(n)],
+            name=f"{self.name}*{other.name}", anchor=self.anchor)
+
+    def resample(self, coarser: Calendar,
+                 aggregate: Callable[[list], object]) -> "RegularTimeSeries":
+        """Aggregate onto a coarser calendar (e.g. months -> quarters).
+
+        Observation ``i`` of the result aggregates the source values whose
+        instants fall inside the ``i``-th interval of ``coarser``.
+        """
+        if coarser.order != 1:
+            raise CalendarError("resample needs an order-1 target calendar")
+        buckets: list[list] = [[] for _ in coarser.elements]
+        points = self.timepoints()
+        for value, t in zip(self.values, points):
+            for i, interval in enumerate(coarser.elements):
+                if t in interval:
+                    buckets[i].append(value)
+                    break
+        values = [aggregate(bucket) for bucket in buckets if bucket]
+        kept = [iv for iv, bucket in zip(coarser.elements, buckets)
+                if bucket]
+        return RegularTimeSeries(
+            Calendar.from_intervals(kept, coarser.granularity),
+            values, name=self.name, anchor=self.anchor)
+
+    # -- database bridge --------------------------------------------------------------
+
+    def to_relation(self, database, relation_name: str) -> None:
+        """Store values only: ``(seq int4, value float8)``.
+
+        Time points are **not** stored — they are regenerated from the
+        calendar on load, the paper's valid-time maintenance claim.
+        """
+        if relation_name not in database:
+            database.create_table(relation_name,
+                                  [("seq", "int4"), ("value", "float8")],
+                                  key=("seq",))
+        relation = database.relation(relation_name)
+        relation.truncate()
+        for i, value in enumerate(self.values):
+            relation.insert({"seq": i, "value": float(value)},
+                            fire_hooks=False)
+
+    @classmethod
+    def from_relation(cls, database, relation_name: str,
+                      calendar: Calendar, name: str | None = None,
+                      anchor: str = "end") -> "RegularTimeSeries":
+        rows = sorted(database.relation(relation_name).scan(),
+                      key=lambda r: r["seq"])
+        return cls(calendar, [r["value"] for r in rows],
+                   name=name or relation_name, anchor=anchor)
+
+    def __repr__(self) -> str:
+        return (f"RegularTimeSeries({self.name!r}, n={len(self.values)}, "
+                f"calendar={len(self.calendar)} intervals)")

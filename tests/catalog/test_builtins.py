@@ -1,0 +1,122 @@
+"""Unit tests for the builtin calendars, cross-checked against datetime."""
+
+import datetime
+
+import pytest
+
+from repro.catalog import (
+    WEEKDAY_NAMES,
+    last_weekday_of_month,
+    nth_weekday_of_month,
+    us_federal_holidays,
+)
+from repro.core import CivilDate
+
+
+class TestWeekdayCalendars:
+    @pytest.mark.parametrize("index,name", enumerate(WEEKDAY_NAMES,
+                                                     start=1))
+    def test_each_weekday_calendar(self, registry, index, name):
+        cal = registry.evaluate(name, window=("Jan 1 1993", "Mar 31 1993"))
+        assert len(cal) >= 12
+        for iv in cal.elements:
+            assert registry.system.epoch.weekday_of(iv.lo) == index
+
+    def test_figure1_tuesdays_matches_datetime(self, registry):
+        cal = registry.evaluate("Tuesdays",
+                                window=("Jan 1 1993", "Dec 31 1993"))
+        expected = []
+        d = datetime.date(1993, 1, 1)
+        while d.year == 1993:
+            if d.isoweekday() == 2:
+                expected.append(d)
+            d += datetime.timedelta(days=1)
+        got = [registry.system.date_of(iv.lo) for iv in cal.elements]
+        assert [(g.year, g.month, g.day) for g in got] == \
+            [(e.year, e.month, e.day) for e in expected]
+
+
+class TestDerivedStandards:
+    def test_weekdays_excludes_weekends(self, registry):
+        cal = registry.evaluate("Weekdays",
+                                window=("Jan 1 1993", "Jan 31 1993"))
+        assert all(registry.system.epoch.weekday_of(iv.lo) <= 5
+                   for iv in cal.iter_intervals())
+
+    def test_weekends(self, registry):
+        cal = registry.evaluate("Weekends",
+                                window=("Jan 1 1993", "Jan 31 1993"))
+        assert all(registry.system.epoch.weekday_of(iv.lo) >= 6
+                   for iv in cal.iter_intervals())
+
+    def test_quarters(self, registry):
+        cal = registry.evaluate("Quarters",
+                                window=("Jan 1 1993", "Dec 31 1993"))
+        first = cal.elements[0]
+        assert str(registry.system.date_of(first.lo)) == "Jan 1 1993"
+        assert str(registry.system.date_of(first.hi)) == "Mar 31 1993"
+
+    def test_ldom(self, registry):
+        cal = registry.evaluate("LDOM",
+                                window=("Jan 1 1993", "Mar 31 1993"))
+        dates = [str(registry.system.date_of(iv.lo))
+                 for iv in cal.elements]
+        assert dates == ["Jan 31 1993", "Feb 28 1993", "Mar 31 1993"]
+
+    def test_am_bus_days_excludes_holidays_and_weekends(self, registry):
+        cal = registry.evaluate("AM_BUS_DAYS",
+                                window=("Jul 1 1993", "Jul 31 1993"))
+        days = [registry.system.date_of(iv.lo).day
+                for iv in cal.iter_intervals()]
+        assert 5 not in days  # observed Independence Day (Jul 4 = Sunday)
+        assert all(registry.system.epoch.weekday_of(iv.lo) <= 5
+                   for iv in cal.iter_intervals())
+
+
+class TestNthWeekday:
+    def test_third_friday_nov_1993(self):
+        assert nth_weekday_of_month(1993, 11, 5, 3) == \
+            CivilDate(1993, 11, 19)
+
+    def test_first_monday(self):
+        assert nth_weekday_of_month(1993, 9, 1, 1) == CivilDate(1993, 9, 6)
+
+    def test_last_monday_may(self):
+        assert last_weekday_of_month(1993, 5, 1) == CivilDate(1993, 5, 31)
+
+    def test_matches_datetime_oracle(self):
+        for year in (1987, 1992, 1996, 2000):
+            for month in (1, 2, 6, 12):
+                for wday in (1, 3, 5, 7):
+                    got = nth_weekday_of_month(year, month, wday, 1)
+                    d = datetime.date(year, month, 1)
+                    while d.isoweekday() != wday:
+                        d += datetime.timedelta(days=1)
+                    assert (got.year, got.month, got.day) == \
+                        (d.year, d.month, d.day)
+
+
+class TestUsHolidays:
+    def test_1993_schedule(self):
+        names = {(d.month, d.day) for d in us_federal_holidays(1993)}
+        assert (1, 1) in names       # New Year's (Friday)
+        assert (1, 18) in names      # MLK: 3rd Monday
+        assert (5, 31) in names      # Memorial Day
+        assert (7, 5) in names       # July 4 observed (Sunday -> Monday)
+        assert (11, 25) in names     # Thanksgiving
+        assert (12, 24) in names     # Christmas observed (Sat -> Friday)
+
+    def test_unobserved_keeps_actual_dates(self):
+        names = {(d.month, d.day) for d in us_federal_holidays(
+            1993, observed=False)}
+        assert (7, 4) in names
+        assert (12, 25) in names
+
+    def test_ten_holidays_most_years(self):
+        assert len(us_federal_holidays(1995)) == 10
+
+    def test_all_observed_fall_on_weekdays(self):
+        for year in range(1987, 2007):
+            for d in us_federal_holidays(year):
+                assert datetime.date(d.year, d.month,
+                                     d.day).isoweekday() <= 5

@@ -1,0 +1,102 @@
+"""Unit tests for the CALENDARS catalog table (E3: Figure 1)."""
+
+import math
+
+import pytest
+
+from repro.catalog import CalendarRecord, CalendarsTable
+from repro.core import Calendar, CalendarError, Granularity
+
+
+def record(name="Tuesdays", **kwargs):
+    defaults = dict(derivation_script="{return([2]/DAYS:during:WEEKS);}",
+                    granularity=Granularity.DAYS)
+    defaults.update(kwargs)
+    return CalendarRecord(name=name, **defaults)
+
+
+class TestRecord:
+    def test_script_record(self):
+        r = record()
+        assert not r.is_explicit
+
+    def test_explicit_record(self):
+        r = CalendarRecord(name="HOLIDAYS",
+                           values=Calendar.from_intervals([(31, 31)]))
+        assert r.is_explicit
+
+    def test_needs_script_or_values(self):
+        with pytest.raises(CalendarError):
+            CalendarRecord(name="empty")
+
+    def test_inverted_lifespan_rejected(self):
+        with pytest.raises(CalendarError):
+            record(lifespan=(2000.0, 1990.0))
+
+    def test_default_lifespan_unbounded(self):
+        r = record()
+        assert r.lifespan == (-math.inf, math.inf)
+
+
+class TestFigure1Rendering:
+    def test_tuesdays_box(self):
+        r = record(lifespan=(1985.0, math.inf))
+        text = r.render()
+        assert "Name              | Tuesdays" in text
+        assert "Derivation-Script | {return([2]/DAYS:during:WEEKS);}" \
+            in text
+        assert "Lifespan          | (1985,inf)" in text
+        assert "Granularity       | DAYS" in text
+
+    def test_eval_plan_row(self):
+        r = record(eval_plan=object())
+        assert "set of procedural statements" in r.render()
+        assert "set of procedural statements" not in record().render()
+
+    def test_values_row_for_explicit(self):
+        r = CalendarRecord(
+            name="HOLIDAYS",
+            values=Calendar.from_intervals([(31, 31), (90, 90)]))
+        assert "{(31,31),(90,90)}" in r.render()
+
+
+class TestTable:
+    def test_insert_and_get(self):
+        table = CalendarsTable()
+        table.insert(record())
+        assert table.get("tuesdays") is not None
+        assert table.get("TUESDAYS") is not None
+
+    def test_duplicate_rejected(self):
+        table = CalendarsTable()
+        table.insert(record())
+        with pytest.raises(CalendarError):
+            table.insert(record())
+
+    def test_replace(self):
+        table = CalendarsTable()
+        table.insert(record())
+        table.insert(record(granularity=Granularity.WEEKS), replace=True)
+        assert table.get("Tuesdays").granularity == Granularity.WEEKS
+
+    def test_drop(self):
+        table = CalendarsTable()
+        table.insert(record())
+        table.drop("TUESDAYS")
+        assert "Tuesdays" not in table
+
+    def test_drop_unknown(self):
+        with pytest.raises(CalendarError):
+            CalendarsTable().drop("nope")
+
+    def test_names_sorted(self):
+        table = CalendarsTable()
+        table.insert(record("Zeta"))
+        table.insert(record("Alpha"))
+        assert table.names() == ["Alpha", "Zeta"]
+
+    def test_len_and_iter(self):
+        table = CalendarsTable()
+        table.insert(record())
+        assert len(table) == 1
+        assert [r.name for r in table] == ["Tuesdays"]

@@ -1,0 +1,57 @@
+"""Shared fixtures: calendar systems, populated registries, databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import (
+    CalendarRegistry,
+    install_standard_calendars,
+    install_us_holidays,
+)
+from repro.core import CalendarSystem
+from repro.db import Database
+from repro.rules import DBCron, RuleManager, SimulatedClock
+
+
+@pytest.fixture(scope="session")
+def system87() -> CalendarSystem:
+    """The paper's system start date: January 1, 1987."""
+    return CalendarSystem.starting("Jan 1 1987")
+
+
+@pytest.fixture(scope="session")
+def system93() -> CalendarSystem:
+    """Day 1 = Jan 1 1993, matching the section 3.1 worked examples."""
+    return CalendarSystem.starting("Jan 1 1993")
+
+
+@pytest.fixture()
+def registry(system87) -> CalendarRegistry:
+    """A registry with the standard calendars and US holidays 1987-2006."""
+    reg = CalendarRegistry(system87, default_horizon_years=25)
+    install_standard_calendars(reg)
+    install_us_holidays(reg, 1987, 2006)
+    return reg
+
+
+@pytest.fixture()
+def registry93(system93) -> CalendarRegistry:
+    reg = CalendarRegistry(system93, default_horizon_years=10)
+    install_standard_calendars(reg)
+    install_us_holidays(reg, 1993, 2002)
+    return reg
+
+
+@pytest.fixture()
+def db(registry) -> Database:
+    return Database(calendars=registry)
+
+
+@pytest.fixture()
+def ruled_db(db):
+    """(db, manager, clock, cron) with the clock at Jan 1 1993."""
+    manager = RuleManager(db)
+    clock = SimulatedClock(now=db.system.day_of("Jan 1 1993"))
+    cron = DBCron(manager, clock, period=7)
+    return db, manager, clock, cron

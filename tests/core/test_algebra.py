@@ -1,0 +1,261 @@
+"""Unit tests for foreach, selection, label selection and caloperate."""
+
+import pytest
+
+from repro.core import (
+    Calendar,
+    CalendarError,
+    Interval,
+    LAST,
+    OperatorError,
+    SelectionError,
+    SelectionPredicate,
+    caloperate,
+    foreach,
+    label_select,
+    select,
+)
+
+
+def cal(*pairs, labels=None):
+    return Calendar.from_intervals(pairs, labels=labels)
+
+
+WEEKS93 = cal((-4, 3), (4, 10), (11, 17), (18, 24), (25, 31), (32, 38))
+JAN93 = Interval(1, 31)
+
+
+class TestForeachWithInterval:
+    def test_strict_during(self):
+        result = foreach("during", WEEKS93, JAN93)
+        assert result.to_pairs() == ((4, 10), (11, 17), (18, 24), (25, 31))
+
+    def test_strict_overlaps_clips(self):
+        result = foreach("overlaps", WEEKS93, JAN93)
+        assert result.to_pairs() == (
+            (1, 3), (4, 10), (11, 17), (18, 24), (25, 31))
+
+    def test_relaxed_overlaps_keeps_whole(self):
+        result = foreach("overlaps", WEEKS93, JAN93, strict=False)
+        assert result.to_pairs() == (
+            (-4, 3), (4, 10), (11, 17), (18, 24), (25, 31))
+
+    def test_strict_and_relaxed_during_agree(self):
+        strict = foreach("during", WEEKS93, JAN93, strict=True)
+        relaxed = foreach("during", WEEKS93, JAN93, strict=False)
+        assert strict.to_pairs() == relaxed.to_pairs()
+
+    def test_before_keeps_unclipped(self):
+        days = cal((1, 1), (2, 2), (3, 3), (9, 9))
+        result = foreach("<", days, Interval(3, 5))
+        assert result.to_pairs() == ((1, 1), (2, 2), (3, 3))
+
+    def test_meets(self):
+        result = foreach("meets", cal((1, 5), (3, 9)), Interval(5, 12))
+        assert result.to_pairs() == ((1, 5),)
+
+    def test_empty_result(self):
+        result = foreach("during", cal((40, 45)), JAN93)
+        assert result.is_empty()
+
+    def test_result_order1(self):
+        assert foreach("during", WEEKS93, JAN93).order == 1
+
+
+class TestForeachWithCalendar:
+    MONTHS = cal((1, 31), (32, 59), (60, 90))
+
+    def test_grouping_gives_order2(self):
+        result = foreach("during", WEEKS93, self.MONTHS)
+        assert result.order == 2
+        assert result.to_pairs()[0] == ((4, 10), (11, 17), (18, 24),
+                                        (25, 31))
+
+    def test_empty_groups_dropped(self):
+        months = cal((1, 31), (400, 430))
+        result = foreach("during", WEEKS93, months)
+        assert len(result) == 1  # the out-of-range month vanishes
+
+    def test_labels_follow_groups(self):
+        months = Calendar.from_intervals([(1, 31), (400, 430)],
+                                         labels=["jan", "far"])
+        result = foreach("during", WEEKS93, months)
+        assert result.labels == ("jan",)
+
+    def test_filtering_intersects_stays_order1(self):
+        ldom = cal((31, 31), (59, 59), (90, 90))
+        holidays = cal((31, 31), (90, 90), (200, 200))
+        result = foreach("intersects", ldom, holidays)
+        assert result.order == 1
+        assert result.to_pairs() == ((31, 31), (90, 90))
+
+    def test_filtering_relaxed_keeps_whole_elements(self):
+        weeks = cal((1, 7), (8, 14))
+        holidays = cal((3, 3))
+        strict = foreach("intersects", weeks, holidays, strict=True)
+        relaxed = foreach("intersects", weeks, holidays, strict=False)
+        assert strict.to_pairs() == ((3, 3),)
+        assert relaxed.to_pairs() == ((1, 7),)
+
+    def test_order2_right_operand_recurses(self):
+        months_by_quarter = Calendar.from_calendars(
+            [cal((1, 31), (32, 59)), cal((60, 90))])
+        result = foreach("during", WEEKS93, months_by_quarter)
+        assert result.order == 3
+
+    def test_left_must_be_order1(self):
+        nested = Calendar.from_calendars([WEEKS93])
+        with pytest.raises(OperatorError):
+            foreach("during", nested, JAN93)
+
+    def test_unknown_op(self):
+        with pytest.raises(OperatorError):
+            foreach("bogus", WEEKS93, JAN93)
+
+    def test_bad_right_operand(self):
+        with pytest.raises(OperatorError):
+            foreach("during", WEEKS93, 42)
+
+
+class TestSelectionPredicate:
+    def test_positions_simple(self):
+        assert SelectionPredicate.of(3).positions(5) == [2]
+
+    def test_last(self):
+        assert SelectionPredicate.of(LAST).positions(5) == [4]
+        assert SelectionPredicate.of(LAST).positions(0) == []
+
+    def test_negative(self):
+        assert SelectionPredicate.of(-2).positions(5) == [3]
+
+    def test_range(self):
+        assert SelectionPredicate.of((2, 4)).positions(5) == [1, 2, 3]
+
+    def test_list(self):
+        assert SelectionPredicate.of(1, 3).positions(5) == [0, 2]
+
+    def test_out_of_range_skipped(self):
+        assert SelectionPredicate.of(9).positions(5) == []
+        assert SelectionPredicate.of(-9).positions(5) == []
+
+    def test_duplicates_removed_in_order(self):
+        assert SelectionPredicate.of(3, 1, 3).positions(5) == [0, 2]
+
+    def test_singleton_detection(self):
+        assert SelectionPredicate.of(3).is_singleton()
+        assert SelectionPredicate.of(LAST).is_singleton()
+        assert not SelectionPredicate.of(1, 2).is_singleton()
+        assert not SelectionPredicate.of((1, 3)).is_singleton()
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(SelectionError):
+            SelectionPredicate.of(0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SelectionError):
+            SelectionPredicate(())
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(SelectionError):
+            SelectionPredicate.of((4, 2))
+
+    def test_str(self):
+        assert str(SelectionPredicate.of(3)) == "[3]"
+        assert str(SelectionPredicate.of(LAST)) == "[n]"
+        assert str(SelectionPredicate.of((2, 4), -1)) == "[2-4;-1]"
+
+
+class TestSelect:
+    def test_order1(self):
+        third = select(WEEKS93, SelectionPredicate.of(3))
+        assert third.to_pairs() == ((11, 17),)
+
+    def test_order2_singleton_reduces_order(self):
+        months = cal((1, 31), (32, 59), (60, 90))
+        by_month = foreach("overlaps", WEEKS93, months)
+        third = select(by_month, SelectionPredicate.of(3))
+        assert third.order == 1
+        assert third.to_pairs()[0] == (11, 17)
+
+    def test_order2_multi_keeps_structure(self):
+        months = cal((1, 31), (32, 59))
+        by_month = foreach("overlaps", WEEKS93, months)
+        first_two = select(by_month, SelectionPredicate.of(1, 2))
+        assert first_two.order == 2
+        # January overlaps five weeks (two selected); February overlaps
+        # only (32,38) within the fixture, so its group keeps one element.
+        assert [len(sub) for sub in first_two] == [2, 1]
+
+    def test_short_groups_skipped(self):
+        groups = Calendar.from_calendars([cal((1, 1)), cal((2, 2), (3, 3))])
+        third = select(groups, SelectionPredicate.of(2))
+        assert third.to_pairs() == ((3, 3),)
+
+    def test_labels_preserved_order1(self):
+        years = cal((1, 365), (366, 731), labels=[1987, 1988])
+        picked = select(years, SelectionPredicate.of(2))
+        assert picked.labels == (1988,)
+
+
+class TestLabelSelect:
+    def test_basic(self):
+        years = cal((1, 365), (366, 731), labels=[1987, 1988])
+        assert label_select(years, 1988).to_pairs() == ((366, 731),)
+
+    def test_missing_label_gives_empty(self):
+        years = cal((1, 365), labels=[1987])
+        assert label_select(years, 1999).is_empty()
+
+    def test_unlabelled_rejected(self):
+        with pytest.raises(SelectionError):
+            label_select(cal((1, 2)), 1987)
+
+    def test_order2_rejected(self):
+        nested = Calendar.from_calendars([cal((1, 2))])
+        with pytest.raises(SelectionError):
+            label_select(nested, 1987)
+
+
+class TestCaloperate:
+    DAYS = Calendar.from_intervals([(d, d) for d in range(1, 22)])
+
+    def test_weeks_from_days(self):
+        weeks = caloperate(self.DAYS, (7,))
+        assert weeks.to_pairs() == ((1, 7), (8, 14), (15, 21))
+
+    def test_partial_tail_kept(self):
+        days = Calendar.from_intervals([(d, d) for d in range(1, 11)])
+        groups = caloperate(days, (7,))
+        assert groups.to_pairs() == ((1, 7), (8, 10))
+
+    def test_circular_counts(self):
+        days = Calendar.from_intervals([(d, d) for d in range(1, 11)])
+        groups = caloperate(days, (2, 3))
+        assert groups.to_pairs() == ((1, 2), (3, 5), (6, 7), (8, 10))
+
+    def test_end_clips(self):
+        groups = caloperate(self.DAYS, (7,), end=10)
+        assert groups.to_pairs() == ((1, 7), (8, 10))
+
+    def test_end_before_group_stops(self):
+        groups = caloperate(self.DAYS, (7,), end=7)
+        assert groups.to_pairs() == ((1, 7),)
+
+    def test_quarters_from_months(self):
+        months = cal((1, 31), (32, 59), (60, 90), (91, 120), (121, 151),
+                     (152, 181))
+        quarters = caloperate(months, (3,))
+        assert quarters.to_pairs() == ((1, 90), (91, 181))
+
+    def test_rejects_order2(self):
+        nested = Calendar.from_calendars([cal((1, 2))])
+        with pytest.raises(CalendarError):
+            caloperate(nested, (7,))
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(CalendarError):
+            caloperate(self.DAYS, ())
+        with pytest.raises(CalendarError):
+            caloperate(self.DAYS, (0,))
+        with pytest.raises(CalendarError):
+            caloperate(self.DAYS, (-3,))

@@ -1,0 +1,178 @@
+"""Unit tests for point navigation and date-arithmetic schemes."""
+
+import pytest
+
+from repro.core import (
+    Calendar,
+    CivilDate,
+    GregorianScheme,
+    Thirty360Scheme,
+    count_points_between,
+    next_point,
+    point_index,
+    prev_point,
+    shift_point,
+)
+
+# Business-day style calendar: Mon-Fri instants of two weeks (days 1..5
+# and 8..12), as one interval per run.
+BUS = Calendar.from_intervals([(1, 5), (8, 12)])
+
+
+class TestNextPoint:
+    def test_inside_interval(self):
+        assert next_point(BUS, 2) == 3
+
+    def test_gap_jumps_to_next_interval(self):
+        assert next_point(BUS, 5) == 8
+
+    def test_inclusive(self):
+        assert next_point(BUS, 5, inclusive=True) == 5
+        assert next_point(BUS, 6, inclusive=True) == 8
+
+    def test_before_everything(self):
+        assert next_point(BUS, -10) == 1
+
+    def test_after_everything(self):
+        assert next_point(BUS, 12) is None
+
+    def test_empty_calendar(self):
+        assert next_point(Calendar(), 1) is None
+
+    def test_skips_zero(self):
+        cal = Calendar.from_intervals([(-3, 3)])
+        assert next_point(cal, -1) == 1
+
+
+class TestPrevPoint:
+    def test_inside(self):
+        assert prev_point(BUS, 3) == 2
+
+    def test_gap(self):
+        assert prev_point(BUS, 8) == 5
+
+    def test_inclusive(self):
+        assert prev_point(BUS, 8, inclusive=True) == 8
+
+    def test_before_everything(self):
+        assert prev_point(BUS, 1) is None
+
+    def test_after_everything(self):
+        assert prev_point(BUS, 50) == 12
+
+    def test_skips_zero(self):
+        cal = Calendar.from_intervals([(-3, 3)])
+        assert prev_point(cal, 1) == -1
+
+
+class TestShiftPoint:
+    def test_forward(self):
+        assert shift_point(BUS, 1, 2) == 3
+
+    def test_forward_across_gap(self):
+        assert shift_point(BUS, 4, 3) == 9
+
+    def test_backward(self):
+        assert shift_point(BUS, 9, -2) == 8
+
+    def test_zero_snaps_forward(self):
+        assert shift_point(BUS, 6, 0) == 8
+
+    def test_from_non_member(self):
+        # Counting starts at the next member.
+        assert shift_point(BUS, 6, 1) == 9
+
+    def test_exhausted(self):
+        assert shift_point(BUS, 11, 5) is None
+        assert shift_point(BUS, 2, -5) is None
+
+    def test_paper_seventh_preceding(self):
+        # [-7] selection semantics: 7 business days back, inclusive count.
+        days = Calendar.from_intervals([(d, d) for d in range(1, 31)
+                                        if d % 7 not in (6, 0)])
+        target = 30
+        seventh = shift_point(days, target, -7)
+        assert seventh is not None
+        assert count_points_between(days, seventh, target) == 7
+
+
+class TestPointIndex:
+    def test_first(self):
+        assert point_index(BUS, 1) == 0
+
+    def test_in_second_interval(self):
+        assert point_index(BUS, 9) == 6
+
+    def test_non_member(self):
+        assert point_index(BUS, 6) is None
+
+    def test_count_between(self):
+        assert count_points_between(BUS, 1, 12) == 10
+        assert count_points_between(BUS, 4, 9) == 4
+        assert count_points_between(BUS, 9, 4) == 4  # symmetric
+
+
+class TestGregorianScheme:
+    def test_days_between(self):
+        g = GregorianScheme()
+        assert g.days_between(CivilDate(1993, 1, 1),
+                              CivilDate(1994, 1, 1)) == 365
+        assert g.days_between(CivilDate(1988, 1, 1),
+                              CivilDate(1989, 1, 1)) == 366
+
+    def test_add_days(self):
+        g = GregorianScheme()
+        assert g.add_days(CivilDate(1993, 1, 31), 1) == CivilDate(1993, 2, 1)
+        assert g.add_days(CivilDate(1993, 3, 1), -1) == \
+            CivilDate(1993, 2, 28)
+
+    def test_year_basis(self):
+        assert GregorianScheme().days_in_year() == 365
+
+
+class TestThirty360Scheme:
+    def test_every_month_is_thirty_days(self):
+        t = Thirty360Scheme()
+        for month in range(1, 12):
+            assert t.days_between(CivilDate(1993, month, 15),
+                                  CivilDate(1993, month + 1, 15)) == 30
+
+    def test_full_year_is_360(self):
+        t = Thirty360Scheme()
+        assert t.days_between(CivilDate(1993, 1, 1),
+                              CivilDate(1994, 1, 1)) == 360
+
+    def test_end_of_month_rule(self):
+        t = Thirty360Scheme()
+        # Jan 31 -> Feb 28: d1 capped to 30; 30/360 gives 28 days.
+        assert t.days_between(CivilDate(1993, 1, 31),
+                              CivilDate(1993, 2, 28)) == 28
+
+    def test_feb_end_to_march(self):
+        t = Thirty360Scheme()
+        assert t.days_between(CivilDate(1993, 2, 28),
+                              CivilDate(1993, 3, 30)) == 30
+
+    def test_differs_from_gregorian(self):
+        t, g = Thirty360Scheme(), GregorianScheme()
+        a, b = CivilDate(1993, 1, 15), CivilDate(1993, 3, 15)
+        assert t.days_between(a, b) == 60
+        assert g.days_between(a, b) == 59
+
+    def test_add_days_on_360_grid(self):
+        t = Thirty360Scheme()
+        assert t.add_days(CivilDate(1993, 1, 15), 30) == \
+            CivilDate(1993, 2, 15)
+        assert t.add_days(CivilDate(1993, 1, 15), 360) == \
+            CivilDate(1994, 1, 15)
+
+    def test_add_days_snaps_to_civil_grid(self):
+        t = Thirty360Scheme()
+        # Jan 29 + 30 "days" lands on the virtual Feb 29 -> snapped to 28.
+        result = t.add_days(CivilDate(1993, 1, 29), 30)
+        assert result == CivilDate(1993, 2, 28)
+
+    def test_paper_year_basis(self):
+        # The paper: 30-day months but a 365-day year for the yield.
+        assert Thirty360Scheme().days_in_year() == 365
+        assert Thirty360Scheme(yield_basis=360).days_in_year() == 360

@@ -1,0 +1,117 @@
+"""Unit tests for the zero-skipping axis arithmetic."""
+
+import pytest
+
+from repro.core import (
+    AxisError,
+    axis_add,
+    axis_diff,
+    axis_distance,
+    axis_next,
+    axis_points,
+    axis_prev,
+)
+
+
+class TestAxisAdd:
+    def test_positive_stays_positive(self):
+        assert axis_add(1, 1) == 2
+        assert axis_add(5, 10) == 15
+
+    def test_negative_stays_negative(self):
+        assert axis_add(-5, 2) == -3
+        assert axis_add(-5, -2) == -7
+
+    def test_crossing_zero_forward(self):
+        assert axis_add(-1, 1) == 1
+        assert axis_add(-3, 3) == 1
+        assert axis_add(-3, 5) == 3
+
+    def test_crossing_zero_backward(self):
+        assert axis_add(1, -1) == -1
+        assert axis_add(3, -3) == -1
+        assert axis_add(2, -5) == -4
+
+    def test_zero_delta(self):
+        assert axis_add(7, 0) == 7
+        assert axis_add(-7, 0) == -7
+
+    def test_point_zero_rejected(self):
+        with pytest.raises(AxisError):
+            axis_add(0, 1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(AxisError):
+            axis_add(1.5, 1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(AxisError):
+            axis_add(True, 1)
+
+    def test_never_lands_on_zero(self):
+        for t in range(-10, 11):
+            if t == 0:
+                continue
+            for d in range(-15, 16):
+                assert axis_add(t, d) != 0
+
+
+class TestAxisDiff:
+    def test_same_sign(self):
+        assert axis_diff(5, 2) == 3
+        assert axis_diff(-2, -5) == 3
+
+    def test_across_zero(self):
+        assert axis_diff(1, -1) == 1
+        assert axis_diff(-1, 1) == -1
+        assert axis_diff(3, -2) == 4
+
+    def test_inverse_of_add(self):
+        for t in [-7, -1, 1, 3, 12]:
+            for d in [-9, -1, 0, 1, 9]:
+                assert axis_diff(axis_add(t, d), t) == d
+
+    def test_zero_rejected(self):
+        with pytest.raises(AxisError):
+            axis_diff(0, 1)
+        with pytest.raises(AxisError):
+            axis_diff(1, 0)
+
+
+class TestAxisDistance:
+    def test_adjacent(self):
+        assert axis_distance(1, 2) == 2
+        assert axis_distance(-1, 1) == 2
+
+    def test_single_point(self):
+        assert axis_distance(5, 5) == 1
+
+    def test_symmetric(self):
+        assert axis_distance(3, -4) == axis_distance(-4, 3) == 7
+
+
+class TestSuccessorPredecessor:
+    def test_next_skips_zero(self):
+        assert axis_next(-1) == 1
+
+    def test_prev_skips_zero(self):
+        assert axis_prev(1) == -1
+
+    def test_roundtrip(self):
+        for t in [-3, -1, 1, 4]:
+            assert axis_prev(axis_next(t)) == t
+
+
+class TestAxisPoints:
+    def test_simple_range(self):
+        assert list(axis_points(1, 4)) == [1, 2, 3, 4]
+
+    def test_spanning_zero(self):
+        assert list(axis_points(-2, 2)) == [-2, -1, 1, 2]
+
+    def test_empty_when_inverted(self):
+        assert list(axis_points(4, 1)) == []
+
+    def test_zero_endpoint_rejected(self):
+        with pytest.raises(AxisError):
+            list(axis_points(0, 3))

@@ -1,0 +1,158 @@
+"""Unit tests for the proleptic-Gregorian chronology."""
+
+import datetime
+
+import pytest
+
+from repro.core import ChronologyError, CivilDate, Epoch, parse_date, weekday
+from repro.core.chrono import (
+    civil_from_rata_die,
+    days_in_month,
+    days_in_year,
+    is_leap_year,
+    rata_die,
+)
+
+
+class TestLeapYears:
+    def test_ordinary_leap(self):
+        assert is_leap_year(1988)
+        assert is_leap_year(1992)
+
+    def test_non_leap(self):
+        assert not is_leap_year(1987)
+        assert not is_leap_year(1993)
+
+    def test_century_rule(self):
+        assert not is_leap_year(1900)
+        assert is_leap_year(2000)
+        assert not is_leap_year(2100)
+
+    def test_year_lengths(self):
+        assert days_in_year(1987) == 365
+        assert days_in_year(1988) == 366
+
+
+class TestMonthLengths:
+    def test_february(self):
+        assert days_in_month(1988, 2) == 29
+        assert days_in_month(1987, 2) == 28
+
+    def test_thirty_day_months(self):
+        for m in (4, 6, 9, 11):
+            assert days_in_month(1993, m) == 30
+
+    def test_bad_month(self):
+        with pytest.raises(ChronologyError):
+            days_in_month(1993, 13)
+
+
+class TestCivilDate:
+    def test_valid(self):
+        d = CivilDate(1993, 11, 19)
+        assert (d.year, d.month, d.day) == (1993, 11, 19)
+
+    def test_invalid_day(self):
+        with pytest.raises(ChronologyError):
+            CivilDate(1993, 2, 29)
+
+    def test_ordering(self):
+        assert CivilDate(1993, 1, 2) < CivilDate(1993, 1, 3)
+        assert CivilDate(1992, 12, 31) < CivilDate(1993, 1, 1)
+
+    def test_str_matches_paper_spelling(self):
+        assert str(CivilDate(1987, 1, 1)) == "Jan 1 1987"
+
+    def test_replace(self):
+        assert CivilDate(1993, 5, 31).replace(day=28) == \
+            CivilDate(1993, 5, 28)
+
+
+class TestRataDie:
+    def test_epoch_1970(self):
+        assert rata_die(CivilDate(1970, 1, 1)) == 0
+
+    def test_roundtrip_against_datetime(self):
+        base = datetime.date(1970, 1, 1)
+        for offset in [-100000, -365, -1, 0, 1, 59, 365, 10000, 100000]:
+            d = base + datetime.timedelta(days=offset)
+            civil = CivilDate(d.year, d.month, d.day)
+            assert rata_die(civil) == offset
+            assert civil_from_rata_die(offset) == civil
+
+
+class TestWeekday:
+    def test_known_weekdays(self):
+        # Jan 1 1993 was a Friday; Jan 1 1987 a Thursday.
+        assert weekday(CivilDate(1993, 1, 1)) == 5
+        assert weekday(CivilDate(1987, 1, 1)) == 4
+
+    def test_matches_datetime(self):
+        for ymd in [(1993, 11, 19), (2000, 2, 29), (1987, 7, 4)]:
+            assert weekday(CivilDate(*ymd)) == \
+                datetime.date(*ymd).isoweekday()
+
+
+class TestParseDate:
+    def test_paper_spelling(self):
+        assert parse_date("Jan 1 1987") == CivilDate(1987, 1, 1)
+        assert parse_date("Nov 19 1993") == CivilDate(1993, 11, 19)
+
+    def test_full_month_and_comma(self):
+        assert parse_date("January 1, 1987") == CivilDate(1987, 1, 1)
+
+    def test_iso(self):
+        assert parse_date("1993-11-19") == CivilDate(1993, 11, 19)
+
+    def test_bad_month(self):
+        with pytest.raises(ChronologyError):
+            parse_date("Janx 1 1987")
+
+    def test_garbage(self):
+        with pytest.raises(ChronologyError):
+            parse_date("tomorrow")
+
+
+class TestEpoch:
+    def test_day_one_is_epoch_date(self):
+        epoch = Epoch.of("Jan 1 1987")
+        assert epoch.day_number("Jan 1 1987") == 1
+
+    def test_no_day_zero(self):
+        epoch = Epoch.of("Jan 1 1987")
+        assert epoch.day_number("Dec 31 1986") == -1
+        with pytest.raises(ChronologyError):
+            epoch.date_of(0)
+
+    def test_paper_generate_anchors(self):
+        # Day 366 is Jan 1 1988; day 1827 is Jan 1 1992 (paper, 3.2).
+        epoch = Epoch.of("Jan 1 1987")
+        assert epoch.day_number("Jan 1 1988") == 366
+        assert epoch.day_number("Jan 1 1992") == 1827
+        assert epoch.day_number("Jan 3 1992") == 1829
+
+    def test_date_of_roundtrip(self):
+        epoch = Epoch.of("Jan 1 1987")
+        for day in [-400, -1, 1, 59, 366, 1829, 5000]:
+            assert epoch.day_number(epoch.date_of(day)) == day
+
+    def test_weekday_of(self):
+        epoch = Epoch.of("Jan 1 1993")
+        assert epoch.weekday_of(1) == 5       # Friday
+        assert epoch.weekday_of(4) == 1       # Monday Jan 4
+        assert epoch.weekday_of(-4) == 1      # Monday Dec 28 1992
+
+    def test_days_of_year_and_month(self):
+        epoch = Epoch.of("Jan 1 1987")
+        assert epoch.days_of_year(1987) == (1, 365)
+        assert epoch.days_of_year(1988) == (366, 731)
+        assert epoch.days_of_month(1987, 2) == (32, 59)
+
+    def test_add_and_diff_days(self):
+        epoch = Epoch.of("Jan 1 1987")
+        assert epoch.add_days(-1, 1) == 1
+        assert epoch.diff_days(1, -1) == 1
+
+    def test_iter_days_skips_zero(self):
+        epoch = Epoch.of("Jan 1 1987")
+        assert list(epoch.iter_days(-2, 2)) == [-2, -1, 1, 2]

@@ -1,0 +1,71 @@
+"""Unit tests for the granularity lattice."""
+
+import pytest
+
+from repro.core import Granularity, GranularityError
+from repro.core.granularity import coarsest, exact_ratio, finest, seconds_per
+
+
+class TestOrdering:
+    def test_total_order(self):
+        names = ["SECONDS", "MINUTES", "HOURS", "DAYS", "WEEKS",
+                 "MONTHS", "YEARS", "DECADES", "CENTURY"]
+        grans = [Granularity.parse(n) for n in names]
+        assert grans == sorted(grans)
+
+    def test_finer_coarser(self):
+        assert Granularity.DAYS.finer_than(Granularity.WEEKS)
+        assert Granularity.YEARS.coarser_than(Granularity.MONTHS)
+        assert not Granularity.DAYS.finer_than(Granularity.DAYS)
+
+    def test_finest_coarsest(self):
+        assert finest(Granularity.DAYS, Granularity.YEARS) == \
+            Granularity.DAYS
+        assert coarsest(Granularity.DAYS, Granularity.YEARS) == \
+            Granularity.YEARS
+
+    def test_finest_requires_args(self):
+        with pytest.raises(GranularityError):
+            finest()
+        with pytest.raises(GranularityError):
+            coarsest()
+
+
+class TestParse:
+    def test_case_insensitive(self):
+        assert Granularity.parse("days") == Granularity.DAYS
+        assert Granularity.parse("Days") == Granularity.DAYS
+
+    def test_identity(self):
+        assert Granularity.parse(Granularity.WEEKS) == Granularity.WEEKS
+
+    def test_unknown(self):
+        with pytest.raises(GranularityError):
+            Granularity.parse("fortnights")
+
+    def test_str(self):
+        assert str(Granularity.DAYS) == "DAYS"
+
+
+class TestRatios:
+    def test_exact_chains(self):
+        assert exact_ratio(Granularity.SECONDS, Granularity.MINUTES) == 60
+        assert exact_ratio(Granularity.HOURS, Granularity.DAYS) == 24
+        assert exact_ratio(Granularity.DAYS, Granularity.WEEKS) == 7
+        assert exact_ratio(Granularity.MONTHS, Granularity.YEARS) == 12
+        assert exact_ratio(Granularity.YEARS, Granularity.CENTURY) == 100
+
+    def test_equal_is_one(self):
+        assert exact_ratio(Granularity.DAYS, Granularity.DAYS) == 1
+
+    def test_irregular_is_none(self):
+        assert exact_ratio(Granularity.DAYS, Granularity.MONTHS) is None
+        assert exact_ratio(Granularity.WEEKS, Granularity.MONTHS) is None
+
+    def test_inverted_rejected(self):
+        with pytest.raises(GranularityError):
+            exact_ratio(Granularity.YEARS, Granularity.DAYS)
+
+    def test_seconds_per_monotone(self):
+        values = [seconds_per(g) for g in Granularity]
+        assert values == sorted(values)

@@ -1,0 +1,167 @@
+"""Unit tests for Interval and the listop registry."""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    InvalidIntervalError,
+    LISTOPS,
+    OperatorError,
+    get_listop,
+    register_listop,
+)
+
+
+class TestConstruction:
+    def test_basic(self):
+        iv = Interval(1, 5)
+        assert iv.lo == 1 and iv.hi == 5
+
+    def test_spanning_zero_allowed(self):
+        # The paper's WEEKS example starts with (-4, 3).
+        iv = Interval(-4, 3)
+        assert len(iv) == 7  # skips 0: a civil week
+
+    def test_zero_endpoint_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(0, 3)
+        with pytest.raises(InvalidIntervalError):
+            Interval(-3, 0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5, 1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(1.0, 2)
+        with pytest.raises(InvalidIntervalError):
+            Interval(True, 2)
+
+    def test_instant(self):
+        assert Interval(4, 4).is_instant()
+        assert not Interval(4, 5).is_instant()
+
+    def test_str(self):
+        assert str(Interval(-4, 3)) == "(-4,3)"
+
+
+class TestMembership:
+    def test_contains_points(self):
+        iv = Interval(-2, 2)
+        assert -2 in iv and -1 in iv and 1 in iv and 2 in iv
+        assert 0 not in iv
+        assert 3 not in iv
+
+    def test_iteration_skips_zero(self):
+        assert list(Interval(-2, 2)) == [-2, -1, 1, 2]
+
+    def test_len_counts_axis_points(self):
+        assert len(Interval(1, 7)) == 7
+        assert len(Interval(-4, 3)) == 7  # one civil week across new year
+
+
+class TestSetOperations:
+    def test_intersect_overlapping(self):
+        assert Interval(1, 10).intersect(Interval(5, 20)) == Interval(5, 10)
+
+    def test_intersect_disjoint(self):
+        assert Interval(1, 3).intersect(Interval(5, 9)) is None
+
+    def test_intersect_touching(self):
+        assert Interval(1, 5).intersect(Interval(5, 9)) == Interval(5, 5)
+
+    def test_union_hull(self):
+        assert Interval(1, 3).union_hull(Interval(7, 9)) == Interval(1, 9)
+
+    def test_subtract_middle_splits(self):
+        assert Interval(1, 10).subtract(Interval(4, 6)) == [
+            Interval(1, 3), Interval(7, 10)]
+
+    def test_subtract_prefix(self):
+        assert Interval(1, 10).subtract(Interval(1, 4)) == [Interval(5, 10)]
+
+    def test_subtract_all(self):
+        assert Interval(3, 5).subtract(Interval(1, 9)) == []
+
+    def test_subtract_disjoint(self):
+        assert Interval(1, 3).subtract(Interval(7, 9)) == [Interval(1, 3)]
+
+    def test_subtract_respects_zero_skip(self):
+        pieces = Interval(-3, 3).subtract(Interval(-1, 1))
+        assert pieces == [Interval(-3, -2), Interval(2, 3)]
+
+    def test_shift(self):
+        assert Interval(-2, 2).shift(1) == Interval(-1, 3)
+        assert Interval(1, 2).shift(-2) == Interval(-2, -1)
+
+
+class TestPaperRelations:
+    """Relations exactly as defined in section 3.1."""
+
+    def test_overlaps(self):
+        assert Interval(1, 5).overlaps(Interval(5, 9))
+        assert Interval(1, 5).overlaps(Interval(3, 4))
+        assert not Interval(1, 4).overlaps(Interval(5, 9))
+
+    def test_during(self):
+        assert Interval(3, 4).during(Interval(1, 9))
+        assert Interval(1, 9).during(Interval(1, 9))
+        assert not Interval(1, 9).during(Interval(3, 4))
+
+    def test_meets(self):
+        assert Interval(1, 5).meets(Interval(5, 9))
+        assert not Interval(1, 4).meets(Interval(5, 9))
+        assert not Interval(5, 9).meets(Interval(1, 5))
+
+    def test_before_is_leq_on_endpoints(self):
+        # The paper defines < as u1 <= l2 (touching counts).
+        assert Interval(1, 5).before(Interval(5, 9))
+        assert Interval(1, 4).before(Interval(5, 9))
+        assert not Interval(1, 6).before(Interval(5, 9))
+
+    def test_starts_before(self):
+        assert Interval(1, 5).starts_before(Interval(2, 9))
+        assert Interval(1, 5).starts_before(Interval(1, 5))
+        assert not Interval(2, 5).starts_before(Interval(1, 9))
+
+    def test_allen_extras(self):
+        assert Interval(1, 3).strictly_before(Interval(4, 9))
+        assert not Interval(1, 4).strictly_before(Interval(4, 9))
+        assert Interval(1, 3).starts(Interval(1, 9))
+        assert Interval(7, 9).finishes(Interval(1, 9))
+        assert Interval(2, 3).equals(Interval(2, 3))
+
+
+class TestListopRegistry:
+    def test_paper_listops_present(self):
+        for name in ("overlaps", "during", "meets", "<", "<=",
+                     "intersects"):
+            assert name in LISTOPS
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(OperatorError):
+            get_listop("no_such_op")
+
+    def test_intersects_is_filtering(self):
+        assert get_listop("intersects").shape == "filtering"
+
+    def test_before_does_not_clip(self):
+        assert get_listop("<").clips is False
+        assert get_listop("meets").clips is False
+
+    def test_register_and_use_custom(self):
+        register_listop("test_same_length",
+                        lambda a, b: len(a) == len(b), replace=True)
+        op = get_listop("test_same_length")
+        assert op(Interval(1, 3), Interval(7, 9))
+        assert not op(Interval(1, 3), Interval(7, 8))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(OperatorError):
+            register_listop("during", lambda a, b: True)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(OperatorError):
+            register_listop("test_bad_shape", lambda a, b: True,
+                            shape="weird")

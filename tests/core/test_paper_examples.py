@@ -1,0 +1,146 @@
+"""E1: every worked algebra example of section 3.1, asserted verbatim.
+
+Day numbers are relative to Jan 1 1993 (= day 1), exactly as in the paper.
+"""
+
+import pytest
+
+from repro.core import (
+    CalendarSystem,
+    Interval,
+    SelectionPredicate,
+    caloperate,
+    foreach,
+    select,
+)
+
+
+@pytest.fixture(scope="module")
+def sys93():
+    return CalendarSystem.starting("Jan 1 1993")
+
+
+@pytest.fixture(scope="module")
+def weeks(sys93):
+    return sys93.weeks("Jan 1 1993", "Dec 31 1993")
+
+
+@pytest.fixture(scope="module")
+def year_1993(sys93):
+    """The paper's Year-1993: the calendar of the months of 1993."""
+    return sys93.months("Jan 1 1993", "Dec 31 1993")
+
+
+JAN_1993 = Interval(1, 31)
+
+
+def test_weeks_calendar_opening(weeks):
+    """WEEKS = {(-4,3),(4,10),(11,17),(18,24),(25,31),(32,38),(39,45),...}"""
+    assert weeks.to_pairs()[:7] == (
+        (-4, 3), (4, 10), (11, 17), (18, 24), (25, 31), (32, 38), (39, 45))
+
+
+def test_weeks_during_jan(weeks):
+    """WEEKS : during : Jan-1993 = {(4,10),(11,17),(18,24),(25,31)}"""
+    result = foreach("during", weeks, JAN_1993)
+    assert result.to_pairs() == ((4, 10), (11, 17), (18, 24), (25, 31))
+
+
+def test_year_1993_months(year_1993):
+    """Year-1993 = {(1,31),(32,59),(60,90),(91,120),...}"""
+    assert year_1993.to_pairs()[:4] == (
+        (1, 31), (32, 59), (60, 90), (91, 120))
+
+
+def test_weeks_during_year(weeks, year_1993):
+    """WEEKS : during : Year-1993 — the order-2 result printed verbatim."""
+    result = foreach("during", weeks, year_1993)
+    assert result.order == 2
+    pairs = result.to_pairs()
+    assert pairs[0] == ((4, 10), (11, 17), (18, 24), (25, 31))
+    assert pairs[1] == ((32, 38), (39, 45), (46, 52), (53, 59))
+    assert pairs[2] == ((60, 66), (67, 73), (74, 80), (81, 87))
+    assert pairs[3] == ((95, 101), (102, 108), (109, 115))
+
+
+def test_weeks_strict_overlaps_jan(weeks):
+    """WEEKS : overlaps : Jan-1993 = {(1,3),(4,10),...,(25,31)}"""
+    result = foreach("overlaps", weeks, JAN_1993, strict=True)
+    assert result.to_pairs() == (
+        (1, 3), (4, 10), (11, 17), (18, 24), (25, 31))
+
+
+def test_weeks_relaxed_overlaps_jan(weeks):
+    """WEEKS . overlaps . Jan-1993 = {(-4,3),(4,10),...,(25,31)}"""
+    result = foreach("overlaps", weeks, JAN_1993, strict=False)
+    assert result.to_pairs() == (
+        (-4, 3), (4, 10), (11, 17), (18, 24), (25, 31))
+
+
+def test_third_week_in_jan(weeks):
+    """[3]/WEEKS:overlaps:Jan-1993 = {(11,17)}"""
+    overlapping = foreach("overlaps", weeks, JAN_1993, strict=True)
+    assert select(overlapping,
+                  SelectionPredicate.of(3)).to_pairs() == ((11, 17),)
+
+
+def test_third_week_of_every_month(weeks, year_1993):
+    """[3]/WEEKS:overlaps:Year-1993 = {(11,17),(46,52),(74,80),(102,108),...}"""
+    by_month = foreach("overlaps", weeks, year_1993, strict=True)
+    thirds = select(by_month, SelectionPredicate.of(3))
+    assert thirds.order == 1
+    assert thirds.to_pairs()[:4] == (
+        (11, 17), (46, 52), (74, 80), (102, 108))
+
+
+def test_overlaps_by_month_structure_matches_paper(weeks, year_1993):
+    """The order-2 structure printed in the selection example."""
+    by_month = foreach("overlaps", weeks, year_1993, strict=True)
+    pairs = by_month.to_pairs()
+    assert pairs[0] == ((1, 3), (4, 10), (11, 17), (18, 24), (25, 31))
+    assert pairs[1] == ((32, 38), (39, 45), (46, 52), (53, 59))
+    assert pairs[2] == ((60, 66), (67, 73), (74, 80), (81, 87), (88, 90))
+    assert pairs[3] == ((91, 94), (95, 101), (102, 108), (109, 115),
+                        (116, 120))
+
+
+def test_caloperate_weeks(sys93):
+    """caloperate(YEARS-days, *; 7) = {(1,7),(8,14),(15,21),...}"""
+    days = sys93.year_days(1993)
+    weeks = caloperate(days, (7,))
+    assert weeks.to_pairs()[:3] == ((1, 7), (8, 14), (15, 21))
+
+
+def test_caloperate_quarters(year_1993):
+    """caloperate(MONTHS, *; 3) = {(1,90),(91,181),...}"""
+    quarters = caloperate(year_1993, (3,))
+    assert quarters.to_pairs()[:2] == ((1, 90), (91, 181))
+
+
+def test_emp_days_walkthrough(sys93, year_1993):
+    """The full EMP-DAYS walk-through of section 3.3 with its tiny
+    HOLIDAYS = {(31,31),(90,90)} (Jan 31 and "Mar 30" as printed)."""
+    from repro.core import Calendar
+
+    days = sys93.days(1, 120)
+    ldom = select(foreach("during", days, year_1993),
+                  SelectionPredicate.of(-1))
+    assert ldom.to_pairs()[:3] == ((31, 31), (59, 59), (90, 90))
+
+    holidays = Calendar.from_intervals([(31, 31), (90, 90)])
+    ldom_hol = foreach("intersects", ldom, holidays)
+    assert ldom_hol.to_pairs() == ((31, 31), (90, 90))
+
+    # AM_BUS_DAYS in the paper's stylised listing: every day except the
+    # holidays (the printed listing shows ... (30,30) ... (88,88),(91,91)).
+    bus = days - holidays - Calendar.from_intervals([(89, 89)])
+    by_holiday = foreach("<", bus, ldom_hol)
+    last_bus = select(by_holiday, SelectionPredicate.of(-1))
+    # Note: the paper's "<" is u1 <= l2, so day 31 itself would qualify —
+    # but it is a holiday and was removed from the business days; the
+    # preceding business day is day 30 (and 88 for the Mar 30 holiday).
+    assert last_bus.to_pairs() == ((30, 30), (88, 88))
+
+    result = ldom - ldom_hol + last_bus
+    assert result.to_pairs()[:4] == (
+        (30, 30), (59, 59), (88, 88), (120, 120))

@@ -1,0 +1,96 @@
+"""E10: the university query from section 1, end to end.
+
+"Retrieve the names of all foreign students who worked more than 20 hours
+in any week during the semester" — with the semester defined as an
+application-specific calendar in the catalog.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def university(db):
+    # The Spring 1993 semester is specific to the university and changes
+    # from year to year: define it as a calendar.
+    system = db.system
+    db.calendars.define(
+        "SPRING_SEMESTER_93",
+        values=[(system.day_of("Jan 19 1993"),
+                 system.day_of("May 14 1993"))],
+        granularity="DAYS")
+    db.create_table(
+        "work_weeks",
+        [("student", "text"), ("citizen", "text"),
+         ("week_start", "abstime"), ("hours", "int4")],
+        valid_time_column="week_start")
+    records = [
+        # (student, citizenship, week starting, hours)
+        ("ana", "MX", "Feb 1 1993", 24),     # foreign, >20, in semester
+        ("ana", "MX", "Jun 7 1993", 30),     # ... but outside semester
+        ("bo", "CN", "Mar 8 1993", 19),      # foreign, under the limit
+        ("chad", "US", "Feb 8 1993", 35),    # domestic
+        ("dee", "IN", "Apr 12 1993", 21),    # foreign, >20, in semester
+        ("eli", "FR", "Jan 4 1993", 40),     # foreign, >20, BEFORE term
+    ]
+    for student, citizen, week, hours in records:
+        db.insert("work_weeks", student=student, citizen=citizen,
+                  week_start=system.day_of(week), hours=hours)
+    return db
+
+
+def test_foreign_students_over_20_hours_in_semester(university):
+    result = university.execute(
+        'retrieve (w.student) from w in work_weeks '
+        'where w.hours > 20 and w.citizen != "US" '
+        'and w.week_start within "SPRING_SEMESTER_93"')
+    assert sorted(set(result.column("student"))) == ["ana", "dee"]
+
+
+def test_same_query_via_on_clause(university):
+    result = university.execute(
+        'retrieve (w.student) from w in work_weeks '
+        'where w.hours > 20 and w.citizen != "US" '
+        'on SPRING_SEMESTER_93')
+    assert sorted(set(result.column("student"))) == ["ana", "dee"]
+
+
+def test_semester_calendar_redefinition_changes_answer(university):
+    # Next year the semester moves: redefine the calendar, not the query.
+    system = university.system
+    university.calendars.define(
+        "SPRING_SEMESTER_93",
+        values=[(system.day_of("Jan 4 1993"),
+                 system.day_of("Apr 30 1993"))],
+        granularity="DAYS", replace=True)
+    result = university.execute(
+        'retrieve (w.student) from w in work_weeks '
+        'where w.hours > 20 and w.citizen != "US" '
+        'and w.week_start within "SPRING_SEMESTER_93"')
+    assert sorted(set(result.column("student"))) == ["ana", "dee", "eli"]
+
+
+def test_count_of_heavy_weeks_per_query(university):
+    result = university.execute(
+        'retrieve (count()) from w in work_weeks '
+        'where w.hours > 20 on SPRING_SEMESTER_93')
+    assert result.rows[0]["count()"] == 3  # ana, chad, dee
+
+
+def test_retrieve_on_expiration_date_style(university):
+    """Section 1's 'Retrieve (stock.price) on expiration-date'."""
+    system = university.system
+    db = university
+    db.create_table("stock", [("symbol", "text"), ("day", "abstime"),
+                              ("price", "float8")],
+                    valid_time_column="day")
+    for offset, price in enumerate([100.0, 101.5, 99.0, 102.25, 103.0]):
+        db.insert("stock", symbol="XYZ",
+                  day=system.day_of("Nov 15 1993") + offset, price=price)
+    db.calendars.define(
+        "expiration_date",
+        values=[(system.day_of("Nov 19 1993"),
+                 system.day_of("Nov 19 1993"))],
+        granularity="DAYS")
+    result = db.execute(
+        "retrieve (s.price) from s in stock on expiration_date")
+    assert result.column("price") == [103.0]

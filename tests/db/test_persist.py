@@ -1,0 +1,154 @@
+"""Round-trip tests for JSON persistence."""
+
+import math
+
+import pytest
+
+from repro.db import Database, DatabaseError
+from repro.db.persist import (
+    dump_database,
+    load_database,
+    restore_database,
+    save_database,
+)
+from repro.db.ql.parser import parse_statement
+from repro.db.ql.printer import render_statement
+from repro.rules import RuleManager
+
+
+class TestStatementPrinter:
+    @pytest.mark.parametrize("text", [
+        "retrieve (s.name, s.hours * 2 as d) from s in students "
+        "where s.hours > 20",
+        "retrieve unique (s.name) from s in students order by name desc",
+        'retrieve into sink (s.name) from s in students on "Mondays"',
+        'append audit (msg = new.name || "!")',
+        "replace s (hours = s.hours + 1) from s in students "
+        "where s.name = \"al\"",
+        "delete s from s in students where s.hours < 1",
+    ])
+    def test_roundtrip(self, text):
+        stmt = parse_statement(text)
+        assert parse_statement(render_statement(stmt)) == stmt
+
+
+@pytest.fixture()
+def populated(db):
+    manager = RuleManager(db)
+    db.create_table("students", [("name", "text"), ("hours", "int4"),
+                                 ("week", "abstime")],
+                    key=("name",), valid_time_column="week")
+    db.create_index("students", "hours")
+    db.create_table("audit", [("msg", "text")])
+    base = db.system.day_of("Feb 1 1993")
+    for i, name in enumerate(["ana", "bo", "cara"]):
+        db.insert("students", name=name, hours=10 * (i + 1),
+                  week=base + 7 * i)
+    manager.define_event_rule(
+        "watch", "append", "students",
+        condition="new.hours > 20",
+        actions=['append audit (msg = new.name)'])
+    manager.define_temporal_rule(
+        "tuesdays", "[2]/DAYS:during:WEEKS",
+        actions=['append audit (msg = "tick")'],
+        after=base)
+    db.calendars.define("SEMESTER", values=[(base, base + 100)],
+                        granularity="DAYS", lifespan=(1993.0, 1993.0))
+    return db
+
+
+class TestRoundTrip:
+    def test_relations_survive(self, populated, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(populated, str(path))
+        loaded = load_database(str(path))
+        rows = loaded.execute(
+            "retrieve (s.name, s.hours) from s in students order by name")
+        assert [(r["name"], r["hours"]) for r in rows.rows] == [
+            ("ana", 10), ("bo", 20), ("cara", 30)]
+
+    def test_schema_details_survive(self, populated, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(populated, str(path))
+        loaded = load_database(str(path))
+        schema = loaded.relation("students").schema
+        assert schema.key == ("name",)
+        assert schema.valid_time_column == "week"
+        assert "hours" in loaded.relation("students").indexes
+
+    def test_calendars_survive(self, populated, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(populated, str(path))
+        loaded = load_database(str(path))
+        assert "SEMESTER" in loaded.calendars
+        assert "Tuesdays" in loaded.calendars
+        record = loaded.calendars.record("SEMESTER")
+        assert record.lifespan == (1993.0, 1993.0)
+        original = populated.calendars.evaluate(
+            "Tuesdays", window=("Jan 1 1993", "Mar 1 1993"))
+        again = loaded.calendars.evaluate(
+            "Tuesdays", window=("Jan 1 1993", "Mar 1 1993"))
+        assert original.to_pairs() == again.to_pairs()
+
+    def test_event_rule_fires_after_reload(self, populated, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(populated, str(path))
+        loaded = load_database(str(path))
+        loaded.execute('append students (name = "dee", hours = 99, '
+                       'week = 3000)')
+        audit = loaded.execute("retrieve (a.msg) from a in audit")
+        assert audit.column("msg") == ["dee"]
+
+    def test_temporal_rule_schedule_survives(self, populated, tmp_path):
+        manager = populated.rule_manager
+        expected = manager.tables.next_fire_of("tuesdays")
+        path = tmp_path / "db.json"
+        save_database(populated, str(path))
+        loaded = load_database(str(path))
+        assert loaded.rule_manager.tables.next_fire_of("tuesdays") == \
+            expected
+
+    def test_callback_rules_reported_skipped(self, populated, tmp_path):
+        populated.rule_manager.define_event_rule(
+            "pyrule", "delete", "students",
+            callback=lambda d, e: None)
+        report = save_database(populated, str(tmp_path / "db.json"))
+        assert "pyrule" in report.skipped_rules
+        assert report.event_rules == 1
+        assert report.temporal_rules == 1
+
+    def test_special_cell_values(self, db, tmp_path):
+        from repro.core import Calendar, CivilDate
+        db.create_table("mixed", [("d", "date"), ("c", "calendar"),
+                                  ("f", "float8")])
+        db.insert("mixed", d=CivilDate(1993, 11, 19),
+                  c=Calendar.from_intervals([(1, 5), (9, 9)]),
+                  f=math.inf)
+        path = tmp_path / "db.json"
+        save_database(db, str(path))
+        loaded = load_database(str(path))
+        row = next(loaded.relation("mixed").scan())
+        assert row["d"] == CivilDate(1993, 11, 19)
+        assert row["c"].to_pairs() == ((1, 5), (9, 9))
+        assert row["f"] == math.inf
+
+    def test_order2_calendar_cell_rejected(self, db, tmp_path):
+        from repro.core import Calendar
+        nested = Calendar.from_calendars(
+            [Calendar.from_intervals([(1, 2)])])
+        db.create_table("bad", [("c", "calendar")])
+        db.insert("bad", c=nested)
+        with pytest.raises(DatabaseError):
+            dump_database(db)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(DatabaseError):
+            restore_database({"format": 999})
+
+
+class TestAsOfRendering:
+    def test_as_of_roundtrips_through_printer(self):
+        stmt = parse_statement(
+            "retrieve (p.x) from p in prices as of 7 where p.x > 0")
+        assert "as of 7" in render_statement(stmt)
+        assert parse_statement(render_statement(stmt)) == stmt

@@ -1,0 +1,177 @@
+"""Unit tests for the Postquel-like query language parser."""
+
+import pytest
+
+from repro.db import QueryError, parse_ql_expression, parse_statement
+from repro.db.ql.ast import (
+    Append,
+    BinOp,
+    ColumnRef,
+    Const,
+    Delete,
+    FuncCall,
+    Replace,
+    Retrieve,
+    UnOp,
+)
+
+
+class TestRetrieve:
+    def test_basic(self):
+        stmt = parse_statement(
+            "retrieve (s.name) from s in students")
+        assert isinstance(stmt, Retrieve)
+        assert stmt.targets[0].expr == ColumnRef("s", "name")
+        assert stmt.range_vars[0].var == "s"
+        assert stmt.range_vars[0].relation == "students"
+
+    def test_multiple_targets_and_vars(self):
+        stmt = parse_statement(
+            "retrieve (s.name, c.title) from s in students, c in courses")
+        assert len(stmt.targets) == 2
+        assert len(stmt.range_vars) == 2
+
+    def test_alias(self):
+        stmt = parse_statement(
+            "retrieve (s.hours * 2 as double_hours) from s in students")
+        assert stmt.targets[0].name == "double_hours"
+
+    def test_default_target_name(self):
+        stmt = parse_statement("retrieve (s.name) from s in students")
+        assert stmt.targets[0].name == "name"
+
+    def test_where(self):
+        stmt = parse_statement(
+            "retrieve (s.name) from s in students where s.hours > 20")
+        assert isinstance(stmt.where, BinOp)
+        assert stmt.where.op == ">"
+
+    def test_on_calendar_clause(self):
+        stmt = parse_statement(
+            'retrieve (s.price) from s in stock on expiration_date')
+        assert stmt.on_calendar == "expiration_date"
+        stmt2 = parse_statement(
+            'retrieve (s.price) from s in stock on "[2]/DAYS:during:WEEKS"')
+        assert stmt2.on_calendar == "[2]/DAYS:during:WEEKS"
+
+    def test_no_from_clause(self):
+        stmt = parse_statement("retrieve (day(\"Jan 1 1993\") as d)")
+        assert stmt.range_vars == ()
+
+
+class TestMutations:
+    def test_append(self):
+        stmt = parse_statement(
+            'append students (name = "zoe", hours = 12)')
+        assert isinstance(stmt, Append)
+        assert stmt.relation == "students"
+        assert stmt.assignments[0] == ("name", Const("zoe"))
+
+    def test_replace(self):
+        stmt = parse_statement(
+            "replace s (hours = s.hours + 1) from s in students "
+            "where s.name = \"al\"")
+        assert isinstance(stmt, Replace)
+        assert stmt.var == "s"
+        assert stmt.assignments[0][0] == "hours"
+
+    def test_delete(self):
+        stmt = parse_statement(
+            "delete s from s in students where s.hours < 1")
+        assert isinstance(stmt, Delete)
+        assert stmt.var == "s"
+
+    def test_delete_implicit_range(self):
+        stmt = parse_statement("delete students")
+        assert stmt.var == "students"
+        assert stmt.range_vars == ()
+
+
+class TestExpressions:
+    def test_precedence_and_or(self):
+        expr = parse_ql_expression("a.x = 1 or a.y = 2 and a.z = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not(self):
+        expr = parse_ql_expression("not a.x = 1")
+        assert isinstance(expr, UnOp) and expr.op == "not"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_ql_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_unary_minus(self):
+        expr = parse_ql_expression("-5 + 2")
+        assert expr.left == UnOp("-", Const(5))
+
+    def test_comparisons(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            expr = parse_ql_expression(f"a.x {op} 3")
+            assert expr.op == op
+
+    def test_within(self):
+        expr = parse_ql_expression('s.day within "Mondays"')
+        assert expr.op == "within"
+        assert expr.right == Const("Mondays")
+
+    def test_string_concat(self):
+        expr = parse_ql_expression('"a" || "b"')
+        assert expr.op == "||"
+
+    def test_function_call(self):
+        expr = parse_ql_expression('member(s.day, "HOLIDAYS")')
+        assert isinstance(expr, FuncCall)
+        assert expr.name == "member"
+        assert len(expr.args) == 2
+
+    def test_booleans(self):
+        assert parse_ql_expression("true") == Const(True)
+        assert parse_ql_expression("false") == Const(False)
+
+    def test_float_literal(self):
+        assert parse_ql_expression("3.5") == Const(3.5)
+
+    def test_single_quoted_string(self):
+        assert parse_ql_expression("'abc'") == Const("abc")
+
+    def test_parentheses(self):
+        expr = parse_ql_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comment(self):
+        stmt = parse_statement(
+            "retrieve (s.name) -- names only\nfrom s in students")
+        assert isinstance(stmt, Retrieve)
+
+
+class TestErrors:
+    def test_unknown_statement(self):
+        with pytest.raises(QueryError):
+            parse_statement("select * from t")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryError):
+            parse_statement("retrieve (s.x) from s in t extra")
+
+    def test_missing_paren(self):
+        with pytest.raises(QueryError):
+            parse_statement("retrieve s.x from s in t")
+
+    def test_bad_expression(self):
+        with pytest.raises(QueryError):
+            parse_ql_expression("1 +")
+
+    def test_unterminated_string(self):
+        with pytest.raises(QueryError):
+            parse_ql_expression('"abc')
+
+    def test_position_in_error(self):
+        try:
+            parse_statement("retrieve (s.name) frm s in t")
+        except QueryError as exc:
+            assert exc.line == 1
+        else:
+            raise AssertionError("expected QueryError")

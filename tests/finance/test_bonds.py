@@ -1,0 +1,112 @@
+"""Unit tests for bond arithmetic (E11: 30/360 vs civil dates)."""
+
+import pytest
+
+from repro.core import CalendarError, CivilDate
+from repro.finance import (
+    Actual365Fixed,
+    Bond,
+    PAPER_BOND_CONVENTION,
+    Thirty360,
+    discount_yield,
+    simple_yield,
+)
+
+
+@pytest.fixture()
+def bond():
+    return Bond(face=100.0, coupon_rate=0.08,
+                maturity=CivilDate(1998, 11, 15), frequency=2)
+
+
+class TestSchedule:
+    def test_coupon_dates_semiannual(self, bond):
+        dates = bond.coupon_dates(CivilDate(1997, 1, 1))
+        assert dates == [CivilDate(1997, 5, 15), CivilDate(1997, 11, 15),
+                         CivilDate(1998, 5, 15), CivilDate(1998, 11, 15)]
+
+    def test_previous_coupon_date(self, bond):
+        assert bond.previous_coupon_date(CivilDate(1993, 7, 1)) == \
+            CivilDate(1993, 5, 15)
+
+    def test_coupon_amount(self, bond):
+        assert bond.coupon_amount() == pytest.approx(4.0)
+
+    def test_quarterly_frequency(self):
+        bond = Bond(face=100.0, coupon_rate=0.08,
+                    maturity=CivilDate(1994, 12, 31), frequency=4)
+        dates = bond.coupon_dates(CivilDate(1994, 1, 1))
+        assert len(dates) == 4
+
+    def test_bad_frequency(self):
+        with pytest.raises(CalendarError):
+            Bond(face=100.0, coupon_rate=0.08,
+                 maturity=CivilDate(1998, 1, 1), frequency=3)
+
+
+class TestAccruedInterest:
+    def test_thirty360_accrual(self, bond):
+        # May 15 -> Jul 1 is 46 days under 30/360; period is 180.
+        accrued = bond.accrued_interest(CivilDate(1993, 7, 1), Thirty360())
+        assert accrued == pytest.approx(4.0 * 46 / 180)
+
+    def test_actual_accrual_differs(self, bond):
+        a30 = bond.accrued_interest(CivilDate(1993, 7, 1), Thirty360())
+        act = bond.accrued_interest(CivilDate(1993, 7, 1),
+                                    Actual365Fixed())
+        assert a30 != act
+
+    def test_zero_at_coupon_date(self, bond):
+        accrued = bond.accrued_interest(CivilDate(1993, 5, 15))
+        assert accrued == pytest.approx(0.0)
+
+
+class TestPriceYield:
+    def test_price_decreases_with_yield(self, bond):
+        settle = CivilDate(1993, 7, 1)
+        p_low = bond.price(settle, 0.05)
+        p_high = bond.price(settle, 0.12)
+        assert p_low > p_high
+
+    def test_price_yield_roundtrip(self, bond):
+        settle = CivilDate(1993, 7, 1)
+        for target_yield in (0.04, 0.08, 0.11):
+            price = bond.price(settle, target_yield)
+            solved = bond.yield_to_maturity(settle, price)
+            assert solved == pytest.approx(target_yield, abs=1e-8)
+
+    def test_unsolvable_price_rejected(self, bond):
+        with pytest.raises(CalendarError):
+            bond.yield_to_maturity(CivilDate(1993, 7, 1), 1e6)
+
+    def test_convention_changes_price(self, bond):
+        settle = CivilDate(1993, 7, 1)
+        p30 = bond.price(settle, 0.08, Thirty360())
+        pact = bond.price(settle, 0.08, Actual365Fixed())
+        assert p30 != pact
+
+
+class TestDiscountYields:
+    SETTLE = CivilDate(1993, 1, 15)
+    MATURITY = CivilDate(1993, 7, 15)
+
+    def test_paper_convention_vs_actual(self):
+        """E11: the same instrument yields differently under the paper's
+        30/360-months-365-year calendar vs the civil calendar."""
+        y_paper = discount_yield(100, 98, self.SETTLE, self.MATURITY,
+                                 PAPER_BOND_CONVENTION)
+        y_act = discount_yield(100, 98, self.SETTLE, self.MATURITY,
+                               Actual365Fixed())
+        assert y_paper != y_act
+        # 180 convention-days vs 181 civil days over a 365-day year.
+        assert y_paper == pytest.approx(0.02 * 365 / 180)
+        assert y_act == pytest.approx(0.02 * 365 / 181)
+
+    def test_simple_yield_on_price(self):
+        y = simple_yield(100, 98, self.SETTLE, self.MATURITY,
+                         PAPER_BOND_CONVENTION)
+        assert y == pytest.approx((2 / 98) * 365 / 180)
+
+    def test_inverted_dates_rejected(self):
+        with pytest.raises(CalendarError):
+            discount_yield(100, 98, self.MATURITY, self.SETTLE)

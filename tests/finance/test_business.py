@@ -1,0 +1,105 @@
+"""Unit tests for the business-day calendar."""
+
+import pytest
+
+from repro.core import CalendarError
+from repro.finance import BusinessCalendar
+
+
+@pytest.fixture()
+def bc(registry):
+    return BusinessCalendar(registry,
+                            window=("Jan 1 1992", "Dec 31 1994"))
+
+
+def day(registry, text):
+    return registry.system.day_of(text)
+
+
+class TestMembership:
+    def test_weekday_is_business(self, registry, bc):
+        assert bc.is_business_day(day(registry, "Nov 19 1993"))  # Friday
+
+    def test_weekend_is_not(self, registry, bc):
+        assert not bc.is_business_day(day(registry, "Nov 20 1993"))  # Sat
+
+    def test_holiday_is_not(self, registry, bc):
+        assert not bc.is_business_day(day(registry, "Nov 25 1993"))
+        # Thanksgiving (4th Thursday)
+
+
+class TestNavigation:
+    def test_next_business_day(self, registry, bc):
+        friday = day(registry, "Nov 19 1993")
+        assert bc.next_business_day(friday) == \
+            day(registry, "Nov 22 1993")  # Monday
+
+    def test_next_over_thanksgiving(self, registry, bc):
+        wed = day(registry, "Nov 24 1993")
+        assert bc.next_business_day(wed) == day(registry, "Nov 26 1993")
+
+    def test_previous_business_day(self, registry, bc):
+        monday = day(registry, "Nov 22 1993")
+        assert bc.previous_business_day(monday) == \
+            day(registry, "Nov 19 1993")
+
+    def test_add_business_days(self, registry, bc):
+        start = day(registry, "Nov 22 1993")  # Monday
+        assert bc.add_business_days(start, 4) == \
+            day(registry, "Nov 29 1993")  # skips Thanksgiving + weekend
+
+    def test_business_days_between(self, registry, bc):
+        a = day(registry, "Nov 22 1993")
+        b = day(registry, "Nov 30 1993")
+        assert bc.business_days_between(a, b) == 6  # Thanksgiving skipped
+
+    def test_exhausted_window_raises(self, registry, bc):
+        far = day(registry, "Dec 31 1994")
+        with pytest.raises(CalendarError):
+            bc.add_business_days(far, 100)
+
+
+class TestRollConventions:
+    def test_business_day_unchanged(self, registry, bc):
+        t = day(registry, "Nov 19 1993")
+        assert bc.adjust(t, "following") == t
+        assert bc.adjust(t, "preceding") == t
+
+    def test_following(self, registry, bc):
+        saturday = day(registry, "Nov 20 1993")
+        assert bc.adjust(saturday, "following") == \
+            day(registry, "Nov 22 1993")
+
+    def test_preceding(self, registry, bc):
+        saturday = day(registry, "Nov 20 1993")
+        assert bc.adjust(saturday, "preceding") == \
+            day(registry, "Nov 19 1993")
+
+    def test_modified_following_rolls_back_at_month_end(self, registry,
+                                                        bc):
+        # Sat Jul 31 1993: following would cross into August.
+        saturday = day(registry, "Jul 31 1993")
+        assert bc.adjust(saturday, "modified_following") == \
+            day(registry, "Jul 30 1993")
+
+    def test_modified_following_normal_case(self, registry, bc):
+        saturday = day(registry, "Nov 20 1993")
+        assert bc.adjust(saturday, "modified_following") == \
+            day(registry, "Nov 22 1993")
+
+    def test_unknown_convention(self, registry, bc):
+        with pytest.raises(CalendarError):
+            bc.adjust(day(registry, "Nov 20 1993"), "sideways")
+
+
+class TestCache:
+    def test_invalidate_after_redefinition(self, registry, bc):
+        t = day(registry, "Nov 19 1993")
+        assert bc.is_business_day(t)
+        from repro.core import Calendar
+        old = registry.record("HOLIDAYS").values
+        registry.define("HOLIDAYS", values=old + Calendar.point(t),
+                        granularity="DAYS", replace=True)
+        assert bc.is_business_day(t)  # stale cache
+        bc.invalidate()
+        assert not bc.is_business_day(t)

@@ -1,0 +1,83 @@
+"""Unit tests for day-count conventions (E11 support)."""
+
+import pytest
+
+from repro.core import CivilDate
+from repro.finance import (
+    Actual365Fixed,
+    ActualActual,
+    PAPER_BOND_CONVENTION,
+    Thirty360,
+)
+
+
+class TestThirty360:
+    def test_thirty_day_months(self):
+        c = Thirty360()
+        assert c.days(CivilDate(1993, 1, 15), CivilDate(1993, 2, 15)) == 30
+        assert c.days(CivilDate(1993, 2, 15), CivilDate(1993, 3, 15)) == 30
+
+    def test_year_fraction_with_365_basis(self):
+        """The paper's convention: 30-day months, 365-day year."""
+        c = Thirty360(year_basis=365)
+        fraction = c.year_fraction(CivilDate(1993, 1, 1),
+                                   CivilDate(1994, 1, 1))
+        assert fraction == pytest.approx(360 / 365)
+
+    def test_year_fraction_with_360_basis(self):
+        c = Thirty360(year_basis=360)
+        fraction = c.year_fraction(CivilDate(1993, 1, 1),
+                                   CivilDate(1994, 1, 1))
+        assert fraction == pytest.approx(1.0)
+
+    def test_paper_convention_is_365(self):
+        assert PAPER_BOND_CONVENTION.year_basis == 365
+
+
+class TestActual365:
+    def test_days_are_civil(self):
+        c = Actual365Fixed()
+        assert c.days(CivilDate(1993, 1, 15), CivilDate(1993, 2, 15)) == 31
+        assert c.days(CivilDate(1988, 1, 1), CivilDate(1989, 1, 1)) == 366
+
+    def test_year_fraction(self):
+        c = Actual365Fixed()
+        assert c.year_fraction(CivilDate(1993, 1, 1),
+                               CivilDate(1993, 12, 31)) == \
+            pytest.approx(364 / 365)
+
+
+class TestActualActual:
+    def test_same_year(self):
+        c = ActualActual()
+        assert c.year_fraction(CivilDate(1993, 1, 1),
+                               CivilDate(1993, 12, 31)) == \
+            pytest.approx(364 / 365)
+
+    def test_leap_year_denominator(self):
+        c = ActualActual()
+        assert c.year_fraction(CivilDate(1988, 1, 1),
+                               CivilDate(1988, 12, 31)) == \
+            pytest.approx(365 / 366)
+
+    def test_spanning_years(self):
+        c = ActualActual()
+        fraction = c.year_fraction(CivilDate(1993, 7, 1),
+                                   CivilDate(1995, 7, 1))
+        assert fraction == pytest.approx(2.0, abs=0.01)
+
+    def test_negative_when_inverted(self):
+        c = ActualActual()
+        assert c.year_fraction(CivilDate(1994, 1, 1),
+                               CivilDate(1993, 1, 1)) < 0
+
+
+class TestConventionsDiffer:
+    def test_same_dates_three_conventions(self):
+        a, b = CivilDate(1993, 1, 15), CivilDate(1993, 7, 15)
+        values = {
+            "30/360-365": Thirty360(365).year_fraction(a, b),
+            "30/360-360": Thirty360(360).year_fraction(a, b),
+            "act/365": Actual365Fixed().year_fraction(a, b),
+        }
+        assert len(set(values.values())) == 3  # all distinct

@@ -1,0 +1,99 @@
+"""E7 cross-checks: option expirations against a dateutil oracle."""
+
+import pytest
+from dateutil import rrule
+
+from repro.finance import (
+    OptionContract,
+    expiration_calendar,
+    expiration_date,
+    last_trading_day,
+)
+
+
+def third_fridays(year):
+    """Oracle: dateutil's third-Friday recurrence."""
+    return list(rrule.rrule(
+        rrule.MONTHLY, dtstart=__import__("datetime").date(year, 1, 1),
+        count=12, byweekday=rrule.FR(3)))
+
+
+class TestExpirationDates:
+    @pytest.mark.parametrize("year", [1990, 1993, 1996, 1999])
+    def test_matches_dateutil_third_fridays(self, registry, year):
+        holidays = {(d.month, d.day)
+                    for d in __import__(
+                        "repro.catalog", fromlist=["us_federal_holidays"]
+                    ).us_federal_holidays(year)}
+        for month, oracle in enumerate(third_fridays(year), start=1):
+            got = registry.system.date_of(
+                expiration_date(registry, year, month))
+            if (oracle.month, oracle.day) in holidays:
+                # Holiday Friday: our rule rolls to the preceding
+                # business day, the oracle does not.
+                assert (got.year, got.month) == (oracle.year, oracle.month)
+                assert got.day < oracle.day
+            else:
+                assert (got.year, got.month, got.day) == \
+                    (oracle.year, oracle.month, oracle.day)
+
+    def test_november_1993_is_the_paper_example(self, registry):
+        d = registry.system.date_of(expiration_date(registry, 1993, 11))
+        assert str(d) == "Nov 19 1993"
+
+    def test_expirations_are_business_days(self, registry):
+        from repro.finance import BusinessCalendar
+        bc = BusinessCalendar(registry,
+                              window=("Jan 1 1993", "Dec 31 1993"))
+        for month in range(1, 13):
+            assert bc.is_business_day(
+                expiration_date(registry, 1993, month))
+
+
+class TestLastTradingDay:
+    def test_seven_business_days_inclusive_of_month_end(self, registry):
+        from repro.finance import BusinessCalendar
+        bc = BusinessCalendar(registry,
+                              window=("Jan 1 1993", "Dec 31 1993"))
+        for month in (3, 6, 9):
+            ltd = last_trading_day(registry, 1993, month)
+            lo, hi = registry.system.epoch.days_of_month(1993, month)
+            last_bus = bc.previous_business_day(hi, inclusive=True)
+            # The paper's "<" includes equality, so temp1 itself is the
+            # last element: counting is inclusive of the month-end day.
+            assert bc.business_days_between(ltd, last_bus) == 7
+
+    def test_before_month_end(self, registry):
+        ltd = last_trading_day(registry, 1993, 11)
+        _, hi = registry.system.epoch.days_of_month(1993, 11)
+        assert ltd < hi
+
+
+class TestExpirationCalendar:
+    def test_monthly_cycle(self, registry):
+        cal = expiration_calendar(registry, 1993)
+        assert len(cal) == 12
+        assert all(iv.is_instant() for iv in cal.elements)
+
+    def test_quarterly_cycle(self, registry):
+        cal = expiration_calendar(registry, 1993, months=(3, 6, 9, 12))
+        assert len(cal) == 4
+        months = {registry.system.date_of(iv.lo).month
+                  for iv in cal.elements}
+        assert months == {3, 6, 9, 12}
+
+    def test_usable_as_defined_calendar(self, registry):
+        cal = expiration_calendar(registry, 1993)
+        registry.define("EXPIRATIONS_93", values=cal, granularity="DAYS")
+        t0 = registry.system.day_of("Nov 1 1993")
+        nxt = registry.next_occurrence("EXPIRATIONS_93", t0)
+        assert str(registry.system.date_of(nxt)) == "Nov 19 1993"
+
+
+class TestOptionContract:
+    def test_contract_accessors(self, registry):
+        contract = OptionContract("XYZ", 1993, 11, strike=50.0)
+        assert str(registry.system.date_of(
+            contract.expiration(registry))) == "Nov 19 1993"
+        assert contract.last_trading_day(registry) <= \
+            contract.expiration(registry) + 15

@@ -1,0 +1,134 @@
+"""Tests for the RRULE bridge, cross-checked against dateutil.rrule."""
+
+import datetime
+
+import pytest
+from dateutil import rrule as du
+
+from repro.core import CalendarError, CalendarSystem
+from repro.interop import (
+    UnsupportedExpression,
+    calendar_to_dates,
+    expression_to_rrule,
+    rrule_to_calendar,
+)
+
+SYSTEM = CalendarSystem.starting("Jan 1 1987")
+WINDOW = ("Jan 1 1993", "Dec 31 1994")
+
+
+def dateutil_dates(rule_text, dtstart=datetime.datetime(1993, 1, 1),
+                   until=datetime.datetime(1994, 12, 31)):
+    rule = du.rrulestr(f"RRULE:{rule_text}", dtstart=dtstart)
+    return [(d.year, d.month, d.day) for d in rule.between(
+        dtstart - datetime.timedelta(days=1), until, inc=True)]
+
+
+def our_dates(rule_text):
+    cal = rrule_to_calendar(SYSTEM, rule_text, *WINDOW)
+    return [(d.year, d.month, d.day)
+            for d in calendar_to_dates(SYSTEM, cal)]
+
+
+class TestExpressionToRrule:
+    def test_weekly(self):
+        assert expression_to_rrule("[2]/DAYS:during:WEEKS") == \
+            "FREQ=WEEKLY;BYDAY=TU"
+        assert expression_to_rrule("[7]/DAYS:during:WEEKS") == \
+            "FREQ=WEEKLY;BYDAY=SU"
+
+    def test_monthly_by_month_day(self):
+        assert expression_to_rrule("[15]/DAYS:during:MONTHS") == \
+            "FREQ=MONTHLY;BYMONTHDAY=15"
+        assert expression_to_rrule("[n]/DAYS:during:MONTHS") == \
+            "FREQ=MONTHLY;BYMONTHDAY=-1"
+        assert expression_to_rrule("[-2]/DAYS:during:MONTHS") == \
+            "FREQ=MONTHLY;BYMONTHDAY=-2"
+
+    def test_yearly_by_year_day(self):
+        assert expression_to_rrule("[40]/DAYS:during:YEARS") == \
+            "FREQ=YEARLY;BYYEARDAY=40"
+
+    def test_ordinal_weekday_of_month(self):
+        assert expression_to_rrule(
+            "[3]/([5]/DAYS:during:WEEKS):overlaps:MONTHS") == \
+            "FREQ=MONTHLY;BYDAY=3FR"
+        assert expression_to_rrule(
+            "[n]/([1]/DAYS:during:WEEKS):overlaps:MONTHS") == \
+            "FREQ=MONTHLY;BYDAY=-1MO"
+
+    @pytest.mark.parametrize("text", [
+        "WEEKS:during:MONTHS",              # no selection
+        "[1;2]/DAYS:during:WEEKS",          # multi-index
+        "[9]/DAYS:during:WEEKS",            # weekday out of range
+        "[1]/WEEKS:during:MONTHS",          # weeks are not RRULE events
+        "[1]/DAYS:during:WEEKS - HOLIDAYS",  # set ops have no RRULE
+    ])
+    def test_unsupported_shapes(self, text):
+        with pytest.raises(UnsupportedExpression):
+            expression_to_rrule(text)
+
+
+class TestRruleToCalendarVsDateutil:
+    @pytest.mark.parametrize("rule", [
+        "FREQ=DAILY",
+        "FREQ=DAILY;INTERVAL=3",
+        "FREQ=WEEKLY;BYDAY=TU",
+        "FREQ=WEEKLY;BYDAY=MO,FR",
+        "FREQ=WEEKLY;INTERVAL=2;BYDAY=WE",
+        "FREQ=MONTHLY;BYMONTHDAY=15",
+        "FREQ=MONTHLY;BYMONTHDAY=-1",
+        "FREQ=MONTHLY;BYDAY=3FR",
+        "FREQ=MONTHLY;BYDAY=-1MO",
+        "FREQ=MONTHLY;INTERVAL=2;BYMONTHDAY=1",
+        "FREQ=YEARLY;BYMONTH=11;BYMONTHDAY=19",
+        "FREQ=YEARLY;BYYEARDAY=100",
+        "FREQ=YEARLY",
+    ])
+    def test_agrees_with_dateutil(self, rule):
+        assert our_dates(rule) == dateutil_dates(rule)
+
+    def test_roundtrip_expression_rrule_dates(self, registry):
+        """expression -> RRULE -> dates == expression -> dates."""
+        text = "[2]/DAYS:during:WEEKS"
+        rule = expression_to_rrule(text)
+        via_rrule = set(our_dates(rule))
+        cal = registry.eval_expression(f"({text}) & 1993/YEARS")
+        direct = {(d.year, d.month, d.day)
+                  for d in calendar_to_dates(registry.system, cal)}
+        assert direct <= via_rrule
+
+    def test_third_friday_equals_paper_expirations(self, registry):
+        """FREQ=MONTHLY;BYDAY=3FR over 1993 = the paper's 3rd Fridays."""
+        cal = rrule_to_calendar(registry.system, "FREQ=MONTHLY;BYDAY=3FR",
+                                "Jan 1 1993", "Dec 31 1993")
+        dates = calendar_to_dates(registry.system, cal)
+        assert (dates[10].month, dates[10].day) == (11, 19)  # Nov 19 1993
+
+
+class TestRruleParsing:
+    def test_rrule_prefix_allowed(self):
+        cal = rrule_to_calendar(SYSTEM, "RRULE:FREQ=DAILY",
+                                "Jan 1 1993", "Jan 3 1993")
+        assert len(cal) == 3
+
+    def test_bad_freq(self):
+        with pytest.raises(CalendarError):
+            rrule_to_calendar(SYSTEM, "FREQ=HOURLY", *WINDOW)
+
+    def test_bad_byday(self):
+        with pytest.raises(CalendarError):
+            rrule_to_calendar(SYSTEM, "FREQ=WEEKLY;BYDAY=XX", *WINDOW)
+
+    def test_malformed_component(self):
+        with pytest.raises(CalendarError):
+            rrule_to_calendar(SYSTEM, "FREQ=DAILY;NONSENSE", *WINDOW)
+
+    def test_result_usable_as_catalog_values(self, registry):
+        cal = rrule_to_calendar(registry.system, "FREQ=MONTHLY;BYDAY=3FR",
+                                "Jan 1 1993", "Dec 31 1994")
+        registry.define("RRULE_EXPIRATIONS", values=cal,
+                        granularity="DAYS")
+        t0 = registry.system.day_of("Nov 1 1993")
+        nxt = registry.next_occurrence("RRULE_EXPIRATIONS", t0)
+        assert str(registry.system.date_of(nxt)) == "Nov 19 1993"

@@ -1,0 +1,107 @@
+"""End-to-end extensibility: user-declared listops, functions, ADTs.
+
+The paper's core argument for building on an *extensible* DBMS is that
+applications can declare their own operators and have the query language
+pick them up.  These tests exercise that path across layers.
+"""
+
+import pytest
+
+from repro.core import Interval, register_listop
+from repro.core.interval import LISTOPS
+from repro.db import Database
+from repro.rules import RuleManager
+
+
+@pytest.fixture(scope="module", autouse=True)
+def custom_listop():
+    if "adjacent" not in LISTOPS:
+        # adjacent: the intervals touch end-to-start in either direction.
+        register_listop(
+            "adjacent",
+            lambda a, b: a.hi + 1 == b.lo or b.hi + 1 == a.lo,
+            clips=False)
+    yield
+
+
+class TestCustomListopInLanguage:
+    def test_usable_in_expression(self, registry):
+        cal = registry.eval_expression(
+            "WEEKS:adjacent:[2]/WEEKS:during:1993/YEARS",
+            window=("Jan 1 1993", "Dec 31 1993"))
+        # Exactly the weeks before and after week #2 of 1993.
+        assert len(cal) == 2
+
+    def test_usable_in_stored_calendar(self, registry):
+        registry.define(
+            "NEIGHBOUR_WEEKS",
+            script="{return(WEEKS:adjacent:[10]/WEEKS:during:"
+                   "1993/YEARS);}",
+            granularity="DAYS")
+        cal = registry.evaluate("NEIGHBOUR_WEEKS",
+                                window=("Jan 1 1993", "Dec 31 1993"))
+        assert len(cal) == 2
+
+    def test_plan_path_handles_custom_op(self, registry):
+        text = "WEEKS:adjacent:[2]/WEEKS:during:1993/YEARS"
+        window = ("Jan 1 1993", "Dec 31 1993")
+        optimized = registry.eval_expression(text, window=window,
+                                             optimize=True)
+        reference = registry.eval_expression(text, window=window,
+                                             optimize=False)
+        assert optimized.to_pairs() == reference.to_pairs()
+
+
+class TestCustomFunctionInScripts:
+    def test_registry_function(self, registry):
+        def first_and_last(context, args):
+            cal = args[0]
+            from repro.core import Calendar
+            if len(cal) < 2:
+                return cal
+            return Calendar.from_intervals(
+                [cal.elements[0], cal.elements[-1]], cal.granularity)
+
+        registry.functions["endpoints"] = first_and_last
+        cal = registry.eval_expression(
+            "endpoints(flatten([1-5]/DAYS:during:[1]/WEEKS:during:"
+            "1993/YEARS))", window=("Jan 1 1993", "Dec 31 1993"))
+        assert len(cal) == 2  # Monday and Friday of the first 1993 week
+
+
+class TestCustomAdtInDatabase:
+    def test_user_type_and_operator(self, registry):
+        db = Database(calendars=registry)
+        db.types.define("money", lambda v: isinstance(v, int),
+                        "cents as int")
+        db.operators.register("+", "money", "money", lambda a, b: a + b)
+        db.create_table("fees", [("amount", "money")])
+        db.insert("fees", amount=1250)
+        result = db.execute(
+            "retrieve (f.amount + f.amount as double) from f in fees")
+        assert result.rows[0]["double"] == 2500
+
+    def test_custom_operator_beats_builtin(self, registry):
+        db = Database(calendars=registry)
+        # Declare saturating addition for int4: caps at 100.
+        db.operators.register(
+            "+", "int4", "int4",
+            lambda a, b: min(a + b, 100))
+        result = db.execute("retrieve (70 + 50 as capped)")
+        assert result.rows[0]["capped"] == 100
+
+    def test_custom_function_in_rule_condition(self, registry):
+        db = Database(calendars=registry)
+        manager = RuleManager(db)
+        db.functions.register("is_vowelish",
+                              lambda s: s[:1].lower() in "aeiou")
+        db.create_table("names", [("n", "text")])
+        db.create_table("vowels", [("n", "text")])
+        manager.define_event_rule(
+            "vowel_watch", "append", "names",
+            condition="is_vowelish(new.n)",
+            actions=["append vowels (n = new.n)"])
+        for name in ("ada", "grace", "edsger"):
+            db.insert("names", n=name)
+        assert db.execute("retrieve (v.n) from v in vowels") \
+            .column("n") == ["ada", "edsger"]

@@ -1,0 +1,71 @@
+"""Tests for the shift/instants/hull calendar functions."""
+
+import pytest
+
+from repro.lang.errors import EvaluationError
+
+
+class TestShift:
+    def test_shift_forward_and_back(self, registry):
+        ldom = registry.eval_expression(
+            "[n]/DAYS:during:[1]/MONTHS:during:1993/YEARS")
+        shifted = registry.eval_expression(
+            "shift([n]/DAYS:during:[1]/MONTHS:during:1993/YEARS, -3)")
+        assert shifted.elements[0].lo == ldom.elements[0].lo - 3
+
+    def test_shift_skips_zero(self, registry):
+        cal = registry.eval_expression("shift(interval(1, 2), -1)",
+                                       optimize=False)
+        assert cal.to_pairs() == ((-1, 1),)
+
+    def test_settlement_dates_use_case(self, registry):
+        """T+5 settlement: expirations shifted five days forward."""
+        exp = registry.eval_expression(
+            "[5]/DAYS:during:[3]/WEEKS:during:[1]/MONTHS:during:"
+            "1993/YEARS")
+        settle = registry.eval_expression(
+            "shift([5]/DAYS:during:[3]/WEEKS:during:[1]/MONTHS:during:"
+            "1993/YEARS, 5)")
+        assert settle.elements[0].lo == exp.elements[0].lo + 5
+
+    def test_shift_arity(self, registry):
+        with pytest.raises(EvaluationError):
+            registry.eval_expression("shift(DAYS)", optimize=False)
+
+    def test_shift_needs_integer(self, registry):
+        with pytest.raises(EvaluationError):
+            registry.eval_expression('shift(DAYS, "three")',
+                                     optimize=False)
+
+
+class TestInstantsAndHull:
+    def test_instants_explodes_intervals(self, registry):
+        cal = registry.eval_expression(
+            "instants([1]/WEEKS:during:[1]/MONTHS:during:1993/YEARS)")
+        assert len(cal) == 7
+        assert all(iv.is_instant() for iv in cal.elements)
+
+    def test_hull_spans_result(self, registry):
+        cal = registry.eval_expression(
+            "hull([2]/DAYS:during:WEEKS:during:[1]/MONTHS:during:"
+            "1993/YEARS)")
+        assert len(cal) == 1
+        lo = registry.system.day_of("Jan 5 1993")
+        hi = registry.system.day_of("Jan 26 1993")
+        assert cal.to_pairs() == ((lo, hi),)
+
+    def test_hull_of_empty(self, registry):
+        # Day 2 (Jan 2 1987) is not a holiday, so the intersection is empty.
+        cal = registry.eval_expression(
+            "hull(HOLIDAYS & interval(2, 2))", optimize=False)
+        assert cal.is_empty()
+
+    def test_instants_dedupes_overlap(self, registry):
+        cal = registry.eval_expression(
+            "instants(interval(1, 3) + interval(2, 5))", optimize=False)
+        assert cal.to_pairs() == ((1, 1), (2, 2), (3, 3), (4, 4), (5, 5))
+
+    def test_arity_errors(self, registry):
+        for text in ("instants()", "hull(DAYS, WEEKS)"):
+            with pytest.raises(EvaluationError):
+                registry.eval_expression(text, optimize=False)

@@ -1,0 +1,285 @@
+"""Unit tests for the direct AST interpreter."""
+
+import pytest
+
+from repro.core import Calendar, CalendarSystem, Granularity
+from repro.lang import (
+    EvalContext,
+    EvaluationError,
+    Interpreter,
+    LoopLimitError,
+    NameResolutionError,
+    infer_unit,
+    parse_expression,
+    parse_script,
+)
+from repro.lang.defs import (
+    BasicDef,
+    DerivedDef,
+    ExplicitDef,
+    basic_resolver,
+    chain_resolvers,
+)
+
+
+@pytest.fixture(scope="module")
+def sys93():
+    return CalendarSystem.starting("Jan 1 1993")
+
+
+def make_context(sys93, today=None, **extra_defs):
+    defs = {
+        "holidays": ExplicitDef(
+            Calendar.from_intervals([(31, 31), (90, 90)]),
+            Granularity.DAYS),
+        "mondays": DerivedDef(
+            parse_script("{return([1]/DAYS:during:WEEKS);}"),
+            Granularity.DAYS),
+    }
+    defs.update({k.lower(): v for k, v in extra_defs.items()})
+    resolver = chain_resolvers(lambda n: defs.get(n.lower()),
+                               basic_resolver)
+    lo, hi = sys93.epoch.days_of_year(1993)
+    return EvalContext(system=sys93, resolver=resolver, window=(lo, hi),
+                       today=today)
+
+
+def run(ctx, text):
+    return Interpreter(ctx).evaluate(parse_expression(text))
+
+
+class TestNameResolution:
+    def test_basic_calendar(self, sys93):
+        ctx = make_context(sys93)
+        months = run(ctx, "MONTHS")
+        assert months.to_pairs()[0] == (1, 31)
+
+    def test_explicit_values(self, sys93):
+        ctx = make_context(sys93)
+        assert run(ctx, "HOLIDAYS").to_pairs() == ((31, 31), (90, 90))
+
+    def test_case_insensitive(self, sys93):
+        ctx = make_context(sys93)
+        assert run(ctx, "holidays").to_pairs() == ((31, 31), (90, 90))
+
+    def test_derived_script_executed(self, sys93):
+        ctx = make_context(sys93)
+        mondays = run(ctx, "Mondays")
+        assert all(sys93.epoch.weekday_of(iv.lo) == 1
+                   for iv in mondays.elements)
+
+    def test_derived_result_cached(self, sys93):
+        ctx = make_context(sys93)
+        run(ctx, "Mondays")
+        calls_before = ctx.stats["generate_calls"]
+        run(ctx, "Mondays")
+        assert ctx.stats["generate_calls"] == calls_before
+
+    def test_unknown_name(self, sys93):
+        ctx = make_context(sys93)
+        with pytest.raises(NameResolutionError):
+            run(ctx, "NOPE")
+
+    def test_env_shadows_catalog(self, sys93):
+        ctx = make_context(sys93)
+        ctx.env["holidays"] = Calendar.from_intervals([(7, 7)])
+        assert run(ctx, "HOLIDAYS").to_pairs() == ((7, 7),)
+
+
+class TestOperators:
+    def test_foreach_with_singleton_right_is_interval(self, sys93):
+        ctx = make_context(sys93)
+        # Right side has one element -> order-1 result (paper's Jan-1993).
+        result = run(ctx, "WEEKS:during:interval(1, 31)")
+        assert result.order == 1
+        assert result.to_pairs() == ((4, 10), (11, 17), (18, 24), (25, 31))
+
+    def test_foreach_with_multi_right_is_order2(self, sys93):
+        ctx = make_context(sys93)
+        result = run(ctx, "WEEKS:during:MONTHS")
+        assert result.order == 2
+
+    def test_selection(self, sys93):
+        ctx = make_context(sys93)
+        result = run(ctx, "[3]/WEEKS:overlaps:interval(1, 31)")
+        assert result.to_pairs() == ((11, 17),)
+
+    def test_label_selection(self, sys93):
+        ctx = make_context(sys93)
+        assert run(ctx, "1993/YEARS").to_pairs() == ((1, 365),)
+
+    def test_setops(self, sys93):
+        ctx = make_context(sys93)
+        result = run(ctx, "HOLIDAYS - interval(31, 31)")
+        assert result.to_pairs() == ((90, 90),)
+        result = run(ctx, "HOLIDAYS + interval(1, 1)")
+        assert result.to_pairs() == ((1, 1), (31, 31), (90, 90))
+        result = run(ctx, "HOLIDAYS & interval(1, 40)")
+        assert result.to_pairs() == ((31, 31),)
+
+    def test_setop_requires_order1(self, sys93):
+        ctx = make_context(sys93)
+        with pytest.raises(EvaluationError):
+            run(ctx, "(WEEKS:during:MONTHS) + HOLIDAYS")
+
+    def test_flatten_function(self, sys93):
+        ctx = make_context(sys93)
+        result = run(ctx, "flatten(WEEKS:during:MONTHS)")
+        assert result.order == 1
+
+    def test_bare_number_rejected(self, sys93):
+        ctx = make_context(sys93)
+        with pytest.raises(EvaluationError):
+            run(ctx, "(5)")
+
+
+class TestFunctions:
+    def test_generate(self, sys93):
+        ctx = make_context(sys93)
+        result = run(ctx, 'generate(MONTHS, DAYS, "Jan 1 1993", '
+                          '"Feb 28 1993")')
+        assert result.to_pairs() == ((1, 31), (32, 59))
+
+    def test_generate_with_mode(self, sys93):
+        ctx = make_context(sys93)
+        result = run(ctx, 'generate(WEEKS, DAYS, "Jan 1 1993", '
+                          '"Jan 10 1993", "cover")')
+        assert result.to_pairs()[0] == (-4, 3)
+
+    def test_generate_arity_error(self, sys93):
+        ctx = make_context(sys93)
+        with pytest.raises(EvaluationError):
+            run(ctx, "generate(MONTHS)")
+
+    def test_caloperate(self, sys93):
+        ctx = make_context(sys93)
+        result = run(ctx, "caloperate(MONTHS, *; 3)")
+        assert result.to_pairs()[0] == (1, 90)
+
+    def test_caloperate_with_end(self, sys93):
+        ctx = make_context(sys93)
+        result = run(ctx, "caloperate(MONTHS, 90; 3)")
+        assert result.to_pairs() == ((1, 90),)
+
+    def test_point(self, sys93):
+        ctx = make_context(sys93)
+        assert run(ctx, 'point("Jan 5 1993")').to_pairs() == ((5, 5),)
+
+    def test_custom_function(self, sys93):
+        ctx = make_context(sys93)
+        ctx.functions["double"] = lambda c, args: args[0].union(args[0])
+        assert run(ctx, "double(HOLIDAYS)").to_pairs() == \
+            ((31, 31), (90, 90))
+
+    def test_unknown_function(self, sys93):
+        ctx = make_context(sys93)
+        with pytest.raises(EvaluationError):
+            run(ctx, "mystery(HOLIDAYS)")
+
+
+class TestToday:
+    def test_today_point(self, sys93):
+        ctx = make_context(sys93, today=42)
+        assert run(ctx, "today").to_pairs() == ((42, 42),)
+
+    def test_today_unbound(self, sys93):
+        ctx = make_context(sys93)
+        with pytest.raises(EvaluationError):
+            run(ctx, "today")
+
+    def test_today_in_condition(self, sys93):
+        ctx = make_context(sys93, today=5)
+        result = run(ctx, "today:<:interval(10, 10)")
+        assert not result.is_empty()
+        result = run(ctx, "today:<:interval(3, 3)")
+        assert result.is_empty()
+
+
+class TestScripts:
+    def test_assignment_and_return(self, sys93):
+        ctx = make_context(sys93)
+        script = parse_script("{x = HOLIDAYS; return(x);}")
+        assert Interpreter(ctx).execute(script).to_pairs() == \
+            ((31, 31), (90, 90))
+
+    def test_no_return_gives_none(self, sys93):
+        ctx = make_context(sys93)
+        assert Interpreter(ctx).execute(parse_script("{x = HOLIDAYS;}")) \
+            is None
+
+    def test_if_true_branch(self, sys93):
+        ctx = make_context(sys93)
+        script = parse_script(
+            '{if (HOLIDAYS) return("yes"); return("no");}')
+        assert Interpreter(ctx).execute(script) == "yes"
+
+    def test_if_false_branch_empty_calendar(self, sys93):
+        ctx = make_context(sys93)
+        script = parse_script(
+            '{if (HOLIDAYS & interval(1, 2)) return("yes"); '
+            'else return("no");}')
+        assert Interpreter(ctx).execute(script) == "no"
+
+    def test_while_with_hook(self, sys93):
+        ctx = make_context(sys93, today=1)
+
+        def advance(context):
+            context.today += 1
+            return True
+
+        ctx.while_hook = advance
+        script = parse_script(
+            '{while (today:<:interval(5, 5)) ; return("DONE");}')
+        assert Interpreter(ctx).execute(script) == "DONE"
+        assert ctx.today == 6  # paper's "<" includes equality
+
+    def test_while_loop_limit(self, sys93):
+        ctx = make_context(sys93, today=1)
+        ctx.max_loop_iterations = 10
+        script = parse_script(
+            '{while (today:<:interval(50, 50)) ; return("DONE");}')
+        with pytest.raises(LoopLimitError):
+            Interpreter(ctx).execute(script)
+
+    def test_return_inside_while(self, sys93):
+        ctx = make_context(sys93)
+        script = parse_script(
+            '{while (HOLIDAYS) return("early");}')
+        assert Interpreter(ctx).execute(script) == "early"
+
+    def test_paper_last_trading_day_script(self, sys93):
+        """The section 3.3 while-script, with a hook advancing the clock."""
+        ctx = make_context(
+            sys93, today=sys93.day_of("Nov 1 1993"),
+            expiration_month=ExplicitDef(Calendar.interval(
+                sys93.day_of("Nov 1 1993"), sys93.day_of("Nov 30 1993"))),
+            am_bus_days=ExplicitDef(Calendar.from_intervals(
+                [(d, d) for d in range(sys93.day_of("Oct 1 1993"),
+                                       sys93.day_of("Dec 1 1993"))
+                 if sys93.epoch.weekday_of(d) <= 5])),
+        )
+
+        def advance(context):
+            context.today += 1
+            return True
+
+        ctx.while_hook = advance
+        script = parse_script("""
+        { temp1 = [n]/AM_BUS_DAYS:during:Expiration_Month;
+          temp2 = [-7]/AM_BUS_DAYS:<:temp1;
+          while (today:<:temp2) ;
+          return ("LAST TRADING DAY"); }
+        """)
+        assert Interpreter(ctx).execute(script) == "LAST TRADING DAY"
+
+
+class TestInferUnit:
+    def test_defaults_to_days(self, sys93):
+        ctx = make_context(sys93)
+        assert infer_unit(parse_expression("WEEKS:during:MONTHS"),
+                          ctx.resolver) == Granularity.DAYS
+
+    def test_subday_detected(self, sys93):
+        ctx = make_context(sys93)
+        assert infer_unit(parse_expression("HOURS:during:DAYS"),
+                          ctx.resolver) == Granularity.HOURS

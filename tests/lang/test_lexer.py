@@ -1,0 +1,105 @@
+"""Unit tests for the calendar-expression-language lexer."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+from repro.lang.tokens import TokenType as T
+
+
+def types(source):
+    return [t.type for t in tokenize(source)[:-1]]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is T.EOF
+
+    def test_simple_expression(self):
+        assert types("[2]/DAYS:during:WEEKS") == [
+            T.LBRACKET, T.NUMBER, T.RBRACKET, T.SLASH, T.IDENT,
+            T.COLON, T.IDENT, T.COLON, T.IDENT]
+
+    def test_relaxed_foreach_dots(self):
+        assert types("WEEKS.overlaps.Jan") == [
+            T.IDENT, T.DOT, T.IDENT, T.DOT, T.IDENT]
+
+    def test_keywords(self):
+        assert types("if else while return") == [
+            T.IF, T.ELSE, T.WHILE, T.RETURN]
+
+    def test_comparison_ops(self):
+        assert types(":<: :<=:") == [T.COLON, T.LT, T.COLON,
+                                     T.COLON, T.LE, T.COLON]
+
+    def test_positions(self):
+        token = tokenize("\n  WEEKS")[0]
+        assert (token.line, token.column) == (2, 3)
+
+
+class TestHyphenGluing:
+    def test_glued_name(self):
+        assert texts("Jan-1993") == ["Jan-1993"]
+
+    def test_expiration_month(self):
+        assert texts("Expiration-Month") == ["Expiration-Month"]
+
+    def test_spaced_minus_is_operator(self):
+        assert types("LDOM - LDOM_HOL") == [T.IDENT, T.MINUS, T.IDENT]
+
+    def test_n_never_glues(self):
+        assert types("n-2") == [T.IDENT, T.MINUS, T.NUMBER]
+
+    def test_multi_hyphen_name(self):
+        assert texts("a-b-c") == ["a-b-c"]
+
+
+class TestLiterals:
+    def test_string(self):
+        tokens = tokenize('"LAST TRADING DAY"')
+        assert tokens[0].type is T.STRING
+        assert tokens[0].text == "LAST TRADING DAY"
+
+    def test_string_escape(self):
+        assert tokenize(r'"a\"b"')[0].text == 'a"b'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_number(self):
+        token = tokenize("1993")[0]
+        assert token.type is T.NUMBER and token.text == "1993"
+
+
+class TestComments:
+    def test_block_comment_skipped(self):
+        assert texts("a /* comment */ b") == ["a", "b"]
+
+    def test_multiline_comment(self):
+        assert texts("a /* line1\nline2 */ b") == ["a", "b"]
+
+    def test_line_comment(self):
+        assert texts("a // rest\nb") == ["a", "b"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("WEEKS @ DAYS")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ok\n  @")
+        except LexError as exc:
+            assert exc.line == 2 and exc.column == 3
+        else:
+            pytest.fail("expected LexError")

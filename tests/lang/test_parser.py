@@ -1,0 +1,255 @@
+"""Unit tests for the calendar-expression-language parser."""
+
+import pytest
+
+from repro.core.algebra import LAST
+from repro.lang import ParseError, parse_expression, parse_script
+from repro.lang.ast import (
+    Assign,
+    ForEach,
+    FunCall,
+    If,
+    IntervalLit,
+    LabelSelect,
+    Name,
+    Return,
+    Select,
+    SetOp,
+    StringLit,
+    Today,
+    While,
+)
+
+
+class TestExpressions:
+    def test_name(self):
+        assert parse_expression("WEEKS") == Name("WEEKS")
+
+    def test_strict_foreach(self):
+        expr = parse_expression("WEEKS:during:Jan-1993")
+        assert expr == ForEach(Name("WEEKS"), "during", Name("Jan-1993"),
+                               strict=True)
+
+    def test_relaxed_foreach(self):
+        expr = parse_expression("WEEKS.overlaps.Jan-1993")
+        assert expr.strict is False
+        assert expr.op == "overlaps"
+
+    def test_chain_is_right_associative(self):
+        expr = parse_expression("A:during:B:during:C")
+        assert isinstance(expr, ForEach)
+        assert expr.left == Name("A")
+        assert isinstance(expr.right, ForEach)
+
+    def test_selection_binds_over_whole_chain(self):
+        expr = parse_expression("[3]/WEEKS:overlaps:Jan-1993")
+        assert isinstance(expr, Select)
+        assert isinstance(expr.child, ForEach)
+
+    def test_selection_in_right_operand(self):
+        expr = parse_expression("WEEKS:during:[1]/MONTHS:during:YEARS")
+        assert isinstance(expr.right, Select)
+
+    def test_nested_selection_prefixes(self):
+        expr = parse_expression("[1]/[2]/WEEKS")
+        assert isinstance(expr, Select)
+        assert isinstance(expr.child, Select)
+
+    def test_label_select(self):
+        expr = parse_expression("1993/YEARS")
+        assert expr == LabelSelect(1993, Name("YEARS"))
+
+    def test_label_select_in_chain(self):
+        expr = parse_expression("MONTHS:during:1993/YEARS")
+        assert isinstance(expr.right, LabelSelect)
+
+    def test_listop_symbols(self):
+        assert parse_expression("A:<:B").op == "<"
+        assert parse_expression("A:<=:B").op == "<="
+
+    def test_listop_name_lowered(self):
+        assert parse_expression("A:DURING:B").op == "during"
+
+    def test_setops(self):
+        expr = parse_expression("A - B + C")
+        assert isinstance(expr, SetOp) and expr.op == "+"
+        assert isinstance(expr.left, SetOp) and expr.left.op == "-"
+
+    def test_intersection_setop(self):
+        assert parse_expression("A & B").op == "&"
+
+    def test_setop_binds_looser_than_foreach(self):
+        expr = parse_expression("A:during:B - C")
+        assert isinstance(expr, SetOp)
+        assert isinstance(expr.left, ForEach)
+
+    def test_parentheses(self):
+        expr = parse_expression("(A - B):during:C")
+        assert isinstance(expr, ForEach)
+        assert isinstance(expr.left, SetOp)
+
+    def test_today(self):
+        assert parse_expression("today") == Today()
+        assert parse_expression("TODAY") == Today()
+
+    def test_interval_literal(self):
+        assert parse_expression("interval(5, 9)") == IntervalLit(5, 9)
+
+    def test_interval_literal_arity_checked(self):
+        with pytest.raises(ParseError):
+            parse_expression("interval(5)")
+
+    def test_funcall_generate(self):
+        expr = parse_expression(
+            'generate(YEARS, DAYS, "Jan 1 1987", "Jan 3 1992")')
+        assert isinstance(expr, FunCall)
+        assert expr.name == "generate"
+        assert expr.args[0] == Name("YEARS")
+        assert expr.args[2] == StringLit("Jan 1 1987")
+
+    def test_funcall_caloperate_star_and_semicolons(self):
+        expr = parse_expression("caloperate(MONTHS, *; 3)")
+        assert expr.args[1] == "*"
+        assert expr.args[2].value == 3
+
+    def test_funcall_negative_number_arg(self):
+        expr = parse_expression("caloperate(MONTHS, *, -3)")
+        assert expr.args[2].value == -3
+
+
+class TestSelectionPredicates:
+    def test_last(self):
+        expr = parse_expression("[n]/DAYS")
+        assert expr.predicate.items == (LAST,)
+
+    def test_negative(self):
+        expr = parse_expression("[-7]/DAYS")
+        assert expr.predicate.items == (-7,)
+
+    def test_list(self):
+        expr = parse_expression("[1;3;5]/DAYS")
+        assert expr.predicate.items == (1, 3, 5)
+
+    def test_comma_separated(self):
+        expr = parse_expression("[1,3]/DAYS")
+        assert expr.predicate.items == (1, 3)
+
+    def test_range(self):
+        expr = parse_expression("[2-4]/DAYS")
+        assert expr.predicate.items == ((2, 4),)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("[0]/DAYS")
+
+
+class TestScripts:
+    def test_assignment_and_return(self):
+        script = parse_script("{x = WEEKS; return(x);}")
+        assert isinstance(script.body[0], Assign)
+        assert isinstance(script.body[1], Return)
+
+    def test_unbraced_script(self):
+        script = parse_script("x = WEEKS; return(x);")
+        assert len(script.body) == 2
+
+    def test_single_expression_detection(self):
+        script = parse_script("{return([2]/DAYS:during:WEEKS);}")
+        assert script.is_single_expression()
+        multi = parse_script("{x = WEEKS; return(x);}")
+        assert not multi.is_single_expression()
+
+    def test_if_else(self):
+        script = parse_script("""
+        {if (temp1:intersects:holidays)
+            return([n]/AM_BUS_DAYS:<:temp1);
+         else
+            return(temp1);}
+        """)
+        stmt = script.body[0]
+        assert isinstance(stmt, If)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_if_without_else(self):
+        script = parse_script("{if (x) return(x); return(y);}")
+        assert isinstance(script.body[0], If)
+        assert script.body[0].else_body == ()
+
+    def test_if_with_block(self):
+        script = parse_script("{if (x) {a = y; return(a);} }")
+        assert len(script.body[0].then_body) == 2
+
+    def test_while_with_empty_body(self):
+        script = parse_script('{while (today:<:temp2) ; return("DONE");}')
+        stmt = script.body[0]
+        assert isinstance(stmt, While)
+        assert stmt.body == ()
+
+    def test_return_string(self):
+        script = parse_script('{return ("LAST TRADING DAY");}')
+        assert script.body[0].expr == StringLit("LAST TRADING DAY")
+
+    def test_comments_allowed(self):
+        script = parse_script("""
+        {temp1 = [n]/AM_BUS_DAYS:during:Expiration-Month;
+         /* last business day of the expiration month */
+         return(temp1);}
+        """)
+        assert len(script.body) == 2
+
+    def test_paper_emp_days_script_parses(self):
+        script = parse_script("""
+        {LDOM = [n]/DAYS:during:MONTHS;
+         LDOM_HOL = LDOM:intersects:HOLIDAYS;
+         LAST_BUS_DAY = [n]/AM_BUS_DAYS:<:LDOM_HOL;
+         return (LDOM - LDOM_HOL + LAST_BUS_DAY);}
+        """)
+        assert len(script.body) == 4
+
+
+class TestParseErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_script("{x = WEEKS return(x);}")
+
+    def test_missing_rbrace(self):
+        with pytest.raises(ParseError):
+            parse_script("{x = WEEKS;")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("WEEKS WEEKS")
+
+    def test_bad_listop(self):
+        with pytest.raises(ParseError):
+            parse_expression("A:3:B")
+
+    def test_missing_closing_colon(self):
+        with pytest.raises(ParseError):
+            parse_expression("A:during B")
+
+    def test_empty_expression(self):
+        with pytest.raises(ParseError):
+            parse_expression("")
+
+    def test_error_position_reported(self):
+        try:
+            parse_expression("A:during:")
+        except ParseError as exc:
+            assert exc.line is not None
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "[2]/DAYS:during:WEEKS",
+        "[3]/WEEKS:overlaps:[1]/MONTHS:during:1993/YEARS",
+        "(A - B + C)",
+        "[n]/AM_BUS_DAYS:<:LDOM_HOL",
+        "[-7]/AM_BUS_DAYS:<:temp1",
+    ])
+    def test_str_reparses_to_same_ast(self, text):
+        first = parse_expression(text)
+        again = parse_expression(str(first))
+        assert first == again

@@ -1,0 +1,138 @@
+"""E6-E8: the three complete calendar scripts of section 3.3, end to end.
+
+These run through the real catalog (registry fixture: US holidays
+1987-2006 and AM_BUS_DAYS installed).
+"""
+
+import pytest
+
+from repro.core import Calendar
+
+
+def dates_of(registry, cal):
+    return [str(registry.system.date_of(iv.lo)) for iv in
+            cal.iter_intervals()]
+
+
+class TestEmpDays:
+    """E6: 'last day of every month; if a holiday, the preceding business
+    day' (the government employment-figures calendar)."""
+
+    SCRIPT = """
+    {LDOM_t = [n]/DAYS:during:MONTHS;
+     LDOM_HOL = LDOM_t:intersects:HOLIDAYS;
+     LAST_BUS_DAY = [n]/AM_BUS_DAYS:<:LDOM_HOL;
+     return (LDOM_t - LDOM_HOL + LAST_BUS_DAY);}
+    """
+
+    def test_1993(self, registry):
+        result = registry.eval_script(
+            self.SCRIPT, window=("Jan 1 1993", "Dec 31 1993"))
+        dates = dates_of(registry, result)
+        assert dates == [
+            "Jan 31 1993", "Feb 28 1993", "Mar 31 1993", "Apr 30 1993",
+            "May 28 1993",  # May 31 is Memorial Day -> preceding Friday
+            "Jun 30 1993", "Jul 31 1993", "Aug 31 1993", "Sep 30 1993",
+            "Oct 31 1993", "Nov 30 1993", "Dec 31 1993"]
+
+    def test_one_instant_per_month(self, registry):
+        result = registry.eval_script(
+            self.SCRIPT, window=("Jan 1 1994", "Dec 31 1994"))
+        assert len(result) == 12
+        assert all(iv.is_instant() for iv in result.elements)
+
+    def test_as_defined_calendar(self, registry):
+        registry.define("EMP_DAYS", script=self.SCRIPT,
+                        granularity="DAYS")
+        result = registry.evaluate("EMP_DAYS",
+                                   window=("Jan 1 1993", "Dec 31 1993"))
+        assert "May 28 1993" in dates_of(registry, result)
+
+    def test_granularity_inferred(self, registry):
+        record = registry.define("EMP_DAYS2", script=self.SCRIPT)
+        assert record.granularity is not None
+        assert record.granularity.name == "DAYS"
+
+
+class TestOptionExpiration:
+    """E7: 'third Friday of the expiration month if a business day, else
+    the preceding business day' (the if-script)."""
+
+    SCRIPT = """
+    {Fris = [5]/DAYS:during:WEEKS;
+     temp1 = [3]/Fris:overlaps:Expiration-Month;
+     if (temp1:intersects:HOLIDAYS)
+         return([n]/AM_BUS_DAYS:<:temp1);
+     else
+         return(temp1);}
+    """
+
+    def month_env(self, registry, year, month):
+        lo, hi = registry.system.epoch.days_of_month(year, month)
+        return {"Expiration-Month": Calendar.interval(lo, hi)}
+
+    def test_november_1993(self, registry):
+        result = registry.eval_script(
+            self.SCRIPT, window=("Jan 1 1993", "Dec 31 1993"),
+            env=self.month_env(registry, 1993, 11))
+        assert dates_of(registry, result) == ["Nov 19 1993"]
+
+    def test_all_months_1993_are_fridays_or_earlier(self, registry):
+        for month in range(1, 13):
+            result = registry.eval_script(
+                self.SCRIPT, window=("Jan 1 1993", "Dec 31 1993"),
+                env=self.month_env(registry, 1993, month))
+            (iv,) = result.elements
+            assert registry.system.epoch.weekday_of(iv.lo) <= 5
+
+    def test_holiday_friday_rolls_back(self, registry):
+        # Construct a registry state where the 3rd Friday IS a holiday:
+        # April 1993's third Friday is Apr 16; add it as a fake holiday.
+        apr16 = registry.system.day_of("Apr 16 1993")
+        old = registry.record("HOLIDAYS").values
+        registry.define("HOLIDAYS", values=old + Calendar.point(apr16),
+                        granularity="DAYS", replace=True)
+        result = registry.eval_script(
+            self.SCRIPT, window=("Jan 1 1993", "Dec 31 1993"),
+            env=self.month_env(registry, 1993, 4))
+        assert dates_of(registry, result) == ["Apr 15 1993"]
+
+
+class TestLastTradingDay:
+    """E8: the while-script — alert on the seventh business day preceding
+    the last business day of the expiration month."""
+
+    SCRIPT = """
+    { temp1 = [n]/AM_BUS_DAYS:during:Expiration-Month;
+      temp2 = [-7]/AM_BUS_DAYS:<:temp1;
+      while (today:<:temp2) ;
+      return ("LAST TRADING DAY");}
+    """
+
+    def test_alert_fires_when_today_reaches_target(self, registry):
+        lo, hi = registry.system.epoch.days_of_month(1993, 11)
+        env = {"Expiration-Month": Calendar.interval(lo, hi)}
+        days_waited = []
+
+        def tick(ctx):
+            days_waited.append(ctx.today)
+            ctx.today += 1
+            return True
+
+        result = registry.eval_script(
+            self.SCRIPT, window=("Oct 1 1993", "Dec 31 1993"),
+            today=registry.system.day_of("Nov 15 1993"),
+            env=env, while_hook=tick)
+        assert result == "LAST TRADING DAY"
+        # The "<" listop includes equality, so the loop exits the day
+        # after today passes the seventh-from-last business day.
+        assert len(days_waited) >= 1
+
+    def test_no_wait_when_already_past(self, registry):
+        lo, hi = registry.system.epoch.days_of_month(1993, 11)
+        env = {"Expiration-Month": Calendar.interval(lo, hi)}
+        result = registry.eval_script(
+            self.SCRIPT, window=("Oct 1 1993", "Dec 31 1993"),
+            today=registry.system.day_of("Nov 30 1993"),
+            env=env)
+        assert result == "LAST TRADING DAY"

@@ -1,0 +1,113 @@
+"""Sub-day (HOURS/MINUTES) evaluation through the full pipeline."""
+
+import pytest
+
+from repro.core import CalendarSystem, Granularity
+from repro.lang import (
+    EvalContext,
+    Interpreter,
+    PlanVM,
+    compile_expression,
+    factorize,
+    infer_unit,
+    parse_expression,
+)
+from repro.lang.defs import basic_resolver
+
+
+@pytest.fixture(scope="module")
+def sys93():
+    return CalendarSystem.starting("Jan 1 1993")
+
+
+def hour_window(sys93, start_text, end_text):
+    lo = (sys93.day_of(start_text) - 1) * 24 + 1
+    hi = sys93.day_of(end_text) * 24
+    return lo, hi
+
+
+def make_ctx(sys93, window):
+    return EvalContext(system=sys93, resolver=basic_resolver,
+                       window=window, unit=Granularity.HOURS)
+
+
+class TestHourAlgebra:
+    def test_hours_of_each_day(self, sys93):
+        window = hour_window(sys93, "Jan 4 1993", "Jan 5 1993")
+        ctx = make_ctx(sys93, window)
+        result = Interpreter(ctx).evaluate(
+            parse_expression("HOURS:during:DAYS"))
+        assert result.order == 2
+        assert all(len(sub) == 24 for sub in result.elements)
+
+    def test_shift_selection(self, sys93):
+        window = hour_window(sys93, "Jan 4 1993", "Jan 4 1993")
+        ctx = make_ctx(sys93, window)
+        result = Interpreter(ctx).evaluate(
+            parse_expression("flatten([7-14]/HOURS:during:DAYS)"))
+        day = sys93.day_of("Jan 4 1993")
+        base = (day - 1) * 24
+        assert result.to_pairs() == tuple(
+            (base + h, base + h) for h in range(7, 15))
+
+    def test_first_hour_of_monday(self, sys93):
+        window = hour_window(sys93, "Jan 4 1993", "Jan 10 1993")
+        ctx = make_ctx(sys93, window)
+        result = Interpreter(ctx).evaluate(parse_expression(
+            "[7]/HOURS:during:[1]/DAYS:during:WEEKS"))
+        day = sys93.day_of("Jan 4 1993")  # Monday
+        assert result.to_pairs() == (((day - 1) * 24 + 7,) * 2,)
+
+    def test_caloperate_shift_blocks(self, sys93):
+        window = hour_window(sys93, "Jan 4 1993", "Jan 6 1993")
+        ctx = make_ctx(sys93, window)
+        result = Interpreter(ctx).evaluate(parse_expression(
+            "caloperate(flatten([7-14]/HOURS:during:DAYS), *; 8)"))
+        assert len(result) == 3
+        assert all(len(iv) == 8 for iv in result.elements)
+
+    def test_weeks_expressed_in_hours(self, sys93):
+        window = hour_window(sys93, "Jan 4 1993", "Jan 24 1993")
+        ctx = make_ctx(sys93, window)
+        result = Interpreter(ctx).evaluate(parse_expression("WEEKS"))
+        for iv in result.elements:
+            assert len(iv) == 7 * 24
+
+    def test_plan_agrees_with_interpreter(self, sys93):
+        window = hour_window(sys93, "Jan 4 1993", "Jan 17 1993")
+        text = "flatten([7-14]/HOURS:during:flatten(" \
+               "[1-5]/DAYS:during:WEEKS))"
+        expr = factorize(parse_expression(text), basic_resolver).expression
+        plan = compile_expression(expr, sys93, basic_resolver,
+                                  unit=Granularity.HOURS,
+                                  context_window=window)
+        ctx_plan = make_ctx(sys93, window)
+        ctx_interp = make_ctx(sys93, window)
+        assert PlanVM(ctx_plan).run(plan).to_pairs() == \
+            Interpreter(ctx_interp).evaluate(expr).to_pairs()
+
+
+class TestMinutes:
+    def test_minutes_of_an_hour(self, sys93):
+        # Minute ticks of Jan 4 1993: (day-1)*1440 + 1 ...
+        day = sys93.day_of("Jan 4 1993")
+        lo = (day - 1) * 1440 + 1
+        ctx = EvalContext(system=sys93, resolver=basic_resolver,
+                          window=(lo, lo + 1439),
+                          unit=Granularity.MINUTES)
+        result = Interpreter(ctx).evaluate(
+            parse_expression("[1]/HOURS:during:DAYS"))
+        (first_hour,) = result.elements
+        assert len(first_hour) == 60
+        assert first_hour.lo == lo
+
+
+class TestUnitInference:
+    def test_hours_inferred(self, sys93):
+        assert infer_unit(parse_expression("HOURS:during:DAYS"),
+                          basic_resolver) == Granularity.HOURS
+
+    def test_minutes_inferred(self, sys93):
+        assert infer_unit(
+            parse_expression("MINUTES:during:HOURS:during:DAYS"),
+            basic_resolver) == Granularity.MINUTES

@@ -1,0 +1,169 @@
+"""Tests for the mini-MultiCal comparator and its bridge (section 5)."""
+
+import pytest
+
+from repro.core import CalendarError, Epoch
+from repro.multical import (
+    CalendricSystem,
+    FiscalMCCalendar,
+    MCEvent,
+    MCInterval,
+    MCSpan,
+    calendar_to_mc_intervals,
+    interval_to_mc,
+    mc_interval_to_interval,
+    render_calendar,
+    variable_span_equals_months_step,
+)
+
+
+@pytest.fixture(scope="module")
+def mc():
+    system = CalendricSystem(Epoch.of("Jan 1 1987"))
+    system.register(FiscalMCCalendar(system.epoch, start_month=10))
+    return system
+
+
+class TestTypes:
+    def test_event_no_chronon_zero(self):
+        with pytest.raises(CalendarError):
+            MCEvent(0)
+
+    def test_event_ordering(self):
+        assert MCEvent(1) < MCEvent(5)
+        assert MCEvent(-1) < MCEvent(1)
+
+    def test_fixed_span_between_events_skips_zero(self):
+        assert MCEvent(-1).fixed_span_to(MCEvent(1)) == MCSpan(days=1)
+        assert MCEvent(1).fixed_span_to(MCEvent(-1)) == MCSpan(days=-1)
+
+    def test_span_arithmetic(self):
+        assert MCSpan(months=1) + MCSpan(days=3) == MCSpan(1, 3)
+        assert -MCSpan(1, 3) == MCSpan(-1, -3)
+        assert MCSpan(2, 5) - MCSpan(1, 2) == MCSpan(1, 3)
+
+    def test_span_fixedness(self):
+        assert MCSpan(days=7).is_fixed
+        assert not MCSpan(months=1).is_fixed
+
+    def test_span_str(self):
+        assert str(MCSpan(months=2, days=3)) == "2 months 3 days"
+        assert str(MCSpan()) == "0 days"
+
+    def test_interval_validation(self):
+        with pytest.raises(CalendarError):
+            MCInterval(5, 1)
+        with pytest.raises(CalendarError):
+            MCInterval(0, 5)
+
+    def test_interval_predicates(self):
+        a, b = MCInterval(1, 10), MCInterval(5, 20)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert MCInterval(1, 30).contains(b)
+        assert a.contains_event(MCEvent(7))
+        assert not a.contains_event(MCEvent(11))
+
+    def test_duration_skips_zero(self):
+        assert MCInterval(-2, 2).duration() == MCSpan(days=4)
+
+
+class TestCalendars:
+    def test_gregorian_io(self, mc):
+        event = mc.input_event("Nov 19 1993")
+        assert mc.output_event(event) == "Nov 19 1993"
+
+    def test_fiscal_rendering_of_same_chronon(self, mc):
+        event = mc.input_event("Nov 19 1993")
+        assert mc.output_event(event, "fiscal") == "FY1994 M02 D19"
+
+    def test_fiscal_parse(self, mc):
+        event = mc.input_event("FY1994 M02 D19", calendar="fiscal")
+        assert mc.output_event(event, "gregorian") == "Nov 19 1993"
+
+    def test_fiscal_year_boundaries(self, mc):
+        oct1 = mc.input_event("Oct 1 1993")
+        sep30 = mc.input_event("Sep 30 1994")
+        assert mc.output_event(oct1, "fiscal") == "FY1994 M01 D01"
+        assert mc.output_event(sep30, "fiscal") == "FY1994 M12 D30"
+
+    def test_fiscal_parse_error(self, mc):
+        with pytest.raises(CalendarError):
+            mc.input_event("FY1994", calendar="fiscal")
+
+    def test_unknown_calendar(self, mc):
+        with pytest.raises(CalendarError):
+            mc.input_event("Nov 19 1993", calendar="lunar")
+
+    def test_fiscal_start_month_validation(self, mc):
+        with pytest.raises(CalendarError):
+            FiscalMCCalendar(mc.epoch, start_month=1)
+
+    def test_interval_io(self, mc):
+        interval = mc.input_interval("Jan 1 1993", "Mar 31 1993")
+        assert "Jan 1 1993" in mc.output_interval(interval)
+
+
+class TestVariableSpans:
+    def test_add_variable_month_span(self, mc):
+        event = mc.input_event("Jan 31 1993")
+        moved = mc.add(event, MCSpan(months=1))
+        # Jan 31 + 1 month clamps to Feb 28 (variable span semantics).
+        assert mc.output_event(moved) == "Feb 28 1993"
+
+    def test_add_mixed_span(self, mc):
+        event = mc.input_event("Nov 19 1993")
+        moved = mc.add(event, MCSpan(months=1, days=2))
+        assert mc.output_event(moved) == "Dec 21 1993"
+
+    def test_fiscal_month_arithmetic_matches_civil(self, mc):
+        event = mc.input_event("FY1994 M01 D15", calendar="fiscal")
+        moved = mc.add(event, MCSpan(months=2))
+        assert mc.output_event(moved, "fiscal") == "FY1994 M03 D15"
+        assert mc.output_event(moved, "gregorian") == "Dec 15 1993"
+
+    def test_variable_span_equals_months_calendar_step(self, mc,
+                                                       registry):
+        """Section 5: the single point of overlap between the proposals."""
+        months = registry.system.months("Jan 1 1993", "Dec 31 1994")
+        event = mc.input_event("Mar 15 1993")
+        for k in (1, 3, 11):
+            assert variable_span_equals_months_step(mc, months, event, k)
+
+
+class TestBridge:
+    def test_interval_roundtrip(self):
+        from repro.core import Interval
+        ours = Interval(-4, 3)
+        theirs = interval_to_mc(ours)
+        assert mc_interval_to_interval(theirs) == ours
+
+    def test_calendar_flattening_is_lossy(self, registry):
+        """MultiCal has no nested lists: order-2 structure is lost."""
+        cal = registry.eval_expression(
+            "WEEKS:during:[1-3]/MONTHS:during:1993/YEARS")
+        assert cal.order == 2
+        flat = calendar_to_mc_intervals(cal)
+        assert len(flat) == cal.leaf_count()
+        assert all(isinstance(x, MCInterval) for x in flat)
+
+    def test_render_calendar_in_two_calendars(self, mc, registry):
+        expirations = registry.eval_expression(
+            "[3]/([5]/DAYS:during:WEEKS):overlaps:"
+            "[11]/MONTHS:during:1993/YEARS")
+        gregorian = render_calendar(mc, expirations, "gregorian")
+        fiscal = render_calendar(mc, expirations, "fiscal")
+        assert gregorian == ["Nov 19 1993"]
+        assert fiscal == ["FY1994 M02 D19"]
+
+    def test_multical_constant_feeds_our_algebra(self, mc, registry):
+        """Parse a constant with MultiCal, use it in a calendar script."""
+        from repro.core import Calendar
+        interval = mc.input_interval("FY1994 M01 D01", "FY1994 M12 D30",
+                                     calendar="fiscal")
+        fy94 = Calendar.interval(interval.start, interval.end)
+        mondays = registry.eval_script(
+            "{return([1]/DAYS:during:WEEKS:during:FY94);}",
+            window=("Jan 1 1993", "Dec 31 1994"), env={"FY94": fy94})
+        dates = [registry.system.date_of(iv.lo) for iv in mondays.elements]
+        assert dates[0].month == 10 and dates[0].year == 1993
+        assert dates[-1].year == 1994 and dates[-1].month == 9

@@ -1,0 +1,144 @@
+"""Property-based tests for foreach, selection and caloperate."""
+
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    Calendar,
+    Interval,
+    LAST,
+    SelectionPredicate,
+    caloperate,
+    foreach,
+    select,
+)
+
+axis_point = st.integers(min_value=-150, max_value=150).filter(
+    lambda t: t != 0)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(axis_point)
+    b = draw(axis_point)
+    return Interval(min(a, b), max(a, b))
+
+
+@st.composite
+def sorted_calendars(draw, min_size=0, max_size=10):
+    ivs = draw(st.lists(intervals(), min_size=min_size,
+                        max_size=max_size))
+    ivs.sort(key=lambda iv: (iv.lo, iv.hi))
+    return Calendar.from_intervals(ivs)
+
+
+PAPER_OPS = ("overlaps", "during", "meets", "<", "<=")
+
+
+class TestForeachProperties:
+    @given(sorted_calendars(), intervals(),
+           st.sampled_from(PAPER_OPS))
+    def test_relaxed_result_subset_of_input(self, cal, ref, op):
+        result = foreach(op, cal, ref, strict=False)
+        assert set(result.elements) <= set(cal.elements)
+
+    @given(sorted_calendars(), intervals(),
+           st.sampled_from(PAPER_OPS))
+    def test_strict_no_larger_than_relaxed(self, cal, ref, op):
+        strict = foreach(op, cal, ref, strict=True)
+        relaxed = foreach(op, cal, ref, strict=False)
+        assert len(strict) <= len(relaxed)
+
+    @given(sorted_calendars(), intervals())
+    def test_during_subset_of_overlaps(self, cal, ref):
+        during = foreach("during", cal, ref, strict=False)
+        overlaps = foreach("overlaps", cal, ref, strict=False)
+        assert set(during.elements) <= set(overlaps.elements)
+
+    @given(sorted_calendars(), intervals())
+    def test_strict_overlaps_clipped_inside_ref(self, cal, ref):
+        result = foreach("overlaps", cal, ref, strict=True)
+        for iv in result.elements:
+            assert iv.lo >= ref.lo and iv.hi <= ref.hi
+
+    @given(sorted_calendars(), intervals(),
+           st.sampled_from(PAPER_OPS))
+    def test_matches_naive_scan(self, cal, ref, op):
+        """The SortedView fast path must equal a naive full scan."""
+        from repro.core.interval import get_listop
+        listop = get_listop(op)
+        naive = []
+        for iv in cal.elements:
+            if listop(iv, ref):
+                if listop.clips:
+                    clipped = iv.intersect(ref)
+                    if clipped is not None:
+                        naive.append(clipped)
+                else:
+                    naive.append(iv)
+        fast = foreach(op, cal, ref, strict=True)
+        assert list(fast.elements) == naive
+
+    @given(sorted_calendars(min_size=1), sorted_calendars(min_size=1))
+    def test_grouping_result_order2(self, cal, ref):
+        result = foreach("during", cal, ref)
+        if not result.is_empty():
+            assert result.order == 2
+
+    @given(sorted_calendars(), sorted_calendars())
+    def test_filtering_intersects_matches_naive(self, cal, ref):
+        result = foreach("intersects", cal, ref, strict=False)
+        expected = [iv for iv in cal.elements
+                    if any(iv.overlaps(r) for r in ref.elements)]
+        assert list(result.elements) == expected
+
+
+class TestSelectionProperties:
+    @given(sorted_calendars(), st.integers(min_value=1, max_value=12))
+    def test_positive_index(self, cal, k):
+        result = select(cal, SelectionPredicate.of(k))
+        if k <= len(cal):
+            assert result.elements == (cal.elements[k - 1],)
+        else:
+            assert result.is_empty()
+
+    @given(sorted_calendars(min_size=1))
+    def test_last_is_negative_one(self, cal):
+        assert select(cal, SelectionPredicate.of(LAST)).to_pairs() == \
+            select(cal, SelectionPredicate.of(-1)).to_pairs()
+
+    @given(sorted_calendars(), st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=12))
+    def test_selection_monotone(self, cal, a, b):
+        """Multi-selection preserves calendar order."""
+        result = select(cal, SelectionPredicate.of(a, b))
+        los = [iv.lo for iv in result.elements]
+        assert los == sorted(los)
+
+    @given(sorted_calendars())
+    def test_range_equals_list(self, cal):
+        by_range = select(cal, SelectionPredicate.of((1, 3)))
+        by_list = select(cal, SelectionPredicate.of(1, 2, 3))
+        assert by_range.to_pairs() == by_list.to_pairs()
+
+
+class TestCaloperateProperties:
+    @given(sorted_calendars(min_size=1),
+           st.lists(st.integers(min_value=1, max_value=4), min_size=1,
+                    max_size=3))
+    def test_group_count(self, cal, counts):
+        result = caloperate(cal, tuple(counts))
+        assert 1 <= len(result) <= len(cal)
+
+    @given(sorted_calendars(min_size=1),
+           st.lists(st.integers(min_value=1, max_value=4), min_size=1,
+                    max_size=3))
+    def test_hulls_cover_all_elements(self, cal, counts):
+        result = caloperate(cal, tuple(counts))
+        for iv in cal.elements:
+            assert any(h.lo <= iv.lo and h.hi >= iv.hi
+                       for h in result.elements)
+
+    @given(sorted_calendars(min_size=1))
+    def test_unit_counts_identity_hulls(self, cal):
+        result = caloperate(cal, (1,))
+        assert result.to_pairs() == cal.to_pairs()

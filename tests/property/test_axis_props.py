@@ -1,0 +1,62 @@
+"""Property-based tests for zero-skipping axis arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    axis_add,
+    axis_diff,
+    axis_distance,
+    axis_next,
+    axis_prev,
+)
+
+axis_point = st.integers(min_value=-10_000, max_value=10_000).filter(
+    lambda t: t != 0)
+delta = st.integers(min_value=-20_000, max_value=20_000)
+
+
+class TestGroupStructure:
+    @given(axis_point, delta)
+    def test_add_never_lands_on_zero(self, t, d):
+        assert axis_add(t, d) != 0
+
+    @given(axis_point, delta)
+    def test_diff_inverts_add(self, t, d):
+        assert axis_diff(axis_add(t, d), t) == d
+
+    @given(axis_point, axis_point)
+    def test_add_inverts_diff(self, a, b):
+        assert axis_add(b, axis_diff(a, b)) == a
+
+    @given(axis_point, delta, delta)
+    def test_add_associative(self, t, d1, d2):
+        assert axis_add(axis_add(t, d1), d2) == axis_add(t, d1 + d2)
+
+    @given(axis_point)
+    def test_zero_delta_identity(self, t):
+        assert axis_add(t, 0) == t
+
+    @given(axis_point)
+    def test_next_prev_inverse(self, t):
+        assert axis_prev(axis_next(t)) == t
+        assert axis_next(axis_prev(t)) == t
+
+
+class TestDistance:
+    @given(axis_point, axis_point)
+    def test_symmetric(self, a, b):
+        assert axis_distance(a, b) == axis_distance(b, a)
+
+    @given(axis_point)
+    def test_self_distance_one(self, t):
+        assert axis_distance(t, t) == 1
+
+    @given(axis_point, axis_point, axis_point)
+    def test_triangle_like(self, a, b, c):
+        # Inclusive-point distance satisfies d(a,c) <= d(a,b) + d(b,c).
+        assert axis_distance(a, c) <= \
+            axis_distance(a, b) + axis_distance(b, c)
+
+    @given(axis_point, delta)
+    def test_distance_matches_delta(self, t, d):
+        assert axis_distance(axis_add(t, d), t) == abs(d) + 1

@@ -1,0 +1,93 @@
+"""Property-based tests for calendar set operations and structure."""
+
+from hypothesis import given, strategies as st
+
+from repro.core import Calendar, Interval
+
+axis_point = st.integers(min_value=-200, max_value=200).filter(
+    lambda t: t != 0)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(axis_point)
+    b = draw(axis_point)
+    return Interval(min(a, b), max(a, b))
+
+
+@st.composite
+def calendars(draw, max_size=8):
+    ivs = draw(st.lists(intervals(), max_size=max_size))
+    ivs.sort(key=lambda iv: (iv.lo, iv.hi))
+    return Calendar.from_intervals(ivs)
+
+
+def points(cal: Calendar) -> set:
+    out = set()
+    for iv in cal.iter_intervals():
+        out |= set(iv)
+    return out
+
+
+class TestSetOpsArePointwise:
+    @given(calendars(), calendars())
+    def test_union(self, a, b):
+        assert points(a.union(b)) == points(a) | points(b)
+
+    @given(calendars(), calendars())
+    def test_difference(self, a, b):
+        assert points(a.difference(b)) == points(a) - points(b)
+
+    @given(calendars(), calendars())
+    def test_intersection(self, a, b):
+        assert points(a.intersection(b)) == points(a) & points(b)
+
+    @given(calendars(), calendars())
+    def test_union_commutative_pointwise(self, a, b):
+        assert points(a + b) == points(b + a)
+
+    @given(calendars())
+    def test_difference_with_self_empty(self, a):
+        assert points(a - a) == set()
+
+    @given(calendars(), calendars())
+    def test_de_morgan_like(self, a, b):
+        # (a - b) and (a & b) partition a.
+        assert points(a - b) | points(a & b) == points(a)
+        assert not points(a - b) & points(a & b)
+
+    @given(calendars(), calendars())
+    def test_result_elements_sorted_disjoint(self, a, b):
+        for result in (a + b, a - b, a & b):
+            elements = result.elements
+            for i in range(len(elements) - 1):
+                assert elements[i].hi < elements[i + 1].lo or \
+                    not elements[i].overlaps(elements[i + 1])
+
+
+class TestStructure:
+    @given(calendars())
+    def test_flatten_idempotent(self, a):
+        assert a.flatten().to_pairs() == a.flatten().flatten().to_pairs()
+
+    @given(st.lists(calendars(), min_size=1, max_size=4))
+    def test_flatten_preserves_points(self, subs):
+        nested = Calendar.from_calendars(subs)
+        assert points(nested.flatten()) == points(nested)
+
+    @given(calendars())
+    def test_span_covers_all_points(self, a):
+        span = a.span()
+        if span is None:
+            assert points(a) == set()
+        else:
+            assert points(a) <= set(span)
+
+    @given(calendars(), axis_point)
+    def test_contains_point_matches_points(self, a, t):
+        assert a.contains_point(t) == (t in points(a))
+
+    @given(st.lists(calendars(), min_size=1, max_size=4))
+    def test_drop_empty_preserves_points(self, subs):
+        nested = Calendar.from_calendars(subs)
+        assert points(nested.drop_empty()) == points(nested)

@@ -1,0 +1,70 @@
+"""Property-based tests: our chronology vs the datetime oracle."""
+
+import datetime
+
+from hypothesis import given, strategies as st
+
+from repro.core import CivilDate, Epoch, weekday
+from repro.core.chrono import (
+    civil_from_rata_die,
+    days_in_month,
+    rata_die,
+)
+
+dates = st.dates(min_value=datetime.date(1800, 1, 1),
+                 max_value=datetime.date(2200, 12, 31))
+serials = st.integers(min_value=-80_000, max_value=80_000)
+
+
+def to_civil(d: datetime.date) -> CivilDate:
+    return CivilDate(d.year, d.month, d.day)
+
+
+class TestVsDatetimeOracle:
+    @given(dates)
+    def test_rata_die_matches_toordinal(self, d):
+        # datetime ordinal 1 = Jan 1 year 1; our serial 0 = 1970-01-01.
+        offset = datetime.date(1970, 1, 1).toordinal()
+        assert rata_die(to_civil(d)) == d.toordinal() - offset
+
+    @given(serials)
+    def test_civil_from_rata_die_roundtrip(self, serial):
+        assert rata_die(civil_from_rata_die(serial)) == serial
+
+    @given(dates)
+    def test_weekday_matches_isoweekday(self, d):
+        assert weekday(to_civil(d)) == d.isoweekday()
+
+    @given(dates)
+    def test_days_in_month_consistent(self, d):
+        last = days_in_month(d.year, d.month)
+        assert CivilDate(d.year, d.month, last) is not None
+        next_month = datetime.date(d.year + (d.month == 12),
+                                   d.month % 12 + 1, 1)
+        assert (next_month - datetime.date(d.year, d.month, 1)).days == \
+            last
+
+
+class TestEpochProperties:
+    @given(dates, dates)
+    def test_day_numbers_order_preserving(self, a, b):
+        epoch = Epoch.of("Jan 1 1987")
+        na, nb = epoch.day_number(to_civil(a)), epoch.day_number(
+            to_civil(b))
+        assert (a < b) == (na < nb)
+
+    @given(dates)
+    def test_day_number_roundtrip(self, d):
+        epoch = Epoch.of("Jan 1 1987")
+        n = epoch.day_number(to_civil(d))
+        assert n != 0
+        assert epoch.date_of(n) == to_civil(d)
+
+    @given(dates, st.integers(min_value=-1000, max_value=1000))
+    def test_add_days_matches_timedelta(self, d, delta):
+        epoch = Epoch.of("Jan 1 1987")
+        n = epoch.day_number(to_civil(d))
+        moved = epoch.date_of(epoch.add_days(n, delta))
+        oracle = d + datetime.timedelta(days=delta)
+        assert (moved.year, moved.month, moved.day) == \
+            (oracle.year, oracle.month, oracle.day)

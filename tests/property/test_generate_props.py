@@ -1,0 +1,93 @@
+"""Property-based tests for basic-calendar generation."""
+
+import datetime
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CalendarSystem, Granularity
+
+SYSTEM = CalendarSystem.starting("Jan 1 1987")
+
+day_granularities = st.sampled_from(
+    [Granularity.DAYS, Granularity.WEEKS, Granularity.MONTHS,
+     Granularity.YEARS])
+
+windows = st.tuples(
+    st.integers(min_value=-2000, max_value=2000).filter(lambda t: t != 0),
+    st.integers(min_value=1, max_value=500),
+).map(lambda t: (t[0], t[0] + t[1] if t[0] + t[1] != 0 else t[0] + t[1] + 1))
+
+
+def points(cal):
+    out = set()
+    for iv in cal.iter_intervals():
+        out |= set(iv)
+    return out
+
+
+class TestGenerateProperties:
+    @given(day_granularities, windows)
+    @settings(max_examples=60, deadline=None)
+    def test_clip_covers_exactly_the_window(self, gran, window):
+        lo, hi = window
+        cal = SYSTEM.generate(gran, "DAYS", (lo, hi), mode="clip")
+        expected = {d for d in range(lo, hi + 1) if d != 0}
+        assert points(cal) == expected
+
+    @given(day_granularities, windows)
+    @settings(max_examples=60, deadline=None)
+    def test_cover_is_superset_of_clip(self, gran, window):
+        clip = SYSTEM.generate(gran, "DAYS", window, mode="clip")
+        cover = SYSTEM.generate(gran, "DAYS", window, mode="cover")
+        assert points(clip) <= points(cover)
+
+    @given(day_granularities, windows)
+    @settings(max_examples=60, deadline=None)
+    def test_elements_contiguous_and_disjoint(self, gran, window):
+        cal = SYSTEM.generate(gran, "DAYS", window, mode="cover")
+        for a, b in zip(cal.elements, cal.elements[1:]):
+            # Consecutive units tile the axis: b starts right after a.
+            expected = a.hi + 1 if a.hi + 1 != 0 else 1
+            assert b.lo == expected
+
+    @given(windows)
+    @settings(max_examples=60, deadline=None)
+    def test_week_lengths(self, window):
+        cal = SYSTEM.generate("WEEKS", "DAYS", window, mode="cover")
+        assert all(len(iv) == 7 for iv in cal.elements)
+
+    @given(windows)
+    @settings(max_examples=60, deadline=None)
+    def test_month_boundaries_match_datetime(self, window):
+        cal = SYSTEM.generate("MONTHS", "DAYS", window, mode="cover")
+        for i, iv in enumerate(cal.elements):
+            start = SYSTEM.date_of(iv.lo)
+            assert start.day == 1
+            oracle = datetime.date(start.year, start.month, 1)
+            assert (oracle.year, oracle.month) == (start.year, start.month)
+            end = SYSTEM.date_of(iv.hi)
+            next_day = SYSTEM.date_of(iv.hi + 1 if iv.hi + 1 != 0 else 1)
+            assert next_day.day == 1  # last day of the month
+            assert cal.labels[i] == start.month
+
+    @given(windows)
+    @settings(max_examples=60, deadline=None)
+    def test_year_labels_match_dates(self, window):
+        cal = SYSTEM.generate("YEARS", "DAYS", window, mode="cover")
+        for i, iv in enumerate(cal.elements):
+            assert cal.labels[i] == SYSTEM.date_of(iv.lo).year
+            assert SYSTEM.date_of(iv.lo).month == 1
+            assert SYSTEM.date_of(iv.hi).month == 12
+
+    @given(windows, st.sampled_from([24, 1440]))
+    @settings(max_examples=40, deadline=None)
+    def test_subday_scaling_consistent(self, window, factor):
+        unit = Granularity.HOURS if factor == 24 else Granularity.MINUTES
+        lo, hi = window
+        days = SYSTEM.generate("DAYS", unit,
+                               ((lo - 1) * factor + 1 if lo > 0
+                                else lo * factor,
+                                hi * factor if hi > 0
+                                else (hi + 1) * factor - 1),
+                               mode="cover")
+        assert all(len(iv) == factor for iv in days.elements)

@@ -1,0 +1,102 @@
+"""Property-based tests for the interval algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.core import Interval, axis_points
+
+axis_point = st.integers(min_value=-500, max_value=500).filter(
+    lambda t: t != 0)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(axis_point)
+    b = draw(axis_point)
+    lo, hi = min(a, b), max(a, b)
+    return Interval(lo, hi)
+
+
+def points(iv: Interval) -> set:
+    return set(axis_points(iv.lo, iv.hi))
+
+
+class TestRelationSemantics:
+    """Each relation must agree with its point-set definition."""
+
+    @given(intervals(), intervals())
+    def test_overlaps_iff_common_point(self, a, b):
+        assert a.overlaps(b) == bool(points(a) & points(b))
+
+    @given(intervals(), intervals())
+    def test_during_iff_subset(self, a, b):
+        assert a.during(b) == (points(a) <= points(b))
+
+    @given(intervals(), intervals())
+    def test_overlaps_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(intervals(), intervals())
+    def test_during_antisymmetric_up_to_equality(self, a, b):
+        if a.during(b) and b.during(a):
+            assert a == b
+
+    @given(intervals(), intervals())
+    def test_before_and_overlap_exclusive_unless_touching(self, a, b):
+        # a < b (u1 <= l2) and overlaps(a,b) can both hold only when
+        # they share exactly the touching endpoint.
+        if a.before(b) and a.overlaps(b):
+            assert a.hi == b.lo
+
+    @given(intervals(), intervals())
+    def test_meets_implies_before(self, a, b):
+        if a.meets(b):
+            assert a.before(b)
+
+    @given(intervals(), intervals())
+    def test_strictly_before_trichotomy(self, a, b):
+        assert (a.strictly_before(b) or b.strictly_before(a)
+                or a.overlaps(b))
+
+
+class TestSetOperations:
+    @given(intervals(), intervals())
+    def test_intersect_is_point_intersection(self, a, b):
+        common = a.intersect(b)
+        expected = points(a) & points(b)
+        if common is None:
+            assert not expected
+        else:
+            assert points(common) == expected
+
+    @given(intervals(), intervals())
+    def test_intersect_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(intervals(), intervals())
+    def test_subtract_is_point_difference(self, a, b):
+        got = set()
+        for piece in a.subtract(b):
+            got |= points(piece)
+        assert got == points(a) - points(b)
+
+    @given(intervals(), intervals())
+    def test_subtract_pieces_disjoint(self, a, b):
+        pieces = a.subtract(b)
+        seen = set()
+        for piece in pieces:
+            assert not (points(piece) & seen)
+            seen |= points(piece)
+
+    @given(intervals(), intervals())
+    def test_union_hull_contains_both(self, a, b):
+        hull = a.union_hull(b)
+        assert points(a) <= points(hull)
+        assert points(b) <= points(hull)
+
+    @given(intervals(), st.integers(min_value=-100, max_value=100))
+    def test_shift_preserves_length(self, a, delta):
+        assert len(a.shift(delta)) == len(a)
+
+    @given(intervals(), st.integers(min_value=-100, max_value=100))
+    def test_shift_roundtrip(self, a, delta):
+        assert a.shift(delta).shift(-delta) == a

@@ -1,0 +1,71 @@
+"""Property-based round-trip tests for the two languages."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import parse_expression
+from repro.db.ql.parser import parse_ql_expression
+
+# -- calendar expression language ------------------------------------------
+
+cel_ops = st.sampled_from(["during", "overlaps", "meets", "<", "<="])
+cel_names = st.sampled_from(["DAYS", "WEEKS", "MONTHS", "YEARS",
+                             "HOLIDAYS", "AM_BUS_DAYS", "Jan-1993"])
+cel_selectors = st.sampled_from(["", "[1]/", "[n]/", "[-3]/", "[2-4]/",
+                                 "[1;3]/"])
+
+
+@st.composite
+def cel_expressions(draw):
+    depth = draw(st.integers(min_value=1, max_value=4))
+    parts = [f"{draw(cel_selectors)}{draw(cel_names)}"
+             for _ in range(depth)]
+    text = parts[0]
+    for part in parts[1:]:
+        sep = draw(st.sampled_from([":", "."]))
+        op = draw(cel_ops)
+        if sep == "." and op in ("<", "<="):
+            op = "overlaps"
+        text += f"{sep}{op}{sep}{part}"
+    suffix = draw(st.sampled_from(["", " + HOLIDAYS", " - HOLIDAYS"]))
+    return text + suffix
+
+
+@settings(max_examples=200)
+@given(cel_expressions())
+def test_cel_str_roundtrip(text):
+    """str(parse(text)) reparses to the identical AST."""
+    first = parse_expression(text)
+    assert parse_expression(str(first)) == first
+
+
+# -- Postquel expressions ------------------------------------------------------
+
+ql_atoms = st.sampled_from(["s.hours", "s.name", "t.x", "1", "2.5",
+                            '"abc"', "true", "false"])
+ql_comparisons = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+ql_arith = st.sampled_from(["+", "-", "*", "/"])
+
+
+@st.composite
+def ql_expressions(draw):
+    def comparison():
+        left = draw(ql_atoms)
+        if draw(st.booleans()):
+            left = f"({left} {draw(ql_arith)} {draw(ql_atoms)})"
+        return f"{left} {draw(ql_comparisons)} {draw(ql_atoms)}"
+
+    clauses = [comparison()
+               for _ in range(draw(st.integers(min_value=1, max_value=3)))]
+    text = clauses[0]
+    for clause in clauses[1:]:
+        text += f" {draw(st.sampled_from(['and', 'or']))} {clause}"
+    if draw(st.booleans()):
+        text = f"not ({text})"
+    return text
+
+
+@settings(max_examples=200)
+@given(ql_expressions())
+def test_ql_str_roundtrip(text):
+    first = parse_ql_expression(text)
+    assert parse_ql_expression(str(first)) == first

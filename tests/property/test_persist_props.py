@@ -1,0 +1,74 @@
+"""Property-based round-trip tests for persistence and the printer."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.catalog import CalendarRegistry
+from repro.core import CalendarSystem
+from repro.db import Database
+from repro.db.persist import dump_database, restore_database
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+ints = st.integers(min_value=-10_000, max_value=10_000)
+texts = st.text(alphabet=string.ascii_letters + " ", max_size=20)
+
+
+@st.composite
+def table_specs(draw):
+    n_int = draw(st.integers(min_value=1, max_value=3))
+    n_text = draw(st.integers(min_value=0, max_value=2))
+    columns = [(f"i{k}", "int4") for k in range(n_int)] + \
+              [(f"t{k}", "text") for k in range(n_text)]
+    rows = draw(st.lists(
+        st.tuples(*([ints] * n_int + [texts] * n_text)),
+        max_size=12))
+    return columns, rows
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(table_specs(), min_size=1, max_size=3))
+def test_relations_roundtrip(specs):
+    registry = CalendarRegistry(CalendarSystem.starting("Jan 1 1987"),
+                                default_horizon_years=3)
+    db = Database(calendars=registry)
+    for i, (columns, rows) in enumerate(specs):
+        db.create_table(f"rel{i}", columns)
+        for row in rows:
+            db.relation(f"rel{i}").insert(
+                dict(zip((c for c, _ in columns), row)),
+                fire_hooks=False)
+    payload, _ = dump_database(db)
+    loaded = restore_database(payload)
+    for i, (columns, rows) in enumerate(specs):
+        original = sorted(
+            tuple(r[c] for c, _ in columns)
+            for r in db.relation(f"rel{i}").scan())
+        restored = sorted(
+            tuple(r[c] for c, _ in columns)
+            for r in loaded.relation(f"rel{i}").scan())
+        assert original == restored
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(
+    names,
+    st.lists(st.tuples(st.integers(min_value=1, max_value=400),
+                       st.integers(min_value=0, max_value=30)),
+             min_size=1, max_size=8)),
+    min_size=1, max_size=3, unique_by=lambda t: t[0]))
+def test_explicit_calendars_roundtrip(calendars):
+    registry = CalendarRegistry(CalendarSystem.starting("Jan 1 1987"),
+                                default_horizon_years=3)
+    db = Database(calendars=registry)
+    for name, raw in calendars:
+        intervals = sorted((lo, lo + span) for lo, span in raw)
+        registry.define(f"cal_{name}", values=intervals,
+                        granularity="DAYS")
+    payload, _ = dump_database(db)
+    loaded = restore_database(payload)
+    for name, _ in calendars:
+        original = registry.record(f"cal_{name}").values.to_pairs()
+        restored = loaded.calendars.record(f"cal_{name}").values.to_pairs()
+        assert original == restored

@@ -1,0 +1,101 @@
+"""Fuzzing the full script pipeline: random scripts never crash.
+
+Hypothesis builds random (mostly well-formed) calendar scripts from the
+grammar and runs them through parse -> factorize -> plan/interpret.  The
+invariant: the pipeline either produces a calendar/string/None or raises
+a *library* error (CalendarError and friends) — never a bare TypeError,
+AttributeError or IndexError escaping an internal layer.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.catalog import CalendarRegistry, install_standard_calendars
+from repro.core import Calendar, CalendarSystem
+from repro.core.errors import CalendarError
+
+REGISTRY = CalendarRegistry(CalendarSystem.starting("Jan 1 1987"),
+                            default_horizon_years=4)
+install_standard_calendars(REGISTRY)
+REGISTRY.define("HOLIDAYS", values=[(31, 31), (90, 90)],
+                granularity="DAYS")
+
+names = st.sampled_from(["DAYS", "WEEKS", "MONTHS", "YEARS", "HOLIDAYS",
+                         "Tuesdays", "Weekdays", "LDOM", "temp1",
+                         "UNKNOWN_CAL"])
+ops = st.sampled_from(["during", "overlaps", "meets", "<", "<=",
+                       "intersects", "bogus_op"])
+selectors = st.sampled_from(["", "[1]/", "[n]/", "[-2]/", "[1;3]/",
+                             "[2-4]/"])
+funcs = st.sampled_from(["", "flatten", "hull", "instants"])
+
+
+@st.composite
+def expressions(draw, depth=0):
+    kind = draw(st.integers(min_value=0, max_value=5 if depth < 2 else 1))
+    if kind <= 1:
+        return f"{draw(selectors)}{draw(names)}"
+    if kind == 2:
+        left = draw(expressions(depth + 1))
+        right = draw(expressions(depth + 1))
+        sep = draw(st.sampled_from([":", "."]))
+        op = draw(ops)
+        if sep == "." and op in ("<", "<="):
+            op = "during"
+        return f"{left}{sep}{op}{sep}{right}"
+    if kind == 3:
+        left = draw(expressions(depth + 1))
+        right = draw(expressions(depth + 1))
+        setop = draw(st.sampled_from(["+", "-", "&"]))
+        return f"({left} {setop} {right})"
+    if kind == 4:
+        inner = draw(expressions(depth + 1))
+        func = draw(funcs)
+        return f"{func}({inner})" if func else f"({inner})"
+    year = draw(st.sampled_from([1987, 1988, 1989, 2050]))
+    return f"{year}/YEARS"
+
+
+@st.composite
+def scripts(draw):
+    statements = []
+    n = draw(st.integers(min_value=1, max_value=4))
+    for i in range(n - 1):
+        statements.append(f"temp{i} = {draw(expressions())};")
+    closing = draw(st.integers(min_value=0, max_value=2))
+    if closing == 0:
+        statements.append(f"return({draw(expressions())});")
+    elif closing == 1:
+        statements.append(
+            f"if ({draw(expressions())}) return({draw(expressions())}); "
+            f"else return({draw(expressions())});")
+    else:
+        statements.append(f"{draw(expressions())};")
+    return "{" + " ".join(statements) + "}"
+
+
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(scripts())
+def test_script_pipeline_never_crashes(text):
+    try:
+        result = REGISTRY.eval_script(text, window=(1, 500))
+    except CalendarError:
+        return  # library errors are the contract
+    assert result is None or isinstance(result, (Calendar, str))
+
+
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(expressions())
+def test_expression_pipeline_never_crashes(text):
+    try:
+        optimized = REGISTRY.eval_expression(text, window=(1, 500),
+                                             optimize=True)
+        reference = REGISTRY.eval_expression(text, window=(1, 500),
+                                             optimize=False)
+    except CalendarError:
+        return
+    assert isinstance(optimized, Calendar)
+    # The optimised pipeline must agree with the reference interpreter.
+    assert optimized.to_pairs() == reference.to_pairs()

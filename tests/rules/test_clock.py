@@ -1,0 +1,54 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.core import AxisError
+from repro.rules import SimulatedClock
+
+
+class TestClock:
+    def test_starts_at_given_tick(self):
+        assert SimulatedClock(now=100).now == 100
+
+    def test_cannot_start_at_zero(self):
+        with pytest.raises(AxisError):
+            SimulatedClock(now=0)
+
+    def test_advance(self):
+        clock = SimulatedClock(now=1)
+        assert clock.advance(3) == 4
+
+    def test_advance_skips_zero(self):
+        clock = SimulatedClock(now=-2)
+        assert clock.advance(2) == 1
+
+    def test_advance_zero_is_noop(self):
+        clock = SimulatedClock(now=5)
+        listener_calls = []
+        clock.subscribe(listener_calls.append)
+        clock.advance(0)
+        assert clock.now == 5 and listener_calls == []
+
+    def test_no_backwards(self):
+        clock = SimulatedClock(now=5)
+        with pytest.raises(AxisError):
+            clock.advance(-1)
+        with pytest.raises(AxisError):
+            clock.advance_to(3)
+
+    def test_advance_to(self):
+        clock = SimulatedClock(now=5)
+        assert clock.advance_to(9) == 9
+
+    def test_advance_to_zero_rejected(self):
+        clock = SimulatedClock(now=-5)
+        with pytest.raises(AxisError):
+            clock.advance_to(0)
+
+    def test_listeners_notified(self):
+        clock = SimulatedClock(now=1)
+        seen = []
+        clock.subscribe(seen.append)
+        clock.advance(2)
+        clock.advance_to(10)
+        assert seen == [3, 10]

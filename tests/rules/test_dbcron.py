@@ -1,0 +1,154 @@
+"""E9: the DBCRON daemon (Figure 4) end to end."""
+
+import datetime
+
+import pytest
+
+from repro.core import AxisError
+from repro.rules import DBCron, RuleManager, SimulatedClock
+
+
+def tuesdays_between(start: datetime.date, end: datetime.date):
+    d = start
+    while d <= end:
+        if d.isoweekday() == 2:
+            yield d
+        d += datetime.timedelta(days=1)
+
+
+class TestEveryTuesday:
+    """The paper's 'On Every Tuesday do Proc_X'."""
+
+    def test_fires_on_every_tuesday(self, ruled_db):
+        db, manager, clock, cron = ruled_db
+        fired = []
+        manager.define_temporal_rule(
+            "every_tuesday", "[2]/DAYS:during:WEEKS",
+            callback=lambda d, t: fired.append(t), after=clock.now)
+        cron.run_until(db.system.day_of("Mar 1 1993"))
+        got = [db.system.date_of(t) for t in fired]
+        expected = list(tuesdays_between(datetime.date(1993, 1, 2),
+                                         datetime.date(1993, 3, 1)))
+        assert [(g.year, g.month, g.day) for g in got] == \
+            [(e.year, e.month, e.day) for e in expected]
+
+    def test_never_fires_early(self, ruled_db):
+        db, manager, clock, cron = ruled_db
+        fired = []
+        manager.define_temporal_rule(
+            "every_tuesday", "[2]/DAYS:during:WEEKS",
+            callback=lambda d, t: fired.append((t, clock.now)),
+            after=clock.now)
+        cron.run_until(db.system.day_of("Feb 1 1993"))
+        assert all(fire_tick <= now for fire_tick, now in fired)
+
+    def test_rule_time_points_ahead_after_run(self, ruled_db):
+        db, manager, clock, cron = ruled_db
+        manager.define_temporal_rule(
+            "every_tuesday", "[2]/DAYS:during:WEEKS",
+            callback=lambda d, t: None, after=clock.now)
+        cron.run_until(db.system.day_of("Feb 1 1993"))
+        next_fire = manager.tables.next_fire_of("every_tuesday")
+        assert next_fire > clock.now - cron.period
+
+
+class TestDaemonMechanics:
+    def test_probe_loads_due_rules(self, ruled_db):
+        db, manager, clock, cron = ruled_db
+        db.calendars.define("soon", values=[(clock.now + 3, clock.now + 3)],
+                            granularity="DAYS")
+        manager.define_temporal_rule("r", "SOON",
+                                     callback=lambda d, t: None,
+                                     after=clock.now)
+        loaded = cron.probe()
+        assert loaded == 1
+
+    def test_rules_beyond_horizon_not_loaded(self, ruled_db):
+        db, manager, clock, cron = ruled_db
+        db.calendars.define("later",
+                            values=[(clock.now + 100, clock.now + 100)],
+                            granularity="DAYS")
+        manager.define_temporal_rule("r", "LATER",
+                                     callback=lambda d, t: None,
+                                     after=clock.now)
+        assert cron.probe() == 0
+
+    def test_multiple_rules_fire_in_time_order(self, ruled_db):
+        db, manager, clock, cron = ruled_db
+        order = []
+        db.calendars.define("day3", values=[(clock.now + 3, clock.now + 3)],
+                            granularity="DAYS")
+        db.calendars.define("day2", values=[(clock.now + 2, clock.now + 2)],
+                            granularity="DAYS")
+        manager.define_temporal_rule(
+            "late", "DAY3", callback=lambda d, t: order.append("late"),
+            after=clock.now)
+        manager.define_temporal_rule(
+            "early", "DAY2", callback=lambda d, t: order.append("early"),
+            after=clock.now)
+        cron.run_until(clock.now + 10)
+        assert order == ["early", "late"]
+
+    def test_catchup_fires_all_missed_points(self, ruled_db):
+        db, manager, clock, cron = ruled_db
+        fired = []
+        manager.define_temporal_rule(
+            "daily", "DAYS", callback=lambda d, t: fired.append(t),
+            after=clock.now)
+        # Jump a month in a single probe-period-sized series of steps.
+        cron.run_until(clock.now + 28)
+        assert len(fired) == 28
+
+    def test_dropped_rule_never_fires(self, ruled_db):
+        db, manager, clock, cron = ruled_db
+        fired = []
+        manager.define_temporal_rule(
+            "every_tuesday", "[2]/DAYS:during:WEEKS",
+            callback=lambda d, t: fired.append(t), after=clock.now)
+        cron.probe()
+        manager.drop_rule("every_tuesday")
+        cron.run_until(clock.now + 30)
+        assert fired == []
+
+    def test_rule_defined_mid_run_is_picked_up(self, ruled_db):
+        db, manager, clock, cron = ruled_db
+        fired = []
+        cron.run_until(clock.now + 5)
+        manager.define_temporal_rule(
+            "every_tuesday", "[2]/DAYS:during:WEEKS",
+            callback=lambda d, t: fired.append(t), after=clock.now)
+        cron.run_until(clock.now + 21)
+        assert len(fired) == 3
+
+    def test_stats_accumulate(self, ruled_db):
+        db, manager, clock, cron = ruled_db
+        manager.define_temporal_rule(
+            "every_tuesday", "[2]/DAYS:during:WEEKS",
+            callback=lambda d, t: None, after=clock.now)
+        cron.run_until(clock.now + 28)
+        assert cron.stats.fires == 4
+        assert cron.stats.probes >= 4
+        assert cron.stats.max_heap_size >= 1
+
+    def test_bad_period_rejected(self, ruled_db):
+        db, manager, clock, _ = ruled_db
+        with pytest.raises(AxisError):
+            DBCron(manager, clock, period=0)
+
+    def test_probe_period_does_not_change_fire_days(self, db):
+        """Firing days are a property of the calendar, not of T."""
+        results = {}
+        for period in (1, 7, 30):
+            manager = RuleManager.__new__(RuleManager)  # fresh manager
+            from repro.db import Database
+            fresh = Database(calendars=db.calendars)
+            manager = RuleManager(fresh)
+            clock = SimulatedClock(now=fresh.system.day_of("Jan 1 1993"))
+            cron = DBCron(manager, clock, period=period)
+            fired = []
+            manager.define_temporal_rule(
+                "t", "[2]/DAYS:during:WEEKS",
+                callback=lambda d, t: fired.append(t), after=clock.now)
+            cron.run_until(fresh.system.day_of("Feb 15 1993"))
+            results[period] = fired
+        assert results[1] == results[7] == results[30]

@@ -1,0 +1,120 @@
+"""Unit tests for temporal rules and the RULE tables (E8/E9 support)."""
+
+import pytest
+
+from repro.db import RuleError
+from repro.rules import RULE_INFO, RULE_TIME, RuleManager, TemporalRule
+
+
+@pytest.fixture()
+def manager(db):
+    return RuleManager(db)
+
+
+class TestDefinition:
+    def test_expression_parsed_and_factorized(self, manager, db):
+        rule = manager.define_temporal_rule(
+            "tuesdays", "[2]/DAYS:during:WEEKS",
+            callback=lambda d, t: None)
+        assert rule.expression is not None
+        assert rule.plan is not None
+
+    def test_requires_action(self, db):
+        with pytest.raises(RuleError):
+            TemporalRule.define("r", "[2]/DAYS:during:WEEKS",
+                                db.calendars)
+
+    def test_rule_info_row_written(self, manager, db):
+        manager.define_temporal_rule("tuesdays", "[2]/DAYS:during:WEEKS",
+                                     callback=lambda d, t: None)
+        rows = db.execute(
+            f'retrieve (r.rulename, r.expression, r.eval_plan) '
+            f'from r in {RULE_INFO}')
+        assert rows.column("rulename") == ["tuesdays"]
+        assert "generate(DAYS" in rows.rows[0]["eval_plan"]
+
+    def test_rule_time_row_written(self, manager, db):
+        after = db.system.day_of("Jan 1 1993")
+        manager.define_temporal_rule("tuesdays", "[2]/DAYS:during:WEEKS",
+                                     callback=lambda d, t: None,
+                                     after=after)
+        next_fire = manager.tables.next_fire_of("tuesdays")
+        assert str(db.system.date_of(next_fire)) == "Jan 5 1993"
+
+    def test_duplicate_name_rejected(self, manager):
+        manager.define_temporal_rule("r", "[2]/DAYS:during:WEEKS",
+                                     callback=lambda d, t: None)
+        with pytest.raises(RuleError):
+            manager.define_temporal_rule("r", "[3]/DAYS:during:WEEKS",
+                                         callback=lambda d, t: None)
+
+    def test_drop_removes_catalog_rows(self, manager, db):
+        manager.define_temporal_rule("gone", "[2]/DAYS:during:WEEKS",
+                                     callback=lambda d, t: None)
+        manager.drop_rule("gone")
+        assert db.execute(
+            f"retrieve (r.rulename) from r in {RULE_INFO}").rows == []
+        assert db.execute(
+            f"retrieve (r.rulename) from r in {RULE_TIME}").rows == []
+
+
+class TestFiring:
+    def test_fire_runs_callback_and_reschedules(self, manager, db):
+        fired = []
+        after = db.system.day_of("Jan 1 1993")
+        manager.define_temporal_rule("tuesdays", "[2]/DAYS:during:WEEKS",
+                                     callback=lambda d, t: fired.append(t),
+                                     after=after)
+        first = manager.tables.next_fire_of("tuesdays")
+        next_fire = manager.fire_temporal("tuesdays", first)
+        assert fired == [first]
+        assert next_fire == first + 7
+        assert manager.tables.next_fire_of("tuesdays") == next_fire
+
+    def test_ql_action_with_now_binding(self, manager, db):
+        db.create_table("log", [("t", "abstime"), ("label", "text")])
+        after = db.system.day_of("Jan 1 1993")
+        manager.define_temporal_rule(
+            "logger", "[2]/DAYS:during:WEEKS",
+            actions=['append log (t = now.t, label = now.text)'],
+            after=after)
+        first = manager.tables.next_fire_of("logger")
+        manager.fire_temporal("logger", first)
+        rows = db.execute("retrieve (l.t, l.label) from l in log")
+        assert rows.rows[0]["t"] == first
+        assert rows.rows[0]["label"] == "Jan 5 1993"
+
+    def test_fire_unknown_rule_is_noop(self, manager):
+        assert manager.fire_temporal("ghost", 1) is None
+
+    def test_next_trigger_none_when_expired(self, manager, db):
+        registry = db.calendars
+        registry.define("once", values=[(50, 50)], granularity="DAYS")
+        rule = manager.define_temporal_rule("one_shot", "ONCE",
+                                            callback=lambda d, t: None,
+                                            after=1)
+        assert manager.tables.next_fire_of("one_shot") == 50
+        manager.fire_temporal("one_shot", 50)
+        assert manager.tables.next_fire_of("one_shot") is None
+
+
+class TestRuleTables:
+    def test_due_within_uses_order(self, manager, db):
+        for i, name in enumerate(["a", "b", "c"]):
+            db.calendars.define(f"cal_{name}",
+                                values=[(100 + i, 100 + i)],
+                                granularity="DAYS")
+            manager.define_temporal_rule(name, f"CAL_{name}",
+                                         callback=lambda d, t: None,
+                                         after=1)
+        due = manager.tables.due_within(now=99, horizon=2)
+        assert [name for _, name in due] == ["a", "b"]
+
+    def test_set_next_fire_insert_update_delete(self, manager, db):
+        tables = manager.tables
+        tables.set_next_fire("x", 10)
+        assert tables.next_fire_of("x") == 10
+        tables.set_next_fire("x", 20)
+        assert tables.next_fire_of("x") == 20
+        tables.set_next_fire("x", None)
+        assert tables.next_fire_of("x") is None

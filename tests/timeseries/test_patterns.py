@@ -1,0 +1,98 @@
+"""Unit tests for pattern selection (E13: future-work section 6a)."""
+
+import pytest
+
+from repro.core import Calendar
+from repro.db.errors import ExecutionError
+from repro.timeseries import (
+    Pattern,
+    RegularTimeSeries,
+    decreases,
+    increases,
+    local_maxima,
+    local_minima,
+    match_pattern,
+    runs_of,
+)
+
+
+@pytest.fixture()
+def prices():
+    days = Calendar.from_intervals([(d, d) for d in range(1, 11)])
+    #          t=1   2    3    4    5    6    7    8    9   10
+    values = [100, 102, 101, 105, 107, 107, 103, 104, 108, 106]
+    return RegularTimeSeries(days, values, name="close")
+
+
+class TestPaperExample:
+    def test_successive_increase(self, prices):
+        """'Time points at which two successive closes showed an
+        increase' — the S_t < Next(S_t) pattern, verbatim."""
+        points = increases(prices)
+        assert points == [1, 3, 4, 7, 8]
+
+    def test_increase_equals_text_pattern(self, prices):
+        assert increases(prices) == match_pattern(prices, "s(t) < s(t+1)")
+
+
+class TestTextPatterns:
+    def test_decrease(self, prices):
+        assert decreases(prices) == [2, 6, 9]
+
+    def test_flat(self, prices):
+        assert match_pattern(prices, "s(t) = s(t+1)") == [5]
+
+    def test_jump_threshold(self, prices):
+        assert match_pattern(prices, "s(t+1) - s(t) > 3") == [3, 8]
+
+    def test_negative_offset(self, prices):
+        assert match_pattern(prices, "s(t) > s(t-1)") == [2, 4, 5, 8, 9]
+
+    def test_timepoint_variable_available(self, prices):
+        assert match_pattern(prices, "s(t) > 100 and t > 8") == [9, 10]
+
+    def test_abs_function(self, prices):
+        assert match_pattern(prices, "abs(s(t+1) - s(t)) >= 4") == \
+            [3, 6, 8]
+
+    def test_window_clipped_at_boundaries(self, prices):
+        # A three-point pattern cannot match the first or last instant.
+        points = match_pattern(prices, "s(t-1) < s(t) and s(t) < s(t+1)")
+        assert 1 not in points and 10 not in points
+
+
+class TestCombinators:
+    def test_local_maxima(self, prices):
+        assert local_maxima(prices) == [2, 9]
+
+    def test_local_minima(self, prices):
+        assert local_minima(prices) == [3, 7]
+
+    def test_runs_of(self, prices):
+        # Two consecutive increases anchor at t where S_t<S_{t+1}<S_{t+2}.
+        assert runs_of(prices, "s(t) < s(t+1)", 2) == [3, 7]
+
+    def test_runs_of_length_one(self, prices):
+        assert runs_of(prices, "s(t) < s(t+1)", 1) == increases(prices)
+
+
+class TestPatternParsing:
+    def test_offsets_collected(self):
+        pattern = Pattern.parse("s(t-2) < s(t) and s(t) < s(t+3)")
+        assert pattern.offsets == (-2, 0, 3)
+
+    def test_bad_index_expression(self):
+        with pytest.raises(ExecutionError):
+            Pattern.parse("s(q) < 1")
+
+    def test_bad_arity(self):
+        with pytest.raises(ExecutionError):
+            Pattern.parse("s(t, t) < 1")
+
+    def test_unknown_function(self, prices):
+        with pytest.raises(ExecutionError):
+            match_pattern(prices, "median(s(t)) > 1")
+
+    def test_unknown_variable(self, prices):
+        with pytest.raises(ExecutionError):
+            match_pattern(prices, "s(t) < x")

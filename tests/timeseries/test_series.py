@@ -1,0 +1,131 @@
+"""Unit tests for regular time series (E12: GNP-style valid time)."""
+
+import pytest
+
+from repro.core import Calendar, CalendarError, CalendarSystem, caloperate
+
+
+@pytest.fixture(scope="module")
+def sys87():
+    return CalendarSystem.starting("Jan 1 1987")
+
+
+@pytest.fixture()
+def quarters(sys87):
+    months = sys87.months("Jan 1 1993", "Dec 31 1994")
+    return caloperate(months, (3,))
+
+
+@pytest.fixture()
+def gnp(quarters):
+    from repro.timeseries import RegularTimeSeries
+    return RegularTimeSeries(quarters,
+                             [6520.3, 6595.9, 6657.0, 6729.5, 6808.5],
+                             name="GNP")
+
+
+class TestTimepoints:
+    def test_anchored_at_quarter_end(self, sys87, gnp):
+        dates = [str(sys87.date_of(t)) for t in gnp.timepoints()]
+        assert dates == ["Mar 31 1993", "Jun 30 1993", "Sep 30 1993",
+                         "Dec 31 1993", "Mar 31 1994"]
+
+    def test_start_anchor(self, sys87, quarters):
+        from repro.timeseries import RegularTimeSeries
+        ts = RegularTimeSeries(quarters, [1, 2], anchor="start")
+        assert str(sys87.date_of(ts.timepoint(0))) == "Jan 1 1993"
+
+    def test_items(self, gnp):
+        items = list(gnp.items())
+        assert len(items) == 5
+        assert items[0][1] == 6520.3
+
+    def test_bad_anchor(self, quarters):
+        from repro.timeseries import RegularTimeSeries
+        with pytest.raises(CalendarError):
+            RegularTimeSeries(quarters, [1], anchor="middle")
+
+    def test_too_many_values(self, quarters):
+        from repro.timeseries import RegularTimeSeries
+        with pytest.raises(CalendarError):
+            RegularTimeSeries(quarters, list(range(100)))
+
+    def test_order2_calendar_rejected(self):
+        from repro.timeseries import RegularTimeSeries
+        nested = Calendar.from_calendars(
+            [Calendar.from_intervals([(1, 2)])])
+        with pytest.raises(CalendarError):
+            RegularTimeSeries(nested, [])
+
+
+class TestAccess:
+    def test_at_exact_instant(self, sys87, gnp):
+        t = sys87.day_of("Jun 30 1993")
+        assert gnp.at(t) == 6595.9
+        assert gnp.at(t + 1) is None
+
+    def test_at_or_before(self, sys87, gnp):
+        t = sys87.day_of("Aug 15 1993")
+        assert gnp.at_or_before(t) == 6595.9
+        assert gnp.at_or_before(sys87.day_of("Jan 1 1993")) is None
+
+    def test_index_of_instant(self, sys87, gnp):
+        assert gnp.index_of_instant(sys87.day_of("Mar 31 1993")) == 0
+        assert gnp.index_of_instant(12345) is None
+
+    def test_append_implies_instant(self, sys87, gnp):
+        t = gnp.append(6850.1)
+        assert str(sys87.date_of(t)) == "Jun 30 1994"
+
+    def test_append_exhausts_calendar(self, quarters):
+        from repro.timeseries import RegularTimeSeries
+        ts = RegularTimeSeries(quarters, [0] * len(quarters))
+        with pytest.raises(CalendarError):
+            ts.append(1.0)
+
+
+class TestTransforms:
+    def test_map(self, gnp):
+        doubled = gnp.map(lambda v: v * 2)
+        assert doubled.values[0] == pytest.approx(13040.6)
+        assert doubled.timepoints() == gnp.timepoints()
+
+    def test_binop_same_calendar(self, gnp):
+        diff = gnp.binop(gnp, lambda a, b: a - b)
+        assert all(v == 0 for v in diff.values)
+
+    def test_binop_rejects_mismatched_calendars(self, gnp, sys87):
+        from repro.timeseries import RegularTimeSeries
+        other = RegularTimeSeries(
+            Calendar.from_intervals([(1, 10)]), [1.0])
+        with pytest.raises(CalendarError):
+            gnp.binop(other, lambda a, b: a + b)
+
+    def test_resample_months_to_quarters(self, sys87, quarters):
+        from repro.timeseries import RegularTimeSeries
+        months = sys87.months("Jan 1 1993", "Dec 31 1993")
+        monthly = RegularTimeSeries(months, list(range(1, 13)))
+        quarterly = monthly.resample(
+            caloperate(months, (3,)), aggregate=sum)
+        assert quarterly.values == [6, 15, 24, 33]
+        assert str(sys87.date_of(quarterly.timepoint(0))) == "Mar 31 1993"
+
+
+class TestDatabaseBridge:
+    def test_values_only_storage(self, db, gnp):
+        gnp.to_relation(db, "gnp")
+        relation = db.relation("gnp")
+        assert relation.schema.column_names() == ["seq", "value"]
+        assert len(relation) == 5  # no time points stored
+
+    def test_roundtrip_regenerates_timepoints(self, db, gnp):
+        from repro.timeseries import RegularTimeSeries
+        gnp.to_relation(db, "gnp")
+        loaded = RegularTimeSeries.from_relation(db, "gnp", gnp.calendar)
+        assert loaded.values == gnp.values
+        assert loaded.timepoints() == gnp.timepoints()
+
+    def test_rewrite_overwrites(self, db, gnp):
+        gnp.to_relation(db, "gnp")
+        gnp.to_relation(db, "gnp")
+        assert len(db.relation("gnp")) == 5
