@@ -1,6 +1,15 @@
-"""Shared benchmark fixtures: populated registries over long horizons."""
+"""Shared benchmark fixtures: populated registries over long horizons.
+
+A session-finish hook writes ``BENCH_core.json`` to the repository root
+with every benchmark's mean wall time plus the process-wide
+materialisation-cache counters (hit ratio included), so successive runs
+can be diffed without re-parsing pytest-benchmark's own storage.
+"""
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -10,12 +19,17 @@ from repro.catalog import (
     install_us_holidays,
 )
 from repro.core import CalendarSystem
+from repro.core.matcache import get_default_cache
 from repro.db import Database
 
+BENCH_REPORT = Path(__file__).resolve().parent.parent / "BENCH_core.json"
 
-def build_registry(horizon_years: int = 30) -> CalendarRegistry:
+
+def build_registry(horizon_years: int = 30,
+                   matcache=None) -> CalendarRegistry:
     registry = CalendarRegistry(CalendarSystem.starting("Jan 1 1987"),
-                                default_horizon_years=horizon_years)
+                                default_horizon_years=horizon_years,
+                                matcache=matcache)
     install_standard_calendars(registry)
     install_us_holidays(registry, 1987, 1987 + horizon_years - 1)
     return registry
@@ -29,3 +43,35 @@ def registry() -> CalendarRegistry:
 @pytest.fixture(scope="module")
 def bench_db(registry) -> Database:
     return Database(calendars=registry)
+
+
+def _benchmark_rows(session) -> list[dict]:
+    """Per-benchmark mean/min wall times, tolerant of plugin internals."""
+    rows = []
+    try:
+        benchmarks = session.config._benchmarksession.benchmarks
+    except AttributeError:
+        return rows
+    for bench in benchmarks:
+        try:
+            rows.append({"name": bench.fullname,
+                         "mean_s": bench.stats.mean,
+                         "min_s": bench.stats.min,
+                         "rounds": bench.stats.rounds})
+        except (AttributeError, TypeError):
+            continue
+    return rows
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write BENCH_core.json: wall times + materialisation-cache stats."""
+    cache_stats = get_default_cache().stats()
+    report = {
+        "benchmarks": _benchmark_rows(session),
+        "matcache": cache_stats,
+        "cache_hit_ratio": cache_stats["hit_ratio"],
+    }
+    try:
+        BENCH_REPORT.write_text(json.dumps(report, indent=2) + "\n")
+    except OSError:
+        pass

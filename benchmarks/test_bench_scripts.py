@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import pytest
 
+from conftest import build_registry
 from repro.core import Calendar
+from repro.core.matcache import MaterialisationCache
 from repro.finance import expiration_date, last_trading_day
 
 EMP_DAYS = """
@@ -61,6 +63,35 @@ class TestScriptBenchmarks:
         via_interp = registry.evaluate("BENCH_TUESDAYS", window=window,
                                        use_plan=False)
         assert via_plan.to_pairs() == via_interp.to_pairs()
+
+
+class TestRepeatedScriptEvaluation:
+    """E6 re-evaluated over sliding yearly windows, cached vs disabled.
+
+    Applications re-run the same scripts as their window of interest
+    advances; the shared materialisation cache turns the repeated basic
+    tilings into bisect slices.  Both variants land in BENCH_core.json
+    so the cached/uncached ratio can be read straight off the report.
+    """
+
+    WINDOWS = [(f"{y}-{m:02d}-01", f"{y + 1}-{m:02d}-01")
+               for y, m in ((1993, m) for m in range(1, 13))]
+
+    def _run(self, registry):
+        return [len(registry.eval_script(EMP_DAYS, window=w))
+                for w in self.WINDOWS]
+
+    def test_bench_e6_repeated_cached(self, benchmark):
+        registry = build_registry(matcache=MaterialisationCache())
+        self._run(registry)  # warm once
+        counts = benchmark(lambda: self._run(registry))
+        assert counts == [12] * 12
+
+    def test_bench_e6_repeated_uncached(self, benchmark):
+        registry = build_registry(
+            matcache=MaterialisationCache(maxsize=0))
+        counts = benchmark(lambda: self._run(registry))
+        assert counts == [12] * 12
 
 
 class TestNextOccurrence:

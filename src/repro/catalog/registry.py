@@ -14,11 +14,13 @@ calendar is evaluated over growing look-ahead windows until a point after
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 
 from repro.core.arithmetic import next_point
 from repro.core.basis import CalendarSystem
+from repro.core.matcache import MaterialisationCache, get_default_cache
 from repro.core.calendar import Calendar
 from repro.core.chrono import CivilDate
 from repro.core.errors import CalendarError, LifespanError
@@ -45,6 +47,10 @@ from repro.catalog.table import (
 
 __all__ = ["CalendarRegistry"]
 
+#: Process-wide source of unique registry identities for shared-cache
+#: memo keys (id() can be recycled after garbage collection; this can't).
+_MEMO_TOKENS = itertools.count(1)
+
 
 class CalendarRegistry:
     """Named calendars over one :class:`CalendarSystem`.
@@ -55,8 +61,12 @@ class CalendarRegistry:
     """
 
     def __init__(self, system: CalendarSystem | None = None,
-                 default_horizon_years: int = 40) -> None:
+                 default_horizon_years: int = 40,
+                 matcache: MaterialisationCache | None = None) -> None:
         self.system = system or CalendarSystem()
+        #: Shared materialisation cache; defaults to the process-wide one.
+        self.matcache = matcache if matcache is not None \
+            else get_default_cache()
         self.table = CalendarsTable()
         epoch_year = self.system.epoch.date.year
         lo, _ = self.system.epoch.days_of_year(epoch_year)
@@ -67,12 +77,12 @@ class CalendarRegistry:
         self.functions: dict = {}
         #: Parameterised calendar procedures (name -> (params, Script)).
         self._procedures: dict[str, tuple] = {}
-        #: Bumped on every define/drop; lets callers cache evaluations.
+        #: Bumped on every define/drop; every memoised evaluation keys on
+        #: it, so stale results for redefined calendars are never served.
         self.version = 0
-        #: (text, version) -> factorized AST, so repeated ad-hoc
-        #: evaluations (DBCRON rescheduling probes the same expression
-        #: after every fire) skip the parse/factorize pipeline.
-        self._expression_cache: dict = {}
+        #: Unique per-instance token; memo keys in the shared cache embed
+        #: it so two registries with equal versions never collide.
+        self.memo_token = next(_MEMO_TOKENS)
 
     # -- definition --------------------------------------------------------------
 
@@ -262,7 +272,8 @@ class CalendarRegistry:
         win = self._coerce_window(window)
         return EvalContext(system=self.system, resolver=self.resolver,
                            window=win, unit=unit, today=today,
-                           functions=dict(self.functions))
+                           functions=dict(self.functions),
+                           matcache=self.matcache)
 
     def _coerce_window(self, window) -> tuple[int, int]:
         if window is None:
@@ -298,16 +309,19 @@ class CalendarRegistry:
         """Parse, (optionally) factorize+plan, and evaluate an expression."""
         ctx = self.context(window, today)
         if optimize:
-            key = (text, self.version)
-            factored = self._expression_cache.get(key)
+            key = ("ast", text, self.memo_token, self.version)
+            factored = self.matcache.memo_get(key)
             if factored is None:
                 factored = factorize(parse_expression(text),
                                      self.resolver).expression
-                self._expression_cache[key] = factored
+                self.matcache.memo_put(key, factored)
             try:
                 plan = compile_expression(factored, self.system,
                                           self.resolver,
-                                          context_window=ctx.window)
+                                          context_window=ctx.window,
+                                          matcache=self.matcache,
+                                          memo_key=(text, self.memo_token,
+                                                    self.version))
                 return PlanVM(ctx).run(plan)
             except PlanError:
                 return Interpreter(ctx).evaluate(factored)
@@ -364,8 +378,9 @@ class CalendarRegistry:
     def _scheduling_result(self, name_or_expr: str,
                            window: tuple[int, int]):
         """Evaluate for the scheduler, memoised on the quantized window."""
-        key = ("sched", name_or_expr, window, self.version)
-        cached = self._expression_cache.get(key)
+        key = ("sched", name_or_expr, window, self.memo_token,
+               self.version)
+        cached = self.matcache.memo_get(key)
         if cached is not None:
             return cached
         if name_or_expr in self.table:
@@ -374,7 +389,7 @@ class CalendarRegistry:
             result = self.eval_expression(name_or_expr, window=window)
         if isinstance(result, Calendar):
             result = result.flatten()
-        self._expression_cache[key] = result
+        self.matcache.memo_put(key, result)
         return result
 
     def next_occurrence(self, name_or_expr: str, after: int,
@@ -405,6 +420,12 @@ class CalendarRegistry:
             if horizon >= horizon_days:
                 return None
             horizon *= 4
+
+    # -- cache introspection -------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Snapshot of the shared materialisation-cache counters."""
+        return self.matcache.stats()
 
     # -- presentation --------------------------------------------------------------
 

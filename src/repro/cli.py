@@ -14,6 +14,7 @@ Run with ``python -m repro``.  Three kinds of input:
       \show NAME                Figure-1 style catalog record
       \define NAME { script }   define a calendar
       \window START .. END      set the evaluation window
+      \cache [clear]            materialisation-cache stats (or clear it)
       \clock                    show the simulated clock
       \advance N                advance the clock N days (DBCRON fires)
       \rules                    list event and temporal rules
@@ -139,6 +140,24 @@ class Session:
                 return "usage: \\window Jan 1 1993 .. Dec 31 1993"
             self.window = (start.strip(), end.strip())
             return f"window set to {self.window[0]} .. {self.window[1]}"
+        if command == "cache":
+            if argument.lower() == "clear":
+                self.registry.matcache.clear()
+                self.registry.matcache.reset_stats()
+                return "materialisation cache cleared"
+            if argument:
+                return "usage: \\cache [clear]"
+            stats = self.registry.cache_stats()
+            return (f"materialisation cache: {stats['entries']} entries, "
+                    f"{stats['memo_entries']} memo entries\n"
+                    f"  hits {stats['hits']}  misses {stats['misses']}  "
+                    f"extensions {stats['extensions']}  "
+                    f"evictions {stats['evictions']}  "
+                    f"hit ratio {stats['hit_ratio']:.1%}\n"
+                    f"  intervals served {stats['served_intervals']}  "
+                    f"generated {stats['generated_intervals']}\n"
+                    f"  memo hits {stats['memo_hits']}  "
+                    f"memo misses {stats['memo_misses']}")
         if command == "clock":
             return (f"clock at {self.system.date_of(self.clock.now)} "
                     f"(tick {self.clock.now})")

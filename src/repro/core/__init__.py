@@ -37,6 +37,11 @@ from repro.core.errors import (
     SelectionError,
 )
 from repro.core.granularity import Granularity
+from repro.core.matcache import (
+    MaterialisationCache,
+    get_default_cache,
+    set_default_cache,
+)
 from repro.core.interval import (
     LISTOPS,
     Interval,
@@ -54,6 +59,7 @@ from repro.core.interval import (
 __all__ = [
     "Interval", "Calendar", "EMPTY", "CalendarSystem", "BASIC_CALENDARS",
     "Granularity", "CivilDate", "Epoch", "parse_date", "weekday",
+    "MaterialisationCache", "get_default_cache", "set_default_cache",
     "foreach", "select", "label_select", "caloperate",
     "SelectionPredicate", "LAST",
     "next_point", "prev_point", "shift_point", "point_index",

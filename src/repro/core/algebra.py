@@ -62,6 +62,20 @@ class _SortedView:
             self.his[i] <= self.his[i + 1]
             for i in range(len(self.his) - 1))
 
+    @classmethod
+    def of(cls, cal: Calendar) -> "_SortedView":
+        """The memoised view of an order-1 calendar.
+
+        Calendars are immutable, so the lo/hi arrays and sortedness flags
+        are computed once per instance and stashed on it; nested foreach
+        loops and repeated selections then skip the O(n) rebuild.
+        """
+        view = cal.__dict__.get("_sorted_view")
+        if view is None:
+            view = cls(cal)
+            object.__setattr__(cal, "_sorted_view", view)
+        return view
+
     def candidate_range(self, op_name: str, ref: Interval
                         ) -> tuple[int, int]:
         n = len(self.elements)
@@ -116,7 +130,7 @@ def _foreach_interval(op: Listop, cal: Calendar, ref: Interval,
                       strict: bool,
                       view: "_SortedView | None" = None) -> Calendar:
     """Apply ``op`` between every element of order-1 ``cal`` and ``ref``."""
-    view = view or _SortedView(cal)
+    view = view or _SortedView.of(cal)
     result: list[Interval] = []
     _apply_over(view, op, ref, strict, result)
     return Calendar.from_intervals(result, cal.granularity)
@@ -126,7 +140,7 @@ def _foreach_filtering(op: Listop, cal: Calendar, ref: Calendar,
                        strict: bool) -> Calendar:
     """Filtering listops treat ``ref`` as a set; the result stays order-1."""
     result: list[Interval] = []
-    ref_view = _SortedView(ref)
+    ref_view = _SortedView.of(ref)
     inverse = {"during": "contains", "contains": "during",
                "overlaps": "overlaps", "intersects": "intersects",
                "equals": "equals"}.get(op.name)
@@ -173,7 +187,7 @@ def foreach(op: "Listop | str", cal: Calendar,
             return _foreach_filtering(op, cal, ref, strict)
         subs: list[Calendar] = []
         labels: list[Label] = []
-        view = _SortedView(cal)
+        view = _SortedView.of(cal)
         for i, r in enumerate(ref.elements):
             sub = _foreach_interval(op, cal, r, strict, view)
             if sub.is_empty():

@@ -24,6 +24,8 @@ overlapping intervals.
 
 from __future__ import annotations
 
+import bisect
+
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
@@ -225,13 +227,36 @@ class Calendar:
         merged = self._merge_overlapping([*self.elements, *other.elements])
         return Calendar.from_intervals(merged, self.granularity)
 
+    @staticmethod
+    def _overlap_window(other: "Calendar"):
+        """Columnar overlap lookup over ``other``'s elements.
+
+        When ``other`` is sorted by both endpoints (true for every
+        generated tiling and every sorted point set), the elements that
+        can overlap a probe interval form a contiguous slice found by two
+        binary searches; unsorted operands fall back to the full range.
+        Returns ``(elements, window(iv) -> (start, end))``.
+        """
+        from repro.core.algebra import _SortedView
+        view = _SortedView.of(other)
+        if view.hi_sorted:
+            los, his = view.los, view.his
+            return view.elements, lambda iv: (
+                bisect.bisect_left(his, iv.lo),
+                bisect.bisect_right(los, iv.hi))
+        n = len(view.elements)
+        return view.elements, lambda iv: (0, n)
+
     def difference(self, other: "Calendar") -> "Calendar":
         """Pointwise difference, splitting partially covered intervals."""
         self._require_order1("difference", other)
+        cuts, window = self._overlap_window(other)
         result: list[Interval] = []
         for iv in self.elements:
+            start, end = window(iv)
             pieces = [iv]
-            for cut in other.elements:
+            for k in range(start, end):
+                cut = cuts[k]
                 pieces = [p for piece in pieces for p in piece.subtract(cut)]
                 if not pieces:
                     break
@@ -242,10 +267,12 @@ class Calendar:
     def intersection(self, other: "Calendar") -> "Calendar":
         """Pointwise intersection."""
         self._require_order1("intersection", other)
+        others, window = self._overlap_window(other)
         result: list[Interval] = []
         for iv in self.elements:
-            for ov in other.elements:
-                common = iv.intersect(ov)
+            start, end = window(iv)
+            for k in range(start, end):
+                common = iv.intersect(others[k])
                 if common is not None:
                     result.append(common)
         return Calendar.from_intervals(self._merge_overlapping(result),

@@ -1,0 +1,375 @@
+"""A process-wide materialisation cache with window subsumption.
+
+The paper's evaluation-plan section calls for *shared-calendar caching*:
+a calendar "encountered more than once" should be generated once.  The
+scattered per-context caches only share exact-key repeats — any narrower
+or shifted window misses and re-runs :meth:`CalendarSystem.generate`
+from civil-date arithmetic.  This module centralises materialisation:
+
+* One :class:`MaterialisationCache` entry per ``(system epoch, calendar
+  granularity, unit granularity)`` stores the **widest window generated
+  so far** in canonical *cover* mode, together with columnar ``lo``/``hi``
+  endpoint arrays.
+* A request for any **contained sub-window** is served by binary-search
+  slicing the columnar arrays — no civil-date arithmetic at all.  Both
+  ``cover`` and ``clip`` requests are served from the same entry: a
+  clip materialisation equals the cover materialisation with the two
+  boundary elements intersected against the window (the unit iteration,
+  the overlap condition and the labels are identical in
+  :mod:`repro.core.basis`).
+* A **partially covering** request generates only the uncovered
+  extension(s) and merges them into the entry, instead of regenerating
+  the whole window.  This is sound because every basic-calendar tiling
+  is *window-independent*: week/month/year boundaries are fixed by the
+  civil calendar, so overlapping windows always agree on shared units
+  (the unit straddling the old boundary is deduplicated by its ``lo``).
+
+Entries are LRU-bounded; ``maxsize=0`` disables the cache entirely (every
+request falls through to ``generate``), which keeps the cache a *pure*
+optimisation.  A second, generic LRU memo (:meth:`memo_get` /
+:meth:`memo_put`) backs higher layers — registry expression/plan caches,
+rule next-fire probes — whose keys embed the registry version so stale
+entries are never served and old versions eventually age out.
+
+The process-wide default instance is reachable via
+:func:`get_default_cache`; the environment variables ``REPRO_MATCACHE``
+(``0`` disables) and ``REPRO_MATCACHE_SIZE`` size it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import threading
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.calendar import Calendar
+from repro.core.granularity import Granularity
+from repro.core.interval import Interval
+
+__all__ = [
+    "MaterialisationCache",
+    "get_default_cache",
+    "set_default_cache",
+]
+
+
+def _axis_dec(t: int) -> int:
+    """``t - 1`` on the zero-skipping axis."""
+    return t - 1 if t - 1 != 0 else -1
+
+
+def _axis_inc(t: int) -> int:
+    """``t + 1`` on the zero-skipping axis."""
+    return t + 1 if t + 1 != 0 else 1
+
+
+@dataclass
+class _Entry:
+    """The widest cover-mode materialisation generated so far for one key."""
+
+    window: tuple[int, int]
+    calendar: Calendar                      #: cover mode over ``window``
+    los: list[int] = field(default_factory=list)
+    his: list[int] = field(default_factory=list)
+    #: Small memo of recently served sub-window calendars, so repeated
+    #: identical requests return the *same* object (letting per-Calendar
+    #: sorted-view memos in the algebra be shared across contexts).
+    served: OrderedDict = field(default_factory=OrderedDict)
+
+    _SERVED_MAX = 32
+
+    @classmethod
+    def build(cls, window: tuple[int, int], calendar: Calendar) -> "_Entry":
+        entry = cls(window, calendar)
+        entry.los = [iv.lo for iv in calendar.elements]
+        entry.his = [iv.hi for iv in calendar.elements]
+        return entry
+
+    def covers(self, lo: int, hi: int) -> bool:
+        return self.window[0] <= lo and hi <= self.window[1]
+
+    def near(self, lo: int, hi: int) -> bool:
+        """True when ``[lo, hi]`` overlaps or is adjacent to the window."""
+        wlo, whi = self.window
+        return lo <= _axis_inc(whi) and hi >= _axis_dec(wlo)
+
+    def slice_range(self, lo: int, hi: int) -> tuple[int, int]:
+        """Index range of elements overlapping ``[lo, hi]`` (cover set)."""
+        return (bisect.bisect_left(self.his, lo),
+                bisect.bisect_right(self.los, hi))
+
+    def serve(self, lo: int, hi: int, mode: str) -> Calendar:
+        memo_key = (lo, hi, mode)
+        cached = self.served.get(memo_key)
+        if cached is not None:
+            self.served.move_to_end(memo_key)
+            return cached
+        start, end = self.slice_range(lo, hi)
+        source = self.calendar
+        elements = list(source.elements[start:end])
+        if mode == "clip" and elements:
+            # Tilings are disjoint and sorted, so only the two boundary
+            # elements can poke outside the window.
+            window_iv = Interval(lo, hi)
+            elements[0] = elements[0].intersect(window_iv)
+            elements[-1] = elements[-1].intersect(window_iv)
+        labels = None
+        if source.labels is not None:
+            labels = source.labels[start:end]
+        result = Calendar.from_intervals(elements, source.granularity,
+                                         labels)
+        self.served[memo_key] = result
+        if len(self.served) > self._SERVED_MAX:
+            self.served.popitem(last=False)
+        return result
+
+
+class MaterialisationCache:
+    """LRU cache of basic-calendar materialisations with window subsumption.
+
+    ``maxsize`` bounds the number of ``(epoch, calendar, unit)`` entries
+    (0 disables caching), ``memo_maxsize`` bounds the generic memo used
+    by higher layers, and ``max_entry_elements`` caps how far a single
+    entry may grow through extension merging before it is replaced.
+    """
+
+    def __init__(self, maxsize: int = 256, memo_maxsize: int = 2048,
+                 max_entry_elements: int = 1_000_000) -> None:
+        if maxsize < 0 or memo_maxsize < 0:
+            raise ValueError("cache sizes must be >= 0")
+        self.maxsize = maxsize
+        self.memo_maxsize = memo_maxsize if maxsize else 0
+        self.max_entry_elements = max_entry_elements
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self._memo: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = {
+            "hits": 0, "misses": 0, "extensions": 0, "evictions": 0,
+            "uncacheable": 0, "served_intervals": 0,
+            "generated_intervals": 0, "memo_hits": 0, "memo_misses": 0,
+        }
+
+    @property
+    def enabled(self) -> bool:
+        """False when the cache was built with ``maxsize=0``."""
+        return self.maxsize > 0
+
+    # -- materialisation -------------------------------------------------------
+
+    def generate(self, system, cal: "str | Granularity",
+                 unit: "str | Granularity", window: tuple,
+                 mode: str = "clip") -> Calendar:
+        """``system.generate(...)`` through the cache.
+
+        Serves contained windows by slicing, partially covered windows by
+        extension-merging, and everything the cache cannot represent
+        (dates it cannot coerce, inverted or zero-touching windows,
+        unknown modes, a disabled cache) by falling through to
+        :meth:`~repro.core.basis.CalendarSystem.generate` unchanged.
+        """
+        start, end = window
+        if not self.enabled:
+            return self._direct(system, cal, unit, (start, end), mode)
+        cal_g = Granularity.parse(cal)
+        unit_g = Granularity.parse(unit)
+        if not (isinstance(start, int) and isinstance(end, int)) \
+                and unit_g == Granularity.DAYS:
+            # Day windows given as dates coerce exactly to tick windows.
+            try:
+                start, end = system.day_window(start, end)
+            except Exception:
+                return self._direct(system, cal, unit, window, mode)
+        if not (isinstance(start, int) and isinstance(end, int)) \
+                or start == 0 or end == 0 or start > end \
+                or mode not in ("clip", "cover"):
+            return self._direct(system, cal, unit, (start, end), mode)
+        key = (system.epoch.date, cal_g, unit_g)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.covers(start, end):
+                self._entries.move_to_end(key)
+                self._stats["hits"] += 1
+                result = entry.serve(start, end, mode)
+                self._stats["served_intervals"] += len(result)
+                return result
+        # Generate outside the lock (extension windows or a full miss),
+        # then merge/install under it.
+        if entry is not None and entry.near(start, end) and \
+                self._extend(system, key, entry, start, end):
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None and entry.covers(start, end):
+                    result = entry.serve(start, end, mode)
+                    self._stats["served_intervals"] += len(result)
+                    return result
+        return self._install(system, key, cal_g, unit_g, start, end, mode)
+
+    def _direct(self, system, cal, unit, window, mode) -> Calendar:
+        with self._lock:
+            self._stats["uncacheable"] += 1
+        return system.generate(cal, unit, window, mode=mode)
+
+    def _install(self, system, key, cal_g, unit_g, start, end,
+                 mode) -> Calendar:
+        """Full miss: generate the window in cover mode and store it."""
+        cover = system.generate(cal_g, unit_g, (start, end), mode="cover")
+        entry = _Entry.build((start, end), cover)
+        with self._lock:
+            self._stats["misses"] += 1
+            self._stats["generated_intervals"] += len(cover)
+            current = self._entries.get(key)
+            # Keep whichever window is wider when another thread (or a
+            # far-away request) raced us; recency wins ties.
+            if current is None or not current.covers(start, end):
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self._stats["evictions"] += 1
+            result = self._entries[key].serve(start, end, mode) \
+                if self._entries[key].covers(start, end) \
+                else entry.serve(start, end, mode)
+            self._stats["served_intervals"] += len(result)
+            return result
+
+    def _extend(self, system, key, entry: _Entry, lo: int,
+                hi: int) -> bool:
+        """Generate only the uncovered side(s) and merge into the entry.
+
+        Returns False when the merged entry would exceed the per-entry
+        element cap (the caller then replaces the entry instead).
+        """
+        wlo, whi = entry.window
+        left = right = None
+        if lo < wlo:
+            left = system.generate(
+                key[1], key[2], (lo, _axis_dec(wlo)), mode="cover")
+        if hi > whi:
+            right = system.generate(
+                key[1], key[2], (_axis_inc(whi), hi), mode="cover")
+        old = entry.calendar
+        elements = list(old.elements)
+        labels = list(old.labels) if old.labels is not None else None
+        generated = 0
+        if left is not None:
+            generated += len(left)
+            # The unit straddling the old window start appears whole in
+            # both materialisations; keep a single copy.
+            first_lo = elements[0].lo if elements else None
+            keep = [i for i, iv in enumerate(left.elements)
+                    if first_lo is None or iv.lo < first_lo]
+            elements[:0] = [left.elements[i] for i in keep]
+            if labels is not None:
+                labels[:0] = [left.label_of(i) for i in keep]
+        if right is not None:
+            generated += len(right)
+            last_lo = elements[-1].lo if elements else None
+            keep = [i for i, iv in enumerate(right.elements)
+                    if last_lo is None or iv.lo > last_lo]
+            elements.extend(right.elements[i] for i in keep)
+            if labels is not None:
+                labels.extend(right.label_of(i) for i in keep)
+        if len(elements) > self.max_entry_elements:
+            return False
+        merged = Calendar.from_intervals(elements, old.granularity, labels)
+        new_entry = _Entry.build((min(lo, wlo), max(hi, whi)), merged)
+        with self._lock:
+            current = self._entries.get(key)
+            if current is not entry:
+                # Lost a race; let the caller retry against current state.
+                return current is not None and current.covers(lo, hi)
+            self._stats["extensions"] += 1
+            self._stats["generated_intervals"] += generated
+            self._entries[key] = new_entry
+            self._entries.move_to_end(key)
+        return True
+
+    # -- generic memo (registry/rule layers) -----------------------------------
+
+    _MISSING = object()
+
+    def memo_get(self, key):
+        """The memoised value for ``key``, or None when absent/disabled."""
+        if self.memo_maxsize == 0:
+            return None
+        with self._lock:
+            value = self._memo.get(key, self._MISSING)
+            if value is self._MISSING:
+                self._stats["memo_misses"] += 1
+                return None
+            self._stats["memo_hits"] += 1
+            self._memo.move_to_end(key)
+            return value
+
+    def memo_put(self, key, value) -> None:
+        """Memoise ``value`` under ``key`` (LRU-bounded; no-op if disabled)."""
+        if self.memo_maxsize == 0:
+            return
+        with self._lock:
+            self._memo[key] = value
+            self._memo.move_to_end(key)
+            while len(self._memo) > self.memo_maxsize:
+                self._memo.popitem(last=False)
+
+    # -- stats / lifecycle ----------------------------------------------------
+
+    def stats(self) -> dict:
+        """A snapshot of the counters, plus the derived hit ratio."""
+        with self._lock:
+            out = dict(self._stats)
+        lookups = out["hits"] + out["misses"] + out["extensions"]
+        out["entries"] = len(self._entries)
+        out["memo_entries"] = len(self._memo)
+        out["hit_ratio"] = out["hits"] / lookups if lookups else 0.0
+        return out
+
+    def reset_stats(self) -> None:
+        """Zero every counter (entries are kept)."""
+        with self._lock:
+            for key in self._stats:
+                self._stats[key] = 0
+
+    def clear(self) -> None:
+        """Drop every entry and memo value (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._memo.clear()
+
+
+# -- process-wide default -----------------------------------------------------
+
+_default_cache: MaterialisationCache | None = None
+_default_lock = threading.Lock()
+
+
+def _default_maxsize() -> int:
+    if os.environ.get("REPRO_MATCACHE", "1").lower() in ("0", "off",
+                                                         "false", "no"):
+        return 0
+    try:
+        return int(os.environ.get("REPRO_MATCACHE_SIZE", "256"))
+    except ValueError:
+        return 256
+
+
+def get_default_cache() -> MaterialisationCache:
+    """The process-wide cache (created on first use; see module docs)."""
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            _default_cache = MaterialisationCache(
+                maxsize=_default_maxsize())
+        return _default_cache
+
+
+def set_default_cache(cache: MaterialisationCache
+                      ) -> MaterialisationCache | None:
+    """Swap the process-wide cache; returns the previous one."""
+    global _default_cache
+    with _default_lock:
+        previous = _default_cache
+        _default_cache = cache
+        return previous

@@ -31,20 +31,31 @@ class BusinessCalendar:
     calendar_name: str = "AM_BUS_DAYS"
     #: Evaluation window (day ticks); defaults to the registry default.
     window: tuple[int, int] | None = None
-    _cache: Calendar | None = field(default=None, init=False, repr=False)
+    #: (registry version, flattened calendar) — re-evaluated automatically
+    #: whenever a define/drop bumps the registry version.
+    _cache: "tuple[int, Calendar] | None" = field(default=None, init=False,
+                                                 repr=False)
 
     def _calendar(self) -> Calendar:
-        if self._cache is None:
+        version = self.registry.version
+        if self._cache is None or self._cache[0] != version:
             value = self.registry.evaluate(self.calendar_name,
                                            window=self.window)
             if not isinstance(value, Calendar):
                 raise CalendarError(
                     f"{self.calendar_name!r} did not evaluate to a calendar")
-            self._cache = value.flatten() if value.order != 1 else value
-        return self._cache
+            flat = value.flatten() if value.order != 1 else value
+            self._cache = (version, flat)
+        return self._cache[1]
 
     def invalidate(self) -> None:
-        """Drop the cached calendar (after redefinitions)."""
+        """Drop the cached calendar (after redefinitions).
+
+        Redefinitions through :meth:`CalendarRegistry.define` /
+        :meth:`~CalendarRegistry.drop` bump the registry version and are
+        picked up automatically; this forces a refresh for out-of-band
+        changes.
+        """
         self._cache = None
 
     # -- queries --------------------------------------------------------------

@@ -24,6 +24,7 @@ from typing import Callable
 from repro.core.algebra import caloperate, foreach, label_select, select
 from repro.core.basis import CalendarSystem
 from repro.core.calendar import Calendar
+from repro.core.matcache import MaterialisationCache, get_default_cache
 from repro.core.errors import CalendarError
 from repro.core.granularity import Granularity
 from repro.core.interval import Interval
@@ -87,6 +88,9 @@ class EvalContext:
     max_loop_iterations: int = 100_000
     #: Cache of materialised basic calendars and derived-name results.
     cache: dict = field(default_factory=dict)
+    #: Process-wide materialisation cache backing :meth:`materialise_basic`
+    #: and explicit ``generate()`` calls; None uses the default instance.
+    matcache: "MaterialisationCache | None" = None
     #: Statistics: how many basic-calendar materialisations were requested /
     #: served from cache, and total intervals produced (benchmark metrics).
     stats: dict = field(default_factory=lambda: {
@@ -100,7 +104,7 @@ class EvalContext:
             unit=self.unit, today=self.today, env={},
             functions=self.functions, while_hook=self.while_hook,
             max_loop_iterations=self.max_loop_iterations, cache=self.cache,
-            stats=self.stats)
+            matcache=self.matcache, stats=self.stats)
 
     # -- materialisation -------------------------------------------------------
 
@@ -134,20 +138,40 @@ class EvalContext:
         hi += pad
         return (lo if lo != 0 else -1, hi if hi != 0 else 1)
 
+    def _materialisation_cache(self) -> MaterialisationCache:
+        return self.matcache if self.matcache is not None \
+            else get_default_cache()
+
     def materialise_basic(self, gran: Granularity,
                           window: tuple[int, int] | None = None,
                           mode: str = "cover") -> Calendar:
-        """Materialise a basic calendar over a (padded) window."""
+        """Materialise a basic calendar over a (padded) window.
+
+        Requests go through the process-wide
+        :class:`~repro.core.matcache.MaterialisationCache` (window
+        subsumption across evaluations); the per-context ``cache`` dict
+        keeps exact-key repeats free and the per-context stats counting
+        identical to a cache-cold run.
+        """
         win = self.padded_window(window)
         key = ("basic", gran, self.unit, win, mode)
         self.stats["generate_calls"] += 1
         if key in self.cache:
             self.stats["generate_cache_hits"] += 1
             return self.cache[key]
-        cal = self.system.generate(gran, self.unit, win, mode=mode)
+        cal = self._materialisation_cache().generate(
+            self.system, gran, self.unit, win, mode=mode)
         self.stats["intervals_generated"] += len(cal)
         self.cache[key] = cal
         return cal
+
+    def generate_call(self, cal: "str | Granularity",
+                      unit: "str | Granularity", window: tuple,
+                      mode: str = "clip") -> Calendar:
+        """An explicit ``generate(cal, unit, start, end, mode)`` call,
+        served through the shared materialisation cache."""
+        return self._materialisation_cache().generate(
+            self.system, cal, unit, window, mode=mode)
 
 
 class _ReturnSignal(Exception):
@@ -428,8 +452,8 @@ class Interpreter:
             if not isinstance(args[4], ast.StringLit):
                 raise EvaluationError("generate mode must be a string")
             mode = args[4].value
-        return self.context.system.generate(cal_name, unit_name,
-                                            (start, end), mode=mode)
+        return self.context.generate_call(cal_name, unit_name,
+                                          (start, end), mode=mode)
 
     def _call_caloperate(self, node: ast.FunCall) -> Calendar:
         args = list(node.args)

@@ -349,7 +349,7 @@ class PlanVM:
                 raise EvaluationError("'today' is not bound in this context")
             return Calendar.point(ctx.today, ctx.unit)
         if isinstance(step, GenerateCallStep):
-            return ctx.system.generate(step.calendar, step.unit,
-                                       (step.start, step.end),
-                                       mode=step.mode)
+            return ctx.generate_call(step.calendar, step.unit,
+                                     (step.start, step.end),
+                                     mode=step.mode)
         raise PlanError(f"unknown plan step {step!r}")

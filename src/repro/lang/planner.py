@@ -355,8 +355,34 @@ def compile_expression(expr: ast.Expr, system: CalendarSystem,
                        resolver: Resolver,
                        unit: Granularity = Granularity.DAYS,
                        context_window: tuple[int, int] | None = None,
-                       narrow: bool = True) -> Plan:
-    """Compile ``expr`` into an evaluation plan."""
+                       narrow: bool = True,
+                       matcache=None, memo_key=None) -> Plan:
+    """Compile ``expr`` into an evaluation plan.
+
+    When a :class:`~repro.core.matcache.MaterialisationCache` and a
+    ``memo_key`` are given, the compiled plan is memoised under
+    ``("plan", memo_key, unit, context_window, narrow)`` — plans are
+    deterministic in the expression, the resolver state the key must
+    encode (the registry embeds its version), and these parameters, so
+    repeated evaluations skip the compile entirely.  A raised
+    :class:`~repro.lang.errors.PlanError` is memoised too, sparing
+    repeated doomed compiles of uncompilable expressions.
+    """
+    if matcache is not None and memo_key is not None:
+        full_key = ("plan", memo_key, unit, context_window, narrow)
+        cached = matcache.memo_get(full_key)
+        if isinstance(cached, Plan):
+            return cached
+        if isinstance(cached, PlanError):
+            raise cached
     planner = Planner(system=system, resolver=resolver, unit=unit,
                       context_window=context_window, narrow=narrow)
-    return planner.compile(expr)
+    try:
+        plan = planner.compile(expr)
+    except PlanError as exc:
+        if matcache is not None and memo_key is not None:
+            matcache.memo_put(full_key, exc)
+        raise
+    if matcache is not None and memo_key is not None:
+        matcache.memo_put(full_key, plan)
+    return plan

@@ -85,8 +85,23 @@ class TemporalRule:
         """Next time point strictly after ``after`` at which to fire.
 
         Respects the activation lifespan: points before it are skipped,
-        points after it end the schedule (returns None).
+        points after it end the schedule (returns None).  The computed
+        point is memoised in the registry's shared materialisation cache
+        keyed on the registry version, so DBCRON re-probing an unchanged
+        catalog after every fire costs one lookup.
         """
+        key = ("rule-next", self.expression_text, after, horizon_days,
+               self.valid_between, registry.memo_token, registry.version)
+        cached = registry.matcache.memo_get(key)
+        if cached is not None:
+            return cached[0]
+        result = self._next_trigger(registry, after, horizon_days)
+        registry.matcache.memo_put(key, (result,))
+        return result
+
+    def _next_trigger(self, registry: CalendarRegistry, after: int,
+                      horizon_days: int) -> int | None:
+        """The uncached :meth:`next_trigger` computation."""
         if self.valid_between is not None:
             lo, hi = self.valid_between
             if after < lo - 1:

@@ -93,13 +93,27 @@ class TestRollConventions:
 
 
 class TestCache:
-    def test_invalidate_after_redefinition(self, registry, bc):
+    def test_redefinition_invalidates_automatically(self, registry, bc):
         t = day(registry, "Nov 19 1993")
         assert bc.is_business_day(t)
         from repro.core import Calendar
         old = registry.record("HOLIDAYS").values
         registry.define("HOLIDAYS", values=old + Calendar.point(t),
                         granularity="DAYS", replace=True)
-        assert bc.is_business_day(t)  # stale cache
+        # define() bumps the registry version, so the cached flattening
+        # is refreshed without an explicit invalidate() call.
+        assert not bc.is_business_day(t)
+
+    def test_explicit_invalidate_for_out_of_band_changes(self, registry,
+                                                         bc):
+        t = day(registry, "Nov 19 1993")
+        assert bc.is_business_day(t)
+        from repro.core import Calendar
+        old = registry.record("HOLIDAYS").values
+        # Mutate the catalog record directly, without going through
+        # define(): no version bump, so the cache really is stale ...
+        registry.record("HOLIDAYS").values = old + Calendar.point(t)
+        assert bc.is_business_day(t)  # stale flattening still served
+        # ... until invalidate() forces a refresh.
         bc.invalidate()
         assert not bc.is_business_day(t)

@@ -1,0 +1,108 @@
+"""Property-based tests for the shared materialisation cache.
+
+Every cache-served calendar must be indistinguishable from a fresh
+``CalendarSystem.generate`` call — element pairs and labels alike — no
+matter which subsumption, extension or replacement path served it.  One
+module-level cache is shared across all Hypothesis examples so successive
+windows genuinely exercise slicing, extension merging and eviction
+against entries left behind by earlier examples.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CalendarSystem
+from repro.core.matcache import MaterialisationCache
+
+SYSTEM = CalendarSystem.starting("Jan 1 1987")
+
+#: Shared across examples on purpose — see module docstring.
+CACHE = MaterialisationCache()
+
+day_granularities = st.sampled_from(["DAYS", "WEEKS", "MONTHS", "YEARS"])
+
+modes = st.sampled_from(["clip", "cover"])
+
+# Start anywhere on the zero-skipping axis, including negative ticks, so
+# windows straddling the missing point 0 are drawn regularly.
+windows = st.tuples(
+    st.integers(min_value=-3000, max_value=3000).filter(lambda t: t != 0),
+    st.integers(min_value=0, max_value=800),
+).map(lambda t: (t[0], t[0] + t[1] if t[0] + t[1] != 0 else t[0] + t[1] + 1))
+
+small_windows = st.tuples(
+    st.integers(min_value=-400, max_value=400).filter(lambda t: t != 0),
+    st.integers(min_value=0, max_value=120),
+).map(lambda t: (t[0], t[0] + t[1] if t[0] + t[1] != 0 else t[0] + t[1] + 1))
+
+
+def assert_equal(cached, fresh):
+    assert cached.to_pairs() == fresh.to_pairs()
+    assert cached.labels == fresh.labels
+    assert cached.granularity == fresh.granularity
+
+
+class TestCacheMatchesFreshGenerate:
+    @given(day_granularities, windows, modes)
+    @settings(max_examples=120, deadline=None)
+    def test_day_based_units(self, gran, window, mode):
+        cached = CACHE.generate(SYSTEM, gran, "DAYS", window, mode)
+        fresh = SYSTEM.generate(gran, "DAYS", window, mode=mode)
+        assert_equal(cached, fresh)
+
+    @given(windows, modes)
+    @settings(max_examples=60, deadline=None)
+    def test_weeks_in_weeks_identity(self, window, mode):
+        cached = CACHE.generate(SYSTEM, "WEEKS", "WEEKS", window, mode)
+        fresh = SYSTEM.generate("WEEKS", "WEEKS", window, mode=mode)
+        assert_equal(cached, fresh)
+
+    @given(small_windows, modes)
+    @settings(max_examples=60, deadline=None)
+    def test_subday_units(self, window, mode):
+        cached = CACHE.generate(SYSTEM, "HOURS", "MINUTES", window, mode)
+        fresh = SYSTEM.generate("HOURS", "MINUTES", window, mode=mode)
+        assert_equal(cached, fresh)
+
+    @given(small_windows, modes)
+    @settings(max_examples=60, deadline=None)
+    def test_month_units(self, window, mode):
+        cached = CACHE.generate(SYSTEM, "YEARS", "MONTHS", window, mode)
+        fresh = SYSTEM.generate("YEARS", "MONTHS", window, mode=mode)
+        assert_equal(cached, fresh)
+
+    @given(day_granularities, small_windows, modes)
+    @settings(max_examples=60, deadline=None)
+    def test_tiny_lru_still_correct(self, gran, window, mode):
+        """Constant churn (maxsize=1) must never corrupt served results."""
+        cached = TINY.generate(SYSTEM, gran, "DAYS", window, mode)
+        fresh = SYSTEM.generate(gran, "DAYS", window, mode=mode)
+        assert_equal(cached, fresh)
+
+
+#: maxsize=1 forces replacement/extension on nearly every example.
+TINY = MaterialisationCache(maxsize=1)
+
+
+class TestNegativeAxis:
+    @given(st.integers(min_value=1, max_value=900), day_granularities,
+           modes)
+    @settings(max_examples=60, deadline=None)
+    def test_windows_straddling_the_missing_zero(self, half, gran, mode):
+        """Windows symmetric around the absent tick 0."""
+        window = (-half, half)
+        cached = CACHE.generate(SYSTEM, gran, "DAYS", window, mode)
+        fresh = SYSTEM.generate(gran, "DAYS", window, mode=mode)
+        assert_equal(cached, fresh)
+
+    @given(st.integers(min_value=-2000, max_value=-1),
+           st.integers(min_value=0, max_value=500), day_granularities,
+           modes)
+    @settings(max_examples=60, deadline=None)
+    def test_fully_negative_windows(self, lo, length, gran, mode):
+        hi = lo + length
+        if hi >= 0:
+            hi = -1
+        window = (lo, hi)
+        cached = CACHE.generate(SYSTEM, gran, "DAYS", window, mode)
+        fresh = SYSTEM.generate(gran, "DAYS", window, mode=mode)
+        assert_equal(cached, fresh)
