@@ -1,0 +1,111 @@
+"""Observability overhead: what tracing costs, and what "off" costs.
+
+The contract (see docs/IMPLEMENTATION_NOTES.md) is that disabled tracing
+adds a single ``tracer is not None`` branch per plan run.  The smoke
+test here compares the shipping :class:`PlanVM` (tracer disabled)
+against a baseline VM whose ``run`` is the verbatim pre-instrumentation
+loop, and asserts the difference stays under 5%.  The benchmark pair
+records the absolute traced/untraced cost for BENCH_core.json diffs.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.catalog import (
+    CalendarRegistry,
+    install_standard_calendars,
+    install_us_holidays,
+)
+from repro.core import CalendarSystem
+from repro.core.matcache import MaterialisationCache
+from repro.lang.plan import PlanVM
+from repro.obs.instrument import Instrumentation
+
+EXPRESSION = "DAYS:during:[1]/MONTHS:during:1993/YEARS"
+WINDOW = ("Jan 1 1993", "Dec 31 1994")
+
+
+class _BaselineVM(PlanVM):
+    """The pre-instrumentation run loop, with no tracer branch at all."""
+
+    def run(self, plan):
+        registers = {}
+        for step in plan.steps:
+            registers[step.target] = self._run_step(step, registers)
+        return self._finish(plan, registers)
+
+
+def _build():
+    """A private registry (own instrumentation + cache), plan and context."""
+    instrumentation = Instrumentation()
+    registry = CalendarRegistry(
+        CalendarSystem.starting("Jan 1 1987"),
+        matcache=MaterialisationCache(metrics=instrumentation.metrics),
+        instrumentation=instrumentation)
+    install_standard_calendars(registry)
+    install_us_holidays(registry, 1987, 1996)
+    from repro.lang.factorizer import factorize
+    from repro.lang.parser import parse_expression
+    from repro.lang.planner import compile_expression
+
+    ctx = registry.context(window=WINDOW)
+    factored = factorize(parse_expression(EXPRESSION), registry.resolver)
+    plan = compile_expression(factored.expression, registry.system,
+                              registry.resolver, context_window=ctx.window)
+    return instrumentation, registry, plan, ctx
+
+
+def _best_of(fn, *, loops: int, repeats: int) -> float:
+    """Minimum wall time of ``loops`` calls, over ``repeats`` samples."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = perf_counter()
+        for _ in range(loops):
+            fn()
+        best = min(best, perf_counter() - start)
+    return best
+
+
+class TestDisabledOverheadSmoke:
+    def test_disabled_tracing_overhead_under_5_percent(self):
+        instrumentation, registry, plan, ctx = _build()
+        assert ctx.tracer is None  # tracing off: the branch under test
+        vm = PlanVM(ctx)
+        baseline = _BaselineVM(ctx)
+        # Warm the materialisation cache so both loops measure pure VM
+        # dispatch, and check the twins agree before timing them.
+        assert vm.run(plan).flatten() == baseline.run(plan).flatten()
+
+        t_base = _best_of(lambda: baseline.run(plan), loops=60, repeats=7)
+        t_vm = _best_of(lambda: vm.run(plan), loops=60, repeats=7)
+        # 5% relative margin plus a tiny absolute floor against timer
+        # jitter on very fast runs.
+        assert t_vm <= t_base * 1.05 + 1e-3, (
+            f"disabled-tracing overhead too high: "
+            f"baseline={t_base:.6f}s instrumented={t_vm:.6f}s")
+
+    def test_disabled_tracing_records_nothing(self):
+        instrumentation, registry, plan, ctx = _build()
+        PlanVM(ctx).run(plan)
+        assert instrumentation.recent_traces() == []
+
+
+class TestTracedVsUntraced:
+    def test_plan_run_untraced(self, benchmark):
+        _, registry, plan, ctx = _build()
+        vm = PlanVM(ctx)
+        vm.run(plan)  # warm the cache
+        result = benchmark(lambda: vm.run(plan))
+        assert result.flatten()
+
+    def test_plan_run_traced(self, benchmark):
+        instrumentation, registry, plan, _ = _build()
+        instrumentation.enable_tracing()
+        ctx = registry.context(window=WINDOW)
+        assert ctx.tracer is not None
+        vm = PlanVM(ctx)
+        vm.run(plan)  # warm the cache
+        result = benchmark(lambda: vm.run(plan))
+        assert result.flatten()
+        assert instrumentation.recent_traces()

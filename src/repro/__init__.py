@@ -18,7 +18,21 @@ A full reproduction of Chandra, Segev & Stonebraker (ICDE 1994):
 * :mod:`repro.finance` — day-count conventions, business days, option
   expirations, bonds.
 
-Quickstart::
+Quickstart — the :class:`Session` facade wires the whole stack (registry,
+database, rules, clock, instrumentation) behind one constructor::
+
+    from repro import Session
+
+    session = Session("Jan 1 1987")
+    cal = session.eval("[3]/WEEKS:overlaps:[1]/MONTHS:during:1993/YEARS")
+    # -> the third week in January 1993
+
+    print(session.explain("AM_BUS_DAYS - HOLIDAYS").render())  # the plan
+    profile = session.profile("[22]/DAYS:during:MONTHS")
+    print(profile.render())          # per-step timing tree
+    session.metrics()                # counters / latency histograms
+
+The individual constructors keep working for piecemeal use::
 
     from repro import CalendarSystem, CalendarRegistry
     from repro.catalog import install_standard_calendars
@@ -27,7 +41,9 @@ Quickstart::
     install_standard_calendars(registry)
     cal = registry.eval_expression(
         "[3]/WEEKS:overlaps:[1]/MONTHS:during:1993/YEARS")
-    # -> the third week in January 1993
+
+Every library error derives from :class:`repro.errors.ReproError`, whose
+``context`` payload carries the failing script/query text.
 """
 
 from repro.catalog import CalendarRegistry, install_standard_calendars
@@ -39,7 +55,9 @@ from repro.core import (
     Interval,
 )
 from repro.db import Database
+from repro.errors import ReproError
 from repro.rules import DBCron, RuleManager, SimulatedClock
+from repro.session import Explanation, Profile, Session
 from repro.timeseries import RegularTimeSeries
 
 __version__ = "1.0.0"
@@ -49,5 +67,6 @@ __all__ = [
     "CalendarRegistry", "install_standard_calendars",
     "Database", "RuleManager", "SimulatedClock", "DBCron",
     "RegularTimeSeries",
+    "Session", "Explanation", "Profile", "ReproError",
     "__version__",
 ]

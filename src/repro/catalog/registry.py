@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
+import warnings
 
 from repro.core.arithmetic import next_point
 from repro.core.basis import CalendarSystem
@@ -39,6 +39,8 @@ from repro.lang.interpreter import EvalContext, Interpreter
 from repro.lang.parser import parse_expression, parse_script
 from repro.lang.plan import Plan, PlanVM
 from repro.lang.planner import compile_expression
+from repro.errors import ReproError
+from repro.obs.instrument import Instrumentation, get_default_instrumentation
 from repro.catalog.table import (
     UNBOUNDED_LIFESPAN,
     CalendarRecord,
@@ -52,6 +54,27 @@ __all__ = ["CalendarRegistry"]
 _MEMO_TOKENS = itertools.count(1)
 
 
+def _positional_kwargs(method: str, args: tuple, names: tuple) -> dict:
+    """Map deprecated positional arguments onto their keyword names.
+
+    The evaluation entry points historically accepted ``window`` and
+    ``today`` positionally; the supported convention is now keyword-only
+    (``window=``/``today=``).  Positional use still works but warns.
+    """
+    if not args:
+        return {}
+    if len(args) > len(names):
+        raise TypeError(f"{method}() takes at most {len(names)} "
+                        f"positional option(s) ({', '.join(names)})")
+    moved = dict(zip(names, args))
+    warnings.warn(
+        f"passing {'/'.join(moved)} positionally to {method}() is "
+        f"deprecated; use keyword arguments "
+        f"({', '.join(f'{n}=...' for n in moved)})",
+        DeprecationWarning, stacklevel=3)
+    return moved
+
+
 class CalendarRegistry:
     """Named calendars over one :class:`CalendarSystem`.
 
@@ -62,11 +85,25 @@ class CalendarRegistry:
 
     def __init__(self, system: CalendarSystem | None = None,
                  default_horizon_years: int = 40,
-                 matcache: MaterialisationCache | None = None) -> None:
+                 matcache: MaterialisationCache | None = None,
+                 instrumentation: Instrumentation | None = None) -> None:
         self.system = system or CalendarSystem()
+        #: Metrics + tracing attachment point; defaults to the
+        #: process-wide instrumentation (tracing off unless REPRO_TRACE).
+        self.instrumentation = instrumentation if instrumentation \
+            is not None else get_default_instrumentation()
         #: Shared materialisation cache; defaults to the process-wide one.
-        self.matcache = matcache if matcache is not None \
-            else get_default_cache()
+        #: An explicitly instrumented registry gets a private cache bound
+        #: to its metrics (the shared default cache reports to the
+        #: default instrumentation, which would hide this registry's
+        #: cache traffic from its own metrics).
+        if matcache is not None:
+            self.matcache = matcache
+        elif instrumentation is not None:
+            self.matcache = MaterialisationCache(
+                metrics=instrumentation.metrics)
+        else:
+            self.matcache = get_default_cache()
         self.table = CalendarsTable()
         epoch_year = self.system.epoch.date.year
         lo, _ = self.system.epoch.days_of_year(epoch_year)
@@ -266,31 +303,83 @@ class CalendarRegistry:
 
     # -- evaluation ----------------------------------------------------------------
 
-    def context(self, window=None, today: int | None = None,
+    def context(self, window=None, today=None,
                 unit: Granularity = Granularity.DAYS) -> EvalContext:
         """Build an evaluation context (window in unit ticks or dates)."""
         win = self._coerce_window(window)
+        tracer = self.instrumentation.tracer
         return EvalContext(system=self.system, resolver=self.resolver,
-                           window=win, unit=unit, today=today,
+                           window=win, unit=unit,
+                           today=self._coerce_tick(today),
                            functions=dict(self.functions),
-                           matcache=self.matcache)
+                           matcache=self.matcache,
+                           tracer=tracer,
+                           metrics=self.instrumentation.metrics)
 
     def _coerce_window(self, window) -> tuple[int, int]:
+        """Normalise every accepted ``window=`` form to day ticks.
+
+        This is the single coercion path for all evaluation entry points;
+        accepted forms are ``None`` (the registry default window), a
+        ``(start, end)`` pair of day ticks / date strings / CivilDates,
+        or a single ``"start .. end"`` string.
+        """
         if window is None:
             return self.default_window
-        lo, hi = window
+        if isinstance(window, str):
+            if ".." not in window:
+                raise CalendarError(
+                    f"cannot interpret {window!r} as a window; use "
+                    f"'start .. end' or a (start, end) pair")
+            lo, hi = (part.strip() for part in window.split("..", 1))
+            return self.system.day_window(lo, hi)
+        try:
+            lo, hi = window
+        except (TypeError, ValueError):
+            raise CalendarError(
+                f"cannot interpret {window!r} as a window; expected a "
+                f"(start, end) pair")
         return self.system.day_window(lo, hi)
 
-    def evaluate(self, name: str, window=None, today: int | None = None,
+    def _coerce_tick(self, value) -> int | None:
+        """Normalise a ``today=``-style value to a day tick (or None)."""
+        if value is None or isinstance(value, int):
+            return value
+        return self.system.day_of(value)
+
+    def evaluate(self, name: str, *args, window=None, today=None,
                  use_plan: bool = True):
         """Evaluate a defined calendar over a window.
 
         Uses the stored evaluation plan when available (and ``use_plan``);
         multi-statement scripts run through the interpreter.  The result is
         clipped to the calendar's lifespan when one was declared.
+        ``window``/``today`` are keyword-only by convention (positional
+        use is deprecated) and accept every form
+        :meth:`_coerce_window`/:meth:`_coerce_tick` understand.
         """
+        moved = _positional_kwargs("evaluate", args,
+                                   ("window", "today", "use_plan"))
+        window = moved.get("window", window)
+        today = moved.get("today", today)
+        use_plan = moved.get("use_plan", use_plan)
         record = self.record(name)
-        ctx = self.context(window, today)
+        tracer = self.instrumentation.tracer
+        try:
+            if tracer is not None:
+                with tracer.span("registry.evaluate", calendar=name):
+                    with tracer.span("registry.context"):
+                        ctx = self.context(window, today=today)
+                    return self._evaluate_record(record, ctx, use_plan)
+            ctx = self.context(window, today=today)
+            return self._evaluate_record(record, ctx, use_plan)
+        except ReproError as exc:
+            raise exc.add_context(calendar=name,
+                                  script=record.derivation_script)
+
+    def _evaluate_record(self, record: CalendarRecord, ctx: EvalContext,
+                         use_plan: bool):
+        """Evaluate one catalog record in a prepared context."""
         if record.is_explicit:
             result: "Calendar | str" = record.values
         elif use_plan and record.eval_plan is not None:
@@ -303,39 +392,119 @@ class CalendarRegistry:
                 result = result.with_granularity(record.granularity)
         return result
 
-    def eval_expression(self, text: str, window=None,
-                        today: int | None = None,
+    def eval_expression(self, text: str, *args, window=None, today=None,
                         optimize: bool = True):
-        """Parse, (optionally) factorize+plan, and evaluate an expression."""
-        ctx = self.context(window, today)
+        """Parse, (optionally) factorize+plan, and evaluate an expression.
+
+        ``window``/``today`` are keyword-only by convention (positional
+        use is deprecated); see :meth:`_coerce_window` for accepted
+        window forms.
+        """
+        moved = _positional_kwargs("eval_expression", args,
+                                   ("window", "today", "optimize"))
+        window = moved.get("window", window)
+        today = moved.get("today", today)
+        optimize = moved.get("optimize", optimize)
+        tracer = self.instrumentation.tracer
+        try:
+            if tracer is not None:
+                with tracer.span("registry.eval_expression", text=text,
+                                 optimize=optimize):
+                    with tracer.span("registry.context"):
+                        ctx = self.context(window, today=today)
+                    return self._eval_expression(text, ctx, optimize)
+            ctx = self.context(window, today=today)
+            return self._eval_expression(text, ctx, optimize)
+        except ReproError as exc:
+            raise exc.add_context(script=text)
+
+    def _eval_expression(self, text: str, ctx: EvalContext,
+                         optimize: bool):
+        """Factorize/plan/run an expression in a prepared context."""
+        tracer = ctx.tracer
         if optimize:
-            key = ("ast", text, self.memo_token, self.version)
-            factored = self.matcache.memo_get(key)
-            if factored is None:
-                factored = factorize(parse_expression(text),
-                                     self.resolver).expression
-                self.matcache.memo_put(key, factored)
+            factored = self._factorized_ast(text, tracer)
             try:
-                plan = compile_expression(factored, self.system,
-                                          self.resolver,
-                                          context_window=ctx.window,
-                                          matcache=self.matcache,
-                                          memo_key=(text, self.memo_token,
-                                                    self.version))
+                if tracer is None:
+                    plan = self._compiled_plan(text, factored, ctx)
+                else:
+                    with tracer.span("planner.compile"):
+                        plan = self._compiled_plan(text, factored, ctx)
                 return PlanVM(ctx).run(plan)
             except PlanError:
                 return Interpreter(ctx).evaluate(factored)
-        return Interpreter(ctx).evaluate(parse_expression(text))
+        if tracer is None:
+            return Interpreter(ctx).evaluate(parse_expression(text))
+        with tracer.span("lang.parse", text=text):
+            parsed = parse_expression(text)
+        return Interpreter(ctx).evaluate(parsed)
 
-    def eval_script(self, text: str, window=None, today: int | None = None,
+    def _factorized_ast(self, text: str, tracer) -> ast.Expr:
+        """The memoised factorized AST of an expression text."""
+        key = ("ast", text, self.memo_token, self.version)
+        factored = self.matcache.memo_get(key)
+        if factored is None:
+            if tracer is None:
+                factored = factorize(parse_expression(text),
+                                     self.resolver).expression
+            else:
+                with tracer.span("lang.parse", text=text):
+                    parsed = parse_expression(text)
+                with tracer.span("lang.factorize"):
+                    result = factorize(parsed, self.resolver)
+                for rewrite in result.rewrites:
+                    tracer.event("factorizer.rewrite", rule=rewrite)
+                factored = result.expression
+            self.matcache.memo_put(key, factored)
+        return factored
+
+    def _compiled_plan(self, text: str, factored: ast.Expr,
+                       ctx: EvalContext) -> Plan:
+        """The (memoised) evaluation plan of a factorized expression."""
+        return compile_expression(factored, self.system, self.resolver,
+                                  context_window=ctx.window,
+                                  matcache=self.matcache,
+                                  memo_key=(text, self.memo_token,
+                                            self.version),
+                                  tracer=ctx.tracer)
+
+    def eval_script(self, text: str, *args, window=None, today=None,
                     env: dict | None = None, while_hook=None):
-        """Parse and run a full calendar script; returns its result."""
-        parsed = parse_script(text)
-        ctx = self.context(window, today)
+        """Parse and run a full calendar script; returns its result.
+
+        ``window``/``today`` are keyword-only by convention (positional
+        use is deprecated); see :meth:`_coerce_window` for accepted
+        window forms.
+        """
+        moved = _positional_kwargs("eval_script", args,
+                                   ("window", "today", "env", "while_hook"))
+        window = moved.get("window", window)
+        today = moved.get("today", today)
+        env = moved.get("env", env)
+        while_hook = moved.get("while_hook", while_hook)
+        tracer = self.instrumentation.tracer
+        try:
+            if tracer is None:
+                ctx = self._script_context(window, today, env, while_hook)
+                return Interpreter(ctx).execute(parse_script(text))
+            with tracer.span("registry.eval_script"):
+                with tracer.span("registry.context"):
+                    ctx = self._script_context(window, today, env,
+                                               while_hook)
+                with tracer.span("lang.parse"):
+                    parsed = parse_script(text)
+                return Interpreter(ctx).execute(parsed)
+        except ReproError as exc:
+            raise exc.add_context(script=text)
+
+    def _script_context(self, window, today, env, while_hook
+                        ) -> EvalContext:
+        """An evaluation context primed with script bindings."""
+        ctx = self.context(window, today=today)
         if env:
             ctx.env.update({k.lower(): v for k, v in env.items()})
         ctx.while_hook = while_hook
-        return Interpreter(ctx).execute(parsed)
+        return ctx
 
     def _clip_lifespan(self, cal: Calendar, record: CalendarRecord
                        ) -> Calendar:
@@ -392,17 +561,19 @@ class CalendarRegistry:
         self.matcache.memo_put(key, result)
         return result
 
-    def next_occurrence(self, name_or_expr: str, after: int,
+    def next_occurrence(self, name_or_expr: str, after: "int | str",
                         horizon_days: int = 3700,
                         _trust_margin: int = 35) -> int | None:
         """Smallest calendar point strictly after day tick ``after``.
 
-        Evaluates over geometrically growing (quantized) windows; a
-        candidate point is only trusted when it lies ``_trust_margin``
-        days clear of the window's end (boundary units may be truncated).
-        Returns ``None`` when no occurrence exists within
-        ``horizon_days``.
+        ``after`` may also be a date string or CivilDate (normalised via
+        the same coercion as ``today=``).  Evaluates over geometrically
+        growing (quantized) windows; a candidate point is only trusted
+        when it lies ``_trust_margin`` days clear of the window's end
+        (boundary units may be truncated).  Returns ``None`` when no
+        occurrence exists within ``horizon_days``.
         """
+        after = self._coerce_tick(after)
         horizon = 64
         while True:
             horizon = min(horizon, horizon_days)

@@ -19,7 +19,11 @@ Run with ``python -m repro``.  Three kinds of input:
       \advance N                advance the clock N days (DBCRON fires)
       \rules                    list event and temporal rules
       \tables                   list relations
-      \explain retrieve ...     show a query's execution strategy
+      \explain EXPR | retrieve ...  evaluation plan of an expression, or
+                                a query's execution strategy
+      \profile EXPR             run with tracing; per-step timing tree
+      \metrics [reset]          metrics snapshot (counters, latencies)
+      \trace on|off             toggle span tracing for the session
       \save FILE / \load FILE   persist / restore the session database
       \quit                     leave
 
@@ -31,16 +35,11 @@ from __future__ import annotations
 
 import sys
 
-from repro.catalog import (
-    CalendarRegistry,
-    install_standard_calendars,
-    install_us_holidays,
-)
-from repro.core import Calendar, CalendarSystem
+from repro.core import Calendar
 from repro.core.errors import CalendarError
-from repro.db import Database, DatabaseError
+from repro.db import DatabaseError
 from repro.db.executor import Result
-from repro.rules import DBCron, RuleManager, SimulatedClock
+from repro.session import Session as CoreSession
 
 __all__ = ["Session", "main"]
 
@@ -48,21 +47,12 @@ _QL_KEYWORDS = ("retrieve", "append", "replace", "delete", "create",
                 "drop", "define rule", "define calendar")
 
 
-class Session:
-    """One interactive session: database, clock, window, dispatch."""
+class Session(CoreSession):
+    """One interactive session: the core facade plus line dispatch."""
 
     def __init__(self, epoch: str = "Jan 1 1987",
                  holiday_years: tuple[int, int] = (1987, 2016)) -> None:
-        registry = CalendarRegistry(CalendarSystem.starting(epoch),
-                                    default_horizon_years=30)
-        install_standard_calendars(registry)
-        install_us_holidays(registry, *holiday_years)
-        self.db = Database(calendars=registry)
-        self.registry = registry
-        self.system = registry.system
-        self.manager = RuleManager(self.db)
-        self.clock = SimulatedClock(now=1)
-        self.cron = DBCron(self.manager, self.clock, period=7)
+        super().__init__(epoch, holiday_years=holiday_years)
         self.window: tuple | None = None
 
     # -- dispatch -----------------------------------------------------------
@@ -148,16 +138,27 @@ class Session:
             if argument:
                 return "usage: \\cache [clear]"
             stats = self.registry.cache_stats()
-            return (f"materialisation cache: {stats['entries']} entries, "
-                    f"{stats['memo_entries']} memo entries\n"
-                    f"  hits {stats['hits']}  misses {stats['misses']}  "
-                    f"extensions {stats['extensions']}  "
-                    f"evictions {stats['evictions']}  "
-                    f"hit ratio {stats['hit_ratio']:.1%}\n"
-                    f"  intervals served {stats['served_intervals']}  "
-                    f"generated {stats['generated_intervals']}\n"
-                    f"  memo hits {stats['memo_hits']}  "
-                    f"memo misses {stats['memo_misses']}")
+            lines = [
+                f"materialisation cache: {stats['entries']} entries, "
+                f"{stats['memo_entries']} memo entries",
+                f"  hits {stats['hits']}  misses {stats['misses']}  "
+                f"extensions {stats['extensions']}  "
+                f"evictions {stats['evictions']}  "
+                f"hit ratio {stats['hit_ratio']:.1%}",
+                f"  intervals served {stats['served_intervals']}  "
+                f"generated {stats['generated_intervals']}",
+                f"  memo hits {stats['memo_hits']}  "
+                f"memo misses {stats['memo_misses']}",
+            ]
+            for kind in ("hit", "miss", "extension"):
+                summary = stats.get(f"{kind}_seconds")
+                if summary and summary["count"]:
+                    lines.append(
+                        f"  {kind} latency: p50 "
+                        f"{summary['p50'] * 1e6:.0f}us  p99 "
+                        f"{summary['p99'] * 1e6:.0f}us  over "
+                        f"{summary['count']} sample(s)")
+            return "\n".join(lines)
         if command == "clock":
             return (f"clock at {self.system.date_of(self.clock.now)} "
                     f"(tick {self.clock.now})")
@@ -183,8 +184,27 @@ class Session:
             return "\n".join(self.db.relation_names())
         if command == "explain":
             if not argument:
-                return "usage: \\explain retrieve (...) from ..."
-            return self.db.explain(argument)
+                return "usage: \\explain EXPR | \\explain retrieve ..."
+            if any(argument.lower().startswith(k) for k in _QL_KEYWORDS):
+                return self.db.explain(argument)
+            return self.explain(argument, window=self.window).render()
+        if command == "profile":
+            if not argument:
+                return "usage: \\profile EXPR"
+            return self.profile(argument, window=self.window).render()
+        if command == "metrics":
+            if argument.lower() == "reset":
+                self.instrumentation.metrics.reset()
+                return "metrics reset"
+            if argument:
+                return "usage: \\metrics [reset]"
+            return self._render_metrics()
+        if command == "trace":
+            flag = argument.lower()
+            if flag not in ("on", "off"):
+                return "usage: \\trace on|off"
+            self.instrumentation.tracing = flag == "on"
+            return f"tracing {flag}"
         if command == "save":
             from repro.db.persist import save_database
             report = save_database(self.db, argument)
@@ -193,14 +213,30 @@ class Session:
                     f"{report.event_rules + report.temporal_rules} rules")
         if command == "load":
             from repro.db.persist import load_database
-            self.db = load_database(argument)
-            self.registry = self.db.calendars
-            self.system = self.registry.system
-            self.manager = self.db.rule_manager or RuleManager(self.db)
-            self.clock = SimulatedClock(now=1)
-            self.cron = DBCron(self.manager, self.clock, period=7)
+            self.attach_database(load_database(argument))
             return f"loaded {argument}"
         return f"unknown command \\{command} (try \\help)"
+
+    def _render_metrics(self) -> str:
+        """Formatted snapshot of every registered metric."""
+        snapshot = self.metrics()
+        if not snapshot:
+            return "(no metrics recorded)"
+        lines = []
+        for name in sorted(snapshot):
+            value = snapshot[name]
+            if isinstance(value, dict):
+                if not value["count"]:
+                    lines.append(f"{name:<32} count 0")
+                    continue
+                lines.append(
+                    f"{name:<32} count {value['count']:<8} "
+                    f"p50 {value['p50'] * 1e3:.3f}ms  "
+                    f"p99 {value['p99'] * 1e3:.3f}ms  "
+                    f"sum {value['sum'] * 1e3:.3f}ms")
+            else:
+                lines.append(f"{name:<32} {value}")
+        return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -3,9 +3,13 @@
 Every error raised by :mod:`repro.core` derives from :class:`CalendarError`
 so that applications can catch calendar-system problems with a single
 ``except`` clause while still being able to discriminate the cause.
+:class:`CalendarError` itself derives from the package-wide
+:class:`repro.errors.ReproError` (with its ``context`` payload).
 """
 
 from __future__ import annotations
+
+from repro.errors import ReproError
 
 __all__ = [
     "CalendarError",
@@ -16,10 +20,11 @@ __all__ = [
     "SelectionError",
     "OperatorError",
     "LifespanError",
+    "ConfigurationError",
 ]
 
 
-class CalendarError(Exception):
+class CalendarError(ReproError):
     """Base class of all calendar-system errors."""
 
 
@@ -49,3 +54,7 @@ class OperatorError(CalendarError, ValueError):
 
 class LifespanError(CalendarError, ValueError):
     """A request falls outside a calendar's declared lifespan."""
+
+
+class ConfigurationError(CalendarError, ValueError):
+    """A component was built with invalid configuration (sizes, bounds)."""

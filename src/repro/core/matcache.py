@@ -44,10 +44,13 @@ import threading
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.calendar import Calendar
+from repro.core.errors import ConfigurationError
 from repro.core.granularity import Granularity
 from repro.core.interval import Interval
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "MaterialisationCache",
@@ -134,22 +137,39 @@ class MaterialisationCache:
     (0 disables caching), ``memo_maxsize`` bounds the generic memo used
     by higher layers, and ``max_entry_elements`` caps how far a single
     entry may grow through extension merging before it is replaced.
+
+    Counters live in a :class:`~repro.obs.metrics.MetricsRegistry`
+    (``matcache.*`` instruments, one registry per cache unless one is
+    shared in) with hit/miss/extension latencies recorded as histograms;
+    :meth:`stats` is the backwards-compatible adapter that renders them
+    under the historical flat key names.
     """
 
+    #: Counter names, identical to the historical ad-hoc stats keys.
+    _STAT_KEYS = ("hits", "misses", "extensions", "evictions",
+                  "uncacheable", "served_intervals",
+                  "generated_intervals", "memo_hits", "memo_misses")
+
     def __init__(self, maxsize: int = 256, memo_maxsize: int = 2048,
-                 max_entry_elements: int = 1_000_000) -> None:
+                 max_entry_elements: int = 1_000_000,
+                 metrics: MetricsRegistry | None = None) -> None:
         if maxsize < 0 or memo_maxsize < 0:
-            raise ValueError("cache sizes must be >= 0")
+            raise ConfigurationError("cache sizes must be >= 0")
         self.maxsize = maxsize
         self.memo_maxsize = memo_maxsize if maxsize else 0
         self.max_entry_elements = max_entry_elements
         self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
         self._memo: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
-        self._stats = {
-            "hits": 0, "misses": 0, "extensions": 0, "evictions": 0,
-            "uncacheable": 0, "served_intervals": 0,
-            "generated_intervals": 0, "memo_hits": 0, "memo_misses": 0,
+        #: Backing metrics registry (private unless one is shared in).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._counters = {name: self.metrics.counter(f"matcache.{name}")
+                          for name in self._STAT_KEYS}
+        self._latency = {
+            "hit": self.metrics.histogram("matcache.hit_seconds"),
+            "miss": self.metrics.histogram("matcache.miss_seconds"),
+            "extension": self.metrics.histogram(
+                "matcache.extension_seconds"),
         }
 
     @property
@@ -170,6 +190,7 @@ class MaterialisationCache:
         unknown modes, a disabled cache) by falling through to
         :meth:`~repro.core.basis.CalendarSystem.generate` unchanged.
         """
+        t0 = perf_counter()
         start, end = window
         if not self.enabled:
             return self._direct(system, cal, unit, (start, end), mode)
@@ -191,9 +212,10 @@ class MaterialisationCache:
             entry = self._entries.get(key)
             if entry is not None and entry.covers(start, end):
                 self._entries.move_to_end(key)
-                self._stats["hits"] += 1
+                self._counters["hits"].inc()
                 result = entry.serve(start, end, mode)
-                self._stats["served_intervals"] += len(result)
+                self._counters["served_intervals"].inc(len(result))
+                self._latency["hit"].observe(perf_counter() - t0)
                 return result
         # Generate outside the lock (extension windows or a full miss),
         # then merge/install under it.
@@ -203,13 +225,15 @@ class MaterialisationCache:
                 entry = self._entries.get(key)
                 if entry is not None and entry.covers(start, end):
                     result = entry.serve(start, end, mode)
-                    self._stats["served_intervals"] += len(result)
+                    self._counters["served_intervals"].inc(len(result))
+                    self._latency["extension"].observe(perf_counter() - t0)
                     return result
-        return self._install(system, key, cal_g, unit_g, start, end, mode)
+        result = self._install(system, key, cal_g, unit_g, start, end, mode)
+        self._latency["miss"].observe(perf_counter() - t0)
+        return result
 
     def _direct(self, system, cal, unit, window, mode) -> Calendar:
-        with self._lock:
-            self._stats["uncacheable"] += 1
+        self._counters["uncacheable"].inc()
         return system.generate(cal, unit, window, mode=mode)
 
     def _install(self, system, key, cal_g, unit_g, start, end,
@@ -218,8 +242,8 @@ class MaterialisationCache:
         cover = system.generate(cal_g, unit_g, (start, end), mode="cover")
         entry = _Entry.build((start, end), cover)
         with self._lock:
-            self._stats["misses"] += 1
-            self._stats["generated_intervals"] += len(cover)
+            self._counters["misses"].inc()
+            self._counters["generated_intervals"].inc(len(cover))
             current = self._entries.get(key)
             # Keep whichever window is wider when another thread (or a
             # far-away request) raced us; recency wins ties.
@@ -228,11 +252,11 @@ class MaterialisationCache:
                 self._entries.move_to_end(key)
                 while len(self._entries) > self.maxsize:
                     self._entries.popitem(last=False)
-                    self._stats["evictions"] += 1
+                    self._counters["evictions"].inc()
             result = self._entries[key].serve(start, end, mode) \
                 if self._entries[key].covers(start, end) \
                 else entry.serve(start, end, mode)
-            self._stats["served_intervals"] += len(result)
+            self._counters["served_intervals"].inc(len(result))
             return result
 
     def _extend(self, system, key, entry: _Entry, lo: int,
@@ -281,8 +305,8 @@ class MaterialisationCache:
             if current is not entry:
                 # Lost a race; let the caller retry against current state.
                 return current is not None and current.covers(lo, hi)
-            self._stats["extensions"] += 1
-            self._stats["generated_intervals"] += generated
+            self._counters["extensions"].inc()
+            self._counters["generated_intervals"].inc(generated)
             self._entries[key] = new_entry
             self._entries.move_to_end(key)
         return True
@@ -298,9 +322,9 @@ class MaterialisationCache:
         with self._lock:
             value = self._memo.get(key, self._MISSING)
             if value is self._MISSING:
-                self._stats["memo_misses"] += 1
+                self._counters["memo_misses"].inc()
                 return None
-            self._stats["memo_hits"] += 1
+            self._counters["memo_hits"].inc()
             self._memo.move_to_end(key)
             return value
 
@@ -317,20 +341,29 @@ class MaterialisationCache:
     # -- stats / lifecycle ----------------------------------------------------
 
     def stats(self) -> dict:
-        """A snapshot of the counters, plus the derived hit ratio."""
-        with self._lock:
-            out = dict(self._stats)
+        """A snapshot of the counters, plus the derived hit ratio.
+
+        The adapter over the metrics-backed instruments: historical flat
+        key names are preserved (``hits``, ``misses``, …) and latency
+        histograms are added under ``*_seconds`` keys as summary dicts.
+        """
+        out = {name: counter.value
+               for name, counter in self._counters.items()}
         lookups = out["hits"] + out["misses"] + out["extensions"]
-        out["entries"] = len(self._entries)
-        out["memo_entries"] = len(self._memo)
+        with self._lock:
+            out["entries"] = len(self._entries)
+            out["memo_entries"] = len(self._memo)
         out["hit_ratio"] = out["hits"] / lookups if lookups else 0.0
+        for kind, histogram in self._latency.items():
+            out[f"{kind}_seconds"] = histogram.summary()
         return out
 
     def reset_stats(self) -> None:
-        """Zero every counter (entries are kept)."""
-        with self._lock:
-            for key in self._stats:
-                self._stats[key] = 0
+        """Zero every counter and latency histogram (entries are kept)."""
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._latency.values():
+            histogram.reset()
 
     def clear(self) -> None:
         """Drop every entry and memo value (counters are kept)."""
@@ -356,12 +389,18 @@ def _default_maxsize() -> int:
 
 
 def get_default_cache() -> MaterialisationCache:
-    """The process-wide cache (created on first use; see module docs)."""
+    """The process-wide cache (created on first use; see module docs).
+
+    Its counters live in the process-wide instrumentation bundle's
+    metrics registry, so ``\\metrics`` and JSON exports include them.
+    """
     global _default_cache
     with _default_lock:
         if _default_cache is None:
+            from repro.obs.instrument import get_default_instrumentation
             _default_cache = MaterialisationCache(
-                maxsize=_default_maxsize())
+                maxsize=_default_maxsize(),
+                metrics=get_default_instrumentation().metrics)
         return _default_cache
 
 

@@ -19,9 +19,11 @@ DBMS" strategy (section 5).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Sequence
 
 from repro.catalog.registry import CalendarRegistry
+from repro.errors import ReproError
 from repro.core.arithmetic import (
     count_points_between,
     next_point,
@@ -119,10 +121,39 @@ class Database:
 
     # -- queries ------------------------------------------------------------------
 
+    @property
+    def instrumentation(self):
+        """The metrics/tracing attachment point (the registry's)."""
+        return self.calendars.instrumentation
+
     def execute(self, query: str, bindings: dict | None = None) -> Result:
-        """Parse and execute one Postquel statement."""
-        statement = parse_statement(query)
-        return self._executor.execute(statement, bindings)
+        """Parse and execute one Postquel statement.
+
+        Execution counts and latencies are recorded under the
+        ``db.statements`` / ``db.statement_seconds`` metrics; with
+        tracing on, each statement gets a ``db.execute`` span with
+        ``db.parse`` / ``db.stmt.<Kind>`` children.
+        """
+        inst = self.instrumentation
+        tracer = inst.tracer
+        t0 = perf_counter()
+        try:
+            if tracer is None:
+                statement = parse_statement(query)
+                result = self._executor.execute(statement, bindings)
+            else:
+                with tracer.span("db.execute", query=query):
+                    with tracer.span("db.parse"):
+                        statement = parse_statement(query)
+                    with tracer.span(
+                            f"db.stmt.{type(statement).__name__}"):
+                        result = self._executor.execute(statement, bindings)
+        except ReproError as exc:
+            raise exc.add_context(query=query)
+        inst.metrics.counter("db.statements").inc()
+        inst.metrics.histogram("db.statement_seconds").observe(
+            perf_counter() - t0)
+        return result
 
     def retrieve(self, query: str, bindings: dict | None = None) -> Result:
         """Alias of :meth:`execute` for read queries."""

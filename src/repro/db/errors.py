@@ -1,6 +1,14 @@
-"""Exception hierarchy for the mini-POSTGRES substrate."""
+"""Exception hierarchy for the mini-POSTGRES substrate.
+
+:class:`DatabaseError` derives from the package-wide
+:class:`repro.errors.ReproError`, so one ``except ReproError`` catches
+database and calendar problems alike while subsystem bases stay
+distinct.
+"""
 
 from __future__ import annotations
+
+from repro.errors import ReproError
 
 __all__ = [
     "DatabaseError",
@@ -13,7 +21,7 @@ __all__ = [
 ]
 
 
-class DatabaseError(Exception):
+class DatabaseError(ReproError):
     """Base class of all database-substrate errors."""
 
 

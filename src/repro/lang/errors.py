@@ -12,11 +12,17 @@ __all__ = [
     "EvaluationError",
     "PlanError",
     "LoopLimitError",
+    "CircularDefinitionError",
 ]
 
 
 class LanguageError(CalendarError):
-    """Base class for calendar-expression-language errors."""
+    """Base class for calendar-expression-language errors.
+
+    A known source location is rendered into the message and recorded in
+    the :class:`~repro.errors.ReproError` ``context`` payload (keys
+    ``line``/``column``) for programmatic consumers.
+    """
 
     def __init__(self, message: str, line: int | None = None,
                  column: int | None = None) -> None:
@@ -25,6 +31,8 @@ class LanguageError(CalendarError):
         if line is not None:
             message = f"{message} (line {line}, column {column})"
         super().__init__(message)
+        if line is not None:
+            self.add_context(line=line, column=column)
 
 
 class LexError(LanguageError):
@@ -49,3 +57,11 @@ class PlanError(LanguageError):
 
 class LoopLimitError(EvaluationError):
     """A ``while`` loop exceeded the interpreter's iteration budget."""
+
+
+class CircularDefinitionError(LanguageError, RecursionError):
+    """Derivation-script expansion recursed too deep (circular derivation).
+
+    Also a :class:`RecursionError` for backwards compatibility with
+    callers that caught the builtin.
+    """

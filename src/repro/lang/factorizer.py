@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from repro.core.granularity import Granularity
 from repro.lang import ast
 from repro.lang.defs import BasicDef, DerivedDef, ExplicitDef, Resolver
+from repro.lang.errors import CircularDefinitionError
 
 __all__ = ["expand", "factorize", "granularity_of", "base_calendar_of",
            "FactorizationResult"]
@@ -48,8 +49,8 @@ def expand(node: ast.Expr, resolver: Resolver,
     are evaluated through the catalog at run time.
     """
     if _depth > 32:
-        raise RecursionError("calendar definition expansion too deep "
-                             "(circular derivation?)")
+        raise CircularDefinitionError("calendar definition expansion too "
+                                      "deep (circular derivation?)")
     temporaries = temporaries or {}
     if isinstance(node, ast.Name):
         key = node.ident.lower()
@@ -185,6 +186,38 @@ def _rewrap(wrappers: list, core: ast.Expr) -> ast.Expr:
     return core
 
 
+def _selects_one(predicate) -> bool:
+    """True when a ``[x]/`` predicate picks exactly one element per group."""
+    items = predicate.items
+    return len(items) == 1 and not isinstance(items[0], tuple)
+
+
+def _is_singleton(node: ast.Expr, resolver: Resolver) -> bool:
+    """Statically guaranteed to denote at most one interval.
+
+    Anchored years (``1993/YEARS`` — year labels are globally unique)
+    and single-index selections within them
+    (``[1]/MONTHS:during:1993/YEARS``) qualify; anything else is
+    conservatively not a singleton.
+    """
+    if isinstance(node, ast.LabelSelect):
+        return (isinstance(node.label, int)
+                and not isinstance(node.label, bool)
+                and _is_full_basic(node.child, resolver) is not None
+                and granularity_of(node.child, resolver)
+                == Granularity.YEARS)
+    if isinstance(node, ast.Select):
+        if not _selects_one(node.predicate):
+            return False
+        child = node.child
+        if isinstance(child, ast.ForEach):
+            # [k]/ keeps one element per group; there is one group in
+            # total when the grouping reference is itself a singleton.
+            return _is_singleton(child.right, resolver)
+        return _is_singleton(child, resolver)
+    return False
+
+
 def _try_rule(node: ast.ForEach, resolver: Resolver) -> ast.Expr | None:
     """Apply the paper's rewrite once at ``node`` if its shape matches.
 
@@ -207,6 +240,11 @@ def _try_rule(node: ast.ForEach, resolver: Resolver) -> ast.Expr | None:
     if gran_y is None or gran_y != gran_z:
         return None
     if base_calendar_of(z, resolver) != basic_y:
+        return None
+    if not _is_singleton(z, resolver):
+        # Dropping the outer regrouping pass is only shape-preserving
+        # when Z contributes at most one group (singleton groupings
+        # normalise away): ``(Tuesdays):during:WEEKS`` must stay order-2.
         return None
     if op1 == "<=" and op2 == "<=":
         core: ast.Expr = ast.ForEach(x, op2, z, node.strict)

@@ -96,6 +96,11 @@ class EvalContext:
     stats: dict = field(default_factory=lambda: {
         "generate_calls": 0, "generate_cache_hits": 0,
         "intervals_generated": 0})
+    #: Active span tracer, or None when tracing is disabled — hot paths
+    #: guard every span with a single ``if tracer is not None`` branch.
+    tracer: object | None = None
+    #: Metrics registry for step timings (only written when tracing).
+    metrics: object | None = None
 
     def spawn_env(self) -> "EvalContext":
         """A child context with a fresh variable environment (shared cache)."""
@@ -104,7 +109,8 @@ class EvalContext:
             unit=self.unit, today=self.today, env={},
             functions=self.functions, while_hook=self.while_hook,
             max_loop_iterations=self.max_loop_iterations, cache=self.cache,
-            matcache=self.matcache, stats=self.stats)
+            matcache=self.matcache, stats=self.stats,
+            tracer=self.tracer, metrics=self.metrics)
 
     # -- materialisation -------------------------------------------------------
 
@@ -226,6 +232,11 @@ class Interpreter:
         :func:`clip_to_window`); use :meth:`evaluate_raw` to keep
         padded-boundary elements.
         """
+        tracer = self.context.tracer
+        if tracer is not None:
+            with tracer.span("interp.evaluate",
+                             node=type(node).__name__):
+                return self._finish(self._eval(node))
         return self._finish(self._eval(node))
 
     def evaluate_raw(self, node: ast.Expr):
@@ -263,8 +274,14 @@ class Interpreter:
     # -- statements ----------------------------------------------------------------
 
     def _exec_body(self, body) -> None:
+        tracer = self.context.tracer
+        if tracer is None:
+            for stmt in body:
+                self._exec(stmt)
+            return
         for stmt in body:
-            self._exec(stmt)
+            with tracer.span(f"interp.stmt.{type(stmt).__name__}"):
+                self._exec(stmt)
 
     def _exec(self, stmt: ast.Stmt) -> None:
         if isinstance(stmt, ast.Assign):

@@ -262,10 +262,43 @@ class PlanVM:
         self.context = context
 
     def run(self, plan: Plan) -> Calendar:
-        """Execute the steps in order; the (window-clipped) result."""
+        """Execute the steps in order; the (window-clipped) result.
+
+        When the context carries an active tracer this dispatches to the
+        instrumented twin :meth:`_run_traced`; the disabled-tracing cost
+        is this single ``is not None`` branch per plan run.
+        """
+        if self.context.tracer is not None:
+            return self._run_traced(plan)
         registers: dict[str, object] = {}
         for step in plan.steps:
             registers[step.target] = self._run_step(step, registers)
+        return self._finish(plan, registers)
+
+    def _run_traced(self, plan: Plan) -> Calendar:
+        """Instrumented twin of :meth:`run`: per-opcode spans + timings."""
+        from time import perf_counter
+
+        tracer = self.context.tracer
+        metrics = self.context.metrics
+        step_hist = metrics.histogram("vm.step_seconds") if metrics else None
+        step_count = metrics.counter("vm.steps") if metrics else None
+        with tracer.span("plan.run", steps=len(plan.steps),
+                         result=plan.result):
+            registers: dict[str, object] = {}
+            for step in plan.steps:
+                with tracer.span(f"plan.step.{type(step).__name__}",
+                                 target=step.target):
+                    t0 = perf_counter()
+                    registers[step.target] = self._run_step(step, registers)
+                    if step_hist is not None:
+                        step_hist.observe(perf_counter() - t0)
+                        step_count.inc()
+            with tracer.span("plan.finish"):
+                return self._finish(plan, registers)
+
+    def _finish(self, plan: Plan, registers: dict) -> Calendar:
+        """Fetch the result register and clip it to the context window."""
         try:
             result = registers[plan.result]
         except KeyError:

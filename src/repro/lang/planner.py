@@ -91,6 +91,9 @@ class Planner:
     #: Disable window narrowing (ablation switch): every generate step
     #: uses the full context window.
     narrow: bool = True
+    #: Active span tracer (or None): planner decisions — window
+    #: narrowing, shared-register reuse — are recorded as point events.
+    tracer: object | None = None
 
     _steps: list[PlanStep] = field(default_factory=list)
     _registers: dict = field(default_factory=dict)
@@ -138,6 +141,8 @@ class Planner:
             # Day-based narrowing only; other units stay conservative.
             return None
         lo, hi = self.system.epoch.days_of_year(year)
+        if self.tracer is not None:
+            self.tracer.event("planner.narrow", year=year, lo=lo, hi=hi)
         return WindowSpec((lo, hi))
 
     def _extend_back(self, window: WindowSpec) -> WindowSpec:
@@ -193,6 +198,10 @@ class Planner:
     def _emit(self, key, make_step) -> str:
         """Emit a step unless an identical one already has a register."""
         if key in self._registers:
+            if self.tracer is not None:
+                self.tracer.event("planner.shared_register",
+                                  register=self._registers[key],
+                                  kind=key[0])
             return self._registers[key]
         target = self._fresh()
         self._steps.append(make_step(target))
@@ -356,7 +365,8 @@ def compile_expression(expr: ast.Expr, system: CalendarSystem,
                        unit: Granularity = Granularity.DAYS,
                        context_window: tuple[int, int] | None = None,
                        narrow: bool = True,
-                       matcache=None, memo_key=None) -> Plan:
+                       matcache=None, memo_key=None,
+                       tracer=None) -> Plan:
     """Compile ``expr`` into an evaluation plan.
 
     When a :class:`~repro.core.matcache.MaterialisationCache` and a
@@ -372,11 +382,14 @@ def compile_expression(expr: ast.Expr, system: CalendarSystem,
         full_key = ("plan", memo_key, unit, context_window, narrow)
         cached = matcache.memo_get(full_key)
         if isinstance(cached, Plan):
+            if tracer is not None:
+                tracer.event("planner.plan_cached", steps=len(cached.steps))
             return cached
         if isinstance(cached, PlanError):
             raise cached
     planner = Planner(system=system, resolver=resolver, unit=unit,
-                      context_window=context_window, narrow=narrow)
+                      context_window=context_window, narrow=narrow,
+                      tracer=tracer)
     try:
         plan = planner.compile(expr)
     except PlanError as exc:

@@ -1,0 +1,33 @@
+"""Observability: metrics, execution tracing and JSON export.
+
+The subsystem behind the unified :class:`repro.Session` instrumentation
+API — see :mod:`repro.obs.metrics` (counters/gauges/histograms),
+:mod:`repro.obs.tracer` (nested spans, trace ring buffer),
+:mod:`repro.obs.instrument` (the bundle wired through interpreter, plan
+VM, planner, materialisation cache, query executor and DBCRON) and
+:mod:`repro.obs.export` (JSON snapshots).
+"""
+
+from repro.obs.export import export_json, metrics_to_dict, traces_to_dict
+from repro.obs.instrument import (
+    Instrumentation,
+    get_default_instrumentation,
+    set_default_instrumentation,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_LATENCY_BOUNDS",
+    "Span", "Tracer",
+    "Instrumentation", "get_default_instrumentation",
+    "set_default_instrumentation",
+    "metrics_to_dict", "traces_to_dict", "export_json",
+]

@@ -1,0 +1,273 @@
+"""Process metrics: counters, gauges and monotonic-timing histograms.
+
+A :class:`MetricsRegistry` owns named instruments.  Instruments are
+created on first use (``registry.counter("matcache.hits")``) and the same
+object is returned for the same name thereafter, so call sites can bind
+an instrument once and update it lock-cheap in hot loops.  Three kinds:
+
+* :class:`Counter` — a monotonically increasing integer (events, items);
+* :class:`Gauge` — a point-in-time value that moves both ways (drift,
+  heap depth);
+* :class:`Histogram` — a distribution over fixed exponential buckets,
+  tuned for wall-clock timings measured with
+  :func:`time.perf_counter` (1µs … 10s).
+
+Every instrument is thread-safe; snapshots (:meth:`MetricsRegistry.
+snapshot`) are consistent per instrument, not across instruments — good
+enough for observability, cheap enough for hot paths.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_LATENCY_BOUNDS"]
+
+#: Upper bounds (seconds) of the default latency buckets: a 1-2.5-5
+#: series from 1µs to 10s; one implicit overflow bucket above the last.
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = tuple(
+    base * scale
+    for scale in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+    for base in (1.0, 2.5, 5.0)
+) + (10.0,)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "description", "_value", "_lock")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (negative amounts are rejected)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the counter (stats-reset support, not for normal use)."""
+        with self._lock:
+            self._value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    __slots__ = ("name", "description", "_value", "_lock")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        """Move the gauge by ``delta`` (either direction)."""
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        """The current gauge value."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the gauge."""
+        with self._lock:
+            self._value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self._value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram for monotonic (perf_counter) timings.
+
+    Buckets are defined by their inclusive upper bounds plus an implicit
+    overflow bucket; the defaults cover 1µs–10s on a 1-2.5-5 series.
+    Tracks count, sum, min and max exactly; quantiles are estimated from
+    the bucket boundaries (an upper bound — good enough to find a hot
+    kernel, not for SLA maths).
+    """
+
+    __slots__ = ("name", "description", "bounds", "_counts", "_count",
+                 "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, description: str = "",
+                 bounds: "tuple[float, ...] | None" = None) -> None:
+        self.name = name
+        self.description = description
+        self.bounds = tuple(bounds) if bounds is not None \
+            else DEFAULT_LATENCY_BOUNDS
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise ValueError(
+                f"histogram {name!r} bucket bounds must be sorted and "
+                "non-empty")
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all recorded samples."""
+        return self._sum
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile (0..1); None when empty.
+
+        Returns the upper bound of the bucket holding the quantile
+        (clamped to the observed max), an intentionally conservative
+        estimate.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return None
+            rank = q * self._count
+            seen = 0
+            for i, bucket_count in enumerate(self._counts):
+                seen += bucket_count
+                if seen >= rank and bucket_count:
+                    bound = self.bounds[i] if i < len(self.bounds) \
+                        else self._max
+                    return min(bound, self._max)
+            return self._max
+
+    def summary(self) -> dict:
+        """Count/sum/mean/min/max plus p50/p90/p99 estimates."""
+        with self._lock:
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+        out = {
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else None,
+            "min": lo,
+            "max": hi,
+        }
+        for label, q in (("p50", 0.5), ("p90", 0.9), ("p99", 0.99)):
+            out[label] = self.quantile(q)
+        return out
+
+    def reset(self) -> None:
+        """Drop every recorded sample."""
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self._count})"
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and shared thereafter."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}")
+            return instrument
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get_or_create(
+            name, Counter, lambda: Counter(name, description))
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get_or_create(
+            name, Gauge, lambda: Gauge(name, description))
+
+    def histogram(self, name: str, description: str = "",
+                  bounds: "tuple[float, ...] | None" = None) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, description, bounds))
+
+    def names(self) -> list[str]:
+        """Sorted names of every registered instrument."""
+        with self._lock:
+            return sorted(self._instruments)
+
+    def get(self, name: str):
+        """The instrument under ``name``, or None."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot of every instrument, keyed by name.
+
+        Counters and gauges map to their value; histograms to their
+        :meth:`Histogram.summary` dict.
+        """
+        with self._lock:
+            instruments = list(self._instruments.items())
+        out: dict = {}
+        for name, instrument in sorted(instruments):
+            if isinstance(instrument, Histogram):
+                out[name] = instrument.summary()
+            else:
+                out[name] = instrument.value
+        return out
+
+    def reset(self) -> None:
+        """Reset every instrument (counters/gauges to 0, histograms empty)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument.reset()

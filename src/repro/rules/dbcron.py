@@ -16,7 +16,8 @@ sleeps between wake-ups.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from time import perf_counter
 
 from repro.core.errors import AxisError
 from repro.core.interval import axis_add
@@ -76,6 +77,9 @@ class DBCron:
             loaded += 1
         self.stats.max_heap_size = max(self.stats.max_heap_size,
                                        len(self._heap))
+        metrics = self.db.instrumentation.metrics
+        metrics.counter("dbcron.probes").inc()
+        metrics.gauge("dbcron.heap_size").set(len(self._heap))
         return loaded
 
     def _push(self, fire_tick: int, name: str) -> None:
@@ -98,15 +102,34 @@ class DBCron:
         self.fire_due()
 
     def fire_due(self) -> int:
-        """Fire every scheduled entry whose time has come; count fired."""
+        """Fire every scheduled entry whose time has come; count fired.
+
+        Records per-fire latency (``dbcron.fire_seconds``) and how far
+        behind schedule the daemon is running (``dbcron.fire_drift_ticks``
+        — the gap between the clock and the entry's fire tick); with
+        tracing on, each fire gets a ``rule.fire`` span.
+        """
         now = self.clock.now
+        inst = self.db.instrumentation
+        tracer = inst.tracer
+        fire_hist = inst.metrics.histogram("dbcron.fire_seconds")
+        drift_gauge = inst.metrics.gauge("dbcron.fire_drift_ticks")
         fired = 0
         while self._heap and self._heap[0][0] <= now:
             fire_tick, _, name = heapq.heappop(self._heap)
             if self._scheduled.get(name) != fire_tick:
                 continue  # stale entry (rule dropped or rescheduled)
             del self._scheduled[name]
-            next_fire = self.manager.fire_temporal(name, fire_tick)
+            drift_gauge.set(now - fire_tick)
+            t0 = perf_counter()
+            if tracer is not None:
+                with tracer.span("rule.fire", rule=name, tick=fire_tick,
+                                 drift=now - fire_tick):
+                    next_fire = self.manager.fire_temporal(name, fire_tick)
+            else:
+                next_fire = self.manager.fire_temporal(name, fire_tick)
+            fire_hist.observe(perf_counter() - t0)
+            inst.metrics.counter("dbcron.fires").inc()
             fired += 1
             self.stats.fires += 1
             if next_fire is not None:

@@ -95,7 +95,13 @@ class TemporalRule:
         cached = registry.matcache.memo_get(key)
         if cached is not None:
             return cached[0]
-        result = self._next_trigger(registry, after, horizon_days)
+        tracer = registry.instrumentation.tracer
+        if tracer is not None:
+            with tracer.span("rule.next_trigger", rule=self.name,
+                             after=after):
+                result = self._next_trigger(registry, after, horizon_days)
+        else:
+            result = self._next_trigger(registry, after, horizon_days)
         registry.matcache.memo_put(key, (result,))
         return result
 

@@ -1,0 +1,278 @@
+"""The unified entry point: one object wiring the whole stack together.
+
+A :class:`Session` constructs (or adopts) the calendar registry, the
+database, the rule manager, the simulated clock and the DBCRON daemon
+*together*, attaching one :class:`~repro.obs.instrument.Instrumentation`
+to all of them.  It is the recommended facade for programmatic use::
+
+    from repro import Session
+
+    session = Session("Jan 1 1987")
+    cal = session.eval("[3]/WEEKS:overlaps:[1]/MONTHS:during:1993/YEARS")
+    print(session.explain("AM_BUS_DAYS - HOLIDAYS").render())
+    profile = session.profile("[22]/DAYS:during:MONTHS")
+    print(profile.render())
+
+The individual constructors (:class:`~repro.catalog.CalendarRegistry`,
+:class:`~repro.db.Database`, :class:`~repro.rules.RuleManager`, …) keep
+working unchanged; a session merely saves the boilerplate of wiring them
+and gives observability (``explain`` / ``profile`` / ``metrics``) one
+obvious home.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog import (
+    CalendarRegistry,
+    install_standard_calendars,
+    install_us_holidays,
+)
+from repro.core.basis import CalendarSystem
+from repro.core.matcache import MaterialisationCache
+from repro.db import Database
+from repro.lang.errors import ParseError, PlanError
+from repro.lang.factorizer import factorize
+from repro.lang.parser import parse_expression
+from repro.lang.plan import Plan
+from repro.lang.planner import compile_expression
+from repro.obs.instrument import Instrumentation
+from repro.obs.export import export_json
+from repro.obs.tracer import Span, Tracer
+from repro.rules import DBCron, RuleManager, SimulatedClock
+
+__all__ = ["Session", "Explanation", "Profile"]
+
+
+@dataclass
+class Explanation:
+    """The annotated evaluation strategy of a calendar expression."""
+
+    #: The expression (or calendar name) that was explained.
+    source: str
+    #: Rendering of the factorized expression actually evaluated.
+    factored: str
+    #: Factorizer rewrites applied, in application order.
+    rewrites: list[str] = field(default_factory=list)
+    #: The compiled evaluation plan, or None when the expression can only
+    #: run through the interpreter.
+    plan: Plan | None = None
+    #: Why there is no plan (empty when there is one).
+    note: str = ""
+
+    def render(self) -> str:
+        """Readable multi-line rendering of the whole strategy."""
+        lines = [f"expression : {self.source}"]
+        if self.factored != self.source:
+            lines.append(f"factorized : {self.factored}")
+        for rewrite in self.rewrites:
+            lines.append(f"  rewrite  : {rewrite}")
+        if self.plan is not None:
+            lines.append(f"plan ({len(self.plan)} steps):")
+            for step in self.plan.steps:
+                lines.append(f"  {step.describe()}")
+            lines.append(f"  return {self.plan.result}")
+        else:
+            lines.append(f"plan       : none ({self.note or 'interpreter'})")
+        return "\n".join(lines)
+
+
+@dataclass
+class Profile:
+    """A timed execution: the span tree of one traced evaluation."""
+
+    #: The expression/script that was profiled.
+    source: str
+    #: Root span of the traced run ("session.profile").
+    root: Span
+    #: The evaluation result (usually a Calendar).
+    result: object = None
+
+    def steps(self) -> list[Span]:
+        """The per-opcode plan VM spans, in execution order."""
+        return [span for span in self.root.walk()
+                if span.name.startswith("plan.step.")]
+
+    @property
+    def coverage(self) -> float:
+        """Share of the root's wall time covered by leaf spans."""
+        total = self.root.duration
+        if total <= 0.0:
+            return 1.0
+        covered = sum(span.duration for span in self.root.leaves())
+        return min(1.0, covered / total)
+
+    def render(self) -> str:
+        """The per-step timing tree (ms and share of total)."""
+        return self.root.tree()
+
+
+class Session:
+    """Registry + database + rules + clock behind one constructor.
+
+    ``Session(epoch)`` builds the full stack with the standard calendars
+    installed; ``Session(database=db)`` adopts an existing database (and
+    its registry) instead — both leave every component reachable as an
+    attribute (``registry``, ``db``, ``manager``, ``clock``, ``cron``)
+    so existing code keeps working underneath the facade.
+    """
+
+    def __init__(self, epoch: str = "Jan 1 1987", *,
+                 system: CalendarSystem | None = None,
+                 registry: CalendarRegistry | None = None,
+                 database: Database | None = None,
+                 horizon_years: int = 30,
+                 standard_calendars: bool = True,
+                 holiday_years: tuple[int, int] | None = None,
+                 clock_start: int = 1, cron_period: int = 7,
+                 matcache: MaterialisationCache | None = None,
+                 instrumentation: Instrumentation | None = None) -> None:
+        self._explicit_instrumentation = instrumentation
+        if database is None:
+            if registry is None:
+                registry = CalendarRegistry(
+                    system or CalendarSystem.starting(epoch),
+                    default_horizon_years=horizon_years,
+                    matcache=matcache,
+                    instrumentation=instrumentation)
+                if standard_calendars:
+                    install_standard_calendars(registry)
+                if holiday_years is not None:
+                    install_us_holidays(registry, *holiday_years)
+            database = Database(calendars=registry)
+        self.attach_database(database, clock_start=clock_start,
+                             cron_period=cron_period)
+
+    def attach_database(self, database: Database, *,
+                        clock_start: int = 1,
+                        cron_period: int = 7) -> None:
+        """Adopt a database (e.g. a restored one) as this session's stack.
+
+        Rebuilds the rule manager / clock / DBCRON wiring around it and
+        re-points the session attributes; the previous components are
+        discarded.
+        """
+        if self._explicit_instrumentation is not None:
+            database.calendars.instrumentation = \
+                self._explicit_instrumentation
+        self.db = database
+        self.registry = database.calendars
+        self.system = self.registry.system
+        self.manager = database.rule_manager or RuleManager(database)
+        self.clock = SimulatedClock(now=clock_start)
+        self.cron = DBCron(self.manager, self.clock, period=cron_period)
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def instrumentation(self) -> Instrumentation:
+        """The metrics/tracing attachment point shared by the stack."""
+        return self.registry.instrumentation
+
+    def metrics(self) -> dict:
+        """Snapshot of every metric: name -> value/summary."""
+        return self.instrumentation.metrics.snapshot()
+
+    def recent_traces(self) -> list[Span]:
+        """Recently finished root spans (requires tracing enabled)."""
+        return self.instrumentation.recent_traces()
+
+    def export_json(self, *, traces: bool = True, indent: int = 2) -> str:
+        """Metrics (and optionally traces) as a JSON document."""
+        return export_json(self.instrumentation, traces=traces,
+                           indent=indent)
+
+    def cache_stats(self) -> dict:
+        """The shared materialisation cache's counters and latencies."""
+        return self.registry.cache_stats()
+
+    # -- evaluation ----------------------------------------------------------
+
+    def eval(self, text: str, *, window=None, today=None):
+        """Evaluate a calendar name, expression, or script.
+
+        Defined calendar names go through the catalog (stored plan),
+        expressions through factorize+plan, and anything that does not
+        parse as a single expression is run as a full script.
+        """
+        return self._run_text(text, window, today)
+
+    def query(self, text: str, bindings: dict | None = None):
+        """Execute one Postquel statement against the session database."""
+        return self.db.execute(text, bindings)
+
+    def next_occurrence(self, name_or_expr: str, after, **kwargs):
+        """Delegate to :meth:`CalendarRegistry.next_occurrence`."""
+        return self.registry.next_occurrence(name_or_expr, after, **kwargs)
+
+    def _run_text(self, text: str, window, today):
+        if text in self.registry:
+            return self.registry.evaluate(text, window=window, today=today)
+        try:
+            return self.registry.eval_expression(text, window=window,
+                                                 today=today)
+        except ParseError:
+            return self.registry.eval_script(text, window=window,
+                                             today=today)
+
+    # -- explain -------------------------------------------------------------
+
+    def explain(self, text: str, *, window=None) -> Explanation:
+        """The evaluation strategy of an expression or defined calendar.
+
+        Parses and factorizes ``text`` (or the derivation script of a
+        defined calendar), compiles the evaluation plan and reports the
+        applied rewrites — without executing anything.
+        """
+        registry = self.registry
+        source = text
+        if text in registry:
+            record = registry.record(text)
+            if record.is_explicit:
+                return Explanation(source=text, factored=text,
+                                   note="explicit calendar (stored values)")
+            parsed = record.parsed_script
+            if not parsed.is_single_expression():
+                return Explanation(
+                    source=text,
+                    factored=record.derivation_script or text,
+                    note="multi-statement script (interpreter)")
+            expr = parsed.single_expression()
+        else:
+            expr = parse_expression(text)
+        result = factorize(expr, registry.resolver)
+        ctx_window = registry._coerce_window(window)
+        try:
+            plan = compile_expression(result.expression, registry.system,
+                                      registry.resolver,
+                                      context_window=ctx_window)
+        except PlanError as exc:
+            return Explanation(source=source,
+                               factored=str(result.expression),
+                               rewrites=list(result.rewrites),
+                               note=f"interpreter fallback: {exc}")
+        return Explanation(source=source, factored=str(result.expression),
+                           rewrites=list(result.rewrites), plan=plan)
+
+    # -- profile -------------------------------------------------------------
+
+    def profile(self, text: str, *, window=None, today=None) -> Profile:
+        """Execute ``text`` with tracing forced on; the timing tree.
+
+        A private tracer is installed for the duration of the run (the
+        session's normal tracing state and trace ring are untouched) and
+        the root span wraps the whole evaluation, so
+        :attr:`Profile.coverage` reports how much of the wall time the
+        leaf spans account for.
+        """
+        inst = self.instrumentation
+        private = Tracer(ring_size=4)
+        previous = inst.swap_tracer(private, tracing=True)
+        try:
+            with private.span("session.profile", source=text):
+                result = self._run_text(text, window, today)
+        finally:
+            inst.swap_tracer(*previous)
+        root = private.recent()[-1]
+        return Profile(source=text, root=root, result=result)

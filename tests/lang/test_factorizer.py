@@ -187,6 +187,14 @@ class TestRuleGuards:
         result = factorize(expr, RESOLVER, expand_names=False)
         assert result.applied == 0
 
+    def test_no_rewrite_when_z_is_not_a_singleton(self):
+        # (Tuesdays):during:WEEKS regroups by *every* week; dropping the
+        # outer pass would flatten the order-2 result to order-1.  Only
+        # statically-singleton anchors (1993/YEARS, ...) may rewrite.
+        expr = parse_expression("([2]/DAYS:during:WEEKS):during:WEEKS")
+        result = factorize(expr, RESOLVER, expand_names=False)
+        assert result.applied == 0
+
     def test_leq_leq_exception_uses_op2(self):
         expr = parse_expression(
             "(DAYS:<=:MONTHS):<=:[1]/MONTHS:during:1993/YEARS")

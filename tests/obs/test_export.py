@@ -1,0 +1,48 @@
+"""JSON export of metrics and traces."""
+
+import json
+
+from repro.obs.export import export_json, metrics_to_dict, traces_to_dict
+from repro.obs.instrument import Instrumentation
+
+
+def _instrumented():
+    inst = Instrumentation(tracing=True)
+    inst.metrics.counter("c").inc(3)
+    inst.metrics.histogram("h").observe(0.002)
+    with inst.tracer.span("root", label="x"):
+        with inst.tracer.span("child"):
+            pass
+    return inst
+
+
+def test_metrics_to_dict():
+    inst = _instrumented()
+    data = metrics_to_dict(inst.metrics)
+    assert data["kind"] == "metrics"
+    assert data["metrics"]["c"] == 3
+    assert data["metrics"]["h"]["count"] == 1
+
+
+def test_traces_to_dict():
+    inst = _instrumented()
+    data = traces_to_dict(inst.recent_traces())
+    assert data["kind"] == "traces"
+    assert len(data["traces"]) == 1
+    assert data["traces"][0]["name"] == "root"
+    assert data["traces"][0]["children"][0]["name"] == "child"
+
+
+def test_export_json_round_trips():
+    inst = _instrumented()
+    document = json.loads(export_json(inst))
+    assert document["kind"] == "observability"
+    assert document["tracing"] is True
+    assert document["metrics"]["c"] == 3
+    assert document["traces"][0]["name"] == "root"
+
+
+def test_export_json_without_traces():
+    inst = _instrumented()
+    document = json.loads(export_json(inst, traces=False))
+    assert "traces" not in document

@@ -1,0 +1,131 @@
+"""Metrics instruments: counters, gauges, histograms, the registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_add_and_reset(self):
+        g = Gauge("depth")
+        g.set(7)
+        assert g.value == 7
+        g.add(-3)
+        assert g.value == 4
+        g.reset()
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_default_bounds_are_sorted_and_span_1us_to_10s(self):
+        assert list(DEFAULT_LATENCY_BOUNDS) == \
+            sorted(DEFAULT_LATENCY_BOUNDS)
+        assert DEFAULT_LATENCY_BOUNDS[0] == pytest.approx(1e-6)
+        assert DEFAULT_LATENCY_BOUNDS[-1] == pytest.approx(10.0)
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_count_sum_min_max(self):
+        h = Histogram("h")
+        for v in (0.001, 0.002, 0.003):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["sum"] == pytest.approx(0.006)
+        assert s["min"] == pytest.approx(0.001)
+        assert s["max"] == pytest.approx(0.003)
+        assert s["mean"] == pytest.approx(0.002)
+
+    def test_quantile_is_conservative_upper_bound(self):
+        h = Histogram("h")
+        for _ in range(100):
+            h.observe(0.0009)  # falls in the (0.0005, 0.001] bucket
+        # The estimate is the bucket's upper bound, clamped to max.
+        assert h.quantile(0.5) == pytest.approx(0.0009)
+        h.observe(5.0)
+        assert h.quantile(0.99) <= 5.0
+
+    def test_empty_quantile_is_none(self):
+        h = Histogram("h")
+        assert h.quantile(0.5) is None
+        assert h.summary()["p50"] is None
+
+    def test_quantile_range_checked(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_reset(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        h.reset()
+        assert h.count == 0
+        assert h.summary()["max"] is None
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+
+    def test_snapshot_maps_values_and_summaries(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.01)
+        snap = reg.snapshot()
+        assert snap["c"] == 2
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 1
+
+    def test_names_and_get(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert reg.names() == ["a", "b"]
+        assert reg.get("a") is not None
+        assert reg.get("missing") is None
+
+    def test_reset_all(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.histogram("h").observe(1.0)
+        reg.reset()
+        assert reg.snapshot()["c"] == 0
+        assert reg.snapshot()["h"]["count"] == 0

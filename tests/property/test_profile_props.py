@@ -1,0 +1,76 @@
+"""Property: profiling is faithful — one VM span per executed plan step.
+
+For any expression the planner can compile, ``Session.profile`` must
+report exactly as many ``plan.step.*`` spans as the compiled plan has
+steps, and its coverage accounting must stay within [0, 1].  This pins
+the contract that the tracing layer observes execution without changing
+it (and never drops or double-counts a step).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import ReproError, Session
+from repro.obs.instrument import Instrumentation
+
+from tests.property.test_lang_props import cel_expressions
+
+#: One bounded window for every call: evaluation cost stays small, and
+#: explain() + profile() must see the same window anyway (the planner's
+#: narrowing — and hence the step count — depends on it).
+WINDOW = ("Jan 1 1993", "Dec 31 1994")
+
+_session = None
+
+
+def _shared_session() -> Session:
+    # One session for every example: building registry + holidays per
+    # example would dominate the run time.  The profile() contract is
+    # per-call, so sharing is safe.
+    global _session
+    if _session is None:
+        _session = Session("Jan 1 1987", holiday_years=(1987, 1996),
+                           instrumentation=Instrumentation())
+        # The expression strategy references this derived name.
+        _session.registry.define(
+            "Jan-1993", script="return ([1]/MONTHS:during:1993/YEARS)")
+    return _session
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(cel_expressions())
+def test_profile_step_count_matches_plan(text):
+    session = _shared_session()
+    explanation = session.explain(text, window=WINDOW)
+    try:
+        profile = session.profile(text, window=WINDOW)
+    except ReproError:
+        # A legitimate domain failure (e.g. set ops on an order-n
+        # result); the strategy can generate those and profiling must
+        # surface — not mask — them.  Covered by the semantics test.
+        return
+    if explanation.plan is None:
+        # Interpreter fallback: no plan steps to compare, but the
+        # profile must still produce a finished root span.
+        assert profile.root.end is not None
+        return
+    assert len(profile.steps()) == len(explanation.plan.steps)
+    assert 0.0 <= profile.coverage <= 1.0
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(cel_expressions())
+def test_profile_result_matches_untraced_evaluation(text):
+    """Tracing must not change evaluation semantics."""
+    session = _shared_session()
+    try:
+        untraced = session.eval(text, window=WINDOW)
+    except ReproError as exc:
+        # Tracing must fail the same way the untraced evaluation does.
+        with pytest.raises(type(exc)):
+            session.profile(text, window=WINDOW)
+        return
+    profile = session.profile(text, window=WINDOW)
+    assert profile.result == untraced

@@ -108,5 +108,6 @@ class TestRepoDocuments:
         for package in ("repro.core", "repro.lang", "repro.catalog",
                         "repro.db", "repro.rules", "repro.timeseries",
                         "repro.finance", "repro.multical",
-                        "repro.interop"):
+                        "repro.interop", "repro.obs", "repro.session",
+                        "repro.errors"):
             assert package in design, f"DESIGN.md misses {package}"

@@ -1,0 +1,195 @@
+"""The unified exception hierarchy and its context payloads.
+
+Every error the library raises derives from
+:class:`repro.errors.ReproError`; the audit test below walks every
+``raise`` site in the source tree and asserts the raised class is in the
+hierarchy (or on a short, documented allowlist of control-flow signals
+and programmer-error guards).
+"""
+
+import ast as pyast
+import pathlib
+
+import pytest
+
+from repro.core.errors import CalendarError, ConfigurationError
+from repro.db.errors import DatabaseError, QueryError
+from repro.errors import ReproError
+from repro.lang.errors import (
+    CircularDefinitionError,
+    EvaluationError,
+    LanguageError,
+    ParseError,
+)
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+class TestHierarchy:
+    def test_domain_bases_derive_from_repro_error(self):
+        assert issubclass(CalendarError, ReproError)
+        assert issubclass(LanguageError, ReproError)
+        assert issubclass(DatabaseError, ReproError)
+
+    def test_one_except_catches_everything(self):
+        for exc in (CalendarError("x"), ParseError("x"),
+                    QueryError("x"), ConfigurationError("x")):
+            try:
+                raise exc
+            except ReproError:
+                pass
+
+    def test_circular_definition_still_a_recursion_error(self):
+        assert issubclass(CircularDefinitionError, RecursionError)
+        assert issubclass(CircularDefinitionError, ReproError)
+
+    def test_configuration_error_still_a_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+
+class TestContext:
+    def test_context_defaults_empty(self):
+        assert ReproError("x").context == {}
+
+    def test_add_context_returns_self_and_merges(self):
+        exc = ReproError("x")
+        assert exc.add_context(a=1) is exc
+        exc.add_context(b=2)
+        assert exc.context == {"a": 1, "b": 2}
+
+    def test_inner_context_wins(self):
+        exc = ReproError("x", context={"script": "inner"})
+        exc.add_context(script="outer")
+        assert exc.context["script"] == "inner"
+
+    def test_language_error_records_location(self):
+        exc = LanguageError("bad", line=3, column=7)
+        assert exc.context == {"line": 3, "column": 7}
+
+    def test_parse_failure_carries_script_text(self):
+        from repro.catalog import CalendarRegistry
+        registry = CalendarRegistry()
+        with pytest.raises(ReproError) as info:
+            registry.eval_expression(":::not an expression:::")
+        assert info.value.context.get("script") == ":::not an expression:::"
+
+    def test_evaluate_failure_carries_calendar_name(self):
+        from repro.catalog import CalendarRegistry
+        registry = CalendarRegistry()
+        registry.define("broken", script="return (NO_SUCH_CAL)")
+        with pytest.raises(ReproError) as info:
+            registry.evaluate("broken")
+        assert info.value.context.get("calendar") == "broken"
+
+    def test_query_failure_carries_query_text(self):
+        from repro.db import Database
+        db = Database()
+        with pytest.raises(ReproError) as info:
+            db.execute("retrieve (t.x) from t in no_such_table")
+        assert "query" in info.value.context
+
+    def test_evaluation_error_is_repro_error_with_context_kwarg(self):
+        exc = EvaluationError("boom")
+        exc.add_context(script="x")
+        assert isinstance(exc, ReproError)
+
+
+#: Exception names a ``raise`` site may use without being part of the
+#: hierarchy: control-flow signals, iteration protocol, process exit,
+#: and bare programmer-error guards in the self-contained obs layer.
+_ALLOWED_RAISES = {
+    # control flow / protocol
+    "StopIteration", "EOFError", "SystemExit", "NotImplementedError",
+    "_ReturnSignal",
+    # programmer-error guards (misuse of an API, not a domain failure);
+    # the obs layer deliberately has no dependency on repro.errors.
+    "ValueError", "TypeError",
+}
+
+
+def _raised_names(tree: pyast.AST):
+    for node in pyast.walk(tree):
+        if not isinstance(node, pyast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if isinstance(exc, pyast.Call):
+            exc = exc.func
+        if isinstance(exc, pyast.Name):
+            yield node, exc.id
+        elif isinstance(exc, pyast.Attribute):
+            yield node, exc.attr
+        # re-raise of a caught variable (``raise exc``) is fine: the
+        # audit checks origination sites, and ``raise`` alone / of a
+        # local name re-raises something already vetted.
+
+
+def _hierarchy_names():
+    """Every exception class name importable from the repro error modules."""
+    import repro.core.errors
+    import repro.db.errors
+    import repro.errors
+    import repro.lang.errors
+
+    names = set()
+    for module in (repro.errors, repro.core.errors, repro.lang.errors,
+                   repro.db.errors):
+        for attr in dir(module):
+            obj = getattr(module, attr)
+            if isinstance(obj, type) and issubclass(obj, ReproError):
+                names.add(attr)
+    return names
+
+
+def _locally_defined_subclasses(trees, hierarchy):
+    """Names of classes (anywhere in src) deriving from the hierarchy.
+
+    Covers exception classes defined outside the central error modules
+    (e.g. interop's ``UnsupportedExpression``) via a transitive
+    fixpoint over base-class names.
+    """
+    bases_of = {}
+    for tree in trees.values():
+        for node in pyast.walk(tree):
+            if isinstance(node, pyast.ClassDef):
+                names = [b.id if isinstance(b, pyast.Name) else b.attr
+                         for b in node.bases
+                         if isinstance(b, (pyast.Name, pyast.Attribute))]
+                bases_of[node.name] = names
+    known = set(hierarchy)
+    changed = True
+    while changed:
+        changed = False
+        for name, bases in bases_of.items():
+            if name not in known and any(b in known for b in bases):
+                known.add(name)
+                changed = True
+    return known
+
+
+def test_every_raise_site_uses_the_hierarchy():
+    """No module under src/repro originates an out-of-hierarchy error."""
+    trees = {path: pyast.parse(path.read_text(), filename=str(path))
+             for path in sorted(SRC.rglob("*.py"))}
+    hierarchy = _locally_defined_subclasses(trees, _hierarchy_names())
+    offenders = []
+    for path, tree in trees.items():
+        for node, name in _raised_names(tree):
+            if name in hierarchy or name in _ALLOWED_RAISES:
+                continue
+            if name.endswith("Error") and name[0].islower():
+                continue  # a local variable holding a caught exception
+            if name[0].islower():
+                continue  # re-raise of a local variable
+            offenders.append(f"{path.relative_to(SRC.parent)}:"
+                             f"{node.lineno}: raise {name}")
+    assert not offenders, (
+        "raise sites outside the ReproError hierarchy:\n  "
+        + "\n  ".join(offenders))
+
+
+def test_hierarchy_covers_known_leaf_classes():
+    names = _hierarchy_names()
+    for expected in ("CalendarError", "LanguageError", "DatabaseError",
+                     "ParseError", "PlanError", "QueryError",
+                     "ConfigurationError", "CircularDefinitionError"):
+        assert expected in names
