@@ -14,7 +14,11 @@ Run with ``python -m repro``.  Three kinds of input:
       \show NAME                Figure-1 style catalog record
       \define NAME { script }   define a calendar
       \window START .. END      set the evaluation window
-      \cache [clear]            materialisation-cache stats (or clear it)
+      \cache [clear]            materialisation-cache stats (or clear it);
+                                includes a lock-contention line
+      \workers [N]              show or set the worker-pool size used by
+                                eval_many and parallel DBCRON firing
+                                (initial size: the REPRO_WORKERS env var)
       \clock                    show the simulated clock
       \advance N                advance the clock N days (DBCRON fires)
       \rules                    list event and temporal rules
@@ -158,7 +162,30 @@ class Session(CoreSession):
                         f"{summary['p50'] * 1e6:.0f}us  p99 "
                         f"{summary['p99'] * 1e6:.0f}us  over "
                         f"{summary['count']} sample(s)")
+            waits = stats.get("lock_wait_seconds")
+            if waits and waits["count"]:
+                lines.append(
+                    f"  contention: {stats['lock_contention']} contended "
+                    f"acquisition(s)  lock wait p50 "
+                    f"{waits['p50'] * 1e6:.0f}us  p99 "
+                    f"{waits['p99'] * 1e6:.0f}us  "
+                    f"single-flight waits {stats['single_flight_waits']}")
+            else:
+                lines.append(
+                    f"  contention: none observed  single-flight waits "
+                    f"{stats['single_flight_waits']}")
             return "\n".join(lines)
+        if command == "workers":
+            if not argument:
+                return f"worker pool size: {self.pool.size}"
+            try:
+                workers = int(argument)
+            except ValueError:
+                return "usage: \\workers N"
+            if workers < 1:
+                return "usage: \\workers N  (N >= 1)"
+            self.pool.resize(workers)
+            return f"worker pool resized to {workers}"
         if command == "clock":
             return (f"clock at {self.system.date_of(self.clock.now)} "
                     f"(tick {self.clock.now})")

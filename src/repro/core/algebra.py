@@ -69,11 +69,16 @@ class _SortedView:
         Calendars are immutable, so the lo/hi arrays and sortedness flags
         are computed once per instance and stashed on it; nested foreach
         loops and repeated selections then skip the O(n) rebuild.
+
+        Safe under concurrent access: ``dict.setdefault`` is atomic in
+        CPython, so two threads racing to attach the memo agree on one
+        winning view (the loser's duplicate is discarded) instead of the
+        get-then-set pattern publishing different views to different
+        callers.
         """
         view = cal.__dict__.get("_sorted_view")
         if view is None:
-            view = cls(cal)
-            object.__setattr__(cal, "_sorted_view", view)
+            view = cal.__dict__.setdefault("_sorted_view", cls(cal))
         return view
 
     def candidate_range(self, op_name: str, ref: Interval

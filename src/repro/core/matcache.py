@@ -1,4 +1,4 @@
-"""A process-wide materialisation cache with window subsumption.
+"""A process-wide, thread-safe materialisation cache with window subsumption.
 
 The paper's evaluation-plan section calls for *shared-calendar caching*:
 a calendar "encountered more than once" should be generated once.  The
@@ -24,6 +24,31 @@ from civil-date arithmetic.  This module centralises materialisation:
   civil calendar, so overlapping windows always agree on shared units
   (the unit straddling the old boundary is deduplicated by its ``lo``).
 
+Concurrency model (see docs/IMPLEMENTATION_NOTES.md §7):
+
+* Entries are **striped** over ``stripes`` independently locked shards
+  keyed by ``hash(key) % stripes``, so concurrent requests for distinct
+  calendars never contend.  A plain mutex per stripe (not an RW lock) is
+  deliberate: even "read" hits mutate shared state — LRU recency, the
+  per-entry served memo — so a reader/writer split would buy nothing.
+* Misses are **single-flight**: the first thread to miss a key registers
+  an in-flight marker and generates outside the stripe lock; every other
+  thread requesting the same key waits on the marker's event and then
+  retries the hit path, so N concurrent identical misses cost exactly
+  one :meth:`CalendarSystem.generate` call.  The marker is cleared in a
+  ``finally`` so waiters always make progress, even when the generating
+  thread raises.
+* Eviction keeps the **global** LRU semantics of the unstriped cache:
+  every entry carries a monotonically increasing recency stamp; when the
+  total entry count exceeds ``maxsize``, an eviction sweep (serialised
+  by a dedicated lock, taking one stripe lock at a time) pops the entry
+  with the globally smallest stamp.
+* Lock-acquisition waits are measured: a non-blocking ``acquire(False)``
+  fast path keeps the uncontended cost at one extra branch, and only
+  genuinely contended acquisitions are timed into the
+  ``matcache.lock_wait_seconds`` histogram (surfaced by ``\\cache`` as
+  the *contention* line).
+
 Entries are LRU-bounded; ``maxsize=0`` disables the cache entirely (every
 request falls through to ``generate``), which keeps the cache a *pure*
 optimisation.  A second, generic LRU memo (:meth:`memo_get` /
@@ -39,6 +64,7 @@ The process-wide default instance is reachable via
 from __future__ import annotations
 
 import bisect
+import itertools
 import os
 import threading
 
@@ -81,6 +107,8 @@ class _Entry:
     #: identical requests return the *same* object (letting per-Calendar
     #: sorted-view memos in the algebra be shared across contexts).
     served: OrderedDict = field(default_factory=OrderedDict)
+    #: Global LRU recency stamp (monotonic across all stripes).
+    stamp: int = 0
 
     _SERVED_MAX = 32
 
@@ -130,13 +158,35 @@ class _Entry:
         return result
 
 
-class MaterialisationCache:
-    """LRU cache of basic-calendar materialisations with window subsumption.
+class _Flight:
+    """Single-flight marker: one in-progress generation for one key."""
 
-    ``maxsize`` bounds the number of ``(epoch, calendar, unit)`` entries
-    (0 disables caching), ``memo_maxsize`` bounds the generic memo used
-    by higher layers, and ``max_entry_elements`` caps how far a single
-    entry may grow through extension merging before it is replaced.
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+class _Stripe:
+    """One shard of the entry map with its own lock and in-flight set."""
+
+    __slots__ = ("lock", "entries", "inflight")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self.inflight: dict[tuple, _Flight] = {}
+
+
+class MaterialisationCache:
+    """Thread-safe LRU cache of basic-calendar materialisations.
+
+    ``maxsize`` bounds the **total** number of ``(epoch, calendar, unit)``
+    entries across all stripes (0 disables caching), ``memo_maxsize``
+    bounds the generic memo used by higher layers, ``max_entry_elements``
+    caps how far a single entry may grow through extension merging before
+    it is replaced, and ``stripes`` sets the number of independently
+    locked shards.
 
     Counters live in a :class:`~repro.obs.metrics.MetricsRegistry`
     (``matcache.*`` instruments, one registry per cache unless one is
@@ -145,22 +195,29 @@ class MaterialisationCache:
     under the historical flat key names.
     """
 
-    #: Counter names, identical to the historical ad-hoc stats keys.
+    #: Counter names, identical to the historical ad-hoc stats keys plus
+    #: the concurrency counters added with the striped design.
     _STAT_KEYS = ("hits", "misses", "extensions", "evictions",
                   "uncacheable", "served_intervals",
-                  "generated_intervals", "memo_hits", "memo_misses")
+                  "generated_intervals", "memo_hits", "memo_misses",
+                  "requests", "single_flight_waits", "lock_contention")
 
     def __init__(self, maxsize: int = 256, memo_maxsize: int = 2048,
                  max_entry_elements: int = 1_000_000,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 stripes: int = 8) -> None:
         if maxsize < 0 or memo_maxsize < 0:
             raise ConfigurationError("cache sizes must be >= 0")
+        if stripes < 1:
+            raise ConfigurationError("the cache needs at least 1 stripe")
         self.maxsize = maxsize
         self.memo_maxsize = memo_maxsize if maxsize else 0
         self.max_entry_elements = max_entry_elements
-        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self._stripes = tuple(_Stripe() for _ in range(stripes))
         self._memo: OrderedDict = OrderedDict()
-        self._lock = threading.Lock()
+        self._memo_lock = threading.Lock()
+        self._evict_lock = threading.Lock()
+        self._ticker = itertools.count(1)
         #: Backing metrics registry (private unless one is shared in).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._counters = {name: self.metrics.counter(f"matcache.{name}")
@@ -170,12 +227,28 @@ class MaterialisationCache:
             "miss": self.metrics.histogram("matcache.miss_seconds"),
             "extension": self.metrics.histogram(
                 "matcache.extension_seconds"),
+            "lock_wait": self.metrics.histogram(
+                "matcache.lock_wait_seconds"),
         }
 
     @property
     def enabled(self) -> bool:
         """False when the cache was built with ``maxsize=0``."""
         return self.maxsize > 0
+
+    # -- locking ---------------------------------------------------------------
+
+    def _acquire(self, lock: threading.Lock) -> None:
+        """Acquire ``lock``, timing only genuinely contended waits."""
+        if lock.acquire(False):
+            return
+        t0 = perf_counter()
+        lock.acquire()
+        self._counters["lock_contention"].inc()
+        self._latency["lock_wait"].observe(perf_counter() - t0)
+
+    def _stripe_of(self, key: tuple) -> _Stripe:
+        return self._stripes[hash(key) % len(self._stripes)]
 
     # -- materialisation -------------------------------------------------------
 
@@ -189,6 +262,11 @@ class MaterialisationCache:
         (dates it cannot coerce, inverted or zero-touching windows,
         unknown modes, a disabled cache) by falling through to
         :meth:`~repro.core.basis.CalendarSystem.generate` unchanged.
+
+        Thread-safe: concurrent hits on distinct keys proceed on separate
+        stripes; concurrent misses on the *same* key are deduplicated to
+        a single generation (single-flight), with waiters re-entering the
+        hit path once the generator finishes.
         """
         t0 = perf_counter()
         start, end = window
@@ -208,63 +286,95 @@ class MaterialisationCache:
                 or mode not in ("clip", "cover"):
             return self._direct(system, cal, unit, (start, end), mode)
         key = (system.epoch.date, cal_g, unit_g)
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None and entry.covers(start, end):
-                self._entries.move_to_end(key)
-                self._counters["hits"].inc()
-                result = entry.serve(start, end, mode)
-                self._counters["served_intervals"].inc(len(result))
-                self._latency["hit"].observe(perf_counter() - t0)
-                return result
-        # Generate outside the lock (extension windows or a full miss),
-        # then merge/install under it.
-        if entry is not None and entry.near(start, end) and \
-                self._extend(system, key, entry, start, end):
-            with self._lock:
-                entry = self._entries.get(key)
+        stripe = self._stripe_of(key)
+        self._counters["requests"].inc()
+        while True:
+            self._acquire(stripe.lock)
+            try:
+                entry = stripe.entries.get(key)
                 if entry is not None and entry.covers(start, end):
+                    stripe.entries.move_to_end(key)
+                    entry.stamp = next(self._ticker)
+                    self._counters["hits"].inc()
                     result = entry.serve(start, end, mode)
                     self._counters["served_intervals"].inc(len(result))
+                    self._latency["hit"].observe(perf_counter() - t0)
+                    return result
+                flight = stripe.inflight.get(key)
+                if flight is None:
+                    # Claim the generation; ``entry`` (possibly None or
+                    # partially covering) is ours alone to extend/replace
+                    # until the flight is cleared.
+                    claimed = _Flight()
+                    stripe.inflight[key] = claimed
+                    break
+            finally:
+                stripe.lock.release()
+            # Another thread is generating this key: wait, then retry
+            # the hit path against whatever it installed.
+            self._counters["single_flight_waits"].inc()
+            flight.event.wait()
+        try:
+            if entry is not None and entry.near(start, end):
+                result = self._extend(system, stripe, key, entry,
+                                      start, end, mode)
+                if result is not None:
                     self._latency["extension"].observe(perf_counter() - t0)
                     return result
-        result = self._install(system, key, cal_g, unit_g, start, end, mode)
-        self._latency["miss"].observe(perf_counter() - t0)
-        return result
+            result = self._install(system, stripe, key, cal_g, unit_g,
+                                   start, end, mode)
+            self._latency["miss"].observe(perf_counter() - t0)
+            return result
+        finally:
+            self._acquire(stripe.lock)
+            try:
+                stripe.inflight.pop(key, None)
+            finally:
+                stripe.lock.release()
+            claimed.event.set()
 
     def _direct(self, system, cal, unit, window, mode) -> Calendar:
         self._counters["uncacheable"].inc()
+        self._counters["requests"].inc()
         return system.generate(cal, unit, window, mode=mode)
 
-    def _install(self, system, key, cal_g, unit_g, start, end,
-                 mode) -> Calendar:
-        """Full miss: generate the window in cover mode and store it."""
+    def _install(self, system, stripe: _Stripe, key, cal_g, unit_g,
+                 start, end, mode) -> Calendar:
+        """Full miss: generate the window in cover mode and store it.
+
+        Runs with the single-flight claim held, so no other thread can
+        install or extend this key concurrently; generation happens
+        outside the stripe lock.
+        """
         cover = system.generate(cal_g, unit_g, (start, end), mode="cover")
         entry = _Entry.build((start, end), cover)
-        with self._lock:
+        self._acquire(stripe.lock)
+        try:
             self._counters["misses"].inc()
             self._counters["generated_intervals"].inc(len(cover))
-            current = self._entries.get(key)
-            # Keep whichever window is wider when another thread (or a
-            # far-away request) raced us; recency wins ties.
+            current = stripe.entries.get(key)
+            # Keep whichever window is wider (an eviction may have raced
+            # us, but a competing installer cannot — we hold the flight).
             if current is None or not current.covers(start, end):
-                self._entries[key] = entry
-                self._entries.move_to_end(key)
-                while len(self._entries) > self.maxsize:
-                    self._entries.popitem(last=False)
-                    self._counters["evictions"].inc()
-            result = self._entries[key].serve(start, end, mode) \
-                if self._entries[key].covers(start, end) \
-                else entry.serve(start, end, mode)
+                stripe.entries[key] = entry
+                stripe.entries.move_to_end(key)
+                current = entry
+            entry.stamp = current.stamp = next(self._ticker)
+            result = current.serve(start, end, mode)
             self._counters["served_intervals"].inc(len(result))
-            return result
+        finally:
+            stripe.lock.release()
+        self._evict_overflow()
+        return result
 
-    def _extend(self, system, key, entry: _Entry, lo: int,
-                hi: int) -> bool:
+    def _extend(self, system, stripe: _Stripe, key, entry: _Entry,
+                lo: int, hi: int, mode: str) -> Calendar | None:
         """Generate only the uncovered side(s) and merge into the entry.
 
-        Returns False when the merged entry would exceed the per-entry
-        element cap (the caller then replaces the entry instead).
+        Returns the served calendar, or None when the merged entry would
+        exceed the per-entry element cap (the caller then replaces the
+        entry instead).  Like :meth:`_install`, runs under the
+        single-flight claim with generation outside the stripe lock.
         """
         wlo, whi = entry.window
         left = right = None
@@ -297,19 +407,61 @@ class MaterialisationCache:
             if labels is not None:
                 labels.extend(right.label_of(i) for i in keep)
         if len(elements) > self.max_entry_elements:
-            return False
+            return None
         merged = Calendar.from_intervals(elements, old.granularity, labels)
         new_entry = _Entry.build((min(lo, wlo), max(hi, whi)), merged)
-        with self._lock:
-            current = self._entries.get(key)
-            if current is not entry:
-                # Lost a race; let the caller retry against current state.
-                return current is not None and current.covers(lo, hi)
+        self._acquire(stripe.lock)
+        try:
             self._counters["extensions"].inc()
             self._counters["generated_intervals"].inc(generated)
-            self._entries[key] = new_entry
-            self._entries.move_to_end(key)
-        return True
+            new_entry.stamp = next(self._ticker)
+            stripe.entries[key] = new_entry
+            stripe.entries.move_to_end(key)
+            result = new_entry.serve(lo, hi, mode)
+            self._counters["served_intervals"].inc(len(result))
+        finally:
+            stripe.lock.release()
+        self._evict_overflow()
+        return result
+
+    def _evict_overflow(self) -> None:
+        """Evict globally least-recently-stamped entries past ``maxsize``.
+
+        The unlocked pre-check keeps the common (under-capacity) case at
+        one sum; the sweep itself is serialised by ``_evict_lock`` and
+        takes one stripe lock at a time (never two), so it cannot
+        deadlock against the request path.
+        """
+        if sum(len(s.entries) for s in self._stripes) <= self.maxsize:
+            return
+        with self._evict_lock:
+            while True:
+                total = 0
+                oldest_stamp = None
+                oldest_stripe = None
+                for stripe in self._stripes:
+                    self._acquire(stripe.lock)
+                    try:
+                        total += len(stripe.entries)
+                        # The OrderedDict front is the stripe's LRU entry,
+                        # so its stamp is the stripe minimum.
+                        if stripe.entries:
+                            front = next(iter(stripe.entries.values()))
+                            if oldest_stamp is None or \
+                                    front.stamp < oldest_stamp:
+                                oldest_stamp = front.stamp
+                                oldest_stripe = stripe
+                    finally:
+                        stripe.lock.release()
+                if total <= self.maxsize or oldest_stripe is None:
+                    return
+                self._acquire(oldest_stripe.lock)
+                try:
+                    if oldest_stripe.entries:
+                        oldest_stripe.entries.popitem(last=False)
+                        self._counters["evictions"].inc()
+                finally:
+                    oldest_stripe.lock.release()
 
     # -- generic memo (registry/rule layers) -----------------------------------
 
@@ -319,7 +471,7 @@ class MaterialisationCache:
         """The memoised value for ``key``, or None when absent/disabled."""
         if self.memo_maxsize == 0:
             return None
-        with self._lock:
+        with self._memo_lock:
             value = self._memo.get(key, self._MISSING)
             if value is self._MISSING:
                 self._counters["memo_misses"].inc()
@@ -332,7 +484,7 @@ class MaterialisationCache:
         """Memoise ``value`` under ``key`` (LRU-bounded; no-op if disabled)."""
         if self.memo_maxsize == 0:
             return
-        with self._lock:
+        with self._memo_lock:
             self._memo[key] = value
             self._memo.move_to_end(key)
             while len(self._memo) > self.memo_maxsize:
@@ -350,8 +502,12 @@ class MaterialisationCache:
         out = {name: counter.value
                for name, counter in self._counters.items()}
         lookups = out["hits"] + out["misses"] + out["extensions"]
-        with self._lock:
-            out["entries"] = len(self._entries)
+        entries = 0
+        for stripe in self._stripes:
+            with stripe.lock:
+                entries += len(stripe.entries)
+        out["entries"] = entries
+        with self._memo_lock:
             out["memo_entries"] = len(self._memo)
         out["hit_ratio"] = out["hits"] / lookups if lookups else 0.0
         for kind, histogram in self._latency.items():
@@ -366,9 +522,16 @@ class MaterialisationCache:
             histogram.reset()
 
     def clear(self) -> None:
-        """Drop every entry and memo value (counters are kept)."""
-        with self._lock:
-            self._entries.clear()
+        """Drop every entry and memo value (counters are kept).
+
+        In-flight generations are left to finish: their markers stay so
+        waiters still make progress; the freshly generated entries are
+        simply installed into the emptied map.
+        """
+        for stripe in self._stripes:
+            with stripe.lock:
+                stripe.entries.clear()
+        with self._memo_lock:
             self._memo.clear()
 
 

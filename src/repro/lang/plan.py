@@ -236,7 +236,15 @@ class GenerateCallStep(PlanStep):
 
 @dataclass
 class Plan:
-    """An ordered list of steps plus the register holding the result."""
+    """An ordered list of steps plus the register holding the result.
+
+    A compiled plan is **frozen by convention**: nothing mutates
+    ``steps`` after the planner returns it.  That is what lets the
+    catalog cache one plan per expression and lets
+    ``Session.eval_many`` hand the same plan object to several worker
+    threads at once — each execution's mutable state lives in the
+    :class:`PlanVM` run, never on the plan.
+    """
 
     steps: list[PlanStep] = field(default_factory=list)
     result: str = ""
@@ -256,7 +264,16 @@ class Plan:
 
 
 class PlanVM:
-    """Executes a :class:`Plan` against an EvalContext."""
+    """Executes a :class:`Plan` against an EvalContext.
+
+    **Re-entrancy contract**: a VM instance is cheap and single-use —
+    construct one per ``run`` call.  The register file is a local of
+    :meth:`run`, so concurrent runs of the *same* plan (the batch
+    engine's worker threads) never share execution state; the only
+    shared mutable structure is the context's materialisation dict,
+    whose entries are idempotent (same key → equal calendar), making
+    duplicate concurrent writes harmless.
+    """
 
     def __init__(self, context) -> None:
         self.context = context

@@ -32,7 +32,7 @@ class Span:
     """
 
     __slots__ = ("name", "meta", "start", "end", "children", "_tracer",
-                 "_parent", "_spans", "_dropped")
+                 "_parent", "_adopt", "_spans", "_dropped")
 
     def __init__(self, tracer: "Tracer", name: str, meta: dict) -> None:
         self.name = name
@@ -42,16 +42,29 @@ class Span:
         self.children: list[Span] = []
         self._tracer = tracer
         self._parent: Span | None = None
+        self._adopt: Span | None = None   # cross-thread parent (child_span)
         self._spans = 0      # descendants created (maintained on roots)
         self._dropped = 0    # descendants dropped past the budget
 
     # -- context manager ----------------------------------------------------
 
     def __enter__(self) -> "Span":
-        """Start timing and become the current span of this thread."""
+        """Start timing and become the current span of this thread.
+
+        A span created with :meth:`Tracer.child_span` and entered on a
+        thread with an empty stack attaches to its designated
+        cross-thread parent instead of becoming a root — this is how
+        per-worker trace fragments roll up into the dispatching thread's
+        trace tree.
+        """
         stack = self._tracer._stack()
         if stack:
             self._parent = stack[-1]
+            self._parent.children.append(self)
+        elif self._adopt is not None:
+            self._parent = self._adopt
+            # list.append is atomic under the GIL, so concurrent workers
+            # attaching to one parent do not need a lock.
             self._parent.children.append(self)
         stack.append(self)
         self.start = time.perf_counter()
@@ -77,6 +90,7 @@ class Span:
         # Drop the upward/tracer references so finished trees are plain
         # parent->children DAGs: no cycles, collectible by refcounting.
         self._parent = None
+        self._adopt = None
         self._tracer = None
         return False
 
@@ -205,6 +219,20 @@ class Tracer:
                 root._dropped += 1
                 return _DROPPED
         return Span(self, name, meta)
+
+    def child_span(self, parent: Span, name: str, **meta) -> Span:
+        """A span pre-parented to ``parent`` for use on *another* thread.
+
+        The dispatching thread creates one of these per work item while
+        its own span (``parent``) is open; the worker thread enters it,
+        and — its stack being empty — the span attaches beneath
+        ``parent`` instead of starting a separate root trace.  Further
+        spans opened by the worker nest under it through the ordinary
+        per-thread stack, so a parallel batch still renders as one tree.
+        """
+        span = Span(self, name, meta)
+        span._adopt = parent
+        return span
 
     def event(self, name: str, **meta) -> Span:
         """Record an instantaneous (zero-duration) point event.

@@ -8,6 +8,17 @@ next trigger point (via the calendar pipeline), RULE_TIME is updated, and
 — when the next point falls inside the current probe horizon — the entry
 re-enters the heap immediately.
 
+Independent due rules can fire **in parallel**: :meth:`DBCron.fire_due`
+pops all entries sharing the earliest due fire tick as one *wave* and
+dispatches the wave across a :class:`~repro.runtime.WorkerPool` (one
+entry per rule per wave, so a single rule never races itself), then
+repeats with the next tick.  Processing wave-by-wave preserves the
+deterministic cross-tick firing order of the sequential daemon — a rule
+due at tick 10 always completes before one due at tick 11 — while the
+expensive per-rule ``next_trigger`` calendar evaluation overlaps across
+rules.  With one worker (the default) the sequential code path runs,
+bit-for-bit identical to the pre-pool daemon.
+
 Driven by a :class:`~repro.rules.clock.SimulatedClock` for determinism;
 ``run_until`` steps the clock probe-by-probe the way the real daemon
 sleeps between wake-ups.
@@ -16,6 +27,8 @@ sleeps between wake-ups.
 from __future__ import annotations
 
 import heapq
+import threading
+
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -24,6 +37,7 @@ from repro.core.interval import axis_add
 from repro.db.database import Database
 from repro.rules.clock import SimulatedClock
 from repro.rules.manager import RuleManager
+from repro.runtime import WorkerPool, get_default_pool
 
 __all__ = ["DBCron"]
 
@@ -40,17 +54,23 @@ class DBCron:
     """The temporal-rule daemon."""
 
     def __init__(self, manager: RuleManager, clock: SimulatedClock,
-                 period: int = 7) -> None:
+                 period: int = 7, pool: WorkerPool | None = None) -> None:
         if period < 1:
             raise AxisError("the probe period must be at least 1 tick")
         self.manager = manager
         self.db: Database = manager.db
         self.clock = clock
         self.period = period
+        #: Worker pool for parallel wave firing (size 1 = sequential).
+        self.pool = pool if pool is not None else get_default_pool()
         #: Main-memory schedule: (fire_tick, sequence, rulename).
         self._heap: list[tuple[int, int, str]] = []
         self._scheduled: dict[str, int] = {}
         self._sequence = 0
+        #: Guards the heap/scheduled-set/sequence triple: schedule-change
+        #: notifications arrive from pool workers mid-wave (a fired rule
+        #: rescheduling itself inside the horizon).
+        self._sched_lock = threading.RLock()
         self._horizon = clock.now  # end of the currently probed window
         self.stats = _Stats()
         manager.clock = clock
@@ -69,73 +89,138 @@ class DBCron:
         self._horizon = axis_add(now, self.period)
         self.stats.probes += 1
         loaded = 0
-        for fire_tick, name in self.manager.tables.due_within(
-                now, self.period):
-            if self._scheduled.get(name) == fire_tick:
-                continue
-            self._push(fire_tick, name)
-            loaded += 1
-        self.stats.max_heap_size = max(self.stats.max_heap_size,
-                                       len(self._heap))
+        with self._sched_lock:
+            for fire_tick, name in self.manager.tables.due_within(
+                    now, self.period):
+                if self._scheduled.get(name) == fire_tick:
+                    continue
+                self._push(fire_tick, name)
+                loaded += 1
+            heap_size = len(self._heap)
+        self.stats.max_heap_size = max(self.stats.max_heap_size, heap_size)
         metrics = self.db.instrumentation.metrics
         metrics.counter("dbcron.probes").inc()
-        metrics.gauge("dbcron.heap_size").set(len(self._heap))
+        metrics.gauge("dbcron.heap_size").set(heap_size)
         return loaded
 
     def _push(self, fire_tick: int, name: str) -> None:
-        self._sequence += 1
-        heapq.heappush(self._heap, (fire_tick, self._sequence, name))
-        self._scheduled[name] = fire_tick
+        with self._sched_lock:
+            self._sequence += 1
+            heapq.heappush(self._heap, (fire_tick, self._sequence, name))
+            self._scheduled[name] = fire_tick
 
     def _on_schedule_change(self, name: str, next_fire: int | None) -> None:
         """A rule was declared/dropped/rescheduled while we are awake."""
-        if next_fire is None:
-            self._scheduled.pop(name, None)
-            return
-        if next_fire <= self._horizon and \
-                self._scheduled.get(name) != next_fire:
-            self._push(next_fire, name)
+        with self._sched_lock:
+            if next_fire is None:
+                self._scheduled.pop(name, None)
+                return
+            if next_fire <= self._horizon and \
+                    self._scheduled.get(name) != next_fire:
+                self._push(next_fire, name)
 
     # -- firing ------------------------------------------------------------------
 
     def _on_clock(self, now: int) -> None:
         self.fire_due()
 
+    def _pop_wave(self, now: int) -> list[tuple[int, str]]:
+        """Pop every non-stale entry sharing the earliest due fire tick.
+
+        Entries are deduplicated through ``_scheduled``, so a wave holds
+        at most one entry per rule — the invariant that makes firing a
+        wave in parallel safe (no rule races itself).
+        """
+        wave: list[tuple[int, str]] = []
+        with self._sched_lock:
+            wave_tick = None
+            while self._heap and self._heap[0][0] <= now:
+                if wave_tick is not None and \
+                        self._heap[0][0] != wave_tick:
+                    break
+                fire_tick, _, name = heapq.heappop(self._heap)
+                if self._scheduled.get(name) != fire_tick:
+                    continue  # stale (rule dropped or rescheduled)
+                del self._scheduled[name]
+                wave_tick = fire_tick
+                wave.append((fire_tick, name))
+        return wave
+
+    def _fire_one(self, fire_tick: int, name: str, now: int,
+                  parent_span) -> "tuple[int | None, float]":
+        """Fire one rule; (next_fire, elapsed seconds).
+
+        Runs on a pool worker during parallel waves; ``parent_span``
+        (when tracing) adopts this worker's ``rule.fire`` span into the
+        dispatching thread's trace tree.
+        """
+        tracer = self.db.instrumentation.tracer
+        t0 = perf_counter()
+        if tracer is not None and parent_span is not None:
+            with tracer.child_span(parent_span, "rule.fire", rule=name,
+                                   tick=fire_tick, drift=now - fire_tick):
+                next_fire = self.manager.fire_temporal(name, fire_tick)
+        elif tracer is not None:
+            with tracer.span("rule.fire", rule=name, tick=fire_tick,
+                             drift=now - fire_tick):
+                next_fire = self.manager.fire_temporal(name, fire_tick)
+        else:
+            next_fire = self.manager.fire_temporal(name, fire_tick)
+        return next_fire, perf_counter() - t0
+
     def fire_due(self) -> int:
         """Fire every scheduled entry whose time has come; count fired.
 
+        Due entries are processed in *waves* — all entries sharing the
+        earliest due fire tick — and each wave fires across the worker
+        pool when it holds more than one rule and the pool has more than
+        one worker; otherwise the rules fire sequentially on this thread.
         Records per-fire latency (``dbcron.fire_seconds``) and how far
         behind schedule the daemon is running (``dbcron.fire_drift_ticks``
-        — the gap between the clock and the entry's fire tick); with
-        tracing on, each fire gets a ``rule.fire`` span.
+        — the gap between the clock and the wave's fire tick); with
+        tracing on, each fire gets a ``rule.fire`` span (parallel waves
+        roll the per-worker spans up under one ``dbcron.fire_wave``).
         """
         now = self.clock.now
         inst = self.db.instrumentation
-        tracer = inst.tracer
         fire_hist = inst.metrics.histogram("dbcron.fire_seconds")
         drift_gauge = inst.metrics.gauge("dbcron.fire_drift_ticks")
+        fire_counter = inst.metrics.counter("dbcron.fires")
         fired = 0
-        while self._heap and self._heap[0][0] <= now:
-            fire_tick, _, name = heapq.heappop(self._heap)
-            if self._scheduled.get(name) != fire_tick:
-                continue  # stale entry (rule dropped or rescheduled)
-            del self._scheduled[name]
-            drift_gauge.set(now - fire_tick)
-            t0 = perf_counter()
-            if tracer is not None:
-                with tracer.span("rule.fire", rule=name, tick=fire_tick,
-                                 drift=now - fire_tick):
-                    next_fire = self.manager.fire_temporal(name, fire_tick)
+        while True:
+            wave = self._pop_wave(now)
+            if not wave:
+                break
+            drift_gauge.set(now - wave[0][0])
+            if len(wave) > 1 and self.pool.size > 1:
+                results = self._fire_wave_parallel(wave, now)
             else:
-                next_fire = self.manager.fire_temporal(name, fire_tick)
-            fire_hist.observe(perf_counter() - t0)
-            inst.metrics.counter("dbcron.fires").inc()
-            fired += 1
-            self.stats.fires += 1
-            if next_fire is not None:
-                self.stats.reschedules += 1
-                # _on_schedule_change pushed it back if inside the horizon.
+                results = [self._fire_one(tick, name, now, None)
+                           for tick, name in wave]
+            # Stats and metrics are updated on this thread, in wave
+            # order, so sequential and parallel runs count identically.
+            for next_fire, elapsed in results:
+                fire_hist.observe(elapsed)
+                fire_counter.inc()
+                fired += 1
+                self.stats.fires += 1
+                if next_fire is not None:
+                    self.stats.reschedules += 1
+                    # _on_schedule_change pushed it back if due again.
         return fired
+
+    def _fire_wave_parallel(self, wave: list[tuple[int, str]],
+                            now: int) -> list:
+        """Dispatch one wave across the pool; per-entry results in order."""
+        tracer = self.db.instrumentation.tracer
+        if tracer is not None:
+            with tracer.span("dbcron.fire_wave", tick=wave[0][0],
+                             rules=len(wave)) as wave_span:
+                return self.pool.map(
+                    lambda item: self._fire_one(item[0], item[1], now,
+                                                wave_span), wave)
+        return self.pool.map(
+            lambda item: self._fire_one(item[0], item[1], now, None), wave)
 
     # -- driving ------------------------------------------------------------------
 

@@ -8,6 +8,8 @@ stops runaway rule chains (a rule whose action triggers itself).
 
 from __future__ import annotations
 
+import threading
+
 from typing import Callable, Sequence
 
 from repro.db.database import Database
@@ -30,13 +32,31 @@ class RuleManager:
         self.event_rules: dict[str, EventRule] = {}
         self.temporal_rules: dict[str, TemporalRule] = {}
         self.max_cascade_depth = max_cascade_depth
-        self._depth = 0
+        #: Cascade depth is tracked per *thread*: DBCRON may fire
+        #: independent rules on pool workers concurrently, and each
+        #: worker's rule chain is a separate cascade.
+        self._local = threading.local()
+        #: Serialises database-mutating rule work (``rule.fire``,
+        #: RULE_TIME updates, schedule notifications) when rules fire on
+        #: pool threads; re-entrant so a cascading rule on one thread is
+        #: unaffected.  The expensive calendar-pipeline work
+        #: (``next_trigger``) deliberately runs outside it.
+        self._mutate_lock = threading.RLock()
         #: Set by DBCron; used as the default schedule start for rules
         #: declared without an explicit ``after``.
         self.clock = None
         #: Callbacks notified when a temporal rule is (re)scheduled.
         self._schedule_listeners: list[Callable[[str, int | None], None]] = []
         database.rule_manager = self
+
+    @property
+    def _depth(self) -> int:
+        """This thread's cascade depth (see ``_local``)."""
+        return getattr(self._local, "depth", 0)
+
+    @_depth.setter
+    def _depth(self, value: int) -> None:
+        self._local.depth = value
 
     # -- event rules --------------------------------------------------------------
 
@@ -136,7 +156,15 @@ class RuleManager:
             listener(name, next_fire)
 
     def fire_temporal(self, name: str, at_tick: int) -> int | None:
-        """Fire a temporal rule and reschedule it; new next-fire or None."""
+        """Fire a temporal rule and reschedule it; new next-fire or None.
+
+        Safe to call from DBCRON pool workers for *distinct* rules: the
+        calendar-pipeline work (``next_trigger``, the dominant cost) runs
+        unlocked on the calling thread — the registry and matcache below
+        it are thread-safe — while the database mutations (``rule.fire``,
+        RULE_TIME update, schedule notification) are serialised by
+        ``_mutate_lock``.
+        """
         rule = self.temporal_rules.get(name)
         if rule is None or not rule.enabled:
             return None
@@ -153,10 +181,12 @@ class RuleManager:
                 f"(at rule {name!r})")
         self._depth += 1
         try:
-            rule.fire(self.db, at_tick)
+            with self._mutate_lock:
+                rule.fire(self.db, at_tick)
         finally:
             self._depth -= 1
         next_fire = rule.next_trigger(self.db.calendars, at_tick)
-        self.tables.set_next_fire(name, next_fire)
-        self._notify_schedule(name, next_fire)
+        with self._mutate_lock:
+            self.tables.set_next_fire(name, next_fire)
+            self._notify_schedule(name, next_fire)
         return next_fire

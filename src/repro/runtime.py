@@ -1,0 +1,127 @@
+"""Shared worker-pool runtime for concurrent batch evaluation.
+
+One small abstraction — :class:`WorkerPool` — sits between the session
+layer (``Session.eval_many``), DBCRON's parallel rule firing and the CLI
+``\\workers`` command.  It wraps a lazily created
+:class:`~concurrent.futures.ThreadPoolExecutor` so that
+
+* sessions that never evaluate a batch pay nothing (no threads are
+  started until the first parallel dispatch),
+* the pool can be resized at runtime (``\\workers N``) without tearing
+  down the session, and
+* a **process-wide default pool** (:func:`get_default_pool`, sized by
+  the ``REPRO_WORKERS`` environment variable) bounds the total thread
+  count when many components — every directly constructed
+  :class:`~repro.rules.dbcron.DBCron`, say — share it.
+
+Threads (not processes) are the right substrate here: batch evaluation
+is dominated by shared-cache effects — single-flight materialisation
+misses, cross-script generate hoisting — that require shared memory,
+and the matcache releases its stripe locks around every
+:meth:`CalendarSystem.generate` call.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["WorkerPool", "default_workers", "get_default_pool",
+           "set_default_pool"]
+
+
+def default_workers() -> int:
+    """The pool size from ``REPRO_WORKERS`` (>= 1; 1 when unset/invalid)."""
+    raw = os.environ.get("REPRO_WORKERS", "1")
+    try:
+        workers = int(raw)
+    except ValueError:
+        return 1
+    return max(1, workers)
+
+
+class WorkerPool:
+    """A lazily started, resizable thread pool.
+
+    ``WorkerPool()`` sizes itself from ``REPRO_WORKERS``;
+    ``WorkerPool(4)`` pins the size.  The underlying executor is created
+    on the first :meth:`submit`/:meth:`map` call and replaced on
+    :meth:`resize`, so a pool of size 1 — the default everywhere — never
+    spawns a thread (callers run size-1 work inline).
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self._size = default_workers() if workers is None \
+            else max(1, int(workers))
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def size(self) -> int:
+        """The configured number of workers (>= 1)."""
+        return self._size
+
+    def resize(self, workers: int) -> None:
+        """Change the pool size; a running executor is retired.
+
+        The old executor finishes in-flight work in the background
+        (``wait=False``) — callers holding futures from it are unaffected.
+        """
+        workers = max(1, int(workers))
+        with self._lock:
+            if workers == self._size and self._executor is not None:
+                return
+            old, self._executor = self._executor, None
+            self._size = workers
+        if old is not None:
+            old.shutdown(wait=False)
+
+    def executor(self) -> ThreadPoolExecutor:
+        """The live executor, created on first use."""
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._size,
+                    thread_name_prefix="repro-worker")
+            return self._executor
+
+    def submit(self, fn, /, *args, **kwargs):
+        """Schedule ``fn(*args, **kwargs)``; a Future."""
+        return self.executor().submit(fn, *args, **kwargs)
+
+    def map(self, fn, iterable) -> list:
+        """``[fn(x) for x in iterable]`` across the pool (ordered)."""
+        return list(self.executor().map(fn, iterable))
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the executor down (the pool can be lazily restarted)."""
+        with self._lock:
+            old, self._executor = self._executor, None
+        if old is not None:
+            old.shutdown(wait=wait)
+
+
+# -- process-wide default -----------------------------------------------------
+
+_default_pool: WorkerPool | None = None
+_default_pool_lock = threading.Lock()
+
+
+def get_default_pool() -> WorkerPool:
+    """The process-wide pool (created on first use from ``REPRO_WORKERS``)."""
+    global _default_pool
+    with _default_pool_lock:
+        if _default_pool is None:
+            _default_pool = WorkerPool()
+        return _default_pool
+
+
+def set_default_pool(pool: WorkerPool) -> WorkerPool | None:
+    """Swap the process-wide pool; returns the previous one."""
+    global _default_pool
+    with _default_pool_lock:
+        previous = _default_pool
+        _default_pool = pool
+        return previous

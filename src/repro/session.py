@@ -32,15 +32,18 @@ from repro.catalog import (
 from repro.core.basis import CalendarSystem
 from repro.core.matcache import MaterialisationCache
 from repro.db import Database
+from repro.errors import ReproError
 from repro.lang.errors import ParseError, PlanError
 from repro.lang.factorizer import factorize
-from repro.lang.parser import parse_expression
-from repro.lang.plan import Plan
+from repro.lang.interpreter import Interpreter
+from repro.lang.parser import parse_expression, parse_script
+from repro.lang.plan import Plan, PlanVM
 from repro.lang.planner import compile_expression
 from repro.obs.instrument import Instrumentation
 from repro.obs.export import export_json
 from repro.obs.tracer import Span, Tracer
 from repro.rules import DBCron, RuleManager, SimulatedClock
+from repro.runtime import WorkerPool
 
 __all__ = ["Session", "Explanation", "Profile"]
 
@@ -108,6 +111,19 @@ class Profile:
         return self.root.tree()
 
 
+@dataclass
+class _BatchJob:
+    """One unique script of an ``eval_many`` batch, pre-planned."""
+
+    kind: str                     #: "defined" | "expression" | "script"
+    text: str
+    record: object = None         #: catalog record (defined names)
+    factored: object = None       #: factorized AST (expressions)
+    plan: Plan | None = None      #: compiled plan when one exists
+    parsed: object = None         #: parsed Script (script jobs)
+    error: Exception | None = None  #: planning-phase failure, raised later
+
+
 class Session:
     """Registry + database + rules + clock behind one constructor.
 
@@ -127,8 +143,14 @@ class Session:
                  holiday_years: tuple[int, int] | None = None,
                  clock_start: int = 1, cron_period: int = 7,
                  matcache: MaterialisationCache | None = None,
-                 instrumentation: Instrumentation | None = None) -> None:
+                 instrumentation: Instrumentation | None = None,
+                 workers: int | None = None) -> None:
         self._explicit_instrumentation = instrumentation
+        #: Worker pool shared by ``eval_many`` and the DBCRON daemon;
+        #: sized by ``workers`` (default: the ``REPRO_WORKERS`` env var,
+        #: falling back to 1 = fully sequential).  Lazy: no threads are
+        #: started until the first parallel dispatch.
+        self.pool = WorkerPool(workers)
         if database is None:
             if registry is None:
                 registry = CalendarRegistry(
@@ -161,7 +183,8 @@ class Session:
         self.system = self.registry.system
         self.manager = database.rule_manager or RuleManager(database)
         self.clock = SimulatedClock(now=clock_start)
-        self.cron = DBCron(self.manager, self.clock, period=cron_period)
+        self.cron = DBCron(self.manager, self.clock, period=cron_period,
+                           pool=getattr(self, "pool", None))
 
     # -- observability -------------------------------------------------------
 
@@ -215,6 +238,183 @@ class Session:
         except ParseError:
             return self.registry.eval_script(text, window=window,
                                              today=today)
+
+    # -- batch evaluation ----------------------------------------------------
+
+    def eval_many(self, scripts, *, window=None, today=None,
+                  max_workers: int | None = None) -> list:
+        """Evaluate a batch of scripts concurrently; results in order.
+
+        Semantically equivalent to ``[self.eval(s, window=window,
+        today=today) for s in scripts]`` but structured as a shared-work
+        batch (the multi-query evaluation of the paper's shared-calendar
+        caching, applied across scripts):
+
+        1. **Plan** — every *unique* script is classified and compiled
+           once; duplicate scripts in the batch share one job.
+        2. **Hoist** — the GenerateSteps of all compiled plans are
+           deduplicated and materialised once into a context cache
+           shared by every job, so a basic calendar referenced by N
+           scripts is generated (or fetched from the matcache) exactly
+           once for the whole batch.
+        3. **Execute** — jobs run on the session's worker pool (or a
+           transient pool when ``max_workers`` differs from its size);
+           with tracing on, per-thread spans roll up under one
+           ``session.eval_many`` root.
+
+        The first exception, by *input* order, is re-raised after all
+        jobs settle.  ``max_workers=None`` uses the session pool's size
+        (``workers=`` at construction, else ``REPRO_WORKERS``, else 1);
+        with one worker the batch runs inline on the calling thread —
+        still deduplicated — with no thread overhead.
+        """
+        scripts = list(scripts)
+        if not scripts:
+            return []
+        if max_workers is None:
+            pool, workers = self.pool, self.pool.size
+        else:
+            workers = max(1, int(max_workers))
+            pool = self.pool if workers == self.pool.size \
+                else WorkerPool(workers)
+        tracer = self.instrumentation.tracer
+        # Deduplicate: input position -> unique-job index.
+        unique: dict[str, int] = {}
+        order = [unique.setdefault(text, len(unique)) for text in scripts]
+        texts = list(unique)
+        try:
+            if tracer is not None:
+                with tracer.span("session.eval_many", scripts=len(scripts),
+                                 unique=len(texts),
+                                 workers=workers) as root:
+                    settled = self._eval_batch(texts, window, today,
+                                               workers, pool, root)
+            else:
+                settled = self._eval_batch(texts, window, today, workers,
+                                           pool, None)
+        finally:
+            if pool is not self.pool:
+                pool.close(wait=False)
+        for idx in order:
+            error = settled[idx][1]
+            if error is not None:
+                raise error
+        return [settled[idx][0] for idx in order]
+
+    def _eval_batch(self, texts: list, window, today, workers: int,
+                    pool: WorkerPool, root: "Span | None") -> list:
+        """Plan + hoist + execute unique ``texts``; [(result, error)]."""
+        registry = self.registry
+        base_ctx = registry.context(window, today=today)
+        shared_cache = base_ctx.cache  # one dict for the whole batch
+        tracer = base_ctx.tracer
+        if tracer is not None:
+            with tracer.span("eval_many.plan", jobs=len(texts)):
+                jobs = [self._plan_job(text, base_ctx) for text in texts]
+            with tracer.span("eval_many.hoist") as hoist_span:
+                before = len(shared_cache)
+                self._hoist_generates(jobs, base_ctx)
+                hoist_span.meta["materialised"] = \
+                    len(shared_cache) - before
+        else:
+            jobs = [self._plan_job(text, base_ctx) for text in texts]
+            self._hoist_generates(jobs, base_ctx)
+
+        def run_job(job: _BatchJob):
+            if job.error is not None:
+                return (None, job.error)
+            try:
+                return (self._exec_job(job, window, today, shared_cache,
+                                       root), None)
+            except Exception as exc:
+                return (None, exc)
+
+        if workers > 1 and len(jobs) > 1:
+            return pool.map(run_job, jobs)
+        return [run_job(job) for job in jobs]
+
+    def _plan_job(self, text: str, base_ctx) -> _BatchJob:
+        """Classify and pre-compile one unique batch script."""
+        registry = self.registry
+        try:
+            if text in registry:
+                record = registry.record(text)
+                return _BatchJob(kind="defined", text=text, record=record,
+                                 plan=record.eval_plan)
+            try:
+                factored = registry._factorized_ast(text, base_ctx.tracer)
+            except ParseError:
+                return _BatchJob(kind="script", text=text,
+                                 parsed=parse_script(text))
+            try:
+                plan = registry._compiled_plan(text, factored, base_ctx)
+            except PlanError:
+                plan = None
+            return _BatchJob(kind="expression", text=text,
+                             factored=factored, plan=plan)
+        except ReproError as exc:
+            return _BatchJob(kind="error", text=text,
+                             error=exc.add_context(script=text))
+        except Exception as exc:
+            return _BatchJob(kind="error", text=text, error=exc)
+
+    @staticmethod
+    def _hoist_generates(jobs: list, base_ctx) -> None:
+        """Materialise every distinct GenerateStep of the batch once.
+
+        ``materialise_basic`` keys on (granularity, unit, padded window,
+        mode), so steps shared across plans collapse to one computation
+        whose result lands in the batch-shared context cache; the
+        workers then hit that dict without touching the matcache.
+        """
+        for job in jobs:
+            if job.plan is None:
+                continue
+            for step in job.plan.generate_steps():
+                base_ctx.materialise_basic(
+                    step.calendar, step.window.resolve(base_ctx),
+                    mode="cover")
+
+    def _exec_job(self, job: _BatchJob, window, today, shared_cache,
+                  root: "Span | None"):
+        """Run one planned job in a fresh context wired to the shared cache.
+
+        Called from pool workers during parallel batches: the fresh
+        per-job context keeps mutable evaluation state (env, stats)
+        thread-private, while ``shared_cache`` carries the hoisted
+        materialisations.  With tracing on, the job span adopts ``root``
+        so worker-thread spans join the dispatching thread's trace tree.
+        """
+        registry = self.registry
+        tracer = registry.instrumentation.tracer
+        if tracer is not None and root is not None:
+            with tracer.child_span(root, "session.eval_job",
+                                   script=job.text, kind=job.kind):
+                return self._exec_job_inner(job, window, today,
+                                            shared_cache)
+        return self._exec_job_inner(job, window, today, shared_cache)
+
+    def _exec_job_inner(self, job: _BatchJob, window, today, shared_cache):
+        registry = self.registry
+        ctx = registry.context(window, today=today)
+        ctx.cache = shared_cache
+        try:
+            if job.kind == "defined":
+                return registry._evaluate_record(job.record, ctx, True)
+            if job.kind == "expression":
+                if job.plan is not None:
+                    try:
+                        return PlanVM(ctx).run(job.plan)
+                    except PlanError:
+                        pass
+                return Interpreter(ctx).evaluate(job.factored)
+            return Interpreter(ctx).execute(job.parsed)
+        except ReproError as exc:
+            if job.kind == "defined":
+                raise exc.add_context(
+                    calendar=job.text,
+                    script=job.record.derivation_script)
+            raise exc.add_context(script=job.text)
 
     # -- explain -------------------------------------------------------------
 

@@ -214,6 +214,14 @@ class TestWindowConventions:
         assert any(issubclass(w.category, DeprecationWarning)
                    for w in caught)
 
+    def test_positional_eval_script_deprecated(self, session):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            session.registry.eval_script(
+                "return (DAYS)", ("Jan 1 1993", "Jan 3 1993"))
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+
     def test_keyword_use_does_not_warn(self, session):
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
