@@ -91,6 +91,60 @@ class TestDisabledOverheadSmoke:
         assert instrumentation.recent_traces() == []
 
 
+class TestTelemetryOverhead:
+    """The event pipeline's cost when on, and its single branch when off.
+
+    Telemetry-enabled evaluation (``eval.start``/``eval.finish``,
+    ``cache.hit``, ``plan.run`` events per run) must stay within 5% of
+    the disabled path over a warm cache; the measured pair is recorded
+    into BENCH_core.json for trajectory diffs.
+    """
+
+    LOOPS, REPEATS = 40, 7
+
+    def _session(self, **kwargs):
+        from repro.session import Session
+
+        return Session(instrumentation=Instrumentation(),
+                       holiday_years=(1987, 1996), **kwargs)
+
+    def test_telemetry_enabled_overhead_under_5_percent(self):
+        from conftest import record_benchmark
+
+        plain = self._session()
+        telemetered = self._session(telemetry=True)
+        assert telemetered.telemetry is not None
+        assert plain.telemetry is None
+        # Warm both materialisation caches and check agreement.
+        expected = plain.eval(EXPRESSION, window=WINDOW).flatten()
+        assert telemetered.eval(EXPRESSION,
+                                window=WINDOW).flatten() == expected
+
+        t_off = _best_of(lambda: plain.eval(EXPRESSION, window=WINDOW),
+                         loops=self.LOOPS, repeats=self.REPEATS)
+        samples = []
+        for _ in range(self.REPEATS):
+            samples.append(_best_of(
+                lambda: telemetered.eval(EXPRESSION, window=WINDOW),
+                loops=self.LOOPS, repeats=1))
+        t_on = min(samples)
+        record_benchmark(
+            "obs/telemetry_enabled_eval_overhead",
+            samples=[s / self.LOOPS for s in samples],
+            disabled_s=t_off / self.LOOPS,
+            overhead_pct=100.0 * (t_on - t_off) / t_off if t_off else 0.0)
+        assert t_on <= t_off * 1.05 + 1e-3, (
+            f"telemetry-enabled overhead too high: "
+            f"disabled={t_off:.6f}s enabled={t_on:.6f}s")
+        assert telemetered.telemetry.emitted > 0
+
+    def test_disabled_telemetry_emits_nothing(self):
+        session = self._session()
+        session.eval(EXPRESSION, window=WINDOW)
+        assert session.events() == []
+        assert session.registry.matcache.pipeline is None
+
+
 class TestTracedVsUntraced:
     def test_plan_run_untraced(self, benchmark):
         _, registry, plan, ctx = _build()

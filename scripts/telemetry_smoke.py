@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""CI smoke: boot a telemetered session, scrape it, validate the scrape.
+
+Exercises the PR-4 acceptance path end to end, over a real socket:
+
+1. boot a :class:`repro.Session` with ``REPRO_TELEMETRY_PORT`` (or
+   ``--port``) and a forced-low slow-query threshold;
+2. run a 32-script ``eval_many`` batch;
+3. scrape ``/metrics`` and **fail on malformed exposition** — every
+   sample line must parse, every series needs ``# HELP``/``# TYPE``,
+   histogram buckets must be cumulative and end in ``le="+Inf"`` equal
+   to ``_count``;
+4. assert ``/healthz`` is 200/ok, ``/slowlog`` holds at least one
+   record, and ``/events`` saw the batch.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.session import Session  # noqa: E402 (path bootstrap first)
+
+_SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})? '
+    r'(?:[+-]?(?:\d+\.?\d*(?:e[+-]?\d+)?|Inf)|NaN)$')
+
+
+def _fail(message: str) -> "NoReturn":  # noqa: F821 (3.11+: typing only)
+    print(f"telemetry smoke FAILED: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        if response.status != 200:
+            _fail(f"GET {url} -> {response.status}")
+        return response.read()
+
+
+def check_exposition(text: str) -> int:
+    """Validate the whole scrape; the number of series seen."""
+    if not text.endswith("\n"):
+        _fail("exposition must end with a newline")
+    typed: dict[str, str] = {}
+    helped: set[str] = set()
+    buckets: dict[str, list[tuple[str, int]]] = {}
+    counts: dict[str, int] = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            helped.add(line.split(" ", 3)[2])
+        elif line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            if kind not in ("counter", "gauge", "histogram"):
+                _fail(f"unknown TYPE {kind!r}: {line!r}")
+            typed[name] = kind
+        elif line.startswith("#"):
+            _fail(f"unexpected comment line: {line!r}")
+        else:
+            if not _SAMPLE_RE.match(line):
+                _fail(f"malformed sample line: {line!r}")
+            name = re.split(r"[{ ]", line, 1)[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix):
+                    base = name[: -len(suffix)]
+            if base not in typed and name not in typed:
+                _fail(f"sample without TYPE: {line!r}")
+            if name.endswith("_bucket"):
+                le = re.search(r'le="([^"]+)"', line)
+                if le is None:
+                    _fail(f"bucket without le label: {line!r}")
+                buckets.setdefault(base, []).append(
+                    (le.group(1), int(line.rsplit(" ", 1)[1])))
+            elif name.endswith("_count") and base in typed \
+                    and typed[base] == "histogram":
+                counts[base] = int(line.rsplit(" ", 1)[1])
+    for name, kind in typed.items():
+        if name not in helped:
+            _fail(f"series {name} has TYPE but no HELP")
+        if kind != "histogram":
+            continue
+        series = buckets.get(name)
+        if not series:
+            _fail(f"histogram {name} has no buckets")
+        values = [count for _, count in series]
+        if values != sorted(values):
+            _fail(f"histogram {name} buckets not cumulative: {values}")
+        if series[-1][0] != "+Inf":
+            _fail(f"histogram {name} does not end in +Inf")
+        if series[-1][1] != counts.get(name):
+            _fail(f"histogram {name}: +Inf bucket {series[-1][1]} != "
+                  f"_count {counts.get(name)}")
+    if not typed:
+        _fail("empty exposition")
+    return len(typed)
+
+
+def main() -> int:
+    port = int(sys.argv[sys.argv.index("--port") + 1]) \
+        if "--port" in sys.argv \
+        else int(os.environ.get("REPRO_TELEMETRY_PORT", "0"))
+    session = Session(telemetry_port=port, slow_query_threshold=0.0,
+                      workers=4)
+    try:
+        server = session.server or session.start_telemetry_server(port)
+        scripts = [f"[{i}]/DAYS:during:[1]/MONTHS:during:1993/YEARS"
+                   for i in range(1, 17)]
+        scripts += [f"[{i}]/WEEKS:during:1993/YEARS" for i in range(1, 17)]
+        assert len(scripts) == 32
+        results = session.eval_many(scripts)
+        if len(results) != 32:
+            _fail(f"eval_many returned {len(results)} results")
+
+        series = check_exposition(_get(server.url + "/metrics").decode())
+        health = json.loads(_get(server.url + "/healthz"))
+        if health["status"] != "ok":
+            _fail(f"unhealthy: {health}")
+        slowlog = json.loads(_get(server.url + "/slowlog"))
+        if len(slowlog) < 1:
+            _fail("no slow-query records despite forced-low threshold")
+        events = json.loads(_get(server.url + "/events"))
+        kinds = {event["kind"] for event in events}
+        if "batch.finish" not in kinds:
+            _fail(f"batch events missing from /events: {sorted(kinds)}")
+
+        print(f"telemetry smoke OK: {series} series, "
+              f"{len(slowlog)} slow-query record(s), "
+              f"{len(events)} event(s), "
+              f"{session.telemetry.dropped} dropped")
+        return 0
+    finally:
+        session.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

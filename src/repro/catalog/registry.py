@@ -314,7 +314,8 @@ class CalendarRegistry:
                            functions=dict(self.functions),
                            matcache=self.matcache,
                            tracer=tracer,
-                           metrics=self.instrumentation.metrics)
+                           metrics=self.instrumentation.metrics,
+                           events=self.instrumentation.pipeline)
 
     def _coerce_window(self, window) -> tuple[int, int]:
         """Normalise every accepted ``window=`` form to day ticks.

@@ -26,7 +26,11 @@ Run with ``python -m repro``.  Three kinds of input:
       \explain EXPR | retrieve ...  evaluation plan of an expression, or
                                 a query's execution strategy
       \profile EXPR             run with tracing; per-step timing tree
-      \metrics [reset]          metrics snapshot (counters, latencies)
+      \metrics [reset]          metrics snapshot (counters, latency
+                                histograms with p50/p95/p99)
+      \slowlog [clear]          captured slow-query records (set the
+                                REPRO_SLOWLOG_SECONDS env var or
+                                Session(slow_query_threshold=) to enable)
       \trace on|off             toggle span tracing for the session
       \save FILE / \load FILE   persist / restore the session database
       \quit                     leave
@@ -72,8 +76,9 @@ class Session(CoreSession):
             lowered = text.lower()
             if any(lowered.startswith(k) for k in _QL_KEYWORDS):
                 return self._render(self.db.execute(text))
-            value = self.registry.eval_expression(text,
-                                                  window=self.window)
+            # Through the session facade so telemetry events and the
+            # slow-query log see interactive evaluations too.
+            value = self.eval(text, window=self.window)
             return self._render(value)
         except (CalendarError, DatabaseError) as exc:
             return f"error: {exc}"
@@ -226,6 +231,32 @@ class Session(CoreSession):
             if argument:
                 return "usage: \\metrics [reset]"
             return self._render_metrics()
+        if command == "slowlog":
+            if argument.lower() == "clear":
+                self.slowlog.clear()
+                return "slow-query log cleared"
+            if argument:
+                return "usage: \\slowlog [clear]"
+            if not self.slowlog.enabled:
+                return ("slow-query log disabled (set "
+                        "REPRO_SLOWLOG_SECONDS or "
+                        "Session(slow_query_threshold=...))")
+            records = self.slow_queries()
+            if not records:
+                return (f"no queries over "
+                        f"{self.slowlog.threshold_s * 1e3:.1f}ms yet")
+            lines = [f"{len(records)} slow quer"
+                     f"{'y' if len(records) == 1 else 'ies'} "
+                     f"(threshold {self.slowlog.threshold_s * 1e3:.1f}ms):"]
+            for record in records:
+                source = record.source if len(record.source) <= 48 \
+                    else record.source[:45] + "..."
+                line = (f"  {record.duration_s * 1e3:9.3f}ms  "
+                        f"[{record.via}] {source}")
+                if record.error:
+                    line += f"  ({record.error})"
+                lines.append(line)
+            return "\n".join(lines)
         if command == "trace":
             flag = argument.lower()
             if flag not in ("on", "off"):
@@ -245,10 +276,16 @@ class Session(CoreSession):
         return f"unknown command \\{command} (try \\help)"
 
     def _render_metrics(self) -> str:
-        """Formatted snapshot of every registered metric."""
+        """Formatted snapshot of every registered metric.
+
+        Histogram lines show interpolated p50/p95/p99 (see
+        :meth:`repro.obs.metrics.Histogram.percentile`) rather than the
+        conservative bucket-upper-bound quantiles of the snapshot.
+        """
         snapshot = self.metrics()
         if not snapshot:
             return "(no metrics recorded)"
+        registry = self.instrumentation.metrics
         lines = []
         for name in sorted(snapshot):
             value = snapshot[name]
@@ -256,10 +293,14 @@ class Session(CoreSession):
                 if not value["count"]:
                     lines.append(f"{name:<32} count 0")
                     continue
+                histogram = registry.get(name)
+                p50, p95, p99 = (histogram.percentile(q)
+                                 for q in (0.5, 0.95, 0.99))
                 lines.append(
                     f"{name:<32} count {value['count']:<8} "
-                    f"p50 {value['p50'] * 1e3:.3f}ms  "
-                    f"p99 {value['p99'] * 1e3:.3f}ms  "
+                    f"p50 {p50 * 1e3:.3f}ms  "
+                    f"p95 {p95 * 1e3:.3f}ms  "
+                    f"p99 {p99 * 1e3:.3f}ms  "
                     f"sum {value['sum'] * 1e3:.3f}ms")
             else:
                 lines.append(f"{name:<32} {value}")

@@ -21,6 +21,7 @@ the result, which is what lets event rules monitor reads (section 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterator, Sequence
 
 from repro.core.calendar import Calendar
@@ -122,7 +123,35 @@ class Executor:
 
     def execute(self, statement: Statement,
                 bindings: dict | None = None) -> Result:
-        """Run one parsed statement with optional variable bindings."""
+        """Run one parsed statement with optional variable bindings.
+
+        Every execution is timed into the ``db.query.latency`` histogram
+        and — with tracing on — wrapped in an ``executor.<Kind>`` span;
+        with a telemetry pipeline attached a ``query.execute`` event
+        records the statement kind and result cardinality.  The
+        instrumentation bundle is looked up per call because a session
+        may swap the database's bundle after this executor was built.
+        """
+        inst = self.db.instrumentation
+        kind = type(statement).__name__
+        tracer = inst.tracer
+        t0 = perf_counter()
+        if tracer is not None:
+            with tracer.span(f"executor.{kind}"):
+                result = self._dispatch(statement, bindings)
+        else:
+            result = self._dispatch(statement, bindings)
+        elapsed = perf_counter() - t0
+        inst.metrics.histogram("db.query.latency").observe(elapsed)
+        if inst.pipeline is not None:
+            inst.pipeline.emit("query.execute", kind=kind,
+                               rows=len(result.rows),
+                               affected=result.affected,
+                               duration_s=elapsed)
+        return result
+
+    def _dispatch(self, statement: Statement, bindings: dict | None
+                  ) -> Result:
         bindings = dict(bindings or {})
         if isinstance(statement, Retrieve):
             return self._retrieve(statement, bindings)

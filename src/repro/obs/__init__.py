@@ -1,14 +1,18 @@
-"""Observability: metrics, execution tracing and JSON export.
+"""Observability: metrics, tracing, structured events and exporters.
 
 The subsystem behind the unified :class:`repro.Session` instrumentation
 API — see :mod:`repro.obs.metrics` (counters/gauges/histograms),
 :mod:`repro.obs.tracer` (nested spans, trace ring buffer),
 :mod:`repro.obs.instrument` (the bundle wired through interpreter, plan
-VM, planner, materialisation cache, query executor and DBCRON) and
-:mod:`repro.obs.export` (JSON snapshots).
+VM, planner, materialisation cache, query executor and DBCRON),
+:mod:`repro.obs.telemetry` (the typed event pipeline and slow-query
+log), :mod:`repro.obs.promexport` (Prometheus text exposition and
+OTLP-style span export), :mod:`repro.obs.httpd` (the embedded
+``/metrics`` endpoint) and :mod:`repro.obs.export` (JSON snapshots).
 """
 
 from repro.obs.export import export_json, metrics_to_dict, traces_to_dict
+from repro.obs.httpd import TelemetryServer
 from repro.obs.instrument import (
     Instrumentation,
     get_default_instrumentation,
@@ -21,6 +25,16 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.promexport import render_prometheus, spans_to_otlp
+from repro.obs.telemetry import (
+    CallbackSink,
+    Event,
+    FileSink,
+    RingSink,
+    SlowQuery,
+    SlowQueryLog,
+    TelemetryPipeline,
+)
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
@@ -30,4 +44,8 @@ __all__ = [
     "Instrumentation", "get_default_instrumentation",
     "set_default_instrumentation",
     "metrics_to_dict", "traces_to_dict", "export_json",
+    "Event", "RingSink", "FileSink", "CallbackSink", "TelemetryPipeline",
+    "SlowQuery", "SlowQueryLog",
+    "render_prometheus", "spans_to_otlp",
+    "TelemetryServer",
 ]

@@ -175,6 +175,51 @@ class Histogram:
                     return min(bound, self._max)
             return self._max
 
+    def percentile(self, q: float) -> float | None:
+        """Interpolated ``q``-percentile (0..1); None when empty.
+
+        Unlike :meth:`quantile` (which returns the holding bucket's
+        upper bound), this interpolates linearly *within* the bucket by
+        the rank's position among its samples, clamped to the observed
+        min/max — a smoother estimate for ``\\metrics``-style display.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile {q} outside [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return None
+            counts = list(self._counts)
+            count, lo, hi = self._count, self._min, self._max
+        rank = q * count
+        seen = 0
+        for i, bucket_count in enumerate(counts):
+            if not bucket_count:
+                continue
+            if seen + bucket_count >= rank:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i] if i < len(self.bounds) else hi
+                fraction = (rank - seen) / bucket_count
+                value = lower + (upper - lower) * max(0.0, fraction)
+                return min(max(value, lo), hi)
+            seen += bucket_count
+        return hi
+
+    def cumulative_buckets(self) -> "list[tuple[float, int]]":
+        """``(upper_bound, cumulative_count)`` pairs, Prometheus-style.
+
+        The final pair carries ``float('inf')`` and equals the total
+        sample count — the ``le="+Inf"`` bucket of the text exposition.
+        """
+        with self._lock:
+            counts = list(self._counts)
+        out: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, counts):
+            cumulative += bucket_count
+            out.append((bound, cumulative))
+        out.append((float("inf"), cumulative + counts[-1]))
+        return out
+
     def summary(self) -> dict:
         """Count/sum/mean/min/max plus p50/p90/p99 estimates."""
         with self._lock:

@@ -1,0 +1,176 @@
+"""Prometheus text exposition and OTLP-style JSON span export.
+
+Two wire formats over the in-process observability state:
+
+* :func:`render_prometheus` turns a
+  :class:`~repro.obs.metrics.MetricsRegistry` into the Prometheus text
+  exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` per
+  metric, ``_total``-suffixed counters, and full histogram series with
+  monotone cumulative ``_bucket{le="…"}`` lines ending in ``+Inf``.
+* :func:`spans_to_otlp` turns finished :class:`~repro.obs.tracer.Span`
+  trees (``Tracer.recent()``) into an OTLP/JSON-shaped document
+  (``resourceSpans`` → ``scopeSpans`` → ``spans``) with deterministic
+  ids and wall-clock-anchored nanosecond timestamps, so the trace ring
+  can be shipped to any OTLP-compatible viewer.
+
+Both are pure functions over snapshots — no locks are held while
+rendering beyond the per-instrument snapshot reads.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import Span
+
+__all__ = ["prometheus_name", "render_prometheus", "spans_to_otlp"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, namespace: str = "repro") -> str:
+    """A valid Prometheus metric name for a dotted instrument name."""
+    base = _NAME_RE.sub("_", name)
+    if namespace:
+        base = f"{_NAME_RE.sub('_', namespace)}_{base}"
+    if base and base[0].isdigit():
+        base = "_" + base
+    return base
+
+
+def _format_value(value: float) -> str:
+    """A Prometheus-parseable rendering of a sample value."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if bound == math.inf else repr(float(bound))
+
+
+def _help_text(instrument) -> str:
+    text = instrument.description or f"repro instrument {instrument.name}"
+    # HELP lines may not contain raw newlines or backslashes.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_prometheus(metrics: MetricsRegistry,
+                      namespace: str = "repro") -> str:
+    """The registry's instruments in Prometheus text exposition format.
+
+    Counters are exported with the conventional ``_total`` suffix,
+    histograms as ``_bucket``/``_sum``/``_count`` series with cumulative
+    (monotone non-decreasing) bucket counts ending in the mandatory
+    ``le="+Inf"`` bucket.
+    """
+    lines: list[str] = []
+    for name in metrics.names():
+        instrument = metrics.get(name)
+        if isinstance(instrument, Counter):
+            pname = prometheus_name(name, namespace)
+            if not pname.endswith("_total"):
+                pname += "_total"
+            lines.append(f"# HELP {pname} {_help_text(instrument)}")
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            pname = prometheus_name(name, namespace)
+            lines.append(f"# HELP {pname} {_help_text(instrument)}")
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            pname = prometheus_name(name, namespace)
+            lines.append(f"# HELP {pname} {_help_text(instrument)}")
+            lines.append(f"# TYPE {pname} histogram")
+            for bound, cumulative in instrument.cumulative_buckets():
+                lines.append(f'{pname}_bucket{{le="{_format_bound(bound)}"'
+                             f"}} {cumulative}")
+            lines.append(f"{pname}_sum {_format_value(instrument.sum)}")
+            lines.append(f"{pname}_count {instrument.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- OTLP-style span export ----------------------------------------------------
+
+
+def _otlp_value(value) -> dict:
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _otlp_attributes(meta: dict) -> list:
+    return [{"key": str(key), "value": _otlp_value(value)}
+            for key, value in meta.items()]
+
+
+def spans_to_otlp(spans: "list[Span]",
+                  service_name: str = "repro") -> dict:
+    """Finished span trees as an OTLP/JSON-shaped document.
+
+    Span timestamps are :func:`time.perf_counter` readings; they are
+    anchored to the wall clock with a single offset computed at export
+    time, so cross-span *relative* timing is exact and absolute times
+    are approximate (good enough for a trace viewer, not for auditing).
+    Ids are deterministic counters — one trace id per root span.
+    """
+    offset = time.time() - time.perf_counter()
+
+    def nanos(value: float | None) -> str:
+        if value is None:
+            return "0"
+        return str(int((value + offset) * 1e9))
+
+    flat: list[dict] = []
+    next_id = 0
+
+    def walk(span: Span, trace_id: str, parent_id: str) -> None:
+        nonlocal next_id
+        next_id += 1
+        span_id = f"{next_id:016x}"
+        entry = {
+            "traceId": trace_id,
+            "spanId": span_id,
+            "name": span.name,
+            "kind": 1,  # SPAN_KIND_INTERNAL
+            "startTimeUnixNano": nanos(span.start),
+            "endTimeUnixNano": nanos(span.end),
+            "attributes": _otlp_attributes(span.meta),
+            "status": ({"code": 2, "message": str(span.meta["error"])}
+                       if "error" in span.meta else {"code": 0}),
+        }
+        if parent_id:
+            entry["parentSpanId"] = parent_id
+        flat.append(entry)
+        for child in span.children:
+            walk(child, trace_id, span_id)
+
+    for index, root in enumerate(spans, start=1):
+        walk(root, f"{index:032x}", "")
+
+    return {
+        "resourceSpans": [{
+            "resource": {"attributes": [
+                {"key": "service.name",
+                 "value": {"stringValue": service_name}},
+            ]},
+            "scopeSpans": [{
+                "scope": {"name": "repro.obs"},
+                "spans": flat,
+            }],
+        }],
+    }

@@ -32,7 +32,7 @@ class Span:
     """
 
     __slots__ = ("name", "meta", "start", "end", "children", "_tracer",
-                 "_parent", "_adopt", "_spans", "_dropped")
+                 "_parent", "_adopt", "_spans", "_dropped", "_epoch")
 
     def __init__(self, tracer: "Tracer", name: str, meta: dict) -> None:
         self.name = name
@@ -45,6 +45,9 @@ class Span:
         self._adopt: Span | None = None   # cross-thread parent (child_span)
         self._spans = 0      # descendants created (maintained on roots)
         self._dropped = 0    # descendants dropped past the budget
+        #: Ring epoch at creation; a clear() between this span's start
+        #: and its publish invalidates it (see Tracer.clear).
+        self._epoch = tracer._epoch
 
     # -- context manager ----------------------------------------------------
 
@@ -197,6 +200,10 @@ class Tracer:
         self._ring: deque = deque(maxlen=ring_size)
         self._local = threading.local()
         self._lock = threading.Lock()
+        #: Bumped by clear() under the ring lock; spans stamp it at
+        #: creation and _publish discards stale-epoch roots, so a trace
+        #: started before a clear can never resurface after it.
+        self._epoch = 0
 
     def _stack(self) -> list:
         stack = getattr(self._local, "stack", None)
@@ -265,8 +272,17 @@ class Tracer:
         return stack[-1] if stack else None
 
     def _publish(self, span: Span) -> None:
+        """Append a finished root span unless a clear() superseded it.
+
+        The epoch check happens under the ring lock: without it, a
+        worker thread (``eval_many``) finishing a span concurrently
+        with :meth:`clear` could re-populate the ring *after* the
+        clear returned — the caller would observe supposedly dropped
+        traces reappearing.
+        """
         with self._lock:
-            self._ring.append(span)
+            if span._epoch == self._epoch:
+                self._ring.append(span)
 
     def recent(self) -> "list[Span]":
         """Finished root spans, oldest first (bounded by ``ring_size``)."""
@@ -274,6 +290,14 @@ class Tracer:
             return list(self._ring)
 
     def clear(self) -> None:
-        """Drop every recorded trace."""
+        """Drop every recorded trace, including in-flight ones.
+
+        Root spans already *started* but not yet finished belong to the
+        old epoch and are discarded when they publish — after clear()
+        returns, no span that began before the call can enter the ring
+        (the race PR 4 closed; stress-tested in
+        ``tests/core/test_tracer_concurrency.py``).
+        """
         with self._lock:
             self._ring.clear()
+            self._epoch += 1

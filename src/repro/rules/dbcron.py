@@ -98,9 +98,12 @@ class DBCron:
                 loaded += 1
             heap_size = len(self._heap)
         self.stats.max_heap_size = max(self.stats.max_heap_size, heap_size)
-        metrics = self.db.instrumentation.metrics
-        metrics.counter("dbcron.probes").inc()
-        metrics.gauge("dbcron.heap_size").set(heap_size)
+        inst = self.db.instrumentation
+        inst.metrics.counter("dbcron.probes").inc()
+        inst.metrics.gauge("dbcron.heap_size").set(heap_size)
+        if inst.pipeline is not None:
+            inst.pipeline.emit("dbcron.probe", now=now, loaded=loaded,
+                               heap=heap_size, horizon=self._horizon)
         return loaded
 
     def _push(self, fire_tick: int, name: str) -> None:
@@ -192,6 +195,9 @@ class DBCron:
             if not wave:
                 break
             drift_gauge.set(now - wave[0][0])
+            if inst.pipeline is not None:
+                inst.pipeline.emit("dbcron.wave", tick=wave[0][0],
+                                   rules=len(wave), drift=now - wave[0][0])
             if len(wave) > 1 and self.pool.size > 1:
                 results = self._fire_wave_parallel(wave, now)
             else:
@@ -199,7 +205,7 @@ class DBCron:
                            for tick, name in wave]
             # Stats and metrics are updated on this thread, in wave
             # order, so sequential and parallel runs count identically.
-            for next_fire, elapsed in results:
+            for (next_fire, elapsed), (tick, name) in zip(results, wave):
                 fire_hist.observe(elapsed)
                 fire_counter.inc()
                 fired += 1
@@ -207,6 +213,10 @@ class DBCron:
                 if next_fire is not None:
                     self.stats.reschedules += 1
                     # _on_schedule_change pushed it back if due again.
+                if inst.pipeline is not None:
+                    inst.pipeline.emit("rule.fire", rule=name, tick=tick,
+                                       duration_s=elapsed,
+                                       next_fire=next_fire)
         return fired
 
     def _fire_wave_parallel(self, wave: list[tuple[int, str]],

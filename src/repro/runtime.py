@@ -57,11 +57,24 @@ class WorkerPool:
             else max(1, int(workers))
         self._executor: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        self._closed = False
+        #: Optional telemetry pipeline (``pool.dispatch`` events);
+        #: None keeps dispatch at a single extra branch.
+        self.telemetry = None
 
     @property
     def size(self) -> int:
         """The configured number of workers (>= 1)."""
         return self._size
+
+    @property
+    def alive(self) -> bool:
+        """False only after :meth:`close` until the next dispatch.
+
+        A lazily-started pool that has never run is alive: it will start
+        on demand.  ``/healthz`` reports a closed pool as degraded.
+        """
+        return not self._closed
 
     def resize(self, workers: int) -> None:
         """Change the pool size; a running executor is retired.
@@ -85,6 +98,7 @@ class WorkerPool:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self._size,
                     thread_name_prefix="repro-worker")
+            self._closed = False
             return self._executor
 
     def submit(self, fn, /, *args, **kwargs):
@@ -93,12 +107,17 @@ class WorkerPool:
 
     def map(self, fn, iterable) -> list:
         """``[fn(x) for x in iterable]`` across the pool (ordered)."""
-        return list(self.executor().map(fn, iterable))
+        items = list(iterable)
+        if self.telemetry is not None:
+            self.telemetry.emit("pool.dispatch", tasks=len(items),
+                                workers=self._size)
+        return list(self.executor().map(fn, items))
 
     def close(self, wait: bool = True) -> None:
         """Shut the executor down (the pool can be lazily restarted)."""
         with self._lock:
             old, self._executor = self._executor, None
+            self._closed = True
         if old is not None:
             old.shutdown(wait=wait)
 

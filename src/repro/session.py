@@ -22,7 +22,10 @@ obvious home.
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.catalog import (
     CalendarRegistry,
@@ -39,8 +42,11 @@ from repro.lang.interpreter import Interpreter
 from repro.lang.parser import parse_expression, parse_script
 from repro.lang.plan import Plan, PlanVM
 from repro.lang.planner import compile_expression
+from repro.obs.httpd import TelemetryServer
 from repro.obs.instrument import Instrumentation
 from repro.obs.export import export_json
+from repro.obs.promexport import render_prometheus, spans_to_otlp
+from repro.obs.telemetry import SlowQuery, SlowQueryLog, TelemetryPipeline
 from repro.obs.tracer import Span, Tracer
 from repro.rules import DBCron, RuleManager, SimulatedClock
 from repro.runtime import WorkerPool
@@ -124,6 +130,26 @@ class _BatchJob:
     error: Exception | None = None  #: planning-phase failure, raised later
 
 
+def _env_int(name: str) -> int | None:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def _env_float(name: str) -> float | None:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
 class Session:
     """Registry + database + rules + clock behind one constructor.
 
@@ -144,7 +170,10 @@ class Session:
                  clock_start: int = 1, cron_period: int = 7,
                  matcache: MaterialisationCache | None = None,
                  instrumentation: Instrumentation | None = None,
-                 workers: int | None = None) -> None:
+                 workers: int | None = None,
+                 telemetry: bool = False,
+                 telemetry_port: int | None = None,
+                 slow_query_threshold: float | None = None) -> None:
         self._explicit_instrumentation = instrumentation
         #: Worker pool shared by ``eval_many`` and the DBCRON daemon;
         #: sized by ``workers`` (default: the ``REPRO_WORKERS`` env var,
@@ -163,8 +192,21 @@ class Session:
                 if holiday_years is not None:
                     install_us_holidays(registry, *holiday_years)
             database = Database(calendars=registry)
+        #: Telemetry pipeline (None until enabled) and its HTTP server.
+        self.telemetry: TelemetryPipeline | None = None
+        self.server: TelemetryServer | None = None
+        if telemetry_port is None:
+            telemetry_port = _env_int("REPRO_TELEMETRY_PORT")
+        if slow_query_threshold is None:
+            slow_query_threshold = _env_float("REPRO_SLOWLOG_SECONDS")
+        #: Slow-query log; disabled while the threshold is None.
+        self.slowlog = SlowQueryLog(slow_query_threshold)
         self.attach_database(database, clock_start=clock_start,
                              cron_period=cron_period)
+        if telemetry or telemetry_port is not None:
+            self.enable_telemetry()
+        if telemetry_port is not None:
+            self.start_telemetry_server(telemetry_port)
 
     def attach_database(self, database: Database, *,
                         clock_start: int = 1,
@@ -185,6 +227,11 @@ class Session:
         self.clock = SimulatedClock(now=clock_start)
         self.cron = DBCron(self.manager, self.clock, period=cron_period,
                            pool=getattr(self, "pool", None))
+        # Re-point an already enabled pipeline at the adopted stack.
+        pipeline = getattr(self, "telemetry", None)
+        if pipeline is not None:
+            self.instrumentation.attach_telemetry(pipeline)
+            self.registry.matcache.pipeline = pipeline
 
     # -- observability -------------------------------------------------------
 
@@ -210,6 +257,121 @@ class Session:
         """The shared materialisation cache's counters and latencies."""
         return self.registry.cache_stats()
 
+    # -- telemetry -----------------------------------------------------------
+
+    def enable_telemetry(self, pipeline: TelemetryPipeline | None = None
+                         ) -> TelemetryPipeline:
+        """Attach a structured event pipeline to the whole stack.
+
+        Wires the (possibly new) pipeline into the instrumentation
+        bundle, the materialisation cache, the worker pool and the
+        slow-query log, so eval/cache/rule/pool event sites start
+        emitting.  Idempotent; returns the live pipeline.
+        """
+        pipeline = self.instrumentation.attach_telemetry(
+            pipeline if pipeline is not None else self.telemetry)
+        self.telemetry = pipeline
+        self.registry.matcache.pipeline = pipeline
+        self.pool.telemetry = pipeline
+        self.slowlog.pipeline = pipeline
+        return pipeline
+
+    def disable_telemetry(self) -> TelemetryPipeline | None:
+        """Detach the pipeline everywhere; hot paths go back to one branch."""
+        pipeline = self.instrumentation.detach_telemetry()
+        self.telemetry = None
+        self.registry.matcache.pipeline = None
+        self.pool.telemetry = None
+        self.slowlog.pipeline = None
+        return pipeline
+
+    def events(self, kind: str | None = None) -> list:
+        """Ring-buffered telemetry events (empty while disabled)."""
+        if self.telemetry is None:
+            return []
+        return self.telemetry.events(kind)
+
+    def slow_queries(self) -> list[SlowQuery]:
+        """Captured slow-query records, oldest first."""
+        return self.slowlog.records()
+
+    def prometheus_text(self) -> str:
+        """Every metric in Prometheus text exposition format (0.0.4)."""
+        return render_prometheus(self.instrumentation.metrics)
+
+    def health(self) -> dict:
+        """Liveness summary backing the ``/healthz`` endpoint.
+
+        ``status`` is ``"ok"`` or ``"degraded"`` (with a ``problems``
+        list): the daemon running more than two probe periods behind its
+        schedule, or a closed worker pool, degrade the session.  Cache
+        fill is informational.
+        """
+        problems: list[str] = []
+        metrics = self.instrumentation.metrics
+        drift_gauge = metrics.get("dbcron.fire_drift_ticks")
+        drift = drift_gauge.value if drift_gauge is not None else 0
+        if drift > 2 * self.cron.period:
+            problems.append(
+                f"dbcron {drift:g} ticks behind schedule "
+                f"(period {self.cron.period})")
+        if not self.pool.alive:
+            problems.append("worker pool closed")
+        cache = self.registry.matcache
+        entries = cache.stats()["entries"]
+        out = {
+            "status": "ok" if not problems else "degraded",
+            "problems": problems,
+            "clock": self.clock.now,
+            "drift_ticks": drift,
+            "pool": {"size": self.pool.size, "alive": self.pool.alive},
+            "cache": {
+                "entries": entries,
+                "maxsize": cache.maxsize,
+                "fill": (entries / cache.maxsize) if cache.maxsize else 0.0,
+            },
+        }
+        if self.telemetry is not None:
+            out["telemetry"] = {"emitted": self.telemetry.emitted,
+                                "dropped": self.telemetry.dropped}
+        return out
+
+    def start_telemetry_server(self, port: int = 0,
+                               host: str = "127.0.0.1") -> TelemetryServer:
+        """Serve ``/metrics``/``/healthz``/``/slowlog``/``/traces``.
+
+        Enables telemetry if it is not already on (the endpoints read
+        the pipeline).  ``port=0`` binds an ephemeral port, reported by
+        ``session.server.port``.
+        """
+        if self.telemetry is None:
+            self.enable_telemetry()
+        if self.server is not None:
+            return self.server
+        self.server = TelemetryServer(
+            metrics_text=self.prometheus_text,
+            health=self.health,
+            slowlog=lambda: [r.to_dict() for r in self.slow_queries()],
+            traces=lambda: spans_to_otlp(
+                self.instrumentation.raw_tracer.recent()),
+            events=lambda: [e.to_dict() for e in self.events()],
+            port=port, host=host)
+        return self.server
+
+    def close(self) -> None:
+        """Stop the telemetry server (if any) and the worker pool.
+
+        Also detaches the telemetry pipeline: a session built on the
+        process-default instrumentation must not leave its pipeline
+        wired into shared state after it is gone.
+        """
+        if self.server is not None:
+            self.server.close()
+            self.server = None
+        if self.telemetry is not None:
+            self.disable_telemetry()
+        self.pool.close(wait=False)
+
     # -- evaluation ----------------------------------------------------------
 
     def eval(self, text: str, *, window=None, today=None):
@@ -217,9 +379,66 @@ class Session:
 
         Defined calendar names go through the catalog (stored plan),
         expressions through factorize+plan, and anything that does not
-        parse as a single expression is run as a full script.
+        parse as a single expression is run as a full script.  With
+        telemetry on, the run is bracketed by ``eval.start`` /
+        ``eval.finish`` events; with a slow-query threshold set,
+        evaluations reaching it are captured into the slow-query log.
+        The fully disabled cost is the two ``is not None``/``enabled``
+        branches below.
         """
-        return self._run_text(text, window, today)
+        if self.telemetry is None and not self.slowlog.enabled:
+            return self._run_text(text, window, today)
+        return self._observed_eval(text, window, today, via="eval")
+
+    def _observed_eval(self, text: str, window, today, via: str):
+        """The instrumented twin of :meth:`eval`."""
+        pipeline = self.telemetry
+        if pipeline is not None:
+            pipeline.emit("eval.start", source=text, via=via)
+        error = None
+        t0 = perf_counter()
+        try:
+            return self._run_text(text, window, today)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            duration = perf_counter() - t0
+            if pipeline is not None:
+                pipeline.emit("eval.finish", source=text, via=via,
+                              duration_s=duration, error=error)
+            self._capture_slow(text, duration, via=via, window=window,
+                               error=error)
+
+    def _capture_slow(self, text: str, duration: float, *, via: str,
+                      window, error: str | None = None) -> None:
+        """Record a slow-query entry when ``duration`` crosses the line.
+
+        Plan text is captured lazily (a compile is only paid for
+        genuinely slow evaluations, and its failure is swallowed by the
+        log); the span tree is attached only when tracing is on — the
+        threshold works identically with tracing disabled.
+        """
+        log = self.slowlog
+        if log.threshold_s is None or duration < log.threshold_s:
+            return
+        trace = None
+        if self.instrumentation.tracing:
+            recent = self.instrumentation.recent_traces()
+            if recent:
+                trace = recent[-1].to_dict()
+        try:
+            win = self.registry._coerce_window(window)
+        except Exception:
+            win = None
+        log.maybe_record(
+            text, duration, via=via, window=win,
+            plan_text=lambda: self.explain(text, window=window).render(),
+            cache_stats={
+                key: value
+                for key, value in self.registry.matcache.stats().items()
+                if isinstance(value, (int, float))},
+            trace=trace, error=error)
 
     def query(self, text: str, bindings: dict | None = None):
         """Execute one Postquel statement against the session database."""
@@ -282,6 +501,10 @@ class Session:
         unique: dict[str, int] = {}
         order = [unique.setdefault(text, len(unique)) for text in scripts]
         texts = list(unique)
+        if self.telemetry is not None:
+            self.telemetry.emit("batch.start", scripts=len(scripts),
+                                unique=len(texts), workers=workers)
+        t0 = perf_counter()
         try:
             if tracer is not None:
                 with tracer.span("session.eval_many", scripts=len(scripts),
@@ -295,6 +518,10 @@ class Session:
         finally:
             if pool is not self.pool:
                 pool.close(wait=False)
+            if self.telemetry is not None:
+                self.telemetry.emit("batch.finish", scripts=len(scripts),
+                                    unique=len(texts), workers=workers,
+                                    duration_s=perf_counter() - t0)
         for idx in order:
             error = settled[idx][1]
             if error is not None:
@@ -387,12 +614,28 @@ class Session:
         """
         registry = self.registry
         tracer = registry.instrumentation.tracer
-        if tracer is not None and root is not None:
-            with tracer.child_span(root, "session.eval_job",
-                                   script=job.text, kind=job.kind):
-                return self._exec_job_inner(job, window, today,
-                                            shared_cache)
-        return self._exec_job_inner(job, window, today, shared_cache)
+        observe = self.telemetry is not None or self.slowlog.enabled
+        error = None
+        t0 = perf_counter()
+        try:
+            if tracer is not None and root is not None:
+                with tracer.child_span(root, "session.eval_job",
+                                       script=job.text, kind=job.kind):
+                    return self._exec_job_inner(job, window, today,
+                                                shared_cache)
+            return self._exec_job_inner(job, window, today, shared_cache)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            if observe:
+                duration = perf_counter() - t0
+                if self.telemetry is not None:
+                    self.telemetry.emit("eval.finish", source=job.text,
+                                        via="eval_many",
+                                        duration_s=duration, error=error)
+                self._capture_slow(job.text, duration, via="eval_many",
+                                   window=window, error=error)
 
     def _exec_job_inner(self, job: _BatchJob, window, today, shared_cache):
         registry = self.registry

@@ -1,0 +1,166 @@
+"""The embedded telemetry HTTP endpoint, scraped over real sockets."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.httpd import PROMETHEUS_CONTENT_TYPE, TelemetryServer
+from repro.obs.instrument import Instrumentation
+from repro.session import Session
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+@pytest.fixture()
+def session():
+    # A private instrumentation bundle so enabling tracing or forcing
+    # drift in one test cannot leak through the process-wide default.
+    session = Session(slow_query_threshold=0.0,
+                      instrumentation=Instrumentation())
+    session.start_telemetry_server(0)
+    yield session
+    session.close()
+
+
+class TestEndpoints:
+    def test_metrics_scrape_is_parseable_exposition(self, session):
+        session.eval("[1]/MONTHS:during:1993/YEARS")
+        status, headers, body = _get(session.server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        text = body.decode()
+        from tests.obs.test_promexport import _parse_exposition
+        parsed = _parse_exposition(text)
+        assert any(name.startswith("repro_matcache") for name in parsed)
+        for metric in parsed.values():
+            assert "type" in metric and "help" in metric
+
+    def test_healthz_ok(self, session):
+        status, _, body = _get(session.server.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["problems"] == []
+        assert payload["pool"]["alive"] is True
+        assert 0.0 <= payload["cache"]["fill"] <= 1.0
+
+    def test_healthz_degraded_closed_pool_is_503(self, session):
+        session.pool.close()
+        status = None
+        try:
+            status, _, body = _get(session.server.url + "/healthz")
+        except urllib.error.HTTPError as exc:
+            status, body = exc.code, exc.read()
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["status"] == "degraded"
+        assert any("pool" in problem for problem in payload["problems"])
+
+    def test_healthz_degraded_on_excess_drift(self, session):
+        gauge = session.instrumentation.metrics.gauge(
+            "dbcron.fire_drift_ticks")
+        gauge.set(10 * session.cron.period)
+        try:
+            status, _, body = _get(session.server.url + "/healthz")
+        except urllib.error.HTTPError as exc:
+            status, body = exc.code, exc.read()
+        assert status == 503
+        assert any("behind schedule" in problem
+                   for problem in json.loads(body)["problems"])
+
+    def test_slowlog_endpoint(self, session):
+        session.eval("[1]/MONTHS:during:1993/YEARS")
+        status, headers, body = _get(session.server.url + "/slowlog")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        records = json.loads(body)
+        assert len(records) == 1
+        assert records[0]["source"] == "[1]/MONTHS:during:1993/YEARS"
+        assert records[0]["threshold_s"] == 0.0
+
+    def test_traces_endpoint(self, session):
+        session.instrumentation.enable_tracing()
+        session.eval("WEEKS:during:1993/YEARS")
+        _, _, body = _get(session.server.url + "/traces")
+        doc = json.loads(body)
+        spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert spans, "tracing on: the scrape must see spans"
+
+    def test_events_endpoint(self, session):
+        session.eval("WEEKS:during:1993/YEARS")
+        _, _, body = _get(session.server.url + "/events")
+        events = json.loads(body)
+        kinds = {event["kind"] for event in events}
+        assert "eval.start" in kinds and "eval.finish" in kinds
+
+    def test_unknown_path_is_404(self, session):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(session.server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_trailing_slash_and_query_string_accepted(self, session):
+        status, _, _ = _get(session.server.url + "/healthz/?verbose=1")
+        assert status == 200
+
+
+class TestServerLifecycle:
+    def test_provider_failure_is_500(self):
+        server = TelemetryServer(
+            metrics_text=lambda: (_ for _ in ()).throw(RuntimeError("x")),
+            health=lambda: {"status": "ok"},
+            slowlog=lambda: [], traces=lambda: {})
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/metrics")
+            assert excinfo.value.code == 500
+            assert b"provider error" in excinfo.value.read()
+            # The server survives the failing provider.
+            status, _, _ = _get(server.url + "/healthz")
+            assert status == 200
+        finally:
+            server.close()
+
+    def test_ephemeral_port_resolved(self):
+        server = TelemetryServer(
+            metrics_text=lambda: "", health=lambda: {"status": "ok"},
+            slowlog=lambda: [], traces=lambda: {}, port=0)
+        try:
+            assert server.port > 0
+            assert str(server.port) in server.url
+        finally:
+            server.close()
+
+    def test_close_releases_socket(self):
+        server = TelemetryServer(
+            metrics_text=lambda: "", health=lambda: {"status": "ok"},
+            slowlog=lambda: [], traces=lambda: {})
+        url = server.url
+        server.close()
+        with pytest.raises(urllib.error.URLError):
+            _get(url + "/healthz")
+
+    def test_session_env_port(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY_PORT", "0")
+        session = Session()
+        try:
+            assert session.server is not None
+            assert session.telemetry is not None
+            status, _, _ = _get(session.server.url + "/metrics")
+            assert status == 200
+        finally:
+            session.close()
+
+    def test_start_is_idempotent(self):
+        session = Session()
+        try:
+            first = session.start_telemetry_server(0)
+            assert session.start_telemetry_server(0) is first
+        finally:
+            session.close()

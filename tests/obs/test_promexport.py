@@ -1,0 +1,216 @@
+"""Prometheus exposition conformance and OTLP span-export shape."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (
+    prometheus_name,
+    render_prometheus,
+    spans_to_otlp,
+)
+from repro.obs.tracer import Tracer
+
+#: One sample line of the 0.0.4 text format: name{labels} value
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$')
+
+
+def _parse_exposition(text: str) -> dict:
+    """Minimal 0.0.4 parser: {name: {"type":…, "help":…, "samples":[…]}}."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    metrics: dict = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            metrics.setdefault(name, {"samples": []})["help"] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert kind in ("counter", "gauge", "histogram"), line
+            metrics.setdefault(name, {"samples": []})["type"] = kind
+        else:
+            match = _SAMPLE_RE.match(line)
+            assert match is not None, f"malformed sample line: {line!r}"
+            base = match["name"]
+            for suffix in ("_bucket", "_sum", "_count"):
+                if base.endswith(suffix) and \
+                        base[:-len(suffix)] in metrics:
+                    base = base[:-len(suffix)]
+                    break
+            assert base in metrics, f"sample before TYPE/HELP: {line!r}"
+            metrics[base]["samples"].append(
+                (match["name"], match["labels"], match["value"]))
+    return metrics
+
+
+class TestNames:
+    def test_dotted_names_become_underscores(self):
+        assert prometheus_name("matcache.hit_seconds") == \
+            "repro_matcache_hit_seconds"
+
+    def test_namespace_optional(self):
+        assert prometheus_name("db.query.latency", namespace="") == \
+            "db_query_latency"
+
+    def test_leading_digit_guarded(self):
+        assert prometheus_name("9lives", namespace="")[0] == "_"
+
+
+class TestCounterGauge:
+    def test_counter_gets_total_suffix_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("matcache.hits").inc(7)
+        parsed = _parse_exposition(render_prometheus(registry))
+        metric = parsed["repro_matcache_hits_total"]
+        assert metric["type"] == "counter"
+        assert metric["help"]
+        assert metric["samples"] == [
+            ("repro_matcache_hits_total", None, "7")]
+
+    def test_existing_total_suffix_not_doubled(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total").inc()
+        text = render_prometheus(registry)
+        assert "repro_events_total 1" in text
+        assert "total_total" not in text
+
+    def test_gauge_renders_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("dbcron.fire_drift_ticks").set(3.5)
+        parsed = _parse_exposition(render_prometheus(registry))
+        metric = parsed["repro_dbcron_fire_drift_ticks"]
+        assert metric["type"] == "gauge"
+        assert float(metric["samples"][0][2]) == 3.5
+
+
+class TestHistogramConformance:
+    def _render(self, samples):
+        registry = MetricsRegistry()
+        hist = registry.histogram("eval.seconds")
+        for value in samples:
+            hist.observe(value)
+        return _parse_exposition(render_prometheus(registry)), hist
+
+    def test_buckets_monotone_cumulative_ending_in_inf(self):
+        parsed, hist = self._render([1e-6, 5e-4, 0.02, 0.02, 3.0, 100.0])
+        buckets = [s for s in parsed["repro_eval_seconds"]["samples"]
+                   if s[0].endswith("_bucket")]
+        counts = [int(value) for _, _, value in buckets]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        les = [dict(pair.split("=") for pair in [labels])
+               for _, labels, _ in buckets]
+        assert les[-1] == {"le": '"+Inf"'}
+        assert counts[-1] == hist.count == 6
+
+    def test_inf_bucket_equals_count_sample(self):
+        parsed, hist = self._render([0.001, 0.1, 50.0])
+        samples = {name: value for name, _, value
+                   in parsed["repro_eval_seconds"]["samples"]
+                   if not name.endswith("_bucket")}
+        inf_bucket = next(
+            int(value) for _, labels, value
+            in parsed["repro_eval_seconds"]["samples"]
+            if labels == 'le="+Inf"')
+        assert int(samples["repro_eval_seconds_count"]) == inf_bucket == 3
+        assert float(samples["repro_eval_seconds_sum"]) == \
+            pytest.approx(50.101)
+
+    def test_type_is_histogram_with_help(self):
+        parsed, _ = self._render([0.5])
+        metric = parsed["repro_eval_seconds"]
+        assert metric["type"] == "histogram"
+        assert metric["help"]
+
+    def test_every_bound_renders_parseable_le(self):
+        parsed, hist = self._render([0.01])
+        buckets = [s for s in parsed["repro_eval_seconds"]["samples"]
+                   if s[0].endswith("_bucket")]
+        assert len(buckets) == len(hist.bounds) + 1
+        for _, labels, _ in buckets[:-1]:
+            le = labels.split("=", 1)[1].strip('"')
+            float(le)  # must parse
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_help_escapes_newlines_and_backslashes(self):
+        registry = MetricsRegistry()
+        registry.counter("weird", description="line1\nline2\\tail").inc()
+        text = render_prometheus(registry)
+        help_line = next(line for line in text.splitlines()
+                         if line.startswith("# HELP"))
+        assert "\n" not in help_line
+        assert "line1\\nline2\\\\tail" in help_line
+
+
+class TestOtlpExport:
+    def _trace(self):
+        tracer = Tracer()
+        with tracer.span("session.eval", source="WEEKS"):
+            with tracer.span("plan.run", steps=3):
+                pass
+            with tracer.span("plan.finish"):
+                pass
+        return tracer.recent()
+
+    def test_structure_and_parenting(self):
+        doc = spans_to_otlp(self._trace())
+        json.dumps(doc)  # JSON-serialisable end to end
+        (resource,) = doc["resourceSpans"]
+        (scope,) = resource["scopeSpans"]
+        spans = scope["spans"]
+        assert [s["name"] for s in spans] == \
+            ["session.eval", "plan.run", "plan.finish"]
+        root, child_a, child_b = spans
+        assert "parentSpanId" not in root
+        assert child_a["parentSpanId"] == root["spanId"]
+        assert child_b["parentSpanId"] == root["spanId"]
+        assert child_a["traceId"] == root["traceId"]
+        assert len(root["traceId"]) == 32
+        assert len(root["spanId"]) == 16
+
+    def test_timestamps_ordered_nanos(self):
+        doc = spans_to_otlp(self._trace())
+        spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        for span in spans:
+            assert int(span["endTimeUnixNano"]) >= \
+                int(span["startTimeUnixNano"]) > 0
+
+    def test_error_meta_becomes_error_status(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        doc = spans_to_otlp(tracer.recent())
+        (span,) = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert span["status"]["code"] == 2
+        assert "nope" in span["status"]["message"]
+
+    def test_attribute_typing(self):
+        tracer = Tracer()
+        with tracer.span("typed", n=3, ratio=0.5, on=True, label="x"):
+            pass
+        doc = spans_to_otlp(tracer.recent())
+        (span,) = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        values = {a["key"]: a["value"] for a in span["attributes"]}
+        assert values["n"] == {"intValue": "3"}
+        assert values["ratio"] == {"doubleValue": 0.5}
+        assert values["on"] == {"boolValue": True}
+        assert values["label"] == {"stringValue": "x"}
+
+    def test_distinct_roots_get_distinct_trace_ids(self):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        doc = spans_to_otlp(tracer.recent())
+        spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert spans[0]["traceId"] != spans[1]["traceId"]
