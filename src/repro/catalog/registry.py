@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import os
 import warnings
 
 from repro.core.arithmetic import next_point
@@ -37,6 +38,7 @@ from repro.lang.errors import EvaluationError, PlanError
 from repro.lang.factorizer import factorize, granularity_of
 from repro.lang.interpreter import EvalContext, Interpreter
 from repro.lang.parser import parse_expression, parse_script
+from repro.lang.optimizer import optimize_plan
 from repro.lang.plan import Plan, PlanVM
 from repro.lang.planner import compile_expression
 from repro.errors import ReproError
@@ -52,6 +54,14 @@ __all__ = ["CalendarRegistry"]
 #: Process-wide source of unique registry identities for shared-cache
 #: memo keys (id() can be recycled after garbage collection; this can't).
 _MEMO_TOKENS = itertools.count(1)
+
+
+def _env_optimize_default() -> bool:
+    """The plan-optimizer gate from ``REPRO_OPTIMIZE`` (default on)."""
+    value = os.environ.get("REPRO_OPTIMIZE")
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "false", "no", "off")
 
 
 def _positional_kwargs(method: str, args: tuple, names: tuple) -> dict:
@@ -86,8 +96,13 @@ class CalendarRegistry:
     def __init__(self, system: CalendarSystem | None = None,
                  default_horizon_years: int = 40,
                  matcache: MaterialisationCache | None = None,
-                 instrumentation: Instrumentation | None = None) -> None:
+                 instrumentation: Instrumentation | None = None,
+                 optimize: bool | None = None) -> None:
         self.system = system or CalendarSystem()
+        #: Plan-optimizer gate (CSE / fusion / selection push-down);
+        #: ``None`` reads ``REPRO_OPTIMIZE`` (default on).
+        self.optimize = _env_optimize_default() if optimize is None \
+            else bool(optimize)
         #: Metrics + tracing attachment point; defaults to the
         #: process-wide instrumentation (tracing off unless REPRO_TRACE).
         self.instrumentation = instrumentation if instrumentation \
@@ -217,10 +232,19 @@ class CalendarRegistry:
         expr = parsed.single_expression()
         factored = factorize(expr, self.resolver).expression
         try:
-            return compile_expression(factored, self.system, self.resolver,
+            plan = compile_expression(factored, self.system, self.resolver,
                                       context_window=self.default_window)
         except PlanError:
             return None
+        if self.optimize:
+            # Record plans are reused under arbitrary evaluation windows:
+            # reusable=True keeps CSE structural and the runtime pipeline
+            # windows resolve against the actual context at execution.
+            plan = optimize_plan(
+                plan, context_window=self.default_window,
+                reusable=True, metrics=self.instrumentation.metrics,
+                events=self.instrumentation.pipeline).plan
+        return plan
 
     # -- procedures ----------------------------------------------------------------
 
@@ -428,9 +452,14 @@ class CalendarRegistry:
             try:
                 if tracer is None:
                     plan = self._compiled_plan(text, factored, ctx)
+                    if self.optimize:
+                        plan = self._optimized_plan(text, plan, ctx)
                 else:
                     with tracer.span("planner.compile"):
                         plan = self._compiled_plan(text, factored, ctx)
+                    if self.optimize:
+                        with tracer.span("optimizer.run"):
+                            plan = self._optimized_plan(text, plan, ctx)
                 return PlanVM(ctx).run(plan)
             except PlanError:
                 return Interpreter(ctx).evaluate(factored)
@@ -468,6 +497,21 @@ class CalendarRegistry:
                                   memo_key=(text, self.memo_token,
                                             self.version),
                                   tracer=ctx.tracer)
+
+    def _optimized_plan(self, text: str, plan: Plan,
+                        ctx: EvalContext) -> Plan:
+        """The (memoised) optimised plan of a compiled expression plan."""
+        key = ("optplan", text, self.memo_token, self.version, ctx.unit,
+               ctx.window)
+        cached = self.matcache.memo_get(key)
+        if isinstance(cached, Plan):
+            return cached
+        optimized = optimize_plan(
+            plan, context_window=ctx.window, unit=ctx.unit,
+            metrics=self.instrumentation.metrics,
+            events=self.instrumentation.pipeline).plan
+        self.matcache.memo_put(key, optimized)
+        return optimized
 
     def eval_script(self, text: str, *args, window=None, today=None,
                     env: dict | None = None, while_hook=None):

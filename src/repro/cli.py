@@ -23,8 +23,11 @@ Run with ``python -m repro``.  Three kinds of input:
       \advance N                advance the clock N days (DBCRON fires)
       \rules                    list event and temporal rules
       \tables                   list relations
-      \explain EXPR | retrieve ...  evaluation plan of an expression, or
-                                a query's execution strategy
+      \explain [-noopt] EXPR | retrieve ...  evaluation plan of an
+                                expression (with the optimizer's
+                                rewrites and plan diff; -noopt shows
+                                the unoptimized strategy only), or a
+                                query's execution strategy
       \profile EXPR             run with tracing; per-step timing tree
       \metrics [reset]          metrics snapshot (counters, latency
                                 histograms with p50/p95/p99)
@@ -216,10 +219,19 @@ class Session(CoreSession):
             return "\n".join(self.db.relation_names())
         if command == "explain":
             if not argument:
-                return "usage: \\explain EXPR | \\explain retrieve ..."
+                return ("usage: \\explain [-noopt] EXPR | "
+                        "\\explain retrieve ...")
+            optimized = None
+            if argument.startswith("-noopt"):
+                optimized = False
+                argument = argument[len("-noopt"):].strip()
+                if not argument:
+                    return ("usage: \\explain [-noopt] EXPR | "
+                            "\\explain retrieve ...")
             if any(argument.lower().startswith(k) for k in _QL_KEYWORDS):
                 return self.db.explain(argument)
-            return self.explain(argument, window=self.window).render()
+            return self.explain(argument, window=self.window,
+                                optimized=optimized).render()
         if command == "profile":
             if not argument:
                 return "usage: \\profile EXPR"

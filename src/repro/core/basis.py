@@ -237,6 +237,29 @@ class CalendarSystem:
         if cal_g in _SUBDAY:
             return self._generate_subday_calendar(cal_g, unit_g, start, end,
                                                   mode)
+        intervals: list[Interval] = []
+        labels: list[object] = []
+        has_labels = unit_g != Granularity.WEEKS and cal_g in (
+            Granularity.DAYS, Granularity.MONTHS, Granularity.YEARS,
+            Granularity.DECADES, Granularity.CENTURY)
+        for iv, label in self._iter_day_based(cal_g, unit_g, start, end,
+                                              mode):
+            intervals.append(iv)
+            labels.append(label)
+        cal = Calendar.from_intervals(intervals, cal_g)
+        if has_labels:
+            cal = cal.with_labels(labels)
+        return cal
+
+    def _iter_day_based(self, cal_g: Granularity, unit_g: Granularity,
+                        start, end, mode: str
+                        ) -> Iterator[tuple[Interval, object]]:
+        """Lazy ``(interval, label)`` stream behind :meth:`_generate_day_based`.
+
+        Units are produced one at a time in axis order; nothing beyond the
+        current unit is held in memory, which is what lets streaming plan
+        pipelines consume basic calendars without materialising them.
+        """
         if unit_g in _SUBDAY:
             k = exact_ratio(unit_g, Granularity.DAYS)
             if isinstance(start, int) and isinstance(end, int):
@@ -253,9 +276,10 @@ class CalendarSystem:
                 we = _unscale(dhi, 7)
             else:
                 ws, we = start, end
-            intervals = [Interval(t, t)
-                         for t in range(ws, we + 1) if t != 0]
-            return Calendar.from_intervals(intervals, cal_g)
+            for t in range(ws, we + 1):
+                if t != 0:
+                    yield Interval(t, t), None
+            return
         else:
             if isinstance(start, int) and isinstance(end, int):
                 ws, we = start, end
@@ -264,11 +288,6 @@ class CalendarSystem:
             dlo, dhi = ws, we
             k = 1
         window_iv = Interval(ws, we)
-        intervals: list[Interval] = []
-        labels: list[object] = []
-        has_labels = cal_g in (Granularity.DAYS, Granularity.MONTHS,
-                               Granularity.YEARS, Granularity.DECADES,
-                               Granularity.CENTURY)
         for day_lo, day_hi, label in self._iter_units_days(cal_g, dlo, dhi):
             lo = _scale_lo(day_lo, k) if k != 1 else day_lo
             hi = _scale_hi(day_hi, k) if k != 1 else day_hi
@@ -280,12 +299,41 @@ class CalendarSystem:
                 iv = clipped
             elif not iv.overlaps(window_iv):
                 continue
-            intervals.append(iv)
-            labels.append(label)
-        cal = Calendar.from_intervals(intervals, cal_g)
-        if has_labels:
-            cal = cal.with_labels(labels)
-        return cal
+            yield iv, label
+
+    def iter_generate(self, cal: "str | Granularity",
+                      unit: "str | Granularity", window: tuple,
+                      mode: str = "clip"
+                      ) -> Iterator[tuple[Interval, object]]:
+        """Bounded-memory iterator form of :meth:`generate`.
+
+        Yields ``(interval, label)`` pairs in axis order, producing one
+        unit at a time instead of materialising the whole window.  The
+        pairs are exactly the elements (and labels, ``None`` where
+        :meth:`generate` attaches none) that ``generate`` would return
+        for the same arguments.  Day-based unit granularities stream
+        natively; month/year-based unit axes fall back to eager
+        generation and yield from the result.
+        """
+        cal_g = Granularity.parse(cal)
+        unit_g = Granularity.parse(unit)
+        if unit_g > cal_g:
+            raise GranularityError(
+                f"cannot express {cal_g} in coarser unit {unit_g}")
+        if mode not in ("clip", "cover"):
+            raise GranularityError(f"unknown generate mode {mode!r}")
+        start, end = window
+        if (unit_g in _SUBDAY or unit_g == Granularity.DAYS
+                or unit_g == Granularity.WEEKS) and cal_g not in _SUBDAY:
+            if unit_g == Granularity.WEEKS and cal_g != Granularity.WEEKS:
+                raise GranularityError(
+                    "weeks do not evenly tile coarser calendars; "
+                    "express the calendar in DAYS instead")
+            yield from self._iter_day_based(cal_g, unit_g, start, end, mode)
+            return
+        eager = self.generate(cal_g, unit_g, (start, end), mode)
+        for i, iv in enumerate(eager.elements):
+            yield iv, eager.label_of(i)
 
     def _generate_subday_calendar(self, cal_g: Granularity,
                                   unit_g: Granularity, start, end,

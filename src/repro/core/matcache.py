@@ -200,7 +200,8 @@ class MaterialisationCache:
     _STAT_KEYS = ("hits", "misses", "extensions", "evictions",
                   "uncacheable", "served_intervals",
                   "generated_intervals", "memo_hits", "memo_misses",
-                  "requests", "single_flight_waits", "lock_contention")
+                  "requests", "single_flight_waits", "lock_contention",
+                  "narrow_bypass")
 
     def __init__(self, maxsize: int = 256, memo_maxsize: int = 2048,
                  max_entry_elements: int = 1_000_000,
@@ -367,13 +368,24 @@ class MaterialisationCache:
             current = stripe.entries.get(key)
             # Keep whichever window is wider (an eviction may have raced
             # us, but a competing installer cannot — we hold the flight).
-            if current is None or not current.covers(start, end):
-                stripe.entries[key] = entry
-                stripe.entries.move_to_end(key)
-                current = entry
-            entry.stamp = current.stamp = next(self._ticker)
-            result = current.serve(start, end, mode)
-            self._counters["served_intervals"].inc(len(result))
+            # A *narrower* disjoint request — typical for a streaming
+            # pipeline's per-reference windows — is served from its own
+            # materialisation without evicting the wider shared entry
+            # (window-truncated insertion would otherwise thrash it).
+            if current is not None and not current.covers(start, end) and \
+                    (current.window[1] - current.window[0]) > (end - start):
+                self._counters["narrow_bypass"].inc()
+                current.stamp = next(self._ticker)
+                result = entry.serve(start, end, mode)
+                self._counters["served_intervals"].inc(len(result))
+            else:
+                if current is None or not current.covers(start, end):
+                    stripe.entries[key] = entry
+                    stripe.entries.move_to_end(key)
+                    current = entry
+                entry.stamp = current.stamp = next(self._ticker)
+                result = current.serve(start, end, mode)
+                self._counters["served_intervals"].inc(len(result))
         finally:
             stripe.lock.release()
         if self.pipeline is not None:

@@ -4,7 +4,8 @@ Pipeline (section 3.3-3.4 of the paper)::
 
     source text --tokenize--> tokens --parse--> AST
         --expand/factorize--> optimized AST
-        --compile--> evaluation Plan --PlanVM--> Calendar
+        --compile--> evaluation Plan
+        --optimize--> rewritten Plan --PlanVM--> Calendar
 
 plus the direct :class:`~repro.lang.interpreter.Interpreter`, which is the
 reference semantics for scripts (assignments, if, while, return).
@@ -37,6 +38,7 @@ from repro.lang.factorizer import (
 )
 from repro.lang.interpreter import EvalContext, Interpreter, infer_unit
 from repro.lang.lexer import tokenize
+from repro.lang.optimizer import OptimizationResult, optimize_plan
 from repro.lang.parser import Parser, parse_expression, parse_script
 from repro.lang.plan import Plan, PlanVM
 from repro.lang.planner import Planner, compile_expression
@@ -47,6 +49,7 @@ __all__ = [
     "FactorizationResult", "render_tree", "count_nodes", "expression_text",
     "EvalContext", "Interpreter", "infer_unit",
     "Plan", "PlanVM", "Planner", "compile_expression",
+    "OptimizationResult", "optimize_plan",
     "BasicDef", "DerivedDef", "ExplicitDef", "basic_resolver",
     "chain_resolvers",
     "LanguageError", "LexError", "ParseError", "NameResolutionError",

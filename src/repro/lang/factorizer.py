@@ -247,6 +247,13 @@ def _try_rule(node: ast.ForEach, resolver: Resolver) -> ast.Expr | None:
         # normalise away): ``(Tuesdays):during:WEEKS`` must stay order-2.
         return None
     if op1 == "<=" and op2 == "<=":
+        # The paper's ≤/≤ exception rewrites to ``X :Op2: Z`` — sound
+        # only when both passes are strict: in relaxed mode ``<=`` does
+        # not clip, so regrouping changes membership multiplicity and
+        # the window of surviving days (audited empirically; see
+        # tests/lang/test_factorizer.py TestLeqLeqSemanticEquivalence).
+        if not (node.strict and inner.strict):
+            return None
         core: ast.Expr = ast.ForEach(x, op2, z, node.strict)
     else:
         core = ast.ForEach(x, op1, z, inner.strict)

@@ -141,8 +141,20 @@ class EvalContext:
     def padded_window(self, window: tuple[int, int] | None = None
                       ) -> tuple[int, int]:
         """The generation window extended by one year of the unit."""
-        lo, hi = window or self.window
-        pad = self._WINDOW_PAD[self.unit]
+        return self.padded_tick_window(window or self.window)
+
+    def padded_tick_window(self, window: tuple[int, int],
+                           pad: int | None = None) -> tuple[int, int]:
+        """``window`` extended by ``pad`` unit ticks.
+
+        ``pad=None`` applies the legacy blanket (one year of the unit);
+        an explicit pad — the planner's per-expression bound for sub-day
+        units, or ``0`` for pre-padded dynamic pipeline windows — extends
+        by exactly that many ticks.
+        """
+        lo, hi = window
+        if pad is None:
+            pad = self._WINDOW_PAD[self.unit]
         lo -= pad
         hi += pad
         return (lo if lo != 0 else -1, hi if hi != 0 else 1)
@@ -153,8 +165,13 @@ class EvalContext:
 
     def materialise_basic(self, gran: Granularity,
                           window: tuple[int, int] | None = None,
-                          mode: str = "cover") -> Calendar:
+                          mode: str = "cover",
+                          pad: int | None = None) -> Calendar:
         """Materialise a basic calendar over a (padded) window.
+
+        ``pad`` overrides the blanket window padding in unit ticks (see
+        :meth:`padded_tick_window`); the default ``None`` keeps the
+        legacy one-year blanket.
 
         Requests go through the process-wide
         :class:`~repro.core.matcache.MaterialisationCache` (window
@@ -162,7 +179,7 @@ class EvalContext:
         keeps exact-key repeats free and the per-context stats counting
         identical to a cache-cold run.
         """
-        win = self.padded_window(window)
+        win = self.padded_tick_window(window or self.window, pad)
         key = ("basic", gran, self.unit, win, mode)
         self.stats["generate_calls"] += 1
         if key in self.cache:

@@ -15,10 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.algebra import SelectionPredicate, caloperate, foreach, \
-    label_select, select
+from repro.core.algebra import SelectionPredicate, _SortedView, _apply_over, \
+    caloperate, foreach, label_select, select
 from repro.core.calendar import Calendar
 from repro.core.granularity import Granularity
+from repro.core.interval import Interval, axis_add, get_listop
+from repro.core.stream import PeakTracker
 from repro.lang.defs import BasicDef, DerivedDef, ExplicitDef
 from repro.lang.errors import EvaluationError, PlanError
 
@@ -27,15 +29,24 @@ __all__ = [
     "SelectStep", "LabelSelectStep", "SetOpStep", "CalOperateStep",
     "FlattenStep", "ShiftStep", "InstantsStep", "HullStep",
     "IntervalStep", "PointStep", "TodayStep", "GenerateCallStep",
+    "FusedForEachStep", "MergedForEachStep", "PipelineForEachStep",
     "Plan", "PlanVM",
 ]
 
 
 @dataclass(frozen=True)
 class WindowSpec:
-    """A generation window: either the context window or a fixed tick range."""
+    """A generation window: either the context window or a fixed tick range.
+
+    ``dynamic=True`` marks a window that a streaming pipeline narrows at
+    run time to the neighbourhood of one reference interval; the
+    ``fixed``/context part is then the *eager bound* — the window the
+    unoptimised plan would have generated over — which the per-reference
+    window is intersected with so optimised results stay byte-identical.
+    """
 
     fixed: tuple[int, int] | None = None
+    dynamic: bool = False
 
     def resolve(self, context) -> tuple[int, int]:
         """The concrete tick window for an evaluation context."""
@@ -44,9 +55,11 @@ class WindowSpec:
         return context.window
 
     def __str__(self) -> str:
-        if self.fixed is None:
-            return "<context-window>"
-        return f"[{self.fixed[0]}, {self.fixed[1]}]"
+        base = ("<context-window>" if self.fixed is None
+                else f"[{self.fixed[0]}, {self.fixed[1]}]")
+        if self.dynamic:
+            return f"<per-ref ∩ {base}>"
+        return base
 
 
 CONTEXT_WINDOW = WindowSpec(None)
@@ -64,15 +77,22 @@ class PlanStep:
 
 @dataclass(frozen=True)
 class GenerateStep(PlanStep):
-    """Materialise a basic calendar over a window (cover mode)."""
+    """Materialise a basic calendar over a window (cover mode).
+
+    ``pad`` overrides the evaluation context's blanket window padding
+    (in unit ticks); ``None`` keeps the legacy blanket, ``0`` disables
+    padding entirely (dynamic pipeline windows arrive pre-padded).
+    """
 
     target: str
     calendar: Granularity
     window: WindowSpec
+    pad: int | None = None
 
     def describe(self) -> str:
+        pad = f", pad={self.pad}" if self.pad is not None else ""
         return (f"{self.target} := generate({self.calendar.name}, "
-                f"<unit>, {self.window})")
+                f"<unit>, {self.window}{pad})")
 
 
 @dataclass(frozen=True)
@@ -234,6 +254,83 @@ class GenerateCallStep(PlanStep):
                 f"[{self.start!r}, {self.end!r}], {self.mode})")
 
 
+@dataclass(frozen=True)
+class FusedForEachStep(PlanStep):
+    """A foreach and its sole-consumer positional selection fused into one
+    merge-join pass: groups are selected as they form instead of
+    materialising the intermediate order-2 calendar."""
+
+    target: str
+    op: str
+    strict: bool
+    left: str
+    right: str
+    predicate: SelectionPredicate
+
+    def describe(self) -> str:
+        sep = ":" if self.strict else "."
+        return (f"{self.target} := select {self.predicate} from each group "
+                f"of (for each c in {self.left}: keep c "
+                f"{sep}{self.op}{sep} {self.right})")
+
+
+@dataclass(frozen=True)
+class MergedForEachStep(PlanStep):
+    """Two adjacent foreach steps over the same materialised reference merged
+    into one kernel: the inner grouping's flatten is skipped and members
+    stream straight into the outer foreach."""
+
+    target: str
+    op1: str
+    strict1: bool
+    left: str
+    right: str
+    op2: str
+    strict2: bool
+    right2: str
+
+    def describe(self) -> str:
+        s1 = ":" if self.strict1 else "."
+        s2 = ":" if self.strict2 else "."
+        return (f"{self.target} := for each c in (each group of {self.left} "
+                f"{s1}{self.op1}{s1} {self.right}): keep c "
+                f"{s2}{self.op2}{s2} {self.right2}")
+
+
+@dataclass(frozen=True)
+class PipelineForEachStep(PlanStep):
+    """Selection push-down: evaluate the left-operand chain lazily per
+    reference interval over a narrowed dynamic window.
+
+    ``subplan`` is the foreach's left chain with its generation windows
+    marked dynamic; for each reference interval ``r`` the chain runs over
+    ``[r.lo - pad, r.hi + pad]`` (intersected with each generate's eager
+    bound), so only the neighbourhood of the selected references is ever
+    materialised.  ``predicate`` carries a fused trailing selection.
+    ``granularity`` is the statically known granularity of the chain's
+    result (needed to assemble empty groups identically to the eager
+    plan).
+    """
+
+    target: str
+    op: str
+    strict: bool
+    right: str
+    subplan: "Plan"
+    pad: int
+    granularity: Granularity
+    predicate: SelectionPredicate | None = None
+
+    def describe(self) -> str:
+        sep = ":" if self.strict else "."
+        inner = "; ".join(s.describe() for s in self.subplan.steps)
+        pred = (f"; select {self.predicate} per group"
+                if self.predicate is not None else "")
+        return (f"{self.target} := for each r in {self.right}: eval "
+                f"[{inner}; yield {self.subplan.result}] over r±{self.pad}, "
+                f"keep c {sep}{self.op}{sep} r{pred}")
+
+
 @dataclass
 class Plan:
     """An ordered list of steps plus the register holding the result.
@@ -275,8 +372,14 @@ class PlanVM:
     duplicate concurrent writes harmless.
     """
 
-    def __init__(self, context) -> None:
+    def __init__(self, context, window_override: "tuple[int, int] | None" = None,
+                 tracker: "PeakTracker | None" = None) -> None:
         self.context = context
+        # Set for per-reference sub-runs of a PipelineForEachStep: dynamic
+        # generation windows resolve to this tick range instead of the
+        # context window.
+        self.window_override = window_override
+        self.tracker = tracker
 
     def run(self, plan: Plan) -> Calendar:
         """Execute the steps in order; the (window-clipped) result.
@@ -287,28 +390,64 @@ class PlanVM:
         the telemetry pipeline, which emits a ``plan.run`` event per
         execution when attached).
         """
-        events = self.context.events
-        if self.context.tracer is not None:
-            result = self._run_traced(plan)
+        ctx = self.context
+        publish = False
+        if self.tracker is None and "peak_live_intervals" in ctx.stats:
+            self.tracker = PeakTracker()
+            publish = True
+        try:
+            events = ctx.events
+            if ctx.tracer is not None:
+                result = self._run_traced(plan)
+                if events is not None:
+                    events.emit("plan.run", steps=len(plan.steps),
+                                result=plan.result, traced=True)
+                return result
             if events is not None:
+                from time import perf_counter
+                t0 = perf_counter()
+                registers = {}
+                for step in plan.steps:
+                    registers[step.target] = self._exec(step, registers)
+                result = self._finish(plan, registers)
                 events.emit("plan.run", steps=len(plan.steps),
-                            result=plan.result, traced=True)
-            return result
-        if events is not None:
-            from time import perf_counter
-            t0 = perf_counter()
-            registers = {}
+                            result=plan.result, traced=False,
+                            duration_s=perf_counter() - t0)
+                return result
+            registers: dict[str, object] = {}
             for step in plan.steps:
-                registers[step.target] = self._run_step(step, registers)
-            result = self._finish(plan, registers)
-            events.emit("plan.run", steps=len(plan.steps),
-                        result=plan.result, traced=False,
-                        duration_s=perf_counter() - t0)
-            return result
+                registers[step.target] = self._exec(step, registers)
+            return self._finish(plan, registers)
+        finally:
+            if publish:
+                self.tracker.publish(ctx.stats)
+
+    def run_raw(self, plan: Plan):
+        """Execute a pipeline sub-plan: plain loop, no final window clip.
+
+        Used for the per-reference chain runs of
+        :class:`PipelineForEachStep`; registers die with the run, so the
+        peak tracker releases everything but the returned result.
+        """
         registers: dict[str, object] = {}
         for step in plan.steps:
-            registers[step.target] = self._run_step(step, registers)
-        return self._finish(plan, registers)
+            registers[step.target] = self._exec(step, registers)
+        try:
+            result = registers[plan.result]
+        except KeyError:
+            raise PlanError(
+                f"plan result register {plan.result!r} was never written")
+        if self.tracker is not None:
+            for name, value in registers.items():
+                if name != plan.result and isinstance(value, Calendar):
+                    self.tracker.sub(value.leaf_count())
+        return result
+
+    def _exec(self, step: "PlanStep", registers: dict):
+        value = self._run_step(step, registers)
+        if self.tracker is not None and isinstance(value, Calendar):
+            self.tracker.add(value.leaf_count())
+        return value
 
     def _run_traced(self, plan: Plan) -> Calendar:
         """Instrumented twin of :meth:`run`: per-opcode spans + timings."""
@@ -325,7 +464,7 @@ class PlanVM:
                 with tracer.span(f"plan.step.{type(step).__name__}",
                                  target=step.target):
                     t0 = perf_counter()
-                    registers[step.target] = self._run_step(step, registers)
+                    registers[step.target] = self._exec(step, registers)
                     if step_hist is not None:
                         step_hist.observe(perf_counter() - t0)
                         step_count.inc()
@@ -347,9 +486,22 @@ class PlanVM:
     def _run_step(self, step: PlanStep, registers: dict):
         ctx = self.context
         if isinstance(step, GenerateStep):
+            if step.window.dynamic and self.window_override is not None:
+                # Per-reference pipeline run: narrow to the reference
+                # neighbourhood, intersected with the window the eager
+                # plan would have covered (keeps boundary truncation
+                # byte-identical to the unoptimised plan).
+                lo0, hi0 = ctx.padded_tick_window(step.window.resolve(ctx),
+                                                  step.pad)
+                lo = max(self.window_override[0], lo0)
+                hi = min(self.window_override[1], hi0)
+                if lo > hi:
+                    return Calendar.from_intervals([], step.calendar)
+                return ctx.materialise_basic(step.calendar, (lo, hi),
+                                             mode="cover", pad=0)
             return ctx.materialise_basic(step.calendar,
                                          step.window.resolve(ctx),
-                                         mode="cover")
+                                         mode="cover", pad=step.pad)
         if isinstance(step, LoadStep):
             definition = ctx.resolver(step.name)
             if definition is None:
@@ -420,4 +572,125 @@ class PlanVM:
             return ctx.generate_call(step.calendar, step.unit,
                                      (step.start, step.end),
                                      mode=step.mode)
+        if isinstance(step, FusedForEachStep):
+            return self._run_fused(step, registers)
+        if isinstance(step, MergedForEachStep):
+            return self._run_merged(step, registers)
+        if isinstance(step, PipelineForEachStep):
+            return self._run_pipeline(step, registers)
         raise PlanError(f"unknown plan step {step!r}")
+
+    # -- fused / streaming kernels ----------------------------------------------
+
+    def _run_fused(self, step: FusedForEachStep, registers: dict) -> Calendar:
+        """``select(foreach(...))`` in one pass over the groups."""
+        left = registers[step.left]
+        right = registers[step.right]
+        if left.order != 1:
+            left = left.flatten()
+        reference = (right.elements[0]
+                     if right.order == 1 and len(right) == 1 else right)
+        op = get_listop(step.op)
+        if (isinstance(reference, Interval) or op.shape == "filtering"
+                or reference.order != 1):
+            return select(foreach(op, left, reference, strict=step.strict),
+                          step.predicate)
+        view = _SortedView.of(left)
+        pred = step.predicate
+        singleton = pred.is_singleton()
+        picked_intervals: list[Interval] = []
+        picked_subs: list[Calendar] = []
+        for r in reference.elements:
+            group: list[Interval] = []
+            _apply_over(view, op, r, step.strict, group)
+            if not group:
+                continue
+            positions = pred.positions(len(group))
+            if not positions:
+                continue
+            if singleton:
+                picked_intervals.append(group[positions[0]])
+            else:
+                picked_subs.append(Calendar.from_intervals(
+                    [group[p] for p in positions], left.granularity))
+        if singleton:
+            return Calendar.from_intervals(picked_intervals,
+                                           left.granularity)
+        return Calendar.from_calendars(picked_subs, left.granularity)
+
+    def _run_merged(self, step: MergedForEachStep, registers: dict
+                    ) -> Calendar:
+        """Inner grouping + flatten + outer foreach in one member pass."""
+        left = registers[step.left]
+        right = registers[step.right]
+        right2 = registers[step.right2]
+        if left.order != 1:
+            left = left.flatten()
+        op1 = get_listop(step.op1)
+        if right.order == 1:
+            refs = list(right.elements)
+        else:
+            refs = list(right.flatten().elements)
+        view = _SortedView.of(left)
+        flat: list[Interval] = []
+        for ref in refs:
+            _apply_over(view, op1, ref, step.strict1, flat)
+        mid = Calendar.from_intervals(flat, left.granularity)
+        reference2 = (right2.elements[0]
+                      if right2.order == 1 and len(right2) == 1 else right2)
+        return foreach(step.op2, mid, reference2, strict=step.strict2)
+
+    def _run_pipeline(self, step: PipelineForEachStep, registers: dict
+                      ) -> Calendar:
+        """Per-reference lazy evaluation of the foreach's left chain."""
+        right = registers[step.right]
+        reference = (right.elements[0]
+                     if right.order == 1 and len(right) == 1 else right)
+        out = self._pipeline_foreach(step, reference)
+        if step.predicate is not None:
+            out = select(out, step.predicate)
+        return out
+
+    def _pipeline_foreach(self, step: PipelineForEachStep, ref) -> Calendar:
+        """Mirror of :func:`repro.core.algebra.foreach`'s assembly, with the
+        left operand re-evaluated per reference over a narrowed window."""
+        if isinstance(ref, Interval):
+            left = self._eval_chain_for_ref(step, ref)
+            return foreach(step.op, left, ref, strict=step.strict)
+        if ref.order == 1:
+            subs: list[Calendar] = []
+            labels: list = []
+            for i, r in enumerate(ref.elements):
+                left = self._eval_chain_for_ref(step, r)
+                sub = foreach(step.op, left, r, strict=step.strict)
+                if self.tracker is not None:
+                    self.tracker.sub(left.leaf_count())
+                if sub.is_empty():
+                    continue
+                subs.append(sub)
+                labels.append(ref.label_of(i))
+            out = Calendar.from_calendars(subs, step.granularity)
+            if ref.labels is not None:
+                out = out.with_labels(labels)
+            return out
+        subs = [self._pipeline_foreach(step, sub) for sub in ref.elements]
+        subs = [s for s in subs if not s.is_empty()]
+        return Calendar.from_calendars(subs, step.granularity)
+
+    def _eval_chain_for_ref(self, step: PipelineForEachStep,
+                            ref: Interval) -> Calendar:
+        """Run the left chain over the reference's padded neighbourhood."""
+        lo = axis_add(ref.lo, -step.pad)
+        hi = axis_add(ref.hi, step.pad)
+        vm = PlanVM(self.context, window_override=(lo, hi),
+                    tracker=self.tracker)
+        result = vm.run_raw(step.subplan)
+        if not isinstance(result, Calendar):
+            raise PlanError("pipeline sub-plan did not produce a calendar")
+        if result.order != 1:
+            flat = result.flatten()
+            if self.tracker is not None:
+                self.tracker.sub(result.leaf_count())
+                self.tracker.add(flat.leaf_count())
+            result = flat
+        return result

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.basis import CalendarSystem
-from repro.core.granularity import Granularity
+from repro.core.granularity import Granularity, exact_ratio
 from repro.lang import ast
 from repro.lang.defs import BasicDef, DerivedDef, ExplicitDef, Resolver
 from repro.lang.errors import PlanError
@@ -73,6 +73,12 @@ _NOMINAL_DAYS = {
     Granularity.CENTURY: 36525,
 }
 
+#: Unit granularities finer than a day: their generation windows get an
+#: exact per-expression pad instead of the context's blanket (one month of
+#: ticks), which over-pads day-coarse expressions ~30x and *under*-pads
+#: year-coarse ones.
+_SUBDAY_UNITS = (Granularity.SECONDS, Granularity.MINUTES, Granularity.HOURS)
+
 
 def _skip_zero(t: int) -> int:
     return t if t != 0 else -1
@@ -98,13 +104,35 @@ class Planner:
     _steps: list[PlanStep] = field(default_factory=list)
     _registers: dict = field(default_factory=dict)
     _counter: int = 0
+    _gen_pad: int | None = None
 
     # -- public -------------------------------------------------------------
 
     def compile(self, expr: ast.Expr) -> Plan:
         """Compile an expression AST into an evaluation plan."""
+        self._gen_pad = self._generation_pad(expr)
         result = self._compile(expr, self._root_window(expr))
         return Plan(self._steps, result)
+
+    def _generation_pad(self, expr: ast.Expr) -> int | None:
+        """Exact generation-window pad (unit ticks) for sub-day units.
+
+        The evaluation context's blanket pad is one month of unit ticks —
+        744 for HOURS — regardless of what the expression references.  For
+        sub-day units the coarsest granularity in the expression bounds
+        how far a boundary unit can reach, so the pad only needs that
+        span in ticks (24 for a day-coarse hourly expression).  ``None``
+        (DAYS and coarser units, or expressions referencing derived
+        calendars whose granularity is unknown) keeps the legacy blanket.
+        """
+        if self.unit not in _SUBDAY_UNITS:
+            return None
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and \
+                    not isinstance(self.resolver(sub.ident), BasicDef):
+                return None
+        return _NOMINAL_DAYS[self._coarsest_in(expr)] * \
+            exact_ratio(self.unit, Granularity.DAYS)
 
     # -- window analysis ------------------------------------------------------
 
@@ -175,9 +203,15 @@ class Planner:
 
     def _pad_window(self, window: WindowSpec, expr: ast.Expr) -> WindowSpec:
         """Pad a fixed window by one coarsest-unit span on each side."""
-        if window.fixed is None or self.unit != Granularity.DAYS:
+        if window.fixed is None:
             return window
-        pad = _NOMINAL_DAYS[self._coarsest_in(expr)]
+        if self.unit == Granularity.DAYS:
+            pad = _NOMINAL_DAYS[self._coarsest_in(expr)]
+        elif self.unit in _SUBDAY_UNITS:
+            pad = _NOMINAL_DAYS[self._coarsest_in(expr)] * \
+                exact_ratio(self.unit, Granularity.DAYS)
+        else:
+            return window
         if pad <= 1:
             return window
         lo, hi = window.fixed
@@ -247,7 +281,7 @@ class Planner:
         if isinstance(definition, BasicDef):
             key = ("generate", definition.granularity, window)
             return self._emit(key, lambda t: GenerateStep(
-                t, definition.granularity, window))
+                t, definition.granularity, window, self._gen_pad))
         key = ("load", expr.ident.lower())
         return self._emit(key, lambda t: LoadStep(t, expr.ident))
 

@@ -22,6 +22,7 @@ obvious home.
 
 from __future__ import annotations
 
+import difflib
 import os
 
 from dataclasses import dataclass, field
@@ -40,6 +41,7 @@ from repro.lang.errors import ParseError, PlanError
 from repro.lang.factorizer import factorize
 from repro.lang.interpreter import Interpreter
 from repro.lang.parser import parse_expression, parse_script
+from repro.lang.optimizer import optimize_plan
 from repro.lang.plan import Plan, PlanVM
 from repro.lang.planner import compile_expression
 from repro.obs.httpd import TelemetryServer
@@ -64,11 +66,41 @@ class Explanation:
     factored: str
     #: Factorizer rewrites applied, in application order.
     rewrites: list[str] = field(default_factory=list)
-    #: The compiled evaluation plan, or None when the expression can only
-    #: run through the interpreter.
+    #: The compiled evaluation plan *before* optimisation, or None when
+    #: the expression can only run through the interpreter.
     plan: Plan | None = None
     #: Why there is no plan (empty when there is one).
     note: str = ""
+    #: Whether the optimizer pass ran (``Session.explain(optimized=)``).
+    optimized: bool = False
+    #: The plan after the optimizer pass (None when ``optimized`` is
+    #: False or there is no plan at all).
+    opt_plan: Plan | None = None
+    #: Optimizer rewrites applied, in application order ("cse: ...").
+    opt_rewrites: list[str] = field(default_factory=list)
+    #: Steps removed by CSE + dead-code elimination.
+    eliminated: int = 0
+    #: Per-register cardinality estimates ("t3" -> "~360 ivs").
+    costs: dict = field(default_factory=dict)
+
+    def diff(self) -> str:
+        """Unified diff between the pre- and post-optimisation plans."""
+        if self.plan is None or self.opt_plan is None:
+            return ""
+        before = self.plan.text().splitlines()
+        after = self.opt_plan.text().splitlines()
+        return "\n".join(difflib.unified_diff(
+            before, after, fromfile="plan", tofile="optimized",
+            lineterm=""))
+
+    def _plan_lines(self, plan: Plan, annotate: bool) -> list[str]:
+        lines = []
+        for step in plan.steps:
+            cost = self.costs.get(step.target) if annotate else None
+            suffix = f"   -- {cost}" if cost else ""
+            lines.append(f"  {step.describe()}{suffix}")
+        lines.append(f"  return {plan.result}")
+        return lines
 
     def render(self) -> str:
         """Readable multi-line rendering of the whole strategy."""
@@ -79,9 +111,19 @@ class Explanation:
             lines.append(f"  rewrite  : {rewrite}")
         if self.plan is not None:
             lines.append(f"plan ({len(self.plan)} steps):")
-            for step in self.plan.steps:
-                lines.append(f"  {step.describe()}")
-            lines.append(f"  return {self.plan.result}")
+            lines.extend(self._plan_lines(self.plan, annotate=False))
+            if self.optimized and self.opt_plan is not None:
+                for rewrite in self.opt_rewrites:
+                    lines.append(f"  rewrite  : {rewrite}")
+                lines.append(
+                    f"optimized plan ({len(self.opt_plan)} steps, "
+                    f"{self.eliminated} eliminated):")
+                lines.extend(self._plan_lines(self.opt_plan, annotate=True))
+                delta = self.diff()
+                if delta:
+                    lines.append("diff:")
+                    lines.extend(f"  {line}"
+                                 for line in delta.splitlines())
         else:
             lines.append(f"plan       : none ({self.note or 'interpreter'})")
         return "\n".join(lines)
@@ -105,12 +147,24 @@ class Profile:
 
     @property
     def coverage(self) -> float:
-        """Share of the root's wall time covered by leaf spans."""
+        """Share of the root's wall time covered by leaf spans.
+
+        Zero-duration point events (``tracer.event``) are annotations,
+        not time accounting: a span whose only children are point events
+        still counts as a timed leaf.
+        """
         total = self.root.duration
         if total <= 0.0:
             return 1.0
-        covered = sum(span.duration for span in self.root.leaves())
-        return min(1.0, covered / total)
+
+        def covered(span: Span) -> float:
+            timed = [c for c in span.children
+                     if c.children or c.duration > 0.0]
+            if not timed:
+                return span.duration
+            return sum(covered(child) for child in timed)
+
+        return min(1.0, covered(self.root) / total)
 
     def render(self) -> str:
         """The per-step timing tree (ms and share of total)."""
@@ -173,8 +227,12 @@ class Session:
                  workers: int | None = None,
                  telemetry: bool = False,
                  telemetry_port: int | None = None,
-                 slow_query_threshold: float | None = None) -> None:
+                 slow_query_threshold: float | None = None,
+                 optimize: bool | None = None) -> None:
         self._explicit_instrumentation = instrumentation
+        #: Tri-state optimizer override: None defers to the registry's
+        #: own default (the ``REPRO_OPTIMIZE`` env var, on by default).
+        self._optimize = optimize
         #: Worker pool shared by ``eval_many`` and the DBCRON daemon;
         #: sized by ``workers`` (default: the ``REPRO_WORKERS`` env var,
         #: falling back to 1 = fully sequential).  Lazy: no threads are
@@ -186,7 +244,8 @@ class Session:
                     system or CalendarSystem.starting(epoch),
                     default_horizon_years=horizon_years,
                     matcache=matcache,
-                    instrumentation=instrumentation)
+                    instrumentation=instrumentation,
+                    optimize=optimize)
                 if standard_calendars:
                     install_standard_calendars(registry)
                 if holiday_years is not None:
@@ -220,6 +279,8 @@ class Session:
         if self._explicit_instrumentation is not None:
             database.calendars.instrumentation = \
                 self._explicit_instrumentation
+        if getattr(self, "_optimize", None) is not None:
+            database.calendars.optimize = bool(self._optimize)
         self.db = database
         self.registry = database.calendars
         self.system = self.registry.system
@@ -661,12 +722,17 @@ class Session:
 
     # -- explain -------------------------------------------------------------
 
-    def explain(self, text: str, *, window=None) -> Explanation:
+    def explain(self, text: str, *, window=None,
+                optimized: bool | None = None) -> Explanation:
         """The evaluation strategy of an expression or defined calendar.
 
         Parses and factorizes ``text`` (or the derivation script of a
         defined calendar), compiles the evaluation plan and reports the
-        applied rewrites — without executing anything.
+        applied rewrites — without executing anything.  With
+        ``optimized`` (default: the registry's optimizer gate) the
+        optimizer pass also runs and the explanation carries the
+        post-rewrite plan, the applied rewrites, per-step cardinality
+        estimates and a unified diff of eliminated/fused steps.
         """
         registry = self.registry
         source = text
@@ -695,8 +761,19 @@ class Session:
                                factored=str(result.expression),
                                rewrites=list(result.rewrites),
                                note=f"interpreter fallback: {exc}")
-        return Explanation(source=source, factored=str(result.expression),
-                           rewrites=list(result.rewrites), plan=plan)
+        if optimized is None:
+            optimized = registry.optimize
+        explanation = Explanation(source=source,
+                                  factored=str(result.expression),
+                                  rewrites=list(result.rewrites), plan=plan)
+        if optimized:
+            opt = optimize_plan(plan, context_window=ctx_window)
+            explanation.optimized = True
+            explanation.opt_plan = opt.plan
+            explanation.opt_rewrites = list(opt.rewrites)
+            explanation.eliminated = opt.eliminated
+            explanation.costs = dict(opt.costs)
+        return explanation
 
     # -- profile -------------------------------------------------------------
 

@@ -1,0 +1,85 @@
+"""Window-truncated insertion: narrow requests must not evict wide entries.
+
+A streaming pipeline evaluates its pushed-down chain once per reference
+interval, each time over a tiny per-reference window.  Those requests
+flow through the shared materialisation cache; before the narrow-bypass
+policy, each disjoint narrow install *replaced* the wide shared entry
+under the same key, so a pipeline run would thrash the cache that every
+other evaluation depends on.  These tests pin the policy: a narrower
+disjoint request is served off its own materialisation and the stored
+wide entry survives untouched; a *wider* request still wins the slot.
+"""
+
+import pytest
+
+from repro.core import CalendarSystem
+from repro.core.matcache import MaterialisationCache
+
+
+@pytest.fixture(scope="module")
+def sys87():
+    return CalendarSystem.starting("Jan 1 1987")
+
+
+@pytest.fixture
+def cache():
+    return MaterialisationCache()
+
+
+class TestNarrowBypass:
+    def test_narrow_disjoint_request_preserves_wide_entry(self, sys87,
+                                                          cache):
+        wide = cache.generate(sys87, "MONTHS", "DAYS", (1, 3000), "cover")
+        before = cache.stats()
+        # Far beyond the wide window (not near -> no extension) and much
+        # narrower: the pipeline's per-reference shape.
+        got = cache.generate(sys87, "MONTHS", "DAYS", (9000, 9030), "cover")
+        after = cache.stats()
+        assert after["narrow_bypass"] == before["narrow_bypass"] + 1
+        want = sys87.generate("MONTHS", "DAYS", (9000, 9030), mode="cover")
+        assert got.to_pairs() == want.to_pairs()
+        assert got.labels == want.labels
+        # The wide entry still serves sub-windows as hits.
+        hits_before = cache.stats()["hits"]
+        again = cache.generate(sys87, "MONTHS", "DAYS", (100, 400), "clip")
+        assert cache.stats()["hits"] == hits_before + 1
+        assert again.to_pairs() == sys87.generate(
+            "MONTHS", "DAYS", (100, 400), mode="clip").to_pairs()
+        assert len(wide) > len(got)
+
+    def test_repeated_narrow_requests_never_install(self, sys87, cache):
+        cache.generate(sys87, "WEEKS", "DAYS", (1, 4000), "cover")
+        entries_before = cache.stats()["entries"]
+        for lo in (9000, 9100, 9200, 9300):
+            cache.generate(sys87, "WEEKS", "DAYS", (lo, lo + 30), "cover")
+        stats = cache.stats()
+        assert stats["entries"] == entries_before
+        assert stats["narrow_bypass"] >= 4
+
+    def test_wider_disjoint_request_still_replaces(self, sys87, cache):
+        cache.generate(sys87, "MONTHS", "DAYS", (9000, 9030), "cover")
+        before = cache.stats()
+        # Disjoint and wider: the keep-whichever-is-wider policy applies.
+        got = cache.generate(sys87, "MONTHS", "DAYS", (1, 3000), "cover")
+        after = cache.stats()
+        assert after["narrow_bypass"] == before["narrow_bypass"]
+        want = sys87.generate("MONTHS", "DAYS", (1, 3000), mode="cover")
+        assert got.to_pairs() == want.to_pairs()
+        # And the new wide entry now serves its sub-windows as hits.
+        hits_before = cache.stats()["hits"]
+        cache.generate(sys87, "MONTHS", "DAYS", (500, 700), "clip")
+        assert cache.stats()["hits"] == hits_before + 1
+
+    def test_near_narrow_request_extends_instead(self, sys87, cache):
+        """Adjacent narrow windows keep the extension path (no bypass)."""
+        cache.generate(sys87, "MONTHS", "DAYS", (1, 1000), "cover")
+        before = cache.stats()
+        got = cache.generate(sys87, "MONTHS", "DAYS", (1001, 1031), "cover")
+        after = cache.stats()
+        assert after["narrow_bypass"] == before["narrow_bypass"]
+        assert after["extensions"] == before["extensions"] + 1
+        want = sys87.generate("MONTHS", "DAYS", (1001, 1031), mode="cover")
+        assert got.to_pairs() == want.to_pairs()
+
+    def test_bypass_counter_in_stat_keys(self, cache):
+        assert "narrow_bypass" in cache.stats()

@@ -214,3 +214,48 @@ class TestRuleGuards:
         result = factorize(expr, RESOLVER, expand_names=False)
         assert result.applied == 1
         assert result.expression.strict is False
+
+
+class TestLeqLeqSemanticEquivalence:
+    """Audit of the ≤/≤ exception: the rewritten expression must evaluate
+    identically to the original under regrouped calendars, including when
+    the inner and outer foreach disagree on strict/relaxed mode (the
+    exception's one observable effect is propagating the *outer* flag)."""
+
+    @pytest.fixture()
+    def context(self):
+        from repro.catalog import CalendarRegistry, \
+            install_standard_calendars
+        from repro.core.basis import CalendarSystem
+        registry = CalendarRegistry(CalendarSystem.starting("Jan 1 1987"))
+        install_standard_calendars(registry)
+        return registry.context(("Jan 1 1992", "Dec 31 1994"))
+
+    def _both_ways(self, context, text, expect_applied):
+        from repro.lang.interpreter import Interpreter
+        original = parse_expression(text)
+        rewritten = factorize(original, context.resolver)
+        if expect_applied:
+            assert rewritten.applied >= 1, text
+        else:
+            assert rewritten.applied == 0, text
+        direct = Interpreter(context).evaluate(original)
+        factored = Interpreter(context).evaluate(rewritten.expression)
+        return direct, factored
+
+    @pytest.mark.parametrize("text,applies", [
+        # strict/strict: the documented X:Op2:Z exception.
+        ("(DAYS:<=:MONTHS):<=:[1]/MONTHS:during:1993/YEARS", True),
+        # regrouped left arm carrying a selection wrapper.
+        ("([2]/DAYS:<=:MONTHS):<=:[1]/MONTHS:during:1993/YEARS", True),
+        # Any relaxed flag makes the ≤/≤ rewrite unsound (relaxed ``<=``
+        # does not clip, so regrouping changes multiplicity/window):
+        # the factorizer must refuse it.
+        ("(DAYS.<=.MONTHS):<=:[1]/MONTHS:during:1993/YEARS", False),
+        ("(DAYS:<=:MONTHS).<=.[1]/MONTHS:during:1993/YEARS", False),
+        ("(DAYS.<=.MONTHS).<=.[1]/MONTHS:during:1993/YEARS", False),
+    ])
+    def test_rewrite_preserves_evaluation(self, context, text, applies):
+        direct, factored = self._both_ways(context, text, applies)
+        assert direct.to_pairs() == factored.to_pairs()
+        assert direct == factored

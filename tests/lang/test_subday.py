@@ -111,3 +111,67 @@ class TestUnitInference:
         assert infer_unit(
             parse_expression("MINUTES:during:HOURS:during:DAYS"),
             basic_resolver) == Granularity.MINUTES
+
+
+class TestSubdayWindowPadding:
+    """Satellite regression: the planner's exact sub-day generation pad.
+
+    The evaluation context's blanket pad is one month of unit ticks (744
+    for HOURS) regardless of the expression; the planner now computes an
+    exact pad from the coarsest granularity referenced, so sub-day plans
+    stop over-generating by an order of magnitude while staying correct.
+    """
+
+    def test_generate_steps_carry_exact_pad(self, sys93):
+        window = hour_window(sys93, "Jan 4 1993", "Jan 10 1993")
+        expr = factorize(parse_expression("HOURS:during:DAYS"),
+                         basic_resolver).expression
+        plan = compile_expression(expr, sys93, basic_resolver,
+                                  unit=Granularity.HOURS,
+                                  context_window=window)
+        pads = [step.pad for step in plan.generate_steps()]
+        assert pads and all(pad == 24 for pad in pads)
+
+    def test_weeks_coarse_pad_is_a_week_of_hours(self, sys93):
+        window = hour_window(sys93, "Jan 4 1993", "Jan 31 1993")
+        expr = factorize(parse_expression("HOURS:during:WEEKS"),
+                         basic_resolver).expression
+        plan = compile_expression(expr, sys93, basic_resolver,
+                                  unit=Granularity.HOURS,
+                                  context_window=window)
+        pads = [step.pad for step in plan.generate_steps()]
+        assert pads and all(pad == 7 * 24 for pad in pads)
+
+    @pytest.mark.parametrize("text", [
+        "HOURS:during:DAYS",
+        "[1]/HOURS:during:DAYS",
+        "[n]/HOURS:during:DAYS",
+        "HOURS:during:WEEKS",
+        "[7-14]/HOURS:during:DAYS",
+    ])
+    def test_exact_pad_preserves_results(self, sys93, text):
+        window = hour_window(sys93, "Jan 4 1993", "Jan 17 1993")
+        expr = factorize(parse_expression(text), basic_resolver).expression
+        plan = compile_expression(expr, sys93, basic_resolver,
+                                  unit=Granularity.HOURS,
+                                  context_window=window)
+        planned = PlanVM(make_ctx(sys93, window)).run(plan)
+        interpreted = Interpreter(make_ctx(sys93, window)).evaluate(expr)
+        assert planned == interpreted
+        assert planned.flatten().to_pairs() == \
+            interpreted.flatten().to_pairs()
+
+    def test_plan_generates_far_fewer_ticks_than_blanket(self, sys93):
+        window = hour_window(sys93, "Jan 4 1993", "Jan 10 1993")
+        expr = factorize(parse_expression("HOURS:during:DAYS"),
+                         basic_resolver).expression
+        plan = compile_expression(expr, sys93, basic_resolver,
+                                  unit=Granularity.HOURS,
+                                  context_window=window)
+        padded_ctx = make_ctx(sys93, window)
+        PlanVM(padded_ctx).run(plan)
+        exact = padded_ctx.stats["intervals_generated"]
+        blanket_ctx = make_ctx(sys93, window)
+        Interpreter(blanket_ctx).evaluate(expr)
+        blanket = blanket_ctx.stats["intervals_generated"]
+        assert exact < blanket / 3

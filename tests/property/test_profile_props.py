@@ -55,7 +55,11 @@ def test_profile_step_count_matches_plan(text):
         # profile must still produce a finished root span.
         assert profile.root.end is not None
         return
-    assert len(profile.steps()) == len(explanation.plan.steps)
+    # The VM executes the optimized plan when the optimizer gate is on;
+    # Explanation.plan stays the pre-optimization plan by contract.
+    executed = explanation.opt_plan if explanation.optimized \
+        and explanation.opt_plan is not None else explanation.plan
+    assert len(profile.steps()) == len(executed.steps)
     assert 0.0 <= profile.coverage <= 1.0
 
 

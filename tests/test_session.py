@@ -125,7 +125,10 @@ class TestProfile:
 
     def test_profile_step_count_matches_plan(self, session):
         text = "[22]/DAYS:during:[1]/MONTHS:during:1993/YEARS"
-        plan = session.explain(text).plan
+        exp = session.explain(text)
+        # The VM runs the optimized plan when the optimizer gate is on.
+        plan = exp.opt_plan if exp.optimized and exp.opt_plan is not None \
+            else exp.plan
         profile = session.profile(text)
         assert len(profile.steps()) == len(plan.steps)
 
