@@ -1,0 +1,153 @@
+"""B7: periodic-set compilation — O(1) membership and next_trigger.
+
+Three report rows for BENCH_core.json:
+
+* ``periodic/next_trigger_10k`` and ``periodic/next_trigger_100k`` —
+  the DBCRON rescheduling workload: N rules drawing expressions from a
+  shared pool, each asking for its next trigger point after a distinct
+  tick.  With periodic compilation on, every call is modular arithmetic
+  over the memoised compiled form; with it off, each call walks
+  materialised schedule blocks.  The rows assert the compiled path is
+  at least 5x faster.
+* ``periodic/rrule_gap`` — the Tuesdays-1993 enumeration of
+  ``test_bench_algebra.TestRruleBaseline`` timed against
+  ``dateutil.rrule``.  Before compilation the pipeline was two orders
+  of magnitude behind rrule on this shape; the row tracks the ratio and
+  asserts it stays within 10x.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from statistics import median
+from time import perf_counter
+
+import pytest
+
+from dateutil import rrule
+
+from repro.catalog import (
+    CalendarRegistry,
+    install_standard_calendars,
+    install_us_holidays,
+)
+from repro.core import CalendarSystem
+from repro.core.matcache import MaterialisationCache
+
+#: The shared expression pool: weekly shapes a scheduling workload
+#: would register many rules over (all compile to period-7 sets).
+RULE_POOL = (
+    "[1]/DAYS:during:WEEKS",
+    "[2]/DAYS:during:WEEKS",
+    "[3]/DAYS:during:WEEKS",
+    "[4]/DAYS:during:WEEKS",
+    "[5]/DAYS:during:WEEKS",
+    "[6]/DAYS:during:WEEKS",
+    "flatten([1-5]/DAYS:during:WEEKS)",
+    "Weekdays",
+)
+
+
+def _build_registry(periodic: bool) -> CalendarRegistry:
+    registry = CalendarRegistry(CalendarSystem.starting("Jan 1 1987"),
+                                default_horizon_years=30,
+                                matcache=MaterialisationCache(),
+                                periodic=periodic)
+    install_standard_calendars(registry)
+    install_us_holidays(registry, 1987, 2016)
+    return registry
+
+
+def _next_trigger_sweep(registry: CalendarRegistry, n_rules: int) -> float:
+    """Wall time of one ``next_occurrence`` per simulated rule.
+
+    Each rule's ``after`` tick is distinct (spread over ten years) so
+    the sweep measures the computation, not the rule-level result memo.
+    """
+    base = registry.system.day_of("Jan 4 1993")
+    pool = RULE_POOL
+    start = perf_counter()
+    for i in range(n_rules):
+        nxt = registry.next_occurrence(pool[i % len(pool)],
+                                       base + (i % 3650))
+        assert nxt is not None
+    return perf_counter() - start
+
+
+class TestNextTriggerScaling:
+    @pytest.mark.parametrize("n_rules", [10_000, 100_000])
+    def test_compiled_beats_materialised_5x(self, n_rules):
+        from conftest import record_benchmark
+
+        compiled = _build_registry(periodic=True)
+        materialised = _build_registry(periodic=False)
+        _next_trigger_sweep(compiled, 100)      # warm the compile memo
+        _next_trigger_sweep(materialised, 100)  # warm the sched blocks
+        t_compiled = _next_trigger_sweep(compiled, n_rules)
+        t_materialised = _next_trigger_sweep(materialised, n_rules)
+        speedup = t_materialised / t_compiled
+        record_benchmark(f"periodic/next_trigger_{n_rules // 1000}k",
+                         samples=[t_compiled],
+                         materialised_s=t_materialised,
+                         per_rule_us=t_compiled / n_rules * 1e6,
+                         speedup=speedup)
+        print(f"\n=== B7: next_trigger across {n_rules} rules")
+        print(f"   compiled:     {t_compiled * 1e3:8.1f} ms "
+              f"({t_compiled / n_rules * 1e6:.2f} us/rule)")
+        print(f"   materialised: {t_materialised * 1e3:8.1f} ms  "
+              f"({speedup:.1f}x slower)")
+        assert speedup >= 5.0, (
+            f"compiled next_trigger no longer >=5x the materialised "
+            f"path at {n_rules} rules: {speedup:.2f}x")
+
+
+class TestRruleGap:
+    """Track the Tuesdays-1993 gap against dateutil.rrule."""
+
+    EXPRESSION = "([2]/DAYS:during:WEEKS) & 1993/YEARS"
+
+    def _ours(self, registry):
+        cal = registry.eval_expression(self.EXPRESSION)
+        return [registry.system.date_of(iv.lo) for iv in cal.elements]
+
+    @staticmethod
+    def _rrule():
+        return list(rrule.rrule(
+            rrule.WEEKLY, byweekday=rrule.TU,
+            dtstart=datetime.datetime(1993, 1, 1),
+            until=datetime.datetime(1993, 12, 31)))
+
+    @staticmethod
+    def _median_time(fn, repeats: int = 9) -> float:
+        times = []
+        for _ in range(repeats):
+            start = perf_counter()
+            fn()
+            times.append(perf_counter() - start)
+        return median(times)
+
+    def test_gap_within_10x(self):
+        from conftest import record_benchmark
+
+        registry = _build_registry(periodic=True)
+        ours = self._ours(registry)
+        oracle = self._rrule()
+        assert [(d.year, d.month, d.day) for d in ours] == \
+            [(d.year, d.month, d.day) for d in oracle]
+        for _ in range(3):  # warm the compile memo and rrule imports
+            self._ours(registry)
+            self._rrule()
+        t_ours = self._median_time(lambda: self._ours(registry))
+        t_rrule = self._median_time(self._rrule)
+        gap = t_ours / t_rrule
+        record_benchmark("periodic/rrule_gap",
+                         samples=[t_ours],
+                         rrule_s=t_rrule,
+                         rrule_gap=gap)
+        print(f"\n=== B7: Tuesdays-1993 vs dateutil.rrule")
+        print(f"   ours:  {t_ours * 1e6:8.0f} us")
+        print(f"   rrule: {t_rrule * 1e6:8.0f} us  (gap {gap:.2f}x)")
+        assert gap <= 10.0, (
+            f"Tuesdays-1993 enumeration fell behind rrule by "
+            f"{gap:.1f}x (budget: 10x)")

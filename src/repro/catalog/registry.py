@@ -64,6 +64,14 @@ def _env_optimize_default() -> bool:
     return value.strip().lower() not in ("0", "false", "no", "off")
 
 
+def _env_periodic_default() -> bool:
+    """The periodic-compilation gate from ``REPRO_PERIODIC`` (default on)."""
+    value = os.environ.get("REPRO_PERIODIC")
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "false", "no", "off")
+
+
 def _positional_kwargs(method: str, args: tuple, names: tuple) -> dict:
     """Map deprecated positional arguments onto their keyword names.
 
@@ -97,12 +105,18 @@ class CalendarRegistry:
                  default_horizon_years: int = 40,
                  matcache: MaterialisationCache | None = None,
                  instrumentation: Instrumentation | None = None,
-                 optimize: bool | None = None) -> None:
+                 optimize: bool | None = None,
+                 periodic: bool | None = None) -> None:
         self.system = system or CalendarSystem()
         #: Plan-optimizer gate (CSE / fusion / selection push-down);
         #: ``None`` reads ``REPRO_OPTIMIZE`` (default on).
         self.optimize = _env_optimize_default() if optimize is None \
             else bool(optimize)
+        #: Periodic-set compilation gate (O(1) membership /
+        #: next-occurrence without materialisation); ``None`` reads
+        #: ``REPRO_PERIODIC`` (default on).
+        self.periodic = _env_periodic_default() if periodic is None \
+            else bool(periodic)
         #: Metrics + tracing attachment point; defaults to the
         #: process-wide instrumentation (tracing off unless REPRO_TRACE).
         self.instrumentation = instrumentation if instrumentation \
@@ -460,9 +474,11 @@ class CalendarRegistry:
                     if self.optimize:
                         with tracer.span("optimizer.run"):
                             plan = self._optimized_plan(text, plan, ctx)
-                return PlanVM(ctx).run(plan)
+                result = PlanVM(ctx).run(plan)
             except PlanError:
                 return Interpreter(ctx).evaluate(factored)
+            self._warm_periodic(text, ctx)
+            return result
         if tracer is None:
             return Interpreter(ctx).evaluate(parse_expression(text))
         with tracer.span("lang.parse", text=text):
@@ -501,17 +517,36 @@ class CalendarRegistry:
     def _optimized_plan(self, text: str, plan: Plan,
                         ctx: EvalContext) -> Plan:
         """The (memoised) optimised plan of a compiled expression plan."""
+        pset = None
+        if self.periodic and ctx.unit is Granularity.DAYS:
+            # Memo-peek only: compilation runs *after* a successful
+            # eager evaluation (see _warm_periodic), so the plan chosen
+            # here always matches what ``explain`` reports and the
+            # first evaluation never pays the oracle up front.
+            pset = self.periodic_set(text, peek=True)
         key = ("optplan", text, self.memo_token, self.version, ctx.unit,
-               ctx.window)
+               ctx.window, pset is not None)
         cached = self.matcache.memo_get(key)
         if isinstance(cached, Plan):
             return cached
         optimized = optimize_plan(
-            plan, context_window=ctx.window, unit=ctx.unit,
+            plan, context_window=ctx.window, unit=ctx.unit, periodic=pset,
             metrics=self.instrumentation.metrics,
             events=self.instrumentation.pipeline).plan
         self.matcache.memo_put(key, optimized)
         return optimized
+
+    def _warm_periodic(self, text: str, ctx: EvalContext) -> None:
+        """Compile the periodic form behind a finished evaluation.
+
+        Runs on the small budget tier (an ad-hoc evaluation never pays
+        a 400-year oracle interpretation), memoised including the
+        fallback outcome, so each expression compiles at most once per
+        catalog version and every *later* evaluation — and ``explain``
+        — can pick the periodic backend from the memo.
+        """
+        if self.periodic and ctx.unit is Granularity.DAYS:
+            self.periodic_set(text, full=False)
 
     def eval_script(self, text: str, *args, window=None, today=None,
                     env: dict | None = None, while_hook=None):
@@ -575,6 +610,97 @@ class CalendarRegistry:
                 f"calendar {record.name!r} lifespan is empty on the day axis")
         return day_lo, day_hi
 
+    # -- periodic compilation ------------------------------------------------------
+
+    #: Oracle-evaluation budgets (in days) for periodic compilation.
+    #: The full tier admits the 146 097-day Gregorian master period
+    #: (scheduling and DB probe paths, where the one-time cost amortises
+    #: over every later O(offsets) probe); the small tier only admits
+    #: cheap anchors (weekly patterns, year-anchored finite sets) so the
+    #: per-expression optimizer path never stalls on a 400-year
+    #: interpretation.
+    _PERIODIC_FULL_DAYS = 220_000
+    _PERIODIC_SMALL_DAYS = 25_000
+
+    def periodic_set(self, name_or_expr: str, *, full: bool = True,
+                     peek: bool = False):
+        """The compiled :class:`~repro.core.periodic.PeriodicSet` of a
+        calendar name or expression — or ``None`` (fallback).
+
+        Results (including fallbacks) are memoised in the shared cache
+        keyed like the plan memo (text + registry token + version), one
+        entry per budget tier; a full-tier hit also serves small-tier
+        requests.  Returns ``None`` whenever the gate
+        (``Session(periodic=)`` / ``REPRO_PERIODIC``) is off, the name
+        has a clipped lifespan, or the expression cannot be proven
+        eventually periodic within the tier's oracle budget.
+
+        With ``peek=True`` only the memo tiers are consulted and no
+        compilation happens — the side-effect-free form ``explain``
+        uses (compilation evaluates the expression as its oracle, which
+        materialises intervals).
+        """
+        if not self.periodic:
+            return None
+        text = name_or_expr
+        full_key = ("periodic", text, "full", self.memo_token,
+                    self.version)
+        cached = self.matcache.memo_get(full_key)
+        if cached is not None:
+            return cached[0]
+        if not full or peek:
+            small_key = ("periodic", text, "small", self.memo_token,
+                         self.version)
+            cached = self.matcache.memo_get(small_key)
+            if cached is not None:
+                return cached[0]
+            if peek:
+                return None
+            pset = self._compile_periodic(text, self._PERIODIC_SMALL_DAYS)
+            self.matcache.memo_put(small_key, (pset,))
+            return pset
+        pset = self._compile_periodic(text, self._PERIODIC_FULL_DAYS)
+        self.matcache.memo_put(full_key, (pset,))
+        return pset
+
+    def _compile_periodic(self, text: str, max_eval_days: int):
+        """Uncached periodic compilation + compiled/fallback telemetry."""
+        from repro.core.periodic import compile_expression_periodic
+        reasons: list[str] = []
+        pset = None
+        record = self.table.get(text)
+        if record is not None and record.lifespan != UNBOUNDED_LIFESPAN:
+            # evaluate() clips such names to their lifespan; the inline
+            # oracle does not, so the compiled set would disagree.
+            reasons.append("lifespan-clipped calendar")
+        else:
+            try:
+                factored = self._factorized_ast(text, None)
+                pset = compile_expression_periodic(
+                    factored, system=self.system, resolver=self.resolver,
+                    evaluate=lambda win: self.eval_expression(
+                        text, window=win, optimize=False),
+                    source=text, max_eval_days=max_eval_days,
+                    reason_out=reasons)
+            except ReproError as exc:
+                reasons.append(str(exc))
+        metrics = self.instrumentation.metrics
+        events = self.instrumentation.pipeline
+        if pset is not None:
+            if metrics is not None:
+                metrics.counter("periodic.compiled").inc()
+            if events is not None:
+                events.emit("periodic.compiled", source=text,
+                            form=pset.describe())
+        else:
+            reason = reasons[-1] if reasons else "unknown"
+            if metrics is not None:
+                metrics.counter("periodic.fallback").inc()
+            if events is not None:
+                events.emit("periodic.fallback", source=text,
+                            reason=reason)
+        return pset
+
     # -- rule support ------------------------------------------------------------------
 
     #: Window quantum for scheduling evaluations: windows are rounded out
@@ -612,13 +738,22 @@ class CalendarRegistry:
         """Smallest calendar point strictly after day tick ``after``.
 
         ``after`` may also be a date string or CivilDate (normalised via
-        the same coercion as ``today=``).  Evaluates over geometrically
-        growing (quantized) windows; a candidate point is only trusted
-        when it lies ``_trust_margin`` days clear of the window's end
-        (boundary units may be truncated).  Returns ``None`` when no
-        occurrence exists within ``horizon_days``.
+        the same coercion as ``today=``).  With periodic compilation on,
+        a compiled expression answers in O(log offsets) by modular
+        arithmetic — no window is ever generated.  Otherwise this
+        evaluates over geometrically growing (quantized) windows; a
+        candidate point is only trusted when it lies ``_trust_margin``
+        days clear of the window's end (boundary units may be
+        truncated).  Returns ``None`` when no occurrence exists within
+        ``horizon_days``.
         """
         after = self._coerce_tick(after)
+        if self.periodic:
+            pset = self.periodic_set(name_or_expr)
+            if pset is not None:
+                candidate = pset.next_occurrence(after)
+                return candidate if candidate is not None and \
+                    candidate <= after + horizon_days else None
         horizon = 64
         while True:
             horizon = min(horizon, horizon_days)

@@ -25,9 +25,10 @@ Run with ``python -m repro``.  Three kinds of input:
       \tables                   list relations
       \explain [-noopt] EXPR | retrieve ...  evaluation plan of an
                                 expression (with the optimizer's
-                                rewrites and plan diff; -noopt shows
-                                the unoptimized strategy only), or a
-                                query's execution strategy
+                                rewrites, plan diff and backend —
+                                periodic vs materialising chain;
+                                -noopt shows the unoptimized strategy
+                                only), or a query's execution strategy
       \profile EXPR             run with tracing; per-step timing tree
       \metrics [reset]          metrics snapshot (counters, latency
                                 histograms with p50/p95/p99)

@@ -64,6 +64,9 @@ class Database:
         #: Cache of resolved calendar references, keyed by (text, registry
         #: version) so catalog redefinitions invalidate it.
         self._calendar_cache: dict = {}
+        #: Cache of compiled periodic probes (same keying); an entry may
+        #: be None when the reference fell back to materialisation.
+        self._periodic_cache: dict = {}
         self._create_system_catalogs()
         self._register_calendar_bridge()
 
@@ -248,6 +251,37 @@ class Database:
                 f"calendar reference {ref!r} did not produce a calendar")
         self._calendar_cache[key] = value
         return value
+
+    #: Probe-safety margin: :meth:`resolve_calendar` materialises whole
+    #: elements overlapping the registry default window, so a compiled
+    #: membership probe only provably agrees with ``contains_point`` on
+    #: that result well inside the window (one max element span + slack).
+    _PERIODIC_PROBE_MARGIN = 400
+
+    def resolve_periodic(self, ref):
+        """The compiled periodic probe of a text calendar reference.
+
+        Returns ``(pset, safe_lo, safe_hi)`` — the compiled
+        :class:`~repro.core.periodic.PeriodicSet` and the tick range
+        inside which ``pset.contains`` provably agrees with
+        ``resolve_calendar(ref).contains_point`` — or ``None`` when the
+        gate is off or the reference does not compile.  Cached like
+        :meth:`resolve_calendar` (invalidated by catalog version bumps).
+        """
+        if not isinstance(ref, str) or not self.calendars.periodic:
+            return None
+        key = (ref, self.calendars.version)
+        if key in self._periodic_cache:
+            return self._periodic_cache[key]
+        pset = self.calendars.periodic_set(ref)
+        if pset is None:
+            probe = None
+        else:
+            lo, hi = self.calendars.default_window
+            margin = self._PERIODIC_PROBE_MARGIN
+            probe = (pset, lo + margin, hi - margin)
+        self._periodic_cache[key] = probe
+        return probe
 
     def calendar_from_query(self, query: str,
                             column: str | None = None) -> Calendar:

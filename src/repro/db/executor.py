@@ -626,11 +626,17 @@ class Executor:
 
     def _builtin_binop(self, op: str, left, right):
         if op == "within":
-            calendar = self.db.resolve_calendar(right)
             if not isinstance(left, int):
                 raise ExecutionError(
                     "within expects an abstime tick on the left")
-            return calendar.contains_point(left)
+            # Compiled membership probe: O(log offsets) modular
+            # arithmetic instead of materialising the calendar's cover
+            # (falls back near the default-window boundary, where the
+            # materialised calendar is clipped).
+            probe = self.db.resolve_periodic(right)
+            if probe is not None and probe[1] <= left <= probe[2]:
+                return probe[0].contains(left)
+            return self.db.resolve_calendar(right).contains_point(left)
         try:
             if op == "=":
                 return left == right

@@ -47,6 +47,7 @@ from repro.lang.plan import (
     LabelSelectStep,
     LoadStep,
     MergedForEachStep,
+    PeriodicStep,
     PipelineForEachStep,
     Plan,
     PlanStep,
@@ -126,6 +127,8 @@ class OptimizationResult:
 
 def _operands(step: PlanStep) -> tuple[str, ...]:
     """Registers a step reads."""
+    if isinstance(step, PeriodicStep):
+        return ()  # ``source`` is the expression text, not a register
     if isinstance(step, (ForEachStep, FusedForEachStep, SetOpStep)):
         return (step.left, step.right)
     if isinstance(step, MergedForEachStep):
@@ -153,15 +156,16 @@ def _retarget(step: PlanStep, mapping: dict) -> PlanStep:
 
 class _Optimizer:
     def __init__(self, plan: Plan, context_window, unit: Granularity,
-                 reusable: bool) -> None:
+                 reusable: bool, periodic=None) -> None:
         self.steps = list(plan.steps)
         self.result = plan.result
         self.context_window = context_window
         self.unit = unit
         self.reusable = reusable
+        self.periodic = periodic
         self.rewrites: list[str] = []
-        self.counts = {"cse": 0, "fused": 0, "merged": 0, "pushdown": 0,
-                       "dce": 0}
+        self.counts = {"periodic": 0, "cse": 0, "fused": 0, "merged": 0,
+                       "pushdown": 0, "dce": 0}
 
     # -- shared helpers ----------------------------------------------------------
 
@@ -180,6 +184,42 @@ class _Optimizer:
     def _note(self, kind: str, detail: str) -> None:
         self.counts[kind] += 1
         self.rewrites.append(f"{kind}: {detail}")
+
+    # -- pass 0: periodic backend substitution -----------------------------------
+
+    def periodic_backend(self) -> bool:
+        """Replace the whole plan with one :class:`PeriodicStep`.
+
+        Sound only for a compiled :class:`~repro.core.periodic.PeriodicSet`
+        with *verified* element structure (``exact_elements``): expansion
+        by modular arithmetic then reproduces exactly the whole elements
+        the eager chain would keep after the final window clip.  Gated on
+        a concrete day window (expansion needs one; record plans re-run
+        under arbitrary windows and stay on the chain backend) and on the
+        cost model: the expansion cost must beat the chain's generation
+        cost whenever the latter is estimable.
+        """
+        pset = self.periodic
+        if pset is None or not getattr(pset, "exact_elements", False):
+            return False
+        if self.reusable or self.context_window is None or \
+                self.unit is not Granularity.DAYS:
+            return False
+        expansion = pset.expansion_cost(self.context_window)
+        eager = 0.0
+        for step in self.steps:
+            if isinstance(step, GenerateStep):
+                e = self._estimate_step(step, {}, self._window_ticks())
+                if e is not None:
+                    eager += e.count
+        if eager and expansion >= eager:
+            return False
+        self.steps = [PeriodicStep(self.result, pset.source, pset)]
+        self._note("periodic",
+                   f"{self.result} := periodic backend "
+                   f"({pset.describe()}; est {expansion} ivs vs "
+                   f"{eager:.0f} generated)")
+        return True
 
     # -- pass 1: common-subexpression elimination --------------------------------
 
@@ -379,6 +419,10 @@ class _Optimizer:
             return _Est(1.0, step.hi - step.lo + 1)
         if isinstance(step, (PointStep, TodayStep)):
             return _Est(1.0, 1.0)
+        if isinstance(step, PeriodicStep) and \
+                self.context_window is not None:
+            return _Est(float(step.pset.expansion_cost(self.context_window)),
+                        1.0)
         return None
 
     def _chain_of(self, root_reg: str, defs: dict) -> "list[int] | None":
@@ -596,11 +640,12 @@ class _Optimizer:
     # -- driver ------------------------------------------------------------------
 
     def run(self) -> OptimizationResult:
-        self.cse()
-        self.fuse_selects()
-        self.merge_foreach()
-        self.push_down()
-        self.dce()
+        if not self.periodic_backend():
+            self.cse()
+            self.fuse_selects()
+            self.merge_foreach()
+            self.push_down()
+            self.dce()
         est = self._estimates()
         costs = {reg: f"~{e.count:.0f} ivs" for reg, e in est.items()}
         return OptimizationResult(
@@ -612,7 +657,7 @@ class _Optimizer:
 
 def optimize_plan(plan: Plan, *, context_window=None,
                   unit: Granularity = Granularity.DAYS,
-                  reusable: bool = False, metrics=None,
+                  reusable: bool = False, periodic=None, metrics=None,
                   events=None) -> OptimizationResult:
     """Optimise a compiled plan; the input plan is never mutated.
 
@@ -620,10 +665,14 @@ def optimize_plan(plan: Plan, *, context_window=None,
     under (None leaves window-dependent rewrites conservative);
     ``reusable=True`` marks a plan the catalog re-executes under
     arbitrary windows (record eval-plans), restricting CSE to
-    structurally identical windows.  ``metrics``/``events`` receive
-    optimizer counters and one telemetry event per rewrite.
+    structurally identical windows.  ``periodic`` optionally carries the
+    expression's compiled :class:`~repro.core.periodic.PeriodicSet`; when
+    its element structure is verified and cheaper, the whole chain is
+    replaced by one :class:`PeriodicStep` (the periodic backend).
+    ``metrics``/``events`` receive optimizer counters and one telemetry
+    event per rewrite.
     """
-    opt = _Optimizer(plan, context_window, unit, reusable)
+    opt = _Optimizer(plan, context_window, unit, reusable, periodic)
     result = opt.run()
     if metrics is not None:
         metrics.counter("optimizer.runs").inc()

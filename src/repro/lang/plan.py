@@ -30,7 +30,7 @@ __all__ = [
     "FlattenStep", "ShiftStep", "InstantsStep", "HullStep",
     "IntervalStep", "PointStep", "TodayStep", "GenerateCallStep",
     "FusedForEachStep", "MergedForEachStep", "PipelineForEachStep",
-    "Plan", "PlanVM",
+    "PeriodicStep", "Plan", "PlanVM",
 ]
 
 
@@ -331,6 +331,26 @@ class PipelineForEachStep(PlanStep):
                 f"keep c {sep}{self.op}{sep} r{pred}")
 
 
+@dataclass(frozen=True)
+class PeriodicStep(PlanStep):
+    """Expand a compiled :class:`~repro.core.periodic.PeriodicSet` over
+    the context window — the periodic backend the cost model can pick
+    instead of a generate/foreach/select chain.
+
+    ``pset`` carries verified element structure (``exact_elements``), so
+    expansion by modular arithmetic reproduces the materialising chain's
+    result without generating any intermediate cover.
+    """
+
+    target: str
+    source: str
+    pset: object = field(compare=False)
+
+    def describe(self) -> str:
+        return (f"{self.target} := periodic({self.source!r}; "
+                f"{self.pset.describe()})")
+
+
 @dataclass
 class Plan:
     """An ordered list of steps plus the register holding the result.
@@ -572,6 +592,8 @@ class PlanVM:
             return ctx.generate_call(step.calendar, step.unit,
                                      (step.start, step.end),
                                      mode=step.mode)
+        if isinstance(step, PeriodicStep):
+            return step.pset.expand(ctx.window)
         if isinstance(step, FusedForEachStep):
             return self._run_fused(step, registers)
         if isinstance(step, MergedForEachStep):

@@ -36,13 +36,15 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+#: Module-level binding: one global lookup saved per emitted event.
+_wall_clock = time.time
+
 __all__ = [
     "Event", "RingSink", "FileSink", "CallbackSink", "TelemetryPipeline",
     "SlowQuery", "SlowQueryLog",
 ]
 
 
-@dataclass(frozen=True)
 class Event:
     """One structured telemetry event.
 
@@ -51,12 +53,32 @@ class Event:
     ``kind`` (dotted type name, e.g. ``eval.finish``), and ``fields``
     (the typed payload; values must be JSON-serialisable or coercible
     via ``str``).
+
+    A hand-rolled ``__slots__`` value class rather than a (frozen)
+    dataclass: one Event is constructed per :meth:`TelemetryPipeline.emit`
+    on hot paths, and dataclass ``__init__``/``object.__setattr__``
+    dispatch is measurable there (the <5% enabled-overhead budget of
+    ``benchmarks/test_bench_obs.py``).
     """
 
-    ts: float
-    seq: int
-    kind: str
-    fields: dict
+    __slots__ = ("ts", "seq", "kind", "fields")
+
+    def __init__(self, ts: float, seq: int, kind: str,
+                 fields: dict) -> None:
+        self.ts = ts
+        self.seq = seq
+        self.kind = kind
+        self.fields = fields
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.ts, self.seq, self.kind, self.fields) == \
+            (other.ts, other.seq, other.kind, other.fields)
+
+    def __repr__(self) -> str:
+        return (f"Event(ts={self.ts!r}, seq={self.seq!r}, "
+                f"kind={self.kind!r}, fields={self.fields!r})")
 
     def to_dict(self) -> dict:
         """The JSONL schema shape (see the class docstring)."""
@@ -161,8 +183,7 @@ class TelemetryPipeline:
             return False
         try:
             self._seq += 1
-            event = Event(ts=time.time(), seq=self._seq, kind=kind,
-                          fields=fields)
+            event = Event(_wall_clock(), self._seq, kind, fields)
             delivered = False
             failed = 0
             for sink in self._sinks:

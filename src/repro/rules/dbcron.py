@@ -19,6 +19,13 @@ expensive per-rule ``next_trigger`` calendar evaluation overlaps across
 rules.  With one worker (the default) the sequential code path runs,
 bit-for-bit identical to the pre-pool daemon.
 
+With periodic compilation on (``REPRO_PERIODIC``, default), the per-rule
+``next_trigger`` path short-circuits through the rule expression's
+compiled :class:`~repro.core.periodic.PeriodicSet`: rescheduling after a
+fire is O(log offsets) modular arithmetic with **no window
+materialisation**, which is what keeps probe waves cheap at large rule
+counts.
+
 Driven by a :class:`~repro.rules.clock.SimulatedClock` for determinism;
 ``run_until`` steps the clock probe-by-probe the way the real daemon
 sleeps between wake-ups.

@@ -35,6 +35,12 @@ class TemporalRule:
     expression_text: str
     expression: object          # factorized AST
     plan: Plan | None
+    #: Compiled periodic form (None = materialising fallback).  Purely
+    #: informational on the rule: scheduling goes through
+    #: ``registry.next_occurrence``, which re-derives the compiled form
+    #: from the registry's own memo so catalog redefinitions are never
+    #: served stale.
+    periodic: object = None
     actions: tuple = ()
     callback: Callable | None = None
     enabled: bool = True
@@ -73,8 +79,12 @@ class TemporalRule:
         parsed_actions = tuple(
             a if isinstance(a, Statement) else parse_statement(a)
             for a in (actions or ()))
+        # Warm the periodic compilation at declaration time (memoised in
+        # the registry): every later next_trigger on a compiled rule is
+        # then O(offsets) modular arithmetic with no window generation.
+        pset = registry.periodic_set(calendar_expression)
         return cls(name=name, expression_text=calendar_expression,
-                   expression=factored, plan=plan,
+                   expression=factored, plan=plan, periodic=pset,
                    actions=parsed_actions, callback=callback,
                    valid_between=valid_between, catchup=catchup)
 
@@ -85,9 +95,11 @@ class TemporalRule:
         """Next time point strictly after ``after`` at which to fire.
 
         Respects the activation lifespan: points before it are skipped,
-        points after it end the schedule (returns None).  The computed
-        point is memoised in the registry's shared materialisation cache
-        keyed on the registry version, so DBCRON re-probing an unchanged
+        points after it end the schedule (returns None).  On a
+        periodically compiled rule the registry answers by modular
+        arithmetic (no window generation); either way the computed point
+        is memoised in the registry's shared materialisation cache keyed
+        on the registry version, so DBCRON re-probing an unchanged
         catalog after every fire costs one lookup.
         """
         key = ("rule-next", self.expression_text, after, horizon_days,

@@ -42,7 +42,7 @@ from repro.lang.factorizer import factorize
 from repro.lang.interpreter import Interpreter
 from repro.lang.parser import parse_expression, parse_script
 from repro.lang.optimizer import optimize_plan
-from repro.lang.plan import Plan, PlanVM
+from repro.lang.plan import PeriodicStep, Plan, PlanVM
 from repro.lang.planner import compile_expression
 from repro.obs.httpd import TelemetryServer
 from repro.obs.instrument import Instrumentation
@@ -82,6 +82,10 @@ class Explanation:
     eliminated: int = 0
     #: Per-register cardinality estimates ("t3" -> "~360 ivs").
     costs: dict = field(default_factory=dict)
+    #: Execution backend the optimizer chose: "periodic" when the plan
+    #: was replaced by a compiled PeriodicStep, else "materialising
+    #: chain" (empty when unknown, e.g. interpreter fallback).
+    backend: str = ""
 
     def diff(self) -> str:
         """Unified diff between the pre- and post-optimisation plans."""
@@ -126,6 +130,8 @@ class Explanation:
                                  for line in delta.splitlines())
         else:
             lines.append(f"plan       : none ({self.note or 'interpreter'})")
+        if self.backend:
+            lines.append(f"backend    : {self.backend}")
         return "\n".join(lines)
 
 
@@ -228,11 +234,15 @@ class Session:
                  telemetry: bool = False,
                  telemetry_port: int | None = None,
                  slow_query_threshold: float | None = None,
-                 optimize: bool | None = None) -> None:
+                 optimize: bool | None = None,
+                 periodic: bool | None = None) -> None:
         self._explicit_instrumentation = instrumentation
         #: Tri-state optimizer override: None defers to the registry's
         #: own default (the ``REPRO_OPTIMIZE`` env var, on by default).
         self._optimize = optimize
+        #: Tri-state periodic-compilation override: None defers to the
+        #: registry's own default (``REPRO_PERIODIC``, on by default).
+        self._periodic = periodic
         #: Worker pool shared by ``eval_many`` and the DBCRON daemon;
         #: sized by ``workers`` (default: the ``REPRO_WORKERS`` env var,
         #: falling back to 1 = fully sequential).  Lazy: no threads are
@@ -245,7 +255,8 @@ class Session:
                     default_horizon_years=horizon_years,
                     matcache=matcache,
                     instrumentation=instrumentation,
-                    optimize=optimize)
+                    optimize=optimize,
+                    periodic=periodic)
                 if standard_calendars:
                     install_standard_calendars(registry)
                 if holiday_years is not None:
@@ -281,6 +292,8 @@ class Session:
                 self._explicit_instrumentation
         if getattr(self, "_optimize", None) is not None:
             database.calendars.optimize = bool(self._optimize)
+        if getattr(self, "_periodic", None) is not None:
+            database.calendars.periodic = bool(self._periodic)
         self.db = database
         self.registry = database.calendars
         self.system = self.registry.system
@@ -767,12 +780,22 @@ class Session:
                                   factored=str(result.expression),
                                   rewrites=list(result.rewrites), plan=plan)
         if optimized:
-            opt = optimize_plan(plan, context_window=ctx_window)
+            # peek: explain must stay side-effect free, and compiling
+            # a periodic form evaluates the expression as its oracle.
+            pset = registry.periodic_set(text, peek=True) \
+                if registry.periodic else None
+            opt = optimize_plan(plan, context_window=ctx_window,
+                                periodic=pset)
             explanation.optimized = True
             explanation.opt_plan = opt.plan
             explanation.opt_rewrites = list(opt.rewrites)
             explanation.eliminated = opt.eliminated
             explanation.costs = dict(opt.costs)
+            if any(isinstance(step, PeriodicStep)
+                   for step in opt.plan.steps):
+                explanation.backend = f"periodic ({pset.describe()})"
+            else:
+                explanation.backend = "materialising chain"
         return explanation
 
     # -- profile -------------------------------------------------------------

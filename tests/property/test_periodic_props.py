@@ -1,0 +1,206 @@
+"""Compiled periodic sets agree with the interpreter oracle.
+
+Two strategies:
+
+* ``compilable_expressions`` leans on weekly and finite shapes (cheap
+  to compile at the full budget tier) so most draws exercise the
+  compiled arithmetic — ``contains`` / ``next_occurrence`` /
+  ``iter_from`` are checked point-for-point against the membership set
+  the eager interpreter produces;
+* the broad ``cel_expressions`` fuzz (same grammar as
+  ``test_lang_props``) checks the *clean fallback* property: for any
+  parseable expression the compiler either returns a parity-correct
+  set or ``None`` — it never raises and never returns a wrong answer.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog import (
+    CalendarRegistry,
+    install_standard_calendars,
+    install_us_holidays,
+)
+from repro.core import CalendarSystem
+from repro.core.matcache import MaterialisationCache
+
+#: One registry for the whole module: compiles and oracle evaluations
+#: are memoised in its cache, so repeated draws of the same expression
+#: cost a dict lookup instead of a recompile.
+_REGISTRY = None
+
+
+def _registry() -> CalendarRegistry:
+    global _REGISTRY
+    if _REGISTRY is None:
+        # periodic=True explicitly: the explicit argument beats the
+        # REPRO_PERIODIC env var, so the parity properties still run
+        # under CI's gated-off suite pass.
+        _REGISTRY = CalendarRegistry(CalendarSystem.starting("Jan 1 1987"),
+                                     default_horizon_years=25,
+                                     matcache=MaterialisationCache(),
+                                     periodic=True)
+        install_standard_calendars(_REGISTRY)
+        install_us_holidays(_REGISTRY, 1987, 2006)
+    return _REGISTRY
+
+
+# Oracle window: wide enough to hold every patch the strategies can
+# produce, probed only in its interior (one max-element-span margin on
+# each side) so keep-whole-overlap clipping cannot disturb parity.
+_ORACLE_WINDOW = ("Jan 1 1990", "Dec 31 1996")
+_INTERIOR_MARGIN = 400
+
+
+#: Single-day selectors yield order-1 groups and may be used bare;
+#: multi-day selectors build order-2 calendars and must be flattened
+#: before a set operator sees them (`&`/`+`/`-` need order-1 operands).
+single_selectors = st.sampled_from(
+    ["[1]/", "[2]/", "[3]/", "[4]/", "[5]/", "[6]/", "[7]/",
+     "[n]/", "[-1]/"])
+multi_selectors = st.sampled_from(["[1-3]/", "[2;5]/", "[1-5]/"])
+
+
+@st.composite
+def weekly_operand(draw):
+    if draw(st.booleans()):
+        return f"flatten({draw(multi_selectors)}DAYS:during:WEEKS)"
+    base = f"{draw(single_selectors)}DAYS:during:WEEKS"
+    if draw(st.booleans()):
+        return f"flatten({base})"
+    return base
+
+
+@st.composite
+def compilable_expressions(draw):
+    base = draw(weekly_operand())
+    form = draw(st.sampled_from(["plain", "year", "union", "minus"]))
+    if form == "year":
+        return f"({base}) & 1993/YEARS"
+    if form == "union":
+        return f"({base}) + ({draw(weekly_operand())})"
+    if form == "minus":
+        return f"({base}) - (({draw(weekly_operand())}) & 1993/YEARS)"
+    return base
+
+
+def _oracle_runs(registry, text):
+    """Sorted covered runs of the eager evaluation over the window."""
+    cal = registry.eval_expression(text, window=_ORACLE_WINDOW,
+                                   optimize=False)
+    flat = cal.flatten()
+    return [(iv.lo, iv.hi) for iv in flat.elements]
+
+
+def _covered(runs, tick) -> bool:
+    index = bisect_right(runs, (tick, float("inf"))) - 1
+    return index >= 0 and runs[index][1] >= tick
+
+
+def _next_after(runs, tick):
+    """The smallest covered axis tick strictly after ``tick`` (zero-skip)."""
+    start = tick + 1
+    if start == 0:
+        start = 1
+    index = bisect_left([hi for _, hi in runs], start)
+    if index == len(runs):
+        return None
+    lo, _ = runs[index]
+    nxt = max(lo, start)
+    return 1 if nxt == 0 else nxt
+
+
+def _interior(registry):
+    lo = registry.system.day_of(_ORACLE_WINDOW[0]) + _INTERIOR_MARGIN
+    hi = registry.system.day_of(_ORACLE_WINDOW[1]) - _INTERIOR_MARGIN
+    return lo, hi
+
+
+@settings(max_examples=60, deadline=None)
+@given(compilable_expressions(), st.integers(min_value=0, max_value=1500))
+def test_contains_and_next_match_oracle(text, offset):
+    registry = _registry()
+    pset = registry.periodic_set(text)
+    assert pset is not None, f"{text!r} unexpectedly fell back"
+    runs = _oracle_runs(registry, text)
+    lo, hi = _interior(registry)
+    tick = lo + offset
+    assert tick < hi
+    assert pset.contains(tick) == _covered(runs, tick), \
+        f"contains({tick}) disagrees for {text!r}"
+    expected = _next_after(runs, tick)
+    got = pset.next_occurrence(tick)
+    if expected is not None and expected <= hi:
+        assert got == expected, \
+            f"next_occurrence({tick}) disagrees for {text!r}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(compilable_expressions(), st.integers(min_value=0, max_value=1500))
+def test_iter_from_matches_oracle_prefix(text, offset):
+    registry = _registry()
+    pset = registry.periodic_set(text)
+    assert pset is not None
+    runs = _oracle_runs(registry, text)
+    lo, hi = _interior(registry)
+    tick = lo + offset
+
+    expected, cursor = [], tick - 1
+    while len(expected) < 8:
+        cursor = _next_after(runs, cursor)
+        if cursor is None or cursor > hi:
+            break
+        expected.append(cursor)
+    got = []
+    for occurrence in pset.iter_from(tick):
+        if occurrence > hi or len(got) == len(expected):
+            break
+        got.append(occurrence)
+    assert got == expected, f"iter_from({tick}) disagrees for {text!r}"
+
+
+# -- clean fallback over the broad expression grammar --------------------------
+
+cel_ops = st.sampled_from(["during", "overlaps", "meets", "<", "<="])
+cel_names = st.sampled_from(["DAYS", "WEEKS", "MONTHS", "YEARS",
+                             "HOLIDAYS", "AM_BUS_DAYS", "Jan-1993"])
+cel_selectors = st.sampled_from(["", "[1]/", "[n]/", "[-3]/", "[2-4]/",
+                                 "[1;3]/"])
+
+
+@st.composite
+def cel_expressions(draw):
+    depth = draw(st.integers(min_value=1, max_value=4))
+    parts = [f"{draw(cel_selectors)}{draw(cel_names)}"
+             for _ in range(depth)]
+    text = parts[0]
+    for part in parts[1:]:
+        sep = draw(st.sampled_from([":", "."]))
+        op = draw(cel_ops)
+        if sep == "." and op in ("<", "<="):
+            op = "overlaps"
+        text += f"{sep}{op}{sep}{part}"
+    suffix = draw(st.sampled_from(["", " + HOLIDAYS", " - HOLIDAYS"]))
+    return text + suffix
+
+
+@settings(max_examples=80, deadline=None)
+@given(cel_expressions(), st.integers(min_value=0, max_value=1500))
+def test_fallback_is_clean_or_parity_holds(text, offset):
+    """periodic_set never raises; when it compiles, membership agrees."""
+    registry = _registry()
+    try:
+        pset = registry.periodic_set(text, full=False)
+    except Exception as exc:  # noqa: BLE001 — the property under test
+        raise AssertionError(
+            f"periodic_set({text!r}) raised {exc!r}") from exc
+    if pset is None:
+        return  # clean fallback: the eager pipeline stays authoritative
+    runs = _oracle_runs(registry, text)
+    lo, hi = _interior(registry)
+    tick = lo + offset
+    assert pset.contains(tick) == _covered(runs, tick), \
+        f"compiled membership disagrees for {text!r} at {tick}"

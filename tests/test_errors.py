@@ -100,7 +100,7 @@ class TestContext:
 _ALLOWED_RAISES = {
     # control flow / protocol
     "StopIteration", "EOFError", "SystemExit", "NotImplementedError",
-    "_ReturnSignal",
+    "_ReturnSignal", "_Fallback",
     # programmer-error guards (misuse of an API, not a domain failure);
     # the obs layer deliberately has no dependency on repro.errors.
     "ValueError", "TypeError",
