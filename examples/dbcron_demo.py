@@ -45,8 +45,8 @@ def main() -> None:
             ("every_tuesday", "[2]/DAYS:during:WEEKS"),
             ("employment_figures", "EMP_DAYS"),
             ("quarter_end", "[n]/DAYS:during:caloperate(MONTHS, *; 3)")]:
-        manager.define_temporal_rule(
-            name, expression,
+        manager.declare_temporal(
+            name, expression=expression,
             actions=[f'append log (day = now.t, rule = "{name}")'],
             after=clock.now)
 

@@ -74,8 +74,8 @@ def main() -> None:
     ltd_nov = last_trading_day(registry, 1993, 11)
     registry.define("LTD_NOV_93", values=[(ltd_nov, ltd_nov)],
                     granularity="DAYS")
-    manager.define_temporal_rule(
-        "last_trading_day_alert", "LTD_NOV_93",
+    manager.declare_temporal(
+        "last_trading_day_alert", expression="LTD_NOV_93",
         actions=['append alerts (day = now.t, '
                  'message = "LAST TRADING DAY " || now.text)'],
         after=clock.now)

@@ -63,11 +63,12 @@ def main() -> None:
     clock = SimulatedClock(now=start - 1)
     cron = DBCron(manager, clock, period=1)
     db.create_table("alerts", [("day", "abstime"), ("kind", "text")])
-    manager.define_temporal_rule(
-        "uptick", 'pattern("spx", "s(t) < s(t+1)")',
+    manager.declare_temporal(
+        "uptick", expression='pattern("spx", "s(t) < s(t+1)")',
         actions=['append alerts (day = now.t, kind = "uptick")'])
-    manager.define_temporal_rule(
-        "momentum", 'pattern("spx", "s(t) < s(t+1) and s(t+1) < s(t+2)")',
+    manager.declare_temporal(
+        "momentum",
+        expression='pattern("spx", "s(t) < s(t+1) and s(t+1) < s(t+2)")',
         actions=['append alerts (day = now.t, kind = "momentum")'])
     cron.run_until(start + 14)
 

@@ -42,8 +42,8 @@ def main() -> None:
     # An event rule audits any >20h week for a foreign student on append.
     manager = RuleManager(db)
     db.create_table("audit", [("msg", "text")])
-    manager.define_event_rule(
-        "hours_audit", "append", "work_weeks",
+    manager.declare_event(
+        "hours_audit", event="append", relation="work_weeks",
         condition='new.hours > 20 and new.citizen != "US"',
         actions=['append audit (msg = new.student || " logged " '
                  '|| new.hours || "h")'])

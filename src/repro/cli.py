@@ -21,7 +21,9 @@ Run with ``python -m repro``.  Three kinds of input:
                                 (initial size: the REPRO_WORKERS env var)
       \clock                    show the simulated clock
       \advance N                advance the clock N days (DBCRON fires)
-      \rules                    list event and temporal rules
+      \rules [stats|drop NAME]  list rules; "stats" reports the daemon,
+                                scheduler shards and per-tenant throttle
+                                counters; "drop NAME" removes a rule
       \tables                   list relations
       \explain [-noopt] EXPR | retrieve ...  evaluation plan of an
                                 expression (with the optimizer's
@@ -116,6 +118,56 @@ class Session(CoreSession):
         suffix = f"  (+{len(cal) - 10} more)" if len(cal) > 10 else ""
         return "; ".join(parts) + suffix if parts else "(empty)"
 
+    def _rules_command(self, argument: str) -> str:
+        """``\\rules [stats | drop NAME]`` on the ``Session.rules`` facade."""
+        if argument:
+            sub, _, rest = argument.partition(" ")
+            sub = sub.lower()
+            if sub == "stats":
+                stats = self.rules.stats()
+                daemon = stats["daemon"]
+                schedule = stats["schedule"]
+                lines = [
+                    f"{stats['event_rules']} event rule(s), "
+                    f"{stats['temporal_rules']} temporal rule(s); "
+                    f"clock at tick {stats['clock']}",
+                    f"  daemon: {daemon['scheduler']} scheduler, "
+                    f"period {daemon['period']}, "
+                    f"{daemon['probes']} probes, {daemon['fires']} fires, "
+                    f"{daemon['reschedules']} reschedules, "
+                    f"{daemon['sheds']} sheds",
+                    f"  schedule: {schedule['scheduled']} armed across "
+                    f"{schedule['shards']} shard(s)",
+                ]
+                if schedule.get("shard_sizes"):
+                    lines.append("    shard sizes: " + ", ".join(
+                        map(str, schedule["shard_sizes"])))
+                if schedule.get("overflow"):
+                    lines.append(
+                        f"    overflow: {schedule['overflow']} entries, "
+                        f"{schedule.get('cascades', 0)} cascades")
+                for tenant, counters in stats.get("throttle", {}).items():
+                    lines.append(
+                        f"  tenant {tenant}: {counters['fired']} fired, "
+                        f"{counters['shed']} shed, "
+                        f"{counters['registered']} registered, "
+                        f"{counters['denied']} denied")
+                return "\n".join(lines)
+            if sub == "drop":
+                name = rest.strip()
+                if not name:
+                    return "usage: \\rules drop NAME"
+                self.rules.drop(name)
+                return f"dropped rule {name}"
+            return "usage: \\rules [stats | drop NAME]"
+        manager = self.manager
+        lines = [f"event    {name}: on {rule.event} to "
+                 f"{rule.relation}"
+                 for name, rule in manager.event_rules.items()]
+        lines += [f"temporal {name}: {rule.expression_text}"
+                  for name, rule in manager.temporal_rules.items()]
+        return "\n".join(lines) if lines else "(no rules)"
+
     # -- commands --------------------------------------------------------------
 
     def _command(self, text: str) -> str:
@@ -209,13 +261,7 @@ class Session(CoreSession):
             return (f"clock at {self.system.date_of(self.clock.now)}; "
                     f"{fired} temporal rule firing(s)")
         if command == "rules":
-            lines = [f"event    {name}: on {rule.event} to "
-                     f"{rule.relation}"
-                     for name, rule in self.manager.event_rules.items()]
-            lines += [f"temporal {name}: {rule.expression_text}"
-                      for name, rule in
-                      self.manager.temporal_rules.items()]
-            return "\n".join(lines) if lines else "(no rules)"
+            return self._rules_command(argument)
         if command == "tables":
             return "\n".join(self.db.relation_names())
         if command == "explain":

@@ -198,12 +198,12 @@ class Executor:
     def _define_rule(self, stmt: DefineRule) -> Result:
         manager = self._rule_manager()
         if stmt.calendar_expression is not None:
-            manager.define_temporal_rule(
-                stmt.name, stmt.calendar_expression,
+            manager.declare_temporal(
+                stmt.name, expression=stmt.calendar_expression,
                 actions=stmt.actions)
         else:
-            rule = manager.define_event_rule(
-                stmt.name, stmt.event, stmt.relation,
+            rule = manager.declare_event(
+                stmt.name, event=stmt.event, relation=stmt.relation,
                 condition=None, actions=stmt.actions)
             rule.condition = stmt.condition
         return Result(affected=0)

@@ -149,6 +149,8 @@ def dump_database(db: Database) -> tuple[dict, SaveReport]:
                               if rule.condition is not None else None),
                 "actions": [render_statement(a) for a in rule.actions],
                 "enabled": rule.enabled,
+                "tenant": rule.tenant,
+                "priority": rule.priority,
             })
             report.event_rules += 1
         for name, rule in manager.temporal_rules.items():
@@ -161,6 +163,9 @@ def dump_database(db: Database) -> tuple[dict, SaveReport]:
                 "actions": [render_statement(a) for a in rule.actions],
                 "enabled": rule.enabled,
                 "next_fire": manager.tables.next_fire_of(name),
+                "catchup": rule.catchup,
+                "tenant": rule.tenant,
+                "priority": rule.priority,
             })
             report.temporal_rules += 1
     return payload, report
@@ -213,13 +218,20 @@ def restore_database(payload: dict) -> Database:
         from repro.rules.manager import RuleManager
         manager = RuleManager(db)
         for spec in payload["event_rules"]:
-            rule = manager.define_event_rule(
-                spec["name"], spec["event"], spec["relation"],
-                condition=spec["condition"], actions=spec["actions"])
+            rule = manager.declare_event(
+                spec["name"], event=spec["event"],
+                relation=spec["relation"],
+                condition=spec["condition"], actions=spec["actions"],
+                tenant=spec.get("tenant", "default"),
+                priority=spec.get("priority", 0))
             rule.enabled = spec["enabled"]
         for spec in payload["temporal_rules"]:
-            rule = manager.define_temporal_rule(
-                spec["name"], spec["expression"], actions=spec["actions"])
+            rule = manager.declare_temporal(
+                spec["name"], expression=spec["expression"],
+                actions=spec["actions"],
+                catchup=spec.get("catchup", "all"),
+                tenant=spec.get("tenant", "default"),
+                priority=spec.get("priority", 0))
             rule.enabled = spec["enabled"]
             manager.tables.set_next_fire(spec["name"], spec["next_fire"])
     return db

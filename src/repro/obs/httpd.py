@@ -44,11 +44,14 @@ class TelemetryServer:
       or ``"degraded"`` decides 200 vs 503);
     * ``slowlog``      — a JSON-ready list for ``/slowlog``;
     * ``traces``       — a JSON-ready dict for ``/traces``;
-    * ``events``       — a JSON-ready list for ``/events`` (optional).
+    * ``events``       — a JSON-ready list for ``/events`` (optional);
+    * ``rules``        — a JSON-ready dict for ``/rules`` (optional):
+      the ``Session.rules.stats()`` report — scheduler kind, shard
+      sizes, shed/throttle counters.
     """
 
     def __init__(self, *, metrics_text, health, slowlog, traces,
-                 events=None, port: int = 0,
+                 events=None, rules=None, port: int = 0,
                  host: str = "127.0.0.1") -> None:
         self._providers = {
             "/metrics": ("prometheus", metrics_text),
@@ -57,6 +60,8 @@ class TelemetryServer:
             "/traces": ("json", traces),
             "/events": ("json", events if events is not None
                         else (lambda: [])),
+            "/rules": ("json", rules if rules is not None
+                       else (lambda: {})),
         }
         server = self
 

@@ -42,6 +42,13 @@ class SimulatedClock:
         """Register a callback invoked after every advancement."""
         self._listeners.append(listener)
 
+    def unsubscribe(self, listener: Callable[[int], None]) -> None:
+        """Remove a listener (daemon detach); unknown = no-op."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     def advance(self, ticks: int = 1) -> int:
         """Move forward ``ticks`` axis points (skipping 0)."""
         if ticks < 0:
@@ -97,6 +104,13 @@ class WallClock:
     def subscribe(self, listener: Callable[[int], None]) -> None:
         """Register a callback invoked when the day tick advances."""
         self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[int], None]) -> None:
+        """Remove a listener (daemon detach); unknown = no-op."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def poll(self) -> bool:
         """Re-read real time; notify listeners if the day tick moved."""

@@ -1,30 +1,52 @@
 """DBCRON: the daemon that triggers temporal rules (section 4, Figure 4).
 
-Modelled on the UNIX ``cron`` utility: every ``period`` time units DBCRON
-*probes* the RULE_TIME table for rules that trigger within the next period
-and loads them into a main-memory schedule (a binary heap).  As the clock
-advances, due entries are popped and fired; each fired rule computes its
-next trigger point (via the calendar pipeline), RULE_TIME is updated, and
-— when the next point falls inside the current probe horizon — the entry
-re-enters the heap immediately.
+Modelled on the UNIX ``cron`` utility, with a pluggable main-memory
+schedule behind one strategy protocol:
+
+* :class:`HeapSchedule` — the paper-faithful design: every ``period``
+  time units DBCRON *probes* the RULE_TIME table for rules that trigger
+  within the next period and loads them into a binary heap.  Selected
+  with ``REPRO_WHEEL=0`` (or ``DBCron(scheduler="heap")``).
+* :class:`~repro.rules.wheel.WheelSchedule` — the default since the
+  timing-wheel rework: a hash-sharded hierarchical timing wheel that
+  holds the *entire* future, so registration and re-arming go straight
+  into an O(1) bucket and the periodic RULE_TIME probe disappears from
+  the hot path entirely (it survives only as a cheap due-count report
+  plus the one-time sync of rules declared before the daemon existed).
+
+As the clock advances, due entries are popped and fired; each fired rule
+computes its next trigger point (via the calendar pipeline), RULE_TIME
+is updated, and the re-arm notification re-enters the schedule.
 
 Independent due rules can fire **in parallel**: :meth:`DBCron.fire_due`
 pops all entries sharing the earliest due fire tick as one *wave* and
-dispatches the wave across a :class:`~repro.runtime.WorkerPool` (one
-entry per rule per wave, so a single rule never races itself), then
-repeats with the next tick.  Processing wave-by-wave preserves the
-deterministic cross-tick firing order of the sequential daemon — a rule
-due at tick 10 always completes before one due at tick 11 — while the
-expensive per-rule ``next_trigger`` calendar evaluation overlaps across
-rules.  With one worker (the default) the sequential code path runs,
-bit-for-bit identical to the pre-pool daemon.
+dispatches the wave across a :class:`~repro.runtime.WorkerPool`.  Under
+the wheel the wave is batched **per shard** — one pool task per wheel
+shard, each firing its batch sequentially — which keeps dispatch
+overhead constant as waves grow to alerting scale; the heap keeps its
+original one-task-per-rule dispatch.  Processing wave-by-wave preserves
+the deterministic cross-tick firing order of the sequential daemon, and
+per-wave results are folded back on the dispatching thread in wave
+order so sequential and parallel runs count identically.
 
-With periodic compilation on (``REPRO_PERIODIC``, default), the per-rule
-``next_trigger`` path short-circuits through the rule expression's
-compiled :class:`~repro.core.periodic.PeriodicSet`: rescheduling after a
-fire is O(log offsets) modular arithmetic with **no window
-materialisation**, which is what keeps probe waves cheap at large rule
-counts.
+Admission control is optional and non-blocking: with a
+:class:`~repro.rules.throttle.TenantThrottle` attached, each wave is
+filtered through the owning tenants' token buckets *before* firing —
+over-budget entries are **shed** (lowest priority first), counted, and
+rescheduled at their next trigger point without running their action,
+so a misbehaving tenant degrades itself instead of stalling the clock.
+
+Both schedules share the staleness discipline introduced with the
+wheel: every arm carries a generation, redefinition/cancel kills older
+entries in place, and a per-rule *fired-at* watermark refuses re-arms
+at or before the last popped tick — closing the probe-vs-in-flight-fire
+double-fire race of the original daemon (IMPLEMENTATION_NOTES §11).
+
+With periodic compilation on (``REPRO_PERIODIC``, default), the
+per-rule ``next_trigger`` path short-circuits through the compiled
+:class:`~repro.core.periodic.PeriodicSet`: re-arming after a fire is
+O(log offsets) modular arithmetic with no window materialisation, which
+is what gives the wheel O(1) ticks to key on.
 
 Driven by a :class:`~repro.rules.clock.SimulatedClock` for determinism;
 ``run_until`` steps the clock probe-by-probe the way the real daemon
@@ -34,6 +56,7 @@ sleeps between wake-ups.
 from __future__ import annotations
 
 import heapq
+import os
 import threading
 
 from dataclasses import dataclass
@@ -44,9 +67,16 @@ from repro.core.interval import axis_add
 from repro.db.database import Database
 from repro.rules.clock import SimulatedClock
 from repro.rules.manager import RuleManager
+from repro.rules.wheel import WheelSchedule
 from repro.runtime import WorkerPool, get_default_pool
 
-__all__ = ["DBCron"]
+__all__ = ["DBCron", "HeapSchedule", "default_scheduler"]
+
+
+def default_scheduler() -> str:
+    """``"wheel"`` unless ``REPRO_WHEEL`` disables it (0/false/off)."""
+    raw = os.environ.get("REPRO_WHEEL", "1").strip().lower()
+    return "heap" if raw in ("0", "false", "off", "no") else "wheel"
 
 
 @dataclass
@@ -54,14 +84,96 @@ class _Stats:
     probes: int = 0
     fires: int = 0
     reschedules: int = 0
+    sheds: int = 0
+    #: Peak live size of the main-memory schedule (heap or wheel).
     max_heap_size: int = 0
+
+
+class HeapSchedule:
+    """The legacy probe-horizon schedule: a binary heap + liveness maps.
+
+    Implements the same strategy protocol as
+    :class:`~repro.rules.wheel.WheelSchedule`; ``bounded_horizon`` is
+    True, so the daemon only feeds it arms inside the current probe
+    window and must keep probing RULE_TIME to learn about the rest.
+    """
+
+    bounded_horizon = True
+
+    def __init__(self) -> None:
+        #: (fire_tick, generation, rulename) entries.
+        self._heap: list[tuple[int, int, str]] = []
+        #: Live armament: name -> (tick, generation).
+        self._scheduled: dict[str, tuple[int, int]] = {}
+        #: Last popped tick per name (anti double-fire watermark).
+        self._fired_at: dict[str, int] = {}
+        self._gen = 0
+        self._lock = threading.RLock()
+
+    def schedule(self, name: str, tick: int) -> bool:
+        """Arm ``name`` at ``tick``; False when dup or watermarked."""
+        with self._lock:
+            current = self._scheduled.get(name)
+            if current is not None and current[0] == tick:
+                return False
+            fired = self._fired_at.get(name)
+            if fired is not None and tick <= fired:
+                return False
+            self._gen += 1
+            self._scheduled[name] = (tick, self._gen)
+            heapq.heappush(self._heap, (tick, self._gen, name))
+            return True
+
+    def cancel(self, name: str) -> None:
+        """Disarm ``name``; its heap entries die in place."""
+        with self._lock:
+            self._scheduled.pop(name, None)
+            self._fired_at.pop(name, None)
+
+    def pop_wave(self, now: int) -> list[tuple[int, str, int]]:
+        """Every live entry of the earliest due tick (shard always 0)."""
+        wave: list[tuple[int, str, int]] = []
+        with self._lock:
+            wave_tick = None
+            while self._heap and self._heap[0][0] <= now:
+                if wave_tick is not None and \
+                        self._heap[0][0] != wave_tick:
+                    break
+                tick, gen, name = heapq.heappop(self._heap)
+                if self._scheduled.get(name) != (tick, gen):
+                    continue  # dead: dropped, redefined or re-pointed
+                del self._scheduled[name]
+                self._fired_at[name] = tick
+                wave_tick = tick
+                wave.append((tick, name, 0))
+        return wave
+
+    def __len__(self) -> int:
+        return len(self._scheduled)
+
+    def due_within(self, now: int, horizon: int) -> int:
+        """Live armed rules with tick <= now + horizon."""
+        bound = now + horizon
+        with self._lock:
+            return sum(1 for tick, _ in self._scheduled.values()
+                       if tick <= bound)
+
+    def stats(self) -> dict:
+        """Snapshot for ``Session.rules.stats()`` / the CLI."""
+        with self._lock:
+            return {"kind": "heap", "shards": 1,
+                    "scheduled": len(self._scheduled),
+                    "heap_entries": len(self._heap)}
 
 
 class DBCron:
     """The temporal-rule daemon."""
 
     def __init__(self, manager: RuleManager, clock: SimulatedClock,
-                 period: int = 7, pool: WorkerPool | None = None) -> None:
+                 period: int = 7, pool: WorkerPool | None = None,
+                 scheduler: str | None = None,
+                 shards: int | None = None,
+                 throttle=None) -> None:
         if period < 1:
             raise AxisError("the probe period must be at least 1 tick")
         self.manager = manager
@@ -70,91 +182,99 @@ class DBCron:
         self.period = period
         #: Worker pool for parallel wave firing (size 1 = sequential).
         self.pool = pool if pool is not None else get_default_pool()
-        #: Main-memory schedule: (fire_tick, sequence, rulename).
-        self._heap: list[tuple[int, int, str]] = []
-        self._scheduled: dict[str, int] = {}
-        self._sequence = 0
-        #: Guards the heap/scheduled-set/sequence triple: schedule-change
-        #: notifications arrive from pool workers mid-wave (a fired rule
-        #: rescheduling itself inside the horizon).
-        self._sched_lock = threading.RLock()
+        kind = scheduler if scheduler is not None else default_scheduler()
+        if kind not in ("wheel", "heap"):
+            raise AxisError(f"unknown scheduler {kind!r} "
+                            "(expected 'wheel' or 'heap')")
+        self.scheduler = kind
+        if kind == "wheel":
+            shard_count = shards if shards is not None \
+                else max(1, self.pool.size)
+            self.sched = WheelSchedule(clock.now, shards=shard_count)
+        else:
+            self.sched = HeapSchedule()
+        #: Optional per-tenant admission control (see
+        #: :class:`~repro.rules.throttle.TenantThrottle`); None = fire
+        #: everything.
+        self.throttle = throttle
         self._horizon = clock.now  # end of the currently probed window
         self.stats = _Stats()
         manager.clock = clock
         manager.subscribe_schedule(self._on_schedule_change)
         clock.subscribe(self._on_clock)
+        if not self.sched.bounded_horizon:
+            # One-time sync: rules declared before this daemon existed
+            # live only in RULE_TIME; later declarations arrive as
+            # schedule-change notifications and never touch the table.
+            for name, next_fire in manager.tables.all_next_fires():
+                self.sched.schedule(name, next_fire)
+
+    def detach(self) -> None:
+        """Unhook from the clock and the manager (daemon replacement)."""
+        self.clock.unsubscribe(self._on_clock)
+        self.manager.unsubscribe_schedule(self._on_schedule_change)
 
     # -- probing -----------------------------------------------------------------
 
     def probe(self) -> int:
-        """Load rules due within the next period into the schedule.
+        """Refresh the schedule; rules due within the next period.
 
-        Returns the number of heap entries loaded.  This is the periodic
-        RULE_TIME scan of Figure 4.
+        Under the heap this is the periodic RULE_TIME scan of Figure 4
+        and returns the number of entries loaded.  Under the wheel the
+        schedule is already complete — the probe merely reports how many
+        armed rules fall inside the window and refreshes the gauges
+        (including the per-shard lag histogram), without touching the
+        database.
         """
         now = self.clock.now
         self._horizon = axis_add(now, self.period)
         self.stats.probes += 1
-        loaded = 0
-        with self._sched_lock:
+        if self.sched.bounded_horizon:
+            loaded = 0
             for fire_tick, name in self.manager.tables.due_within(
                     now, self.period):
-                if self._scheduled.get(name) == fire_tick:
-                    continue
-                self._push(fire_tick, name)
-                loaded += 1
-            heap_size = len(self._heap)
-        self.stats.max_heap_size = max(self.stats.max_heap_size, heap_size)
+                if self.sched.schedule(name, fire_tick):
+                    loaded += 1
+        else:
+            loaded = self.sched.due_within(now, self.period)
+        sched_size = len(self.sched)
+        self.stats.max_heap_size = max(self.stats.max_heap_size,
+                                       sched_size)
         inst = self.db.instrumentation
         inst.metrics.counter("dbcron.probes").inc()
-        inst.metrics.gauge("dbcron.heap_size").set(heap_size)
+        inst.metrics.gauge("dbcron.heap_size").set(sched_size)
+        if self.scheduler == "wheel":
+            self._observe_wheel(inst, now)
         if inst.pipeline is not None:
             inst.pipeline.emit("dbcron.probe", now=now, loaded=loaded,
-                               heap=heap_size, horizon=self._horizon)
+                               heap=sched_size, horizon=self._horizon,
+                               scheduler=self.scheduler)
         return loaded
 
-    def _push(self, fire_tick: int, name: str) -> None:
-        with self._sched_lock:
-            self._sequence += 1
-            heapq.heappush(self._heap, (fire_tick, self._sequence, name))
-            self._scheduled[name] = fire_tick
+    def _observe_wheel(self, inst, now: int) -> None:
+        """Wheel-specific gauges: cascades, overflow, per-shard lag."""
+        metrics = inst.metrics
+        metrics.gauge("dbcron.wheel.shards").set(self.sched.shards)
+        metrics.gauge("dbcron.wheel.cascades").set(self.sched.cascades())
+        metrics.gauge("dbcron.wheel.overflow").set(
+            self.sched.overflow_size())
+        lag_hist = metrics.histogram("dbcron.wheel.shard_lag_ticks")
+        for lag in self.sched.shard_lags(now):
+            lag_hist.observe(lag)
 
     def _on_schedule_change(self, name: str, next_fire: int | None) -> None:
         """A rule was declared/dropped/rescheduled while we are awake."""
-        with self._sched_lock:
-            if next_fire is None:
-                self._scheduled.pop(name, None)
-                return
-            if next_fire <= self._horizon and \
-                    self._scheduled.get(name) != next_fire:
-                self._push(next_fire, name)
+        if next_fire is None:
+            self.sched.cancel(name)
+            return
+        if self.sched.bounded_horizon and next_fire > self._horizon:
+            return  # a later probe will pick it up
+        self.sched.schedule(name, next_fire)
 
     # -- firing ------------------------------------------------------------------
 
     def _on_clock(self, now: int) -> None:
         self.fire_due()
-
-    def _pop_wave(self, now: int) -> list[tuple[int, str]]:
-        """Pop every non-stale entry sharing the earliest due fire tick.
-
-        Entries are deduplicated through ``_scheduled``, so a wave holds
-        at most one entry per rule — the invariant that makes firing a
-        wave in parallel safe (no rule races itself).
-        """
-        wave: list[tuple[int, str]] = []
-        with self._sched_lock:
-            wave_tick = None
-            while self._heap and self._heap[0][0] <= now:
-                if wave_tick is not None and \
-                        self._heap[0][0] != wave_tick:
-                    break
-                fire_tick, _, name = heapq.heappop(self._heap)
-                if self._scheduled.get(name) != fire_tick:
-                    continue  # stale (rule dropped or rescheduled)
-                del self._scheduled[name]
-                wave_tick = fire_tick
-                wave.append((fire_tick, name))
-        return wave
 
     def _fire_one(self, fire_tick: int, name: str, now: int,
                   parent_span) -> "tuple[int | None, float]":
@@ -182,12 +302,14 @@ class DBCron:
         """Fire every scheduled entry whose time has come; count fired.
 
         Due entries are processed in *waves* — all entries sharing the
-        earliest due fire tick — and each wave fires across the worker
-        pool when it holds more than one rule and the pool has more than
-        one worker; otherwise the rules fire sequentially on this thread.
-        Records per-fire latency (``dbcron.fire_seconds``) and how far
-        behind schedule the daemon is running (``dbcron.fire_drift_ticks``
-        — the gap between the clock and the wave's fire tick); with
+        earliest due fire tick.  With a throttle attached, each wave is
+        first filtered through the owning tenants' fire budgets and the
+        over-budget remainder is shed (rescheduled, not fired).  The
+        surviving wave fires across the worker pool when it holds more
+        than one rule and the pool has more than one worker; otherwise
+        the rules fire sequentially on this thread.  Records per-fire
+        latency (``dbcron.fire_seconds``) and how far behind schedule
+        the daemon is running (``dbcron.fire_drift_ticks``); with
         tracing on, each fire gets a ``rule.fire`` span (parallel waves
         roll the per-worker spans up under one ``dbcron.fire_wave``).
         """
@@ -198,9 +320,13 @@ class DBCron:
         fire_counter = inst.metrics.counter("dbcron.fires")
         fired = 0
         while True:
-            wave = self._pop_wave(now)
+            wave = self.sched.pop_wave(now)
             if not wave:
                 break
+            if self.throttle is not None:
+                wave = self._shed_overbudget(wave, now, inst)
+                if not wave:
+                    continue
             drift_gauge.set(now - wave[0][0])
             if inst.pipeline is not None:
                 inst.pipeline.emit("dbcron.wave", tick=wave[0][0],
@@ -209,35 +335,102 @@ class DBCron:
                 results = self._fire_wave_parallel(wave, now)
             else:
                 results = [self._fire_one(tick, name, now, None)
-                           for tick, name in wave]
+                           for tick, name, _ in wave]
             # Stats and metrics are updated on this thread, in wave
             # order, so sequential and parallel runs count identically.
-            for (next_fire, elapsed), (tick, name) in zip(results, wave):
+            for (next_fire, elapsed), (tick, name, _) in zip(results, wave):
                 fire_hist.observe(elapsed)
                 fire_counter.inc()
                 fired += 1
                 self.stats.fires += 1
                 if next_fire is not None:
                     self.stats.reschedules += 1
-                    # _on_schedule_change pushed it back if due again.
+                    # _on_schedule_change re-armed it if due again.
                 if inst.pipeline is not None:
                     inst.pipeline.emit("rule.fire", rule=name, tick=tick,
                                        duration_s=elapsed,
                                        next_fire=next_fire)
         return fired
 
-    def _fire_wave_parallel(self, wave: list[tuple[int, str]],
-                            now: int) -> list:
-        """Dispatch one wave across the pool; per-entry results in order."""
+    def _shed_overbudget(self, wave, now: int, inst):
+        """Apply per-tenant fire budgets; reschedule what gets shed.
+
+        Sheds the lowest-priority entries of each over-budget tenant
+        first (ties broken by wave position, so the outcome is
+        deterministic), advances every shed rule past this trigger
+        point via :meth:`RuleManager.skip_temporal`, and returns the
+        surviving wave in its original order.  The clock is never
+        blocked: shedding is a reschedule, not a wait.
+        """
+        rules = self.manager.temporal_rules
+        by_tenant: dict[str, list[int]] = {}
+        for position, (_, name, _) in enumerate(wave):
+            rule = rules.get(name)
+            tenant = getattr(rule, "tenant", "default") if rule else \
+                "default"
+            by_tenant.setdefault(tenant, []).append(position)
+        shed_positions: set[int] = set()
+        for tenant, positions in by_tenant.items():
+            granted = self.throttle.grant_fires(tenant, now,
+                                                len(positions))
+            if granted >= len(positions):
+                continue
+            # Keep the highest-priority entries; shed the rest.
+            ranked = sorted(
+                positions,
+                key=lambda p: (-getattr(rules.get(wave[p][1]),
+                                        "priority", 0), p))
+            shed_positions.update(ranked[granted:])
+        if not shed_positions:
+            return wave
+        shed_counter = inst.metrics.counter("dbcron.sheds")
+        for position in sorted(shed_positions):
+            tick, name, _ = wave[position]
+            self.stats.sheds += 1
+            shed_counter.inc()
+            self.manager.skip_temporal(name, tick)
+            if inst.pipeline is not None:
+                inst.pipeline.emit("dbcron.shed", rule=name, tick=tick,
+                                   now=now)
+        return [entry for position, entry in enumerate(wave)
+                if position not in shed_positions]
+
+    def _fire_wave_parallel(self, wave, now: int) -> list:
+        """Dispatch one wave across the pool; per-entry results in order.
+
+        Wheel waves arrive pre-sharded: entries are grouped by wheel
+        shard and each shard's batch runs as one pool task (constant
+        dispatch overhead per wave).  Heap waves carry a single shard id
+        and fall back to one task per rule — the pre-wheel behaviour.
+        """
+        batches: dict[int, list[tuple[int, int, str]]] = {}
+        for position, (tick, name, shard) in enumerate(wave):
+            batches.setdefault(shard, []).append((position, tick, name))
+        if len(batches) == 1:
+            work = [[(position, tick, name)]
+                    for position, (tick, name, _) in enumerate(wave)]
+        else:
+            work = list(batches.values())
+
+        def fire_batch(batch, parent_span=None):
+            return [(position, self._fire_one(tick, name, now,
+                                              parent_span))
+                    for position, tick, name in batch]
+
         tracer = self.db.instrumentation.tracer
         if tracer is not None:
             with tracer.span("dbcron.fire_wave", tick=wave[0][0],
-                             rules=len(wave)) as wave_span:
-                return self.pool.map(
-                    lambda item: self._fire_one(item[0], item[1], now,
-                                                wave_span), wave)
-        return self.pool.map(
-            lambda item: self._fire_one(item[0], item[1], now, None), wave)
+                             rules=len(wave),
+                             batches=len(work)) as wave_span:
+                settled = self.pool.sharded_map(
+                    lambda batch: fire_batch(batch, wave_span), work)
+        else:
+            settled = self.pool.sharded_map(fire_batch, work)
+        results: list = [None] * len(wave)
+        for batch_results in settled:
+            for position, result in batch_results:
+                results[position] = result
+        return results
 
     # -- driving ------------------------------------------------------------------
 

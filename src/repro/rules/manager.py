@@ -9,6 +9,7 @@ stops runaway rule chains (a rule whose action triggers itself).
 from __future__ import annotations
 
 import threading
+import warnings
 
 from typing import Callable, Sequence
 
@@ -18,8 +19,16 @@ from repro.rules.events import Event
 from repro.rules.rule import EventRule
 from repro.rules.tables import RuleTables
 from repro.rules.temporal import TemporalRule
+from repro.rules.throttle import ThrottledError
 
 __all__ = ["RuleManager"]
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"RuleManager.{old} is deprecated and will be removed in the "
+        f"next release; use {new} instead",
+        DeprecationWarning, stacklevel=3)
 
 
 class RuleManager:
@@ -47,6 +56,9 @@ class RuleManager:
         self.clock = None
         #: Callbacks notified when a temporal rule is (re)scheduled.
         self._schedule_listeners: list[Callable[[str, int | None], None]] = []
+        #: Optional :class:`~repro.rules.throttle.TenantThrottle`; when
+        #: set, declarations are admission-controlled per tenant.
+        self.throttle = None
         database.rule_manager = self
 
     @property
@@ -58,25 +70,53 @@ class RuleManager:
     def _depth(self, value: int) -> None:
         self._local.depth = value
 
-    # -- event rules --------------------------------------------------------------
+    # -- admission ----------------------------------------------------------------
 
-    def define_event_rule(self, name: str, event: str, relation: str,
-                          condition: "str | Callable | None" = None,
-                          actions: "Sequence[str] | None" = None,
-                          callback: Callable | None = None,
-                          valid_between: tuple | None = None) -> EventRule:
-        """``On Event [to relation] where Condition do Action``."""
+    def _admit(self, name: str, tenant: str) -> None:
+        """Check duplicate names and the tenant's registration budget."""
         if name in self.event_rules or name in self.temporal_rules:
             raise RuleError(f"rule {name!r} is already defined")
+        if self.throttle is not None:
+            now = self.clock.now if self.clock is not None else 0
+            if not self.throttle.admit_registration(tenant, now):
+                raise ThrottledError(
+                    f"tenant {tenant!r} exceeded its registration budget "
+                    f"(rule {name!r} refused)")
+
+    # -- event rules --------------------------------------------------------------
+
+    def declare_event(self, name: str, *, event: str, relation: str,
+                      condition: "str | Callable | None" = None,
+                      actions: "Sequence[str] | None" = None,
+                      callback: Callable | None = None,
+                      valid_between: tuple | None = None,
+                      tenant: str = "default",
+                      priority: int = 0) -> EventRule:
+        """``On Event [to relation] where Condition do Action``."""
+        self._admit(name, tenant)
         rule = EventRule.define(name, event, relation, condition, actions,
                                 callback)
         rule.valid_between = valid_between
+        rule.tenant = tenant
+        rule.priority = priority
         self.db.relation(relation)  # validate it exists
         self.event_rules[name] = rule
         hook = self._make_hook(rule)
         self.db.relation(relation).hooks[rule.event].append(hook)
         rule._hook = hook  # for removal
         return rule
+
+    def define_event_rule(self, name: str, event: str, relation: str,
+                          condition: "str | Callable | None" = None,
+                          actions: "Sequence[str] | None" = None,
+                          callback: Callable | None = None,
+                          valid_between: tuple | None = None) -> EventRule:
+        """Deprecated: use :meth:`declare_event` / ``session.rules.on_event``."""
+        _deprecated("define_event_rule", "declare_event")
+        return self.declare_event(name, event=event, relation=relation,
+                                  condition=condition, actions=actions,
+                                  callback=callback,
+                                  valid_between=valid_between)
 
     def _make_hook(self, rule: EventRule) -> Callable[[Event], None]:
         def hook(event: Event) -> None:
@@ -97,25 +137,28 @@ class RuleManager:
 
     # -- temporal rules -------------------------------------------------------------
 
-    def define_temporal_rule(self, name: str, calendar_expression: str,
-                             actions: "Sequence[str] | None" = None,
-                             callback: Callable | None = None,
-                             after: int | None = None,
-                             valid_between: tuple | None = None,
-                             catchup: str = "all") -> TemporalRule:
+    def declare_temporal(self, name: str, *, expression: str,
+                         actions: "Sequence[str] | None" = None,
+                         callback: Callable | None = None,
+                         after: int | None = None,
+                         valid_between: tuple | None = None,
+                         catchup: str = "all",
+                         tenant: str = "default",
+                         priority: int = 0) -> TemporalRule:
         """``On Calendar-Expression do Action`` (section 4).
 
-        The expression is parsed, factorized and compiled; the next trigger
-        point after ``after`` (default: day 1) is computed and stored in
-        RULE_TIME for DBCRON to probe.
+        The expression is parsed, factorized and compiled (memoised per
+        distinct expression text); the next trigger point after ``after``
+        (default: the clock, else day 1) is computed and stored in
+        RULE_TIME, and the schedule notification arms DBCRON directly.
         """
-        if name in self.event_rules or name in self.temporal_rules:
-            raise RuleError(f"rule {name!r} is already defined")
-        rule = TemporalRule.define(name, calendar_expression,
+        self._admit(name, tenant)
+        rule = TemporalRule.define(name, expression,
                                    self.db.calendars,
                                    actions=actions, callback=callback,
                                    valid_between=valid_between,
-                                   catchup=catchup)
+                                   catchup=catchup, tenant=tenant,
+                                   priority=priority)
         if after is not None:
             start = after
         elif self.clock is not None:
@@ -127,6 +170,20 @@ class RuleManager:
         self.tables.register(rule, next_fire)
         self._notify_schedule(name, next_fire)
         return rule
+
+    def define_temporal_rule(self, name: str, calendar_expression: str,
+                             actions: "Sequence[str] | None" = None,
+                             callback: Callable | None = None,
+                             after: int | None = None,
+                             valid_between: tuple | None = None,
+                             catchup: str = "all") -> TemporalRule:
+        """Deprecated: use :meth:`declare_temporal` / ``session.rules.on_calendar``."""
+        _deprecated("define_temporal_rule", "declare_temporal")
+        return self.declare_temporal(name, expression=calendar_expression,
+                                     actions=actions, callback=callback,
+                                     after=after,
+                                     valid_between=valid_between,
+                                     catchup=catchup)
 
     def drop_rule(self, name: str) -> None:
         """Remove an event or temporal rule (and its catalog rows)."""
@@ -150,6 +207,15 @@ class RuleManager:
                            ) -> None:
         """Register a callback for (re)schedules: (rule, next_fire)."""
         self._schedule_listeners.append(listener)
+
+    def unsubscribe_schedule(self,
+                             listener: Callable[[str, int | None], None]
+                             ) -> None:
+        """Remove a schedule listener (daemon detach); unknown = no-op."""
+        try:
+            self._schedule_listeners.remove(listener)
+        except ValueError:
+            pass
 
     def _notify_schedule(self, name: str, next_fire: int | None) -> None:
         for listener in self._schedule_listeners:
@@ -185,6 +251,24 @@ class RuleManager:
                 rule.fire(self.db, at_tick)
         finally:
             self._depth -= 1
+        next_fire = rule.next_trigger(self.db.calendars, at_tick)
+        with self._mutate_lock:
+            self.tables.set_next_fire(name, next_fire)
+            self._notify_schedule(name, next_fire)
+        return next_fire
+
+    def skip_temporal(self, name: str, at_tick: int) -> int | None:
+        """Advance a rule past ``at_tick`` *without* running its action.
+
+        The shedding path of admission control: the rule is rescheduled
+        at its next trigger point exactly as if it had fired, its
+        ``shed_count`` is bumped, and the skipped occurrence is gone —
+        shedding trades completeness for clock liveness.
+        """
+        rule = self.temporal_rules.get(name)
+        if rule is None or not rule.enabled:
+            return None
+        rule.shed_count += 1
         next_fire = rule.next_trigger(self.db.calendars, at_tick)
         with self._mutate_lock:
             self.tables.set_next_fire(name, next_fire)

@@ -23,6 +23,12 @@ class RuleTables:
 
     def __init__(self, database: Database) -> None:
         self.db = database
+        #: RULE_TIME tid per rulename — O(1) next-fire maintenance at
+        #: alerting scale (the relation update keeps a row's tid stable).
+        #: Purely a cache: every read validates against the live row and
+        #: falls back to a scan, so direct Postquel mutation of the
+        #: catalog tables stays legal.
+        self._time_tids: dict[str, int] = {}
         if RULE_INFO not in database:
             database.create_table(RULE_INFO, [
                 ("rulename", "text"),
@@ -49,39 +55,64 @@ class RuleTables:
             "eval_plan": rule.plan.text() if rule.plan is not None else "",
         }, fire_hooks=False)
         if next_fire is not None:
-            self.db.relation(RULE_TIME).insert(
+            row = self.db.relation(RULE_TIME).insert(
                 {"rulename": rule.name, "next_fire": next_fire},
                 fire_hooks=False)
+            self._time_tids[rule.name] = row["_tid"]
+
+    def _time_row(self, name: str) -> dict | None:
+        """The live RULE_TIME row of ``name`` (cached tid, scan fallback)."""
+        relation = self.db.relation(RULE_TIME)
+        tid = self._time_tids.get(name)
+        if tid is not None:
+            row = relation.get(tid)
+            if row is not None and row["rulename"] == name:
+                return row
+            del self._time_tids[name]  # stale: mutated behind our back
+        for row in relation.scan():
+            if row["rulename"] == name:
+                self._time_tids[name] = row["_tid"]
+                return row
+        return None
 
     def unregister(self, name: str) -> None:
         """Delete a rule's RULE_INFO / RULE_TIME rows."""
-        for relname in (RULE_INFO, RULE_TIME):
-            relation = self.db.relation(relname)
-            for row in list(relation.scan()):
-                if row["rulename"] == name:
-                    relation.delete(row["_tid"], fire_hooks=False)
+        relation = self.db.relation(RULE_INFO)
+        for row in list(relation.scan()):
+            if row["rulename"] == name:
+                relation.delete(row["_tid"], fire_hooks=False)
+        row = self._time_row(name)
+        if row is not None:
+            self.db.relation(RULE_TIME).delete(row["_tid"],
+                                               fire_hooks=False)
+            self._time_tids.pop(name, None)
 
     def set_next_fire(self, name: str, next_fire: int | None) -> None:
         """Upsert (or clear, with None) a rule's next trigger point."""
         relation = self.db.relation(RULE_TIME)
-        for row in list(relation.scan()):
-            if row["rulename"] == name:
-                if next_fire is None:
-                    relation.delete(row["_tid"], fire_hooks=False)
-                else:
-                    relation.update(row["_tid"], {"next_fire": next_fire},
-                                    fire_hooks=False)
-                return
+        row = self._time_row(name)
+        if row is not None:
+            if next_fire is None:
+                relation.delete(row["_tid"], fire_hooks=False)
+                self._time_tids.pop(name, None)
+            else:
+                relation.update(row["_tid"], {"next_fire": next_fire},
+                                fire_hooks=False)
+            return
         if next_fire is not None:
-            relation.insert({"rulename": name, "next_fire": next_fire},
-                            fire_hooks=False)
+            row = relation.insert({"rulename": name, "next_fire": next_fire},
+                                  fire_hooks=False)
+            self._time_tids[name] = row["_tid"]
 
     def next_fire_of(self, name: str) -> int | None:
         """The stored next trigger point of a rule, or None."""
-        for row in self.db.relation(RULE_TIME).scan():
-            if row["rulename"] == name:
-                return row["next_fire"]
-        return None
+        row = self._time_row(name)
+        return row["next_fire"] if row is not None else None
+
+    def all_next_fires(self) -> list[tuple[str, int]]:
+        """Every (rulename, next_fire) pair — the wheel's one-time sync."""
+        return [(row["rulename"], row["next_fire"])
+                for row in self.db.relation(RULE_TIME).scan()]
 
     def due_within(self, now: int, horizon: int) -> list[tuple[int, str]]:
         """(next_fire, rulename) pairs with next_fire <= now + horizon.

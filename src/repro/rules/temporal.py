@@ -50,8 +50,14 @@ class TemporalRule:
     #: Catch-up policy when the clock jumps past several trigger points:
     #: "all" fires every missed point, "latest" only the most recent.
     catchup: str = "all"
+    #: Owning tenant (admission-control and reporting key).
+    tenant: str = "default"
+    #: Shedding rank under overload: higher survives longer.
+    priority: int = 0
     fire_count: int = field(default=0, init=False)
     last_fired: int | None = field(default=None, init=False)
+    #: Fires shed by admission control (rescheduled without running).
+    shed_count: int = field(default=0, init=False)
 
     @classmethod
     def define(cls, name: str, calendar_expression: str,
@@ -59,7 +65,8 @@ class TemporalRule:
                actions: "Sequence[str] | None" = None,
                callback: Callable | None = None,
                valid_between: tuple | None = None,
-               catchup: str = "all") -> "TemporalRule":
+               catchup: str = "all", tenant: str = "default",
+               priority: int = 0) -> "TemporalRule":
         """Parse/factorize/plan a temporal rule declaration."""
         if not actions and callback is None:
             raise RuleError(f"temporal rule {name!r} has no action")
@@ -68,14 +75,26 @@ class TemporalRule:
         if valid_between is not None and \
                 valid_between[0] > valid_between[1]:
             raise RuleError(f"inverted rule lifespan {valid_between}")
-        expr = parse_expression(calendar_expression)
-        factored = factorize(expr, registry.resolver).expression
-        try:
-            plan = compile_expression(factored, registry.system,
-                                      registry.resolver,
-                                      context_window=registry.default_window)
-        except PlanError:
-            plan = None
+        # Parse/factorize/plan once per distinct expression text: at
+        # alerting scale thousands of rules share a handful of calendar
+        # expressions, and the compiled artifacts are immutable, so they
+        # are memoised in the registry's cache (keyed on the catalog
+        # version — a redefinition recompiles).
+        compile_key = ("rule-compile", calendar_expression,
+                       registry.memo_token, registry.version)
+        cached = registry.matcache.memo_get(compile_key)
+        if cached is not None:
+            factored, plan = cached
+        else:
+            expr = parse_expression(calendar_expression)
+            factored = factorize(expr, registry.resolver).expression
+            try:
+                plan = compile_expression(
+                    factored, registry.system, registry.resolver,
+                    context_window=registry.default_window)
+            except PlanError:
+                plan = None
+            registry.matcache.memo_put(compile_key, (factored, plan))
         parsed_actions = tuple(
             a if isinstance(a, Statement) else parse_statement(a)
             for a in (actions or ()))
@@ -86,7 +105,8 @@ class TemporalRule:
         return cls(name=name, expression_text=calendar_expression,
                    expression=factored, plan=plan, periodic=pset,
                    actions=parsed_actions, callback=callback,
-                   valid_between=valid_between, catchup=catchup)
+                   valid_between=valid_between, catchup=catchup,
+                   tenant=tenant, priority=priority)
 
     # -- scheduling --------------------------------------------------------------
 

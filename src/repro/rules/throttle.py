@@ -1,0 +1,175 @@
+"""Per-tenant admission control for the temporal-rule daemon.
+
+A production alerting deployment hosts rules for many *tenants* on one
+daemon; one tenant registering a million rules or firing a dense
+calendar must not starve the rest or stall the clock.  This module
+provides deterministic token-bucket rate limiting keyed on the daemon's
+axis clock (integer ticks), so throttling behaves identically under the
+simulated clock and in replays:
+
+* :class:`TokenBucket` — the classic refill-on-read bucket: ``rate``
+  tokens accrue per tick up to ``burst``; admission spends them.
+* :class:`TenantThrottle` — a bucket pair per tenant (registration and
+  firing), plus drop counters that back the
+  ``dbcron.throttle.*`` metrics and the ``\\rules stats`` report.
+
+The daemon never blocks on a throttle.  Over-budget registrations are
+refused at declaration time (the caller gets
+:class:`~repro.core.errors.ThrottledError`); over-budget fires are
+*shed* — rescheduled at their next trigger point without running the
+action — lowest priority first (see :meth:`DBCron._shed_overbudget`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.errors import ReproError
+
+__all__ = ["ThrottledError", "TokenBucket", "TenantThrottle"]
+
+
+class ThrottledError(ReproError):
+    """A tenant exceeded its registration budget."""
+
+
+class TokenBucket:
+    """Deterministic token bucket on the integer tick axis.
+
+    ``rate`` tokens accrue per elapsed tick, capped at ``burst``.  The
+    bucket starts full.  Time never flows backwards: a stale ``now``
+    spends from the balance as of the latest tick seen.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp: int | None = None
+
+    def _refill(self, now: int) -> None:
+        if self.stamp is not None and now > self.stamp:
+            self.tokens = min(self.burst,
+                              self.tokens + self.rate * (now - self.stamp))
+        if self.stamp is None or now > self.stamp:
+            self.stamp = now
+
+    def admit(self, now: int, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens if available; False = over budget."""
+        self._refill(now)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def grant(self, now: int, requested: int) -> int:
+        """Spend up to ``requested`` whole tokens; how many were granted."""
+        self._refill(now)
+        granted = min(requested, int(self.tokens))
+        self.tokens -= granted
+        return granted
+
+
+class _TenantState:
+    __slots__ = ("fires", "registrations", "fired", "shed",
+                 "registered", "denied")
+
+    def __init__(self, fires: TokenBucket | None,
+                 registrations: TokenBucket | None) -> None:
+        self.fires = fires
+        self.registrations = registrations
+        self.fired = 0
+        self.shed = 0
+        self.registered = 0
+        self.denied = 0
+
+
+class TenantThrottle:
+    """Registration and firing budgets for a fleet of tenants.
+
+    Default limits apply to every tenant without an explicit override;
+    ``None`` for a rate means that dimension is unlimited.  Burst
+    defaults to one period's worth of tokens (``rate``) when not given.
+    """
+
+    def __init__(self, *, fires_per_tick: float | None = None,
+                 fire_burst: float | None = None,
+                 registrations_per_tick: float | None = None,
+                 registration_burst: float | None = None) -> None:
+        self._defaults = (fires_per_tick, fire_burst,
+                          registrations_per_tick, registration_burst)
+        self._tenants: dict[str, _TenantState] = {}
+        self._overrides: dict[str, tuple] = {}
+        self._lock = threading.RLock()
+
+    # -- configuration -----------------------------------------------------------
+
+    def set_limits(self, tenant: str, *,
+                   fires_per_tick: float | None = None,
+                   fire_burst: float | None = None,
+                   registrations_per_tick: float | None = None,
+                   registration_burst: float | None = None) -> None:
+        """Override the default budgets for one tenant (rebuilds state)."""
+        with self._lock:
+            self._overrides[tenant] = (fires_per_tick, fire_burst,
+                                       registrations_per_tick,
+                                       registration_burst)
+            self._tenants.pop(tenant, None)
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            fires_rate, fire_burst, reg_rate, reg_burst = \
+                self._overrides.get(tenant, self._defaults)
+            fires = TokenBucket(fires_rate, fire_burst or fires_rate) \
+                if fires_rate is not None else None
+            regs = TokenBucket(reg_rate, reg_burst or reg_rate) \
+                if reg_rate is not None else None
+            state = _TenantState(fires, regs)
+            self._tenants[tenant] = state
+        return state
+
+    # -- admission ---------------------------------------------------------------
+
+    def admit_registration(self, tenant: str, now: int) -> bool:
+        """One registration for ``tenant`` at tick ``now``; False = deny."""
+        with self._lock:
+            state = self._state(tenant)
+            if state.registrations is None or \
+                    state.registrations.admit(now):
+                state.registered += 1
+                return True
+            state.denied += 1
+            return False
+
+    def grant_fires(self, tenant: str, now: int, requested: int) -> int:
+        """How many of ``requested`` same-wave fires the tenant may run."""
+        with self._lock:
+            state = self._state(tenant)
+            if state.fires is None:
+                granted = requested
+            else:
+                granted = state.fires.grant(now, requested)
+            state.fired += granted
+            state.shed += requested - granted
+            return granted
+
+    # -- reporting ---------------------------------------------------------------
+
+    def drops(self) -> int:
+        """Total shed fires + denied registrations across all tenants."""
+        with self._lock:
+            return sum(s.shed + s.denied for s in self._tenants.values())
+
+    def stats(self) -> dict[str, dict]:
+        """Per-tenant counters: fired/shed/registered/denied."""
+        with self._lock:
+            return {
+                tenant: {"fired": s.fired, "shed": s.shed,
+                         "registered": s.registered, "denied": s.denied}
+                for tenant, s in sorted(self._tenants.items())
+            }

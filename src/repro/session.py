@@ -50,7 +50,7 @@ from repro.obs.export import export_json
 from repro.obs.promexport import render_prometheus, spans_to_otlp
 from repro.obs.telemetry import SlowQuery, SlowQueryLog, TelemetryPipeline
 from repro.obs.tracer import Span, Tracer
-from repro.rules import DBCron, RuleManager, SimulatedClock
+from repro.rules import DBCron, RuleManager, RulesFacade, SimulatedClock
 from repro.runtime import WorkerPool
 
 __all__ = ["Session", "Explanation", "Profile"]
@@ -235,7 +235,10 @@ class Session:
                  telemetry_port: int | None = None,
                  slow_query_threshold: float | None = None,
                  optimize: bool | None = None,
-                 periodic: bool | None = None) -> None:
+                 periodic: bool | None = None,
+                 scheduler: str | None = None,
+                 wheel_shards: int | None = None,
+                 throttle=None) -> None:
         self._explicit_instrumentation = instrumentation
         #: Tri-state optimizer override: None defers to the registry's
         #: own default (the ``REPRO_OPTIMIZE`` env var, on by default).
@@ -248,6 +251,14 @@ class Session:
         #: falling back to 1 = fully sequential).  Lazy: no threads are
         #: started until the first parallel dispatch.
         self.pool = WorkerPool(workers)
+        #: DBCRON scheduler selection: "wheel"/"heap" (None = the
+        #: ``REPRO_WHEEL`` env var, wheel by default) and the wheel's
+        #: shard count (None = the pool size).
+        self._scheduler = scheduler
+        self._wheel_shards = wheel_shards
+        #: Optional per-tenant admission control shared by the manager
+        #: (registration budgets) and the daemon (fire shedding).
+        self.throttle = throttle
         if database is None:
             if registry is None:
                 registry = CalendarRegistry(
@@ -294,13 +305,26 @@ class Session:
             database.calendars.optimize = bool(self._optimize)
         if getattr(self, "_periodic", None) is not None:
             database.calendars.periodic = bool(self._periodic)
+        previous_cron = getattr(self, "cron", None)
+        if previous_cron is not None:
+            previous_cron.detach()
         self.db = database
         self.registry = database.calendars
         self.system = self.registry.system
         self.manager = database.rule_manager or RuleManager(database)
+        self.manager.throttle = getattr(self, "throttle", None)
         self.clock = SimulatedClock(now=clock_start)
         self.cron = DBCron(self.manager, self.clock, period=cron_period,
-                           pool=getattr(self, "pool", None))
+                           pool=getattr(self, "pool", None),
+                           scheduler=getattr(self, "_scheduler", None),
+                           shards=getattr(self, "_wheel_shards", None),
+                           throttle=getattr(self, "throttle", None))
+        #: The unified rule API (``session.rules.on_calendar(...)``);
+        #: reads the manager/daemon through the session, so the same
+        #: facade object stays valid across re-attachment.  (Explicit
+        #: None check: an empty facade is falsy via ``__len__``.)
+        if getattr(self, "rules", None) is None:
+            self.rules = RulesFacade(self)
         # Re-point an already enabled pipeline at the adopted stack.
         pipeline = getattr(self, "telemetry", None)
         if pipeline is not None:
@@ -412,7 +436,7 @@ class Session:
 
     def start_telemetry_server(self, port: int = 0,
                                host: str = "127.0.0.1") -> TelemetryServer:
-        """Serve ``/metrics``/``/healthz``/``/slowlog``/``/traces``.
+        """Serve ``/metrics``/``/healthz``/``/slowlog``/``/traces``/``/rules``.
 
         Enables telemetry if it is not already on (the endpoints read
         the pipeline).  ``port=0`` binds an ephemeral port, reported by
@@ -429,6 +453,7 @@ class Session:
             traces=lambda: spans_to_otlp(
                 self.instrumentation.raw_tracer.recent()),
             events=lambda: [e.to_dict() for e in self.events()],
+            rules=lambda: self.rules.stats(),
             port=port, host=host)
         return self.server
 
