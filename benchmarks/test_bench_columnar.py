@@ -1,0 +1,181 @@
+"""Columnar sweep kernels vs the object path: the ISSUE-8 speedup rows.
+
+Builds the same calendars twice — once object-backed (``set_enabled(False)``
+during construction), once column-backed — and times the hot kernels on
+both.  Kernel dispatch is per-operand (a calendar built while the flag was
+off keeps its tuple representation forever), so both representations can
+be exercised in one process regardless of the global default.
+
+Rows land in BENCH_core.json via :func:`record_benchmark` under the
+``columnar/`` prefix, each carrying the measured ``speedup`` (object time
+divided by columnar time).  The acceptance thresholds asserted here:
+
+* ``foreach("during", days, weeks)`` at 20k days: >= 3x;
+* at least two of union / difference / intersection at 30-year day
+  scale: >= 2x.
+
+A final row records the retained bytes of a 100k-interval calendar in
+both representations (tracemalloc), the memory half of the story: two
+int64 lanes instead of a tuple of interval objects.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+import tracemalloc
+
+from conftest import record_benchmark
+
+from repro.core import Calendar, Interval, foreach
+from repro.core import columnar
+
+#: Days in the 30-year benchmark horizon (1987..2016, matching the
+#: registry fixtures' generation span).
+DAYS_30Y = 10_958
+
+
+def _build(pairs, *, columns: bool) -> Calendar:
+    """Build a calendar in the requested representation."""
+    previous = columnar.enabled()
+    columnar.set_enabled(columns)
+    try:
+        cal = Calendar.from_intervals(pairs)
+    finally:
+        columnar.set_enabled(previous)
+    assert (cal.columns is not None) is columns
+    return cal
+
+
+def _time(fn, rounds: int = 5, warmup: int = 1) -> list[float]:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def _versus(name: str, obj_fn, col_fn, intervals: int,
+            rounds: int = 5) -> float:
+    """Time both paths, record one row, return the speedup."""
+    obj_samples = _time(obj_fn, rounds)
+    col_samples = _time(col_fn, rounds)
+    speedup = min(obj_samples) / max(min(col_samples), 1e-9)
+    record_benchmark(name, col_samples, intervals=intervals,
+                     object_min_s=min(obj_samples), speedup=speedup)
+    return speedup
+
+
+def _day_pairs(n):
+    return [(d, d) for d in range(1, n + 1)]
+
+
+def _week_pairs(n_days):
+    return [(lo, lo + 6) for lo in range(1, n_days - 5, 7)]
+
+
+class TestForeachSweeps:
+    def test_foreach_during(self):
+        speedups = {}
+        for size in (1_000, 20_000):
+            days_obj = _build(_day_pairs(size), columns=False)
+            days_col = _build(_day_pairs(size), columns=True)
+            weeks_obj = _build(_week_pairs(size), columns=False)
+            weeks_col = _build(_week_pairs(size), columns=True)
+            speedups[size] = _versus(
+                f"columnar/foreach_during_{size}",
+                lambda: foreach("during", days_obj, weeks_obj),
+                lambda: foreach("during", days_col, weeks_col),
+                intervals=size)
+        # Acceptance: the 20k grouping sweep must beat the object path 3x.
+        assert speedups[20_000] >= 3.0, speedups
+
+    def test_foreach_overlaps(self):
+        for size in (1_000, 20_000):
+            days_obj = _build(_day_pairs(size), columns=False)
+            days_col = _build(_day_pairs(size), columns=True)
+            ref = Interval(size // 4, size // 2)
+            speedup = _versus(
+                f"columnar/foreach_overlaps_{size}",
+                lambda: foreach("overlaps", days_obj, ref),
+                lambda: foreach("overlaps", days_col, ref),
+                intervals=size)
+            assert speedup > 0
+
+
+class TestSetOperationSweeps:
+    """Union/difference/intersection over 30 years of day tiles."""
+
+    def test_set_operations(self):
+        odd = _day_pairs(DAYS_30Y)[0::2]
+        even = _day_pairs(DAYS_30Y)[1::2]
+        holidays = [(d, d) for d in range(100, DAYS_30Y, 97)]
+        weeks = _week_pairs(DAYS_30Y)
+
+        odd_obj, odd_col = (_build(odd, columns=False),
+                            _build(odd, columns=True))
+        even_obj, even_col = (_build(even, columns=False),
+                              _build(even, columns=True))
+        days_obj, days_col = (_build(_day_pairs(DAYS_30Y), columns=False),
+                              _build(_day_pairs(DAYS_30Y), columns=True))
+        hol_obj, hol_col = (_build(holidays, columns=False),
+                            _build(holidays, columns=True))
+        weeks_obj, weeks_col = (_build(weeks, columns=False),
+                                _build(weeks, columns=True))
+
+        speedups = {
+            "union": _versus(
+                "columnar/union_30y",
+                lambda: odd_obj + even_obj,
+                lambda: odd_col + even_col,
+                intervals=DAYS_30Y),
+            "difference": _versus(
+                "columnar/difference_30y",
+                lambda: days_obj - hol_obj,
+                lambda: days_col - hol_col,
+                intervals=DAYS_30Y),
+            "intersection": _versus(
+                "columnar/intersection_30y",
+                lambda: days_obj & weeks_obj,
+                lambda: days_col & weeks_col,
+                intervals=DAYS_30Y),
+        }
+        # Acceptance: at least two of the three set kernels must be 2x.
+        at_least_2x = [op for op, s in speedups.items() if s >= 2.0]
+        assert len(at_least_2x) >= 2, speedups
+
+
+class TestMemoryFootprint:
+    def test_calendar_100k_retained_bytes(self):
+        """Two int64 lanes vs a tuple of Interval objects at 100k."""
+        pairs = _day_pairs(100_000)
+
+        def _retained(columns: bool) -> tuple[int, float]:
+            gc.collect()
+            tracemalloc.start()
+            t0 = time.perf_counter()
+            cal = _build(pairs, columns=columns)
+            if not columns:
+                assert len(cal.elements) == 100_000
+            elapsed = time.perf_counter() - t0
+            gc.collect()
+            retained, _peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            assert len(cal) == 100_000
+            return retained, elapsed
+
+        object_bytes, object_s = _retained(columns=False)
+        columnar_bytes, columnar_s = _retained(columns=True)
+        record_benchmark(
+            "columnar/memory_100k_intervals", [columnar_s],
+            intervals=100_000,
+            object_build_s=object_s,
+            object_bytes=object_bytes,
+            columnar_bytes=columnar_bytes,
+            bytes_ratio=object_bytes / max(columnar_bytes, 1))
+        # Lanes store 16 bytes per interval; the object tuple holds a
+        # pointer plus an Interval object each (~56 bytes observed).
+        assert object_bytes >= 3 * columnar_bytes

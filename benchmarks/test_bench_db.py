@@ -117,9 +117,14 @@ def test_report_within_periodic_speedup(loaded_db):
     With periodic compilation on (the default), ``t.day within "Mondays"``
     probes the compiled :class:`~repro.core.periodic.PeriodicSet` —
     O(log offsets) per row — instead of materialising the calendar over
-    the default window and scanning for the containing interval.  The
-    recorded row asserts the compiled probe is at least 5x faster on
-    the 5k-row trades relation.
+    the default window and locating the containing interval.  The
+    materialised path's probe is itself an O(log n) bisect over the
+    calendar's columnar endpoint lanes (it was a linear interval scan
+    before the columnar core landed, and the compiled probe was >=5x
+    faster then), so per-row membership is now cheap either way and the
+    compiled backend's remaining wins are the generation and memory it
+    avoids entirely.  The recorded row asserts compiled stays at least
+    on par with materialised on the 5k-row trades relation.
     """
     from statistics import median
 
@@ -157,8 +162,8 @@ def test_report_within_periodic_speedup(loaded_db):
     print(f"   compiled probe:  {t_compiled * 1e3:8.2f} ms")
     print(f"   materialised:    {t_materialised * 1e3:8.2f} ms  "
           f"({speedup:.1f}x slower)")
-    assert speedup >= 5.0, (
-        f"compiled within-probe no longer >=5x the materialised path: "
+    assert speedup >= 0.8, (
+        f"compiled within-probe fell behind the materialised bisect: "
         f"{speedup:.2f}x")
 
 

@@ -15,7 +15,8 @@ Run with ``python -m repro``.  Three kinds of input:
       \define NAME { script }   define a calendar
       \window START .. END      set the evaluation window
       \cache [clear]            materialisation-cache stats (or clear it);
-                                includes a lock-contention line
+                                includes lock-contention and columnar
+                                materialisation-counter lines
       \workers [N]              show or set the worker-pool size used by
                                 eval_many and parallel DBCRON firing
                                 (initial size: the REPRO_WORKERS env var)
@@ -50,6 +51,7 @@ from __future__ import annotations
 import sys
 
 from repro.core import Calendar
+from repro.core import columnar
 from repro.core.errors import CalendarError
 from repro.db import DatabaseError
 from repro.db.executor import Result
@@ -235,6 +237,9 @@ class Session(CoreSession):
                 lines.append(
                     f"  contention: none observed  single-flight waits "
                     f"{stats['single_flight_waits']}")
+            lines.append(
+                f"  columnar materialisations "
+                f"{columnar.MATERIALISATIONS.value}")
             return "\n".join(lines)
         if command == "workers":
             if not argument:

@@ -25,6 +25,7 @@ from repro.core.arithmetic import (
 )
 from repro.core.basis import BASIC_CALENDARS, CalendarSystem
 from repro.core.calendar import EMPTY, Calendar
+from repro.core.columnar import IntervalColumns
 from repro.core.chrono import CivilDate, Epoch, parse_date, weekday
 from repro.core.errors import (
     AxisError,
@@ -57,7 +58,8 @@ from repro.core.interval import (
 )
 
 __all__ = [
-    "Interval", "Calendar", "EMPTY", "CalendarSystem", "BASIC_CALENDARS",
+    "Interval", "Calendar", "EMPTY", "IntervalColumns",
+    "CalendarSystem", "BASIC_CALENDARS",
     "Granularity", "CivilDate", "Epoch", "parse_date", "weekday",
     "MaterialisationCache", "get_default_cache", "set_default_cache",
     "foreach", "select", "label_select", "caloperate",

@@ -24,9 +24,40 @@ import bisect
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core import columnar
 from repro.core.calendar import Calendar, Label
+from repro.core.columnar import IntervalColumns
 from repro.core.errors import CalendarError, OperatorError, SelectionError
 from repro.core.interval import Interval, Listop, get_listop
+
+#: The canonical predicate of every builtin listop, keyed by surface name.
+#: The columnar sweep kernels encode these relations as integer lane
+#: comparisons, so they may only run when the registered listop still
+#: *is* the builtin (``register_listop(..., replace=True)`` can swap a
+#: name's predicate, which must disable the sweep for that name).
+_BUILTIN_PREDICATES = {
+    "overlaps": Interval.overlaps,
+    "during": Interval.during,
+    "contains": Interval.contains,
+    "meets": Interval.meets,
+    "<": Interval.before,
+    "<=": Interval.starts_before,
+    "intersects": Interval.overlaps,
+    "starts": Interval.starts,
+    "finishes": Interval.finishes,
+    "equals": Interval.equals,
+}
+
+#: Inverse listop per name: ``member op ref`` iff ``ref inverse member``
+#: (used to window the reference side of filtering listops).
+_INVERSE = {"during": "contains", "contains": "during",
+            "overlaps": "overlaps", "intersects": "intersects",
+            "equals": "equals"}
+
+
+def _sweepable(op: Listop) -> bool:
+    """True when ``op`` is a builtin whose sweep kernel is valid."""
+    return _BUILTIN_PREDICATES.get(op.name) is op.predicate
 
 __all__ = [
     "foreach",
@@ -53,14 +84,34 @@ class _SortedView:
     """
 
     def __init__(self, cal: Calendar) -> None:
-        self.elements = cal.elements
-        self.los = [iv.lo for iv in cal.elements]
-        self.his = [iv.hi for iv in cal.elements]
+        self._cal = cal
+        cols = cal.columns
+        if cols is not None:
+            # Column-backed calendar: the view indexes the lanes directly
+            # and defers Interval materialisation until someone actually
+            # touches ``elements``.
+            self._elements = None
+            self.los = cols.los
+            self.his = cols.his
+            self.lo_sorted = cols.lo_sorted
+            self.hi_sorted = cols.hi_sorted
+            return
+        elements = cal.elements
+        self._elements = elements
+        self.los = [iv.lo for iv in elements]
+        self.his = [iv.hi for iv in elements]
         self.lo_sorted = all(self.los[i] <= self.los[i + 1]
                              for i in range(len(self.los) - 1))
         self.hi_sorted = self.lo_sorted and all(
             self.his[i] <= self.his[i + 1]
             for i in range(len(self.his) - 1))
+
+    @property
+    def elements(self) -> tuple:
+        els = self._elements
+        if els is None:
+            els = self._elements = self._cal.elements
+        return els
 
     @classmethod
     def of(cls, cal: Calendar) -> "_SortedView":
@@ -83,7 +134,7 @@ class _SortedView:
 
     def candidate_range(self, op_name: str, ref: Interval
                         ) -> tuple[int, int]:
-        n = len(self.elements)
+        n = len(self.los)
         if not self.lo_sorted:
             return 0, n
         if op_name == "during":
@@ -135,20 +186,42 @@ def _foreach_interval(op: Listop, cal: Calendar, ref: Interval,
                       strict: bool,
                       view: "_SortedView | None" = None) -> Calendar:
     """Apply ``op`` between every element of order-1 ``cal`` and ``ref``."""
+    cols = cal.columns
+    if cols is not None and _sweepable(op):
+        out = columnar.sweep_one(cols, op.name, ref.lo, ref.hi,
+                                 strict and op.clips)
+        return Calendar._from_columns(out, cal.granularity)
     view = view or _SortedView.of(cal)
     result: list[Interval] = []
     _apply_over(view, op, ref, strict, result)
     return Calendar.from_intervals(result, cal.granularity)
 
 
+def _foreach_grouping_columnar(op: Listop, cal: Calendar,
+                               ref: Calendar) -> "tuple | None":
+    """Lane layout for a columnar grouped foreach, or ``None`` when the
+    operands force the object path."""
+    cols = cal.columns
+    if cols is None or not _sweepable(op):
+        return None
+    refs = ref._lanes()
+    if refs is None:
+        return None
+    return cols, refs
+
+
 def _foreach_filtering(op: Listop, cal: Calendar, ref: Calendar,
                        strict: bool) -> Calendar:
     """Filtering listops treat ``ref`` as a set; the result stays order-1."""
+    cols = cal.columns
+    if cols is not None and _sweepable(op):
+        refs = ref._lanes()
+        if refs is not None:
+            return _filtering_columnar(op, cols, refs, strict,
+                                       cal.granularity)
     result: list[Interval] = []
     ref_view = _SortedView.of(ref)
-    inverse = {"during": "contains", "contains": "during",
-               "overlaps": "overlaps", "intersects": "intersects",
-               "equals": "equals"}.get(op.name)
+    inverse = _INVERSE.get(op.name)
     for iv in cal.elements:
         if inverse is not None:
             start, end = ref_view.candidate_range(inverse, iv)
@@ -166,6 +239,50 @@ def _foreach_filtering(op: Listop, cal: Calendar, ref: Calendar,
         else:
             result.append(iv)
     return Calendar.from_intervals(result, cal.granularity)
+
+
+def _filtering_columnar(op: Listop, mem: IntervalColumns,
+                        refs: IntervalColumns, strict: bool,
+                        granularity) -> Calendar:
+    """Pure-integer filtering foreach: keep (or clip) members relating to
+    any reference, windowing the reference lanes by the inverse listop."""
+    predicate = columnar.INT_PREDICATES[op.name]
+    inverse = _INVERSE.get(op.name)
+    clip = strict and op.clips
+    rlos, rhis = refs.los, refs.his
+    nrefs = len(rlos)
+    mlos, mhis = mem.los, mem.his
+    out_los: list[int] = []
+    out_his: list[int] = []
+    for i in range(len(mlos)):
+        mlo = mlos[i]
+        mhi = mhis[i]
+        if inverse is not None:
+            start, end, exact = columnar.group_range(refs, inverse, mlo, mhi)
+        else:
+            start, end, exact = 0, nrefs, False
+        if not clip:
+            if exact:
+                matched = end > start
+            else:
+                matched = any(predicate(mlo, mhi, rlos[k], rhis[k])
+                              for k in range(start, end))
+            if matched:
+                out_los.append(mlo)
+                out_his.append(mhi)
+            continue
+        for k in range(start, end):
+            rlo = rlos[k]
+            rhi = rhis[k]
+            if not exact and not predicate(mlo, mhi, rlo, rhi):
+                continue
+            plo = mlo if mlo > rlo else rlo
+            phi = mhi if mhi < rhi else rhi
+            if plo <= phi:
+                out_los.append(plo)
+                out_his.append(phi)
+    out = IntervalColumns.from_lists(out_los, out_his)
+    return Calendar._from_columns(out, granularity)
 
 
 def foreach(op: "Listop | str", cal: Calendar,
@@ -192,13 +309,24 @@ def foreach(op: "Listop | str", cal: Calendar,
             return _foreach_filtering(op, cal, ref, strict)
         subs: list[Calendar] = []
         labels: list[Label] = []
-        view = _SortedView.of(cal)
-        for i, r in enumerate(ref.elements):
-            sub = _foreach_interval(op, cal, r, strict, view)
-            if sub.is_empty():
-                continue
-            subs.append(sub)
-            labels.append(ref.label_of(i))
+        lanes = _foreach_grouping_columnar(op, cal, ref)
+        if lanes is not None:
+            cols, refs = lanes
+            clip = strict and op.clips
+            gran = cal.granularity
+            for i, group in columnar.iter_groups(cols, refs, op.name, clip):
+                if not len(group):
+                    continue
+                subs.append(Calendar._from_columns(group, gran))
+                labels.append(ref.label_of(i))
+        else:
+            view = _SortedView.of(cal)
+            for i, r in enumerate(ref.elements):
+                sub = _foreach_interval(op, cal, r, strict, view)
+                if sub.is_empty():
+                    continue
+                subs.append(sub)
+                labels.append(ref.label_of(i))
         out = Calendar.from_calendars(subs, cal.granularity)
         if ref.labels is not None:
             out = out.with_labels(labels)
@@ -307,11 +435,20 @@ class SelectionPredicate:
 
 
 def _select_order1(cal: Calendar, pred: SelectionPredicate) -> Calendar:
-    positions = pred.positions(len(cal.elements))
-    els = [cal.elements[p] for p in positions]
+    positions = pred.positions(len(cal))
     labels = None
     if cal.labels is not None:
-        labels = [cal.labels[p] for p in positions]
+        labels = tuple(cal.labels[p] for p in positions)
+    cols = cal.columns
+    if cols is not None:
+        # Index straight into the columns: a contiguous selection is a
+        # zero-copy slice, anything else gathers into fresh buffers.
+        if positions and positions[-1] - positions[0] + 1 == len(positions):
+            out = cols.slice(positions[0], positions[-1] + 1)
+        else:
+            out = cols.take(positions)
+        return Calendar._from_columns(out, cal.granularity, labels)
+    els = [cal.elements[p] for p in positions]
     return Calendar.from_intervals(els, cal.granularity, labels)
 
 
@@ -329,7 +466,8 @@ def select(cal: Calendar, pred: SelectionPredicate) -> Calendar:
     picked = [select(sub, pred) for sub in cal.elements]
     if pred.is_singleton():
         if cal.order == 2:
-            intervals = [p.elements[0] for p in picked if p.elements]
+            # p[0] materialises a single Interval (never the full tuple).
+            intervals = [p[0] for p in picked if len(p)]
             return Calendar.from_intervals(intervals, cal.granularity)
         subs = [p for p in picked if not p.is_empty()]
         return Calendar.from_calendars(subs, cal.granularity)
@@ -376,10 +514,42 @@ def caloperate(cal: Calendar, counts: Sequence[int],
     for c in counts:
         if not isinstance(c, int) or isinstance(c, bool) or c <= 0:
             raise CalendarError(f"group sizes must be positive ints, got {c!r}")
+    n = len(cal)
+    cols = cal.columns
+    if cols is not None:
+        # Hull extraction straight from the lanes; sorted lanes reduce
+        # min/max over the chunk to its boundary entries.
+        los, his = cols.los, cols.his
+        lo_sorted = cols.lo_sorted
+        hi_sorted = cols.hi_sorted
+        out_los: list[int] = []
+        out_his: list[int] = []
+        i = 0
+        group = 0
+        while i < n:
+            size = counts[group % len(counts)]
+            j = i + size
+            if j > n:
+                j = n
+            hlo = los[i] if lo_sorted else min(los[i:j])
+            hhi = his[j - 1] if hi_sorted else max(his[i:j])
+            if end is not None:
+                if hlo > end:
+                    break
+                if hhi > end:
+                    clip = Interval(hlo, end)
+                    out_los.append(clip.lo)
+                    out_his.append(clip.hi)
+                    break
+            out_los.append(hlo)
+            out_his.append(hhi)
+            i = j
+            group += 1
+        out = IntervalColumns.from_lists(out_los, out_his)
+        return Calendar._from_columns(out, cal.granularity)
     result: list[Interval] = []
     i = 0
     group = 0
-    n = len(cal.elements)
     while i < n:
         size = counts[group % len(counts)]
         chunk = cal.elements[i:i + size]

@@ -25,7 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.core import columnar
 from repro.core.calendar import Calendar
+from repro.core.columnar import IntervalColumns
 from repro.core.chrono import (
     CivilDate,
     Epoch,
@@ -199,6 +201,29 @@ class CalendarSystem:
 
     # -- generate ---------------------------------------------------------------
 
+    @staticmethod
+    def _tiling_calendar(los: list, his: list, cal_g: Granularity,
+                         labels: "list | None" = None) -> Calendar:
+        """Order-1 calendar over a generated tiling.
+
+        Every generation path produces units in axis order without
+        overlap, so the endpoint lanes go straight into column buffers
+        with the sorted/disjoint flags pre-set (no ``Interval`` objects
+        at all); with the columnar representation disabled (or endpoints
+        beyond int64) this falls back to the object build.
+        """
+        if columnar.enabled():
+            cols = IntervalColumns.from_lists(
+                los, his, lo_sorted=True, hi_sorted=True, disjoint=True)
+            if cols is not None:
+                return Calendar._from_columns(
+                    cols, cal_g,
+                    tuple(labels) if labels is not None else None)
+        cal = Calendar.from_intervals(zip(los, his), cal_g)
+        if labels is not None:
+            cal = cal.with_labels(labels)
+        return cal
+
     def generate(self, cal: "str | Granularity", unit: "str | Granularity",
                  window: tuple, mode: str = "clip") -> Calendar:
         """The paper's ``generate(cal1, cal2, [Ts, Te])``.
@@ -237,19 +262,19 @@ class CalendarSystem:
         if cal_g in _SUBDAY:
             return self._generate_subday_calendar(cal_g, unit_g, start, end,
                                                   mode)
-        intervals: list[Interval] = []
+        los: list[int] = []
+        his: list[int] = []
         labels: list[object] = []
         has_labels = unit_g != Granularity.WEEKS and cal_g in (
             Granularity.DAYS, Granularity.MONTHS, Granularity.YEARS,
             Granularity.DECADES, Granularity.CENTURY)
-        for iv, label in self._iter_day_based(cal_g, unit_g, start, end,
-                                              mode):
-            intervals.append(iv)
+        for lo, hi, label in self._iter_day_based_raw(cal_g, unit_g, start,
+                                                      end, mode):
+            los.append(lo)
+            his.append(hi)
             labels.append(label)
-        cal = Calendar.from_intervals(intervals, cal_g)
-        if has_labels:
-            cal = cal.with_labels(labels)
-        return cal
+        return self._tiling_calendar(los, his, cal_g,
+                                     labels if has_labels else None)
 
     def _iter_day_based(self, cal_g: Granularity, unit_g: Granularity,
                         start, end, mode: str
@@ -260,6 +285,16 @@ class CalendarSystem:
         current unit is held in memory, which is what lets streaming plan
         pipelines consume basic calendars without materialising them.
         """
+        _of = Interval._of
+        for lo, hi, label in self._iter_day_based_raw(cal_g, unit_g,
+                                                      start, end, mode):
+            yield _of(lo, hi), label
+
+    def _iter_day_based_raw(self, cal_g: Granularity, unit_g: Granularity,
+                            start, end, mode: str
+                            ) -> Iterator[tuple[int, int, object]]:
+        """``(lo, hi, label)`` integer triples behind :meth:`_iter_day_based`
+        — the object-free form the columnar builders consume."""
         if unit_g in _SUBDAY:
             k = exact_ratio(unit_g, Granularity.DAYS)
             if isinstance(start, int) and isinstance(end, int):
@@ -278,7 +313,7 @@ class CalendarSystem:
                 ws, we = start, end
             for t in range(ws, we + 1):
                 if t != 0:
-                    yield Interval(t, t), None
+                    yield t, t, None
             return
         else:
             if isinstance(start, int) and isinstance(end, int):
@@ -287,19 +322,19 @@ class CalendarSystem:
                 ws, we = self.day_window(start, end)
             dlo, dhi = ws, we
             k = 1
-        window_iv = Interval(ws, we)
         for day_lo, day_hi, label in self._iter_units_days(cal_g, dlo, dhi):
             lo = _scale_lo(day_lo, k) if k != 1 else day_lo
             hi = _scale_hi(day_hi, k) if k != 1 else day_hi
-            iv = Interval(lo, hi)
             if mode == "clip":
-                clipped = iv.intersect(window_iv)
-                if clipped is None:
+                if lo < ws:
+                    lo = ws
+                if hi > we:
+                    hi = we
+                if lo > hi:
                     continue
-                iv = clipped
-            elif not iv.overlaps(window_iv):
+            elif lo > we or hi < ws:
                 continue
-            yield iv, label
+            yield lo, hi, label
 
     def iter_generate(self, cal: "str | Granularity",
                       unit: "str | Granularity", window: tuple,
@@ -332,7 +367,7 @@ class CalendarSystem:
             yield from self._iter_day_based(cal_g, unit_g, start, end, mode)
             return
         eager = self.generate(cal_g, unit_g, (start, end), mode)
-        for i, iv in enumerate(eager.elements):
+        for i, iv in enumerate(eager):
             yield iv, eager.label_of(i)
 
     def _generate_subday_calendar(self, cal_g: Granularity,
@@ -351,21 +386,25 @@ class CalendarSystem:
             dlo, dhi = self.day_window(start, end)
             ws, we = _scale_lo(dlo, k), _scale_hi(dhi, k)
         c_lo, c_hi = _unscale(ws, r), _unscale(we, r)
-        window_iv = Interval(ws, we)
-        intervals: list[Interval] = []
+        los: list[int] = []
+        his: list[int] = []
         for c in range(c_lo, c_hi + 1):
             if c == 0:
                 continue
-            iv = Interval(_scale_lo(c, r), _scale_hi(c, r))
+            lo = _scale_lo(c, r)
+            hi = _scale_hi(c, r)
             if mode == "clip":
-                clipped = iv.intersect(window_iv)
-                if clipped is None:
+                if lo < ws:
+                    lo = ws
+                if hi > we:
+                    hi = we
+                if lo > hi:
                     continue
-                iv = clipped
-            elif not iv.overlaps(window_iv):
+            elif lo > we or hi < ws:
                 continue
-            intervals.append(iv)
-        return Calendar.from_intervals(intervals, cal_g)
+            los.append(lo)
+            his.append(hi)
+        return self._tiling_calendar(los, his, cal_g)
 
     # The month/year-based path covers unit granularities MONTHS..CENTURY.
     def _generate_month_year_based(self, cal_g: Granularity,
@@ -400,25 +439,27 @@ class CalendarSystem:
                 else:
                     raise GranularityError(
                         f"unsupported unit granularity {unit_g}")
-        window_iv = Interval(ws, we)
-        intervals: list[Interval] = []
+        los: list[int] = []
+        his: list[int] = []
         labels: list[object] = []
         if unit_g == Granularity.MONTHS:
             units = self._iter_units_months(cal_g, sy, sm, ey, em)
         else:
             units = self._iter_units_years(cal_g, unit_g, sy, ey)
         for lo, hi, label in units:
-            iv = Interval(lo, hi)
             if mode == "clip":
-                clipped = iv.intersect(window_iv)
-                if clipped is None:
+                if lo < ws:
+                    lo = ws
+                if hi > we:
+                    hi = we
+                if lo > hi:
                     continue
-                iv = clipped
-            elif not iv.overlaps(window_iv):
+            elif lo > we or hi < ws:
                 continue
-            intervals.append(iv)
+            los.append(lo)
+            his.append(hi)
             labels.append(label)
-        return Calendar.from_intervals(intervals, cal_g).with_labels(labels)
+        return self._tiling_calendar(los, his, cal_g, labels)
 
     def _decade_tick(self, year: int) -> int:
         self._require_year_aligned()

@@ -20,18 +20,33 @@ The set operations ``+`` (union), ``-`` (difference) and ``&``
 ``+`` keeps element boundaries where operands do not overlap (so that
 positional selection remains meaningful), merging only genuinely
 overlapping intervals.
+
+Representation
+--------------
+
+Order-1 calendars built through :meth:`from_intervals` (and every
+generated tiling, set-operation result, cache hit, …) are *array-backed*:
+the endpoints live in an :class:`~repro.core.columnar.IntervalColumns`
+pair of ``array('q')`` buffers and ``Interval`` objects are materialised
+lazily, only when a caller crosses the public API boundary
+(:attr:`elements`, :attr:`intervals`, iteration, indexing).  The hot
+kernels (set operations, ``foreach`` dispatch, selection, caching) index
+straight into the columns and never materialise.  The raw constructor
+and ``REPRO_COLUMNAR=0`` keep the original object-tuple representation;
+kernels dispatch per operand, so both representations interoperate.
 """
 
 from __future__ import annotations
 
 import bisect
 
-from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from repro.core import columnar
+from repro.core.columnar import IntervalColumns
 from repro.core.errors import CalendarError, InvalidIntervalError
 from repro.core.granularity import Granularity
-from repro.core.interval import Interval
+from repro.core.interval import Interval, axis_add
 
 __all__ = ["Calendar", "EMPTY"]
 
@@ -46,36 +61,45 @@ def _coerce_interval(value: "Interval | tuple[int, int]") -> Interval:
     raise InvalidIntervalError(f"cannot interpret {value!r} as an interval")
 
 
-@dataclass(frozen=True)
+def _rebuild(payload, order, granularity, labels):
+    """Pickle/deepcopy reconstructor (memoryview slices don't pickle)."""
+    if order == 1:
+        return Calendar.from_intervals(payload, granularity, labels)
+    return Calendar(tuple(payload), order, granularity, labels)
+
+
 class Calendar:
     """An immutable structured collection of intervals.
 
     Construct order-1 calendars with :meth:`from_intervals` and deeper
     calendars with :meth:`from_calendars`; the raw constructor is mainly
-    for internal use.
+    for internal use (and always builds the object-tuple representation).
     """
 
-    elements: tuple = ()
-    order: int = 1
-    granularity: Granularity | None = None
-    labels: tuple | None = field(default=None, compare=False)
-
-    def __post_init__(self) -> None:
-        if self.order < 1:
-            raise CalendarError(f"calendar order must be >= 1, got {self.order}")
-        if self.order == 1:
-            for el in self.elements:
+    def __init__(self, elements: tuple = (), order: int = 1,
+                 granularity: Granularity | None = None,
+                 labels: tuple | None = None) -> None:
+        elements = tuple(elements)
+        if order < 1:
+            raise CalendarError(f"calendar order must be >= 1, got {order}")
+        if order == 1:
+            for el in elements:
                 if not isinstance(el, Interval):
                     raise CalendarError(
                         f"order-1 calendar elements must be intervals, got {el!r}")
         else:
-            for el in self.elements:
-                if not isinstance(el, Calendar) or el.order != self.order - 1:
+            for el in elements:
+                if not isinstance(el, Calendar) or el.order != order - 1:
                     raise CalendarError(
-                        f"order-{self.order} calendar elements must be "
-                        f"order-{self.order - 1} calendars, got {el!r}")
-        if self.labels is not None and len(self.labels) != len(self.elements):
+                        f"order-{order} calendar elements must be "
+                        f"order-{order - 1} calendars, got {el!r}")
+        if labels is not None and len(labels) != len(elements):
             raise CalendarError("labels must parallel elements")
+        self._mat = elements
+        self._cols = None
+        self.order = order
+        self.granularity = granularity
+        self.labels = labels
 
     # -- constructors ---------------------------------------------------------
 
@@ -83,10 +107,61 @@ class Calendar:
     def from_intervals(cls, intervals: Sequence["Interval | tuple[int, int]"],
                        granularity: Granularity | None = None,
                        labels: Sequence[Label] | None = None) -> "Calendar":
-        """Build an order-1 calendar from intervals or ``(lo, hi)`` pairs."""
-        els = tuple(_coerce_interval(i) for i in intervals)
-        return cls(els, 1, granularity,
-                   tuple(labels) if labels is not None else None)
+        """Build an order-1 calendar from intervals or ``(lo, hi)`` pairs.
+
+        When the columnar representation is enabled this is the
+        construction fast path: endpoints go straight into the column
+        buffers (a single pass, generator-friendly) and no ``Interval``
+        objects are created for tuple inputs.
+        """
+        label_tuple = tuple(labels) if labels is not None else None
+        if not columnar.enabled():
+            els = tuple(_coerce_interval(i) for i in intervals)
+            return cls(els, 1, granularity, label_tuple)
+        los: list[int] = []
+        his: list[int] = []
+        for value in intervals:
+            if isinstance(value, Interval):
+                los.append(value.lo)
+                his.append(value.hi)
+            elif isinstance(value, tuple) and len(value) == 2:
+                lo, hi = value
+                if not isinstance(lo, int) or not isinstance(hi, int) or \
+                        isinstance(lo, bool) or isinstance(hi, bool):
+                    raise InvalidIntervalError(
+                        f"interval endpoints must be ints, got ({lo!r}, {hi!r})")
+                if lo == 0 or hi == 0:
+                    raise InvalidIntervalError(
+                        f"interval endpoints may not be 0: ({lo}, {hi})")
+                if lo > hi:
+                    raise InvalidIntervalError(
+                        f"interval lower bound exceeds upper bound: ({lo}, {hi})")
+                los.append(lo)
+                his.append(hi)
+            else:
+                raise InvalidIntervalError(
+                    f"cannot interpret {value!r} as an interval")
+        cols = IntervalColumns.from_lists(los, his)
+        if cols is None:
+            # Endpoints beyond int64: keep the object representation.
+            els = tuple(Interval._of(lo, hi) for lo, hi in zip(los, his))
+            return cls(els, 1, granularity, label_tuple)
+        if label_tuple is not None and len(label_tuple) != len(cols):
+            raise CalendarError("labels must parallel elements")
+        return cls._from_columns(cols, granularity, label_tuple)
+
+    @classmethod
+    def _from_columns(cls, cols: IntervalColumns,
+                      granularity: Granularity | None = None,
+                      labels: tuple | None = None) -> "Calendar":
+        """Trusted order-1 constructor over prebuilt columns (no checks)."""
+        self = cls.__new__(cls)
+        self._mat = None
+        self._cols = cols
+        self.order = 1
+        self.granularity = granularity
+        self.labels = labels
+        return self
 
     @classmethod
     def from_calendars(cls, calendars: Sequence["Calendar"],
@@ -103,41 +178,126 @@ class Calendar:
     @classmethod
     def point(cls, t: int, granularity: Granularity | None = None) -> "Calendar":
         """An order-1 calendar holding the single instant ``t``."""
-        return cls.from_intervals([Interval(t, t)], granularity)
+        return cls.from_intervals([(t, t)], granularity)
 
     @classmethod
     def interval(cls, lo: int, hi: int,
                  granularity: Granularity | None = None) -> "Calendar":
         """An order-1 calendar holding the single interval ``(lo, hi)``."""
-        return cls.from_intervals([Interval(lo, hi)], granularity)
+        return cls.from_intervals([(lo, hi)], granularity)
+
+    # -- representation --------------------------------------------------------
+
+    @property
+    def columns(self) -> IntervalColumns | None:
+        """The backing endpoint columns, or ``None`` when object-backed."""
+        return self._cols
+
+    @property
+    def elements(self) -> tuple:
+        """The element tuple (lazily materialised for columnar calendars)."""
+        mat = self._mat
+        if mat is None:
+            mat = self._materialise()
+        return mat
+
+    @property
+    def intervals(self) -> tuple:
+        """Alias of :attr:`elements` for order-1 calendars."""
+        return self.elements
+
+    def _materialise(self) -> tuple:
+        cols = self._cols
+        _of = Interval._of
+        mat = tuple(_of(lo, hi) for lo, hi in zip(cols.los, cols.his))
+        self._mat = mat
+        if mat:
+            columnar.MATERIALISATIONS.inc()
+        return mat
+
+    def __reduce__(self):
+        if self.order == 1 and self._cols is not None:
+            return (_rebuild, (self.to_pairs(), 1, self.granularity,
+                               self.labels))
+        return (_rebuild, (self.elements, self.order, self.granularity,
+                           self.labels))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Calendar):
+            return NotImplemented
+        if self.order != other.order or \
+                self.granularity != other.granularity:
+            return False
+        a, b = self._cols, other._cols
+        if a is not None and b is not None:
+            return a.equal(b)
+        if self.order == 1:
+            # Mixed representations compare by endpoint pairs, without
+            # materialising the columnar side.
+            return self.to_pairs() == other.to_pairs()
+        return self.elements == other.elements
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        if self.order == 1:
+            return hash((self.to_pairs(), self.order, self.granularity))
+        return hash((self.elements, self.order, self.granularity))
 
     # -- basic inspection -----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.elements)
+        cols = self._cols
+        if cols is not None:
+            return len(cols)
+        return len(self._mat)
 
     def __bool__(self) -> bool:
         """Paper semantics: a calendar is *false* when it is empty (null)."""
-        return bool(self.elements)
+        return len(self) > 0
 
     def __iter__(self) -> Iterator:
+        cols = self._cols
+        if cols is not None and self._mat is None:
+            return self._iter_lazy()
         return iter(self.elements)
 
-    def __getitem__(self, index: int):
+    def _iter_lazy(self) -> Iterator[Interval]:
+        cols = self._cols
+        _of = Interval._of
+        for lo, hi in zip(cols.los, cols.his):
+            yield _of(lo, hi)
+
+    def __getitem__(self, index):
+        cols = self._cols
+        if cols is not None and self._mat is None and isinstance(index, int):
+            return Interval._of(cols.los[index], cols.his[index])
         return self.elements[index]
 
     def is_empty(self) -> bool:
         """True when the calendar has no elements (the paper's null)."""
-        return not self.elements
+        return len(self) == 0
 
     def with_granularity(self, granularity: Granularity) -> "Calendar":
-        """A copy carrying the given granularity."""
+        """A copy carrying the given granularity (shares the columns)."""
+        if self._cols is not None:
+            return Calendar._from_columns(self._cols, granularity,
+                                          self.labels)
         return Calendar(self.elements, self.order, granularity, self.labels)
 
     def with_labels(self, labels: Sequence[Label]) -> "Calendar":
         """A copy with per-element labels (for bare label selection)."""
-        return Calendar(self.elements, self.order, self.granularity,
-                        tuple(labels))
+        labels = tuple(labels)
+        if self._cols is not None:
+            if len(labels) != len(self):
+                raise CalendarError("labels must parallel elements")
+            return Calendar._from_columns(self._cols, self.granularity,
+                                          labels)
+        return Calendar(self.elements, self.order, self.granularity, labels)
 
     def label_of(self, index: int) -> Label:
         """The label of element ``index``, or None when unlabelled."""
@@ -158,36 +318,69 @@ class Calendar:
 
     def iter_intervals(self) -> Iterator[Interval]:
         """Depth-first iteration over all leaf intervals."""
+        if self.order == 1:
+            yield from self
+            return
         for el in self.elements:
-            if isinstance(el, Interval):
-                yield el
+            yield from el.iter_intervals()
+
+    def iter_pairs(self) -> Iterator[tuple[int, int]]:
+        """Depth-first ``(lo, hi)`` leaf pairs — no ``Interval`` objects."""
+        if self.order == 1:
+            cols = self._cols
+            if cols is not None:
+                yield from zip(cols.los, cols.his)
             else:
-                yield from el.iter_intervals()
+                for iv in self._mat:
+                    yield (iv.lo, iv.hi)
+            return
+        for el in self.elements:
+            yield from el.iter_pairs()
 
     def flatten(self) -> "Calendar":
         """Collapse to order 1, preserving depth-first leaf order."""
         if self.order == 1:
             return self
-        return Calendar.from_intervals(tuple(self.iter_intervals()),
-                                       self.granularity)
+        return Calendar.from_intervals(self.iter_pairs(), self.granularity)
 
     def span(self) -> Interval | None:
         """Smallest interval covering the whole calendar, or ``None``."""
+        if self.order == 1:
+            cols = self._cols
+            if cols is not None:
+                if not len(cols):
+                    return None
+                los, his = cols.los, cols.his
+                lo = los[0] if cols.lo_sorted else min(los)
+                hi = his[-1] if cols.hi_sorted else max(his)
+                return Interval._of(lo, hi)
         lo = hi = None
-        for iv in self.iter_intervals():
-            lo = iv.lo if lo is None else min(lo, iv.lo)
-            hi = iv.hi if hi is None else max(hi, iv.hi)
+        for plo, phi in self.iter_pairs():
+            lo = plo if lo is None else min(lo, plo)
+            hi = phi if hi is None else max(hi, phi)
         if lo is None or hi is None:
             return None
         return Interval(lo, hi)
 
     def contains_point(self, t: int) -> bool:
         """True when some leaf interval contains the axis point ``t``."""
-        return any(t in iv for iv in self.iter_intervals())
+        if t == 0:
+            return False
+        if self.order == 1:
+            cols = self._cols
+            if cols is not None:
+                if cols.hi_sorted:
+                    i = bisect.bisect_left(cols.his, t)
+                    return i < len(cols) and cols.los[i] <= t
+                return any(lo <= t <= hi
+                           for lo, hi in zip(cols.los, cols.his))
+        return any(lo <= t <= hi for lo, hi in self.iter_pairs())
 
     def leaf_count(self) -> int:
         """Total number of leaf intervals at any depth."""
-        return sum(1 for _ in self.iter_intervals())
+        if self.order == 1:
+            return len(self)
+        return sum(el.leaf_count() for el in self.elements)
 
     def drop_empty(self) -> "Calendar":
         """Recursively remove empty sub-calendars (the paper's ε exclusion)."""
@@ -210,6 +403,30 @@ class Calendar:
         if self.order != 1 or (other is not None and other.order != 1):
             raise CalendarError(f"{op} is defined on order-1 calendars only")
 
+    def _lanes(self) -> IntervalColumns | None:
+        """This calendar's endpoint columns, building them for an
+        object-backed operand when needed (``None`` beyond int64)."""
+        cols = self._cols
+        if cols is not None:
+            return cols
+        mat = self._mat
+        return IntervalColumns.from_lists(
+            [iv.lo for iv in mat], [iv.hi for iv in mat])
+
+    def _sweep_operand(self, other: "Calendar"):
+        """Column lanes for a sweep-kernel set operation, or ``None`` when
+        the operation must take the legacy object path (both operands
+        object-backed, or endpoints beyond int64)."""
+        if self._cols is None and other._cols is None:
+            return None
+        a = self._lanes()
+        if a is None:
+            return None
+        b = other._lanes()
+        if b is None:
+            return None
+        return a, b
+
     @staticmethod
     def _merge_overlapping(intervals: "list[Interval]") -> "list[Interval]":
         """Sort and merge overlapping intervals (adjacency is preserved)."""
@@ -224,6 +441,10 @@ class Calendar:
     def union(self, other: "Calendar") -> "Calendar":
         """Pointwise union; merges only genuinely overlapping intervals."""
         self._require_order1("union", other)
+        lanes = self._sweep_operand(other)
+        if lanes is not None:
+            out = columnar.union_sweep(*lanes)
+            return Calendar._from_columns(out, self.granularity)
         merged = self._merge_overlapping([*self.elements, *other.elements])
         return Calendar.from_intervals(merged, self.granularity)
 
@@ -250,6 +471,10 @@ class Calendar:
     def difference(self, other: "Calendar") -> "Calendar":
         """Pointwise difference, splitting partially covered intervals."""
         self._require_order1("difference", other)
+        lanes = self._sweep_operand(other)
+        if lanes is not None:
+            out = columnar.difference_sweep(*lanes)
+            return Calendar._from_columns(out, self.granularity)
         cuts, window = self._overlap_window(other)
         result: list[Interval] = []
         for iv in self.elements:
@@ -267,6 +492,10 @@ class Calendar:
     def intersection(self, other: "Calendar") -> "Calendar":
         """Pointwise intersection."""
         self._require_order1("intersection", other)
+        lanes = self._sweep_operand(other)
+        if lanes is not None:
+            out = columnar.intersection_sweep(*lanes)
+            return Calendar._from_columns(out, self.granularity)
         others, window = self._overlap_window(other)
         result: list[Interval] = []
         for iv in self.elements:
@@ -277,6 +506,23 @@ class Calendar:
                     result.append(common)
         return Calendar.from_intervals(self._merge_overlapping(result),
                                        self.granularity)
+
+    def shifted(self, delta: int) -> "Calendar":
+        """A copy with every interval translated by ``delta`` ticks.
+
+        Labels are dropped: a shifted unit no longer denotes the civil
+        entity its label named.
+        """
+        self._require_order1("shift")
+        cols = self._cols
+        if cols is not None:
+            out = columnar.shift_columns(cols, delta)
+            if out is not None:
+                return Calendar._from_columns(out, self.granularity)
+        return Calendar.from_intervals(
+            ((axis_add(lo, delta), axis_add(hi, delta))
+             for lo, hi in self.iter_pairs()),
+            self.granularity)
 
     def __add__(self, other: "Calendar") -> "Calendar":
         return self.union(other)
@@ -291,7 +537,7 @@ class Calendar:
 
     def __str__(self) -> str:
         if self.order == 1:
-            inner = ",".join(str(iv) for iv in self.elements)
+            inner = ",".join(f"({lo},{hi})" for lo, hi in self.iter_pairs())
         else:
             inner = ",".join(str(el) for el in self.elements)
         return "{" + inner + "}"
@@ -303,7 +549,10 @@ class Calendar:
     def to_pairs(self):
         """Plain nested tuples mirroring the paper's notation (for tests)."""
         if self.order == 1:
-            return tuple((iv.lo, iv.hi) for iv in self.elements)
+            cols = self._cols
+            if cols is not None:
+                return cols.pairs()
+            return tuple((iv.lo, iv.hi) for iv in self._mat)
         return tuple(el.to_pairs() for el in self.elements)
 
 

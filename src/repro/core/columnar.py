@@ -1,0 +1,777 @@
+"""Array-backed interval storage and cache-efficient sweep kernels.
+
+This module inverts the relationship between ``Interval`` objects and the
+columnar ``lo``/``hi`` side-car arrays that :mod:`repro.core.matcache` and
+:mod:`repro.core.stream` grew around the object model: an order-1
+:class:`~repro.core.calendar.Calendar` now *stores* its endpoints as a
+pair of ``array('q')`` buffers (:class:`IntervalColumns`) and materialises
+Python ``Interval`` objects only when a caller crosses the public API
+boundary (``Calendar.elements``, iteration, indexing).
+
+On top of that representation the hot kernels become single-pass,
+cache-efficient sweeps over the arrays, following the gapless lane-sweep
+scheme of Piatov et al. ("Cache-Efficient Sweeping-Based Interval Joins
+for Extended Allen Relation Predicates", see PAPERS.md):
+
+* :func:`union_sweep` / :func:`intersection_sweep` /
+  :func:`difference_sweep` — merge-join set kernels over two endpoint
+  column pairs, replacing per-interval ``Interval`` method calls with
+  integer comparisons and replacing the final sort-and-merge with a
+  linear pass whenever the join output comes out lo-sorted.
+* :func:`group_range` — the extended-Allen lane table: for every builtin
+  listop (``during``/``overlaps``/``meets``/``<``/``<=``/``contains``/
+  ``starts``/``finishes``/``equals``/``intersects``) the members relating
+  to a reference interval form a **contiguous index range** found by
+  binary search when the lo (and usually hi) lanes are sorted — with both
+  lanes sorted the range is *exact* (no per-member predicate calls at
+  all) and a grouped foreach degenerates to two bisects plus a zero-copy
+  slice per reference.
+* :func:`iter_groups` — the grouped-foreach driver; for ``during`` and
+  ``overlaps`` against a sorted reference tiling it advances gapless
+  start/end lane pointers monotonically (O(members + refs) total instead
+  of per-reference bisects).
+
+Zero-copy slice invariants (see docs/IMPLEMENTATION_NOTES.md §12):
+column buffers are immutable once a view has been taken; a slice is a
+``memoryview`` into its parent's buffer and keeps that buffer alive, so
+a one-element group of a 100k-member calendar pins 16 bytes per parent
+member — the trade accepted for copy-free grouping.
+
+The module is deliberately dependency-light (only ``repro.core.errors``)
+so :mod:`repro.core.calendar` can build on it without import cycles; the
+zero-skipping axis increments are inlined here (as they already are in
+``matcache``) for the same reason.
+
+``REPRO_COLUMNAR=0`` restores the object-tuple representation (every
+kernel then takes its legacy path); :func:`set_enabled` is the in-process
+toggle the parity suites and benchmarks use.
+"""
+
+from __future__ import annotations
+
+import os
+
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Iterator, Sequence
+
+__all__ = [
+    "IntervalColumns",
+    "enabled",
+    "set_enabled",
+    "MATERIALISATIONS",
+    "union_sweep",
+    "intersection_sweep",
+    "difference_sweep",
+    "group_range",
+    "iter_groups",
+    "clip_to_span",
+    "shift_columns",
+    "concat_columns",
+]
+
+#: int64 bounds of the ``'q'`` typecode; endpoints outside fall back to
+#: the object representation (the overflow audit of ISSUE 8).
+Q_MIN = -(2 ** 63)
+Q_MAX = 2 ** 63 - 1
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_COLUMNAR", "1").lower() not in (
+        "0", "off", "false", "no")
+
+
+_ENABLED = _env_enabled()
+
+
+def enabled() -> bool:
+    """True when new order-1 calendars should be array-backed."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Toggle the columnar representation; returns the previous setting.
+
+    Existing calendars keep whatever representation they were built
+    with — kernels dispatch per operand — so object-backed and
+    array-backed calendars coexist (this is what lets the parity suites
+    and benchmarks compare both paths in one process).
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+class _Counter:
+    """A monotonically increasing observability counter.
+
+    ``value`` may undercount slightly under free-threaded races; the
+    counter is observability-only, never control flow.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self) -> None:
+        self.value += 1
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+#: Number of times a columns-backed calendar materialised its full
+#: ``Interval`` tuple (a boundary-crossing copy).  Surfaced by
+#: ``Session.metrics`` / ``\cache`` as ``columnar.materialisations``;
+#: fused pipelines are expected to keep it at 0.
+MATERIALISATIONS = _Counter()
+
+
+def _is_nondecreasing(values) -> bool:
+    previous = None
+    for v in values:
+        if previous is not None and v < previous:
+            return False
+        previous = v
+    return True
+
+
+class IntervalColumns:
+    """Paired lo/hi endpoint buffers with lazily computed lane flags.
+
+    ``los``/``his`` are ``array('q')`` buffers or ``memoryview`` slices
+    of a parent's buffers (``parent`` keeps the owning buffer alive).
+    ``labels`` optionally carries the aligned label tuple so cache
+    slicing can move labels with the endpoints.
+
+    Flags — ``lo_sorted`` (lo lane nondecreasing), ``hi_sorted``
+    (*both* lanes nondecreasing, mirroring ``_SortedView``) and
+    ``disjoint`` (lo-sorted with strictly separated intervals) — are
+    computed once on first use and inherited by slices when the parent
+    already knows them to be True.
+    """
+
+    __slots__ = ("los", "his", "labels", "parent",
+                 "_lo_sorted", "_hi_sorted", "_disjoint")
+
+    def __init__(self, los, his, labels=None, parent=None,
+                 lo_sorted=None, hi_sorted=None, disjoint=None) -> None:
+        self.los = los
+        self.his = his
+        self.labels = labels
+        self.parent = parent
+        self._lo_sorted = lo_sorted
+        self._hi_sorted = hi_sorted
+        self._disjoint = disjoint
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_lists(cls, los: Sequence[int], his: Sequence[int],
+                   labels=None, *, lo_sorted=None, hi_sorted=None,
+                   disjoint=None) -> "IntervalColumns | None":
+        """Pack endpoint lists; ``None`` when any endpoint exceeds int64."""
+        try:
+            return cls(array("q", los), array("q", his), labels,
+                       lo_sorted=lo_sorted, hi_sorted=hi_sorted,
+                       disjoint=disjoint)
+        except OverflowError:
+            return None
+
+    @classmethod
+    def empty(cls) -> "IntervalColumns":
+        return cls(array("q"), array("q"), None,
+                   lo_sorted=True, hi_sorted=True, disjoint=True)
+
+    # -- lane flags -------------------------------------------------------
+
+    @property
+    def lo_sorted(self) -> bool:
+        flag = self._lo_sorted
+        if flag is None:
+            flag = self._lo_sorted = _is_nondecreasing(self.los)
+        return flag
+
+    @property
+    def hi_sorted(self) -> bool:
+        flag = self._hi_sorted
+        if flag is None:
+            flag = self._hi_sorted = (self.lo_sorted
+                                      and _is_nondecreasing(self.his))
+        return flag
+
+    @property
+    def disjoint(self) -> bool:
+        """Lo-sorted with every interval strictly before the next one."""
+        flag = self._disjoint
+        if flag is None:
+            if not self.lo_sorted:
+                flag = False
+            else:
+                flag = True
+                his, los = self.his, self.los
+                for i in range(len(los) - 1):
+                    if his[i] >= los[i + 1]:
+                        flag = False
+                        break
+            self._disjoint = flag
+            if flag:
+                self._hi_sorted = True
+        return flag
+
+    # -- views ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.los)
+
+    def slice(self, start: int, end: int) -> "IntervalColumns":
+        """Zero-copy ``[start:end)`` view (labels slice alongside)."""
+        n = len(self.los)
+        if start <= 0 and end >= n:
+            return self
+        los = memoryview(self.los)[start:end]
+        his = memoryview(self.his)[start:end]
+        labels = self.labels[start:end] if self.labels is not None else None
+        return IntervalColumns(
+            los, his, labels, parent=self,
+            lo_sorted=True if self._lo_sorted else None,
+            hi_sorted=True if self._hi_sorted else None,
+            disjoint=True if self._disjoint else None)
+
+    def copy_slice(self, start: int, end: int) -> "IntervalColumns":
+        """A *writable* copy of ``[start:end)`` (for boundary patching)."""
+        los = array("q")
+        his = array("q")
+        los.frombytes(memoryview(self.los)[start:end].tobytes())
+        his.frombytes(memoryview(self.his)[start:end].tobytes())
+        labels = self.labels[start:end] if self.labels is not None else None
+        return IntervalColumns(
+            los, his, labels,
+            lo_sorted=True if self._lo_sorted else None,
+            hi_sorted=True if self._hi_sorted else None,
+            disjoint=True if self._disjoint else None)
+
+    def take(self, positions: Sequence[int],
+             labels=None) -> "IntervalColumns":
+        """New columns holding the intervals at ``positions`` (in order)."""
+        los, his = self.los, self.his
+        return IntervalColumns(
+            array("q", [los[p] for p in positions]),
+            array("q", [his[p] for p in positions]),
+            labels)
+
+    def pairs(self) -> tuple:
+        """The ``((lo, hi), …)`` tuple — no ``Interval`` objects."""
+        return tuple(zip(self.los, self.his))
+
+    def tobytes(self) -> bytes:
+        """Both lanes as raw little-endian int64 bytes (lo lane first)."""
+        return memoryview(self.los).tobytes() + \
+            memoryview(self.his).tobytes()
+
+    def equal(self, other: "IntervalColumns") -> bool:
+        """Endpoint-wise equality via a raw buffer compare."""
+        if len(self) != len(other):
+            return False
+        return self.tobytes() == other.tobytes()
+
+
+def concat_columns(parts: "Sequence[IntervalColumns]") -> IntervalColumns:
+    """Concatenate column sets into one owning buffer pair."""
+    los = array("q")
+    his = array("q")
+    any_labels = any(p.labels is not None for p in parts)
+    labels: "list | None" = [] if any_labels else None
+    for part in parts:
+        los.frombytes(memoryview(part.los).tobytes())
+        his.frombytes(memoryview(part.his).tobytes())
+        if labels is not None:
+            if part.labels is not None:
+                labels.extend(part.labels)
+            else:
+                labels.extend([None] * len(part))
+    return IntervalColumns(los, his,
+                           tuple(labels) if labels is not None else None)
+
+
+# ---------------------------------------------------------------------------
+# Zero-skipping axis helpers (inlined; see repro.core.interval for the
+# canonical definitions)
+# ---------------------------------------------------------------------------
+
+def _axis_dec(t: int) -> int:
+    return t - 1 if t != 1 else -1
+
+
+def _axis_inc(t: int) -> int:
+    return t + 1 if t != -1 else 1
+
+
+# ---------------------------------------------------------------------------
+# Set-operation sweeps
+# ---------------------------------------------------------------------------
+
+def _sorted_lanes(cols: IntervalColumns):
+    """``(los, his)`` in ``(lo, hi)`` lexicographic order.
+
+    Zero-copy when the columns are hi-sorted (lo and hi lanes sorted
+    together imply lexicographic order); otherwise a full sort — the
+    same cost the object kernels pay in ``_merge_overlapping``.
+    """
+    if cols.hi_sorted:
+        return cols.los, cols.his
+    if cols.lo_sorted and _ties_ordered(cols):
+        return cols.los, cols.his
+    pairs = sorted(zip(cols.los, cols.his))
+    return [p[0] for p in pairs], [p[1] for p in pairs]
+
+
+def _ties_ordered(cols: IntervalColumns) -> bool:
+    """True when equal-lo runs are hi-ordered (lexicographic overall)."""
+    los, his = cols.los, cols.his
+    for i in range(len(los) - 1):
+        if los[i] == los[i + 1] and his[i] > his[i + 1]:
+            return False
+    return True
+
+
+def _merged_result(out_los: list, out_his: list,
+                   sorted_out: bool) -> IntervalColumns:
+    """Sort-if-needed then linearly merge genuinely overlapping pieces.
+
+    Exactly ``Calendar._merge_overlapping``: pieces sorted by
+    ``(lo, hi)``; a piece merges into its predecessor when it overlaps
+    (``lo <= previous hi``); adjacency is preserved.
+    """
+    if not sorted_out:
+        pairs = sorted(zip(out_los, out_his))
+        out_los = [p[0] for p in pairs]
+        out_his = [p[1] for p in pairs]
+    merged_lo: list[int] = []
+    merged_hi: list[int] = []
+    append_lo = merged_lo.append
+    append_hi = merged_hi.append
+    last_hi = None
+    for k in range(len(out_los)):
+        lo = out_los[k]
+        hi = out_his[k]
+        if last_hi is not None and lo <= last_hi:
+            if hi > last_hi:
+                merged_hi[-1] = last_hi = hi
+        else:
+            append_lo(lo)
+            append_hi(hi)
+            last_hi = hi
+    return IntervalColumns(array("q", merged_lo), array("q", merged_hi),
+                           None, lo_sorted=True, hi_sorted=True,
+                           disjoint=True)
+
+
+def union_sweep(a: IntervalColumns, b: IntervalColumns) -> IntervalColumns:
+    """Pointwise union: merge both operands, then the linear
+    overlap-merge (adjacent intervals stay separate).
+
+    The merge itself is delegated to :func:`sorted` over the
+    concatenated ``(lo, hi)`` pairs: Timsort detects the two sorted
+    runs and gallops through them with C-level tuple comparisons,
+    which handily beats an interpreted two-pointer loop.
+    """
+    alos, ahis = _sorted_lanes(a)
+    blos, bhis = _sorted_lanes(b)
+    pairs = list(zip(alos, ahis))
+    pairs += zip(blos, bhis)
+    pairs.sort()
+    return _merged_result([p[0] for p in pairs], [p[1] for p in pairs],
+                          True)
+
+
+def intersection_sweep(a: IntervalColumns,
+                       b: IntervalColumns) -> IntervalColumns:
+    """Pointwise intersection: gapless merge-join over sorted lanes.
+
+    Probes ``a`` in lo order while a start pointer skips ``b`` entries
+    that ended before the probe begins; every scanned pair overlaps, so
+    the inner loop's work equals the output size.  The piece multiset is
+    order-independent, which is what makes probing in sorted order (and
+    sorting unsorted operands first) exactly equivalent to the object
+    kernel's probe-in-calendar-order followed by sort-and-merge.
+    """
+    alos, ahis = _sorted_lanes(a)
+    blos, bhis = _sorted_lanes(b)
+    na, nb = len(alos), len(blos)
+    out_los: list[int] = []
+    out_his: list[int] = []
+    append_lo = out_los.append
+    append_hi = out_his.append
+    s = 0
+    sorted_out = True
+    last_lo = None
+    for k in range(na):
+        lo = alos[k]
+        hi = ahis[k]
+        while s < nb and bhis[s] < lo:
+            s += 1
+        j = s
+        while j < nb and blos[j] <= hi:
+            blo = blos[j]
+            bhi = bhis[j]
+            j += 1
+            if bhi < lo:
+                # The s-pointer only skips the permanently-dead prefix;
+                # when b's hi lane is unsorted, later entries may still
+                # end before this probe starts.
+                continue
+            plo = lo if lo > blo else blo
+            phi = hi if hi < bhi else bhi
+            append_lo(plo)
+            append_hi(phi)
+            if last_lo is not None and plo < last_lo:
+                sorted_out = False
+            last_lo = plo
+    return _merged_result(out_los, out_his,
+                          sorted_out and _run_ties_ordered(out_los, out_his))
+
+
+def _run_ties_ordered(los: list, his: list) -> bool:
+    for i in range(len(los) - 1):
+        if los[i] == los[i + 1] and his[i] > his[i + 1]:
+            return False
+    return True
+
+
+def difference_sweep(a: IntervalColumns,
+                     b: IntervalColumns) -> IntervalColumns:
+    """Pointwise difference: subtract the overlapping ``b`` cuts from each
+    ``a`` interval in one forward pass per probe."""
+    alos, ahis = _sorted_lanes(a)
+    blos, bhis = _sorted_lanes(b)
+    na, nb = len(alos), len(blos)
+    out_los: list[int] = []
+    out_his: list[int] = []
+    append_lo = out_los.append
+    append_hi = out_his.append
+    s = 0
+    sorted_out = True
+    last_lo = None
+    for k in range(na):
+        lo = alos[k]
+        hi = ahis[k]
+        while s < nb and bhis[s] < lo:
+            s += 1
+        cur = lo
+        j = s
+        alive = True
+        while j < nb and blos[j] <= hi:
+            clo = blos[j]
+            chi = bhis[j]
+            if clo > cur:
+                piece_hi = _axis_dec(clo)
+                if piece_hi >= cur:
+                    append_lo(cur)
+                    append_hi(piece_hi)
+                    if last_lo is not None and cur < last_lo:
+                        sorted_out = False
+                    last_lo = cur
+            nxt = _axis_inc(chi)
+            if nxt > cur:
+                cur = nxt
+            if cur > hi:
+                alive = False
+                break
+            j += 1
+        if alive and cur <= hi:
+            append_lo(cur)
+            append_hi(hi)
+            if last_lo is not None and cur < last_lo:
+                sorted_out = False
+            last_lo = cur
+    return _merged_result(out_los, out_his,
+                          sorted_out and _run_ties_ordered(out_los, out_his))
+
+
+# ---------------------------------------------------------------------------
+# Extended-Allen lane table (grouped foreach)
+# ---------------------------------------------------------------------------
+
+#: Per-listop integer predicates — (mlo, mhi, rlo, rhi) -> bool — for
+#: candidate ranges that still need per-member verification.
+INT_PREDICATES = {
+    "during": lambda mlo, mhi, rlo, rhi: mlo >= rlo and rhi >= mhi,
+    "overlaps": lambda mlo, mhi, rlo, rhi: mlo <= rhi and rlo <= mhi,
+    "intersects": lambda mlo, mhi, rlo, rhi: mlo <= rhi and rlo <= mhi,
+    "contains": lambda mlo, mhi, rlo, rhi: rlo >= mlo and mhi >= rhi,
+    "meets": lambda mlo, mhi, rlo, rhi: mhi == rlo,
+    "<": lambda mlo, mhi, rlo, rhi: mhi <= rlo,
+    "<=": lambda mlo, mhi, rlo, rhi: mlo <= rlo and rhi >= mhi,
+    "starts": lambda mlo, mhi, rlo, rhi: mlo == rlo and mhi <= rhi,
+    "finishes": lambda mlo, mhi, rlo, rhi: mhi == rhi and mlo >= rlo,
+    "equals": lambda mlo, mhi, rlo, rhi: mlo == rlo and mhi == rhi,
+}
+
+#: Listops whose strict clip leaves a matching member unchanged (the
+#: member is already contained in the reference).
+CLIP_IDENTITY = frozenset({"during", "starts", "finishes", "equals"})
+
+
+def group_range(cols: IntervalColumns, op_name: str, rlo: int, rhi: int
+                ) -> tuple[int, int, bool]:
+    """Candidate index range for ``op_name`` against ``(rlo, rhi)``.
+
+    Returns ``(start, end, exact)``; with ``exact`` True every index in
+    ``[start, end)`` satisfies the predicate (the pure-bisect lane case,
+    available whenever both lanes are sorted), otherwise the range must
+    be filtered with :data:`INT_PREDICATES`.  Mirrors (and tightens)
+    ``_SortedView.candidate_range``.
+    """
+    los, his = cols.los, cols.his
+    n = len(los)
+    if not cols.lo_sorted:
+        return 0, n, False
+    hi_sorted = cols.hi_sorted
+    if op_name == "during":
+        start = bisect_left(los, rlo)
+        if hi_sorted:
+            end = bisect_right(his, rhi)
+            return start, (end if end > start else start), True
+        return start, bisect_right(los, rhi), False
+    if op_name in ("overlaps", "intersects"):
+        if hi_sorted:
+            start = bisect_left(his, rlo)
+            end = bisect_right(los, rhi)
+            return start, (end if end > start else start), True
+        return 0, bisect_right(los, rhi), False
+    if op_name == "meets":
+        if hi_sorted:
+            return bisect_left(his, rlo), bisect_right(his, rlo), True
+        return 0, n, False
+    if op_name == "<":
+        if hi_sorted:
+            return 0, bisect_right(his, rlo), True
+        return 0, n, False
+    if op_name == "<=":
+        end = bisect_right(los, rlo)
+        if hi_sorted:
+            end2 = bisect_right(his, rhi)
+            return 0, (end if end < end2 else end2), True
+        return 0, end, False
+    if op_name == "contains":
+        end = bisect_right(los, rlo)
+        if hi_sorted:
+            start = bisect_left(his, rhi)
+            return start, (end if end > start else start), True
+        return 0, end, False
+    if op_name == "starts":
+        start = bisect_left(los, rlo)
+        end = bisect_right(los, rlo)
+        if hi_sorted:
+            end2 = bisect_right(his, rhi)
+            if end2 < end:
+                end = end2
+            return start, (end if end > start else start), True
+        return start, end, False
+    if op_name in ("finishes", "equals"):
+        if hi_sorted:
+            start = bisect_left(his, rhi)
+            end = bisect_right(his, rhi)
+            start2 = bisect_left(los, rlo) if op_name == "finishes" else \
+                bisect_left(los, rlo)
+            if op_name == "equals":
+                end2 = bisect_right(los, rlo)
+                if end2 < end:
+                    end = end2
+            if start2 > start:
+                start = start2
+            return start, (end if end > start else start), True
+        return 0, n, False
+    return 0, n, False
+
+
+def sweep_one(cols: IntervalColumns, op_name: str, rlo: int, rhi: int,
+              clip: bool) -> IntervalColumns:
+    """One foreach group: members of ``cols`` relating to ``(rlo, rhi)``.
+
+    Zero-copy slice whenever the lane range is exact and clipping is the
+    identity (or disabled); boundary-patched copy for overlap-style clips
+    over disjoint members; integer filter/clip loops otherwise.
+    """
+    start, end, exact = group_range(cols, op_name, rlo, rhi)
+    los, his = cols.los, cols.his
+    if exact:
+        if not clip or op_name in CLIP_IDENTITY:
+            return cols.slice(start, end)
+        return _clip_exact(cols, op_name, start, end, rlo, rhi)
+    predicate = INT_PREDICATES[op_name]
+    if not clip:
+        positions = [i for i in range(start, end)
+                     if predicate(los[i], his[i], rlo, rhi)]
+        return cols.take(positions)
+    out_los: list[int] = []
+    out_his: list[int] = []
+    for i in range(start, end):
+        mlo = los[i]
+        mhi = his[i]
+        if not predicate(mlo, mhi, rlo, rhi):
+            continue
+        plo = mlo if mlo > rlo else rlo
+        phi = mhi if mhi < rhi else rhi
+        if plo > phi:
+            continue
+        out_los.append(plo)
+        out_his.append(phi)
+    return IntervalColumns(array("q", out_los), array("q", out_his))
+
+
+def _clip_exact(cols: IntervalColumns, op_name: str, start: int, end: int,
+                rlo: int, rhi: int) -> IntervalColumns:
+    """Clip an exact lane range to the reference interval."""
+    if end <= start:
+        return cols.slice(start, start)
+    los, his = cols.los, cols.his
+    if op_name in ("overlaps", "intersects") and cols.disjoint:
+        # Disjoint members: only the two boundary members can poke
+        # outside the reference; the interior is untouched.
+        patch_lo = los[start] < rlo
+        patch_hi = his[end - 1] > rhi if end > start else False
+        if not patch_lo and not patch_hi:
+            return cols.slice(start, end)
+        out = cols.copy_slice(start, end)
+        if patch_lo:
+            out.los[0] = rlo
+        if patch_hi:
+            out.his[-1] = rhi
+        return out
+    out_los: list[int] = []
+    out_his: list[int] = []
+    for i in range(start, end):
+        mlo = los[i]
+        mhi = his[i]
+        plo = mlo if mlo > rlo else rlo
+        phi = mhi if mhi < rhi else rhi
+        if plo > phi:
+            # e.g. "<=" relates intervals that need not overlap; the
+            # strict clip then drops the member (the paper's epsilon
+            # exclusion), exactly like the object kernel.
+            continue
+        out_los.append(plo)
+        out_his.append(phi)
+    return IntervalColumns(array("q", out_los), array("q", out_his))
+
+
+def iter_groups(mem: IntervalColumns, refs: IntervalColumns, op_name: str,
+                clip: bool) -> Iterator[tuple[int, IntervalColumns]]:
+    """Yield ``(ref_index, group_columns)`` for a grouped foreach.
+
+    For ``during``/``overlaps`` against fully sorted lanes this is the
+    gapless lane sweep: both group boundaries advance monotonically, so
+    the whole grouping costs O(members + refs) pointer moves; other
+    shapes fall back to per-reference lane bisects (still no ``Interval``
+    objects).
+    """
+    rlos, rhis = refs.los, refs.his
+    nrefs = len(rlos)
+    if (op_name in ("during", "overlaps") and refs.hi_sorted
+            and mem.hi_sorted):
+        los, his = mem.los, mem.his
+        n = len(los)
+        s = e = 0
+        identity = not clip or op_name in CLIP_IDENTITY
+        for i in range(nrefs):
+            rlo = rlos[i]
+            rhi = rhis[i]
+            if op_name == "during":
+                while s < n and los[s] < rlo:
+                    s += 1
+                if e < s:
+                    e = s
+                while e < n and his[e] <= rhi:
+                    e += 1
+            else:
+                while s < n and his[s] < rlo:
+                    s += 1
+                if e < s:
+                    e = s
+                while e < n and los[e] <= rhi:
+                    e += 1
+            if identity:
+                yield i, mem.slice(s, e)
+            else:
+                yield i, _clip_exact(mem, op_name, s, e, rlo, rhi)
+        return
+    for i in range(nrefs):
+        yield i, sweep_one(mem, op_name, rlos[i], rhis[i], clip)
+
+
+def filtering_positions(mem: IntervalColumns, refs: IntervalColumns,
+                        op_name: str, inverse: "str | None"
+                        ) -> Iterator[tuple[int, int, int]]:
+    """Yield ``(member_index, cand_start, cand_end)`` for filtering listops.
+
+    The candidate range indexes ``refs`` (original order); ``inverse``
+    narrows it by lane search exactly like ``_foreach_filtering`` does
+    with the inverse-operator ``candidate_range``.
+    """
+    los, his = mem.los, mem.his
+    nrefs = len(refs)
+    for i in range(len(los)):
+        if inverse is not None:
+            start, end, _exact = group_range(refs, inverse, los[i], his[i])
+        else:
+            start, end = 0, nrefs
+        yield i, start, end
+
+
+# ---------------------------------------------------------------------------
+# Misc column kernels
+# ---------------------------------------------------------------------------
+
+def clip_to_span(cols: IntervalColumns, lo: int, hi: int
+                 ) -> "IntervalColumns | None":
+    """Keep elements overlapping ``[lo, hi]``; ``None`` when the lanes are
+    unsorted (caller falls back to a scan)."""
+    if not cols.hi_sorted:
+        return None
+    start = bisect_left(cols.his, lo)
+    end = bisect_right(cols.los, hi)
+    if end < start:
+        end = start
+    return cols.slice(start, end)
+
+
+def clip_cover(cols: IntervalColumns, lo: int, hi: int) -> IntervalColumns:
+    """Intersect the two boundary elements with ``[lo, hi]`` (cover → clip
+    materialisation); zero-copy when no boundary pokes outside."""
+    n = len(cols)
+    if n == 0:
+        return cols
+    patch_lo = cols.los[0] < lo
+    patch_hi = cols.his[-1] > hi
+    if not patch_lo and not patch_hi:
+        return cols
+    out = cols.copy_slice(0, n)
+    if patch_lo:
+        out.los[0] = lo
+    if patch_hi:
+        out.his[-1] = hi
+    return out
+
+
+def shift_columns(cols: IntervalColumns,
+                  delta: int) -> "IntervalColumns | None":
+    """Translate every interval by ``delta`` zero-skipping ticks; ``None``
+    when a shifted endpoint leaves the int64 range."""
+    out_los: list[int] = []
+    out_his: list[int] = []
+    for lane, out in ((cols.los, out_los), (cols.his, out_his)):
+        for t in lane:
+            r = t + delta
+            if t > 0 and r <= 0:
+                r -= 1
+            elif t < 0 and r >= 0:
+                r += 1
+            out.append(r)
+    try:
+        return IntervalColumns(array("q", out_los), array("q", out_his))
+    except OverflowError:
+        return None

@@ -144,6 +144,19 @@ class Interval:
             raise InvalidIntervalError(
                 f"interval lower bound exceeds upper bound: ({self.lo}, {self.hi})")
 
+    @classmethod
+    def _of(cls, lo: int, hi: int) -> "Interval":
+        """Trusted constructor for endpoints already known valid.
+
+        Skips ``__post_init__`` validation — this is the materialisation
+        fast path for column-backed calendars, whose endpoints were
+        validated when the columns were built.
+        """
+        iv = object.__new__(cls)
+        object.__setattr__(iv, "lo", lo)
+        object.__setattr__(iv, "hi", hi)
+        return iv
+
     # -- basic geometry ----------------------------------------------------
 
     def __len__(self) -> int:

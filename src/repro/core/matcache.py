@@ -72,6 +72,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from time import perf_counter
 
+from repro.core import columnar
 from repro.core.calendar import Calendar
 from repro.core.errors import ConfigurationError
 from repro.core.granularity import Granularity
@@ -97,12 +98,19 @@ def _axis_inc(t: int) -> int:
 
 @dataclass
 class _Entry:
-    """The widest cover-mode materialisation generated so far for one key."""
+    """The widest cover-mode materialisation generated so far for one key.
+
+    When the stored calendar is column-backed, ``los``/``his`` *are* the
+    calendar's endpoint lanes (no side-car copy) and :meth:`serve`
+    answers a contained sub-window with a zero-copy column slice —
+    clip-mode requests patch at most the two boundary endpoints.  The
+    object representation keeps the historical list side-cars.
+    """
 
     window: tuple[int, int]
     calendar: Calendar                      #: cover mode over ``window``
-    los: list[int] = field(default_factory=list)
-    his: list[int] = field(default_factory=list)
+    los: "list[int]" = field(default_factory=list)
+    his: "list[int]" = field(default_factory=list)
     #: Small memo of recently served sub-window calendars, so repeated
     #: identical requests return the *same* object (letting per-Calendar
     #: sorted-view memos in the algebra be shared across contexts).
@@ -115,8 +123,13 @@ class _Entry:
     @classmethod
     def build(cls, window: tuple[int, int], calendar: Calendar) -> "_Entry":
         entry = cls(window, calendar)
-        entry.los = [iv.lo for iv in calendar.elements]
-        entry.his = [iv.hi for iv in calendar.elements]
+        cols = calendar.columns
+        if cols is not None:
+            entry.los = cols.los
+            entry.his = cols.his
+        else:
+            entry.los = [iv.lo for iv in calendar.elements]
+            entry.his = [iv.hi for iv in calendar.elements]
         return entry
 
     def covers(self, lo: int, hi: int) -> bool:
@@ -140,18 +153,28 @@ class _Entry:
             return cached
         start, end = self.slice_range(lo, hi)
         source = self.calendar
-        elements = list(source.elements[start:end])
-        if mode == "clip" and elements:
-            # Tilings are disjoint and sorted, so only the two boundary
-            # elements can poke outside the window.
-            window_iv = Interval(lo, hi)
-            elements[0] = elements[0].intersect(window_iv)
-            elements[-1] = elements[-1].intersect(window_iv)
-        labels = None
-        if source.labels is not None:
-            labels = source.labels[start:end]
-        result = Calendar.from_intervals(elements, source.granularity,
-                                         labels)
+        cols = source.columns
+        if cols is not None:
+            out = cols.slice(start, end)
+            if mode == "clip":
+                # Tilings are disjoint and sorted, so only the two
+                # boundary endpoints can poke outside the window.
+                out = columnar.clip_cover(out, lo, hi)
+            labels = None
+            if source.labels is not None:
+                labels = source.labels[start:end]
+            result = Calendar._from_columns(out, source.granularity, labels)
+        else:
+            elements = list(source.elements[start:end])
+            if mode == "clip" and elements:
+                window_iv = Interval(lo, hi)
+                elements[0] = elements[0].intersect(window_iv)
+                elements[-1] = elements[-1].intersect(window_iv)
+            labels = None
+            if source.labels is not None:
+                labels = source.labels[start:end]
+            result = Calendar.from_intervals(elements, source.granularity,
+                                             labels)
         self.served[memo_key] = result
         if len(self.served) > self._SERVED_MAX:
             self.served.popitem(last=False)
@@ -413,30 +436,11 @@ class MaterialisationCache:
             right = system.generate(
                 key[1], key[2], (_axis_inc(whi), hi), mode="cover")
         old = entry.calendar
-        elements = list(old.elements)
-        labels = list(old.labels) if old.labels is not None else None
-        generated = 0
-        if left is not None:
-            generated += len(left)
-            # The unit straddling the old window start appears whole in
-            # both materialisations; keep a single copy.
-            first_lo = elements[0].lo if elements else None
-            keep = [i for i, iv in enumerate(left.elements)
-                    if first_lo is None or iv.lo < first_lo]
-            elements[:0] = [left.elements[i] for i in keep]
-            if labels is not None:
-                labels[:0] = [left.label_of(i) for i in keep]
-        if right is not None:
-            generated += len(right)
-            last_lo = elements[-1].lo if elements else None
-            keep = [i for i, iv in enumerate(right.elements)
-                    if last_lo is None or iv.lo > last_lo]
-            elements.extend(right.elements[i] for i in keep)
-            if labels is not None:
-                labels.extend(right.label_of(i) for i in keep)
-        if len(elements) > self.max_entry_elements:
+        merged = self._merge_extension(old, left, right)
+        if merged is None:
             return None
-        merged = Calendar.from_intervals(elements, old.granularity, labels)
+        generated = (len(left) if left is not None else 0) + \
+            (len(right) if right is not None else 0)
         new_entry = _Entry.build((min(lo, wlo), max(hi, whi)), merged)
         self._acquire(stripe.lock)
         try:
@@ -455,6 +459,84 @@ class MaterialisationCache:
                 lo=lo, hi=hi, generated=generated)
         self._evict_overflow()
         return result
+
+    def _merge_extension(self, old: Calendar, left: "Calendar | None",
+                         right: "Calendar | None") -> Calendar | None:
+        """Merge freshly generated extension(s) around the old cover.
+
+        The unit straddling the old window boundary appears whole in both
+        materialisations; a single copy is kept (deduplicated by ``lo``).
+        Returns None when the merged entry would exceed the per-entry
+        element cap.  Column-backed inputs merge lane-wise (one buffer
+        concatenation, no ``Interval`` objects).
+        """
+        old_cols = old.columns
+        if old_cols is not None and \
+                (left is None or left.columns is not None) and \
+                (right is None or right.columns is not None):
+            n_old = len(old_cols)
+            first_lo = old_cols.los[0] if n_old else None
+            last_lo = old_cols.los[-1] if n_old else None
+            parts = []
+            label_parts = []
+            for side, bound, is_left in ((left, first_lo, True),
+                                         (None, None, None),
+                                         (right, last_lo, False)):
+                if is_left is None:
+                    parts.append(old_cols)
+                    label_parts.append(old.labels)
+                    continue
+                if side is None:
+                    continue
+                cols = side.columns
+                if bound is None:
+                    idx = range(len(cols))
+                    kept = cols
+                elif cols.lo_sorted:
+                    if is_left:
+                        k = bisect.bisect_left(cols.los, bound)
+                        idx = range(k)
+                        kept = cols.slice(0, k)
+                    else:
+                        k = bisect.bisect_right(cols.los, bound)
+                        idx = range(k, len(cols))
+                        kept = cols.slice(k, len(cols))
+                else:
+                    pos = [i for i in range(len(cols))
+                           if (cols.los[i] < bound if is_left
+                               else cols.los[i] > bound)]
+                    idx = pos
+                    kept = cols.take(pos)
+                parts.append(kept)
+                label_parts.append(tuple(side.label_of(i) for i in idx))
+            if sum(len(p) for p in parts) > self.max_entry_elements:
+                return None
+            labels = None
+            if old.labels is not None:
+                labels = tuple(lab for part in label_parts
+                               for lab in (part or ()))
+            merged_cols = columnar.concat_columns(parts)
+            return Calendar._from_columns(merged_cols, old.granularity,
+                                          labels)
+        elements = list(old.elements)
+        labels = list(old.labels) if old.labels is not None else None
+        if left is not None:
+            first_lo = elements[0].lo if elements else None
+            keep = [i for i, iv in enumerate(left.elements)
+                    if first_lo is None or iv.lo < first_lo]
+            elements[:0] = [left.elements[i] for i in keep]
+            if labels is not None:
+                labels[:0] = [left.label_of(i) for i in keep]
+        if right is not None:
+            last_lo = elements[-1].lo if elements else None
+            keep = [i for i, iv in enumerate(right.elements)
+                    if last_lo is None or iv.lo > last_lo]
+            elements.extend(right.elements[i] for i in keep)
+            if labels is not None:
+                labels.extend(right.label_of(i) for i in keep)
+        if len(elements) > self.max_entry_elements:
+            return None
+        return Calendar.from_intervals(elements, old.granularity, labels)
 
     def _evict_overflow(self) -> None:
         """Evict globally least-recently-stamped entries past ``maxsize``.

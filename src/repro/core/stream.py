@@ -22,6 +22,10 @@ only a sliding buffer in memory:
 
 All functions assume their input streams are sorted by ``lo`` (ties
 broken arbitrarily); generated tilings satisfy this by construction.
+Every kernel also accepts a :class:`~repro.core.calendar.Calendar`
+directly: column-backed calendars stream straight off their ``lo``/``hi``
+lanes (no element-tuple materialisation), so feeding a columnar calendar
+into a streaming pipeline never bumps ``columnar.materialisations``.
 """
 
 from __future__ import annotations
@@ -32,12 +36,28 @@ from typing import Iterable, Iterator, Sequence
 from repro.core.interval import Interval, Listop, get_listop
 
 __all__ = [
+    "as_interval_stream",
     "iter_merge_overlapping",
     "iter_intersection",
     "iter_difference",
     "stream_foreach_grouped",
     "PeakTracker",
 ]
+
+
+def as_interval_stream(source: "Iterable[Interval]") -> Iterator[Interval]:
+    """Yield the intervals of ``source`` lazily, one object at a time.
+
+    ``source`` may be any interval iterable, including a ``Calendar``.
+    Column-backed calendars are streamed directly off their integer
+    lanes via ``Interval._of`` so the calendar's element tuple is never
+    materialised; everything else is simply iterated.
+    """
+    cols = getattr(source, "columns", None)
+    if cols is not None:
+        los, his = cols.los, cols.his
+        return (Interval._of(los[i], his[i]) for i in range(len(los)))
+    return iter(source)
 
 
 def iter_merge_overlapping(intervals: Iterable[Interval]
@@ -49,7 +69,7 @@ def iter_merge_overlapping(intervals: Iterable[Interval]
     interval at a time.
     """
     pending: Interval | None = None
-    for iv in intervals:
+    for iv in as_interval_stream(intervals):
         if pending is not None and pending.overlaps(iv):
             pending = pending.union_hull(iv)
         else:
@@ -94,10 +114,10 @@ def iter_intersection(a: Iterable[Interval], b: Iterable[Interval]
     lo-sorted when ``a`` is disjoint, the shape of every real tiling)
     for full parity.
     """
-    b_iter = iter(b)
+    b_iter = as_interval_stream(b)
     buffer: deque[Interval] = deque()
     exhausted: list = []
-    for iv in a:
+    for iv in as_interval_stream(a):
         for other in _buffered_overlaps(b_iter, buffer, iv, exhausted):
             common = iv.intersect(other)
             if common is not None:
@@ -111,10 +131,10 @@ def iter_difference(a: Iterable[Interval], b: Iterable[Interval]
     Each ``a`` interval is split around every overlapping ``b`` interval,
     exactly as the eager ``Calendar.difference`` kernel does.
     """
-    b_iter = iter(b)
+    b_iter = as_interval_stream(b)
     buffer: deque[Interval] = deque()
     exhausted: list = []
-    for iv in a:
+    for iv in as_interval_stream(a):
         pieces = [iv]
         for cut in _buffered_overlaps(b_iter, buffer, iv, exhausted):
             pieces = [p for piece in pieces for p in piece.subtract(cut)]
@@ -149,7 +169,7 @@ def stream_foreach_grouped(members: Iterable[Interval],
     if isinstance(op, str):
         op = get_listop(op)
     order = sorted(range(len(refs)), key=lambda i: (refs[i].lo, refs[i].hi))
-    stream = iter(members)
+    stream = as_interval_stream(members)
     buffer: deque[Interval] = deque()
     exhausted: list = []
     clip = strict and op.clips

@@ -18,6 +18,8 @@ order-1 results), while multi-element right operands yield order-2 results.
 
 from __future__ import annotations
 
+import bisect
+
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -217,6 +219,26 @@ def clip_to_window(cal: Calendar, window: tuple[int, int]) -> Calendar:
     lo, hi = window
     win = Interval(lo if lo != 0 else -1, hi if hi != 0 else 1)
     if cal.order == 1:
+        cols = cal.columns
+        if cols is not None:
+            # Sorted lanes clip with two bisects and a zero-copy slice;
+            # unsorted lanes gather the overlapping positions.
+            if cols.hi_sorted:
+                start = bisect.bisect_left(cols.his, win.lo)
+                end = bisect.bisect_right(cols.los, win.hi)
+                if end < start:
+                    end = start
+                out = cols.slice(start, end)
+                labels = (cal.labels[start:end]
+                          if cal.labels is not None else None)
+            else:
+                los, his = cols.los, cols.his
+                pos = [i for i in range(len(cols))
+                       if los[i] <= win.hi and win.lo <= his[i]]
+                out = cols.take(pos)
+                labels = (tuple(cal.labels[i] for i in pos)
+                          if cal.labels is not None else None)
+            return Calendar._from_columns(out, cal.granularity, labels)
         kept = [i for i, iv in enumerate(cal.elements) if iv.overlaps(win)]
         labels = None
         if cal.labels is not None:
@@ -404,7 +426,7 @@ class Interpreter:
             left = left.flatten()
         reference: "Calendar | Interval"
         if right.order == 1 and len(right) == 1:
-            reference = right.elements[0]
+            reference = right[0]
         else:
             reference = right
         return foreach(node.op, left, reference, strict=node.strict)
@@ -528,9 +550,7 @@ class Interpreter:
         delta = node.args[1].value
         if value.order != 1:
             value = value.flatten()
-        return Calendar.from_intervals(
-            [iv.shift(delta) for iv in value.elements],
-            value.granularity)
+        return value.shifted(delta)
 
     def _call_point(self, node: ast.FunCall) -> Calendar:
         if len(node.args) != 1 or not isinstance(node.args[0], ast.StringLit):

@@ -15,8 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.core import columnar
 from repro.core.algebra import SelectionPredicate, _SortedView, _apply_over, \
-    caloperate, foreach, label_select, select
+    _sweepable, caloperate, foreach, label_select, select
 from repro.core.calendar import Calendar
 from repro.core.granularity import Granularity
 from repro.core.interval import Interval, axis_add, get_listop
@@ -534,7 +535,7 @@ class PlanVM:
             right = registers[step.right]
             if left.order != 1:
                 left = left.flatten()
-            reference = (right.elements[0]
+            reference = (right[0]
                          if right.order == 1 and len(right) == 1 else right)
             return foreach(step.op, left, reference, strict=step.strict)
         if isinstance(step, SelectStep):
@@ -569,9 +570,7 @@ class PlanVM:
             source = registers[step.source]
             if source.order != 1:
                 source = source.flatten()
-            return Calendar.from_intervals(
-                [iv.shift(step.delta) for iv in source.elements],
-                source.granularity)
+            return source.shifted(step.delta)
         if isinstance(step, InstantsStep):
             source = registers[step.source]
             points = sorted({t for iv in source.iter_intervals()
@@ -610,16 +609,23 @@ class PlanVM:
         right = registers[step.right]
         if left.order != 1:
             left = left.flatten()
-        reference = (right.elements[0]
+        reference = (right[0]
                      if right.order == 1 and len(right) == 1 else right)
         op = get_listop(step.op)
         if (isinstance(reference, Interval) or op.shape == "filtering"
                 or reference.order != 1):
             return select(foreach(op, left, reference, strict=step.strict),
                           step.predicate)
-        view = _SortedView.of(left)
         pred = step.predicate
         singleton = pred.is_singleton()
+        cols = left.columns
+        if cols is not None and _sweepable(op):
+            refs = reference._lanes()
+            if refs is not None:
+                return self._run_fused_columnar(op, cols, refs, pred,
+                                                singleton, step.strict,
+                                                left.granularity)
+        view = _SortedView.of(left)
         picked_intervals: list[Interval] = []
         picked_subs: list[Calendar] = []
         for r in reference.elements:
@@ -640,6 +646,41 @@ class PlanVM:
                                            left.granularity)
         return Calendar.from_calendars(picked_subs, left.granularity)
 
+    @staticmethod
+    def _run_fused_columnar(op, cols, refs, pred, singleton, strict,
+                            granularity) -> Calendar:
+        """Fused grouped-foreach + selection straight over the lanes.
+
+        Groups come from the gapless lane sweep; the selection indexes
+        each group's columns, so no ``Interval`` objects (and no order-2
+        intermediate) exist at any point.
+        """
+        clip = strict and op.clips
+        picked_los: list[int] = []
+        picked_his: list[int] = []
+        picked_subs: list[Calendar] = []
+        for _i, group in columnar.iter_groups(cols, refs, op.name, clip):
+            glen = len(group)
+            if not glen:
+                continue
+            positions = pred.positions(glen)
+            if not positions:
+                continue
+            if singleton:
+                p = positions[0]
+                picked_los.append(group.los[p])
+                picked_his.append(group.his[p])
+            else:
+                if positions[-1] - positions[0] + 1 == len(positions):
+                    sub = group.slice(positions[0], positions[-1] + 1)
+                else:
+                    sub = group.take(positions)
+                picked_subs.append(Calendar._from_columns(sub, granularity))
+        if singleton:
+            out = columnar.IntervalColumns.from_lists(picked_los, picked_his)
+            return Calendar._from_columns(out, granularity)
+        return Calendar.from_calendars(picked_subs, granularity)
+
     def _run_merged(self, step: MergedForEachStep, registers: dict
                     ) -> Calendar:
         """Inner grouping + flatten + outer foreach in one member pass."""
@@ -649,16 +690,26 @@ class PlanVM:
         if left.order != 1:
             left = left.flatten()
         op1 = get_listop(step.op1)
-        if right.order == 1:
-            refs = list(right.elements)
-        else:
-            refs = list(right.flatten().elements)
-        view = _SortedView.of(left)
-        flat: list[Interval] = []
-        for ref in refs:
-            _apply_over(view, op1, ref, step.strict1, flat)
-        mid = Calendar.from_intervals(flat, left.granularity)
-        reference2 = (right2.elements[0]
+        ref_cal = right if right.order == 1 else right.flatten()
+        cols = left.columns
+        mid = None
+        if cols is not None and _sweepable(op1):
+            refs = ref_cal._lanes()
+            if refs is not None:
+                clip = step.strict1 and op1.clips
+                rlos, rhis = refs.los, refs.his
+                parts = [columnar.sweep_one(cols, op1.name, rlos[i],
+                                            rhis[i], clip)
+                         for i in range(len(rlos))]
+                mid = Calendar._from_columns(
+                    columnar.concat_columns(parts), left.granularity)
+        if mid is None:
+            view = _SortedView.of(left)
+            flat: list[Interval] = []
+            for ref in ref_cal.elements:
+                _apply_over(view, op1, ref, step.strict1, flat)
+            mid = Calendar.from_intervals(flat, left.granularity)
+        reference2 = (right2[0]
                       if right2.order == 1 and len(right2) == 1 else right2)
         return foreach(step.op2, mid, reference2, strict=step.strict2)
 
@@ -666,7 +717,7 @@ class PlanVM:
                       ) -> Calendar:
         """Per-reference lazy evaluation of the foreach's left chain."""
         right = registers[step.right]
-        reference = (right.elements[0]
+        reference = (right[0]
                      if right.order == 1 and len(right) == 1 else right)
         out = self._pipeline_foreach(step, reference)
         if step.predicate is not None:
@@ -682,7 +733,7 @@ class PlanVM:
         if ref.order == 1:
             subs: list[Calendar] = []
             labels: list = []
-            for i, r in enumerate(ref.elements):
+            for i, r in enumerate(ref):
                 left = self._eval_chain_for_ref(step, r)
                 sub = foreach(step.op, left, r, strict=step.strict)
                 if self.tracker is not None:

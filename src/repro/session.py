@@ -33,6 +33,7 @@ from repro.catalog import (
     install_standard_calendars,
     install_us_holidays,
 )
+from repro.core import columnar
 from repro.core.basis import CalendarSystem
 from repro.core.matcache import MaterialisationCache
 from repro.db import Database
@@ -339,8 +340,15 @@ class Session:
         return self.registry.instrumentation
 
     def metrics(self) -> dict:
-        """Snapshot of every metric: name -> value/summary."""
-        return self.instrumentation.metrics.snapshot()
+        """Snapshot of every metric: name -> value/summary.
+
+        Includes the process-wide ``columnar.materialisations`` counter —
+        how many times a column-backed calendar had to build its element
+        tuple (0 means every pipeline stayed on the integer lanes).
+        """
+        snapshot = self.instrumentation.metrics.snapshot()
+        snapshot["columnar.materialisations"] = columnar.MATERIALISATIONS.value
+        return snapshot
 
     def recent_traces(self) -> list[Span]:
         """Recently finished root spans (requires tracing enabled)."""

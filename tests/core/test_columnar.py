@@ -1,0 +1,153 @@
+"""Representation-level columnar tests: overflow fallback, empty lanes,
+zero-copy cache serves, and the materialisation counter surfaces.
+
+The parity properties live in ``tests/property/test_columnar_props.py``;
+this file pins the representation mechanics the properties cannot see —
+which calendars carry columns, when the element tuple is (not) built,
+and how values outside the int64 lanes degrade to the object path.
+"""
+
+import pytest
+
+from repro.core import (
+    Calendar,
+    CalendarSystem,
+    Interval,
+    IntervalColumns,
+    foreach,
+)
+from repro.core import columnar
+from repro.core.columnar import Q_MAX, Q_MIN
+from repro.core.interval import axis_add
+from repro.core.matcache import MaterialisationCache
+
+
+@pytest.fixture(autouse=True)
+def force_columnar_builds():
+    """These tests pin columnar mechanics, so force the representation on
+    even under the REPRO_COLUMNAR=0 CI leg (the runtime toggle only
+    affects calendars built while it is set)."""
+    previous = columnar.enabled()
+    columnar.set_enabled(True)
+    yield
+    columnar.set_enabled(previous)
+
+
+class TestInt64OverflowFallback:
+    """Endpoints outside the int64 lanes fall back to interval objects;
+    Python integers themselves never overflow, so only the columnar
+    representation (not the axis arithmetic) has a range limit."""
+
+    def test_from_intervals_beyond_int64_uses_objects(self):
+        big = Q_MAX + 10
+        cal = Calendar.from_intervals([(1, 1), (big, big + 1)])
+        assert cal.columns is None
+        assert cal.to_pairs() == ((1, 1), (big, big + 1))
+
+    def test_below_int64_min_uses_objects(self):
+        small = Q_MIN - 10
+        cal = Calendar.from_intervals([(small, small), (1, 2)])
+        assert cal.columns is None
+        assert cal.span() == Interval(small, 2)
+
+    def test_fallback_interoperates_with_columnar_operand(self):
+        big = Q_MAX + 10
+        wide = Calendar.from_intervals([(1, 5), (big, big)])
+        days = Calendar.from_intervals([(2, 3)])
+        assert wide.columns is None and days.columns is not None
+        assert (wide & days).to_pairs() == ((2, 3),)
+        assert (days - wide).to_pairs() == ()
+        assert (wide + days).to_pairs() == ((1, 5), (big, big))
+
+    def test_shifted_overflow_falls_back(self):
+        cal = Calendar.from_intervals([(Q_MAX - 1, Q_MAX - 1)])
+        assert cal.columns is not None
+        moved = cal.shifted(10)
+        assert moved.columns is None
+        assert moved.to_pairs() == ((Q_MAX + 9, Q_MAX + 9),)
+
+    def test_axis_add_beyond_lanes_still_zero_skips(self):
+        # axis_add works on arbitrary Python ints; crossing zero from a
+        # point beyond the lane range must still skip tick 0.
+        assert axis_add(-(Q_MAX + 5), 2 * (Q_MAX + 5)) == Q_MAX + 6
+
+
+class TestEmptyCalendars:
+    def test_empty_lanes_round_trip_without_materialising(self):
+        empty = Calendar.from_intervals([])
+        days = Calendar.from_intervals([(1, 2), (4, 5)])
+        before = columnar.MATERIALISATIONS.value
+        assert (empty & days).to_pairs() == ()
+        assert (empty - days).to_pairs() == ()
+        assert (days - empty).to_pairs() == ((1, 2), (4, 5))
+        assert (empty + days).to_pairs() == ((1, 2), (4, 5))
+        assert foreach("during", empty, Interval(1, 9)).to_pairs() == ()
+        assert foreach("during", days, empty).to_pairs() == ()
+        assert columnar.MATERIALISATIONS.value == before
+
+    def test_empty_columns_flags(self):
+        cols = IntervalColumns.empty()
+        assert len(cols.los) == 0
+        assert cols.lo_sorted and cols.hi_sorted and cols.disjoint
+
+
+class TestLazyMaterialisation:
+    def test_iteration_and_indexing_stay_lazy(self):
+        cal = Calendar.from_intervals([(1, 2), (4, 5), (7, 9)])
+        before = columnar.MATERIALISATIONS.value
+        assert [iv.lo for iv in cal] == [1, 4, 7]
+        assert cal[1] == Interval(4, 5)
+        assert len(cal) == 3 and bool(cal)
+        assert cal.span() == Interval(1, 9)
+        assert columnar.MATERIALISATIONS.value == before
+
+    def test_elements_access_bumps_counter_once(self):
+        cal = Calendar.from_intervals([(1, 2), (4, 5)])
+        before = columnar.MATERIALISATIONS.value
+        assert len(cal.elements) == 2
+        assert len(cal.elements) == 2  # memoised; no second bump
+        assert columnar.MATERIALISATIONS.value == before + 1
+
+
+class TestMatcacheZeroCopy:
+    def test_cache_serve_stays_columnar(self):
+        system = CalendarSystem.starting("Jan 1 1987")
+        cache = MaterialisationCache()
+        cache.generate(system, "WEEKS", "DAYS", (1, 1461), "cover")
+        before = columnar.MATERIALISATIONS.value
+        served = cache.generate(system, "WEEKS", "DAYS", (100, 400),
+                                "clip")
+        assert served.columns is not None
+        assert columnar.MATERIALISATIONS.value == before
+        want = system.generate("WEEKS", "DAYS", (100, 400), mode="clip")
+        assert served.to_pairs() == want.to_pairs()
+
+
+class TestCounterSurfaces:
+    def test_session_metrics_exposes_counter(self):
+        from repro import Session
+        session = Session("Jan 1 1987", holiday_years=(1987, 1988))
+        metrics = session.metrics()
+        assert metrics["columnar.materialisations"] \
+            == columnar.MATERIALISATIONS.value
+
+    def test_cli_cache_line_includes_counter(self):
+        from repro.cli import Session as Shell
+        shell = Shell(epoch="Jan 1 1987", holiday_years=(1987, 1988))
+        out = shell.run_line("\\cache")
+        assert "columnar materialisations" in out
+
+
+class TestFusedPipelineStaysColumnar:
+    def test_fused_selection_pipeline_materialises_nothing(self):
+        from repro import Session
+        # periodic=False: the periodic backend would otherwise answer
+        # this day-granularity expression without touching the plan VM.
+        session = Session("Jan 1 1987", holiday_years=(1987, 1988),
+                          periodic=False)
+        before = columnar.MATERIALISATIONS.value
+        cal = session.eval("[2]/DAYS:during:WEEKS",
+                           window=("Jan 1 1993", "Dec 31 1993"))
+        assert len(cal) == 52 or len(cal) == 53
+        assert cal.columns is not None
+        assert columnar.MATERIALISATIONS.value == before
