@@ -177,6 +177,148 @@ class TestTelemetryOverhead:
         assert session.registry.matcache.pipeline is None
 
 
+class TestLabelledMetricsOverhead:
+    """Labelled hot-path emitters vs the honest unlabelled baseline.
+
+    The matcache's per-stripe hit/miss counters are the highest-traffic
+    labelled emitters (one pre-bound child ``inc()`` per cache probe).
+    ``MaterialisationCache(stripe_metrics=False)`` compiles them out
+    entirely — not just a disabled branch — so the pair measures the
+    full cost of the labelled pipeline: child binding at construction
+    plus the per-probe guard and increment.  Same paired-median-delta
+    technique as :class:`TestTelemetryOverhead`.
+    """
+
+    LOOPS, REPEATS = 200, 11
+
+    def _build(self, stripe_metrics: bool):
+        instrumentation = Instrumentation()
+        cache = MaterialisationCache(metrics=instrumentation.metrics,
+                                     stripe_metrics=stripe_metrics)
+        registry = CalendarRegistry(
+            CalendarSystem.starting("Jan 1 1987"),
+            matcache=cache, instrumentation=instrumentation)
+        install_standard_calendars(registry)
+        return instrumentation, registry, cache
+
+    @staticmethod
+    def _batch(fn, loops: int) -> float:
+        start = perf_counter()
+        for _ in range(loops):
+            fn()
+        return perf_counter() - start
+
+    def test_labelled_hot_path_overhead_under_5_percent(self):
+        from statistics import median
+
+        from conftest import record_benchmark
+
+        inst_off, reg_off, cache_off = self._build(stripe_metrics=False)
+        inst_on, reg_on, cache_on = self._build(stripe_metrics=True)
+        assert inst_off.metrics.get("matcache.stripe.hits") is None
+        assert inst_on.metrics.get("matcache.stripe.hits") is not None
+        # A multi-year serve (~260 intervals) is the representative hit:
+        # the per-probe labelled ``inc`` is measured against real serving
+        # work, not a degenerate micro-slice.
+        window = reg_on.system.day_window("Jan 1 1990", "Dec 31 1994")
+
+        def probe_off():
+            return cache_off.generate(reg_off.system, "WEEKS", "DAYS",
+                                      window)
+
+        def probe_on():
+            return cache_on.generate(reg_on.system, "WEEKS", "DAYS",
+                                     window)
+
+        # Warm both caches (every timed probe is a stripe hit) and
+        # check the twins agree before timing.
+        assert probe_off().flatten() == probe_on().flatten()
+
+        pairs = []
+        for _ in range(self.REPEATS):
+            t_off = self._batch(probe_off, self.LOOPS)
+            t_on = self._batch(probe_on, self.LOOPS)
+            pairs.append((t_off, t_on))
+        t_off = median(off for off, _ in pairs)
+        delta = median(on - off for off, on in pairs)
+        record_benchmark(
+            "obs/labelled_metrics_hit_overhead",
+            samples=[on / self.LOOPS for _, on in pairs],
+            unlabelled_s=t_off / self.LOOPS,
+            overhead_pct=100.0 * delta / t_off if t_off else 0.0)
+        # The labelled series did take the traffic.
+        hits = inst_on.metrics.get("matcache.stripe.hits")
+        assert sum(c.value for c in hits.series().values()) >= \
+            self.LOOPS * self.REPEATS
+        # <5% relative, plus 1us/probe absolute floor for timer jitter.
+        assert delta <= t_off * 0.05 + self.LOOPS * 1e-6, (
+            f"labelled-metrics overhead too high: "
+            f"unlabelled={t_off:.6f}s paired-delta={delta:.6f}s")
+
+
+class TestProfilerOverhead:
+    """The continuous sampler's drag on the evaluation hot path.
+
+    Paired batches of a warm representative evaluation with the profiler
+    stopped vs running at the default ~97 Hz; the median paired delta
+    must stay under 2%.  Sampling happens on a separate thread, so the
+    cost seen by the workload is GIL contention during each stack walk —
+    exactly what "cheap enough to leave on" promises to bound.
+    """
+
+    EXPRESSION = "DAYS:during:1993/YEARS"
+    LOOPS, REPEATS = 20, 11
+
+    @staticmethod
+    def _batch(fn, loops: int) -> float:
+        start = perf_counter()
+        for _ in range(loops):
+            fn()
+        return perf_counter() - start
+
+    def test_profiler_overhead_under_2_percent(self):
+        from statistics import median
+
+        from conftest import record_benchmark
+        from repro.obs.profiler import DEFAULT_HERTZ, SamplingProfiler
+        from repro.session import Session
+
+        session = Session(instrumentation=Instrumentation(),
+                          holiday_years=(1987, 1996))
+        profiler = SamplingProfiler(DEFAULT_HERTZ)
+        expression = self.EXPRESSION
+        for _ in range(3):  # warm the materialisation cache
+            session.eval(expression, window=WINDOW)
+
+        try:
+            pairs = []
+            for _ in range(self.REPEATS):
+                t_off = self._batch(
+                    lambda: session.eval(expression, window=WINDOW),
+                    self.LOOPS)
+                profiler.start()
+                t_on = self._batch(
+                    lambda: session.eval(expression, window=WINDOW),
+                    self.LOOPS)
+                profiler.stop()
+                pairs.append((t_off, t_on))
+        finally:
+            profiler.stop()
+            session.close()
+        t_off = median(off for off, _ in pairs)
+        delta = median(on - off for off, on in pairs)
+        record_benchmark(
+            "obs/profiler_enabled_eval_overhead",
+            samples=[on / self.LOOPS for _, on in pairs],
+            disabled_s=t_off / self.LOOPS,
+            hertz=DEFAULT_HERTZ,
+            overhead_pct=100.0 * delta / t_off if t_off else 0.0)
+        # <2% relative, plus 2us/eval absolute floor for timer jitter.
+        assert delta <= t_off * 0.02 + self.LOOPS * 2e-6, (
+            f"profiler overhead too high: "
+            f"off={t_off:.6f}s paired-delta={delta:.6f}s")
+
+
 class TestTracedVsUntraced:
     def test_plan_run_untraced(self, benchmark):
         _, registry, plan, ctx = _build()

@@ -33,8 +33,13 @@ Run with ``python -m repro``.  Three kinds of input:
                                 -noopt shows the unoptimized strategy
                                 only), or a query's execution strategy
       \profile EXPR             run with tracing; per-step timing tree
+      \prof [on|off|status|top [N]|clear]  continuous sampling profiler:
+                                start/stop the background sampler, show
+                                its status, the N hottest leaf frames
+                                (default 10), or drop accumulated stacks
       \metrics [reset]          metrics snapshot (counters, latency
-                                histograms with p50/p95/p99)
+                                histograms with p50/p95/p99; labelled
+                                series render as name{label="value"})
       \slowlog [clear]          captured slow-query records (set the
                                 REPRO_SLOWLOG_SECONDS env var or
                                 Session(slow_query_threshold=) to enable)
@@ -288,6 +293,8 @@ class Session(CoreSession):
             if not argument:
                 return "usage: \\profile EXPR"
             return self.profile(argument, window=self.window).render()
+        if command == "prof":
+            return self._prof_command(argument)
         if command == "metrics":
             if argument.lower() == "reset":
                 self.instrumentation.metrics.reset()
@@ -339,6 +346,45 @@ class Session(CoreSession):
             return f"loaded {argument}"
         return f"unknown command \\{command} (try \\help)"
 
+    def _prof_command(self, argument: str) -> str:
+        """``\\prof [on|off|status|top [N]|clear]``."""
+        sub, _, rest = argument.lower().partition(" ")
+        profiler = self.profiler
+        if sub in ("", "status"):
+            stats = profiler.stats()
+            state = "running" if stats["running"] else "stopped"
+            return (f"profiler {state} at {stats['hertz']:g} Hz: "
+                    f"{stats['samples']} sample(s), "
+                    f"{stats['stacks']} distinct stack(s), "
+                    f"{stats['overflowed']} overflowed, "
+                    f"{stats['errors']} error(s)")
+        if sub == "on":
+            if profiler.running:
+                return "profiler already running"
+            profiler.start()
+            return f"profiler started at {profiler.hertz:g} Hz"
+        if sub == "off":
+            if not profiler.running:
+                return "profiler not running"
+            profiler.stop()
+            return (f"profiler stopped; {profiler.stats()['samples']} "
+                    "sample(s) retained (\\prof top to inspect)")
+        if sub == "top":
+            try:
+                n = int(rest) if rest.strip() else 10
+            except ValueError:
+                return "usage: \\prof top [N]"
+            rows = profiler.top(n)
+            if not rows:
+                return "(no samples yet — \\prof on to start sampling)"
+            width = max(len(frame) for frame, _ in rows)
+            return "\n".join(f"{frame:<{width}}  {count}"
+                             for frame, count in rows)
+        if sub == "clear":
+            profiler.clear()
+            return "profiler samples cleared"
+        return "usage: \\prof [on|off|status|top [N]|clear]"
+
     def _render_metrics(self) -> str:
         """Formatted snapshot of every registered metric.
 
@@ -357,7 +403,12 @@ class Session(CoreSession):
                 if not value["count"]:
                     lines.append(f"{name:<32} count 0")
                     continue
-                histogram = registry.get(name)
+                histogram = self._snapshot_histogram(registry, name)
+                if histogram is None:
+                    lines.append(
+                        f"{name:<32} count {value['count']:<8} "
+                        f"sum {value['sum'] * 1e3:.3f}ms")
+                    continue
                 p50, p95, p99 = (histogram.percentile(q)
                                  for q in (0.5, 0.95, 0.99))
                 lines.append(
@@ -369,6 +420,25 @@ class Session(CoreSession):
             else:
                 lines.append(f"{name:<32} {value}")
         return "\n".join(lines)
+
+    @staticmethod
+    def _snapshot_histogram(registry, name: str):
+        """Resolve a snapshot key back to its Histogram instrument.
+
+        Labelled series render under flat ``name{label="value"}`` keys
+        that are not registry entries; the child instruments carry the
+        same flat key as their name, so look them up via the family.
+        """
+        instrument = registry.get(name)
+        if instrument is not None:
+            return instrument
+        family = registry.get(name.partition("{")[0])
+        if family is None or not hasattr(family, "series"):
+            return None
+        for child in family.series().values():
+            if child.name == name:
+                return child
+        return None
 
 
 def main(argv: list[str] | None = None) -> int:

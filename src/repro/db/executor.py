@@ -126,7 +126,10 @@ class Executor:
         """Run one parsed statement with optional variable bindings.
 
         Every execution is timed into the ``db.query.latency`` histogram
-        and — with tracing on — wrapped in an ``executor.<Kind>`` span;
+        and the per-relation ``db.relation.query_seconds`` family
+        (exemplar-linked to the executor span's trace id when tracing
+        is on) and — with tracing on — wrapped in an
+        ``executor.<Kind>`` span;
         with a telemetry pipeline attached a ``query.execute`` event
         records the statement kind and result cardinality.  The
         instrumentation bundle is looked up per call because a session
@@ -136,19 +139,52 @@ class Executor:
         kind = type(statement).__name__
         tracer = inst.tracer
         t0 = perf_counter()
+        trace_id = None
         if tracer is not None:
-            with tracer.span(f"executor.{kind}"):
+            with tracer.span(f"executor.{kind}") as span:
                 result = self._dispatch(statement, bindings)
+            # Past the per-trace span budget the tracer hands out a
+            # timing-free stand-in with no trace id to link to.
+            trace_id = getattr(span, "trace_id", None)
         else:
             result = self._dispatch(statement, bindings)
         elapsed = perf_counter() - t0
         inst.metrics.histogram("db.query.latency").observe(elapsed)
+        inst.metrics.histogram(
+            "db.relation.query_seconds",
+            "Query latency per target relation",
+            labels=("relation",), max_series=128,
+        ).labels(self._statement_relation(statement)) \
+            .observe(elapsed, trace_id)
         if inst.pipeline is not None:
             inst.pipeline.emit("query.execute", kind=kind,
                                rows=len(result.rows),
                                affected=result.affected,
                                duration_s=elapsed)
         return result
+
+    @staticmethod
+    def _statement_relation(statement: Statement) -> str:
+        """The relation a statement targets, for per-relation metrics.
+
+        Joins are attributed to their first range variable's relation;
+        statements with no relation (define calendar/rule, …) land in
+        the ``-`` series.  The labelled family is cardinality-governed,
+        so a schema with hundreds of relations collapses the tail into
+        ``other`` rather than growing the registry unboundedly.
+        """
+        if isinstance(statement, (Append, CreateIndex)):
+            return statement.relation
+        if isinstance(statement, (Retrieve, Replace, Delete)):
+            if statement.range_vars:
+                return statement.range_vars[0].relation
+            if isinstance(statement, (Replace, Delete)):
+                # Implicit range: the variable names the relation.
+                return statement.var
+            return "-"
+        if isinstance(statement, (CreateTable, DropTable)):
+            return statement.name
+        return "-"
 
     def _dispatch(self, statement: Statement, bindings: dict | None
                   ) -> Result:

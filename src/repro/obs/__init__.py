@@ -1,14 +1,18 @@
 """Observability: metrics, tracing, structured events and exporters.
 
 The subsystem behind the unified :class:`repro.Session` instrumentation
-API — see :mod:`repro.obs.metrics` (counters/gauges/histograms),
+API — see :mod:`repro.obs.metrics` (counters/gauges/histograms, plus
+labelled families with cardinality governance),
 :mod:`repro.obs.tracer` (nested spans, trace ring buffer),
 :mod:`repro.obs.instrument` (the bundle wired through interpreter, plan
 VM, planner, materialisation cache, query executor and DBCRON),
 :mod:`repro.obs.telemetry` (the typed event pipeline and slow-query
-log), :mod:`repro.obs.promexport` (Prometheus text exposition and
-OTLP-style span export), :mod:`repro.obs.httpd` (the embedded
-``/metrics`` endpoint) and :mod:`repro.obs.export` (JSON snapshots).
+log), :mod:`repro.obs.promexport` (Prometheus text exposition with
+label sets and exemplars, and OTLP-style span export),
+:mod:`repro.obs.profiler` (the continuous wall-clock sampling
+profiler), :mod:`repro.obs.slo` (self-monitoring SLO rules fired by
+DBCRON), :mod:`repro.obs.httpd` (the embedded ``/metrics`` endpoint)
+and :mod:`repro.obs.export` (JSON snapshots).
 """
 
 from repro.obs.export import export_json, metrics_to_dict, traces_to_dict
@@ -20,12 +24,23 @@ from repro.obs.instrument import (
 )
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BOUNDS,
+    DEFAULT_MAX_SERIES,
     Counter,
+    CounterFamily,
     Gauge,
+    GaugeFamily,
     Histogram,
+    HistogramFamily,
     MetricsRegistry,
 )
+from repro.obs.profiler import DEFAULT_HERTZ, SamplingProfiler
 from repro.obs.promexport import render_prometheus, spans_to_otlp
+from repro.obs.slo import (
+    LatencyObjective,
+    Objective,
+    RatioObjective,
+    SLOMonitor,
+)
 from repro.obs.telemetry import (
     CallbackSink,
     Event,
@@ -39,7 +54,8 @@ from repro.obs.tracer import Span, Tracer
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "DEFAULT_LATENCY_BOUNDS",
+    "CounterFamily", "GaugeFamily", "HistogramFamily",
+    "DEFAULT_LATENCY_BOUNDS", "DEFAULT_MAX_SERIES",
     "Span", "Tracer",
     "Instrumentation", "get_default_instrumentation",
     "set_default_instrumentation",
@@ -47,5 +63,7 @@ __all__ = [
     "Event", "RingSink", "FileSink", "CallbackSink", "TelemetryPipeline",
     "SlowQuery", "SlowQueryLog",
     "render_prometheus", "spans_to_otlp",
+    "SamplingProfiler", "DEFAULT_HERTZ",
+    "Objective", "LatencyObjective", "RatioObjective", "SLOMonitor",
     "TelemetryServer",
 ]

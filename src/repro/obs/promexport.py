@@ -23,10 +23,13 @@ import math
 import re
 import time
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (Counter, CounterFamily, Gauge, GaugeFamily,
+                               Histogram, HistogramFamily, MetricsRegistry,
+                               escape_label_value)
 from repro.obs.tracer import Span
 
-__all__ = ["prometheus_name", "render_prometheus", "spans_to_otlp"]
+__all__ = ["prometheus_name", "render_prometheus", "render_labels",
+           "spans_to_otlp"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -64,39 +67,100 @@ def _help_text(instrument) -> str:
     return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
+def render_labels(label_names: "tuple[str, ...]",
+                  values: "tuple[str, ...]",
+                  extra: str = "") -> str:
+    """A ``{k="v",...}`` label block (empty string when no labels)."""
+    parts = [f'{k}="{escape_label_value(v)}"'
+             for k, v in zip(label_names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _exemplar_suffix(exemplar) -> str:
+    """OpenMetrics exemplar annotation for one bucket line, or ''."""
+    if exemplar is None:
+        return ""
+    value, trace_id, wall_ts = exemplar
+    return (f' # {{trace_id="{escape_label_value(trace_id)}"}} '
+            f"{_format_value(float(value))} {repr(float(wall_ts))}")
+
+
+def _render_histogram_series(lines: "list[str]", pname: str,
+                             histogram: Histogram, labels: str,
+                             label_extra_open: str,
+                             exemplars: bool) -> None:
+    """Bucket/_sum/_count lines for one histogram series.
+
+    ``labels`` is the rendered label block for _sum/_count;
+    ``label_extra_open`` is the same block with a trailing comma ready
+    for the ``le`` label to be appended (``'{tenant="x",'`` or ``'{'``).
+    """
+    examples = histogram.exemplars() if exemplars else {}
+    for index, (bound, cumulative) in enumerate(
+            histogram.cumulative_buckets()):
+        suffix = _exemplar_suffix(examples.get(index))
+        lines.append(f'{pname}_bucket{label_extra_open}le='
+                     f'"{_format_bound(bound)}"}} {cumulative}{suffix}')
+    lines.append(f"{pname}_sum{labels} {_format_value(histogram.sum)}")
+    lines.append(f"{pname}_count{labels} {histogram.count}")
+
+
 def render_prometheus(metrics: MetricsRegistry,
-                      namespace: str = "repro") -> str:
+                      namespace: str = "repro",
+                      exemplars: bool = True) -> str:
     """The registry's instruments in Prometheus text exposition format.
 
     Counters are exported with the conventional ``_total`` suffix,
     histograms as ``_bucket``/``_sum``/``_count`` series with cumulative
     (monotone non-decreasing) bucket counts ending in the mandatory
-    ``le="+Inf"`` bucket.
+    ``le="+Inf"`` bucket.  Labelled families render one sample per child
+    series under a single ``# HELP``/``# TYPE`` block, label values
+    escaped per the exposition grammar.  Histogram buckets that hold a
+    trace-tagged observation carry an OpenMetrics exemplar annotation
+    (``# {trace_id="…"} value ts``) unless ``exemplars`` is False.
     """
     lines: list[str] = []
     for name in metrics.names():
         instrument = metrics.get(name)
-        if isinstance(instrument, Counter):
+        if isinstance(instrument, (Counter, CounterFamily)):
             pname = prometheus_name(name, namespace)
             if not pname.endswith("_total"):
                 pname += "_total"
             lines.append(f"# HELP {pname} {_help_text(instrument)}")
             lines.append(f"# TYPE {pname} counter")
-            lines.append(f"{pname} {_format_value(instrument.value)}")
-        elif isinstance(instrument, Gauge):
+            if isinstance(instrument, Counter):
+                lines.append(f"{pname} {_format_value(instrument.value)}")
+            else:
+                for values, child in sorted(instrument.series().items()):
+                    labels = render_labels(instrument.label_names, values)
+                    lines.append(
+                        f"{pname}{labels} {_format_value(child.value)}")
+        elif isinstance(instrument, (Gauge, GaugeFamily)):
             pname = prometheus_name(name, namespace)
             lines.append(f"# HELP {pname} {_help_text(instrument)}")
             lines.append(f"# TYPE {pname} gauge")
-            lines.append(f"{pname} {_format_value(instrument.value)}")
-        elif isinstance(instrument, Histogram):
+            if isinstance(instrument, Gauge):
+                lines.append(f"{pname} {_format_value(instrument.value)}")
+            else:
+                for values, child in sorted(instrument.series().items()):
+                    labels = render_labels(instrument.label_names, values)
+                    lines.append(
+                        f"{pname}{labels} {_format_value(child.value)}")
+        elif isinstance(instrument, (Histogram, HistogramFamily)):
             pname = prometheus_name(name, namespace)
             lines.append(f"# HELP {pname} {_help_text(instrument)}")
             lines.append(f"# TYPE {pname} histogram")
-            for bound, cumulative in instrument.cumulative_buckets():
-                lines.append(f'{pname}_bucket{{le="{_format_bound(bound)}"'
-                             f"}} {cumulative}")
-            lines.append(f"{pname}_sum {_format_value(instrument.sum)}")
-            lines.append(f"{pname}_count {instrument.count}")
+            if isinstance(instrument, Histogram):
+                _render_histogram_series(lines, pname, instrument,
+                                         "", "{", exemplars)
+            else:
+                for values, child in sorted(instrument.series().items()):
+                    labels = render_labels(instrument.label_names, values)
+                    label_open = labels[:-1] + "," if labels else "{"
+                    _render_histogram_series(lines, pname, child,
+                                             labels, label_open, exemplars)
     return "\n".join(lines) + "\n" if lines else ""
 
 
@@ -160,7 +224,7 @@ def spans_to_otlp(spans: "list[Span]",
             walk(child, trace_id, span_id)
 
     for index, root in enumerate(spans, start=1):
-        walk(root, f"{index:032x}", "")
+        walk(root, root.trace_id or f"{index:032x}", "")
 
     return {
         "resourceSpans": [{

@@ -1,0 +1,332 @@
+"""Self-monitoring SLO rules: DBCRON watching the engine's own metrics.
+
+The paper's thesis is that temporal rules belong *inside* the database;
+this module dogfoods that mechanism as the engine's own monitoring
+system.  An :class:`SLOMonitor` registers one ordinary DBCRON calendar
+rule (``session.rules.on_calendar``) whose callback evaluates a set of
+:class:`Objective`\\ s against the live metrics registry every time the
+rule fires.  Objectives are *burn-rate* style: each evaluation reads the
+**delta** since the previous evaluation (cumulative histogram buckets or
+counter values snapshotted per fire), so a breach reflects the window
+between rule fires — and recovery is possible once the workload calms
+down, unlike naive lifetime-cumulative checks.
+
+An objective that breaches for ``window`` consecutive evaluations
+becomes a *violation*: the monitor emits a telemetry ``alert`` event,
+increments the ``slo.breaches`` counter and flips the objective's
+``slo.status`` gauge to 1 — and :meth:`Session.health` reports the
+violated objective by name, degrading ``/healthz`` to 503 until a
+healthy evaluation resolves it.
+
+Two built-in objective shapes cover the ISSUE's examples:
+
+* :class:`LatencyObjective` — an estimated quantile of a histogram's
+  per-window observations against a threshold (``p99 eval latency over
+  5ms for 3 consecutive fires``);
+* :class:`RatioObjective` — the per-window ratio of two counters
+  against a budget (``sheds / fires above 1%``).
+
+Both accept plain instruments or labelled families (family deltas are
+summed across children, or restricted to one child via ``labels=``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (Counter, CounterFamily, Histogram,
+                               HistogramFamily, MetricsRegistry)
+
+__all__ = ["Objective", "LatencyObjective", "RatioObjective", "SLOMonitor"]
+
+
+class Objective:
+    """One monitored objective; subclasses implement :meth:`evaluate`.
+
+    ``window`` is the number of *consecutive* breaching evaluations
+    required before the objective is declared violated (a single noisy
+    window does not page anyone).
+    """
+
+    def __init__(self, name: str, *, window: int = 3,
+                 description: str = "") -> None:
+        if window < 1:
+            raise ValueError(f"objective {name!r} window must be >= 1")
+        self.name = name
+        self.window = int(window)
+        self.description = description
+
+    def evaluate(self, metrics: MetricsRegistry) -> "tuple[bool, str]":
+        """``(breached, detail)`` for the window since the last call.
+
+        A window with no data must return ``(False, ...)`` — absence of
+        traffic is healthy, and is what lets a violated objective
+        recover once the breaching workload stops.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def _histograms(instrument, labels):
+    """The histogram series an objective reads (family-aware)."""
+    if isinstance(instrument, Histogram):
+        return [instrument]
+    if isinstance(instrument, HistogramFamily):
+        if labels is not None:
+            return [instrument.labels(*labels)]
+        return list(instrument.series().values())
+    return []
+
+
+def _counter_value(instrument, labels) -> "int | None":
+    """Current value of a counter or summed counter family."""
+    if isinstance(instrument, Counter):
+        return instrument.value
+    if isinstance(instrument, CounterFamily):
+        if labels is not None:
+            return instrument.labels(*labels).value
+        return sum(child.value for child in instrument.series().values())
+    return None
+
+
+class LatencyObjective(Objective):
+    """An estimated latency quantile over the evaluation window.
+
+    Snapshots the histogram's cumulative buckets each evaluation and
+    computes the quantile from the bucket *deltas* — the distribution of
+    only the observations that arrived since the previous fire.  The
+    estimate is the upper bound of the bucket holding the quantile
+    (conservative, like :meth:`Histogram.quantile`).
+    """
+
+    def __init__(self, name: str, *, metric: str, threshold_s: float,
+                 quantile: float = 0.99, window: int = 3,
+                 labels: "tuple[str, ...] | None" = None,
+                 description: str = "") -> None:
+        super().__init__(name, window=window, description=description)
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"objective {name!r} quantile outside (0, 1]")
+        if threshold_s <= 0:
+            raise ValueError(f"objective {name!r} threshold must be > 0")
+        self.metric = metric
+        self.quantile = float(quantile)
+        self.threshold_s = float(threshold_s)
+        self.labels = tuple(str(v) for v in labels) if labels else None
+        self._previous: "dict[str, list[int]]" = {}
+
+    def evaluate(self, metrics: MetricsRegistry) -> "tuple[bool, str]":
+        series = _histograms(metrics.get(self.metric), self.labels)
+        if not series:
+            return False, f"metric {self.metric!r} not registered"
+        # Sum per-bucket deltas across series (bounds are shared within
+        # a family; mixed-bounds series would be a registration error).
+        bounds: "tuple[float, ...] | None" = None
+        delta: "list[int]" = []
+        for histogram in series:
+            pairs = histogram.cumulative_buckets()
+            current = [count for _, count in pairs]
+            previous = self._previous.get(histogram.name,
+                                          [0] * len(current))
+            if len(previous) != len(current):
+                previous = [0] * len(current)
+            self._previous[histogram.name] = current
+            step = [max(0, now - then)
+                    for now, then in zip(current, previous)]
+            if not delta:
+                bounds = tuple(bound for bound, _ in pairs)
+                delta = step
+            else:
+                delta = [a + b for a, b in zip(delta, step)]
+        total = delta[-1] if delta else 0
+        if total == 0:
+            return False, "no observations this window"
+        rank = self.quantile * total
+        estimate = bounds[-1]
+        for bound, cumulative in zip(bounds, delta):
+            if cumulative >= rank:
+                estimate = bound
+                break
+        detail = (f"p{self.quantile * 100:g} {self.metric} ≈ "
+                  f"{estimate:g}s over {total} observations "
+                  f"(threshold {self.threshold_s:g}s)")
+        return estimate > self.threshold_s, detail
+
+
+class RatioObjective(Objective):
+    """A counter-delta ratio against a budget over the window.
+
+    ``numerator / denominator`` computed from the per-window deltas of
+    two counters (or summed counter families) — e.g. sheds over fires,
+    drops over emits.  A window where the denominator does not move has
+    no data and counts as healthy.
+    """
+
+    def __init__(self, name: str, *, numerator: str, denominator: str,
+                 max_ratio: float, window: int = 3,
+                 numerator_labels: "tuple[str, ...] | None" = None,
+                 denominator_labels: "tuple[str, ...] | None" = None,
+                 description: str = "") -> None:
+        super().__init__(name, window=window, description=description)
+        if max_ratio < 0:
+            raise ValueError(f"objective {name!r} max_ratio must be >= 0")
+        self.numerator = numerator
+        self.denominator = denominator
+        self.max_ratio = float(max_ratio)
+        self.numerator_labels = numerator_labels
+        self.denominator_labels = denominator_labels
+        self._prev_num = 0
+        self._prev_den = 0
+
+    def evaluate(self, metrics: MetricsRegistry) -> "tuple[bool, str]":
+        num = _counter_value(metrics.get(self.numerator),
+                             self.numerator_labels)
+        den = _counter_value(metrics.get(self.denominator),
+                             self.denominator_labels)
+        if num is None or den is None:
+            return False, "counters not registered"
+        num_delta = max(0, num - self._prev_num)
+        den_delta = max(0, den - self._prev_den)
+        self._prev_num, self._prev_den = num, den
+        if den_delta == 0:
+            return False, "no activity this window"
+        ratio = num_delta / den_delta
+        detail = (f"{self.numerator}/{self.denominator} = "
+                  f"{num_delta}/{den_delta} = {ratio:.4f} "
+                  f"(budget {self.max_ratio:g})")
+        return ratio > self.max_ratio, detail
+
+
+class _ObjectiveState:
+    """Streak/violation bookkeeping for one objective."""
+
+    __slots__ = ("objective", "streak", "violated", "detail",
+                 "evaluations", "breaches")
+
+    def __init__(self, objective: Objective) -> None:
+        self.objective = objective
+        self.streak = 0
+        self.violated = False
+        self.detail = ""
+        self.evaluations = 0
+        self.breaches = 0
+
+
+class SLOMonitor:
+    """Evaluates objectives on every fire of an ordinary DBCRON rule.
+
+    Construct via :meth:`Session.install_slos`; the monitor owns one
+    calendar rule (default: fired every ``DAYS`` tick) whose callback is
+    :meth:`check`.  Violations surface three ways: telemetry ``alert``
+    events (state ``firing``/``resolved``), the ``slo.breaches``/
+    ``slo.status`` labelled metrics, and :meth:`problems`, which
+    :meth:`Session.health` folds into ``/healthz``.
+    """
+
+    def __init__(self, session, objectives, *, every: str = "DAYS",
+                 rule_name: str = "slo.monitor", tenant: str = "slo",
+                 priority: int = 100) -> None:
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate objective names")
+        self.session = session
+        self.rule_name = rule_name
+        self._states = {objective.name: _ObjectiveState(objective)
+                        for objective in objectives}
+        metrics = session.instrumentation.metrics
+        self._breaches = metrics.counter(
+            "slo.breaches", "SLO violations declared, per objective",
+            labels=("objective",))
+        self._status = metrics.gauge(
+            "slo.status", "1 while the objective is violated, else 0",
+            labels=("objective",))
+        for objective in objectives:
+            self._status.labels(objective.name).set(0.0)
+        # The monitor is an ordinary calendar rule: high priority so
+        # load shedding drops application rules before the monitoring
+        # that would explain the shedding.
+        session.rules.on_calendar(
+            rule_name, expression=every, callback=self._on_fire,
+            tenant=tenant, priority=priority)
+        self._installed = True
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _on_fire(self, database, at_tick: int) -> None:
+        self.check(at_tick)
+
+    def check(self, at_tick: "int | None" = None) -> dict:
+        """Evaluate every objective once; returns the status dict.
+
+        Normally driven by the DBCRON rule; callable directly for tests
+        and ad-hoc probes.  Objective exceptions are contained per
+        objective (an unregistered metric must not break the rule
+        daemon's wave).
+        """
+        metrics = self.session.instrumentation.metrics
+        for state in self._states.values():
+            objective = state.objective
+            try:
+                breached, detail = objective.evaluate(metrics)
+            except Exception as exc:
+                breached, detail = False, f"evaluation error: {exc}"
+            state.evaluations += 1
+            state.detail = detail
+            if breached:
+                state.streak += 1
+            else:
+                state.streak = 0
+            if breached and not state.violated \
+                    and state.streak >= objective.window:
+                state.violated = True
+                state.breaches += 1
+                self._breaches.labels(objective.name).inc()
+                self._status.labels(objective.name).set(1.0)
+                self._emit("firing", objective, detail, at_tick)
+            elif not breached and state.violated:
+                state.violated = False
+                self._status.labels(objective.name).set(0.0)
+                self._emit("resolved", objective, detail, at_tick)
+        return self.status()
+
+    def _emit(self, alert_state: str, objective: Objective, detail: str,
+              at_tick: "int | None") -> None:
+        pipeline = self.session.telemetry
+        if pipeline is not None:
+            pipeline.emit("alert", objective=objective.name,
+                          state=alert_state, detail=detail,
+                          tick=at_tick)
+
+    # -- reporting ----------------------------------------------------------
+
+    def problems(self) -> "list[str]":
+        """Health problems for every currently violated objective."""
+        return [f"slo {state.objective.name} violated: {state.detail}"
+                for state in self._states.values() if state.violated]
+
+    def status(self) -> dict:
+        """Per-objective state for ``/healthz`` and dashboards."""
+        return {
+            name: {
+                "violated": state.violated,
+                "streak": state.streak,
+                "window": state.objective.window,
+                "breaches": state.breaches,
+                "evaluations": state.evaluations,
+                "detail": state.detail,
+            }
+            for name, state in sorted(self._states.items())
+        }
+
+    def uninstall(self) -> None:
+        """Drop the monitoring rule (objective state is kept)."""
+        if self._installed:
+            self._installed = False
+            try:
+                self.session.rules.drop(self.rule_name)
+            except Exception:
+                pass
+
+    def __repr__(self) -> str:
+        violated = sum(1 for s in self._states.values() if s.violated)
+        return (f"SLOMonitor({self.rule_name!r}, "
+                f"objectives={len(self._states)}, violated={violated})")

@@ -15,6 +15,7 @@ always-on no-op context manager in the hot loops.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -31,14 +32,19 @@ class Span:
     tracer's ring buffer.
     """
 
-    __slots__ = ("name", "meta", "start", "end", "children", "_tracer",
-                 "_parent", "_adopt", "_spans", "_dropped", "_epoch")
+    __slots__ = ("name", "meta", "start", "end", "children", "trace_id",
+                 "_tracer", "_parent", "_adopt", "_spans", "_dropped",
+                 "_epoch")
 
     def __init__(self, tracer: "Tracer", name: str, meta: dict) -> None:
         self.name = name
         self.meta = meta
         self.start: float | None = None
         self.end: float | None = None
+        #: 32-hex trace id; assigned on enter (new for roots, inherited
+        #: from the parent otherwise) so histogram exemplars can link
+        #: observations back to the trace they occurred in.
+        self.trace_id: str | None = None
         self.children: list[Span] = []
         self._tracer = tracer
         self._parent: Span | None = None
@@ -69,6 +75,10 @@ class Span:
             # list.append is atomic under the GIL, so concurrent workers
             # attaching to one parent do not need a lock.
             self._parent.children.append(self)
+        if self._parent is not None:
+            self.trace_id = self._parent.trace_id
+        else:
+            self.trace_id = self._tracer._new_trace_id()
         stack.append(self)
         self.start = time.perf_counter()
         return self
@@ -200,6 +210,8 @@ class Tracer:
         self._ring: deque = deque(maxlen=ring_size)
         self._local = threading.local()
         self._lock = threading.Lock()
+        #: Monotone root-trace counter; next() is atomic under the GIL.
+        self._trace_ids = itertools.count(1)
         #: Bumped by clear() under the ring lock; spans stamp it at
         #: creation and _publish discards stale-epoch roots, so a trace
         #: started before a clear can never resurface after it.
@@ -253,6 +265,7 @@ class Tracer:
         span.start = span.end = now
         stack = self._stack()
         if stack:
+            span.trace_id = stack[0].trace_id
             root = stack[0]
             root._spans += 1
             if root._spans >= self.max_spans:
@@ -262,14 +275,28 @@ class Tracer:
             span._tracer = None
             stack[-1].children.append(span)
         else:
+            span.trace_id = self._new_trace_id()
             span._tracer = None
             self._publish(span)
         return span
+
+    def _new_trace_id(self) -> str:
+        return f"{next(self._trace_ids):032x}"
 
     def current(self) -> Span | None:
         """The innermost open span of this thread, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def current_trace_id(self) -> "str | None":
+        """The trace id of this thread's open trace, if any.
+
+        Exemplar hook: hot emitters pass this to
+        :meth:`~repro.obs.metrics.Histogram.observe` so bucket exemplars
+        point back into the trace ring.
+        """
+        stack = self._stack()
+        return stack[0].trace_id if stack else None
 
     def _publish(self, span: Span) -> None:
         """Append a finished root span unless a clear() superseded it.

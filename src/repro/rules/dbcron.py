@@ -197,6 +197,10 @@ class DBCron:
         #: :class:`~repro.rules.throttle.TenantThrottle`); None = fire
         #: everything.
         self.throttle = throttle
+        if throttle is not None and hasattr(throttle, "bind_metrics"):
+            # Tenant-labelled fired/shed/denied counters live in the
+            # stack's shared registry once a daemon adopts the throttle.
+            throttle.bind_metrics(self.db.instrumentation.metrics)
         self._horizon = clock.now  # end of the currently probed window
         self.stats = _Stats()
         manager.clock = clock
@@ -252,15 +256,30 @@ class DBCron:
         return loaded
 
     def _observe_wheel(self, inst, now: int) -> None:
-        """Wheel-specific gauges: cascades, overflow, per-shard lag."""
+        """Wheel-specific gauges: cascades, overflow, per-shard lag.
+
+        Lag is recorded twice: the flat histogram keeps the historical
+        distribution view, while the labelled gauge family exposes each
+        shard's *current* lag as its own Prometheus series so a stuck
+        shard is identifiable by number.
+        """
         metrics = inst.metrics
         metrics.gauge("dbcron.wheel.shards").set(self.sched.shards)
         metrics.gauge("dbcron.wheel.cascades").set(self.sched.cascades())
         metrics.gauge("dbcron.wheel.overflow").set(
             self.sched.overflow_size())
         lag_hist = metrics.histogram("dbcron.wheel.shard_lag_ticks")
-        for lag in self.sched.shard_lags(now):
+        lag_family = metrics.gauge(
+            "dbcron.wheel.shard_lag", "Current lag ticks per wheel shard",
+            labels=("shard",))
+        sizes = metrics.gauge(
+            "dbcron.wheel.shard_size", "Armed rules per wheel shard",
+            labels=("shard",))
+        for shard, lag in enumerate(self.sched.shard_lags(now)):
             lag_hist.observe(lag)
+            lag_family.labels(str(shard)).set(float(lag))
+        for shard, size in enumerate(self.sched.shard_sizes()):
+            sizes.labels(str(shard)).set(float(size))
 
     def _on_schedule_change(self, name: str, next_fire: int | None) -> None:
         """A rule was declared/dropped/rescheduled while we are awake."""
@@ -318,6 +337,9 @@ class DBCron:
         fire_hist = inst.metrics.histogram("dbcron.fire_seconds")
         drift_gauge = inst.metrics.gauge("dbcron.fire_drift_ticks")
         fire_counter = inst.metrics.counter("dbcron.fires")
+        shard_fires = inst.metrics.counter(
+            "dbcron.shard_fires", "Rules fired per scheduler shard",
+            labels=("shard",))
         fired = 0
         while True:
             wave = self.sched.pop_wave(now)
@@ -338,9 +360,11 @@ class DBCron:
                            for tick, name, _ in wave]
             # Stats and metrics are updated on this thread, in wave
             # order, so sequential and parallel runs count identically.
-            for (next_fire, elapsed), (tick, name, _) in zip(results, wave):
+            for (next_fire, elapsed), (tick, name, shard) in zip(results,
+                                                                 wave):
                 fire_hist.observe(elapsed)
                 fire_counter.inc()
+                shard_fires.labels(str(shard)).inc()
                 fired += 1
                 self.stats.fires += 1
                 if next_fire is not None:

@@ -76,7 +76,7 @@ class TokenBucket:
 
 class _TenantState:
     __slots__ = ("fires", "registrations", "fired", "shed",
-                 "registered", "denied")
+                 "registered", "denied", "counters")
 
     def __init__(self, fires: TokenBucket | None,
                  registrations: TokenBucket | None) -> None:
@@ -86,6 +86,10 @@ class _TenantState:
         self.shed = 0
         self.registered = 0
         self.denied = 0
+        #: Tenant-labelled (fired, shed, registered, denied) counter
+        #: children, bound once per tenant by ``bind_metrics``; None
+        #: while the throttle is unbound (one branch per admission).
+        self.counters: "tuple | None" = None
 
 
 class TenantThrottle:
@@ -105,8 +109,33 @@ class TenantThrottle:
         self._tenants: dict[str, _TenantState] = {}
         self._overrides: dict[str, tuple] = {}
         self._lock = threading.RLock()
+        self._families: "tuple | None" = None
 
     # -- configuration -----------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror per-tenant counters into labelled metric families.
+
+        Called by :class:`~repro.rules.dbcron.DBCron` when it adopts the
+        throttle.  Each tenant's fired/shed/registered/denied counts
+        update ``dbcron.tenant.*`` counter families labelled by tenant
+        — cardinality-governed, so hostile tenant ids collapse into the
+        ``other`` series instead of growing the registry.  Idempotent;
+        re-binding to a different registry re-binds existing tenants on
+        their next admission.
+        """
+        with self._lock:
+            self._families = tuple(
+                registry.counter(f"dbcron.tenant.{name}", description,
+                                 labels=("tenant",))
+                for name, description in (
+                    ("fired", "Rule fires granted per tenant"),
+                    ("shed", "Rule fires shed over budget per tenant"),
+                    ("registered", "Rule registrations admitted per tenant"),
+                    ("denied", "Rule registrations denied per tenant"),
+                ))
+            for state in self._tenants.values():
+                state.counters = None  # re-bound lazily in _state
 
     def set_limits(self, tenant: str, *,
                    fires_per_tick: float | None = None,
@@ -131,6 +160,9 @@ class TenantThrottle:
                 if reg_rate is not None else None
             state = _TenantState(fires, regs)
             self._tenants[tenant] = state
+        if state.counters is None and self._families is not None:
+            state.counters = tuple(family.labels(tenant)
+                                   for family in self._families)
         return state
 
     # -- admission ---------------------------------------------------------------
@@ -142,8 +174,12 @@ class TenantThrottle:
             if state.registrations is None or \
                     state.registrations.admit(now):
                 state.registered += 1
+                if state.counters is not None:
+                    state.counters[2].inc()
                 return True
             state.denied += 1
+            if state.counters is not None:
+                state.counters[3].inc()
             return False
 
     def grant_fires(self, tenant: str, now: int, requested: int) -> int:
@@ -156,6 +192,11 @@ class TenantThrottle:
                 granted = state.fires.grant(now, requested)
             state.fired += granted
             state.shed += requested - granted
+            if state.counters is not None:
+                if granted:
+                    state.counters[0].inc(granted)
+                if requested > granted:
+                    state.counters[1].inc(requested - granted)
             return granted
 
     # -- reporting ---------------------------------------------------------------

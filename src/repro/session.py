@@ -23,10 +23,19 @@ obvious home.
 from __future__ import annotations
 
 import difflib
+import gc
 import os
+import sys
+import threading
+import time
 
 from dataclasses import dataclass, field
 from time import perf_counter
+
+try:
+    import resource
+except ImportError:  # pragma: no cover — non-POSIX platforms
+    resource = None
 
 from repro.catalog import (
     CalendarRegistry,
@@ -48,7 +57,9 @@ from repro.lang.planner import compile_expression
 from repro.obs.httpd import TelemetryServer
 from repro.obs.instrument import Instrumentation
 from repro.obs.export import export_json
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.promexport import render_prometheus, spans_to_otlp
+from repro.obs.slo import SLOMonitor
 from repro.obs.telemetry import SlowQuery, SlowQueryLog, TelemetryPipeline
 from repro.obs.tracer import Span, Tracer
 from repro.rules import DBCron, RuleManager, RulesFacade, SimulatedClock
@@ -211,6 +222,11 @@ def _env_float(name: str) -> float | None:
         return None
 
 
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
 class Session:
     """Registry + database + rules + clock behind one constructor.
 
@@ -283,12 +299,20 @@ class Session:
             slow_query_threshold = _env_float("REPRO_SLOWLOG_SECONDS")
         #: Slow-query log; disabled while the threshold is None.
         self.slowlog = SlowQueryLog(slow_query_threshold)
+        #: Wall-clock construction time, backing ``process.uptime_seconds``.
+        self._started_wall = time.time()
+        #: Lazily constructed continuous profiler (``session.profiler``).
+        self._profiler: SamplingProfiler | None = None
+        #: The installed SLO monitor, if any (``install_slos``).
+        self.slo: SLOMonitor | None = None
         self.attach_database(database, clock_start=clock_start,
                              cron_period=cron_period)
         if telemetry or telemetry_port is not None:
             self.enable_telemetry()
         if telemetry_port is not None:
             self.start_telemetry_server(telemetry_port)
+        if _env_truthy("REPRO_PROFILE"):
+            self.profiler.start()
 
     def attach_database(self, database: Database, *,
                         clock_start: int = 1,
@@ -331,6 +355,12 @@ class Session:
         if pipeline is not None:
             self.instrumentation.attach_telemetry(pipeline)
             self.registry.matcache.pipeline = pipeline
+        #: Per-script eval_many latency family, bound once so the hot
+        #: path pays one dict lookup per job, not a registry round-trip.
+        self._script_seconds = self.instrumentation.metrics.histogram(
+            "eval.script_seconds",
+            "Per-script eval_many latency, labelled by script text",
+            labels=("script",), max_series=128)
 
     # -- observability -------------------------------------------------------
 
@@ -344,11 +374,50 @@ class Session:
 
         Includes the process-wide ``columnar.materialisations`` counter —
         how many times a column-backed calendar had to build its element
-        tuple (0 means every pipeline stayed on the integer lanes).
+        tuple (0 means every pipeline stayed on the integer lanes) —
+        and refreshed process self-metrics (RSS, GC, threads, uptime).
         """
+        self._refresh_process_metrics()
         snapshot = self.instrumentation.metrics.snapshot()
         snapshot["columnar.materialisations"] = columnar.MATERIALISATIONS.value
         return snapshot
+
+    def _refresh_process_metrics(self) -> None:
+        """Update the ``process.*`` gauges from live process state.
+
+        Called on every metrics snapshot / Prometheus scrape rather
+        than continuously: these are point-in-time readings, and paying
+        for them per scrape keeps the idle session at zero overhead.
+        """
+        metrics = self.instrumentation.metrics
+        if resource is not None:
+            usage = resource.getrusage(resource.RUSAGE_SELF)
+            # ru_maxrss is KiB on Linux, bytes on macOS.
+            scale = 1 if sys.platform == "darwin" else 1024
+            metrics.gauge(
+                "process.rss_bytes",
+                "Peak resident set size (ru_maxrss)").set(
+                    float(usage.ru_maxrss * scale))
+        metrics.gauge(
+            "process.threads",
+            "Live Python threads").set(float(threading.active_count()))
+        metrics.gauge(
+            "process.uptime_seconds",
+            "Wall seconds since session construction").set(
+                time.time() - self._started_wall)
+        collections = metrics.gauge(
+            "process.gc.collections",
+            "Garbage collector runs per generation",
+            labels=("generation",))
+        collected = metrics.gauge(
+            "process.gc.collected",
+            "Objects collected per generation",
+            labels=("generation",))
+        for generation, stats in enumerate(gc.get_stats()):
+            collections.labels(str(generation)).set(
+                float(stats.get("collections", 0)))
+            collected.labels(str(generation)).set(
+                float(stats.get("collected", 0)))
 
     def recent_traces(self) -> list[Span]:
         """Recently finished root spans (requires tracing enabled)."""
@@ -402,7 +471,13 @@ class Session:
         return self.slowlog.records()
 
     def prometheus_text(self) -> str:
-        """Every metric in Prometheus text exposition format (0.0.4)."""
+        """Every metric in Prometheus text exposition format (0.0.4).
+
+        Labelled families render as proper label sets; histogram buckets
+        carry exemplar annotations when tracing has tagged observations.
+        Process self-metrics are refreshed per scrape.
+        """
+        self._refresh_process_metrics()
         return render_prometheus(self.instrumentation.metrics)
 
     def health(self) -> dict:
@@ -410,7 +485,8 @@ class Session:
 
         ``status`` is ``"ok"`` or ``"degraded"`` (with a ``problems``
         list): the daemon running more than two probe periods behind its
-        schedule, or a closed worker pool, degrade the session.  Cache
+        schedule, a closed worker pool, or a violated SLO objective
+        (named, with its burn-rate detail) degrade the session.  Cache
         fill is informational.
         """
         problems: list[str] = []
@@ -423,6 +499,8 @@ class Session:
                 f"(period {self.cron.period})")
         if not self.pool.alive:
             problems.append("worker pool closed")
+        if self.slo is not None:
+            problems.extend(self.slo.problems())
         cache = self.registry.matcache
         entries = cache.stats()["entries"]
         out = {
@@ -440,6 +518,8 @@ class Session:
         if self.telemetry is not None:
             out["telemetry"] = {"emitted": self.telemetry.emitted,
                                 "dropped": self.telemetry.dropped}
+        if self.slo is not None:
+            out["slo"] = self.slo.status()
         return out
 
     def start_telemetry_server(self, port: int = 0,
@@ -462,11 +542,13 @@ class Session:
                 self.instrumentation.raw_tracer.recent()),
             events=lambda: [e.to_dict() for e in self.events()],
             rules=lambda: self.rules.stats(),
+            profile=lambda seconds: self.profiler.profile_for(seconds),
+            flamegraph=lambda: self.profiler.folded(),
             port=port, host=host)
         return self.server
 
     def close(self) -> None:
-        """Stop the telemetry server (if any) and the worker pool.
+        """Stop the telemetry server (if any), profiler and worker pool.
 
         Also detaches the telemetry pipeline: a session built on the
         process-default instrumentation must not leave its pipeline
@@ -475,9 +557,44 @@ class Session:
         if self.server is not None:
             self.server.close()
             self.server = None
+        if self._profiler is not None:
+            self._profiler.stop()
         if self.telemetry is not None:
             self.disable_telemetry()
         self.pool.close(wait=False)
+
+    # -- profiling & SLOs ----------------------------------------------------
+
+    @property
+    def profiler(self) -> SamplingProfiler:
+        """The session's continuous sampling profiler (lazy).
+
+        Created on first access, stopped by :meth:`close`.  Start it
+        explicitly (``session.profiler.start()``), via the CLI's
+        ``\\prof on``, or process-wide with ``REPRO_PROFILE=1``.
+        """
+        if self._profiler is None:
+            self._profiler = SamplingProfiler()
+        return self._profiler
+
+    def install_slos(self, objectives, *, every: str = "DAYS",
+                     rule_name: str = "slo.monitor", tenant: str = "slo",
+                     priority: int = 100) -> SLOMonitor:
+        """Install self-monitoring SLO rules evaluated by DBCRON.
+
+        Registers one ordinary calendar rule (``expression=every``)
+        whose callback evaluates the given objectives against the live
+        metrics registry; violations degrade :meth:`health` (and thus
+        ``/healthz``) naming the objective, emit telemetry ``alert``
+        events and move the ``slo.status``/``slo.breaches`` series.
+        Re-installing replaces the previous monitor.
+        """
+        if self.slo is not None:
+            self.slo.uninstall()
+        self.slo = SLOMonitor(self, objectives, every=every,
+                              rule_name=rule_name, tenant=tenant,
+                              priority=priority)
+        return self.slo
 
     # -- evaluation ----------------------------------------------------------
 
@@ -735,8 +852,13 @@ class Session:
             error = f"{type(exc).__name__}: {exc}"
             raise
         finally:
+            duration = perf_counter() - t0
+            # Always-on labelled latency (cardinality-governed by the
+            # family cap); the batch root's trace id becomes the bucket
+            # exemplar when tracing is on.
+            self._script_seconds.labels(job.text).observe(
+                duration, root.trace_id if root is not None else None)
             if observe:
-                duration = perf_counter() - t0
                 if self.telemetry is not None:
                     self.telemetry.emit("eval.finish", source=job.text,
                                         via="eval_many",

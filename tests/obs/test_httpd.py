@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import http.client
 import json
 import urllib.error
 import urllib.request
@@ -109,6 +110,85 @@ class TestEndpoints:
         status, _, _ = _get(session.server.url + "/healthz/?verbose=1")
         assert status == 200
 
+    def test_labelled_exposition_round_trip(self, session):
+        session.eval_many(["[1]/MONTHS:during:1993/YEARS"])
+        session.query("create table emp (name text)")
+        _, _, body = _get(session.server.url + "/metrics")
+        from tests.obs.test_promexport import (_parse_exposition,
+                                               _parse_labels)
+        parsed = _parse_exposition(body.decode())
+        # Per-script and per-relation labelled series survive the full
+        # render → scrape → conformance-parse loop.
+        script = parsed["repro_eval_script_seconds"]
+        label_sets = [_parse_labels(labels)
+                      for name, labels, _ in script["samples"]
+                      if name.endswith("_count")]
+        assert {"script": "[1]/MONTHS:during:1993/YEARS"} in label_sets
+        stripe = parsed["repro_matcache_stripe_hits_total"]
+        assert all("stripe" in _parse_labels(labels)
+                   for _, labels, _ in stripe["samples"])
+
+    def test_profile_endpoint_returns_folded_stacks(self, session):
+        status, headers, body = _get(
+            session.server.url + "/profile?seconds=0.1")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        assert text.endswith("\n")
+        for line in filter(None, text.splitlines()):
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+
+    def test_flamegraph_endpoint_serves_accumulation(self, session):
+        session.profiler.start()
+        session.eval("[1]/MONTHS:during:1993/YEARS")
+        status, headers, _ = _get(session.server.url + "/flamegraph")
+        session.profiler.stop()
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+
+
+class TestMethods:
+    def test_head_returns_headers_only(self, session):
+        get_status, get_headers, get_body = _get(
+            session.server.url + "/metrics")
+        request = urllib.request.Request(
+            session.server.url + "/metrics", method="HEAD")
+        with urllib.request.urlopen(request, timeout=5) as response:
+            assert response.status == get_status == 200
+            assert response.headers["Content-Type"] == \
+                get_headers["Content-Type"]
+            assert int(response.headers["Content-Length"]) > 0
+            assert response.read() == b""
+
+    def test_head_healthz_matches_get_status(self, session):
+        session.pool.close()
+        request = urllib.request.Request(
+            session.server.url + "/healthz", method="HEAD")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 503
+        assert excinfo.value.read() == b""
+
+    def test_head_profile_does_not_block_for_window(self, session):
+        import time
+        request = urllib.request.Request(
+            session.server.url + "/profile?seconds=30", method="HEAD")
+        t0 = time.perf_counter()
+        with urllib.request.urlopen(request, timeout=5) as response:
+            assert response.status == 200
+        assert time.perf_counter() - t0 < 5.0
+
+    def test_other_methods_are_405_with_allow(self, session):
+        for method in ("POST", "PUT", "DELETE", "PATCH", "OPTIONS"):
+            request = urllib.request.Request(
+                session.server.url + "/metrics", method=method,
+                data=b"" if method in ("POST", "PUT", "PATCH") else None)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5)
+            assert excinfo.value.code == 405
+            assert excinfo.value.headers["Allow"] == "GET, HEAD"
+
 
 class TestServerLifecycle:
     def test_provider_failure_is_500(self):
@@ -164,3 +244,81 @@ class TestServerLifecycle:
             assert session.start_telemetry_server(0) is first
         finally:
             session.close()
+
+
+class TestLifecycleUnderLoad:
+    def test_concurrent_scrapes_racing_close(self):
+        import threading
+
+        server = TelemetryServer(
+            metrics_text=lambda: "repro_x_total 1\n",
+            health=lambda: {"status": "ok"},
+            slowlog=lambda: [], traces=lambda: {})
+        url = server.url
+        ok, refused, unexpected = [], [], []
+
+        def scrape():
+            for _ in range(40):
+                try:
+                    status, _, _ = _get(url + "/metrics")
+                    ok.append(status)
+                except (urllib.error.URLError, OSError,
+                        http.client.HTTPException):
+                    # Post-close: refused, or reset mid-flight — both
+                    # are clean shutdown outcomes, never a hang or 500.
+                    refused.append(1)
+                except Exception as exc:  # pragma: no cover
+                    unexpected.append(exc)
+
+        threads = [threading.Thread(target=scrape) for _ in range(4)]
+        for t in threads:
+            t.start()
+        server.close()  # races the in-flight scrapes
+        for t in threads:
+            t.join()
+        assert not unexpected
+        assert all(status == 200 for status in ok)
+        # close() is idempotent even after the race.
+        server.close()
+
+    def test_provider_raising_mid_scrape_under_concurrency(self):
+        import itertools
+        import threading
+
+        calls = itertools.count()
+
+        def flaky_metrics():
+            if next(calls) % 3 == 0:
+                raise RuntimeError("mid-scrape failure")
+            return "repro_x_total 1\n"
+
+        server = TelemetryServer(
+            metrics_text=flaky_metrics,
+            health=lambda: {"status": "ok"},
+            slowlog=lambda: [], traces=lambda: {})
+        statuses = []
+        errors = []
+
+        def scrape():
+            for _ in range(15):
+                try:
+                    status, _, _ = _get(server.url + "/metrics")
+                    statuses.append(status)
+                except urllib.error.HTTPError as exc:
+                    statuses.append(exc.code)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        try:
+            threads = [threading.Thread(target=scrape) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert set(statuses) == {200, 500}
+            # And the server still answers cleanly afterwards.
+            status, _, _ = _get(server.url + "/healthz")
+            assert status == 200
+        finally:
+            server.close()

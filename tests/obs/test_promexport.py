@@ -15,10 +15,26 @@ from repro.obs.promexport import (
 )
 from repro.obs.tracer import Tracer
 
-#: One sample line of the 0.0.4 text format: name{labels} value
+#: One sample line of the 0.0.4 text format, optionally followed by an
+#: OpenMetrics exemplar: name{labels} value [# {exemplar-labels} value ts]
 _SAMPLE_RE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
-    r'(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$')
+    r'(?:\{(?P<labels>(?:[^"}]|"(?:[^"\\]|\\.)*")*)\})? (?P<value>\S+)'
+    r'(?: # \{(?P<exemplar>[^}]*)\} (?P<exvalue>\S+)(?: (?P<exts>\S+))?)?$')
+
+#: One label pair inside a label block, with escapes inside the value.
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_labels(block: "str | None") -> dict:
+    """A sample's label block as a dict of unescaped values."""
+    if not block:
+        return {}
+    pairs = _LABEL_RE.findall(block)
+    reconstructed = ",".join(f'{k}="{v}"' for k, v in pairs)
+    assert reconstructed == block, f"malformed label block: {block!r}"
+    return {k: v.replace('\\"', '"').replace("\\n", "\n")
+             .replace("\\\\", "\\") for k, v in pairs}
 
 
 def _parse_exposition(text: str) -> dict:
@@ -38,6 +54,10 @@ def _parse_exposition(text: str) -> dict:
         else:
             match = _SAMPLE_RE.match(line)
             assert match is not None, f"malformed sample line: {line!r}"
+            if match["exemplar"] is not None:
+                float(match["exvalue"])  # exemplar value must parse
+                if match["exts"] is not None:
+                    float(match["exts"])
             base = match["name"]
             for suffix in ("_bucket", "_sum", "_count"):
                 if base.endswith(suffix) and \
@@ -148,6 +168,103 @@ class TestHistogramConformance:
                          if line.startswith("# HELP"))
         assert "\n" not in help_line
         assert "line1\\nline2\\\\tail" in help_line
+
+
+class TestLabelledExposition:
+    def test_counter_family_one_help_block_sorted_series(self):
+        registry = MetricsRegistry()
+        fam = registry.counter("rules.fired", "Fires per tenant",
+                               labels=("tenant",))
+        fam.labels("beta").inc(2)
+        fam.labels("acme").inc(5)
+        text = render_prometheus(registry)
+        parsed = _parse_exposition(text)
+        metric = parsed["repro_rules_fired_total"]
+        assert metric["type"] == "counter"
+        assert text.count("# TYPE repro_rules_fired_total") == 1
+        samples = [(_parse_labels(labels), value)
+                   for _, labels, value in metric["samples"]]
+        assert samples == [({"tenant": "acme"}, "5"),
+                           ({"tenant": "beta"}, "2")]
+
+    def test_gauge_family_multi_label(self):
+        registry = MetricsRegistry()
+        fam = registry.gauge("wheel.lag", labels=("shard", "kind"))
+        fam.labels("0", "soft").set(1.5)
+        parsed = _parse_exposition(render_prometheus(registry))
+        (_, labels, value) = parsed["repro_wheel_lag"]["samples"][0]
+        assert _parse_labels(labels) == {"shard": "0", "kind": "soft"}
+        assert float(value) == 1.5
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        fam = registry.counter("c", labels=("script",))
+        fam.labels('say "hi"\n\\done').inc()
+        text = render_prometheus(registry)
+        parsed = _parse_exposition(text)
+        (_, labels, _) = parsed["repro_c_total"]["samples"][0]
+        assert _parse_labels(labels) == {"script": 'say "hi"\n\\done'}
+        assert "\n\\done" not in text.splitlines()[2]  # raw newline gone
+
+    def test_histogram_family_le_appended_to_series_labels(self):
+        registry = MetricsRegistry()
+        fam = registry.histogram("eval.script_seconds", labels=("script",))
+        fam.labels("DAYS").observe(0.002)
+        fam.labels("WEEKS").observe(0.5)
+        parsed = _parse_exposition(render_prometheus(registry))
+        samples = parsed["repro_eval_script_seconds"]["samples"]
+        buckets = [(_parse_labels(labels), value)
+                   for name, labels, value in samples
+                   if name.endswith("_bucket")]
+        for labels, _ in buckets:
+            assert set(labels) == {"script", "le"}
+        days = [int(v) for lb, v in buckets if lb["script"] == "DAYS"]
+        assert days == sorted(days) and days[-1] == 1
+        # _sum/_count keep the bare series labels.
+        count_labels = [_parse_labels(labels)
+                        for name, labels, _ in samples
+                        if name.endswith("_count")]
+        assert {"script": "DAYS"} in count_labels
+        assert {"script": "WEEKS"} in count_labels
+
+    def test_overflow_series_renders_other(self):
+        registry = MetricsRegistry()
+        fam = registry.counter("c", labels=("tenant",), max_series=1)
+        fam.labels("a").inc()
+        fam.labels("b").inc()
+        parsed = _parse_exposition(render_prometheus(registry))
+        label_sets = [_parse_labels(labels) for _, labels, _
+                      in parsed["repro_c_total"]["samples"]]
+        assert {"tenant": "other"} in label_sets
+        # The governor's drop counter is part of the exposition too.
+        assert "repro_metrics_series_dropped_total" in parsed
+
+
+class TestExemplars:
+    def _render(self, *, exemplars=True):
+        registry = MetricsRegistry()
+        hist = registry.histogram("db.relation.query_seconds",
+                                  labels=("relation",))
+        hist.labels("emp").observe(0.003, "ab" * 16)
+        return render_prometheus(registry, exemplars=exemplars)
+
+    def test_exemplar_appended_to_bucket_line(self):
+        text = self._render()
+        _parse_exposition(text)  # syntax accepted end to end
+        line = next(l for l in text.splitlines() if " # {" in l)
+        assert "_bucket{" in line
+        assert f'trace_id="{"ab" * 16}"' in line
+        match = _SAMPLE_RE.match(line)
+        assert float(match["exvalue"]) == pytest.approx(0.003)
+        assert float(match["exts"]) > 0
+
+    def test_exemplars_suppressed_on_request(self):
+        assert " # {" not in self._render(exemplars=False)
+
+    def test_sum_and_count_never_carry_exemplars(self):
+        for line in self._render().splitlines():
+            if "_sum" in line or "_count" in line:
+                assert " # {" not in line
 
 
 class TestOtlpExport:

@@ -1,0 +1,226 @@
+"""SLO objectives and the DBCRON-driven self-monitoring loop."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import LatencyObjective, Objective, RatioObjective
+from repro.session import Session
+
+
+def _get(url: str):
+    """(status, parsed-JSON body) tolerating non-2xx statuses."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestObjectiveValidation:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Objective("x", window=0)
+
+    def test_latency_parameters_checked(self):
+        with pytest.raises(ValueError):
+            LatencyObjective("x", metric="m", threshold_s=0.0)
+        with pytest.raises(ValueError):
+            LatencyObjective("x", metric="m", threshold_s=1.0, quantile=0.0)
+
+    def test_ratio_budget_checked(self):
+        with pytest.raises(ValueError):
+            RatioObjective("x", numerator="a", denominator="b",
+                           max_ratio=-0.1)
+
+
+class TestLatencyObjective:
+    def test_missing_metric_is_healthy(self):
+        objective = LatencyObjective("lat", metric="nope", threshold_s=0.01)
+        breached, detail = objective.evaluate(MetricsRegistry())
+        assert not breached
+        assert "not registered" in detail
+
+    def test_delta_windows_not_lifetime(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("eval.seconds")
+        objective = LatencyObjective("lat", metric="eval.seconds",
+                                     threshold_s=0.01, quantile=0.5)
+        for _ in range(10):
+            hist.observe(0.5)  # slow burst
+        breached, detail = objective.evaluate(registry)
+        assert breached
+        assert "threshold" in detail
+        # Next window: only fast observations → the lifetime-slow
+        # histogram must not keep the objective breaching.
+        for _ in range(10):
+            hist.observe(0.0001)
+        breached, _ = objective.evaluate(registry)
+        assert not breached
+
+    def test_empty_window_is_healthy(self):
+        registry = MetricsRegistry()
+        registry.histogram("eval.seconds").observe(9.0)
+        objective = LatencyObjective("lat", metric="eval.seconds",
+                                     threshold_s=0.01)
+        assert objective.evaluate(registry)[0]
+        breached, detail = objective.evaluate(registry)  # nothing new
+        assert not breached
+        assert "no observations" in detail
+
+    def test_family_series_are_summed(self):
+        registry = MetricsRegistry()
+        fam = registry.histogram("h", labels=("script",))
+        fam.labels("a").observe(0.5)
+        fam.labels("b").observe(0.5)
+        objective = LatencyObjective("lat", metric="h",
+                                     threshold_s=0.01, quantile=0.5)
+        breached, detail = objective.evaluate(registry)
+        assert breached
+        assert "2 observations" in detail
+
+    def test_family_restricted_to_one_series(self):
+        registry = MetricsRegistry()
+        fam = registry.histogram("h", labels=("script",))
+        fam.labels("slow").observe(0.5)
+        fam.labels("fast").observe(0.0001)
+        objective = LatencyObjective("lat", metric="h", threshold_s=0.01,
+                                     quantile=0.5, labels=("fast",))
+        assert not objective.evaluate(registry)[0]
+
+
+class TestRatioObjective:
+    def test_ratio_over_budget_breaches(self):
+        registry = MetricsRegistry()
+        shed, fired = registry.counter("shed"), registry.counter("fired")
+        objective = RatioObjective("sheds", numerator="shed",
+                                   denominator="fired", max_ratio=0.01)
+        fired.inc(100)
+        shed.inc(5)
+        breached, detail = objective.evaluate(registry)
+        assert breached
+        assert "5/100" in detail
+
+    def test_idle_window_is_healthy_and_allows_recovery(self):
+        registry = MetricsRegistry()
+        shed, fired = registry.counter("shed"), registry.counter("fired")
+        objective = RatioObjective("sheds", numerator="shed",
+                                   denominator="fired", max_ratio=0.01)
+        fired.inc(10)
+        shed.inc(10)
+        assert objective.evaluate(registry)[0]
+        breached, detail = objective.evaluate(registry)  # no movement
+        assert not breached
+        assert "no activity" in detail
+
+    def test_counter_families_summed(self):
+        registry = MetricsRegistry()
+        num = registry.counter("shed", labels=("tenant",))
+        den = registry.counter("fired", labels=("tenant",))
+        num.labels("a").inc(2)
+        den.labels("a").inc(2)
+        den.labels("b").inc(2)
+        objective = RatioObjective("sheds", numerator="shed",
+                                   denominator="fired", max_ratio=0.6)
+        assert not objective.evaluate(registry)[0]  # 2/4 = 0.5
+
+
+class TestMonitorViaSession:
+    def _session_with_breach(self, window=2):
+        session = Session()
+        hist = session.instrumentation.metrics.histogram("app.latency")
+        session.install_slos(
+            [LatencyObjective("app-p99", metric="app.latency",
+                              threshold_s=0.01, quantile=0.9,
+                              window=window)],
+            every="DAYS")
+        return session, hist
+
+    def _advance(self, session, days=1):
+        session.cron.run_until(session.clock.now + days)
+
+    def test_rule_registered_and_uninstall_drops_it(self):
+        session, _ = self._session_with_breach()
+        assert "slo.monitor" in session.manager.temporal_rules
+        session.slo.uninstall()
+        assert "slo.monitor" not in session.manager.temporal_rules
+        session.close()
+
+    def test_violation_needs_consecutive_breaches(self):
+        session, hist = self._session_with_breach(window=2)
+        for _ in range(5):
+            hist.observe(0.5)
+        self._advance(session)  # streak 1 — not yet violated
+        assert session.slo.problems() == []
+        for _ in range(5):
+            hist.observe(0.5)
+        self._advance(session)  # streak 2 — violated
+        problems = session.slo.problems()
+        assert len(problems) == 1
+        assert "app-p99" in problems[0]
+        status = session.slo.status()["app-p99"]
+        assert status["violated"] and status["breaches"] == 1
+        metrics = session.instrumentation.metrics
+        assert metrics.get("slo.status").labels("app-p99").value == 1.0
+        assert metrics.get("slo.breaches").labels("app-p99").value == 1
+        session.close()
+
+    def test_healthz_degrades_then_recovers(self):
+        session, hist = self._session_with_breach(window=2)
+        server = session.start_telemetry_server(0)
+        status, body = _get(server.url + "/healthz")
+        assert status == 200
+        for _ in range(2):
+            for _ in range(5):
+                hist.observe(0.5)
+            self._advance(session)
+        status, body = _get(server.url + "/healthz")
+        assert status == 503
+        assert body["status"] == "degraded"
+        assert any("app-p99" in problem for problem in body["problems"])
+        assert body["slo"]["app-p99"]["violated"] is True
+        # A quiet window (no new observations) resolves the violation.
+        self._advance(session)
+        status, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert body["slo"]["app-p99"]["violated"] is False
+        session.close()
+
+    def test_alert_events_fire_and_resolve(self):
+        session, hist = self._session_with_breach(window=1)
+        session.enable_telemetry()
+        hist.observe(0.5)
+        self._advance(session)
+        self._advance(session)  # quiet → resolved
+        states = [(e.fields["objective"], e.fields["state"])
+                  for e in session.events(kind="alert")]
+        assert ("app-p99", "firing") in states
+        assert ("app-p99", "resolved") in states
+        session.close()
+
+    def test_objective_errors_are_contained(self):
+        class Exploding(Objective):
+            def evaluate(self, metrics):
+                raise RuntimeError("boom")
+
+        session = Session()
+        session.install_slos([Exploding("boom", window=1)])
+        self._advance(session)
+        status = session.slo.status()["boom"]
+        assert not status["violated"]
+        assert "evaluation error" in status["detail"]
+        session.close()
+
+    def test_reinstall_replaces_previous_monitor(self):
+        session, _ = self._session_with_breach()
+        first = session.slo
+        session.install_slos(
+            [RatioObjective("sheds", numerator="a", denominator="b",
+                            max_ratio=0.5)])
+        assert session.slo is not first
+        assert list(session.slo.status()) == ["sheds"]
+        assert "slo.monitor" in session.manager.temporal_rules
+        session.close()
