@@ -68,6 +68,8 @@ __all__ = [
     "clip_to_span",
     "shift_columns",
     "concat_columns",
+    "batch_membership",
+    "interval_join_pairs",
 ]
 
 #: int64 bounds of the ``'q'`` typecode; endpoints outside fall back to
@@ -720,6 +722,85 @@ def filtering_positions(mem: IntervalColumns, refs: IntervalColumns,
         else:
             start, end = 0, nrefs
         yield i, start, end
+
+
+# ---------------------------------------------------------------------------
+# Batch probe / join kernels (the DB executor's vectorized pipeline)
+# ---------------------------------------------------------------------------
+
+def batch_membership(los: Sequence[int], his: Sequence[int],
+                     values: Sequence[int]) -> list[bool]:
+    """Point-membership of ascending ``values`` against sorted lanes.
+
+    Both lanes must be nondecreasing (the ``hi_sorted`` invariant); the
+    whole batch is answered in one merge pass — the pointer into the
+    lanes only ever advances, so a sorted batch of N probes against M
+    intervals costs O(N + M) instead of N bisects.  Axis point 0 is
+    never covered (the zero-skipping axis has no day 0), matching
+    ``Calendar.contains_point`` and ``IntervalIndex.contains``.
+    """
+    n = len(los)
+    out: list[bool] = []
+    append = out.append
+    i = 0
+    for v in values:
+        while i < n and his[i] < v:
+            i += 1
+        append(v != 0 and i < n and los[i] <= v)
+    return out
+
+
+def interval_join_pairs(alos: Sequence[int], ahis: Sequence[int],
+                        blos: Sequence[int], bhis: Sequence[int],
+                        predicate: "str" = "overlaps"
+                        ) -> list[tuple[int, int]]:
+    """Endpoint-sweep interval join: ``(i, j)`` pairs with ``a[i]``
+    relating to ``b[j]``.
+
+    Both inputs must be lo-sorted (callers argsort and map positions
+    back).  This is the forward-scan sweep of Piatov et al.: two
+    cursors walk the lo lanes in merge order and each side scans the
+    other's still-open intervals, so the cost is O(n log n) for the
+    caller's sorts plus one interpreter step per *output* pair — never
+    the nested-loop n*m.  ``predicate`` narrows the emitted pairs:
+
+    * ``"overlaps"`` — ``a.lo <= b.hi and b.lo <= a.hi`` (every scanned
+      pair qualifies; no residual test);
+    * ``"during"`` — ``a`` inside ``b`` (``a.lo >= b.lo and
+      a.hi <= b.hi``), filtered out of the overlap candidates.
+
+    Every interval must be *regular* (``lo <= hi``): the scan bounds
+    assume it, so inverted or NaN-endpoint rows would be emitted or
+    missed inconsistently.  The executor routes such rows through the
+    scalar predicate instead of the sweep.
+    """
+    na, nb = len(alos), len(blos)
+    pairs: list[tuple[int, int]] = []
+    append = pairs.append
+    during = predicate == "during"
+    if predicate not in ("overlaps", "during"):
+        raise ValueError(f"unknown join predicate {predicate!r}")
+    i = j = 0
+    while i < na and j < nb:
+        if alos[i] <= blos[j]:
+            ahi = ahis[i]
+            alo = alos[i]
+            k = j
+            while k < nb and blos[k] <= ahi:
+                if not during or (alo >= blos[k] and ahi <= bhis[k]):
+                    append((i, k))
+                k += 1
+            i += 1
+        else:
+            bhi = bhis[j]
+            blo = blos[j]
+            k = i
+            while k < na and alos[k] <= bhi:
+                if not during or (alos[k] >= blo and ahis[k] <= bhi):
+                    append((k, j))
+                k += 1
+            j += 1
+    return pairs
 
 
 # ---------------------------------------------------------------------------

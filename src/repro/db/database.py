@@ -67,8 +67,15 @@ class Database:
         #: Cache of compiled periodic probes (same keying); an entry may
         #: be None when the reference fell back to materialisation.
         self._periodic_cache: dict = {}
+        #: name -> builtin interval-predicate function; the vectorized
+        #: executor only compiles ``overlaps``/``during`` conjuncts to
+        #: endpoint sweeps while they still resolve to these exact
+        #: callables (a user redefinition disables the sweep, not the
+        #: semantics).
+        self.builtin_interval_predicates: dict = {}
         self._create_system_catalogs()
         self._register_calendar_bridge()
+        self._register_interval_predicates()
 
     # -- DDL ---------------------------------------------------------------------
 
@@ -352,3 +359,28 @@ class Database:
             "-", "calendar", "calendar", lambda a, b: a.difference(b))
         self.operators.register(
             "*", "calendar", "calendar", lambda a, b: a.intersection(b))
+
+    def _register_interval_predicates(self) -> None:
+        """Builtin Allen-style interval predicates over column endpoints.
+
+        ``overlaps(a.lo, a.hi, b.lo, b.hi)`` / ``during(...)`` are plain
+        scalar functions (None endpoints are simply non-matching, like a
+        failed comparison), but the vectorized executor recognises calls
+        that still resolve to these exact callables and runs them as
+        endpoint-sweep joins instead of evaluating per tuple pair.
+        """
+
+        def _overlaps(alo, ahi, blo, bhi):
+            if alo is None or ahi is None or blo is None or bhi is None:
+                return False
+            return alo <= bhi and blo <= ahi
+
+        def _during(alo, ahi, blo, bhi):
+            if alo is None or ahi is None or blo is None or bhi is None:
+                return False
+            return alo >= blo and ahi <= bhi
+
+        self.builtin_interval_predicates = {
+            "overlaps": _overlaps, "during": _during}
+        self.functions.register("overlaps", _overlaps)
+        self.functions.register("during", _during)

@@ -1,13 +1,22 @@
 """Query execution for the Postquel-like language.
 
-A deliberately simple engine: nested-loop joins over the from-clause range
-variables, with two optimisations that matter for the paper's workloads:
+Two engines share this module:
 
-* equality predicates ``var.col = <const>`` probe an
-  :class:`~repro.db.index.OrderedIndex` when one exists on the column;
-* the ``on <calendar>`` clause and the ``within`` operator evaluate the
-  calendar once per statement and probe an
-  :class:`~repro.db.index.IntervalIndex` per tuple.
+* the historical **row-at-a-time** engine: nested-loop joins over the
+  from-clause range variables with predicate pushdown, an
+  :class:`~repro.db.index.OrderedIndex` probe for
+  ``var.col = <const>`` conjuncts, and a per-tuple
+  :class:`~repro.db.index.IntervalIndex` probe for ``on <calendar>``;
+* the **vectorized** engine (``REPRO_VECTOR_DB``, default on): retrieve
+  statements whose predicate classifies cleanly (see
+  :mod:`repro.db.vector`) run as a batch pipeline — per-variable
+  selection vectors with batched calendar probes, hash / sort-merge
+  equi-joins, Piatov-style endpoint sweeps for ``overlaps``/``during``
+  conjuncts, and one batched calendar-membership pass for the
+  ``on <calendar>`` clause.  Anything the planner cannot classify
+  (historical ``as of`` scans, overridden operators, cross-variable
+  arithmetic, …) falls back to the row engine wholesale, so the two
+  always agree tuple-for-tuple.
 
 Operator dispatch goes through the extensible
 :class:`~repro.db.types.OperatorRegistry` first (so user-declared ADT
@@ -26,6 +35,8 @@ from typing import Iterator, Sequence
 
 from repro.core.calendar import Calendar
 from repro.core.chrono import CivilDate
+from repro.core.columnar import interval_join_pairs
+from repro.db import vector
 from repro.db.errors import ExecutionError, SchemaError
 from repro.db.index import IntervalIndex, OrderedIndex
 from repro.db.ql.ast import (
@@ -253,6 +264,13 @@ class Executor:
         probe, or historical ``as of`` scan) and the predicate conjuncts
         evaluated at that join level (the pushdown placement), plus any
         ``on <calendar>`` restriction and post-processing steps.
+
+        When the statement classifies for the vectorized engine, a
+        ``vectorized pipeline`` section lists the chosen strategy per
+        conjunct (``hash join``, ``merge join``, ``endpoint sweep``,
+        ``batched calendar sweep``, ``sequential fallback``); otherwise
+        a ``vectorized: off`` line states why — e.g. that an ``as of``
+        historical scan forces the sequential path.
         """
         if not isinstance(statement, Retrieve):
             raise ExecutionError("explain supports retrieve statements")
@@ -289,9 +307,24 @@ class Executor:
             if terms:
                 lines.append(f"{'  ' * i}   filter: "
                              + " and ".join(terms))
+        plan, reason = (vector.plan_retrieve(statement, self.db, set())
+                        if statement.range_vars else (None, None))
         if statement.on_calendar:
+            probe = ("batched calendar sweep" if plan is not None
+                     else "interval index")
             lines.append(f"valid-time restriction: on "
-                         f"{statement.on_calendar!r} (interval index)")
+                         f"{statement.on_calendar!r} ({probe})")
+        if plan is not None:
+            strategies = self._vector_strategies(statement, plan)
+            if strategies:
+                lines.append("vectorized pipeline (REPRO_VECTOR_DB):")
+                for term, strategy in strategies:
+                    lines.append(f"  {term}: {strategy}")
+            else:
+                lines.append("vectorized pipeline (REPRO_VECTOR_DB): "
+                             "full scan, no predicate")
+        elif reason is not None:
+            lines.append(f"vectorized: off ({reason})")
         if statement.unique:
             lines.append("post: unique")
         if statement.order_by:
@@ -314,13 +347,43 @@ class Executor:
         columns = [t.name for t in stmt.targets]
         rows: list[dict] = []
         acc: dict[int, list] = {i: [] for i in range(len(stmt.targets))}
-        for combo in self._bindings(stmt.range_vars, where, bindings):
-            if calendar_index is not None and not self._valid_time_ok(
-                    stmt, combo, calendar_index):
-                continue
-            if where is not None and not self._truthy(
-                    self._eval(where, combo)):
-                continue
+        plan, _reason = vector.plan_retrieve(stmt, self.db, set(bindings))
+        fast_count = None
+        combos: "Iterator[dict] | list[dict]"
+        if plan is not None:
+            try:
+                order, rows_by, positions = self._vector_positions(
+                    stmt, plan, bindings, calendar_index)
+            except (ExecutionError, TypeError):
+                # A batch kernel hit a data-dependent evaluation error
+                # (NULL in a comparison, incomparable types) on a row
+                # the row engine's short-circuit order might never have
+                # reached.  Re-run sequentially so both the rows and
+                # any error are exactly the row engine's.
+                self.db.instrumentation.metrics.counter(
+                    "db.join.strategy",
+                    "Vectorized conjunct executions by chosen strategy",
+                    labels=("strategy",), max_series=8,
+                ).labels(vector.STRAT_SEQUENTIAL).inc()
+                plan = None
+        if plan is not None:
+            count_only = bool(aggregate_mode) and all(
+                t.expr.name == "count" and not t.expr.args
+                for t in stmt.targets)
+            hooked = any(self.db.relation(rv.relation).hooks["retrieve"]
+                         for rv in stmt.range_vars)
+            if count_only and not hooked:
+                # count() over a hook-free retrieve needs only the
+                # surviving combo count — skip dict materialisation.
+                fast_count = len(positions)
+                combos = ()
+            else:
+                combos = self._position_combos(order, rows_by, positions,
+                                               bindings)
+        else:
+            combos = self._sequential_combos(stmt, where, bindings,
+                                             calendar_index)
+        for combo in combos:
             self._fire_retrieve(stmt.range_vars, combo)
             if aggregate_mode:
                 for i, target in enumerate(stmt.targets):
@@ -332,7 +395,9 @@ class Executor:
             else:
                 rows.append({t.name: self._eval(t.expr, combo)
                              for t in stmt.targets})
-        if aggregate_mode:
+        if fast_count is not None:
+            rows = [{t.name: fast_count for t in stmt.targets}]
+        elif aggregate_mode:
             row = {}
             for i, target in enumerate(stmt.targets):
                 row[target.name] = self._aggregate(target.expr.name, acc[i])
@@ -423,6 +488,571 @@ class Executor:
         for rv in range_vars:
             relation = self.db.relation(rv.relation)
             relation.notify_retrieve(combo[rv.var])
+
+    # -- vectorized pipeline -------------------------------------------------------
+
+    def _sequential_combos(self, stmt: Retrieve, where, bindings: dict,
+                           calendar_index) -> Iterator[dict]:
+        """The row-at-a-time engine: nested-loop bindings, per-tuple
+        calendar probe, full predicate recheck."""
+        for combo in self._bindings(stmt.range_vars, where, bindings):
+            if calendar_index is not None and not self._valid_time_ok(
+                    stmt, combo, calendar_index):
+                continue
+            if where is not None and not self._truthy(
+                    self._eval(where, combo)):
+                continue
+            yield combo
+
+    @staticmethod
+    def _position_combos(order, rows_by, positions, extra: dict
+                         ) -> Iterator[dict]:
+        """Inflate position tuples back into binding dicts lazily."""
+        for pos in positions:
+            combo = dict(extra)
+            for var, p in zip(order, pos):
+                combo[var] = rows_by[var][p]
+            yield combo
+
+    def _vector_positions(self, stmt: Retrieve, plan, extra: dict,
+                          calendar_index):
+        """Run the batch pipeline for a classified retrieve.
+
+        Returns ``(order, rows_by, positions)``: the range-variable
+        order, each variable's candidate row list, and the surviving
+        combos as tuples of positions into those lists.  Combos carry
+        positions, not dicts — binding dicts are only inflated for the
+        tuples that survive every filter and join.
+        """
+        metrics = self.db.instrumentation.metrics
+        strategies = metrics.counter(
+            "db.join.strategy",
+            "Vectorized conjunct executions by chosen strategy",
+            labels=("strategy",), max_series=8)
+        batch_rows = metrics.histogram(
+            "db.batch.rows",
+            "Candidate batch sizes entering the vectorized pipeline")
+        order = list(plan.order)
+        env_base = dict(extra)
+        rows_by: dict[str, list] = {}
+        empty = (order, rows_by, [])
+        for term in plan.const_terms:
+            strategies.labels(vector.STRAT_SEQUENTIAL).inc()
+            if not self._truthy(self._eval(term, env_base)):
+                return empty
+        sel_by: dict[str, list[int]] = {}
+        full_by: dict[str, bool] = {}
+        for rv in stmt.range_vars:
+            relation = self.db.relation(rv.relation)
+            rows, sel, full = self._vector_candidates(
+                relation, rv.var, plan, env_base, strategies)
+            batch_rows.observe(len(rows))
+            rows_by[rv.var] = rows
+            sel_by[rv.var] = sel
+            full_by[rv.var] = full
+            if not sel:
+                return empty
+        combos: list[tuple] = [(p,) for p in sel_by[order[0]]]
+        idx_of = {order[0]: 0}
+        edges_left = list(plan.edges)
+        relations = {rv.var: self.db.relation(rv.relation)
+                     for rv in stmt.range_vars}
+        base_pair = True  # combos are still exactly var0's candidates
+        for var in order[1:]:
+            applicable = [e for e in edges_left
+                          if var in e.vars() and
+                          (set(e.vars()) - {var}) <= set(idx_of)]
+            if not applicable:
+                sel = sel_by[var]
+                combos = [c + (p,) for c in combos for p in sel]
+            else:
+                primary = applicable[0]
+                combos = self._vector_join(
+                    primary, combos, idx_of, var, rows_by, sel_by,
+                    full_by, relations, base_pair, env_base, strategies)
+                idx_of[var] = len(idx_of)
+                for edge in applicable[1:]:
+                    strategies.labels(vector.STRAT_SEQUENTIAL).inc()
+                    combos = self._edge_filter(edge.term, combos, idx_of,
+                                               edge.vars(), rows_by,
+                                               env_base)
+                for edge in applicable:
+                    edges_left.remove(edge)
+            if var not in idx_of:
+                idx_of[var] = len(idx_of)
+            base_pair = False
+            if not combos:
+                return order, rows_by, []
+        if calendar_index is not None and combos:
+            strategies.labels(vector.STRAT_CALENDAR).inc()
+            combos = self._vector_calendar_filter(stmt, combos, rows_by,
+                                                  calendar_index)
+        return order, rows_by, combos
+
+    def _vector_candidates(self, relation, var: str, plan, env_base: dict,
+                           strategies):
+        """One variable's candidate rows plus its selection vector.
+
+        Mirrors the row engine's per-level behaviour: an equality
+        filter with an :class:`OrderedIndex` bootstraps the candidate
+        set via an index probe, then the variable's filters run in
+        original conjunct order, each narrowing the selection vector
+        (short-circuit: later filters only see survivors).  ``full`` is
+        True only for an unfiltered full scan — the precondition for
+        feeding a sort-merge join straight from index lanes.
+        """
+        filters = plan.filters_of(var)
+        probe = self._vector_probe(relation, var, filters, env_base)
+        if probe is not None:
+            rows = [row for row in (relation.get(tid) for tid in probe)
+                    if row is not None]
+        else:
+            rows = list(relation.scan())
+        sel = list(range(len(rows)))
+        for f in filters:
+            if not sel:
+                break
+            if isinstance(f, vector.WithinFilter):
+                strategies.labels(vector.STRAT_CALENDAR).inc()
+                sel = self._batched_within(rows, sel, f)
+            else:
+                strategies.labels(vector.STRAT_SEQUENTIAL).inc()
+                fast = self._lane_filter(rows, sel, var, f.term,
+                                         env_base)
+                if fast is not None:
+                    sel = fast
+                    continue
+                env = dict(env_base)
+                term = f.term
+                out = []
+                for p in sel:
+                    env[var] = rows[p]
+                    if self._truthy(self._eval(term, env)):
+                        out.append(p)
+                sel = out
+        full = probe is None and not filters
+        return rows, sel, full
+
+    #: Builtin comparison semantics of :meth:`_builtin_binop`, for the
+    #: lane fast path (arithmetic ops never appear as whole conjuncts).
+    _LANE_CMP = {
+        "=": lambda a, b: a == b, "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+    }
+
+    def _lane_filter(self, rows, sel, var: str, term,
+                     env_base: dict) -> "list[int] | None":
+        """Batch-evaluate a ``var.col <cmp> const`` filter over the lane.
+
+        Returns the narrowed selection vector, or None when the term
+        is not that shape (or a user-registered operator could
+        intercept the comparison for some type pair) — the caller then
+        falls back to per-row evaluation, which resolves custom
+        operators per value type.  A TypeError from an incomparable
+        pair (NULL in ``<``, say) propagates: ``_retrieve`` retreats to
+        the sequential path, which re-raises or short-circuits exactly
+        as the row engine would.
+        """
+        if not (isinstance(term, BinOp) and term.op in self._LANE_CMP):
+            return None
+        if term.op in self.db.operators.names():
+            return None
+        cmp = self._LANE_CMP[term.op]
+        for colref, other, flipped in ((term.left, term.right, False),
+                                       (term.right, term.left, True)):
+            if not (isinstance(colref, ColumnRef) and
+                    colref.var == var and colref.column):
+                continue
+            if isinstance(other, Const):
+                value = other.value
+            elif (isinstance(other, ColumnRef) and not other.column
+                  and other.var in env_base):
+                value = env_base[other.var]  # bound parameter
+            else:
+                continue
+            column = colref.column
+            if sel and column not in rows[sel[0]]:
+                raise ExecutionError(
+                    f"tuple variable {var!r} has no column {column!r}")
+            if flipped:
+                return [p for p in sel if cmp(value, rows[p][column])]
+            return [p for p in sel if cmp(rows[p][column], value)]
+        return None
+
+    def _vector_probe(self, relation, var: str, filters,
+                      env_base: dict):
+        """tids from the first probeable equality filter, or None."""
+        for f in filters:
+            if isinstance(f, vector.WithinFilter):
+                continue
+            term = f.term
+            if not (isinstance(term, BinOp) and term.op == "="):
+                continue
+            for colref, other in ((term.left, term.right),
+                                  (term.right, term.left)):
+                if isinstance(colref, ColumnRef) and \
+                        colref.var == var and colref.column:
+                    index = relation.indexes.get(colref.column)
+                    if isinstance(index, OrderedIndex):
+                        try:
+                            value = self._eval(other, env_base)
+                        except ExecutionError:
+                            continue
+                        if value is None:  # unindexed, see _index_probe
+                            continue
+                        return index.lookup_eq(value)
+        return None
+
+    def _batched_within(self, rows, sel, f) -> list[int]:
+        """Batched calendar probe for ``var.col within "<calendar>"``.
+
+        Gathers the valid-time lane over the surviving positions,
+        resolves membership once per *distinct* tick (compiled
+        periodic-set probe inside its safe range, one sorted merge pass
+        over the calendar's endpoint lanes otherwise), then filters the
+        selection vector through the resulting map.
+        """
+        values = []
+        for p in sel:
+            row = rows[p]
+            if f.column not in row:
+                raise ExecutionError(
+                    f"tuple variable {f.var!r} has no column "
+                    f"{f.column!r}")
+            value = row[f.column]
+            if not isinstance(value, int):
+                raise ExecutionError(
+                    "within expects an abstime tick on the left")
+            values.append(value)
+        member = self._membership_map(f.calendar_ref, sorted(set(values)))
+        return [p for p, v in zip(sel, values) if member[v]]
+
+    def _membership_map(self, ref: str, ticks: list) -> dict:
+        """tick -> calendar membership for ascending distinct ticks."""
+        member: dict = {}
+        rest = ticks
+        probe = self.db.resolve_periodic(ref)
+        if probe is not None:
+            pset, safe_lo, safe_hi = probe
+            rest = []
+            for t in ticks:
+                if safe_lo <= t <= safe_hi:
+                    member[t] = pset.contains(t)
+                else:
+                    rest.append(t)
+        if rest:
+            calendar = self.db.resolve_calendar(ref)
+            cols = calendar.columns if calendar.order == 1 else None
+            if cols is not None and cols.hi_sorted:
+                from repro.core.columnar import batch_membership
+                member.update(zip(rest, batch_membership(cols.los,
+                                                         cols.his, rest)))
+            else:
+                for t in rest:
+                    member[t] = calendar.contains_point(t)
+        return member
+
+    def _vector_join(self, edge, combos, idx_of, var: str, rows_by,
+                     sel_by, full_by, relations, base_pair: bool,
+                     env_base: dict, strategies):
+        """Extend combos with ``var`` through one join edge."""
+        if isinstance(edge, vector.EquiEdge):
+            if edge.left_var == var:
+                vcol, bvar, bcol = (edge.left_col, edge.right_var,
+                                    edge.right_col)
+            else:
+                vcol, bvar, bcol = (edge.right_col, edge.left_var,
+                                    edge.left_col)
+            if base_pair and full_by[bvar] and full_by[var]:
+                merged = self._merge_join(relations, bvar, bcol, var,
+                                          vcol, rows_by)
+                if merged is not None:
+                    strategies.labels(vector.STRAT_MERGE).inc()
+                    return merged
+            strategies.labels(vector.STRAT_HASH).inc()
+            return self._hash_join(edge.term, combos, idx_of[bvar], bvar,
+                                   bcol, var, vcol, rows_by, sel_by,
+                                   env_base)
+        strategies.labels(vector.STRAT_SWEEP).inc()
+        return self._sweep_join(edge, combos, idx_of, var, rows_by,
+                                sel_by)
+
+    def _merge_join(self, relations, bvar: str, bcol: str, var: str,
+                    vcol: str, rows_by):
+        """Sort-merge join fed directly from two OrderedIndex lanes.
+
+        Eligible only when both sides are unfiltered full scans and
+        their indexes cover every live row (a None-valued row is not
+        indexed, yet ``None = None`` joins — partial coverage must fall
+        back to the hash join).  Returns None when ineligible.
+        """
+        index_b = relations[bvar].indexes.get(bcol)
+        index_v = relations[var].indexes.get(vcol)
+        if not isinstance(index_b, OrderedIndex) or \
+                not isinstance(index_v, OrderedIndex):
+            return None
+        rows_b, rows_v = rows_by[bvar], rows_by[var]
+        if len(index_b) != len(rows_b) or len(index_v) != len(rows_v):
+            return None
+        pos_b = {row["_tid"]: i for i, row in enumerate(rows_b)}
+        pos_v = {row["_tid"]: i for i, row in enumerate(rows_v)}
+        keys_b, tids_b = index_b.items()
+        keys_v, tids_v = index_v.items()
+        nb, nv = len(keys_b), len(keys_v)
+        out: list[tuple] = []
+        i = j = 0
+        try:
+            while i < nb and j < nv:
+                kb, kv = keys_b[i], keys_v[j]
+                if kb < kv:
+                    i += 1
+                elif kv < kb:
+                    j += 1
+                else:
+                    i2 = i + 1
+                    while i2 < nb and keys_b[i2] == kb:
+                        i2 += 1
+                    j2 = j + 1
+                    while j2 < nv and keys_v[j2] == kb:
+                        j2 += 1
+                    for a in range(i, i2):
+                        pa = pos_b[tids_b[a]]
+                        for b in range(j, j2):
+                            out.append((pa, pos_v[tids_v[b]]))
+                    i, j = i2, j2
+        except TypeError:
+            # Mixed-type key lanes do not totally order; the hash join
+            # handles them with plain equality like the row engine.
+            return None
+        return out
+
+    def _hash_join(self, term, combos, bidx: int, bvar: str, bcol: str,
+                   var: str, vcol: str, rows_by, sel_by, env_base: dict):
+        """Order-preserving hash join: build on the new variable's
+        selection, probe per existing combo in order."""
+        rows_v = rows_by[var]
+        table: dict = {}
+        try:
+            for p in sel_by[var]:
+                key = rows_v[p][vcol]
+                try:
+                    if key != key:  # NaN never equals, even itself
+                        continue
+                except Exception:
+                    pass
+                table.setdefault(key, []).append(p)
+        except KeyError:
+            raise ExecutionError(
+                f"tuple variable {var!r} has no column {vcol!r}") \
+                from None
+        except TypeError:
+            return self._pairwise_edge_join(term, combos, bidx, bvar,
+                                            var, rows_by, sel_by,
+                                            env_base)
+        rows_b = rows_by[bvar]
+        out: list[tuple] = []
+        try:
+            for c in combos:
+                key = rows_b[c[bidx]][bcol]
+                try:
+                    if key != key:
+                        continue
+                except Exception:
+                    pass
+                matches = table.get(key)
+                if matches:
+                    out.extend(c + (p,) for p in matches)
+        except KeyError:
+            raise ExecutionError(
+                f"tuple variable {bvar!r} has no column {bcol!r}") \
+                from None
+        except TypeError:
+            return self._pairwise_edge_join(term, combos, bidx, bvar,
+                                            var, rows_by, sel_by,
+                                            env_base)
+        return out
+
+    def _pairwise_edge_join(self, term, combos, bidx: int, bvar: str,
+                            var: str, rows_by, sel_by, env_base: dict):
+        """Escape hatch for unhashable join keys: evaluate the conjunct
+        per pair, exactly like the row engine."""
+        rows_b, rows_v = rows_by[bvar], rows_by[var]
+        sel = sel_by[var]
+        env = dict(env_base)
+        out: list[tuple] = []
+        for c in combos:
+            env[bvar] = rows_b[c[bidx]]
+            for p in sel:
+                env[var] = rows_v[p]
+                if self._truthy(self._eval(term, env)):
+                    out.append(c + (p,))
+        return out
+
+    def _edge_filter(self, term, combos, idx_of, vars_pair, rows_by,
+                     env_base: dict):
+        """Apply a secondary join conjunct to already-joined combos."""
+        v1, v2 = vars_pair
+        i1, i2 = idx_of[v1], idx_of[v2]
+        rows1, rows2 = rows_by[v1], rows_by[v2]
+        env = dict(env_base)
+        out: list[tuple] = []
+        for c in combos:
+            env[v1] = rows1[c[i1]]
+            env[v2] = rows2[c[i2]]
+            if self._truthy(self._eval(term, env)):
+                out.append(c)
+        return out
+
+    def _sweep_join(self, edge, combos, idx_of, var: str, rows_by,
+                    sel_by):
+        """Endpoint-sweep interval join for ``overlaps``/``during``.
+
+        Regular intervals (``lo <= hi``, no None endpoint) go through
+        :func:`repro.core.columnar.interval_join_pairs`; irregular rows
+        (inverted, NaN, None) are matched through the scalar builtin
+        predicate so the pair set is identical to the row engine's.
+        """
+        lvar, rvar = edge.left_var, edge.right_var
+        bvar = rvar if lvar == var else lvar
+        bidx = idx_of[bvar]
+        pred = self.db.builtin_interval_predicates[edge.op]
+
+        def lanes(v, lo_col, hi_col):
+            rows, sel = rows_by[v], sel_by[v]
+            regular: list[tuple] = []
+            irregular: list[int] = []
+            for p in sel:
+                row = rows[p]
+                if lo_col not in row or hi_col not in row:
+                    missing = lo_col if lo_col not in row else hi_col
+                    raise ExecutionError(
+                        f"tuple variable {v!r} has no column "
+                        f"{missing!r}")
+                lo, hi = row[lo_col], row[hi_col]
+                if lo is not None and hi is not None and lo <= hi:
+                    regular.append((lo, hi, p))
+                else:
+                    irregular.append(p)
+            regular.sort(key=lambda e: e[0])
+            return regular, irregular
+
+        a_reg, a_irr = lanes(lvar, edge.left_lo, edge.left_hi)
+        b_reg, b_irr = lanes(rvar, edge.right_lo, edge.right_hi)
+        pairs = interval_join_pairs(
+            [e[0] for e in a_reg], [e[1] for e in a_reg],
+            [e[0] for e in b_reg], [e[1] for e in b_reg],
+            predicate=edge.op)
+        matches: dict[int, list[int]] = {}
+        if lvar == var:
+            for i, j in pairs:
+                matches.setdefault(b_reg[j][2], []).append(a_reg[i][2])
+        else:
+            for i, j in pairs:
+                matches.setdefault(a_reg[i][2], []).append(b_reg[j][2])
+        if a_irr or b_irr:
+            rows_l, rows_r = rows_by[lvar], rows_by[rvar]
+
+            def note(pa, pb):
+                if lvar == var:
+                    matches.setdefault(pb, []).append(pa)
+                else:
+                    matches.setdefault(pa, []).append(pb)
+
+            def scalar_pairs(ps_a, ps_b):
+                for pa in ps_a:
+                    ra = rows_l[pa]
+                    alo, ahi = ra[edge.left_lo], ra[edge.left_hi]
+                    for pb in ps_b:
+                        rb = rows_r[pb]
+                        if self._truthy(pred(alo, ahi,
+                                             rb[edge.right_lo],
+                                             rb[edge.right_hi])):
+                            note(pa, pb)
+
+            scalar_pairs(a_irr, sel_by[rvar])
+            scalar_pairs([e[2] for e in a_reg], b_irr)
+        for bucket in matches.values():
+            bucket.sort()
+        out: list[tuple] = []
+        for c in combos:
+            bucket = matches.get(c[bidx])
+            if bucket:
+                out.extend(c + (p,) for p in bucket)
+        return out
+
+    def _vector_calendar_filter(self, stmt: Retrieve, combos, rows_by,
+                                calendar_index):
+        """One batched membership pass for the ``on <calendar>``
+        clause: distinct valid-time ticks of the surviving first-
+        variable positions, sorted, swept once through the interval
+        lanes."""
+        relation = self.db.relation(stmt.range_vars[0].relation)
+        column = relation.schema.valid_time_column
+        if column is None:
+            raise ExecutionError(
+                f"relation {relation.name!r} has no valid-time column "
+                "for 'on <calendar>'")
+        rows = rows_by[stmt.range_vars[0].var]
+        positions = {c[0] for c in combos}
+        ticks = sorted({rows[p][column] for p in positions
+                        if rows[p][column] is not None})
+        member = dict(zip(ticks, calendar_index.contains_batch(ticks)))
+        keep = {p for p in positions
+                if rows[p][column] is not None and
+                member[rows[p][column]]}
+        return [c for c in combos if c[0] in keep]
+
+    def _vector_strategies(self, stmt: Retrieve, plan
+                           ) -> list[tuple[object, str]]:
+        """(term, strategy) pairs for EXPLAIN, mirroring the runtime
+        fold: the first edge binding a new variable gets the join
+        kernel (merge when both sides can feed from full index lanes),
+        later edges between already-bound variables run as per-combo
+        filters."""
+        out: list[tuple[object, str]] = []
+        for term in plan.const_terms:
+            out.append((term, vector.STRAT_SEQUENTIAL))
+        for var in plan.order:
+            for f in plan.filters_of(var):
+                out.append((f.term, f.strategy))
+        edges_left = list(plan.edges)
+        bound = {plan.order[0]}
+        base_pair = True
+        for var in plan.order[1:]:
+            applicable = [e for e in edges_left
+                          if var in e.vars() and
+                          (set(e.vars()) - {var}) <= bound]
+            for rank, edge in enumerate(applicable):
+                if rank > 0:
+                    strategy = vector.STRAT_SEQUENTIAL
+                elif isinstance(edge, vector.EquiEdge):
+                    strategy = (vector.STRAT_MERGE
+                                if base_pair and
+                                self._merge_static(stmt, plan, edge)
+                                else vector.STRAT_HASH)
+                else:
+                    strategy = vector.STRAT_SWEEP
+                out.append((edge.term, strategy))
+                edges_left.remove(edge)
+            bound.add(var)
+            base_pair = False
+        return out
+
+    def _merge_static(self, stmt: Retrieve, plan, edge) -> bool:
+        """Whether the runtime fold would pick the sort-merge join for
+        this edge (both sides unfiltered with full index coverage)."""
+        relations = {rv.var: self.db.relation(rv.relation)
+                     for rv in stmt.range_vars}
+        for v, col in ((edge.left_var, edge.left_col),
+                       (edge.right_var, edge.right_col)):
+            if plan.filters_of(v):
+                return False
+            index = relations[v].indexes.get(col)
+            if not isinstance(index, OrderedIndex) or \
+                    len(index) != len(relations[v]):
+                return False
+        return True
 
     # -- binding enumeration -------------------------------------------------------
 
@@ -522,6 +1152,10 @@ class Executor:
         if where is None:
             return None
         for column, value in self._equality_terms(where, var, bound):
+            if value is None:
+                # None keys are not indexed, yet ``None = None`` joins —
+                # a None probe must fall back to the scan.
+                continue
             index = relation.indexes.get(column)
             if isinstance(index, OrderedIndex):
                 return index.lookup_eq(value)

@@ -15,7 +15,7 @@ are provided:
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.calendar import Calendar
 from repro.core.interval import Interval
@@ -55,11 +55,58 @@ class OrderedIndex:
             pos += 1
 
     def rebuild(self, rows: Iterable[dict]) -> None:
-        """Rebuild from scratch over the given tuples."""
+        """Rebuild from scratch over the given tuples (sort once).
+
+        This is the bulk-load path ``create_index`` takes over an
+        existing relation: one O(n log n) sort instead of n O(n)
+        ``list.insert`` shuffles.
+        """
         pairs = sorted((row[self.column], row["_tid"]) for row in rows
                        if row.get(self.column) is not None)
         self._keys = [p[0] for p in pairs]
         self._tids = [p[1] for p in pairs]
+
+    def insert_batch(self, rows: "Sequence[dict]") -> None:
+        """Index a batch of tuples: sort the batch once, then one linear
+        merge with the existing keys.
+
+        ``Relation.insert_many`` routes through this instead of per-row
+        :meth:`insert`, turning O(batch * n) memmove maintenance into
+        O(batch log batch + n).  Small batches still use incremental
+        inserts — the merge only pays off once the batch rivals the
+        index.
+        """
+        pairs = sorted((row[self.column], row["_tid"]) for row in rows
+                       if row.get(self.column) is not None)
+        if not pairs:
+            return
+        if len(pairs) * 8 < len(self._keys):
+            for key, tid in pairs:
+                pos = bisect.bisect_right(self._keys, key)
+                self._keys.insert(pos, key)
+                self._tids.insert(pos, tid)
+            return
+        old_keys, old_tids = self._keys, self._tids
+        keys: list = []
+        tids: list[int] = []
+        i = j = 0
+        n, m = len(old_keys), len(pairs)
+        while i < n and j < m:
+            if old_keys[i] <= pairs[j][0]:
+                keys.append(old_keys[i])
+                tids.append(old_tids[i])
+                i += 1
+            else:
+                keys.append(pairs[j][0])
+                tids.append(pairs[j][1])
+                j += 1
+        keys.extend(old_keys[i:])
+        tids.extend(old_tids[i:])
+        for j in range(j, m):
+            keys.append(pairs[j][0])
+            tids.append(pairs[j][1])
+        self._keys = keys
+        self._tids = tids
 
     def lookup_eq(self, value) -> list[int]:
         """tids of tuples whose column equals ``value``."""
@@ -80,6 +127,11 @@ class OrderedIndex:
             end = (bisect.bisect_right(self._keys, hi) if hi_inclusive
                    else bisect.bisect_left(self._keys, hi))
         return self._tids[start:end]
+
+    def items(self) -> tuple[list, list[int]]:
+        """The sorted ``(keys, tids)`` lanes (read-only views for the
+        executor's sort-merge join — do not mutate)."""
+        return self._keys, self._tids
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -113,6 +165,21 @@ class IntervalIndex:
             return False
         pos = bisect.bisect_right(self._los, t) - 1
         return pos >= 0 and self._his[pos] >= t
+
+    def contains_batch(self, values: Sequence[int]) -> list[bool]:
+        """Membership of an *ascending* batch of points — one merge pass.
+
+        Equivalent to ``[self.contains(v) for v in values]``; the
+        executor's batched calendar probe sorts a valid-time column
+        once and sweeps it through the merged interval lanes instead
+        of bisecting per tuple.
+        """
+        from repro.core.columnar import batch_membership
+        return batch_membership(self._los, self._his, values)
+
+    def lanes(self) -> tuple[list[int], list[int]]:
+        """The merged, sorted ``(los, his)`` endpoint lanes."""
+        return self._los, self._his
 
     def next_at_or_after(self, t: int) -> int | None:
         """Smallest covered point >= ``t``, or None."""

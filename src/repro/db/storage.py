@@ -114,6 +114,16 @@ class Relation:
         #: registration quadratic.  None when the schema has no key.
         self._key_map: dict[tuple, int] | None = \
             {} if schema.key else None
+        #: Bumped on every mutation (insert/delete/update/truncate).
+        #: Extracted column lanes (see :meth:`extract_lane`) are only
+        #: valid while this stays unchanged — the executor extracts per
+        #: statement and never caches lanes across statements.
+        self._version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Monotone mutation counter governing extracted-lane lifetime."""
+        return self._version
 
     # -- basic properties ------------------------------------------------------
 
@@ -179,6 +189,7 @@ class Relation:
         self._check_key(row)
         row["_tid"] = next(self._tid_counter)
         row["_tmin"] = self._xact_source()
+        self._version += 1
         self._rows[row["_tid"]] = row
         if self._key_map is not None:
             self._key_map[self._key_of(row)] = row["_tid"]
@@ -187,6 +198,68 @@ class Relation:
         if fire_hooks:
             self._fire("append", new=row)
         return row
+
+    def insert_many(self, values_batch: "Sequence[dict]",
+                    fire_hooks: bool = True) -> list[dict]:
+        """Append a batch of tuples with bulk index maintenance.
+
+        Semantically ``[self.insert(v) for v in values_batch]`` — same
+        validation, key checks (including duplicates *within* the
+        batch), version stamps and append events in order — but
+        secondary indexes are fed the whole batch at once through
+        :meth:`~repro.db.index.OrderedIndex.insert_batch` (sort once,
+        one merge) instead of one O(n) ``list.insert`` per row.
+        Validation failures raise before any row is stored, so a bad
+        batch never half-applies.
+        """
+        rows: list[dict] = []
+        batch_keys: set[tuple] = set()
+        for values in values_batch:
+            row = self._validate(values)
+            self._check_key(row)
+            if self._key_map is not None:
+                key_value = self._key_of(row)
+                if key_value in batch_keys:
+                    raise IntegrityError(
+                        f"duplicate key {key_value!r} in {self.name}")
+                batch_keys.add(key_value)
+            rows.append(row)
+        xact = self._xact_source()
+        self._version += 1
+        for row in rows:
+            row["_tid"] = next(self._tid_counter)
+            row["_tmin"] = xact
+            self._rows[row["_tid"]] = row
+            if self._key_map is not None:
+                self._key_map[self._key_of(row)] = row["_tid"]
+        for index in self.indexes.values():
+            if hasattr(index, "insert_batch"):
+                index.insert_batch(rows)
+            else:
+                for row in rows:
+                    index.insert(row)
+        if fire_hooks:
+            for row in rows:
+                self._fire("append", new=row)
+        return rows
+
+    def extract_lane(self, column: str,
+                     rows: "Sequence[dict] | None" = None) -> list:
+        """One column's values as a flat list (the executor's lane pull).
+
+        ``rows`` defaults to the live tuples in scan order; pass an
+        explicit row list to extract over a filtered candidate set.
+        The lane is a snapshot: it is only coherent with the relation
+        while :attr:`data_version` is unchanged, which is why the
+        vectorized executor extracts at statement start and never
+        caches lanes across statements (notes §14).
+        """
+        if column not in self.schema:
+            raise SchemaError(
+                f"unknown column {column!r} in {self.name}")
+        if rows is None:
+            rows = list(self._rows.values())
+        return [row.get(column) for row in rows]
 
     def delete(self, tid: int, fire_hooks: bool = True) -> dict:
         """Remove a live tuple; its version moves to history."""
@@ -197,6 +270,7 @@ class Relation:
                 f"no tuple with tid {tid} in {self.name}") from None
         dead = dict(row)
         dead["_tmax"] = self._xact_source()
+        self._version += 1
         self._history.append(dead)
         if self._key_map is not None:
             self._key_map.pop(self._key_of(row), None)
@@ -219,6 +293,7 @@ class Relation:
         self._check_key(row, ignore_tid=tid)
         row["_tid"] = tid
         row["_tmin"] = self._xact_source()
+        self._version += 1
         dead = dict(old)
         dead["_tmax"] = self._xact_source()
         self._history.append(dead)
@@ -241,6 +316,7 @@ class Relation:
 
     def truncate(self) -> None:
         """Discard all tuples, live and historical."""
+        self._version += 1
         self._rows.clear()
         self._history.clear()
         if self._key_map is not None:

@@ -169,6 +169,17 @@ class Planner:
             # Day-based narrowing only; other units stay conservative.
             return None
         lo, hi = self.system.epoch.days_of_year(year)
+        if self.context_window is not None:
+            # The reference evaluation materialises YEARS over the
+            # context window padded by one year of days (366, the
+            # EvalContext blanket) and keeps whole overlapping units; a
+            # year disjoint from that padded window never exists there,
+            # so narrowing to it would conjure elements the reference
+            # selection leaves empty.  Decline and let the label select
+            # come out empty over the context window instead.
+            if hi < self.context_window[0] - 366 or \
+                    lo > self.context_window[1] + 366:
+                return None
         if self.tracer is not None:
             self.tracer.event("planner.narrow", year=year, lo=lo, hi=hi)
         return WindowSpec((lo, hi))

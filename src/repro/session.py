@@ -46,6 +46,7 @@ from repro.core import columnar
 from repro.core.basis import CalendarSystem
 from repro.core.matcache import MaterialisationCache
 from repro.db import Database
+from repro.db import vector as db_vector
 from repro.errors import ReproError
 from repro.lang.errors import ParseError, PlanError
 from repro.lang.factorizer import factorize
@@ -253,6 +254,7 @@ class Session:
                  slow_query_threshold: float | None = None,
                  optimize: bool | None = None,
                  periodic: bool | None = None,
+                 vector_db: bool | None = None,
                  scheduler: str | None = None,
                  wheel_shards: int | None = None,
                  throttle=None) -> None:
@@ -263,6 +265,13 @@ class Session:
         #: Tri-state periodic-compilation override: None defers to the
         #: registry's own default (``REPRO_PERIODIC``, on by default).
         self._periodic = periodic
+        # Tri-state vectorized-executor override: None defers to the
+        # process-wide ``REPRO_VECTOR_DB`` gate (on by default).  The
+        # gate is module-global — the executor consults it per
+        # statement — so this flips it for the process, like setting
+        # the env var would.
+        if vector_db is not None:
+            db_vector.set_enabled(bool(vector_db))
         #: Worker pool shared by ``eval_many`` and the DBCRON daemon;
         #: sized by ``workers`` (default: the ``REPRO_WORKERS`` env var,
         #: falling back to 1 = fully sequential).  Lazy: no threads are

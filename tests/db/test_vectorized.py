@@ -1,0 +1,367 @@
+"""Unit tests for the vectorized retrieve pipeline (REPRO_VECTOR_DB).
+
+Covers the batch kernels' empty/single-row edges, plan classification
+and fallback reasons, EXPLAIN strategy reporting, the labelled
+``db.join.strategy`` / ``db.batch.rows`` metrics, batch index
+maintenance (``insert_many`` / ``insert_batch``) and NULL semantics.
+"""
+
+import pytest
+
+from repro.core.columnar import batch_membership, interval_join_pairs
+from repro.db import Database, ExecutionError
+from repro.db import vector
+from repro.db.index import IntervalIndex, OrderedIndex
+from repro.db.ql.parser import parse_statement
+
+
+@pytest.fixture()
+def gate_on():
+    previous = vector.set_enabled(True)
+    yield
+    vector.set_enabled(previous)
+
+
+@pytest.fixture()
+def joined(db, gate_on):
+    db.create_table("emp", [("name", "text"), ("dept", "int4"),
+                            ("lo", "abstime"), ("hi", "abstime")],
+                    valid_time_column="lo")
+    db.create_table("dept", [("id", "int4"), ("site", "text")])
+    rows = [("a", 1, 5, 9), ("b", 2, 8, 12), ("c", 1, 20, 25),
+            ("d", 3, 11, 11), ("e", None, 30, 31)]
+    for name, dept, lo, hi in rows:
+        db.insert("emp", name=name, dept=dept, lo=lo, hi=hi)
+    for i, site in ((1, "x"), (2, "y"), (4, "z")):
+        db.insert("dept", id=i, site=site)
+    return db
+
+
+def both_engines(db, query, bindings=None):
+    """(vectorized rows, row-at-a-time rows) for one query."""
+    vec = db.execute(query, bindings).rows
+    previous = vector.set_enabled(False)
+    try:
+        row = db.execute(query, bindings).rows
+    finally:
+        vector.set_enabled(previous)
+    return vec, row
+
+
+class TestKernelEdges:
+    def test_batch_membership_empty_values(self):
+        assert batch_membership([1, 5], [3, 9], []) == []
+
+    def test_batch_membership_empty_lanes(self):
+        assert batch_membership([], [], [1, 2, 3]) == [False] * 3
+
+    def test_batch_membership_single(self):
+        assert batch_membership([5], [9], [4, 5, 9, 10]) == \
+            [False, True, True, False]
+
+    def test_batch_membership_zero_never_member(self):
+        assert batch_membership([-3], [3], [0]) == [False]
+
+    def test_interval_join_empty_sides(self):
+        assert interval_join_pairs([], [], [], []) == []
+        assert interval_join_pairs([1], [2], [], []) == []
+        assert interval_join_pairs([], [], [1], [2]) == []
+
+    def test_interval_join_single_pair(self):
+        assert interval_join_pairs([1], [5], [4], [9]) == [(0, 1 - 1)]
+
+    def test_interval_join_overlaps_matches_scalar(self):
+        a = [(1, 4), (2, 2), (6, 9)]
+        b = [(0, 1), (3, 7), (9, 12)]
+        got = set(interval_join_pairs([x[0] for x in a],
+                                      [x[1] for x in a],
+                                      [x[0] for x in b],
+                                      [x[1] for x in b]))
+        want = {(i, j) for i, (alo, ahi) in enumerate(a)
+                for j, (blo, bhi) in enumerate(b)
+                if alo <= bhi and blo <= ahi}
+        assert got == want
+
+    def test_interval_join_during_subset_of_overlaps(self):
+        # Inputs must be lo-sorted (the executor argsorts its lanes).
+        a = sorted([(2, 3), (1, 9), (5, 5)])
+        b = sorted([(1, 4), (5, 6), (0, 10)])
+        got = set(interval_join_pairs([x[0] for x in a],
+                                      [x[1] for x in a],
+                                      [x[0] for x in b],
+                                      [x[1] for x in b],
+                                      predicate="during"))
+        want = {(i, j) for i, (alo, ahi) in enumerate(a)
+                for j, (blo, bhi) in enumerate(b)
+                if alo >= blo and ahi <= bhi}
+        assert got == want
+
+    def test_interval_join_unknown_predicate(self):
+        with pytest.raises(ValueError):
+            interval_join_pairs([1], [2], [1], [2], predicate="meets")
+
+    def test_contains_batch_matches_contains(self, registry):
+        cal = registry.evaluate("MONDAYS")
+        index = IntervalIndex(cal)
+        points = sorted({1, 2, 7, 8, 30, 365})
+        assert index.contains_batch(points) == \
+            [index.contains(p) for p in points]
+
+
+class TestBatchIndexMaintenance:
+    def test_insert_batch_matches_incremental(self):
+        a, b = OrderedIndex("k"), OrderedIndex("k")
+        rows = [{"k": v, "_tid": i} for i, v in
+                enumerate([5, 1, 9, 1, None, 3])]
+        for row in rows:
+            a.insert(row)
+        b.insert_batch(rows)
+        assert a.items() == b.items()
+
+    def test_insert_batch_merges_into_existing(self):
+        index = OrderedIndex("k")
+        index.insert_batch([{"k": v, "_tid": i}
+                            for i, v in enumerate([4, 8])])
+        index.insert_batch([{"k": v, "_tid": 10 + i}
+                            for i, v in enumerate([1, 6, 9])])
+        keys, tids = index.items()
+        assert keys == [1, 4, 6, 8, 9]
+        assert len(tids) == 5
+
+    def test_insert_batch_empty(self):
+        index = OrderedIndex("k")
+        index.insert_batch([])
+        assert len(index) == 0
+
+    def test_insert_many_feeds_indexes_and_key_map(self, db):
+        db.create_table("t", [("k", "int4"), ("v", "text")],
+                        key=("k",))
+        db.create_index("t", "k")
+        relation = db.relation("t")
+        relation.insert_many([{"k": i, "v": f"r{i}"}
+                              for i in (3, 1, 2)])
+        assert relation.indexes["k"].lookup_eq(2) != []
+        from repro.db.errors import IntegrityError
+        with pytest.raises(IntegrityError):
+            relation.insert_many([{"k": 9, "v": "x"},
+                                  {"k": 9, "v": "y"}])
+        # The bad batch must not have half-applied.
+        assert len(relation) == 3
+
+    def test_insert_many_bumps_data_version_once(self, db):
+        db.create_table("t", [("k", "int4")])
+        relation = db.relation("t")
+        before = relation.data_version
+        relation.insert_many([{"k": 1}, {"k": 2}])
+        assert relation.data_version == before + 1
+
+
+class TestPlanClassification:
+    def _plan(self, db, query, extra=()):
+        return vector.plan_retrieve(parse_statement(query), db,
+                                    set(extra))
+
+    def test_gate_off_reason(self, joined):
+        previous = vector.set_enabled(False)
+        try:
+            plan, reason = self._plan(
+                joined, "retrieve (e.name) from e in emp")
+        finally:
+            vector.set_enabled(previous)
+        assert plan is None and reason == "REPRO_VECTOR_DB=0"
+
+    def test_as_of_reason(self, joined):
+        plan, reason = self._plan(
+            joined, "retrieve (e.name) from e in emp as of 3")
+        assert plan is None
+        assert "as of" in reason and "sequential" in reason
+
+    def test_unbound_variable_reason(self, joined):
+        plan, reason = self._plan(
+            joined, "retrieve (e.name) from e in emp where e.dept = lim")
+        assert plan is None and "unbound variable" in reason
+        plan, _ = self._plan(
+            joined, "retrieve (e.name) from e in emp where e.dept = lim",
+            extra={"lim"})
+        assert plan is not None
+
+    def test_cross_variable_arithmetic_rejected(self, joined):
+        plan, reason = self._plan(
+            joined, "retrieve (e.name) from e in emp, d in dept "
+                    "where e.dept = d.id + 1")
+        assert plan is None and "non-vectorizable" in reason
+
+    def test_overridden_operator_rejected(self, joined):
+        joined.operators.register("=", "int4", "int4",
+                                  lambda a, b: a == b)
+        plan, _ = self._plan(
+            joined, "retrieve (e.name) from e in emp, d in dept "
+                    "where e.dept = d.id")
+        assert plan is None
+
+    def test_redefined_sweep_function_rejected(self, joined):
+        joined.functions.register("overlaps",
+                                  lambda a, b, c, d: True, replace=True)
+        plan, reason = self._plan(
+            joined, "retrieve (e.name) from e in emp, d in emp "
+                    "where overlaps(e.lo, e.hi, d.lo, d.hi)")
+        assert plan is None and "non-vectorizable" in reason
+
+    def test_classified_buckets(self, joined):
+        plan, _ = self._plan(
+            joined, "retrieve (e.name) from e in emp, d in dept "
+                    "where e.dept = d.id and e.lo > 4 and "
+                    'e.lo within "MONDAYS"')
+        assert plan is not None
+        filters = plan.filters_of("e")
+        assert isinstance(filters[0], vector.ScalarFilter)
+        assert isinstance(filters[1], vector.WithinFilter)
+        assert len(plan.edges) == 1
+        assert isinstance(plan.edges[0], vector.EquiEdge)
+
+
+class TestEngineParity:
+    def test_equi_join_with_nulls(self, joined):
+        # emp "e" has dept None; dept has no None id — None never joins
+        # a non-None, and a None = None pair must join in both engines.
+        joined.insert("dept", id=None, site="limbo")
+        vec, row = both_engines(
+            joined, "retrieve (e.name, d.site) from e in emp, d in dept "
+                    "where e.dept = d.id")
+        assert sorted(map(repr, vec)) == sorted(map(repr, row))
+        assert {r["name"] for r in vec} >= {"e"}  # the None = None pair
+
+    def test_merge_join_requires_full_coverage(self, joined):
+        joined.create_index("emp", "dept")
+        joined.create_index("dept", "id")
+        # emp.dept holds a None → index does not cover every live row →
+        # explain must NOT claim a merge join (None = None would be
+        # missed); the hash join keeps parity.
+        plan = joined.explain("retrieve (e.name) from e in emp, "
+                              "d in dept where e.dept = d.id")
+        assert "hash join" in plan and "merge join" not in plan
+        vec, row = both_engines(
+            joined, "retrieve (e.name, d.site) from e in emp, d in dept "
+                    "where e.dept = d.id")
+        assert sorted(map(repr, vec)) == sorted(map(repr, row))
+
+    def test_merge_join_used_and_agrees(self, db, gate_on):
+        db.create_table("l", [("k", "int4")])
+        db.create_table("r", [("k", "int4")])
+        for k in (1, 2, 2, 5):
+            db.insert("l", k=k)
+        for k in (2, 2, 3, 5):
+            db.insert("r", k=k)
+        db.create_index("l", "k")
+        db.create_index("r", "k")
+        q = "retrieve (a.k) from a in l, b in r where a.k = b.k"
+        assert "merge join" in db.explain(q)
+        vec, row = both_engines(db, q)
+        assert sorted(map(repr, vec)) == sorted(map(repr, row))
+        assert len(vec) == 5  # 2x2 on k=2, 1 on k=5
+
+    def test_interval_sweep_parity_with_inverted_and_null(self, joined):
+        # An inverted interval (lo > hi) and a NULL endpoint take the
+        # scalar escape path; results must still match the row engine.
+        joined.insert("emp", name="inv", dept=7, lo=40, hi=2)
+        joined.insert("emp", name="nul", dept=7, lo=None, hi=50)
+        for pred in ("overlaps", "during"):
+            vec, row = both_engines(
+                joined, f"retrieve (a.name, b.name) from a in emp, "
+                        f"b in emp where {pred}(a.lo, a.hi, b.lo, b.hi)")
+            assert sorted(map(repr, vec)) == sorted(map(repr, row))
+
+    def test_within_parity_and_none_raises(self, joined):
+        vec, row = both_engines(
+            joined, 'retrieve (e.name) from e in emp '
+                    'where e.lo within "MONDAYS"')
+        assert sorted(map(repr, vec)) == sorted(map(repr, row))
+        joined.insert("emp", name="null-lo", dept=9, lo=None, hi=4)
+        with pytest.raises(ExecutionError, match="abstime tick"):
+            joined.execute('retrieve (e.name) from e in emp '
+                           'where e.lo within "MONDAYS"')
+
+    def test_on_calendar_parity(self, joined):
+        vec, row = both_engines(
+            joined, "retrieve (e.name) from e in emp on MONDAYS")
+        assert sorted(map(repr, vec)) == sorted(map(repr, row))
+
+    def test_empty_relation(self, joined):
+        joined.create_table("void", [("k", "int4")])
+        vec, row = both_engines(
+            joined, "retrieve (v.k) from v in void where v.k = 1")
+        assert vec == row == []
+
+    def test_single_row_relation(self, joined):
+        joined.create_table("one", [("k", "abstime")])
+        monday = joined.system.day_of("Feb 1 1993")
+        joined.insert("one", k=monday)
+        vec, row = both_engines(
+            joined, 'retrieve (o.k) from o in one '
+                    'where o.k within "MONDAYS"')
+        assert vec == row and len(vec) == 1
+
+    def test_retrieve_events_still_fire(self, joined):
+        seen = []
+        joined.relation("emp").hooks["retrieve"].append(
+            lambda event: seen.append(event.current["name"]))
+        joined.execute("retrieve (e.name) from e in emp "
+                       "where e.dept = 1")
+        assert sorted(seen) == ["a", "c"]
+
+    def test_count_fast_path_matches(self, joined):
+        vec, row = both_engines(
+            joined, "retrieve (count() as n) from e in emp, d in dept "
+                    "where e.dept = d.id")
+        assert vec == row
+
+    def test_order_by_identical_order(self, joined):
+        vec, row = both_engines(
+            joined, "retrieve (e.name, d.site) from e in emp, "
+                    "d in dept where e.dept = d.id order by name")
+        assert vec == row
+
+
+class TestExplainStrategies:
+    def test_strategies_reported(self, joined):
+        plan = joined.explain(
+            "retrieve (a.name, b.name) from a in emp, b in emp "
+            "where overlaps(a.lo, a.hi, b.lo, b.hi) and a.dept = 1 "
+            'and a.lo within "MONDAYS"')
+        assert "vectorized pipeline" in plan
+        assert "endpoint sweep" in plan
+        assert "batched calendar sweep" in plan
+        assert "sequential fallback" in plan
+
+    def test_as_of_fallback_noted(self, joined):
+        plan = joined.explain(
+            "retrieve (e.name) from e in emp as of 3")
+        assert "vectorized: off" in plan
+        assert "as of historical scan" in plan
+
+    def test_gate_off_noted(self, joined):
+        previous = vector.set_enabled(False)
+        try:
+            plan = joined.explain("retrieve (e.name) from e in emp")
+        finally:
+            vector.set_enabled(previous)
+        assert "vectorized: off (REPRO_VECTOR_DB=0)" in plan
+
+
+class TestMetrics:
+    def test_join_strategy_counter_and_batch_histogram(self, joined):
+        joined.execute("retrieve (e.name, d.site) from e in emp, "
+                       "d in dept where e.dept = d.id and e.lo > 4")
+        snapshot = joined.instrumentation.metrics.snapshot()
+        assert snapshot[
+            'db.join.strategy{strategy="hash join"}'] >= 1
+        assert snapshot[
+            'db.join.strategy{strategy="sequential fallback"}'] >= 1
+        assert snapshot["db.batch.rows"]["count"] >= 2
+
+    def test_calendar_sweep_counted(self, joined):
+        joined.execute('retrieve (e.name) from e in emp '
+                       'where e.lo within "MONDAYS"')
+        snapshot = joined.instrumentation.metrics.snapshot()
+        assert snapshot[
+            'db.join.strategy{strategy="batched calendar sweep"}'] >= 1
